@@ -1,0 +1,101 @@
+//! Micro-benchmarks of the Stream-Summary data structure operations: the
+//! O(1) claims behind both algorithms' update paths.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use hh_counters::StreamSummary;
+
+fn bench_increment(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stream_summary_increment");
+    group.sample_size(10);
+    for &m in &[64usize, 1024, 16_384] {
+        group.throughput(Throughput::Elements(100_000));
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, &m| {
+            b.iter(|| {
+                let mut s: StreamSummary<u64> = StreamSummary::with_capacity(m);
+                for i in 0..m as u64 {
+                    s.insert(i, 1, 0);
+                }
+                // 100k increments cycling over stored items: pure bucket moves
+                for i in 0..100_000u64 {
+                    s.increment(&(i % m as u64), 1);
+                }
+                std::hint::black_box(s.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_evict_insert_cycle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stream_summary_evict_insert");
+    group.sample_size(10);
+    for &m in &[64usize, 1024, 16_384] {
+        group.throughput(Throughput::Elements(100_000));
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, &m| {
+            b.iter(|| {
+                let mut s: StreamSummary<u64> = StreamSummary::with_capacity(m);
+                for i in 0..m as u64 {
+                    s.insert(i, 1, 0);
+                }
+                // SpaceSaving's replace-min path: evict + insert at min+1
+                for i in 0..100_000u64 {
+                    let (_, count, _) = s.evict_min().expect("non-empty");
+                    s.insert(1_000_000 + i, count + 1, count);
+                }
+                std::hint::black_box(s.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_snapshot(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stream_summary_snapshot");
+    group.sample_size(10);
+    for &m in &[1024usize, 16_384] {
+        let mut s: StreamSummary<u64> = StreamSummary::with_capacity(m);
+        for i in 0..m as u64 {
+            s.insert(i, i % 97 + 1, 0);
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, _| {
+            b.iter(|| std::hint::black_box(s.snapshot_desc().len()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_merge(c: &mut Criterion) {
+    use hh_counters::merge::{merge_full, merge_k_sparse};
+    use hh_counters::{FrequencyEstimator, SpaceSaving};
+    let mut group = c.benchmark_group("merge_summaries");
+    group.sample_size(10);
+    for &ell in &[4usize, 16, 64] {
+        // ell summaries of skewed shards
+        let summaries: Vec<SpaceSaving<u64>> = (0..ell as u64)
+            .map(|j| {
+                let mut s = SpaceSaving::new(256);
+                for i in 0..20_000u64 {
+                    s.update((i * (j + 3)) % 4096);
+                }
+                s
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::new("k_sparse", ell), &ell, |b, _| {
+            b.iter(|| {
+                let merged = merge_k_sparse(&summaries, 16, || SpaceSaving::new(256));
+                std::hint::black_box(merged.stored_len())
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("full", ell), &ell, |b, _| {
+            b.iter(|| {
+                let merged = merge_full(&summaries, || SpaceSaving::new(256));
+                std::hint::black_box(merged.stored_len())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_increment, bench_evict_insert_cycle, bench_snapshot, bench_merge);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Ablation: SPACESAVING on the O(1) bucket list vs the O(log m) lazy
+//! binary heap — the design choice DESIGN.md calls out.
+//!
+//! Also benchmarks FREQUENT's offset-based O(1) decrement against the
+//! naive reference executor to quantify the data-structure work the paper's
+//! Figure 1 pseudocode leaves implicit.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use hh_counters::{
+    FrequencyEstimator, Frequent, HeapSpaceSaving, ReferenceFrequent, SpaceSaving,
+};
+use hh_streamgen::zipf::{stream_from_counts, StreamOrder};
+use hh_streamgen::{exact_zipf_counts, Item};
+
+fn workload() -> Vec<Item> {
+    let counts = exact_zipf_counts(50_000, 200_000, 1.1);
+    stream_from_counts(&counts, StreamOrder::Shuffled(3))
+}
+
+fn run_stream<E: FrequencyEstimator<Item>>(mut est: E, stream: &[Item]) -> usize {
+    for &x in stream {
+        est.update(x);
+    }
+    est.stored_len()
+}
+
+fn bench_spacesaving_backends(c: &mut Criterion) {
+    let stream = workload();
+    let mut group = c.benchmark_group("spacesaving_backend");
+    group.throughput(Throughput::Elements(stream.len() as u64));
+    group.sample_size(10);
+    for &m in &[64usize, 1024, 8192] {
+        group.bench_with_input(BenchmarkId::new("bucket_list", m), &m, |b, &m| {
+            b.iter(|| std::hint::black_box(run_stream(SpaceSaving::new(m), &stream)));
+        });
+        group.bench_with_input(BenchmarkId::new("lazy_heap", m), &m, |b, &m| {
+            b.iter(|| std::hint::black_box(run_stream(HeapSpaceSaving::new(m), &stream)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_frequent_vs_reference(c: &mut Criterion) {
+    let stream = workload();
+    let mut group = c.benchmark_group("frequent_backend");
+    group.throughput(Throughput::Elements(stream.len() as u64));
+    group.sample_size(10);
+    for &m in &[64usize, 512] {
+        group.bench_with_input(BenchmarkId::new("offset_bucket_list", m), &m, |b, &m| {
+            b.iter(|| std::hint::black_box(run_stream(Frequent::new(m), &stream)));
+        });
+        group.bench_with_input(BenchmarkId::new("naive_reference", m), &m, |b, &m| {
+            b.iter(|| std::hint::black_box(run_stream(ReferenceFrequent::new(m), &stream)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_spacesaving_backends, bench_frequent_vs_reference);
+criterion_main!(benches);

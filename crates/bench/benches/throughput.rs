@@ -1,0 +1,70 @@
+//! Throughput benchmarks: updates/second for every Table 1 algorithm as a
+//! function of the space budget.
+//!
+//! This backs the paper's practical claim that counter algorithms carry
+//! "small constants of proportionality" compared to sketches: a SPACESAVING
+//! update touches one hash map entry and two bucket links, while a Count-Min
+//! update writes `d` cells across `d` cache lines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use hh_analysis::{make_estimator, Algo};
+use hh_streamgen::zipf::{stream_from_counts, StreamOrder};
+use hh_streamgen::{exact_zipf_counts, Item};
+
+fn workload() -> Vec<Item> {
+    let counts = exact_zipf_counts(20_000, 200_000, 1.2);
+    stream_from_counts(&counts, StreamOrder::Shuffled(1))
+}
+
+fn bench_updates(c: &mut Criterion) {
+    let stream = workload();
+    let mut group = c.benchmark_group("updates_per_sec");
+    group.throughput(Throughput::Elements(stream.len() as u64));
+    group.sample_size(10);
+
+    for algo in Algo::ALL {
+        for &budget in &[64usize, 256, 1024] {
+            group.bench_with_input(
+                BenchmarkId::new(algo.name(), budget),
+                &budget,
+                |b, &budget| {
+                    b.iter(|| {
+                        let mut est = make_estimator(algo, budget, 7);
+                        for &x in &stream {
+                            est.update(x);
+                        }
+                        std::hint::black_box(est.stored_len())
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let stream = workload();
+    let mut group = c.benchmark_group("point_queries");
+    group.sample_size(10);
+
+    for algo in [Algo::SpaceSaving, Algo::Frequent, Algo::CountMin, Algo::CountSketch] {
+        let mut est = make_estimator(algo, 256, 7);
+        for &x in &stream {
+            est.update(x);
+        }
+        group.bench_function(algo.name(), |b| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for i in 1..=2_000u64 {
+                    acc = acc.wrapping_add(est.estimate(&i));
+                }
+                std::hint::black_box(acc)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_updates, bench_queries);
+criterion_main!(benches);

@@ -1,0 +1,4 @@
+//! Experiment binary; pass `--quick` for a reduced workload.
+fn main() {
+    bench::exp::counter_vs_sketch::run(bench::Scale::from_args()).finish();
+}

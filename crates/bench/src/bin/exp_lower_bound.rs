@@ -1,0 +1,4 @@
+//! Experiment binary; pass `--quick` for a reduced workload.
+fn main() {
+    bench::exp::lower_bound::run(bench::Scale::from_args()).finish();
+}

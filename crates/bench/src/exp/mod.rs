@@ -1,0 +1,18 @@
+//! One module per reproduced table / figure / theorem.
+
+pub mod counter_vs_sketch;
+pub mod drift;
+pub mod fig1_conformance;
+pub mod htc;
+pub mod lossy_adversarial;
+pub mod lower_bound;
+pub mod merge;
+pub mod msparse;
+pub mod residual_estimation;
+pub mod space_optimality;
+pub mod sparse_recovery;
+pub mod table1;
+pub mod tail;
+pub mod topk;
+pub mod weighted;
+pub mod zipf;

@@ -1,0 +1,84 @@
+//! **Theorem 6** — estimating `F1^res(k)` from a summary.
+//!
+//! With `m = Bk + Ak/ε` counters, the quantity `F1 − ‖f'‖₁` (stream length
+//! minus the mass of the k largest counters) must bracket the true
+//! residual: `(1−ε)·F1^res(k) ≤ F1 − ‖f'‖₁ ≤ (1+ε)·F1^res(k)`.
+
+use hh_analysis::{fnum, fok, Algo, Table};
+use hh_counters::recovery::residual_estimate;
+use hh_counters::TailConstants;
+use hh_streamgen::zipf::{stream_from_counts, StreamOrder};
+use hh_streamgen::{exact_zipf_counts, ExactCounter};
+
+use crate::report::{Report, Scale};
+
+/// Runs the experiment.
+pub fn run(scale: Scale) -> Report {
+    let n = scale.pick(2_000, 20_000);
+    let total = scale.pick(20_000u64, 200_000);
+    let ks = [5usize, 10, 20];
+    let epsilons = [0.5, 0.25, 0.1];
+
+    let counts = exact_zipf_counts(n, total, 1.2);
+    let stream = stream_from_counts(&counts, StreamOrder::Shuffled(23));
+    let oracle = ExactCounter::from_stream(&stream);
+    let freqs = oracle.freqs();
+
+    let mut table = Table::new(
+        format!("Theorem 6: residual estimation, Zipf(1.2), N={total}, m=Bk+Ak/eps"),
+        &["algorithm", "k", "eps", "m", "true F1res(k)", "estimate", "rel err", "ok"],
+    );
+    let mut all_ok = true;
+
+    for algo in [Algo::Frequent, Algo::SpaceSaving] {
+        for &k in &ks {
+            for &eps in &epsilons {
+                let m = TailConstants::ONE_ONE.counters_for_residual_estimate(k, eps);
+                let est = hh_analysis::run(algo, m, 0, &stream);
+                let observed = residual_estimate(est.as_ref(), k);
+                let truth = freqs.res1(k);
+                let lo = (1.0 - eps) * truth as f64;
+                let hi = (1.0 + eps) * truth as f64;
+                let ok = (observed as f64) >= lo - 1e-9 && (observed as f64) <= hi + 1e-9;
+                all_ok &= ok;
+                let rel = if truth == 0 {
+                    0.0
+                } else {
+                    (observed as f64 - truth as f64).abs() / truth as f64
+                };
+                table.row(vec![
+                    algo.name().to_string(),
+                    k.to_string(),
+                    fnum(eps),
+                    m.to_string(),
+                    truth.to_string(),
+                    observed.to_string(),
+                    fnum(rel),
+                    fok(ok),
+                ]);
+            }
+        }
+    }
+
+    Report {
+        id: "exp_residual_estimation",
+        verdict: if all_ok {
+            "F1 − ‖f'‖₁ within (1±eps)·F1res(k) for every configuration".into()
+        } else {
+            "RESIDUAL ESTIMATE OUT OF BRACKET — see table".into()
+        },
+        ok: all_ok,
+        tables: vec![table],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_is_ok() {
+        let r = run(Scale::Quick);
+        assert!(r.ok, "{}", r.render());
+    }
+}

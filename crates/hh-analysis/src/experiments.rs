@@ -1,0 +1,194 @@
+//! Shared experiment drivers: algorithm factories keyed by name and stream
+//! feeding helpers, so every bench binary and integration test builds its
+//! comparisons the same way.
+
+use hh_counters::traits::FrequencyEstimator;
+use hh_counters::{Frequent, HeapSpaceSaving, LossyCounting, SpaceSaving, StickySampling};
+use hh_sketches::{CountMin, CountSketch, DyadicCountMin, SketchHeavyHitters, UpdateRule};
+use hh_streamgen::Item;
+
+/// Universe bits assumed for [`Algo::DyadicCountMin`] instances (ids up to
+/// ~1M — all generators in this workspace stay below this).
+pub const DYADIC_BITS: u32 = 20;
+
+/// The algorithms the comparison experiments sweep over (the rows of
+/// Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algo {
+    /// FREQUENT (Misra–Gries), bucket-list implementation.
+    Frequent,
+    /// SPACESAVING, bucket-list implementation.
+    SpaceSaving,
+    /// SPACESAVING on a lazy binary heap (ablation).
+    HeapSpaceSaving,
+    /// LOSSYCOUNTING with `ε = 1/budget` (its table then floats around the
+    /// budget; its `capacity()` reports the high-water mark actually used).
+    LossyCounting,
+    /// STICKY SAMPLING with `ε = 1/budget` (randomized counter algorithm;
+    /// like LOSSYCOUNTING, `capacity()` reports its actual high-water use).
+    StickySampling,
+    /// Count-Min sketch, classic updates, depth 4.
+    CountMin,
+    /// Count-Min sketch with conservative updates, depth 4.
+    CountMinCU,
+    /// Count-Sketch (median estimator), depth 5.
+    CountSketch,
+    /// Dyadic Count-Min over a 2^20 universe (the sketch that can *find*
+    /// heavy hitters natively, paying the `log n` space factor).
+    DyadicCountMin,
+}
+
+impl Algo {
+    /// All comparison algorithms in Table 1 order.
+    pub const ALL: [Algo; 9] = [
+        Algo::Frequent,
+        Algo::SpaceSaving,
+        Algo::HeapSpaceSaving,
+        Algo::LossyCounting,
+        Algo::StickySampling,
+        Algo::CountMin,
+        Algo::CountMinCU,
+        Algo::CountSketch,
+        Algo::DyadicCountMin,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Algo::Frequent => "Frequent",
+            Algo::SpaceSaving => "SpaceSaving",
+            Algo::HeapSpaceSaving => "SpaceSaving(heap)",
+            Algo::LossyCounting => "LossyCounting",
+            Algo::StickySampling => "StickySampling",
+            Algo::CountMin => "CountMin",
+            Algo::CountMinCU => "CountMin(CU)",
+            Algo::CountSketch => "CountSketch",
+            Algo::DyadicCountMin => "DyadicCountMin",
+        }
+    }
+
+    /// Whether this is a counter algorithm (stores items explicitly).
+    pub fn is_counter(self) -> bool {
+        matches!(
+            self,
+            Algo::Frequent
+                | Algo::SpaceSaving
+                | Algo::HeapSpaceSaving
+                | Algo::LossyCounting
+                | Algo::StickySampling
+        )
+    }
+}
+
+/// Depth used for Count-Min instances built by [`make_estimator`].
+pub const CM_DEPTH: usize = 4;
+/// Depth used for Count-Sketch instances built by [`make_estimator`].
+pub const CS_DEPTH: usize = 5;
+
+/// Builds an estimator with a total space budget of `budget` counters
+/// (cells for sketches, stored entries for counter algorithms).
+///
+/// Sketch instances reserve a tenth of the budget (at least 16 slots) for
+/// the heavy-hitter candidate list — a sketch without one cannot report
+/// heavy hitters at all, so any fair comparison must charge for it.
+pub fn make_estimator(
+    algo: Algo,
+    budget: usize,
+    seed: u64,
+) -> Box<dyn FrequencyEstimator<Item>> {
+    assert!(budget >= 1, "need at least one counter");
+    match algo {
+        Algo::Frequent => Box::new(Frequent::new(budget)),
+        Algo::SpaceSaving => Box::new(SpaceSaving::new(budget)),
+        Algo::HeapSpaceSaving => Box::new(HeapSpaceSaving::new(budget)),
+        Algo::LossyCounting => Box::new(LossyCounting::with_width(budget as u64)),
+        Algo::StickySampling => Box::new(StickySampling::new(
+            1.0 / budget as f64,
+            0.01,
+            0.1,
+            seed | 1,
+        )),
+        Algo::DyadicCountMin => Box::new(DyadicCountMin::with_budget(
+            DYADIC_BITS,
+            budget,
+            CM_DEPTH,
+            seed,
+        )),
+        Algo::CountMin | Algo::CountMinCU | Algo::CountSketch => {
+            assert!(budget >= 16, "sketch budgets below 16 cells are meaningless");
+            let candidates = (budget / 10).max(16).min(budget / 2);
+            let cells = budget - candidates;
+            match algo {
+                Algo::CountMin => Box::new(SketchHeavyHitters::new(
+                    CountMin::with_budget(cells, CM_DEPTH, seed, UpdateRule::Classic),
+                    candidates,
+                )),
+                Algo::CountMinCU => Box::new(SketchHeavyHitters::new(
+                    CountMin::with_budget(cells, CM_DEPTH, seed, UpdateRule::Conservative),
+                    candidates,
+                )),
+                Algo::CountSketch => Box::new(SketchHeavyHitters::new(
+                    CountSketch::with_budget(cells, CS_DEPTH, seed),
+                    candidates,
+                )),
+                _ => unreachable!(),
+            }
+        }
+    }
+}
+
+/// Feeds a stream into an estimator.
+pub fn feed<E: FrequencyEstimator<Item> + ?Sized>(est: &mut E, stream: &[Item]) {
+    for &x in stream {
+        est.update(x);
+    }
+}
+
+/// Builds an estimator, runs the stream through it, and returns it.
+pub fn run(algo: Algo, budget: usize, seed: u64, stream: &[Item]) -> Box<dyn FrequencyEstimator<Item>> {
+    let mut est = make_estimator(algo, budget, seed);
+    feed(est.as_mut(), stream);
+    est
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hh_streamgen::ExactCounter;
+
+    #[test]
+    fn factories_produce_working_estimators() {
+        let stream: Vec<Item> = (0..500).map(|i| i % 17 + 1).collect();
+        let oracle = ExactCounter::from_stream(&stream);
+        for algo in Algo::ALL {
+            // a generous budget so even the dyadic sketch (20 levels) has
+            // usable width; accuracy-at-small-budgets is what the
+            // comparison experiments measure, not this smoke test
+            let est = run(algo, 4096, 7, &stream);
+            assert_eq!(est.stream_len(), 500, "{}", algo.name());
+            let e = est.estimate(&1);
+            let f = oracle.count(&1);
+            assert!(
+                e.abs_diff(f) <= 60,
+                "{}: estimate {e} too far from {f}",
+                algo.name()
+            );
+        }
+    }
+
+    #[test]
+    fn counter_flag_matches_identity() {
+        assert!(Algo::Frequent.is_counter());
+        assert!(Algo::LossyCounting.is_counter());
+        assert!(!Algo::CountMin.is_counter());
+        assert!(!Algo::CountSketch.is_counter());
+    }
+
+    #[test]
+    fn sketch_budget_accounting() {
+        let est = make_estimator(Algo::CountMin, 200, 0);
+        // cells + candidates should not exceed the budget
+        assert!(est.capacity() <= 200);
+        assert!(est.capacity() >= 150, "most of the budget is used");
+    }
+}

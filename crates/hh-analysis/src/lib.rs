@@ -1,0 +1,24 @@
+//! Experiment harness for the PODS 2009 heavy-hitters reproduction.
+//!
+//! Sits above `hh-counters`, `hh-sketches` and `hh-streamgen`, providing
+//! the pieces every experiment shares:
+//!
+//! * [`metrics`] — per-item error statistics, Lp recovery error,
+//!   precision/recall, and empirical tail-guarantee checks;
+//! * [`table`] — aligned plain-text / markdown table rendering for
+//!   experiment output;
+//! * [`experiments`] — algorithm factories keyed by [`experiments::Algo`]
+//!   so comparisons across the Table 1 algorithms are built uniformly.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+pub mod metrics;
+pub mod table;
+
+pub use experiments::{feed, make_estimator, run, Algo};
+pub use metrics::{
+    check_tail, error_stats, lp_recovery_error, precision_recall, ErrorStats, TailCheck,
+};
+pub use table::{fbound, fnum, fok, Table};

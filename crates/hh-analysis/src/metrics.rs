@@ -1,0 +1,215 @@
+//! Error metrics: per-item estimation error, Lp recovery error,
+//! precision/recall, and tail-guarantee checks against ground truth.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use hh_counters::traits::{FrequencyEstimator, TailConstants};
+use hh_streamgen::ExactCounter;
+
+/// Summary statistics of the per-item estimation errors `δ_i = |f_i − c_i|`
+/// over every distinct item of the stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorStats {
+    /// `max_i δ_i`.
+    pub max: u64,
+    /// Mean error over distinct items.
+    pub mean: f64,
+    /// Number of distinct items evaluated.
+    pub items: usize,
+}
+
+/// Computes [`ErrorStats`] of an estimator against the exact oracle.
+pub fn error_stats<I, E>(est: &E, oracle: &ExactCounter<I>) -> ErrorStats
+where
+    I: Eq + Hash + Clone + Ord,
+    E: FrequencyEstimator<I> + ?Sized,
+{
+    let mut max = 0u64;
+    let mut sum = 0u128;
+    let mut items = 0usize;
+    for (item, f) in oracle.iter() {
+        let d = f.abs_diff(est.estimate(item));
+        max = max.max(d);
+        sum += d as u128;
+        items += 1;
+    }
+    ErrorStats {
+        max,
+        mean: if items == 0 { 0.0 } else { sum as f64 / items as f64 },
+        items,
+    }
+}
+
+/// One row of a tail-guarantee check: Definition 2 evaluated empirically.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TailCheck {
+    /// Tail parameter.
+    pub k: usize,
+    /// Counter budget of the estimator.
+    pub m: usize,
+    /// `F1^res(k)` of the stream.
+    pub res1_k: u64,
+    /// The bound `A·F1^res(k)/(m − B·k)` (`None` when vacuous).
+    pub bound: Option<f64>,
+    /// Largest observed error.
+    pub max_err: u64,
+    /// Whether the observation satisfies the bound (vacuously true when the
+    /// bound is undefined).
+    pub ok: bool,
+}
+
+/// Checks the k-tail guarantee of `est` with constants `constants` against
+/// ground truth.
+pub fn check_tail<I, E>(
+    est: &E,
+    oracle: &ExactCounter<I>,
+    constants: TailConstants,
+    k: usize,
+) -> TailCheck
+where
+    I: Eq + Hash + Clone + Ord,
+    E: FrequencyEstimator<I> + ?Sized,
+{
+    let res1_k = oracle.freqs().res1(k);
+    let bound = constants.bound(est.capacity(), k, res1_k);
+    let stats = error_stats(est, oracle);
+    let ok = bound.map(|b| stats.max as f64 <= b.floor()).unwrap_or(true);
+    TailCheck { k, m: est.capacity(), res1_k, bound, max_err: stats.max, ok }
+}
+
+/// `‖f − f'‖_p` between the exact frequencies and a recovered sparse
+/// vector, over the union of supports.
+pub fn lp_recovery_error<I>(recovered: &[(I, u64)], oracle: &ExactCounter<I>, p: f64) -> f64
+where
+    I: Eq + Hash + Clone + Ord,
+{
+    assert!(p >= 1.0, "p must be >= 1");
+    let rec: HashMap<&I, u64> = recovered.iter().map(|(i, c)| (i, *c)).collect();
+    let mut sum = 0.0f64;
+    for (item, f) in oracle.iter() {
+        let r = rec.get(item).copied().unwrap_or(0);
+        sum += (f.abs_diff(r) as f64).powf(p);
+    }
+    // items recovered but never seen (possible for sketch candidates)
+    for (item, r) in recovered {
+        if oracle.count(item) == 0 {
+            sum += (*r as f64).powf(p);
+        }
+    }
+    sum.powf(1.0 / p)
+}
+
+/// Precision and recall of a reported top-k set against the exact top-k.
+///
+/// Ties at the boundary of the exact top-k are treated generously: any item
+/// whose exact count equals the k-th largest count is an acceptable member
+/// (otherwise precision would be noise on tied streams).
+pub fn precision_recall<I>(reported: &[I], oracle: &ExactCounter<I>, k: usize) -> (f64, f64)
+where
+    I: Eq + Hash + Clone + Ord,
+{
+    if k == 0 || reported.is_empty() {
+        return (0.0, 0.0);
+    }
+    let exact = oracle.sorted_counts();
+    let kth = exact.get(k.saturating_sub(1)).map(|&(_, c)| c).unwrap_or(0);
+    let acceptable: std::collections::HashSet<&I> = exact
+        .iter()
+        .take_while(|&&(_, c)| c >= kth)
+        .map(|(i, _)| i)
+        .collect();
+    let strict_topk: std::collections::HashSet<&I> =
+        exact.iter().take(k).map(|(i, _)| i).collect();
+    let hits_precision = reported.iter().filter(|i| acceptable.contains(i)).count();
+    let hits_recall = reported.iter().filter(|i| strict_topk.contains(i)).count();
+    (
+        hits_precision as f64 / reported.len() as f64,
+        hits_recall as f64 / strict_topk.len().max(1) as f64,
+    )
+}
+
+/// Relative error helper: `|observed − truth| / truth` (0 when both are 0).
+pub fn relative_error(observed: f64, truth: f64) -> f64 {
+    if truth == 0.0 {
+        if observed == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        (observed - truth).abs() / truth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hh_counters::SpaceSaving;
+
+    fn setup(stream: &[u64], m: usize) -> (SpaceSaving<u64>, ExactCounter<u64>) {
+        let mut ss = SpaceSaving::new(m);
+        for &x in stream {
+            ss.update(x);
+        }
+        (ss, ExactCounter::from_stream(stream))
+    }
+
+    #[test]
+    fn zero_error_when_capacity_sufficient() {
+        let (ss, oracle) = setup(&[1, 1, 2, 3, 3, 3], 10);
+        let stats = error_stats(&ss, &oracle);
+        assert_eq!(stats.max, 0);
+        assert_eq!(stats.mean, 0.0);
+        assert_eq!(stats.items, 3);
+    }
+
+    #[test]
+    fn tail_check_passes_for_spacesaving() {
+        let stream: Vec<u64> = (0..2000).map(|i| (i * i) % 61 + 1).collect();
+        let (ss, oracle) = setup(&stream, 20);
+        for k in 0..10 {
+            let check = check_tail(&ss, &oracle, TailConstants::ONE_ONE, k);
+            assert!(check.ok, "k={k}: {check:?}");
+        }
+    }
+
+    #[test]
+    fn lp_error_hand_computed() {
+        let (_ss, oracle) = setup(&[1, 1, 2, 3], 10);
+        // perfect recovery: error 0
+        let rec = vec![(1u64, 2u64), (2, 1), (3, 1)];
+        assert!(lp_recovery_error(&rec, &oracle, 1.0).abs() < 1e-12);
+        // dropping item 3 costs exactly 1 in L1, 1 in L2
+        let rec2 = vec![(1u64, 2u64), (2, 1)];
+        assert!((lp_recovery_error(&rec2, &oracle, 1.0) - 1.0).abs() < 1e-12);
+        assert!((lp_recovery_error(&rec2, &oracle, 2.0) - 1.0).abs() < 1e-12);
+        // overcounting item 1 by 2 and phantom item 9 by 1: L1 = 3 + 1 + 1
+        let rec3 = vec![(1u64, 4u64), (2, 1), (9, 1)];
+        assert!((lp_recovery_error(&rec3, &oracle, 1.0) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn precision_recall_perfect_and_partial() {
+        let (_, oracle) = setup(&[1, 1, 1, 2, 2, 3], 10);
+        let (p, r) = precision_recall(&[1u64, 2], &oracle, 2);
+        assert_eq!((p, r), (1.0, 1.0));
+        let (p, r) = precision_recall(&[1u64, 9], &oracle, 2);
+        assert_eq!((p, r), (0.5, 0.5));
+    }
+
+    #[test]
+    fn precision_forgives_exact_ties() {
+        // top-2 of {1:2, 2:2, 3:2} is ambiguous; any pair is acceptable
+        let (_, oracle) = setup(&[1, 1, 2, 2, 3, 3], 10);
+        let (p, _) = precision_recall(&[1u64, 3], &oracle, 2);
+        assert_eq!(p, 1.0);
+    }
+
+    #[test]
+    fn relative_error_edges() {
+        assert_eq!(relative_error(0.0, 0.0), 0.0);
+        assert!(relative_error(1.0, 0.0).is_infinite());
+        assert!((relative_error(110.0, 100.0) - 0.1).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,200 @@
+//! Argument parsing for the `hh` binary (no external dependency).
+
+/// Usage text printed on parse errors.
+pub const USAGE: &str = "\
+usage: hh <command> [options] [FILE]
+
+commands:
+  topk        report the k items with the largest counters
+  heavy       report items above phi*F1 with confidence labels
+  estimate    report estimates for the items given via --items
+  residual    estimate the residual tail mass F1^res(k)
+
+options:
+  -m <N>            counters to use (default 256)
+  -k <N>            k for topk/residual (default 10)
+  --phi <F>         heavy-hitter threshold fraction (default 0.01)
+  --algo <A>        spacesaving (default) or frequent
+  --items <a,b,c>   comma-separated items for `estimate`
+  --weighted        lines are `item weight` (SPACESAVINGR)
+  --json            machine-readable output
+  FILE              input path (default: stdin), one item per line";
+
+/// Which subcommand to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Command {
+    /// `topk`
+    TopK,
+    /// `heavy`
+    Heavy,
+    /// `estimate`
+    Estimate,
+    /// `residual`
+    Residual,
+}
+
+/// Which counter algorithm to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algo {
+    /// SPACESAVING (default; overestimates, best top-k behaviour).
+    SpaceSaving,
+    /// FREQUENT (underestimates; smaller per-entry state).
+    Frequent,
+}
+
+/// Parsed command-line options.
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Subcommand.
+    pub command: Command,
+    /// Counter budget `m`.
+    pub m: usize,
+    /// `k` for topk/residual.
+    pub k: usize,
+    /// φ for `heavy`.
+    pub phi: f64,
+    /// Algorithm choice.
+    pub algo: Algo,
+    /// Items for `estimate`.
+    pub items: Vec<String>,
+    /// Weighted input mode.
+    pub weighted: bool,
+    /// JSON output.
+    pub json: bool,
+    /// Input file (None = stdin).
+    pub input: Option<String>,
+}
+
+/// Parses arguments (after the program name).
+pub fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut it = args.iter().peekable();
+    let command = match it.next().map(String::as_str) {
+        Some("topk") => Command::TopK,
+        Some("heavy") => Command::Heavy,
+        Some("estimate") => Command::Estimate,
+        Some("residual") => Command::Residual,
+        Some(other) => return Err(format!("unknown command {other:?}")),
+        None => return Err("missing command".into()),
+    };
+
+    let mut opts = Options {
+        command,
+        m: 256,
+        k: 10,
+        phi: 0.01,
+        algo: Algo::SpaceSaving,
+        items: Vec::new(),
+        weighted: false,
+        json: false,
+        input: None,
+    };
+
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "-m" => opts.m = next_value(&mut it, "-m")?.parse().map_err(|e| format!("-m: {e}"))?,
+            "-k" => opts.k = next_value(&mut it, "-k")?.parse().map_err(|e| format!("-k: {e}"))?,
+            "--phi" => {
+                opts.phi = next_value(&mut it, "--phi")?
+                    .parse()
+                    .map_err(|e| format!("--phi: {e}"))?;
+                if !(0.0..1.0).contains(&opts.phi) {
+                    return Err("--phi must be in [0, 1)".into());
+                }
+            }
+            "--algo" => {
+                opts.algo = match next_value(&mut it, "--algo")?.as_str() {
+                    "spacesaving" | "space-saving" | "ss" => Algo::SpaceSaving,
+                    "frequent" | "misra-gries" | "mg" => Algo::Frequent,
+                    other => return Err(format!("unknown algorithm {other:?}")),
+                }
+            }
+            "--items" => {
+                opts.items = next_value(&mut it, "--items")?
+                    .split(',')
+                    .map(str::to_string)
+                    .filter(|s| !s.is_empty())
+                    .collect()
+            }
+            "--weighted" => opts.weighted = true,
+            "--json" => opts.json = true,
+            other if other.starts_with('-') => return Err(format!("unknown option {other:?}")),
+            path => {
+                if opts.input.is_some() {
+                    return Err("more than one input file given".into());
+                }
+                opts.input = Some(path.to_string());
+            }
+        }
+    }
+
+    if opts.m == 0 {
+        return Err("-m must be at least 1".into());
+    }
+    if opts.command == Command::Estimate && opts.items.is_empty() {
+        return Err("estimate requires --items".into());
+    }
+    if opts.command == Command::Heavy && opts.weighted {
+        return Err("heavy is not yet supported with --weighted".into());
+    }
+    Ok(opts)
+}
+
+fn next_value<'a>(
+    it: &mut std::iter::Peekable<std::slice::Iter<'a, String>>,
+    flag: &str,
+) -> Result<&'a String, String> {
+    it.next().ok_or_else(|| format!("{flag} needs a value"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(args: &[&str]) -> Result<Options, String> {
+        parse_args(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn defaults() {
+        let o = p(&["topk"]).unwrap();
+        assert_eq!(o.command, Command::TopK);
+        assert_eq!(o.m, 256);
+        assert_eq!(o.k, 10);
+        assert_eq!(o.algo, Algo::SpaceSaving);
+        assert!(!o.weighted && !o.json);
+        assert!(o.input.is_none());
+    }
+
+    #[test]
+    fn full_flags() {
+        let o = p(&[
+            "heavy", "-m", "64", "--phi", "0.05", "--algo", "frequent", "--json", "data.txt",
+        ])
+        .unwrap();
+        assert_eq!(o.command, Command::Heavy);
+        assert_eq!(o.m, 64);
+        assert_eq!(o.phi, 0.05);
+        assert_eq!(o.algo, Algo::Frequent);
+        assert!(o.json);
+        assert_eq!(o.input.as_deref(), Some("data.txt"));
+    }
+
+    #[test]
+    fn estimate_needs_items() {
+        assert!(p(&["estimate"]).is_err());
+        let o = p(&["estimate", "--items", "a,b"]).unwrap();
+        assert_eq!(o.items, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(p(&[]).is_err());
+        assert!(p(&["frobnicate"]).is_err());
+        assert!(p(&["topk", "--phi", "1.5"]).is_err());
+        assert!(p(&["topk", "-m"]).is_err());
+        assert!(p(&["topk", "--bogus"]).is_err());
+        assert!(p(&["topk", "a.txt", "b.txt"]).is_err());
+        assert!(p(&["topk", "-m", "0"]).is_err());
+        assert!(p(&["heavy", "--weighted"]).is_err());
+    }
+}

@@ -1,0 +1,344 @@
+//! `hh` — command-line heavy hitters.
+//!
+//! Reads a stream of items (one per line; with `--weighted`, lines are
+//! `item weight`) from stdin or a file and reports heavy hitters with the
+//! PODS 2009 residual guarantees.
+//!
+//! ```text
+//! hh topk  -k 10 -m 256 [--algo spacesaving|frequent] [FILE]
+//! hh heavy --phi 0.01 -m 256 [FILE]
+//! hh estimate -m 256 --items 1,2,3 [FILE]
+//! hh residual -k 10 -m 256 [FILE]
+//! hh topk --weighted -k 5 [FILE]      # lines: "<item> <weight>"
+//! ```
+//!
+//! Add `--json` for machine-readable output. Items are arbitrary
+//! whitespace-free strings.
+
+use std::io::{BufRead, BufReader, Read};
+use std::process::ExitCode;
+
+mod cli;
+
+use cli::{parse_args, Algo, Command, Options};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", cli::USAGE);
+            return ExitCode::from(2);
+        }
+    };
+
+    let reader: Box<dyn Read> = match &opts.input {
+        Some(path) => match std::fs::File::open(path) {
+            Ok(f) => Box::new(f),
+            Err(e) => {
+                eprintln!("error: cannot open {path}: {e}");
+                return ExitCode::from(1);
+            }
+        },
+        None => Box::new(std::io::stdin()),
+    };
+
+    match run(opts, BufReader::new(reader)) {
+        Ok(output) => {
+            println!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(1)
+        }
+    }
+}
+
+fn run(opts: Options, reader: impl BufRead) -> Result<String, String> {
+    if opts.weighted {
+        run_weighted(opts, reader)
+    } else {
+        run_unweighted(opts, reader)
+    }
+}
+
+fn run_unweighted(opts: Options, reader: impl BufRead) -> Result<String, String> {
+    use hh_counters::{FrequencyEstimator, Frequent, SpaceSaving};
+
+    enum Summary {
+        Frequent(Frequent<String>),
+        SpaceSaving(SpaceSaving<String>),
+    }
+    let mut summary = match opts.algo {
+        Algo::Frequent => Summary::Frequent(Frequent::new(opts.m)),
+        Algo::SpaceSaving => Summary::SpaceSaving(SpaceSaving::new(opts.m)),
+    };
+
+    for line in reader.lines() {
+        let line = line.map_err(|e| format!("read error: {e}"))?;
+        let item = line.trim();
+        if item.is_empty() {
+            continue;
+        }
+        match &mut summary {
+            Summary::Frequent(s) => s.update(item.to_string()),
+            Summary::SpaceSaving(s) => s.update(item.to_string()),
+        }
+    }
+
+    let est: &dyn FrequencyEstimator<String> = match &summary {
+        Summary::Frequent(s) => s,
+        Summary::SpaceSaving(s) => s,
+    };
+
+    match opts.command {
+        Command::TopK => {
+            let top = hh_counters::topk::top_k(est, opts.k);
+            Ok(render_counts(&top, est.stream_len(), opts.json))
+        }
+        Command::Heavy => {
+            let hits: Vec<(String, u64, &'static str)> = match &summary {
+                Summary::SpaceSaving(s) => hh_counters::spacesaving_heavy_hitters(s, opts.phi)
+                    .into_iter()
+                    .map(|h| (h.item, h.estimate, confidence_str(h.confidence)))
+                    .collect(),
+                Summary::Frequent(s) => hh_counters::frequent_heavy_hitters(s, opts.phi)
+                    .into_iter()
+                    .map(|h| (h.item, h.estimate, confidence_str(h.confidence)))
+                    .collect(),
+            };
+            Ok(render_heavy(&hits, opts.phi, est.stream_len(), opts.json))
+        }
+        Command::Estimate => {
+            let rows: Vec<(String, u64)> = opts
+                .items
+                .iter()
+                .map(|i| (i.clone(), est.estimate(i)))
+                .collect();
+            Ok(render_counts(&rows, est.stream_len(), opts.json))
+        }
+        Command::Residual => {
+            let res = hh_counters::recovery::residual_estimate(est, opts.k);
+            if opts.json {
+                Ok(format!(
+                    "{{\"k\":{},\"residual_estimate\":{},\"stream_len\":{}}}",
+                    opts.k,
+                    res,
+                    est.stream_len()
+                ))
+            } else {
+                Ok(format!(
+                    "F1^res({}) ~= {res}   (stream length {})",
+                    opts.k,
+                    est.stream_len()
+                ))
+            }
+        }
+    }
+}
+
+fn run_weighted(opts: Options, reader: impl BufRead) -> Result<String, String> {
+    use hh_counters::{SpaceSavingR, WeightedFrequencyEstimator};
+
+    let mut summary: SpaceSavingR<String> = SpaceSavingR::new(opts.m);
+    for line in reader.lines() {
+        let line = line.map_err(|e| format!("read error: {e}"))?;
+        let mut parts = line.split_whitespace();
+        let Some(item) = parts.next() else { continue };
+        let w: f64 = parts
+            .next()
+            .ok_or_else(|| format!("weighted mode needs 'item weight' lines, got {line:?}"))?
+            .parse()
+            .map_err(|e| format!("bad weight in {line:?}: {e}"))?;
+        if w < 0.0 || !w.is_finite() {
+            return Err(format!("negative or non-finite weight in {line:?}"));
+        }
+        summary.update_weighted(item.to_string(), w);
+    }
+
+    match opts.command {
+        Command::TopK => {
+            let mut top = summary.entries_weighted();
+            top.truncate(opts.k);
+            if opts.json {
+                let rows: Vec<String> = top
+                    .iter()
+                    .map(|(i, w)| format!("{{\"item\":{},\"weight\":{w}}}", json_str(i)))
+                    .collect();
+                Ok(format!("[{}]", rows.join(",")))
+            } else {
+                let mut out = format!(
+                    "{:<24} {:>14}   (total weight {:.3})\n",
+                    "item",
+                    "weight",
+                    summary.total_weight()
+                );
+                for (item, w) in top {
+                    out.push_str(&format!("{item:<24} {w:>14.3}\n"));
+                }
+                Ok(out.trim_end().to_string())
+            }
+        }
+        Command::Estimate => {
+            let rows: Vec<String> = opts
+                .items
+                .iter()
+                .map(|i| {
+                    if opts.json {
+                        format!(
+                            "{{\"item\":{},\"weight\":{}}}",
+                            json_str(i),
+                            summary.estimate_weighted(i)
+                        )
+                    } else {
+                        format!("{i}\t{:.3}", summary.estimate_weighted(i))
+                    }
+                })
+                .collect();
+            if opts.json {
+                Ok(format!("[{}]", rows.join(",")))
+            } else {
+                Ok(rows.join("\n"))
+            }
+        }
+        Command::Residual => {
+            let res = hh_counters::recovery::residual_estimate_weighted(&summary, opts.k);
+            Ok(format!("F1^res({}) ~= {res:.3}", opts.k))
+        }
+        Command::Heavy => Err("heavy is not yet supported in --weighted mode".into()),
+    }
+}
+
+fn confidence_str(c: hh_counters::Confidence) -> &'static str {
+    match c {
+        hh_counters::Confidence::Guaranteed => "guaranteed",
+        hh_counters::Confidence::Candidate => "candidate",
+    }
+}
+
+fn json_str(s: &str) -> String {
+    serde_json::to_string(s).expect("string serializes")
+}
+
+fn render_counts(rows: &[(String, u64)], stream_len: u64, json: bool) -> String {
+    if json {
+        let cells: Vec<String> = rows
+            .iter()
+            .map(|(i, c)| format!("{{\"item\":{},\"count\":{c}}}", json_str(i)))
+            .collect();
+        format!("[{}]", cells.join(","))
+    } else {
+        let mut out = format!("{:<24} {:>12}   (stream length {stream_len})\n", "item", "count");
+        for (item, c) in rows {
+            out.push_str(&format!("{item:<24} {c:>12}\n"));
+        }
+        out.trim_end().to_string()
+    }
+}
+
+fn render_heavy(
+    rows: &[(String, u64, &'static str)],
+    phi: f64,
+    stream_len: u64,
+    json: bool,
+) -> String {
+    if json {
+        let cells: Vec<String> = rows
+            .iter()
+            .map(|(i, c, conf)| {
+                format!(
+                    "{{\"item\":{},\"count\":{c},\"confidence\":\"{conf}\"}}",
+                    json_str(i)
+                )
+            })
+            .collect();
+        format!("[{}]", cells.join(","))
+    } else {
+        let mut out = format!(
+            "items above phi={phi} of stream (threshold {:.1}):\n",
+            phi * stream_len as f64
+        );
+        for (item, c, conf) in rows {
+            out.push_str(&format!("{item:<24} {c:>12}  {conf}\n"));
+        }
+        out.trim_end().to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cli::parse_args;
+
+    fn opts(args: &[&str]) -> Options {
+        let v: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        parse_args(&v).expect("valid args")
+    }
+
+    #[test]
+    fn topk_plain_text() {
+        let o = opts(&["topk", "-k", "2", "-m", "8"]);
+        let input = "a\nb\na\nc\na\nb\n";
+        let out = run(o, input.as_bytes()).unwrap();
+        assert!(out.contains('a'));
+        let lines: Vec<&str> = out.lines().collect();
+        assert!(lines[1].starts_with('a'), "most frequent first: {out}");
+        assert!(lines[2].starts_with('b'));
+    }
+
+    #[test]
+    fn topk_json() {
+        let o = opts(&["topk", "-k", "1", "-m", "8", "--json"]);
+        let out = run(o, "x\nx\ny\n".as_bytes()).unwrap();
+        let parsed: serde_json::Value = serde_json::from_str(&out).expect("valid json");
+        assert_eq!(parsed[0]["item"], "x");
+        assert_eq!(parsed[0]["count"], 2);
+    }
+
+    #[test]
+    fn estimate_specific_items() {
+        let o = opts(&["estimate", "-m", "8", "--items", "a,zzz"]);
+        let out = run(o, "a\na\nb\n".as_bytes()).unwrap();
+        assert!(out.contains("a"));
+        assert!(out.contains("zzz"));
+    }
+
+    #[test]
+    fn heavy_hitters_with_confidence() {
+        let o = opts(&["heavy", "--phi", "0.4", "-m", "8"]);
+        let out = run(o, "a\na\na\nb\n".as_bytes()).unwrap();
+        assert!(out.contains("a"));
+        assert!(out.contains("guaranteed"));
+    }
+
+    #[test]
+    fn weighted_topk() {
+        let o = opts(&["topk", "--weighted", "-k", "1", "-m", "8"]);
+        let out = run(o, "a 1.5\nb 10.0\na 2.0\n".as_bytes()).unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert!(lines[1].starts_with('b'), "{out}");
+    }
+
+    #[test]
+    fn weighted_rejects_bad_lines() {
+        let o = opts(&["topk", "--weighted", "-m", "8"]);
+        assert!(run(o, "a notanumber\n".as_bytes()).is_err());
+        let o2 = opts(&["topk", "--weighted", "-m", "8"]);
+        assert!(run(o2, "a -3\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn residual_output() {
+        let o = opts(&["residual", "-k", "1", "-m", "8"]);
+        let out = run(o, "a\na\na\nb\nc\n".as_bytes()).unwrap();
+        assert!(out.contains("F1^res(1) ~= 2"), "{out}");
+    }
+
+    #[test]
+    fn frequent_algo_selectable() {
+        let o = opts(&["topk", "--algo", "frequent", "-k", "1", "-m", "4"]);
+        let out = run(o, "q\nq\nq\nr\n".as_bytes()).unwrap();
+        assert!(out.lines().nth(1).unwrap().starts_with('q'));
+    }
+}

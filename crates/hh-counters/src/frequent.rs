@@ -1,0 +1,285 @@
+//! FREQUENT — the Misra–Gries algorithm (Algorithm 1 / Figure 1 of the
+//! paper), with O(1) amortized updates.
+//!
+//! Semantics follow the paper's pseudocode exactly: on an unstored item with
+//! a full table, *every* stored counter is decremented by one and zeroed
+//! counters are dropped (the arriving item is not stored). Estimates
+//! *underestimate*: `f_i − d ≤ c_i ≤ f_i`, where `d` is the number of
+//! decrement rounds.
+//!
+//! The all-counter decrement is implemented with an *offset*: raw counts
+//! live in a [`StreamSummary`] bucket list and the logical value of an entry
+//! is `raw − offset`. A decrement round is `offset += 1` followed by popping
+//! head buckets whose raw count fell to the offset — amortized O(1) because
+//! each pop is paid for by the insertion that created the entry.
+//!
+//! Guarantees (proved in the paper):
+//! * heavy-hitter guarantee with `A = 1` (classical),
+//! * k-tail guarantee with `A = B = 1` for every `k < m` (Appendix B),
+//! * underestimation: suitable for Section 4.2 m-sparse recovery as-is.
+
+use std::hash::Hash;
+
+use crate::stream_summary::StreamSummary;
+use crate::traits::{Bias, FrequencyEstimator, TailConstants};
+
+/// The FREQUENT (Misra–Gries) summary with `m` counters.
+#[derive(Debug, Clone)]
+pub struct Frequent<I: Eq + Hash + Clone> {
+    summary: StreamSummary<I>,
+    m: usize,
+    /// Number of decrement rounds so far (`d` in Appendix B); logical value
+    /// of an entry is `raw − offset`.
+    offset: u64,
+    stream_len: u64,
+}
+
+impl<I: Eq + Hash + Clone> Frequent<I> {
+    /// Creates a summary with `m ≥ 1` counters.
+    pub fn new(m: usize) -> Self {
+        assert!(m >= 1, "need at least one counter");
+        Frequent {
+            summary: StreamSummary::with_capacity(m),
+            m,
+            offset: 0,
+            stream_len: 0,
+        }
+    }
+
+    /// Number of decrement rounds performed so far. Every estimate `c_i`
+    /// satisfies `f_i − decrements ≤ c_i ≤ f_i`.
+    pub fn decrements(&self) -> u64 {
+        self.offset
+    }
+
+    /// A guaranteed upper bound on any item's true frequency:
+    /// `estimate + decrements`.
+    pub fn upper_estimate(&self, item: &I) -> u64 {
+        self.estimate(item) + self.offset
+    }
+
+    /// Creates an empty shell carrying previously consumed stream state
+    /// (snapshot rehydration; see [`crate::snapshot`]).
+    pub(crate) fn restore(m: usize, stream_len: u64, decrements: u64) -> Self {
+        let mut s = Self::new(m);
+        s.stream_len = stream_len;
+        s.offset = decrements;
+        s
+    }
+
+    /// Re-inserts a snapshot entry with the given logical value (snapshot
+    /// rehydration).
+    pub(crate) fn restore_entry(&mut self, item: I, value: u64) {
+        assert!(self.summary.len() < self.m, "snapshot exceeds capacity");
+        assert!(value > 0);
+        self.summary.insert(item, self.offset + value, self.offset);
+    }
+
+    fn logical(&self, raw: u64) -> u64 {
+        debug_assert!(raw > self.offset, "stored entries have positive value");
+        raw - self.offset
+    }
+
+    #[doc(hidden)]
+    pub fn check_invariants(&self) {
+        self.summary.check_invariants();
+        assert!(self.summary.len() <= self.m);
+        if let Some(min) = self.summary.min_count() {
+            assert!(min > self.offset, "all stored values positive");
+        }
+    }
+}
+
+impl<I: Eq + Hash + Clone> FrequencyEstimator<I> for Frequent<I> {
+    fn name(&self) -> &'static str {
+        "Frequent"
+    }
+
+    fn capacity(&self) -> usize {
+        self.m
+    }
+
+    fn update_by(&mut self, item: I, count: u64) {
+        if count == 0 {
+            return;
+        }
+        self.stream_len += count;
+        let mut remaining = count;
+        loop {
+            if self.summary.increment(&item, remaining) {
+                return;
+            }
+            if self.summary.len() < self.m {
+                self.summary.insert(item, self.offset + remaining, self.offset);
+                return;
+            }
+            // Table full and item unstored: spend decrement rounds. Each
+            // round consumes one occurrence of `item` and decrements every
+            // stored counter; we batch t rounds at once where t is capped by
+            // the smallest stored value (after which entries die and free a
+            // slot) and by the occurrences we still hold.
+            let min_val = self
+                .summary
+                .min_count()
+                .expect("table is full, hence non-empty")
+                - self.offset;
+            let t = remaining.min(min_val);
+            self.offset += t;
+            remaining -= t;
+            self.summary.pop_le(self.offset);
+            if remaining == 0 {
+                return;
+            }
+            // At least one entry died (t == min_val), so there is room now.
+            debug_assert!(self.summary.len() < self.m);
+        }
+    }
+
+    fn estimate(&self, item: &I) -> u64 {
+        self.summary
+            .count(item)
+            .map(|raw| self.logical(raw))
+            .unwrap_or(0)
+    }
+
+    fn stored_len(&self) -> usize {
+        self.summary.len()
+    }
+
+    fn entries(&self) -> Vec<(I, u64)> {
+        self.summary
+            .snapshot_desc()
+            .into_iter()
+            .map(|(i, raw, _)| (i, self.logical(raw)))
+            .collect()
+    }
+
+    fn stream_len(&self) -> u64 {
+        self.stream_len
+    }
+
+    fn bias(&self) -> Bias {
+        Bias::Under
+    }
+
+    fn tail_constants(&self) -> Option<TailConstants> {
+        Some(TailConstants::ONE_ONE)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(m: usize, stream: &[u64]) -> Frequent<u64> {
+        let mut f = Frequent::new(m);
+        for &x in stream {
+            f.update(x);
+        }
+        f.check_invariants();
+        f
+    }
+
+    #[test]
+    fn fills_table_before_decrementing() {
+        let f = run(3, &[1, 2, 3]);
+        assert_eq!(f.estimate(&1), 1);
+        assert_eq!(f.estimate(&2), 1);
+        assert_eq!(f.estimate(&3), 1);
+        assert_eq!(f.decrements(), 0);
+    }
+
+    #[test]
+    fn decrement_round_drops_zeros_and_skips_new_item() {
+        // table m=2 holds {1:1, 2:1}; arrival of 3 decrements both to zero
+        // and 3 is NOT stored (paper's Algorithm 1).
+        let f = run(2, &[1, 2, 3]);
+        assert_eq!(f.stored_len(), 0);
+        assert_eq!(f.estimate(&1), 0);
+        assert_eq!(f.estimate(&3), 0);
+        assert_eq!(f.decrements(), 1);
+    }
+
+    #[test]
+    fn majority_element_survives() {
+        // classic: with m=1, a strict majority item ends with positive count
+        let stream = [7u64, 3, 7, 5, 7, 7, 2, 7];
+        let f = run(1, &stream);
+        assert_eq!(f.entries()[0].0, 7);
+        assert!(f.estimate(&7) > 0);
+    }
+
+    #[test]
+    fn underestimates_always() {
+        let stream = [1u64, 1, 1, 2, 2, 3, 4, 5, 1, 2, 6, 7];
+        let f = run(3, &stream);
+        let exact = |i: u64| stream.iter().filter(|&&x| x == i).count() as u64;
+        for i in 1..=7u64 {
+            assert!(f.estimate(&i) <= exact(i), "item {i}");
+            assert!(f.upper_estimate(&i) >= exact(i), "item {i} upper");
+        }
+    }
+
+    #[test]
+    fn heavy_hitter_guarantee_small() {
+        // error <= F1 / m for every item (classical guarantee, A=1... the
+        // paper's Definition 1 uses floor(A*F1/m))
+        let stream: Vec<u64> = (0..200).map(|i| (i % 13) + 1).collect();
+        let m = 5;
+        let f = run(m, &stream);
+        let exact = |i: u64| stream.iter().filter(|&&x| x == i).count() as u64;
+        let bound = stream.len() as u64 / m as u64;
+        for i in 1..=13u64 {
+            let err = exact(i).abs_diff(f.estimate(&i));
+            assert!(err <= bound, "item {i}: err {err} > bound {bound}");
+        }
+    }
+
+    #[test]
+    fn update_by_equals_repeated_update() {
+        let updates = [(1u64, 3u64), (2, 5), (3, 1), (1, 2), (4, 4), (5, 6), (1, 1)];
+        let mut bulk = Frequent::new(3);
+        let mut unit = Frequent::new(3);
+        for &(item, c) in &updates {
+            bulk.update_by(item, c);
+            for _ in 0..c {
+                unit.update(item);
+            }
+        }
+        bulk.check_invariants();
+        unit.check_invariants();
+        let mut be = bulk.entries();
+        let mut ue = unit.entries();
+        be.sort_unstable();
+        ue.sort_unstable();
+        assert_eq!(be, ue);
+        assert_eq!(bulk.decrements(), unit.decrements());
+    }
+
+    #[test]
+    fn update_by_zero_is_noop() {
+        let mut f = Frequent::new(2);
+        f.update_by(1, 0);
+        assert_eq!(f.stored_len(), 0);
+        assert_eq!(f.stream_len(), 0);
+    }
+
+    #[test]
+    fn stream_len_tracks_f1() {
+        let f = run(2, &[1, 1, 2, 3, 4]);
+        assert_eq!(f.stream_len(), 5);
+    }
+
+    #[test]
+    fn large_bulk_update_cycles_through_decrements() {
+        let mut f = Frequent::new(2);
+        f.update_by(1, 10);
+        f.update_by(2, 10);
+        // 3 arrives 25 times: 10 rounds kill 1 and 2, 15 remain stored
+        f.update_by(3, 25);
+        f.check_invariants();
+        assert_eq!(f.estimate(&3), 15);
+        assert_eq!(f.estimate(&1), 0);
+        assert_eq!(f.decrements(), 10);
+    }
+}

@@ -1,0 +1,235 @@
+//! LOSSYCOUNTING — Manku & Motwani's deterministic counter algorithm,
+//! included as the third counter comparator from Table 1.
+//!
+//! The stream is conceptually divided into windows of width `w = ⌈1/ε⌉`.
+//! Each stored entry carries `(count, delta)` where `delta` is the maximum
+//! number of occurrences it may have missed before being inserted. At every
+//! window boundary, entries with `count + delta ≤ current_window` are
+//! pruned. Estimates underestimate with `f_i − εN ≤ c_i ≤ f_i`.
+//!
+//! Unlike FREQUENT/SPACESAVING its space is *not* fixed: the table grows
+//! and shrinks, using `O(1/ε · log(εN))` entries in the worst case and
+//! `O(1/ε)` on random-order streams (\[24\], discussed in Section 1.1 of the
+//! paper — our `exp_lossy_adversarial` experiment reproduces exactly this
+//! gap). [`LossyCounting::max_table_len`] records the high-water mark.
+
+use std::hash::Hash;
+
+use crate::fasthash::FxHashMap;
+use crate::traits::{Bias, FrequencyEstimator, TailConstants};
+
+/// The LOSSYCOUNTING summary with error parameter `ε`.
+#[derive(Debug, Clone)]
+pub struct LossyCounting<I: Eq + Hash + Clone> {
+    /// item -> (count, delta)
+    table: FxHashMap<I, (u64, u64)>,
+    /// Window width `w = ⌈1/ε⌉`.
+    width: u64,
+    /// Current window id `b = ⌈N/w⌉`.
+    window: u64,
+    stream_len: u64,
+    max_table: usize,
+}
+
+impl<I: Eq + Hash + Clone> LossyCounting<I> {
+    /// Creates a summary with error parameter `0 < epsilon ≤ 1`.
+    pub fn new(epsilon: f64) -> Self {
+        assert!(epsilon > 0.0 && epsilon <= 1.0, "epsilon must be in (0, 1]");
+        let width = (1.0 / epsilon).ceil() as u64;
+        LossyCounting {
+            table: FxHashMap::default(),
+            width,
+            window: 1,
+            stream_len: 0,
+            max_table: 0,
+        }
+    }
+
+    /// Creates a summary whose window width is exactly `width` (i.e.
+    /// `ε = 1/width`).
+    pub fn with_width(width: u64) -> Self {
+        assert!(width >= 1);
+        LossyCounting {
+            table: FxHashMap::default(),
+            width,
+            window: 1,
+            stream_len: 0,
+            max_table: 0,
+        }
+    }
+
+    /// The error parameter `ε = 1/w`.
+    pub fn epsilon(&self) -> f64 {
+        1.0 / self.width as f64
+    }
+
+    /// High-water mark of the table size — the actual space the algorithm
+    /// needed on this stream (the quantity the adversarial-ordering
+    /// experiment measures).
+    pub fn max_table_len(&self) -> usize {
+        self.max_table
+    }
+
+    fn prune(&mut self) {
+        let window = self.window;
+        self.table.retain(|_, &mut (count, delta)| count + delta > window);
+    }
+
+    #[doc(hidden)]
+    pub fn check_invariants(&self) {
+        assert!(self.table.len() <= self.max_table);
+        for (&(count, delta), _) in self.table.values().zip(0..) {
+            assert!(count >= 1);
+            assert!(delta < self.window, "delta is a past window id");
+        }
+    }
+}
+
+impl<I: Eq + Hash + Clone> FrequencyEstimator<I> for LossyCounting<I> {
+    fn name(&self) -> &'static str {
+        "LossyCounting"
+    }
+
+    /// LOSSYCOUNTING has no fixed counter budget; by convention we report
+    /// the high-water table size (so space comparisons in experiments use
+    /// the space it actually consumed).
+    fn capacity(&self) -> usize {
+        self.max_table
+    }
+
+    fn update_by(&mut self, item: I, count: u64) {
+        // Window boundaries fall between unit arrivals, so bulk updates are
+        // processed as repeated unit updates (O(count)); LOSSYCOUNTING is a
+        // comparator, not a merge target, so this path is never hot.
+        for _ in 0..count {
+            self.update(item.clone());
+        }
+    }
+
+    fn update(&mut self, item: I) {
+        self.stream_len += 1;
+        match self.table.get_mut(&item) {
+            Some((count, _)) => *count += 1,
+            None => {
+                self.table.insert(item, (1, self.window - 1));
+            }
+        }
+        self.max_table = self.max_table.max(self.table.len());
+        if self.stream_len.is_multiple_of(self.width) {
+            self.prune();
+            self.window += 1;
+        }
+    }
+
+    fn estimate(&self, item: &I) -> u64 {
+        self.table.get(item).map(|&(c, _)| c).unwrap_or(0)
+    }
+
+    fn stored_len(&self) -> usize {
+        self.table.len()
+    }
+
+    fn entries(&self) -> Vec<(I, u64)> {
+        let mut v: Vec<(I, u64)> = self
+            .table
+            .iter()
+            .map(|(i, &(c, _))| (i.clone(), c))
+            .collect();
+        v.sort_unstable_by_key(|e| std::cmp::Reverse(e.1));
+        v
+    }
+
+    fn stream_len(&self) -> u64 {
+        self.stream_len
+    }
+
+    fn bias(&self) -> Bias {
+        Bias::Under
+    }
+
+    /// LOSSYCOUNTING has an `εF1` guarantee but no residual tail guarantee
+    /// (Table 1); `None` here is what excludes it from the tail experiments.
+    fn tail_constants(&self) -> Option<TailConstants> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(eps: f64, stream: &[u64]) -> LossyCounting<u64> {
+        let mut lc = LossyCounting::new(eps);
+        for &x in stream {
+            lc.update(x);
+        }
+        lc
+    }
+
+    #[test]
+    fn exact_when_epsilon_large_window() {
+        // width >= stream length: nothing is ever pruned
+        let stream = [1u64, 2, 1, 3, 1];
+        let mut lc = LossyCounting::with_width(100);
+        for &x in &stream {
+            lc.update(x);
+        }
+        assert_eq!(lc.estimate(&1), 3);
+        assert_eq!(lc.estimate(&2), 1);
+        assert_eq!(lc.estimate(&3), 1);
+    }
+
+    #[test]
+    fn error_within_epsilon_n() {
+        let stream: Vec<u64> = (0..10_000).map(|i| (i % 97) + 1).collect();
+        let eps = 0.01;
+        let lc = run(eps, &stream);
+        let n = stream.len() as u64;
+        let exact = |i: u64| stream.iter().filter(|&&x| x == i).count() as u64;
+        for i in 1..=97u64 {
+            let e = lc.estimate(&i);
+            assert!(e <= exact(i), "underestimates");
+            assert!(
+                exact(i) - e <= (eps * n as f64).ceil() as u64,
+                "item {i}: {e} vs {}",
+                exact(i)
+            );
+        }
+    }
+
+    #[test]
+    fn prunes_infrequent_items() {
+        // 1000 distinct singletons with eps=0.1 (w=10): table stays small
+        let stream: Vec<u64> = (0..1000).collect();
+        let lc = run(0.1, &stream);
+        assert!(lc.stored_len() <= 10 + 1, "got {}", lc.stored_len());
+    }
+
+    #[test]
+    fn max_table_tracks_high_water() {
+        let stream: Vec<u64> = (0..100).collect();
+        let lc = run(0.5, &stream); // w = 2
+        assert!(lc.max_table_len() >= lc.stored_len());
+        assert!(lc.max_table_len() <= 3);
+    }
+
+    #[test]
+    fn update_by_matches_unit_updates() {
+        let mut a = LossyCounting::new(0.25);
+        let mut b = LossyCounting::new(0.25);
+        for (item, c) in [(1u64, 3u64), (2, 2), (1, 1), (3, 5)] {
+            a.update_by(item, c);
+            for _ in 0..c {
+                b.update(item);
+            }
+        }
+        assert_eq!(a.entries(), b.entries());
+        assert_eq!(a.stream_len(), b.stream_len());
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon")]
+    fn rejects_bad_epsilon() {
+        let _ = LossyCounting::<u64>::new(0.0);
+    }
+}

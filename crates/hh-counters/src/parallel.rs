@@ -1,0 +1,155 @@
+//! Parallel (sharded) summarization, justified by Theorem 11.
+//!
+//! Because summaries merge with only a constant-factor loss in the tail
+//! guarantee (Section 6.2), a stream can be partitioned across worker
+//! threads, each running its own counter summary, and the per-shard
+//! summaries combined at the end. The merged result carries the
+//! `(3A, A+B)` k-tail guarantee over the *whole* stream regardless of how
+//! the partition interleaved it — the guarantee is partition-oblivious.
+//!
+//! Plain `std::thread::scope` is all that is needed: shards share nothing
+//! while running and merge once at the end.
+
+use std::hash::Hash;
+
+use crate::merge::merge_k_sparse;
+use crate::traits::FrequencyEstimator;
+
+/// Summarizes `chunks` in parallel (one thread per chunk) with summaries
+/// built by `make_shard`, then merges the per-chunk summaries into a fresh
+/// summary from `make_target` using the Theorem 11 k-sparse replay.
+///
+/// `make_shard` must produce identically-configured summaries; the merged
+/// result then has a `(3A, A+B)` k-tail guarantee when the shard algorithm
+/// has `(A, B)`.
+pub fn parallel_summarize<I, A, T>(
+    chunks: &[Vec<I>],
+    k: usize,
+    make_shard: impl Fn() -> A + Sync,
+    make_target: impl FnOnce() -> T,
+) -> T
+where
+    I: Eq + Hash + Clone + Send + Sync,
+    A: FrequencyEstimator<I> + Send,
+    T: FrequencyEstimator<I>,
+{
+    let summaries: Vec<A> = std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .iter()
+            .map(|chunk| {
+                let make_shard = &make_shard;
+                scope.spawn(move || {
+                    let mut shard = make_shard();
+                    for item in chunk {
+                        shard.update(item.clone());
+                    }
+                    shard
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("shard thread panicked"))
+            .collect()
+    });
+    merge_k_sparse(&summaries, k, make_target)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space_saving::SpaceSaving;
+    use crate::traits::TailConstants;
+
+    fn skewed_stream() -> Vec<u64> {
+        // item i in 1..=60 occurs 6000/i times
+        let mut s = Vec::new();
+        for i in 1..=60u64 {
+            s.extend(std::iter::repeat_n(i, (6000 / i) as usize));
+        }
+        // deterministic interleave
+        let mut out = Vec::with_capacity(s.len());
+        let mut lo = 0usize;
+        let mut hi = s.len();
+        while lo < hi {
+            hi -= 1;
+            out.push(s[hi]);
+            if lo < hi {
+                out.push(s[lo]);
+                lo += 1;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn parallel_matches_theorem_11_bound() {
+        let stream = skewed_stream();
+        let m = 64;
+        let k = 6;
+        let chunks: Vec<Vec<u64>> = stream.chunks(stream.len() / 7 + 1).map(|c| c.to_vec()).collect();
+        let merged = parallel_summarize(
+            &chunks,
+            k,
+            || SpaceSaving::new(m),
+            || SpaceSaving::new(m),
+        );
+
+        // ground truth
+        let mut freqs: Vec<u64> = (1..=60u64).map(|i| 6000 / i).collect();
+        freqs.sort_unstable_by(|a, b| b.cmp(a));
+        let res: u64 = freqs.iter().skip(k).sum();
+        let bound = TailConstants::ONE_ONE
+            .merged()
+            .bound(m, k, res)
+            .expect("m > 2k");
+        for i in 1..=60u64 {
+            let err = (6000 / i).abs_diff(merged.estimate(&i));
+            assert!(err as f64 <= bound + 1e-9, "item {i}: {err} > {bound}");
+        }
+    }
+
+    #[test]
+    fn single_chunk_degenerates_to_plain_merge() {
+        let stream: Vec<u64> = (0..500).map(|i| i % 23).collect();
+        let merged = parallel_summarize(
+            std::slice::from_ref(&stream),
+            4,
+            || SpaceSaving::new(32),
+            || SpaceSaving::new(32),
+        );
+        assert!(merged.stream_len() > 0);
+        assert!(merged.stored_len() <= 32);
+    }
+
+    #[test]
+    fn empty_chunks_are_fine() {
+        let merged = parallel_summarize(
+            &[Vec::<u64>::new(), Vec::new()],
+            2,
+            || SpaceSaving::new(8),
+            || SpaceSaving::new(8),
+        );
+        assert_eq!(merged.stored_len(), 0);
+    }
+
+    #[test]
+    fn many_shards_preserve_global_heavy_item() {
+        // item 999 is heavy in every shard
+        let chunks: Vec<Vec<u64>> = (0..8u64)
+            .map(|j| {
+                let mut c = vec![999u64; 300];
+                c.extend((0..200).map(|i| j * 1000 + i % 40));
+                c
+            })
+            .collect();
+        let merged = parallel_summarize(
+            &chunks,
+            4,
+            || SpaceSaving::new(32),
+            || SpaceSaving::new(32),
+        );
+        assert_eq!(merged.entries()[0].0, 999);
+        assert!(merged.estimate(&999) >= 2000);
+    }
+}

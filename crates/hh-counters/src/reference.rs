@@ -1,0 +1,260 @@
+//! Direct transliterations of the Figure 1 pseudocode.
+//!
+//! These executors follow Algorithm 1 (FREQUENT) and Algorithm 2
+//! (SPACESAVING) line by line with no data-structure cleverness: `O(m)` per
+//! update for FREQUENT's decrement, `O(m)` minimum scans for SPACESAVING.
+//! They exist so that the optimized implementations can be *conformance
+//! tested*: on any stream, [`crate::Frequent`] must end in exactly the same
+//! state as [`ReferenceFrequent`], and [`crate::SpaceSaving`] the same as
+//! [`ReferenceSpaceSaving`].
+//!
+//! Tie-breaking: the paper (proof of Theorem 1) pins SPACESAVING's choice
+//! among equal minimal counters; our implementations use the equivalent
+//! *least-recently-updated* rule, which both the bucket list (FIFO within a
+//! bucket) and this reference (explicit update-sequence stamps) realize
+//! identically.
+
+use std::collections::BTreeMap;
+use std::hash::Hash;
+
+use crate::traits::{Bias, FrequencyEstimator, TailConstants};
+
+/// Algorithm 1 of the paper, executed naively.
+#[derive(Debug, Clone)]
+pub struct ReferenceFrequent<I: Ord + Clone> {
+    t: BTreeMap<I, u64>,
+    m: usize,
+    stream_len: u64,
+    decrements: u64,
+}
+
+impl<I: Ord + Clone> ReferenceFrequent<I> {
+    /// Creates a reference executor with `m` counters.
+    pub fn new(m: usize) -> Self {
+        assert!(m >= 1);
+        ReferenceFrequent { t: BTreeMap::new(), m, stream_len: 0, decrements: 0 }
+    }
+
+    /// Number of decrement rounds performed.
+    pub fn decrements(&self) -> u64 {
+        self.decrements
+    }
+
+    /// The final state as a sorted `(item, counter)` map.
+    pub fn state(&self) -> Vec<(I, u64)> {
+        self.t.iter().map(|(i, &c)| (i.clone(), c)).collect()
+    }
+}
+
+impl<I: Ord + Clone + Eq + Hash> FrequencyEstimator<I> for ReferenceFrequent<I> {
+    fn name(&self) -> &'static str {
+        "Frequent(reference)"
+    }
+
+    fn capacity(&self) -> usize {
+        self.m
+    }
+
+    fn update(&mut self, item: I) {
+        self.stream_len += 1;
+        if let Some(c) = self.t.get_mut(&item) {
+            *c += 1;
+        } else if self.t.len() < self.m {
+            self.t.insert(item, 1);
+        } else {
+            // forall j in T: c_j -= 1; drop zeros. The arriving item is not
+            // stored (Algorithm 1).
+            self.decrements += 1;
+            for c in self.t.values_mut() {
+                *c -= 1;
+            }
+            self.t.retain(|_, &mut c| c > 0);
+        }
+    }
+
+    fn update_by(&mut self, item: I, count: u64) {
+        for _ in 0..count {
+            self.update(item.clone());
+        }
+    }
+
+    fn estimate(&self, item: &I) -> u64 {
+        self.t.get(item).copied().unwrap_or(0)
+    }
+
+    fn stored_len(&self) -> usize {
+        self.t.len()
+    }
+
+    fn entries(&self) -> Vec<(I, u64)> {
+        let mut v = self.state();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        v
+    }
+
+    fn stream_len(&self) -> u64 {
+        self.stream_len
+    }
+
+    fn bias(&self) -> Bias {
+        Bias::Under
+    }
+
+    fn tail_constants(&self) -> Option<TailConstants> {
+        Some(TailConstants::ONE_ONE)
+    }
+}
+
+/// Algorithm 2 of the paper, executed naively with explicit
+/// least-recently-updated tie-breaking.
+#[derive(Debug, Clone)]
+pub struct ReferenceSpaceSaving<I: Ord + Clone> {
+    /// item -> (count, sequence number of the last count change)
+    t: BTreeMap<I, (u64, u64)>,
+    m: usize,
+    seq: u64,
+    stream_len: u64,
+}
+
+impl<I: Ord + Clone> ReferenceSpaceSaving<I> {
+    /// Creates a reference executor with `m` counters.
+    pub fn new(m: usize) -> Self {
+        assert!(m >= 1);
+        ReferenceSpaceSaving { t: BTreeMap::new(), m, seq: 0, stream_len: 0 }
+    }
+
+    /// The final state as a sorted `(item, counter)` map.
+    pub fn state(&self) -> Vec<(I, u64)> {
+        self.t.iter().map(|(i, &(c, _))| (i.clone(), c)).collect()
+    }
+}
+
+impl<I: Ord + Clone + Eq + Hash> FrequencyEstimator<I> for ReferenceSpaceSaving<I> {
+    fn name(&self) -> &'static str {
+        "SpaceSaving(reference)"
+    }
+
+    fn capacity(&self) -> usize {
+        self.m
+    }
+
+    fn update(&mut self, item: I) {
+        self.stream_len += 1;
+        self.seq += 1;
+        let seq = self.seq;
+        if let Some((c, s)) = self.t.get_mut(&item) {
+            *c += 1;
+            *s = seq;
+        } else if self.t.len() < self.m {
+            self.t.insert(item, (1, seq));
+        } else {
+            // j <- argmin_j c_j, breaking ties towards the least recently
+            // updated entry; replace j by the new item with count c_j + 1.
+            let (j, min_count) = self
+                .t
+                .iter()
+                .min_by_key(|&(_, &(c, s))| (c, s))
+                .map(|(j, &(c, _))| (j.clone(), c))
+                .expect("table is full, hence non-empty");
+            self.t.remove(&j);
+            self.t.insert(item, (min_count + 1, seq));
+        }
+    }
+
+    fn update_by(&mut self, item: I, count: u64) {
+        for _ in 0..count {
+            self.update(item.clone());
+        }
+    }
+
+    fn estimate(&self, item: &I) -> u64 {
+        self.t.get(item).map(|&(c, _)| c).unwrap_or(0)
+    }
+
+    fn stored_len(&self) -> usize {
+        self.t.len()
+    }
+
+    fn entries(&self) -> Vec<(I, u64)> {
+        let mut v = self.state();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        v
+    }
+
+    fn stream_len(&self) -> u64 {
+        self.stream_len
+    }
+
+    fn bias(&self) -> Bias {
+        Bias::Over
+    }
+
+    fn tail_constants(&self) -> Option<TailConstants> {
+        Some(TailConstants::ONE_ONE)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frequent::Frequent;
+    use crate::space_saving::SpaceSaving;
+
+    fn frequent_states_match(m: usize, stream: &[u64]) {
+        let mut fast = Frequent::new(m);
+        let mut slow = ReferenceFrequent::new(m);
+        for &x in stream {
+            fast.update(x);
+            slow.update(x);
+            let mut fs = fast.entries();
+            fs.sort_unstable();
+            assert_eq!(fs, slow.state(), "after prefix ending in {x}");
+        }
+        assert_eq!(fast.decrements(), slow.decrements());
+    }
+
+    fn spacesaving_states_match(m: usize, stream: &[u64]) {
+        let mut fast = SpaceSaving::new(m);
+        let mut slow = ReferenceSpaceSaving::new(m);
+        for &x in stream {
+            fast.update(x);
+            slow.update(x);
+            let mut fs: Vec<(u64, u64)> = fast.entries();
+            fs.sort_unstable();
+            assert_eq!(fs, slow.state(), "after prefix ending in {x}");
+        }
+    }
+
+    #[test]
+    fn frequent_conformance_on_mixed_stream() {
+        let stream: Vec<u64> = (0..300).map(|i| (i * i + i / 3) % 11 + 1).collect();
+        for m in [1, 2, 3, 5, 8] {
+            frequent_states_match(m, &stream);
+        }
+    }
+
+    #[test]
+    fn spacesaving_conformance_on_mixed_stream() {
+        let stream: Vec<u64> = (0..300).map(|i| (i * 7 + i * i / 5) % 13 + 1).collect();
+        for m in [1, 2, 3, 5, 8] {
+            spacesaving_states_match(m, &stream);
+        }
+    }
+
+    #[test]
+    fn spacesaving_conformance_with_many_ties() {
+        // Round-robin keeps everything tied — maximal tie-break pressure.
+        let stream: Vec<u64> = (0..200).map(|i| i % 10 + 1).collect();
+        for m in [2, 4, 7] {
+            spacesaving_states_match(m, &stream);
+        }
+    }
+
+    #[test]
+    fn frequent_conformance_with_many_ties() {
+        let stream: Vec<u64> = (0..200).map(|i| i % 9 + 1).collect();
+        for m in [2, 4, 6] {
+            frequent_states_match(m, &stream);
+        }
+    }
+}

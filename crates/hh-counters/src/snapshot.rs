@@ -1,0 +1,263 @@
+//! Serializable summary snapshots.
+//!
+//! Distributed deployments (Section 6.2) ship summaries between machines;
+//! a snapshot is the wire format: the stored `(item, count, err)` triples
+//! plus the capacity and consumed stream length. Snapshots round-trip
+//! through serde (JSON, or any other format) and can be rehydrated into a
+//! live summary whose estimates — and therefore all guarantees — are
+//! identical to the original's.
+//!
+//! ```
+//! use hh_counters::{FrequencyEstimator, SpaceSaving};
+//! use hh_counters::snapshot::SpaceSavingSnapshot;
+//!
+//! let mut ss = SpaceSaving::new(4);
+//! for item in [1u64, 2, 1, 3, 1] { ss.update(item); }
+//!
+//! let snap = SpaceSavingSnapshot::from_summary(&ss);
+//! let json = serde_json::to_string(&snap).unwrap();
+//! let back: SpaceSavingSnapshot<u64> = serde_json::from_str(&json).unwrap();
+//! let restored = back.into_summary();
+//! assert_eq!(restored.estimate(&1), ss.estimate(&1));
+//! assert_eq!(restored.stream_len(), ss.stream_len());
+//! ```
+
+use std::hash::Hash;
+
+use serde::{Deserialize, Serialize};
+
+use crate::frequent::Frequent;
+use crate::space_saving::SpaceSaving;
+use crate::traits::FrequencyEstimator;
+use crate::weighted::SpaceSavingR;
+use crate::WeightedFrequencyEstimator;
+
+/// Wire format for a [`SpaceSaving`] summary.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpaceSavingSnapshot<I> {
+    /// Counter capacity `m`.
+    pub capacity: usize,
+    /// Total stream length consumed.
+    pub stream_len: u64,
+    /// Stored `(item, count, err)` triples in descending count order.
+    pub entries: Vec<(I, u64, u64)>,
+}
+
+impl<I: Eq + Hash + Clone> SpaceSavingSnapshot<I> {
+    /// Captures a snapshot of a live summary.
+    pub fn from_summary(summary: &SpaceSaving<I>) -> Self {
+        SpaceSavingSnapshot {
+            capacity: summary.capacity(),
+            stream_len: summary.stream_len(),
+            entries: summary.entries_with_err(),
+        }
+    }
+
+    /// Rehydrates the snapshot into a live summary with identical estimates,
+    /// error annotations and guarantees.
+    ///
+    /// Panics if the snapshot is inconsistent (more entries than capacity,
+    /// `err > count`, duplicate items, or counts exceeding the stream
+    /// length) — snapshots are trusted state, so corruption is a bug, not
+    /// an input error.
+    pub fn into_summary(self) -> SpaceSaving<I> {
+        assert!(
+            self.entries.len() <= self.capacity,
+            "snapshot holds more entries than its capacity"
+        );
+        let total: u64 = self.entries.iter().map(|&(_, c, _)| c).sum();
+        assert!(total == self.stream_len, "SpaceSaving counter mass must equal stream length");
+        let mut s = SpaceSaving::restore(self.capacity, self.stream_len);
+        // Insert in ascending order so the bucket FIFO (and hence future
+        // tie-breaking) matches the original summary exactly.
+        for (item, count, err) in self.entries.into_iter().rev() {
+            assert!(err <= count, "err must not exceed count");
+            s.restore_entry(item, count, err);
+        }
+        s
+    }
+}
+
+/// Wire format for a [`Frequent`] summary.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FrequentSnapshot<I> {
+    /// Counter capacity `m`.
+    pub capacity: usize,
+    /// Total stream length consumed.
+    pub stream_len: u64,
+    /// Decrement rounds performed (`d` in Appendix B).
+    pub decrements: u64,
+    /// Stored `(item, logical value)` pairs in descending order.
+    pub entries: Vec<(I, u64)>,
+}
+
+impl<I: Eq + Hash + Clone> FrequentSnapshot<I> {
+    /// Captures a snapshot of a live summary.
+    pub fn from_summary(summary: &Frequent<I>) -> Self {
+        FrequentSnapshot {
+            capacity: summary.capacity(),
+            stream_len: summary.stream_len(),
+            decrements: summary.decrements(),
+            entries: summary.entries(),
+        }
+    }
+
+    /// Rehydrates into a live summary with identical estimates and
+    /// decrement count.
+    pub fn into_summary(self) -> Frequent<I> {
+        assert!(
+            self.entries.len() <= self.capacity,
+            "snapshot holds more entries than its capacity"
+        );
+        let mut s = Frequent::restore(self.capacity, self.stream_len, self.decrements);
+        // Ascending insertion preserves the bucket FIFO order (see the
+        // SPACESAVING rehydration note).
+        for (item, value) in self.entries.into_iter().rev() {
+            assert!(value > 0, "stored values are positive");
+            s.restore_entry(item, value);
+        }
+        s
+    }
+}
+
+/// Wire format for a weighted [`SpaceSavingR`] summary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpaceSavingRSnapshot<I> {
+    /// Counter capacity `m`.
+    pub capacity: usize,
+    /// Total stream weight consumed.
+    pub total_weight: f64,
+    /// Stored `(item, weight, err)` triples in descending weight order.
+    pub entries: Vec<(I, f64, f64)>,
+}
+
+impl<I: Eq + Hash + Clone + Ord> SpaceSavingRSnapshot<I> {
+    /// Captures a snapshot of a live weighted summary.
+    pub fn from_summary(summary: &SpaceSavingR<I>) -> Self {
+        let entries = summary
+            .entries_weighted()
+            .into_iter()
+            .map(|(i, w)| {
+                let err = summary.err(&i).expect("entry exists");
+                (i, w, err)
+            })
+            .collect();
+        SpaceSavingRSnapshot {
+            capacity: summary.capacity(),
+            total_weight: summary.total_weight(),
+            entries,
+        }
+    }
+
+    /// Rehydrates into a live weighted summary.
+    pub fn into_summary(self) -> SpaceSavingR<I> {
+        assert!(self.entries.len() <= self.capacity);
+        let mut s = SpaceSavingR::restore(self.capacity, self.total_weight);
+        for (item, weight, err) in self.entries {
+            assert!(err <= weight + 1e-9, "err must not exceed weight");
+            s.restore_entry(item, weight, err);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spacesaving_fixture() -> SpaceSaving<u64> {
+        let mut ss = SpaceSaving::new(5);
+        for i in 0..200u64 {
+            ss.update(i * i % 17);
+        }
+        ss
+    }
+
+    #[test]
+    fn spacesaving_roundtrip_preserves_everything() {
+        let ss = spacesaving_fixture();
+        let snap = SpaceSavingSnapshot::from_summary(&ss);
+        let json = serde_json::to_string(&snap).expect("serialize");
+        let back: SpaceSavingSnapshot<u64> = serde_json::from_str(&json).expect("deserialize");
+        let restored = back.into_summary();
+        restored.check_invariants();
+        assert_eq!(restored.stream_len(), ss.stream_len());
+        assert_eq!(restored.entries_with_err(), ss.entries_with_err());
+        for i in 0..17u64 {
+            assert_eq!(restored.estimate(&i), ss.estimate(&i));
+            assert_eq!(restored.guaranteed_count(&i), ss.guaranteed_count(&i));
+        }
+        assert_eq!(restored.min_counter(), ss.min_counter());
+    }
+
+    #[test]
+    fn restored_summary_continues_correctly() {
+        let mut ss = spacesaving_fixture();
+        let mut restored = SpaceSavingSnapshot::from_summary(&ss).into_summary();
+        // both continue with the same suffix -> identical states
+        for i in 200..400u64 {
+            ss.update(i * i % 17);
+            restored.update(i * i % 17);
+        }
+        assert_eq!(ss.entries_with_err(), restored.entries_with_err());
+    }
+
+    #[test]
+    fn frequent_roundtrip() {
+        let mut fr = Frequent::new(4);
+        for i in 0..150u64 {
+            fr.update(i % 9);
+        }
+        let snap = FrequentSnapshot::from_summary(&fr);
+        let json = serde_json::to_string(&snap).expect("serialize");
+        let back: FrequentSnapshot<u64> = serde_json::from_str(&json).expect("deserialize");
+        let restored = back.into_summary();
+        restored.check_invariants();
+        assert_eq!(restored.decrements(), fr.decrements());
+        assert_eq!(restored.stream_len(), fr.stream_len());
+        for i in 0..9u64 {
+            assert_eq!(restored.estimate(&i), fr.estimate(&i));
+            assert_eq!(restored.upper_estimate(&i), fr.upper_estimate(&i));
+        }
+    }
+
+    #[test]
+    fn weighted_roundtrip() {
+        let mut ssr = SpaceSavingR::new(4);
+        for i in 0..100u64 {
+            ssr.update_weighted(i % 11, 0.5 + (i % 7) as f64);
+        }
+        let snap = SpaceSavingRSnapshot::from_summary(&ssr);
+        let json = serde_json::to_string(&snap).expect("serialize");
+        let back: SpaceSavingRSnapshot<u64> = serde_json::from_str(&json).expect("deserialize");
+        let restored = back.into_summary();
+        assert!((restored.total_weight() - ssr.total_weight()).abs() < 1e-12);
+        for i in 0..11u64 {
+            assert!((restored.estimate_weighted(&i) - ssr.estimate_weighted(&i)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "counter mass")]
+    fn corrupt_snapshot_rejected() {
+        let snap = SpaceSavingSnapshot {
+            capacity: 2,
+            stream_len: 100, // inconsistent with entries
+            entries: vec![(1u64, 3, 0)],
+        };
+        let _ = snap.into_summary();
+    }
+
+    #[test]
+    fn snapshot_works_with_string_items() {
+        let mut ss: SpaceSaving<String> = SpaceSaving::new(3);
+        for word in ["the", "cat", "the", "hat", "the"] {
+            ss.update(word.to_string());
+        }
+        let snap = SpaceSavingSnapshot::from_summary(&ss);
+        let json = serde_json::to_string(&snap).expect("serialize");
+        let restored: SpaceSavingSnapshot<String> =
+            serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(restored.into_summary().estimate(&"the".to_string()), 3);
+    }
+}

@@ -1,0 +1,420 @@
+//! SPACESAVING — Metwally, Agrawal, El Abbadi's algorithm (Algorithm 2 /
+//! Figure 1 of the paper), on the O(1)-per-update Stream-Summary structure.
+//!
+//! On an unstored item with a full table, the entry with the smallest
+//! counter `c_j` is replaced: the new item takes over with count `c_j + 1`
+//! and records `err = c_j` (the maximum overcount it may carry).
+//!
+//! Properties used throughout the paper:
+//! * the counter sum always equals the stream length (Appendix C),
+//! * estimates *overestimate*: `f_i ≤ c_i ≤ f_i + err_i ≤ f_i + Δ` where
+//!   `Δ` is the minimum counter,
+//! * k-tail guarantee with `A = B = 1` for every `k < m` (Appendix C),
+//! * subtracting `err_i` (or `Δ`) yields an *underestimating* summary
+//!   suitable for m-sparse recovery ([`crate::underestimate`]).
+//!
+//! A binary-heap ablation ([`HeapSpaceSaving`]) with O(log m) updates is
+//! provided to benchmark the bucket-list design choice.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::hash::Hash;
+
+use crate::fasthash::FxHashMap;
+use crate::stream_summary::StreamSummary;
+use crate::traits::{Bias, FrequencyEstimator, TailConstants};
+
+/// The SPACESAVING summary with `m` counters.
+#[derive(Debug, Clone)]
+pub struct SpaceSaving<I: Eq + Hash + Clone> {
+    summary: StreamSummary<I>,
+    m: usize,
+    stream_len: u64,
+}
+
+impl<I: Eq + Hash + Clone> SpaceSaving<I> {
+    /// Creates a summary with `m ≥ 1` counters.
+    pub fn new(m: usize) -> Self {
+        assert!(m >= 1, "need at least one counter");
+        SpaceSaving { summary: StreamSummary::with_capacity(m), m, stream_len: 0 }
+    }
+
+    /// The minimum counter value `Δ` (0 while the table is not full), which
+    /// upper-bounds every estimation error (Lemma 3 of \[25\], used in
+    /// Appendix C).
+    pub fn min_counter(&self) -> u64 {
+        if self.summary.len() < self.m {
+            0
+        } else {
+            self.summary.min_count().unwrap_or(0)
+        }
+    }
+
+    /// The per-item overcount bound `err_i` recorded when `item` (re)entered
+    /// the table (0 if the item has been stored since the table had room).
+    pub fn err(&self, item: &I) -> Option<u64> {
+        self.summary.err(item)
+    }
+
+    /// A guaranteed lower bound on the true frequency of a *stored* item:
+    /// `c_i − err_i` (0 for unstored items). Always `≤ f_i`.
+    pub fn guaranteed_count(&self, item: &I) -> u64 {
+        match (self.summary.count(item), self.summary.err(item)) {
+            (Some(c), Some(e)) => c - e,
+            _ => 0,
+        }
+    }
+
+    /// An upper bound on the true frequency of *any* item: the estimate for
+    /// stored items, `Δ` for unstored ones (an unstored item can have
+    /// occurred at most `min_counter` times).
+    pub fn upper_estimate(&self, item: &I) -> u64 {
+        self.summary.count(item).unwrap_or_else(|| self.min_counter())
+    }
+
+    /// Full snapshot including the per-entry error annotations, sorted by
+    /// descending count.
+    pub fn entries_with_err(&self) -> Vec<(I, u64, u64)> {
+        self.summary.snapshot_desc()
+    }
+
+    /// Creates an empty shell carrying a previously consumed stream length
+    /// (snapshot rehydration; see [`crate::snapshot`]).
+    pub(crate) fn restore(m: usize, stream_len: u64) -> Self {
+        let mut s = Self::new(m);
+        s.stream_len = stream_len;
+        s
+    }
+
+    /// Re-inserts a snapshot entry verbatim (snapshot rehydration).
+    pub(crate) fn restore_entry(&mut self, item: I, count: u64, err: u64) {
+        assert!(self.summary.len() < self.m, "snapshot exceeds capacity");
+        self.summary.insert(item, count, err);
+    }
+
+    #[doc(hidden)]
+    pub fn check_invariants(&self) {
+        self.summary.check_invariants();
+        assert!(self.summary.len() <= self.m);
+        // Appendix C: the counter sum equals the stream length once
+        // per-unit updates are used; with update_by it still holds because
+        // replacement preserves sum + by.
+        assert_eq!(self.summary.counter_sum(), self.stream_len);
+        for (_, count, err) in self.summary.snapshot_asc() {
+            assert!(err <= count, "err never exceeds count");
+        }
+    }
+}
+
+impl<I: Eq + Hash + Clone> FrequencyEstimator<I> for SpaceSaving<I> {
+    fn name(&self) -> &'static str {
+        "SpaceSaving"
+    }
+
+    fn capacity(&self) -> usize {
+        self.m
+    }
+
+    fn update_by(&mut self, item: I, count: u64) {
+        if count == 0 {
+            return;
+        }
+        self.stream_len += count;
+        if self.summary.increment(&item, count) {
+            return;
+        }
+        if self.summary.len() < self.m {
+            self.summary.insert(item, count, 0);
+            return;
+        }
+        let (_, min_count, _) = self.summary.evict_min().expect("full table is non-empty");
+        self.summary.insert(item, min_count + count, min_count);
+    }
+
+    fn estimate(&self, item: &I) -> u64 {
+        self.summary.count(item).unwrap_or(0)
+    }
+
+    fn stored_len(&self) -> usize {
+        self.summary.len()
+    }
+
+    fn entries(&self) -> Vec<(I, u64)> {
+        self.summary
+            .snapshot_desc()
+            .into_iter()
+            .map(|(i, c, _)| (i, c))
+            .collect()
+    }
+
+    fn stream_len(&self) -> u64 {
+        self.stream_len
+    }
+
+    fn bias(&self) -> Bias {
+        Bias::Over
+    }
+
+    fn lower_estimate(&self, item: &I) -> u64 {
+        self.guaranteed_count(item)
+    }
+
+    fn tail_constants(&self) -> Option<TailConstants> {
+        Some(TailConstants::ONE_ONE)
+    }
+}
+
+/// Ablation baseline: SPACESAVING backed by a lazy binary heap instead of
+/// the bucket list. O(log m) amortized per update.
+///
+/// Tie-breaking among minimal counters follows heap order, which differs
+/// from [`SpaceSaving`]'s least-recently-updated rule; all *guarantees* are
+/// identical (the proofs never depend on the tie-break), but exact states
+/// may diverge on ties.
+#[derive(Debug, Clone)]
+pub struct HeapSpaceSaving<I: Eq + Hash + Clone + Ord> {
+    counts: FxHashMap<I, (u64, u64)>, // item -> (count, err)
+    /// Lazy min-heap of (count-at-push, seq, item); stale entries are
+    /// skipped on pop.
+    heap: BinaryHeap<Reverse<(u64, u64, I)>>,
+    seq: u64,
+    m: usize,
+    stream_len: u64,
+}
+
+impl<I: Eq + Hash + Clone + Ord> HeapSpaceSaving<I> {
+    /// Creates a summary with `m ≥ 1` counters.
+    pub fn new(m: usize) -> Self {
+        assert!(m >= 1, "need at least one counter");
+        HeapSpaceSaving {
+            counts: FxHashMap::default(),
+            heap: BinaryHeap::new(),
+            seq: 0,
+            m,
+            stream_len: 0,
+        }
+    }
+
+    fn push(&mut self, item: I, count: u64) {
+        self.seq += 1;
+        self.heap.push(Reverse((count, self.seq, item)));
+    }
+
+    /// Pops the live minimum `(item, count, err)` and removes it from the
+    /// table.
+    fn evict_min(&mut self) -> (I, u64, u64) {
+        loop {
+            let Reverse((count, _, item)) = self.heap.pop().expect("table non-empty");
+            match self.counts.get(&item) {
+                Some(&(cur, err)) if cur == count => {
+                    self.counts.remove(&item);
+                    return (item, count, err);
+                }
+                _ => continue, // stale heap entry
+            }
+        }
+    }
+
+    /// Periodic compaction keeps the lazy heap within a constant factor of
+    /// the table size.
+    fn maybe_compact(&mut self) {
+        if self.heap.len() > 8 * self.m.max(16) {
+            let counts = &self.counts;
+            let mut fresh = BinaryHeap::with_capacity(counts.len());
+            let mut seq = 0u64;
+            for (item, &(c, _)) in counts.iter() {
+                seq += 1;
+                fresh.push(Reverse((c, seq, item.clone())));
+            }
+            self.seq = seq;
+            self.heap = fresh;
+        }
+    }
+}
+
+impl<I: Eq + Hash + Clone + Ord> FrequencyEstimator<I> for HeapSpaceSaving<I> {
+    fn name(&self) -> &'static str {
+        "SpaceSaving(heap)"
+    }
+
+    fn capacity(&self) -> usize {
+        self.m
+    }
+
+    fn update_by(&mut self, item: I, count: u64) {
+        if count == 0 {
+            return;
+        }
+        self.stream_len += count;
+        if let Some(&(cur, err)) = self.counts.get(&item) {
+            self.counts.insert(item.clone(), (cur + count, err));
+            self.push(item, cur + count);
+        } else if self.counts.len() < self.m {
+            self.counts.insert(item.clone(), (count, 0));
+            self.push(item, count);
+        } else {
+            let (_, min_count, _) = self.evict_min();
+            self.counts.insert(item.clone(), (min_count + count, min_count));
+            self.push(item, min_count + count);
+        }
+        self.maybe_compact();
+    }
+
+    fn estimate(&self, item: &I) -> u64 {
+        self.counts.get(item).map(|&(c, _)| c).unwrap_or(0)
+    }
+
+    fn stored_len(&self) -> usize {
+        self.counts.len()
+    }
+
+    fn entries(&self) -> Vec<(I, u64)> {
+        let mut v: Vec<(I, u64)> = self
+            .counts
+            .iter()
+            .map(|(i, &(c, _))| (i.clone(), c))
+            .collect();
+        v.sort_unstable_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        v
+    }
+
+    fn stream_len(&self) -> u64 {
+        self.stream_len
+    }
+
+    fn bias(&self) -> Bias {
+        Bias::Over
+    }
+
+    fn lower_estimate(&self, item: &I) -> u64 {
+        self.counts.get(item).map(|&(c, e)| c - e).unwrap_or(0)
+    }
+
+    fn tail_constants(&self) -> Option<TailConstants> {
+        Some(TailConstants::ONE_ONE)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(m: usize, stream: &[u64]) -> SpaceSaving<u64> {
+        let mut s = SpaceSaving::new(m);
+        for &x in stream {
+            s.update(x);
+        }
+        s.check_invariants();
+        s
+    }
+
+    #[test]
+    fn replaces_minimum() {
+        // m=2: stream 1,2,3 -> 3 replaces the older of {1,2} (item 1)
+        let s = run(2, &[1, 2, 3]);
+        assert_eq!(s.stored_len(), 2);
+        assert_eq!(s.estimate(&3), 2); // min(1) + 1
+        assert_eq!(s.err(&3), Some(1));
+        assert_eq!(s.estimate(&1), 0);
+        assert_eq!(s.estimate(&2), 1);
+    }
+
+    #[test]
+    fn counter_sum_equals_stream_length() {
+        let stream: Vec<u64> = (0..500).map(|i| (i * 7 % 23) + 1).collect();
+        let s = run(10, &stream);
+        let sum: u64 = s.entries().iter().map(|&(_, c)| c).sum();
+        assert_eq!(sum, 500);
+    }
+
+    #[test]
+    fn overestimates_stored_items() {
+        let stream = [1u64, 1, 2, 3, 1, 4, 5, 2, 6, 7, 1];
+        let s = run(3, &stream);
+        let exact = |i: u64| stream.iter().filter(|&&x| x == i).count() as u64;
+        for (item, c) in s.entries() {
+            assert!(c >= exact(item), "stored estimates never undercount");
+            assert!(s.guaranteed_count(&item) <= exact(item));
+        }
+        for i in 1..=7u64 {
+            assert!(exact(i) <= s.upper_estimate(&i), "upper bound covers all items");
+        }
+    }
+
+    #[test]
+    fn top_heavy_item_retained_with_exact_count_when_skewed() {
+        // item 1 takes half the stream; with m=4 its count is exact-ish
+        let mut stream = vec![1u64; 50];
+        stream.extend((0..50).map(|i| (i % 10) + 2));
+        let s = run(12, &stream); // m > distinct: everything exact
+        assert_eq!(s.estimate(&1), 50);
+        assert_eq!(s.err(&1), Some(0));
+    }
+
+    #[test]
+    fn update_by_equals_repeated_update_when_no_ties_matter() {
+        let updates = [(1u64, 3u64), (2, 5), (3, 7), (1, 2), (4, 4)];
+        let mut bulk = SpaceSaving::new(3);
+        let mut unit = SpaceSaving::new(3);
+        for &(item, c) in &updates {
+            bulk.update_by(item, c);
+            for _ in 0..c {
+                unit.update(item);
+            }
+        }
+        bulk.check_invariants();
+        unit.check_invariants();
+        assert_eq!(bulk.entries(), unit.entries());
+    }
+
+    #[test]
+    fn heap_variant_agrees_on_guarantees() {
+        let stream: Vec<u64> = (0..2000).map(|i| (i * i % 101) + 1).collect();
+        let mut bucket = SpaceSaving::new(20);
+        let mut heap = HeapSpaceSaving::new(20);
+        for &x in &stream {
+            bucket.update(x);
+            heap.update(x);
+        }
+        // same min counter and same counter sum (states may differ on ties)
+        let bsum: u64 = bucket.entries().iter().map(|&(_, c)| c).sum();
+        let hsum: u64 = heap.entries().iter().map(|&(_, c)| c).sum();
+        assert_eq!(bsum, 2000);
+        assert_eq!(hsum, 2000);
+        let exact = |i: u64| stream.iter().filter(|&&x| x == i).count() as u64;
+        for i in 1..=101u64 {
+            assert!(heap.estimate(&i) == 0 || heap.estimate(&i) >= exact(i));
+            assert!(heap.lower_estimate(&i) <= exact(i));
+        }
+    }
+
+    #[test]
+    fn heap_compaction_bounds_memory() {
+        let mut heap = HeapSpaceSaving::new(4);
+        for i in 0..10_000u64 {
+            heap.update(i % 100);
+        }
+        assert!(heap.heap.len() <= 8 * 16 + 1, "lazy heap stays bounded");
+    }
+
+    #[test]
+    fn min_counter_zero_until_full() {
+        let mut s = SpaceSaving::new(3);
+        s.update(1u64);
+        s.update(1);
+        assert_eq!(s.min_counter(), 0);
+        s.update(2);
+        s.update(3);
+        assert_eq!(s.min_counter(), 1);
+    }
+
+    #[test]
+    fn unstored_upper_estimate_is_min_counter() {
+        let s = run(2, &[1, 1, 1, 2, 2, 3]);
+        // 3 replaced 2 or was placed; whatever is unstored gets Δ
+        let min = s.min_counter();
+        for i in [4u64, 5, 6] {
+            assert_eq!(s.upper_estimate(&i), min);
+        }
+    }
+}

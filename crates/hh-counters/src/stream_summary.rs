@@ -1,0 +1,647 @@
+//! The *Stream-Summary* data structure of Metwally et al. (the SPACESAVING
+//! paper), generalized so it also backs our FREQUENT implementation.
+//!
+//! It maintains a set of `(item, count)` pairs organized as a doubly-linked
+//! list of *buckets* in strictly increasing count order; each bucket holds a
+//! doubly-linked FIFO of the entries sharing that exact count. This gives
+//!
+//! * O(1) `increment by 1` (move an entry to the adjacent bucket),
+//! * O(1) `evict_min` (detach the oldest entry of the head bucket),
+//! * O(1) amortized "decrement all by 1" for FREQUENT via an *offset* trick
+//!   (bump a global offset, then pop head buckets whose raw count fell to
+//!   the offset — each pop is charged to the insertion that created the
+//!   entry).
+//!
+//! Both linked lists are index-based arenas over `Vec` (no `unsafe`), per
+//! the usual Rust pattern for intrusive structures.
+//!
+//! # Tie-breaking discipline
+//!
+//! Within a bucket, entries form a FIFO: arrivals attach at the *front* and
+//! `evict_min` removes from the *back*. Hence among entries with equal
+//! count, the one whose count changed least recently is evicted first. The
+//! reference pseudocode executors in [`crate::reference`] implement the same
+//! rule, which is what makes exact state-conformance testing possible.
+
+use std::hash::Hash;
+
+use crate::fasthash::FxHashMap;
+
+const NIL: u32 = u32::MAX;
+
+#[derive(Debug, Clone)]
+struct Entry<I> {
+    /// `None` only while the slot sits on the free list.
+    item: Option<I>,
+    /// Error annotation carried with the entry (SPACESAVING stores the
+    /// evicted count here; FREQUENT stores the offset at insertion).
+    err: u64,
+    bucket: u32,
+    /// Neighbour towards the front (more recently attached) of the bucket.
+    prev: u32,
+    /// Neighbour towards the back (least recently attached) of the bucket.
+    next: u32,
+}
+
+#[derive(Debug, Clone)]
+struct Bucket {
+    count: u64,
+    front: u32,
+    back: u32,
+    /// Bucket with the next smaller count.
+    prev: u32,
+    /// Bucket with the next larger count.
+    next: u32,
+    len: u32,
+}
+
+/// A snapshot row: `(item, raw_count, err)`.
+pub type SummaryEntry<I> = (I, u64, u64);
+
+/// Bucket-list counter collection with O(1) increment/evict-min.
+///
+/// Counts stored here are *raw*; wrappers like FREQUENT may interpret them
+/// relative to an offset. All operations preserve the invariant that bucket
+/// counts are strictly increasing from head to tail and every entry lives in
+/// exactly one bucket.
+#[derive(Debug, Clone)]
+pub struct StreamSummary<I> {
+    entries: Vec<Entry<I>>,
+    free_entries: Vec<u32>,
+    buckets: Vec<Bucket>,
+    free_buckets: Vec<u32>,
+    head: u32,
+    tail: u32,
+    index: FxHashMap<I, u32>,
+    len: usize,
+    /// Running sum of all raw counts (cheap `F1`-style invariant checks).
+    counter_sum: u64,
+}
+
+impl<I: Eq + Hash + Clone> Default for StreamSummary<I> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<I: Eq + Hash + Clone> StreamSummary<I> {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        StreamSummary {
+            entries: Vec::new(),
+            free_entries: Vec::new(),
+            buckets: Vec::new(),
+            free_buckets: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            index: FxHashMap::default(),
+            len: 0,
+            counter_sum: 0,
+        }
+    }
+
+    /// Creates an empty summary with capacity pre-allocated for `m` entries.
+    pub fn with_capacity(m: usize) -> Self {
+        let mut s = Self::new();
+        s.entries.reserve(m);
+        s.buckets.reserve(m + 1);
+        s.index.reserve(m);
+        s
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no entries are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Sum of all raw counts.
+    pub fn counter_sum(&self) -> u64 {
+        self.counter_sum
+    }
+
+    /// Whether `item` is stored.
+    pub fn contains(&self, item: &I) -> bool {
+        self.index.contains_key(item)
+    }
+
+    /// Raw count of `item`, if stored.
+    pub fn count(&self, item: &I) -> Option<u64> {
+        self.index
+            .get(item)
+            .map(|&e| self.buckets[self.entries[e as usize].bucket as usize].count)
+    }
+
+    /// Error annotation of `item`, if stored.
+    pub fn err(&self, item: &I) -> Option<u64> {
+        self.index.get(item).map(|&e| self.entries[e as usize].err)
+    }
+
+    /// Smallest raw count currently stored.
+    pub fn min_count(&self) -> Option<u64> {
+        if self.head == NIL {
+            None
+        } else {
+            Some(self.buckets[self.head as usize].count)
+        }
+    }
+
+    /// Largest raw count currently stored.
+    pub fn max_count(&self) -> Option<u64> {
+        if self.tail == NIL {
+            None
+        } else {
+            Some(self.buckets[self.tail as usize].count)
+        }
+    }
+
+    // ---- arena plumbing -------------------------------------------------
+
+    fn alloc_entry(&mut self, item: I, err: u64) -> u32 {
+        if let Some(idx) = self.free_entries.pop() {
+            let e = &mut self.entries[idx as usize];
+            e.item = Some(item);
+            e.err = err;
+            e.bucket = NIL;
+            e.prev = NIL;
+            e.next = NIL;
+            idx
+        } else {
+            let idx = self.entries.len() as u32;
+            self.entries.push(Entry { item: Some(item), err, bucket: NIL, prev: NIL, next: NIL });
+            idx
+        }
+    }
+
+    fn free_entry(&mut self, e: u32) -> I {
+        let slot = &mut self.entries[e as usize];
+        let item = slot.item.take().expect("freeing a live entry");
+        slot.prev = NIL;
+        slot.next = NIL;
+        slot.bucket = NIL;
+        self.free_entries.push(e);
+        item
+    }
+
+    fn alloc_bucket(&mut self, count: u64) -> u32 {
+        if let Some(idx) = self.free_buckets.pop() {
+            let b = &mut self.buckets[idx as usize];
+            b.count = count;
+            b.front = NIL;
+            b.back = NIL;
+            b.prev = NIL;
+            b.next = NIL;
+            b.len = 0;
+            idx
+        } else {
+            let idx = self.buckets.len() as u32;
+            self.buckets.push(Bucket { count, front: NIL, back: NIL, prev: NIL, next: NIL, len: 0 });
+            idx
+        }
+    }
+
+    /// Links bucket `b` immediately before `next_b` (or at the very end when
+    /// `next_b == NIL`).
+    fn link_bucket_before(&mut self, b: u32, next_b: u32) {
+        let prev_b = if next_b == NIL { self.tail } else { self.buckets[next_b as usize].prev };
+        self.buckets[b as usize].prev = prev_b;
+        self.buckets[b as usize].next = next_b;
+        if prev_b == NIL {
+            self.head = b;
+        } else {
+            self.buckets[prev_b as usize].next = b;
+        }
+        if next_b == NIL {
+            self.tail = b;
+        } else {
+            self.buckets[next_b as usize].prev = b;
+        }
+    }
+
+    fn unlink_bucket(&mut self, b: u32) {
+        let (prev, next) = {
+            let bk = &self.buckets[b as usize];
+            debug_assert_eq!(bk.len, 0, "only empty buckets are unlinked");
+            (bk.prev, bk.next)
+        };
+        if prev == NIL {
+            self.head = next;
+        } else {
+            self.buckets[prev as usize].next = next;
+        }
+        if next == NIL {
+            self.tail = prev;
+        } else {
+            self.buckets[next as usize].prev = prev;
+        }
+        self.free_buckets.push(b);
+    }
+
+    /// Attaches entry `e` at the front of bucket `b`.
+    fn attach_front(&mut self, e: u32, b: u32) {
+        let old_front = self.buckets[b as usize].front;
+        {
+            let entry = &mut self.entries[e as usize];
+            entry.bucket = b;
+            entry.prev = NIL;
+            entry.next = old_front;
+        }
+        if old_front != NIL {
+            self.entries[old_front as usize].prev = e;
+        }
+        let bucket = &mut self.buckets[b as usize];
+        bucket.front = e;
+        if bucket.back == NIL {
+            bucket.back = e;
+        }
+        bucket.len += 1;
+    }
+
+    /// Detaches entry `e` from its bucket; does *not* remove the bucket even
+    /// if it becomes empty (callers may still need it as a list anchor).
+    fn detach(&mut self, e: u32) {
+        let (b, prev, next) = {
+            let entry = &self.entries[e as usize];
+            (entry.bucket, entry.prev, entry.next)
+        };
+        if prev == NIL {
+            self.buckets[b as usize].front = next;
+        } else {
+            self.entries[prev as usize].next = next;
+        }
+        if next == NIL {
+            self.buckets[b as usize].back = prev;
+        } else {
+            self.entries[next as usize].prev = prev;
+        }
+        self.buckets[b as usize].len -= 1;
+        let entry = &mut self.entries[e as usize];
+        entry.prev = NIL;
+        entry.next = NIL;
+        entry.bucket = NIL;
+    }
+
+    /// Finds the bucket holding exactly `count`, creating one in order if it
+    /// does not exist. `start` is a bucket known to have `bucket.count <
+    /// count` (or `NIL` to scan from the head); the walk is O(1) for the +1
+    /// increments that dominate streaming workloads.
+    fn bucket_at(&mut self, count: u64, start: u32) -> u32 {
+        let mut cur = if start == NIL { self.head } else { start };
+        while cur != NIL && self.buckets[cur as usize].count < count {
+            cur = self.buckets[cur as usize].next;
+        }
+        if cur != NIL && self.buckets[cur as usize].count == count {
+            cur
+        } else {
+            let b = self.alloc_bucket(count);
+            self.link_bucket_before(b, cur);
+            b
+        }
+    }
+
+    // ---- public mutators -------------------------------------------------
+
+    /// Inserts a new `item` with the given raw `count` and `err` annotation.
+    ///
+    /// Panics in debug builds if the item is already stored.
+    pub fn insert(&mut self, item: I, count: u64, err: u64) {
+        debug_assert!(!self.contains(&item), "insert of an already-stored item");
+        let e = self.alloc_entry(item.clone(), err);
+        let b = self.bucket_at(count, NIL);
+        self.attach_front(e, b);
+        self.index.insert(item, e);
+        self.len += 1;
+        self.counter_sum += count;
+    }
+
+    /// Increases `item`'s raw count by `by` (returns `false` when the item
+    /// is not stored). O(1) for `by == 1`; for larger `by` the cost is the
+    /// number of distinct counts skipped over.
+    pub fn increment(&mut self, item: &I, by: u64) -> bool {
+        let Some(&e) = self.index.get(item) else {
+            return false;
+        };
+        if by == 0 {
+            return true;
+        }
+        let b = self.entries[e as usize].bucket;
+        let new_count = self.buckets[b as usize].count + by;
+        self.counter_sum += by;
+        // In-place bump: sole occupant and the next bucket (if any) is still
+        // strictly larger. Keeps the hot path allocation-free.
+        let next = self.buckets[b as usize].next;
+        if self.buckets[b as usize].len == 1
+            && (next == NIL || self.buckets[next as usize].count > new_count)
+        {
+            self.buckets[b as usize].count = new_count;
+            return true;
+        }
+        self.detach(e);
+        let target = self.bucket_at(new_count, b);
+        self.attach_front(e, target);
+        if self.buckets[b as usize].len == 0 {
+            self.unlink_bucket(b);
+        }
+        true
+    }
+
+    /// Removes and returns the minimum entry — the *least recently updated*
+    /// among those with the smallest raw count (FIFO within the bucket).
+    pub fn evict_min(&mut self) -> Option<SummaryEntry<I>> {
+        if self.head == NIL {
+            return None;
+        }
+        let b = self.head;
+        let e = self.buckets[b as usize].back;
+        debug_assert_ne!(e, NIL, "head bucket cannot be empty");
+        let count = self.buckets[b as usize].count;
+        self.detach(e);
+        if self.buckets[b as usize].len == 0 {
+            self.unlink_bucket(b);
+        }
+        let err = self.entries[e as usize].err;
+        let item = self.free_entry(e);
+        self.index.remove(&item);
+        self.len -= 1;
+        self.counter_sum -= count;
+        Some((item, count, err))
+    }
+
+    /// Removes a specific item, returning its `(raw_count, err)`.
+    pub fn remove(&mut self, item: &I) -> Option<(u64, u64)> {
+        let e = self.index.remove(item)?;
+        let b = self.entries[e as usize].bucket;
+        let count = self.buckets[b as usize].count;
+        self.detach(e);
+        if self.buckets[b as usize].len == 0 {
+            self.unlink_bucket(b);
+        }
+        let err = self.entries[e as usize].err;
+        self.free_entry(e);
+        self.len -= 1;
+        self.counter_sum -= count;
+        Some((count, err))
+    }
+
+    /// Removes every entry whose raw count is `<= threshold`, returning the
+    /// removed items. This is FREQUENT's "drop zeroed counters" step under
+    /// the offset interpretation; amortized O(1) per removed entry.
+    pub fn pop_le(&mut self, threshold: u64) -> Vec<I> {
+        let mut out = Vec::new();
+        while self.head != NIL && self.buckets[self.head as usize].count <= threshold {
+            let b = self.head;
+            let count = self.buckets[b as usize].count;
+            let mut e = self.buckets[b as usize].front;
+            while e != NIL {
+                let next = self.entries[e as usize].next;
+                self.detach(e);
+                let item = self.free_entry(e);
+                self.index.remove(&item);
+                out.push(item);
+                self.len -= 1;
+                self.counter_sum -= count;
+                e = next;
+            }
+            self.unlink_bucket(b);
+        }
+        out
+    }
+
+    /// Snapshot of all entries in ascending count order (FIFO order within a
+    /// bucket: oldest first).
+    pub fn snapshot_asc(&self) -> Vec<SummaryEntry<I>> {
+        let mut out = Vec::with_capacity(self.len);
+        let mut b = self.head;
+        while b != NIL {
+            let bucket = &self.buckets[b as usize];
+            let mut e = bucket.back;
+            while e != NIL {
+                let entry = &self.entries[e as usize];
+                out.push((
+                    entry.item.clone().expect("live entry"),
+                    bucket.count,
+                    entry.err,
+                ));
+                e = entry.prev;
+            }
+            b = bucket.next;
+        }
+        out
+    }
+
+    /// Snapshot in descending count order.
+    pub fn snapshot_desc(&self) -> Vec<SummaryEntry<I>> {
+        let mut v = self.snapshot_asc();
+        v.reverse();
+        v
+    }
+
+    /// Exhaustive structural self-check used by the property tests: list
+    /// linkage, strict bucket ordering, index agreement, `len` and
+    /// `counter_sum` bookkeeping.
+    #[doc(hidden)]
+    pub fn check_invariants(&self) {
+        let mut seen_entries = 0usize;
+        let mut sum = 0u64;
+        let mut b = self.head;
+        let mut prev_b = NIL;
+        let mut prev_count: Option<u64> = None;
+        while b != NIL {
+            let bucket = &self.buckets[b as usize];
+            assert_eq!(bucket.prev, prev_b, "bucket back-link");
+            if let Some(pc) = prev_count {
+                assert!(bucket.count > pc, "bucket counts strictly increasing");
+            }
+            assert!(bucket.len > 0, "no empty buckets in the list");
+            // walk entries front -> back
+            let mut e = bucket.front;
+            let mut prev_e = NIL;
+            let mut n = 0u32;
+            while e != NIL {
+                let entry = &self.entries[e as usize];
+                assert_eq!(entry.prev, prev_e, "entry back-link");
+                assert_eq!(entry.bucket, b, "entry bucket pointer");
+                let item = entry.item.as_ref().expect("live entry has item");
+                assert_eq!(self.index.get(item), Some(&e), "index points at entry");
+                n += 1;
+                sum += bucket.count;
+                prev_e = e;
+                e = entry.next;
+            }
+            assert_eq!(bucket.back, prev_e, "bucket back pointer");
+            assert_eq!(bucket.len, n, "bucket len bookkeeping");
+            seen_entries += n as usize;
+            prev_count = Some(bucket.count);
+            prev_b = b;
+            b = bucket.next;
+        }
+        assert_eq!(self.tail, prev_b, "tail pointer");
+        assert_eq!(seen_entries, self.len, "len bookkeeping");
+        assert_eq!(seen_entries, self.index.len(), "index size");
+        assert_eq!(sum, self.counter_sum, "counter_sum bookkeeping");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn summary_of(pairs: &[(u64, u64)]) -> StreamSummary<u64> {
+        let mut s = StreamSummary::new();
+        for &(item, count) in pairs {
+            s.insert(item, count, 0);
+        }
+        s.check_invariants();
+        s
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let s = summary_of(&[(1, 5), (2, 3), (3, 5)]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.count(&1), Some(5));
+        assert_eq!(s.count(&2), Some(3));
+        assert_eq!(s.count(&3), Some(5));
+        assert_eq!(s.count(&9), None);
+        assert_eq!(s.min_count(), Some(3));
+        assert_eq!(s.max_count(), Some(5));
+        assert_eq!(s.counter_sum(), 13);
+    }
+
+    #[test]
+    fn increment_moves_between_buckets() {
+        let mut s = summary_of(&[(1, 1), (2, 1), (3, 2)]);
+        assert!(s.increment(&1, 1)); // joins the bucket of 3
+        s.check_invariants();
+        assert_eq!(s.count(&1), Some(2));
+        assert!(s.increment(&1, 1)); // creates bucket 3
+        s.check_invariants();
+        assert_eq!(s.count(&1), Some(3));
+        assert_eq!(s.min_count(), Some(1));
+        assert!(!s.increment(&42, 1));
+    }
+
+    #[test]
+    fn increment_in_place_when_alone() {
+        let mut s = summary_of(&[(1, 1)]);
+        assert!(s.increment(&1, 1));
+        s.check_invariants();
+        assert_eq!(s.count(&1), Some(2));
+        // bucket structure should have exactly one bucket
+        assert_eq!(s.min_count(), s.max_count());
+    }
+
+    #[test]
+    fn increment_by_large_jump() {
+        let mut s = summary_of(&[(1, 1), (2, 2), (3, 3), (4, 4)]);
+        assert!(s.increment(&1, 10)); // jumps past everything
+        s.check_invariants();
+        assert_eq!(s.count(&1), Some(11));
+        assert_eq!(s.max_count(), Some(11));
+    }
+
+    #[test]
+    fn evict_min_is_fifo_within_bucket() {
+        let mut s = StreamSummary::new();
+        s.insert(10u64, 1, 0);
+        s.insert(20, 1, 0);
+        s.insert(30, 1, 0);
+        // 10 was attached first => least recently updated => evicted first
+        assert_eq!(s.evict_min().map(|(i, c, _)| (i, c)), Some((10, 1)));
+        s.check_invariants();
+        assert_eq!(s.evict_min().map(|(i, c, _)| (i, c)), Some((20, 1)));
+        assert_eq!(s.evict_min().map(|(i, c, _)| (i, c)), Some((30, 1)));
+        assert_eq!(s.evict_min(), None);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn increment_refreshes_fifo_position() {
+        let mut s = StreamSummary::new();
+        s.insert(1u64, 1, 0);
+        s.insert(2, 1, 0);
+        s.insert(3, 2, 0);
+        // bump 1 into the count-2 bucket *after* 3 arrived there
+        assert!(s.increment(&1, 1));
+        s.check_invariants();
+        // min bucket holds only 2
+        assert_eq!(s.evict_min().map(|(i, _, _)| i), Some(2));
+        // in the count-2 bucket, 3 is older than 1
+        assert_eq!(s.evict_min().map(|(i, _, _)| i), Some(3));
+        assert_eq!(s.evict_min().map(|(i, _, _)| i), Some(1));
+    }
+
+    #[test]
+    fn remove_specific_item() {
+        let mut s = summary_of(&[(1, 5), (2, 3)]);
+        assert_eq!(s.remove(&1), Some((5, 0)));
+        s.check_invariants();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.remove(&1), None);
+        assert_eq!(s.counter_sum(), 3);
+    }
+
+    #[test]
+    fn pop_le_removes_low_buckets() {
+        let mut s = summary_of(&[(1, 1), (2, 1), (3, 2), (4, 5)]);
+        let mut popped = s.pop_le(2);
+        popped.sort_unstable();
+        s.check_invariants();
+        assert_eq!(popped, vec![1, 2, 3]);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.min_count(), Some(5));
+        // threshold below everything: no-op
+        assert!(s.pop_le(4).is_empty());
+    }
+
+    #[test]
+    fn snapshots_ordered() {
+        let s = summary_of(&[(1, 3), (2, 1), (3, 7), (4, 3)]);
+        let asc = s.snapshot_asc();
+        let counts: Vec<u64> = asc.iter().map(|&(_, c, _)| c).collect();
+        assert_eq!(counts, vec![1, 3, 3, 7]);
+        let desc = s.snapshot_desc();
+        assert_eq!(desc.first().map(|&(i, c, _)| (i, c)), Some((3, 7)));
+    }
+
+    #[test]
+    fn err_annotation_is_stored() {
+        let mut s = StreamSummary::new();
+        s.insert(1u64, 4, 3);
+        assert_eq!(s.err(&1), Some(3));
+        assert_eq!(s.err(&9), None);
+        let (item, count, err) = s.evict_min().unwrap();
+        assert_eq!((item, count, err), (1, 4, 3));
+    }
+
+    #[test]
+    fn arena_reuse_after_churn() {
+        let mut s: StreamSummary<u64> = StreamSummary::new();
+        for round in 0..5u64 {
+            for i in 0..100u64 {
+                s.insert(i, i + 1 + round, 0);
+            }
+            s.check_invariants();
+            for i in 0..100u64 {
+                assert!(s.remove(&i).is_some());
+            }
+            s.check_invariants();
+            assert!(s.is_empty());
+        }
+        // arena should not have grown past one round's worth
+        assert!(s.entries.len() <= 100);
+        assert!(s.buckets.len() <= 101);
+    }
+
+    #[test]
+    fn zero_increment_is_noop() {
+        let mut s = summary_of(&[(1, 5)]);
+        assert!(s.increment(&1, 0));
+        assert_eq!(s.count(&1), Some(5));
+        s.check_invariants();
+    }
+}

@@ -1,0 +1,146 @@
+//! Top-k extraction and the Zipfian sizing rules of Section 5.
+//!
+//! Theorem 8: on Zipf(α ≥ 1) data, `m = (A+B)·(1/ε)^{1/α}` counters give
+//! uniform error `≤ εF1`. Theorem 9 turns this into top-k order recovery:
+//! with error below half the gap `f_k − f_{k+1}`, the k largest counters
+//! are exactly the k most frequent items *in the correct order*.
+
+use std::hash::Hash;
+
+use crate::traits::{FrequencyEstimator, TailConstants};
+
+/// The k largest counters, most frequent first (ties broken by the
+/// summary's entry order, matching how a user would read off a top-k list).
+pub fn top_k<I, E>(summary: &E, k: usize) -> Vec<(I, u64)>
+where
+    I: Eq + Hash + Clone,
+    E: FrequencyEstimator<I> + ?Sized,
+{
+    let mut entries = summary.entries();
+    entries.truncate(k);
+    entries
+}
+
+/// Whether the summary's top-k *item sequence* matches the exact top-k.
+///
+/// `exact_top_k` must be the ground-truth top-k, most frequent first. Items
+/// at equal true frequency are interchangeable: a reported ordering is
+/// accepted if each position's true frequency matches (the paper's "correct
+/// order" cannot distinguish exact ties).
+pub fn order_correct<I, E>(summary: &E, exact_top_k: &[(I, u64)]) -> bool
+where
+    I: Eq + Hash + Clone,
+    E: FrequencyEstimator<I> + ?Sized,
+{
+    let reported = top_k(summary, exact_top_k.len());
+    if reported.len() != exact_top_k.len() {
+        return false;
+    }
+    // Exact count of every reported item must equal the exact count at that
+    // rank, and the reported item must actually have that true frequency.
+    let truth: std::collections::HashMap<&I, u64> =
+        exact_top_k.iter().map(|(i, c)| (i, *c)).collect();
+    reported.iter().zip(exact_top_k).all(|((ri, _), (_, ec))| {
+        truth.get(ri).map(|&rc| rc == *ec).unwrap_or(false)
+    })
+}
+
+/// The truncated zeta normalizer `ζ(α) = Σ_{i=1}^n i^{-α}` (duplicated from
+/// `hh-streamgen` to keep this crate dependency-free; three lines).
+fn zeta(n: usize, alpha: f64) -> f64 {
+    (1..=n.max(1)).map(|i| (i as f64).powf(-alpha)).sum()
+}
+
+/// Theorem 8 sizing: counters needed for uniform error `≤ εF1` on Zipf(α)
+/// data: `m = ⌈(A+B)·(1/ε)^{1/α}⌉`.
+pub fn zipf_counters_for_error(constants: TailConstants, eps: f64, alpha: f64) -> usize {
+    assert!(eps > 0.0 && eps < 1.0);
+    assert!(alpha >= 1.0, "Theorem 8 requires alpha >= 1");
+    ((constants.a + constants.b) * (1.0 / eps).powf(1.0 / alpha)).ceil() as usize
+}
+
+/// Theorem 9 sizing: counters sufficient to recover the top-k of Zipf(α)
+/// data in correct order.
+///
+/// Follows the proof: the needed error rate is
+/// `ε = α / (2ζ(α)(k+1)^α k)`, then apply the Theorem 8 sizing.
+/// For `α = 1` this yields the `Θ(k² ln n)` behaviour via `ζ(1) ≈ ln n`.
+pub fn zipf_counters_for_topk(
+    constants: TailConstants,
+    k: usize,
+    alpha: f64,
+    n: usize,
+) -> usize {
+    assert!(k >= 1);
+    assert!(alpha >= 1.0, "Theorem 9 requires alpha >= 1");
+    let z = zeta(n, alpha);
+    let eps = alpha / (2.0 * z * ((k + 1) as f64).powf(alpha) * k as f64);
+    zipf_counters_for_error(constants, eps.min(0.999_999), alpha)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space_saving::SpaceSaving;
+
+    #[test]
+    fn top_k_ordering() {
+        let mut s = SpaceSaving::new(10);
+        for &x in &[1u64, 1, 1, 2, 2, 3] {
+            s.update(x);
+        }
+        assert_eq!(top_k(&s, 2), vec![(1, 3), (2, 2)]);
+    }
+
+    #[test]
+    fn order_correct_accepts_matching_order() {
+        let mut s = SpaceSaving::new(10);
+        for &x in &[1u64, 1, 1, 2, 2, 3] {
+            s.update(x);
+        }
+        assert!(order_correct(&s, &[(1, 3), (2, 2)]));
+        assert!(!order_correct(&s, &[(2, 2), (1, 3)]));
+    }
+
+    #[test]
+    fn order_correct_accepts_tie_swaps() {
+        let mut s = SpaceSaving::new(10);
+        for &x in &[1u64, 1, 2, 2, 3] {
+            s.update(x);
+        }
+        // items 1 and 2 are tied at 2; either order is acceptable
+        assert!(order_correct(&s, &[(1, 2), (2, 2)]));
+        assert!(order_correct(&s, &[(2, 2), (1, 2)]));
+    }
+
+    #[test]
+    fn order_correct_rejects_missing_item() {
+        let mut s = SpaceSaving::new(1);
+        for &x in &[1u64, 1, 2] {
+            s.update(x);
+        }
+        // summary can only hold one item; top-2 cannot be correct
+        assert!(!order_correct(&s, &[(1, 2), (2, 1)]));
+    }
+
+    #[test]
+    fn theorem8_sizing_monotonic() {
+        let t = TailConstants::ONE_ONE;
+        let m1 = zipf_counters_for_error(t, 0.01, 1.0);
+        let m2 = zipf_counters_for_error(t, 0.01, 2.0);
+        assert_eq!(m1, 200); // 2 * 100
+        assert_eq!(m2, 20); // 2 * 10 — steeper skew needs fewer counters
+        assert!(zipf_counters_for_error(t, 0.001, 1.5) > zipf_counters_for_error(t, 0.01, 1.5));
+    }
+
+    #[test]
+    fn theorem9_sizing_grows_with_k() {
+        let t = TailConstants::ONE_ONE;
+        let m4 = zipf_counters_for_topk(t, 4, 1.5, 10_000);
+        let m8 = zipf_counters_for_topk(t, 8, 1.5, 10_000);
+        assert!(m8 > m4);
+        // alpha=1 incurs the ln n factor
+        let m_alpha1 = zipf_counters_for_topk(t, 4, 1.0, 10_000);
+        assert!(m_alpha1 > m4);
+    }
+}

@@ -1,0 +1,236 @@
+//! Common traits for frequency estimators (counter algorithms and, via the
+//! `hh-sketches` crate, sketch algorithms).
+
+use std::hash::Hash;
+
+/// Whether an estimator's point estimates are one-sided.
+///
+/// The paper exploits one-sidedness twice: SPACESAVING *overestimates*
+/// (`f_i ≤ c_i ≤ f_i + Δ`), FREQUENT *underestimates*
+/// (`f_i − Δ ≤ c_i ≤ f_i`), and Section 4.2's m-sparse recovery requires an
+/// underestimating algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Bias {
+    /// Estimates never exceed the true frequency.
+    Under,
+    /// Estimates are never below the true frequency (for stored items).
+    Over,
+    /// Two-sided error (e.g. Count-Sketch).
+    TwoSided,
+}
+
+/// The `(A, B)` constants of a k-tail guarantee (Definition 2 of the paper):
+/// `δ_i ≤ A · F1^res(k) / (m − B·k)` for all `i` and any `k < m/B`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TailConstants {
+    /// Numerator constant.
+    pub a: f64,
+    /// Counter-discount constant.
+    pub b: f64,
+}
+
+impl TailConstants {
+    /// The specialized constants proved for FREQUENT (Appendix B) and
+    /// SPACESAVING (Appendix C).
+    pub const ONE_ONE: TailConstants = TailConstants { a: 1.0, b: 1.0 };
+
+    /// The generic HTC constants from Theorem 2 with `A = 1`: `(1, 2)`.
+    pub const GENERIC: TailConstants = TailConstants { a: 1.0, b: 2.0 };
+
+    /// Evaluates the bound `A·F1^res(k)/(m − B·k)`, or `None` when vacuous
+    /// (`m ≤ B·k`).
+    pub fn bound(&self, m: usize, k: usize, res1_k: u64) -> Option<f64> {
+        let denom = m as f64 - self.b * k as f64;
+        if denom <= 0.0 {
+            None
+        } else {
+            Some(self.a * res1_k as f64 / denom)
+        }
+    }
+
+    /// Counters needed for the Theorem 5 k-sparse recovery at error `ε`:
+    /// `m = k(cA/ε + B)` with `c = 3` in general, `c = 2` for one-sided
+    /// algorithms.
+    pub fn counters_for_sparse_recovery(&self, k: usize, eps: f64, one_sided: bool) -> usize {
+        assert!(eps > 0.0);
+        let c = if one_sided { 2.0 } else { 3.0 };
+        (k as f64 * (c * self.a / eps + self.b)).ceil() as usize
+    }
+
+    /// Counters needed for the Theorem 6 / 7 results: `m = Bk + Ak/ε`.
+    pub fn counters_for_residual_estimate(&self, k: usize, eps: f64) -> usize {
+        assert!(eps > 0.0);
+        (self.b * k as f64 + self.a * k as f64 / eps).ceil() as usize
+    }
+
+    /// The merged-summary constants from Theorem 11: `(3A, A + B)`.
+    pub fn merged(&self) -> TailConstants {
+        TailConstants { a: 3.0 * self.a, b: self.a + self.b }
+    }
+}
+
+/// A streaming frequency estimator over items of type `I`.
+///
+/// Implementations process a stream one update at a time and answer point
+/// frequency queries. `estimate` returns the algorithm's canonical point
+/// estimate (`c_i` in the paper; 0 for unstored items).
+pub trait FrequencyEstimator<I: Eq + Hash + Clone> {
+    /// Short human-readable algorithm name (for experiment tables).
+    fn name(&self) -> &'static str;
+
+    /// The space budget `m`: number of counters the instance may hold.
+    fn capacity(&self) -> usize;
+
+    /// Processes one occurrence of `item`.
+    fn update(&mut self, item: I) {
+        self.update_by(item, 1);
+    }
+
+    /// Processes `count` occurrences of `item` at once (used for merging
+    /// summaries and replaying sparse vectors; equivalent to `count` calls
+    /// of [`FrequencyEstimator::update`]).
+    fn update_by(&mut self, item: I, count: u64);
+
+    /// The point estimate `c_i` (0 when the item is not stored).
+    fn estimate(&self, item: &I) -> u64;
+
+    /// Number of items currently stored (`|T| ≤ m`).
+    fn stored_len(&self) -> usize;
+
+    /// Snapshot of stored `(item, estimate)` pairs, sorted by decreasing
+    /// estimate with ties broken by the summary's eviction order.
+    fn entries(&self) -> Vec<(I, u64)>;
+
+    /// Total weight processed so far (`F1` of the consumed stream).
+    fn stream_len(&self) -> u64;
+
+    /// The estimator's bias direction, if one-sided.
+    fn bias(&self) -> Bias;
+
+    /// A guaranteed lower bound on the item's true frequency.
+    ///
+    /// For underestimating algorithms this equals [`Self::estimate`]; for
+    /// SPACESAVING it is `c_i − err_i` (Section 4.2). Defaults to 0 for
+    /// unstored items.
+    fn lower_estimate(&self, item: &I) -> u64 {
+        match self.bias() {
+            Bias::Under => self.estimate(item),
+            _ => 0,
+        }
+    }
+
+    /// The `(A, B)` tail constants proved for this algorithm, if any.
+    fn tail_constants(&self) -> Option<TailConstants> {
+        None
+    }
+}
+
+impl<I: Eq + Hash + Clone, T: FrequencyEstimator<I> + ?Sized> FrequencyEstimator<I> for Box<T> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn capacity(&self) -> usize {
+        (**self).capacity()
+    }
+
+    fn update(&mut self, item: I) {
+        (**self).update(item)
+    }
+
+    fn update_by(&mut self, item: I, count: u64) {
+        (**self).update_by(item, count)
+    }
+
+    fn estimate(&self, item: &I) -> u64 {
+        (**self).estimate(item)
+    }
+
+    fn stored_len(&self) -> usize {
+        (**self).stored_len()
+    }
+
+    fn entries(&self) -> Vec<(I, u64)> {
+        (**self).entries()
+    }
+
+    fn stream_len(&self) -> u64 {
+        (**self).stream_len()
+    }
+
+    fn bias(&self) -> Bias {
+        (**self).bias()
+    }
+
+    fn lower_estimate(&self, item: &I) -> u64 {
+        (**self).lower_estimate(item)
+    }
+
+    fn tail_constants(&self) -> Option<TailConstants> {
+        (**self).tail_constants()
+    }
+}
+
+/// A frequency estimator for real-weighted streams (Section 6.1 of the
+/// paper: each arrival is `(item, b)` with `b ∈ ℝ⁺`).
+pub trait WeightedFrequencyEstimator<I: Eq + Hash + Clone> {
+    /// Short human-readable algorithm name.
+    fn name(&self) -> &'static str;
+
+    /// The space budget `m`.
+    fn capacity(&self) -> usize;
+
+    /// Processes an arrival of `item` with weight `w ≥ 0`.
+    fn update_weighted(&mut self, item: I, w: f64);
+
+    /// The point estimate of the item's total weight.
+    fn estimate_weighted(&self, item: &I) -> f64;
+
+    /// Number of items currently stored.
+    fn stored_len(&self) -> usize;
+
+    /// Snapshot of stored `(item, estimate)` pairs sorted by decreasing
+    /// estimate.
+    fn entries_weighted(&self) -> Vec<(I, f64)>;
+
+    /// Total weight processed so far.
+    fn total_weight(&self) -> f64;
+
+    /// The `(A, B)` tail constants (Theorem 10: `A = B = 1` for both
+    /// FREQUENTR and SPACESAVINGR).
+    fn tail_constants(&self) -> Option<TailConstants> {
+        Some(TailConstants::ONE_ONE)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tail_bound_evaluation() {
+        let t = TailConstants::ONE_ONE;
+        assert_eq!(t.bound(10, 2, 80), Some(10.0));
+        assert_eq!(t.bound(2, 2, 80), None);
+        let g = TailConstants::GENERIC;
+        assert_eq!(g.bound(10, 2, 60), Some(10.0));
+        assert_eq!(g.bound(4, 2, 60), None);
+    }
+
+    #[test]
+    fn recovery_sizing() {
+        let t = TailConstants::ONE_ONE;
+        // m = k(3A/eps + B) = 2*(30+1) = 62
+        assert_eq!(t.counters_for_sparse_recovery(2, 0.1, false), 62);
+        // one-sided: m = k(2A/eps + B) = 2*(20+1) = 42
+        assert_eq!(t.counters_for_sparse_recovery(2, 0.1, true), 42);
+        // m = Bk + Ak/eps = 2 + 20 = 22
+        assert_eq!(t.counters_for_residual_estimate(2, 0.1), 22);
+    }
+
+    #[test]
+    fn merged_constants() {
+        let m = TailConstants::ONE_ONE.merged();
+        assert_eq!((m.a, m.b), (3.0, 2.0));
+    }
+}

@@ -1,0 +1,147 @@
+//! Underestimating transforms (Section 4.2).
+//!
+//! Theorem 7's m-sparse recovery needs an algorithm that *never
+//! overestimates*. FREQUENT already qualifies. SPACESAVING overestimates,
+//! but the paper observes two fixes:
+//!
+//! * subtract the global minimum counter `Δ` from every counter
+//!   (`c'_i = max(0, c_i − Δ)`), which keeps the `A = B = 1` tail bounds; or
+//! * subtract each entry's stored `err_i` (the value of `Δ` when the item
+//!   last entered the table), which gives slightly better per-item
+//!   estimates in practice — this is the remark referencing \[25\].
+//!
+//! [`UnderestimatedSpaceSaving`] exposes both as read-only views over a
+//! [`SpaceSaving`] summary.
+
+use std::hash::Hash;
+
+use crate::space_saving::SpaceSaving;
+use crate::traits::FrequencyEstimator;
+
+/// Which underestimating correction to apply to a SPACESAVING summary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Correction {
+    /// `c'_i = max(0, c_i − Δ)` with `Δ` the global minimum counter — the
+    /// construction used in the Theorem 7 proof.
+    GlobalMin,
+    /// `c'_i = c_i − err_i` using the per-entry annotation — tighter in
+    /// practice, identical worst-case bounds.
+    PerItem,
+}
+
+/// A read-only underestimating view over a [`SpaceSaving`] summary.
+#[derive(Debug)]
+pub struct UnderestimatedSpaceSaving<'a, I: Eq + Hash + Clone> {
+    inner: &'a SpaceSaving<I>,
+    correction: Correction,
+}
+
+impl<'a, I: Eq + Hash + Clone> UnderestimatedSpaceSaving<'a, I> {
+    /// Wraps a summary with the chosen correction.
+    pub fn new(inner: &'a SpaceSaving<I>, correction: Correction) -> Self {
+        UnderestimatedSpaceSaving { inner, correction }
+    }
+
+    /// The corrected (never overestimating) point estimate.
+    pub fn estimate(&self, item: &I) -> u64 {
+        match self.correction {
+            Correction::GlobalMin => {
+                let delta = self.inner.min_counter();
+                self.inner.estimate(item).saturating_sub(delta)
+            }
+            Correction::PerItem => self.inner.guaranteed_count(item),
+        }
+    }
+
+    /// All stored `(item, corrected estimate)` pairs, zero estimates
+    /// included, sorted descending.
+    pub fn entries(&self) -> Vec<(I, u64)> {
+        let delta = self.inner.min_counter();
+        let mut v: Vec<(I, u64)> = self
+            .inner
+            .entries_with_err()
+            .into_iter()
+            .map(|(i, c, e)| {
+                let corrected = match self.correction {
+                    Correction::GlobalMin => c.saturating_sub(delta),
+                    Correction::PerItem => c - e,
+                };
+                (i, corrected)
+            })
+            .collect();
+        v.sort_unstable_by_key(|e| std::cmp::Reverse(e.1));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exact(stream: &[u64], i: u64) -> u64 {
+        stream.iter().filter(|&&x| x == i).count() as u64
+    }
+
+    #[test]
+    fn never_overestimates() {
+        let stream: Vec<u64> = (0..1000).map(|i| (i * i % 31) + 1).collect();
+        let mut ss = SpaceSaving::new(8);
+        for &x in &stream {
+            ss.update(x);
+        }
+        for corr in [Correction::GlobalMin, Correction::PerItem] {
+            let u = UnderestimatedSpaceSaving::new(&ss, corr);
+            for i in 1..=31u64 {
+                assert!(
+                    u.estimate(&i) <= exact(&stream, i),
+                    "{corr:?} overestimated item {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn per_item_at_least_as_tight_as_global_min() {
+        let stream: Vec<u64> = (0..500).map(|i| (i * 7 % 19) + 1).collect();
+        let mut ss = SpaceSaving::new(6);
+        for &x in &stream {
+            ss.update(x);
+        }
+        let g = UnderestimatedSpaceSaving::new(&ss, Correction::GlobalMin);
+        let p = UnderestimatedSpaceSaving::new(&ss, Correction::PerItem);
+        for (item, _) in ss.entries() {
+            assert!(
+                p.estimate(&item) >= g.estimate(&item),
+                "per-item correction is tighter (err_i <= Δ)"
+            );
+        }
+    }
+
+    #[test]
+    fn error_still_bounded_by_delta() {
+        // After correction the error direction flips but stays <= Δ.
+        let stream: Vec<u64> = (0..800).map(|i| (i % 43) + 1).collect();
+        let mut ss = SpaceSaving::new(10);
+        for &x in &stream {
+            ss.update(x);
+        }
+        let delta = ss.min_counter();
+        let u = UnderestimatedSpaceSaving::new(&ss, Correction::GlobalMin);
+        for i in 1..=43u64 {
+            let f = exact(&stream, i);
+            let c = u.estimate(&i);
+            assert!(f.saturating_sub(c) <= delta, "item {i}: {c} vs {f}");
+        }
+    }
+
+    #[test]
+    fn exact_when_table_not_full() {
+        let mut ss = SpaceSaving::new(10);
+        for &x in &[1u64, 1, 2, 3, 3, 3] {
+            ss.update(x);
+        }
+        let u = UnderestimatedSpaceSaving::new(&ss, Correction::GlobalMin);
+        assert_eq!(u.estimate(&1), 2);
+        assert_eq!(u.estimate(&3), 3);
+    }
+}

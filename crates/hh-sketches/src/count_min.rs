@@ -1,0 +1,244 @@
+//! The Count-Min sketch (Cormode & Muthukrishnan), the randomized
+//! comparator from Table 1 with guarantee `|f_i − f̂_i| ≤ ε/k · F1^res(k)`
+//! using `O((k/ε)·log n)` counters.
+//!
+//! `d` rows of `w` counters; each row has an independent pairwise hash.
+//! Point estimates take the minimum over rows and never underestimate.
+//! A *conservative update* variant is included (same guarantees, smaller
+//! error in practice) as it is the strongest practical form of the sketch —
+//! the counter-vs-sketch experiment compares against both.
+
+use std::hash::Hash;
+
+use hh_counters::traits::{Bias, FrequencyEstimator};
+
+use crate::hash::{item_key, PolyHash};
+
+/// Update discipline for [`CountMin`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpdateRule {
+    /// Classic: add the increment to every row's cell.
+    Classic,
+    /// Conservative: raise each cell only up to `min + increment`
+    /// (Estan–Varghese). Strictly tighter estimates, still never
+    /// underestimates.
+    Conservative,
+}
+
+/// Count-Min sketch over items hashable to `u64` keys.
+#[derive(Debug, Clone)]
+pub struct CountMin<I> {
+    rows: Vec<PolyHash>,
+    table: Vec<u64>, // d × w, row-major
+    width: usize,
+    rule: UpdateRule,
+    stream_len: u64,
+    _marker: std::marker::PhantomData<fn(&I)>,
+}
+
+impl<I: Eq + Hash + Clone> CountMin<I> {
+    /// Creates a sketch with `depth` rows × `width` columns, seeded.
+    pub fn new(depth: usize, width: usize, seed: u64, rule: UpdateRule) -> Self {
+        assert!(depth >= 1 && width >= 1);
+        let rows = (0..depth)
+            .map(|r| PolyHash::new(2, seed.wrapping_add(0x9E37 * (r as u64 + 1))))
+            .collect();
+        CountMin {
+            rows,
+            table: vec![0; depth * width],
+            width,
+            rule,
+            stream_len: 0,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Standard `(ε, δ)` sizing: `w = ⌈e/ε⌉`, `d = ⌈ln(1/δ)⌉`.
+    pub fn with_error(epsilon: f64, delta: f64, seed: u64, rule: UpdateRule) -> Self {
+        assert!(epsilon > 0.0 && epsilon < 1.0);
+        assert!(delta > 0.0 && delta < 1.0);
+        let width = (std::f64::consts::E / epsilon).ceil() as usize;
+        let depth = (1.0 / delta).ln().ceil().max(1.0) as usize;
+        Self::new(depth, width, seed, rule)
+    }
+
+    /// Builds the widest sketch with `depth` rows that fits in a budget of
+    /// `total_counters` cells — the constructor the equal-space comparison
+    /// experiments use.
+    pub fn with_budget(total_counters: usize, depth: usize, seed: u64, rule: UpdateRule) -> Self {
+        assert!(total_counters >= depth);
+        Self::new(depth, total_counters / depth, seed, rule)
+    }
+
+    /// Number of rows `d`.
+    pub fn depth(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of columns `w`.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    #[inline]
+    fn cell_index(&self, row: usize, key: u64) -> usize {
+        row * self.width + self.rows[row].bucket(key, self.width)
+    }
+}
+
+impl<I: Eq + Hash + Clone> FrequencyEstimator<I> for CountMin<I> {
+    fn name(&self) -> &'static str {
+        match self.rule {
+            UpdateRule::Classic => "CountMin",
+            UpdateRule::Conservative => "CountMin(CU)",
+        }
+    }
+
+    /// Total number of counter cells `d·w` (the sketch's space in words,
+    /// comparable to a counter algorithm's `m` — the paper's Table 1 space
+    /// column).
+    fn capacity(&self) -> usize {
+        self.table.len()
+    }
+
+    fn update_by(&mut self, item: I, count: u64) {
+        if count == 0 {
+            return;
+        }
+        self.stream_len += count;
+        let key = item_key(&item);
+        match self.rule {
+            UpdateRule::Classic => {
+                for r in 0..self.rows.len() {
+                    let idx = self.cell_index(r, key);
+                    self.table[idx] += count;
+                }
+            }
+            UpdateRule::Conservative => {
+                let est = (0..self.rows.len())
+                    .map(|r| self.table[self.cell_index(r, key)])
+                    .min()
+                    .expect("at least one row");
+                let target = est + count;
+                for r in 0..self.rows.len() {
+                    let idx = self.cell_index(r, key);
+                    if self.table[idx] < target {
+                        self.table[idx] = target;
+                    }
+                }
+            }
+        }
+    }
+
+    fn estimate(&self, item: &I) -> u64 {
+        let key = item_key(item);
+        (0..self.rows.len())
+            .map(|r| self.table[self.cell_index(r, key)])
+            .min()
+            .expect("at least one row")
+    }
+
+    /// Sketches do not store items.
+    fn stored_len(&self) -> usize {
+        0
+    }
+
+    /// Sketches cannot enumerate items; use
+    /// [`crate::topk_tracker::SketchHeavyHitters`] to track candidates.
+    fn entries(&self) -> Vec<(I, u64)> {
+        Vec::new()
+    }
+
+    fn stream_len(&self) -> u64 {
+        self.stream_len
+    }
+
+    fn bias(&self) -> Bias {
+        Bias::Over
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(rule: UpdateRule, stream: &[u64], d: usize, w: usize) -> CountMin<u64> {
+        let mut cm = CountMin::new(d, w, 42, rule);
+        for &x in stream {
+            cm.update(x);
+        }
+        cm
+    }
+
+    #[test]
+    fn never_underestimates() {
+        let stream: Vec<u64> = (0..5000).map(|i| i % 137).collect();
+        for rule in [UpdateRule::Classic, UpdateRule::Conservative] {
+            let cm = run(rule, &stream, 4, 64);
+            for i in 0..137u64 {
+                let exact = stream.iter().filter(|&&x| x == i).count() as u64;
+                assert!(cm.estimate(&i) >= exact, "{rule:?} item {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn exact_when_width_huge() {
+        let stream = [1u64, 1, 2, 3, 3, 3];
+        let cm = run(UpdateRule::Classic, &stream, 4, 1 << 14);
+        assert_eq!(cm.estimate(&1), 2);
+        assert_eq!(cm.estimate(&2), 1);
+        assert_eq!(cm.estimate(&3), 3);
+        assert_eq!(cm.estimate(&99), 0);
+    }
+
+    #[test]
+    fn error_within_classic_bound_whp() {
+        // |err| <= e/w * F1 with prob >= 1 - e^-d per item
+        let stream: Vec<u64> = (0..20_000).map(|i| (i * 31) % 997).collect();
+        let w = 256;
+        let cm = run(UpdateRule::Classic, &stream, 5, w);
+        let bound = (std::f64::consts::E / w as f64 * stream.len() as f64).ceil() as u64;
+        let mut failures = 0;
+        for i in 0..997u64 {
+            let exact = stream.iter().filter(|&&x| x == i).count() as u64;
+            if cm.estimate(&i) - exact > bound {
+                failures += 1;
+            }
+        }
+        assert!(failures <= 2, "{failures} items beyond the CM bound");
+    }
+
+    #[test]
+    fn conservative_never_worse_than_classic() {
+        let stream: Vec<u64> = (0..10_000).map(|i| (i * i) % 499).collect();
+        let classic = run(UpdateRule::Classic, &stream, 4, 128);
+        let cons = run(UpdateRule::Conservative, &stream, 4, 128);
+        for i in 0..499u64 {
+            assert!(cons.estimate(&i) <= classic.estimate(&i), "item {i}");
+        }
+    }
+
+    #[test]
+    fn with_budget_uses_all_cells() {
+        let cm: CountMin<u64> = CountMin::with_budget(1000, 4, 0, UpdateRule::Classic);
+        assert_eq!(cm.depth(), 4);
+        assert_eq!(cm.width(), 250);
+        assert_eq!(cm.capacity(), 1000);
+    }
+
+    #[test]
+    fn update_by_matches_unit_updates() {
+        let mut a: CountMin<u64> = CountMin::new(3, 32, 7, UpdateRule::Classic);
+        let mut b: CountMin<u64> = CountMin::new(3, 32, 7, UpdateRule::Classic);
+        for (i, c) in [(3u64, 4u64), (5, 2), (3, 1)] {
+            a.update_by(i, c);
+            for _ in 0..c {
+                b.update(i);
+            }
+        }
+        for i in 0..10u64 {
+            assert_eq!(a.estimate(&i), b.estimate(&i));
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! The Count-Sketch (Charikar, Chen, Farach-Colton) — the second sketch
+//! comparator from Table 1, with the `(f_i − f̂_i)² ≤ ε/k · F2^res(k)`
+//! guarantee using `O((k/ε)·log n)` counters.
+//!
+//! `d` rows of `w` signed counters; each row pairs a bucket hash with a ±1
+//! sign hash. The estimate is the *median* over rows of
+//! `sign_r(i) · cell_r(i)`, an unbiased two-sided estimator.
+
+use std::hash::Hash;
+
+use hh_counters::traits::{Bias, FrequencyEstimator};
+
+use crate::hash::{item_key, PolyHash};
+
+/// Count-Sketch over items hashable to `u64` keys.
+#[derive(Debug, Clone)]
+pub struct CountSketch<I> {
+    buckets: Vec<PolyHash>,
+    signs: Vec<PolyHash>,
+    table: Vec<i64>, // d × w, row-major
+    width: usize,
+    stream_len: u64,
+    _marker: std::marker::PhantomData<fn(&I)>,
+}
+
+impl<I: Eq + Hash + Clone> CountSketch<I> {
+    /// Creates a sketch with `depth` rows × `width` columns, seeded.
+    pub fn new(depth: usize, width: usize, seed: u64) -> Self {
+        assert!(depth >= 1 && width >= 1);
+        let buckets = (0..depth)
+            .map(|r| PolyHash::new(2, seed.wrapping_add(0xB5_C0 * (r as u64 + 1))))
+            .collect();
+        let signs = (0..depth)
+            .map(|r| PolyHash::new(2, seed.wrapping_add(0x51_6E * (r as u64 + 1)) ^ 0xDEAD_BEEF))
+            .collect();
+        CountSketch {
+            buckets,
+            signs,
+            table: vec![0; depth * width],
+            width,
+            stream_len: 0,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Builds the widest sketch with `depth` rows fitting `total_counters`
+    /// cells (equal-space comparisons).
+    pub fn with_budget(total_counters: usize, depth: usize, seed: u64) -> Self {
+        assert!(total_counters >= depth);
+        Self::new(depth, total_counters / depth, seed)
+    }
+
+    /// Number of rows `d`.
+    pub fn depth(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Number of columns `w`.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// The signed (possibly negative) median estimate — the sketch's native
+    /// estimator before clamping to the non-negative frequency domain.
+    pub fn signed_estimate(&self, item: &I) -> i64 {
+        let key = item_key(item);
+        let mut row_estimates: Vec<i64> = (0..self.depth())
+            .map(|r| {
+                let idx = r * self.width + self.buckets[r].bucket(key, self.width);
+                self.signs[r].sign(key) * self.table[idx]
+            })
+            .collect();
+        row_estimates.sort_unstable();
+        let d = row_estimates.len();
+        if d % 2 == 1 {
+            row_estimates[d / 2]
+        } else {
+            // even depth: average the middle pair (rounding toward zero)
+            (row_estimates[d / 2 - 1] + row_estimates[d / 2]) / 2
+        }
+    }
+}
+
+impl<I: Eq + Hash + Clone> FrequencyEstimator<I> for CountSketch<I> {
+    fn name(&self) -> &'static str {
+        "CountSketch"
+    }
+
+    /// Total number of counter cells `d·w`.
+    fn capacity(&self) -> usize {
+        self.table.len()
+    }
+
+    fn update_by(&mut self, item: I, count: u64) {
+        if count == 0 {
+            return;
+        }
+        self.stream_len += count;
+        let key = item_key(&item);
+        for r in 0..self.depth() {
+            let idx = r * self.width + self.buckets[r].bucket(key, self.width);
+            self.table[idx] += self.signs[r].sign(key) * count as i64;
+        }
+    }
+
+    /// The median estimate clamped to the non-negative domain.
+    fn estimate(&self, item: &I) -> u64 {
+        self.signed_estimate(item).max(0) as u64
+    }
+
+    /// Sketches do not store items.
+    fn stored_len(&self) -> usize {
+        0
+    }
+
+    /// Sketches cannot enumerate items; use
+    /// [`crate::topk_tracker::SketchHeavyHitters`] to track candidates.
+    fn entries(&self) -> Vec<(I, u64)> {
+        Vec::new()
+    }
+
+    fn stream_len(&self) -> u64 {
+        self.stream_len
+    }
+
+    fn bias(&self) -> Bias {
+        Bias::TwoSided
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_when_width_huge() {
+        let mut cs: CountSketch<u64> = CountSketch::new(5, 1 << 14, 3);
+        for &x in &[1u64, 1, 2, 3, 3, 3] {
+            cs.update(x);
+        }
+        assert_eq!(cs.estimate(&1), 2);
+        assert_eq!(cs.estimate(&2), 1);
+        assert_eq!(cs.estimate(&3), 3);
+        assert_eq!(cs.estimate(&99), 0);
+    }
+
+    #[test]
+    fn median_estimate_close_on_skewed_stream() {
+        // heavy item should be estimated within the L2 tail noise
+        let mut stream: Vec<u64> = vec![7; 5000];
+        stream.extend((0..10_000u64).map(|i| i % 500 + 100));
+        let mut cs: CountSketch<u64> = CountSketch::new(5, 512, 9);
+        for &x in &stream {
+            cs.update(x);
+        }
+        let est = cs.estimate(&7);
+        assert!(
+            (est as i64 - 5000).unsigned_abs() < 500,
+            "heavy estimate {est} too far from 5000"
+        );
+    }
+
+    #[test]
+    fn unbiased_signs_give_small_error_for_absent_items() {
+        let mut cs: CountSketch<u64> = CountSketch::new(7, 256, 1);
+        for i in 0..20_000u64 {
+            cs.update(i % 400);
+        }
+        // absent items should be near zero
+        let mut bad = 0;
+        for i in 1000..1100u64 {
+            if cs.estimate(&i) > 400 {
+                bad += 1;
+            }
+        }
+        assert!(bad <= 3, "{bad} absent items estimated far from 0");
+    }
+
+    #[test]
+    fn even_depth_median_works() {
+        let mut cs: CountSketch<u64> = CountSketch::new(4, 1 << 12, 5);
+        for _ in 0..10 {
+            cs.update(42u64);
+        }
+        assert_eq!(cs.estimate(&42), 10);
+    }
+
+    #[test]
+    fn update_by_matches_unit_updates() {
+        let mut a: CountSketch<u64> = CountSketch::new(3, 64, 7);
+        let mut b: CountSketch<u64> = CountSketch::new(3, 64, 7);
+        for (i, c) in [(3u64, 4u64), (5, 2), (3, 1)] {
+            a.update_by(i, c);
+            for _ in 0..c {
+                b.update(i);
+            }
+        }
+        for i in 0..10u64 {
+            assert_eq!(a.signed_estimate(&i), b.signed_estimate(&i));
+        }
+    }
+}

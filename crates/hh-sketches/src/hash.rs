@@ -1,0 +1,189 @@
+//! Seeded hash families for the sketches.
+//!
+//! Count-Min needs pairwise-independent row hashes; Count-Sketch
+//! additionally needs pairwise-independent ±1 sign hashes. We implement the
+//! classic polynomial construction over the Mersenne prime `p = 2^61 − 1`:
+//! a degree-(k−1) polynomial with random coefficients is k-wise
+//! independent, and arithmetic mod `2^61 − 1` reduces with shifts instead
+//! of division. No external dependency is needed; seeding uses SplitMix64
+//! so each `(seed, row)` pair yields an independent function.
+
+/// The Mersenne prime `2^61 − 1`.
+pub const MERSENNE_P: u64 = (1 << 61) - 1;
+
+/// SplitMix64 — tiny deterministic PRNG used only to derive hash
+/// coefficients from a seed.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A value in `[0, MERSENNE_P)`.
+    fn next_mod_p(&mut self) -> u64 {
+        loop {
+            let v = self.next_u64() & MERSENNE_P; // 61 low bits
+            if v < MERSENNE_P {
+                return v;
+            }
+        }
+    }
+}
+
+/// `(a*x + b) mod (2^61−1)` with lazy modular reduction.
+#[inline]
+fn mod_p_mul_add(a: u64, x: u64, b: u64) -> u64 {
+    // a, x, b < 2^61; use 128-bit product then Mersenne folding.
+    let prod = (a as u128) * (x as u128) + (b as u128);
+    let lo = (prod & MERSENNE_P as u128) as u64;
+    let hi = (prod >> 61) as u64;
+    let mut s = lo + hi;
+    if s >= MERSENNE_P {
+        s -= MERSENNE_P;
+    }
+    // hi < 2^67/2^61 = 2^67-61... one more fold covers all cases
+    if s >= MERSENNE_P {
+        s -= MERSENNE_P;
+    }
+    s
+}
+
+/// A k-wise independent polynomial hash over `[0, 2^61−1)`.
+#[derive(Debug, Clone)]
+pub struct PolyHash {
+    /// Coefficients, constant term last; degree = len − 1.
+    coeffs: Vec<u64>,
+}
+
+impl PolyHash {
+    /// Creates a k-wise independent function (`k = degree + 1 ≥ 2`) from a
+    /// seed.
+    pub fn new(k_wise: usize, seed: u64) -> Self {
+        assert!(k_wise >= 2, "need at least pairwise independence");
+        let mut rng = SplitMix64::new(seed);
+        let mut coeffs: Vec<u64> = (0..k_wise).map(|_| rng.next_mod_p()).collect();
+        // leading coefficient non-zero keeps the polynomial degree exact
+        if coeffs[0] == 0 {
+            coeffs[0] = 1;
+        }
+        PolyHash { coeffs }
+    }
+
+    /// Evaluates the polynomial at `x` (Horner), returning a value in
+    /// `[0, 2^61−1)`.
+    pub fn hash(&self, x: u64) -> u64 {
+        let x = x % MERSENNE_P;
+        let mut acc = 0u64;
+        for &c in &self.coeffs {
+            acc = mod_p_mul_add(acc, x, c);
+        }
+        acc
+    }
+
+    /// Hash reduced onto `[0, buckets)`.
+    pub fn bucket(&self, x: u64, buckets: usize) -> usize {
+        (self.hash(x) % buckets as u64) as usize
+    }
+
+    /// A ±1 sign derived from the hash's low bit (pairwise independent when
+    /// the polynomial is).
+    pub fn sign(&self, x: u64) -> i64 {
+        if self.hash(x) & 1 == 0 {
+            1
+        } else {
+            -1
+        }
+    }
+}
+
+/// Hashes an arbitrary `Hash` item to a `u64` key with the crate's fast
+/// hasher; sketches then apply their seeded [`PolyHash`] functions to this
+/// key. (The composition stays pairwise independent over the keys actually
+/// produced; for `u64`-like items the first step is essentially free.)
+pub fn item_key<I: std::hash::Hash>(item: &I) -> u64 {
+    use std::hash::BuildHasher;
+    // Fixed-state hasher: must be identical across sketch instances so that
+    // merged/compared sketches agree on keys.
+    hh_counters::fasthash::FxBuildHasher::default().hash_one(item)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_deterministic() {
+        let mut a = SplitMix64::new(7);
+        let mut b = SplitMix64::new(7);
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn mod_p_arithmetic_matches_u128_reference() {
+        let mut rng = SplitMix64::new(99);
+        for _ in 0..1000 {
+            let a = rng.next_u64() % MERSENNE_P;
+            let x = rng.next_u64() % MERSENNE_P;
+            let b = rng.next_u64() % MERSENNE_P;
+            let expect = ((a as u128 * x as u128 + b as u128) % MERSENNE_P as u128) as u64;
+            assert_eq!(mod_p_mul_add(a, x, b), expect);
+        }
+    }
+
+    #[test]
+    fn hash_in_range_and_seed_sensitive() {
+        let h1 = PolyHash::new(2, 1);
+        let h2 = PolyHash::new(2, 2);
+        let mut diff = 0;
+        for x in 0..100u64 {
+            assert!(h1.hash(x) < MERSENNE_P);
+            if h1.hash(x) != h2.hash(x) {
+                diff += 1;
+            }
+        }
+        assert!(diff > 90, "different seeds disagree almost everywhere");
+    }
+
+    #[test]
+    fn buckets_roughly_uniform() {
+        let h = PolyHash::new(2, 5);
+        let buckets = 16;
+        let mut counts = vec![0u32; buckets];
+        for x in 0..16_000u64 {
+            counts[h.bucket(x, buckets)] += 1;
+        }
+        for &c in &counts {
+            assert!((700..1300).contains(&c), "bucket count {c} far from 1000");
+        }
+    }
+
+    #[test]
+    fn signs_balanced() {
+        let h = PolyHash::new(2, 11);
+        let sum: i64 = (0..10_000u64).map(|x| h.sign(x)).sum();
+        assert!(sum.abs() < 500, "signs should be nearly balanced: {sum}");
+    }
+
+    #[test]
+    fn item_key_stable_across_calls() {
+        assert_eq!(item_key(&42u64), item_key(&42u64));
+        assert_ne!(item_key(&1u64), item_key(&2u64));
+        assert_eq!(item_key(&"abc"), item_key(&"abc"));
+    }
+}

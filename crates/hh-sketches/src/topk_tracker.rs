@@ -1,0 +1,150 @@
+//! Heavy-hitter candidate tracking for sketches.
+//!
+//! A sketch answers point queries but cannot enumerate the heavy items. The
+//! standard remedy (and what any fair counter-vs-sketch comparison must
+//! charge the sketch for) is to maintain a bounded candidate set alongside:
+//! after each update, re-estimate the item and keep the `cap` items with
+//! the largest current estimates. [`SketchHeavyHitters`] wraps any
+//! [`FrequencyEstimator`] this way, making sketches usable wherever the
+//! experiments expect an `entries()`-capable summary.
+
+use std::hash::Hash;
+
+use hh_counters::fasthash::FxHashMap;
+use hh_counters::traits::{Bias, FrequencyEstimator};
+
+/// A sketch plus a bounded candidate set of likely heavy hitters.
+#[derive(Debug, Clone)]
+pub struct SketchHeavyHitters<I: Eq + Hash + Clone, S> {
+    sketch: S,
+    candidates: FxHashMap<I, u64>,
+    cap: usize,
+}
+
+impl<I: Eq + Hash + Clone + Ord, S: FrequencyEstimator<I>> SketchHeavyHitters<I, S> {
+    /// Wraps `sketch`, tracking up to `cap` candidate items.
+    pub fn new(sketch: S, cap: usize) -> Self {
+        assert!(cap >= 1);
+        SketchHeavyHitters { sketch, candidates: FxHashMap::default(), cap }
+    }
+
+    /// The wrapped sketch.
+    pub fn sketch(&self) -> &S {
+        &self.sketch
+    }
+
+    /// Number of candidate slots (`cap`), i.e. the extra space beyond the
+    /// sketch itself.
+    pub fn candidate_cap(&self) -> usize {
+        self.cap
+    }
+
+    fn refresh_candidate(&mut self, item: I) {
+        let est = self.sketch.estimate(&item);
+        if let Some(v) = self.candidates.get_mut(&item) {
+            *v = est;
+            return;
+        }
+        if self.candidates.len() < self.cap {
+            self.candidates.insert(item, est);
+            return;
+        }
+        // replace the weakest candidate if strictly improved upon
+        let (weakest, weakest_est) = self
+            .candidates
+            .iter()
+            .min_by(|a, b| a.1.cmp(b.1).then_with(|| b.0.cmp(a.0)))
+            .map(|(i, &e)| (i.clone(), e))
+            .expect("cap >= 1");
+        if est > weakest_est {
+            self.candidates.remove(&weakest);
+            self.candidates.insert(item, est);
+        }
+    }
+}
+
+impl<I: Eq + Hash + Clone + Ord, S: FrequencyEstimator<I>> FrequencyEstimator<I>
+    for SketchHeavyHitters<I, S>
+{
+    fn name(&self) -> &'static str {
+        self.sketch.name()
+    }
+
+    /// Total space: sketch cells plus candidate slots.
+    fn capacity(&self) -> usize {
+        self.sketch.capacity() + self.cap
+    }
+
+    fn update_by(&mut self, item: I, count: u64) {
+        if count == 0 {
+            return;
+        }
+        self.sketch.update_by(item.clone(), count);
+        self.refresh_candidate(item);
+    }
+
+    fn estimate(&self, item: &I) -> u64 {
+        self.sketch.estimate(item)
+    }
+
+    fn stored_len(&self) -> usize {
+        self.candidates.len()
+    }
+
+    /// Candidates with their *current* sketch estimates, sorted descending.
+    fn entries(&self) -> Vec<(I, u64)> {
+        let mut v: Vec<(I, u64)> = self
+            .candidates
+            .keys()
+            .map(|i| (i.clone(), self.sketch.estimate(i)))
+            .collect();
+        v.sort_unstable_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        v
+    }
+
+    fn stream_len(&self) -> u64 {
+        self.sketch.stream_len()
+    }
+
+    fn bias(&self) -> Bias {
+        self.sketch.bias()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::count_min::{CountMin, UpdateRule};
+
+    #[test]
+    fn tracks_heavy_items() {
+        let cm: CountMin<u64> = CountMin::new(4, 512, 1, UpdateRule::Classic);
+        let mut hh = SketchHeavyHitters::new(cm, 5);
+        // 3 heavy items in light noise
+        for round in 0..200u64 {
+            for heavy in [1u64, 2, 3] {
+                hh.update(heavy);
+            }
+            hh.update(1000 + round); // singleton noise
+        }
+        let top: Vec<u64> = hh.entries().iter().take(3).map(|&(i, _)| i).collect();
+        assert!(top.contains(&1) && top.contains(&2) && top.contains(&3), "{top:?}");
+    }
+
+    #[test]
+    fn candidate_set_bounded() {
+        let cm: CountMin<u64> = CountMin::new(3, 128, 2, UpdateRule::Classic);
+        let mut hh = SketchHeavyHitters::new(cm, 4);
+        for i in 0..1000u64 {
+            hh.update(i);
+        }
+        assert!(hh.stored_len() <= 4);
+    }
+
+    #[test]
+    fn capacity_charges_for_candidates() {
+        let cm: CountMin<u64> = CountMin::new(2, 10, 0, UpdateRule::Classic);
+        let hh = SketchHeavyHitters::new(cm, 7);
+        assert_eq!(hh.capacity(), 27);
+    }
+}

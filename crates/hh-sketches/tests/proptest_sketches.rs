@@ -1,0 +1,125 @@
+//! Property-based tests on the sketch baselines.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use hh_counters::FrequencyEstimator;
+use hh_sketches::{CountMin, CountSketch, SketchHeavyHitters, UpdateRule};
+
+fn exact(stream: &[u64], item: u64) -> u64 {
+    stream.iter().filter(|&&x| x == item).count() as u64
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn countmin_never_underestimates(
+        stream in vec(1u64..50, 0..300),
+        seed in 0u64..100,
+        depth in 1usize..5,
+        width in 1usize..64
+    ) {
+        for rule in [UpdateRule::Classic, UpdateRule::Conservative] {
+            let mut cm: CountMin<u64> = CountMin::new(depth, width, seed, rule);
+            for &x in &stream {
+                cm.update(x);
+            }
+            for item in 1..=50u64 {
+                prop_assert!(cm.estimate(&item) >= exact(&stream, item));
+            }
+        }
+    }
+
+    #[test]
+    fn conservative_no_worse_than_classic(
+        stream in vec(1u64..50, 0..300),
+        seed in 0u64..100
+    ) {
+        let mut classic: CountMin<u64> = CountMin::new(3, 16, seed, UpdateRule::Classic);
+        let mut cons: CountMin<u64> = CountMin::new(3, 16, seed, UpdateRule::Conservative);
+        for &x in &stream {
+            classic.update(x);
+            cons.update(x);
+        }
+        for item in 1..=50u64 {
+            prop_assert!(cons.estimate(&item) <= classic.estimate(&item));
+        }
+    }
+
+    #[test]
+    fn sketches_exact_with_no_collisions(
+        stream in vec(1u64..10, 0..100),
+        seed in 0u64..100
+    ) {
+        // width >> distinct items: collisions vanishingly unlikely for the
+        // 9-item universe, so estimates are exact.
+        let mut cm: CountMin<u64> = CountMin::new(4, 1 << 14, seed, UpdateRule::Classic);
+        let mut cs: CountSketch<u64> = CountSketch::new(5, 1 << 14, seed);
+        for &x in &stream {
+            cm.update(x);
+            cs.update(x);
+        }
+        for item in 1..=9u64 {
+            let f = exact(&stream, item);
+            prop_assert_eq!(cm.estimate(&item), f);
+            prop_assert_eq!(cs.estimate(&item), f);
+        }
+    }
+
+    #[test]
+    fn sketch_bulk_equals_unit(
+        updates in vec((1u64..20, 1u64..8), 0..50),
+        seed in 0u64..100
+    ) {
+        let mut bulk: CountMin<u64> = CountMin::new(3, 32, seed, UpdateRule::Classic);
+        let mut unit: CountMin<u64> = CountMin::new(3, 32, seed, UpdateRule::Classic);
+        let mut cs_bulk: CountSketch<u64> = CountSketch::new(3, 32, seed);
+        let mut cs_unit: CountSketch<u64> = CountSketch::new(3, 32, seed);
+        for &(item, c) in &updates {
+            bulk.update_by(item, c);
+            cs_bulk.update_by(item, c);
+            for _ in 0..c {
+                unit.update(item);
+                cs_unit.update(item);
+            }
+        }
+        for item in 1..=20u64 {
+            prop_assert_eq!(bulk.estimate(&item), unit.estimate(&item));
+            prop_assert_eq!(cs_bulk.signed_estimate(&item), cs_unit.signed_estimate(&item));
+        }
+    }
+
+    #[test]
+    fn tracker_candidates_bounded_and_estimates_match_sketch(
+        stream in vec(1u64..40, 0..200),
+        cap in 1usize..10
+    ) {
+        let cm: CountMin<u64> = CountMin::new(3, 64, 5, UpdateRule::Classic);
+        let mut hh = SketchHeavyHitters::new(cm, cap);
+        for &x in &stream {
+            hh.update(x);
+        }
+        prop_assert!(hh.stored_len() <= cap);
+        for (item, est) in hh.entries() {
+            prop_assert_eq!(est, hh.estimate(&item));
+        }
+    }
+
+    #[test]
+    fn seeds_change_tables_but_not_totals(stream in vec(1u64..30, 1..200)) {
+        let mut a: CountMin<u64> = CountMin::new(3, 64, 1, UpdateRule::Classic);
+        let mut b: CountMin<u64> = CountMin::new(3, 64, 2, UpdateRule::Classic);
+        for &x in &stream {
+            a.update(x);
+            b.update(x);
+        }
+        prop_assert_eq!(a.stream_len(), b.stream_len());
+        // both remain valid overestimates regardless of seed
+        for item in 1..=30u64 {
+            let f = exact(&stream, item);
+            prop_assert!(a.estimate(&item) >= f);
+            prop_assert!(b.estimate(&item) >= f);
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! Adversarial stream constructions.
+//!
+//! * [`LowerBoundInstance`] — the Appendix A construction behind Theorem 13:
+//!   two streams sharing a long prefix that force *any* deterministic
+//!   m-counter algorithm into error ≥ `F1^res(k) / (2m + 2k/X)`.
+//! * [`lossy_counting_worst_case`] — the burst schedule that blows up
+//!   LossyCounting's table (the Section 1.1 claim from \[24\] that
+//!   adversarial orderings need `O(1/ε·log n)` counters).
+
+use crate::zipf::{stream_from_counts, StreamOrder};
+use crate::Item;
+
+/// The Appendix A lower-bound instance.
+///
+/// Shared prefix: items `1..=m+k`, each occurring `x` times. Suffix A then
+/// appends `k` items the algorithm *forgot* (it can store only `m` of the
+/// `m+k`), suffix B appends `k` brand-new items (`m+k+1..=m+2k`). The two
+/// continuations are indistinguishable to the algorithm, so its estimates
+/// agree — but the true frequencies differ by `x`, forcing error ≥ `x/2` on
+/// one of the two streams.
+///
+/// The adversary is adaptive: which items the algorithm forgot depends on
+/// the algorithm, so the caller runs its algorithm on
+/// [`Self::prefix`], asks which of `1..=m+k` it no longer stores (or stores
+/// with the smallest counters) via [`Self::continuation_a`], and evaluates
+/// both completed streams.
+#[derive(Debug, Clone)]
+pub struct LowerBoundInstance {
+    /// Number of counters the algorithm under attack uses.
+    pub m: usize,
+    /// Tail parameter of the bound being violated.
+    pub k: usize,
+    /// Occurrences of each prefix item; error forced is `≥ x/2`.
+    pub x: u64,
+}
+
+impl LowerBoundInstance {
+    /// Creates the instance. Requires `k ≤ m` (as in Theorem 13) and
+    /// `x ≥ 1`.
+    pub fn new(m: usize, k: usize, x: u64) -> Self {
+        assert!(k >= 1 && k <= m, "Theorem 13 requires 1 <= k <= m");
+        assert!(x >= 1);
+        LowerBoundInstance { m, k, x }
+    }
+
+    /// The shared prefix: items `1..=m+k`, each `x` times, round-robin
+    /// interleaved (the interleaving keeps all items alive equally long —
+    /// the nastiest realization of the construction).
+    pub fn prefix(&self) -> Vec<Item> {
+        let counts = vec![self.x; self.m + self.k];
+        stream_from_counts(&counts, StreamOrder::RoundRobin)
+    }
+
+    /// Completes stream A: the prefix followed by one occurrence of each of
+    /// `forgotten` (the k prefix items the algorithm under attack retains
+    /// least information about — chosen by the caller after running the
+    /// algorithm on the prefix).
+    pub fn continuation_a(&self, forgotten: &[Item]) -> Vec<Item> {
+        assert_eq!(forgotten.len(), self.k, "need exactly k forgotten items");
+        assert!(
+            forgotten.iter().all(|&i| i >= 1 && i <= (self.m + self.k) as u64),
+            "forgotten items must come from the prefix universe"
+        );
+        forgotten.to_vec()
+    }
+
+    /// Completes stream B: the prefix followed by `k` brand-new items
+    /// `m+k+1..=m+2k`.
+    pub fn continuation_b(&self) -> Vec<Item> {
+        ((self.m + self.k + 1)..=(self.m + 2 * self.k))
+            .map(|i| i as Item)
+            .collect()
+    }
+
+    /// The error Theorem 13 forces on one of the two streams:
+    /// `F1^res(k) / (2m + 2k/X)` where `F1^res(k) = X·m` for stream A.
+    pub fn forced_error(&self) -> f64 {
+        let res = (self.x * self.m as u64) as f64;
+        res / (2.0 * self.m as f64 + 2.0 * self.k as f64 / self.x as f64)
+    }
+}
+
+/// The ordering that drives LossyCounting's table to its
+/// `Θ((1/ε)·log(εN))` worst case (the Section 1.1 claim from \[24\]).
+///
+/// With window width `w`, an entry inserted with count `c` survives roughly
+/// `c` window boundaries after its burst. The construction runs `t`
+/// windows; the window `j` boundaries *before the end* is filled with
+/// `⌊w/(j+2)⌋` fresh items bursting `j+2` times each, so **every** group is
+/// still resident at the final boundary. The high-water table size is
+/// therefore `Σ_{j=1}^{t} w/(j+2) = Θ(w·ln t)`, while any random shuffle of
+/// the same frequency multiset keeps the table at `O(w)` (spread-out
+/// occurrences are pruned every window).
+///
+/// Returns `(stream, counts)` — the counts multiset lets callers build the
+/// shuffled control with identical frequencies.
+pub fn lossy_counting_worst_case(w: u64, t: u64) -> (Vec<Item>, Vec<u64>) {
+    assert!(w >= 4 && t >= 1);
+    let mut stream = Vec::new();
+    let mut counts = Vec::new();
+    let mut next_item: Item = 1;
+    // Earliest windows host the longest-surviving groups (largest j).
+    for j in (1..=t).rev() {
+        let burst = j + 2;
+        let group = w / burst;
+        let mut used = 0u64;
+        for _ in 0..group {
+            counts.push(burst);
+            stream.extend(std::iter::repeat_n(next_item, burst as usize));
+            next_item += 1;
+            used += burst;
+        }
+        // pad the window with fresh singletons so boundaries stay aligned
+        while used < w {
+            counts.push(1);
+            stream.push(next_item);
+            next_item += 1;
+            used += 1;
+        }
+    }
+    (stream, counts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::ExactCounter;
+
+    #[test]
+    fn prefix_has_equal_counts() {
+        let inst = LowerBoundInstance::new(10, 3, 7);
+        let p = inst.prefix();
+        assert_eq!(p.len(), 13 * 7);
+        let c = ExactCounter::from_stream(&p);
+        for i in 1..=13u64 {
+            assert_eq!(c.count(&i), 7);
+        }
+    }
+
+    #[test]
+    fn continuations_have_right_shape() {
+        let inst = LowerBoundInstance::new(5, 2, 3);
+        let a = inst.continuation_a(&[1, 4]);
+        assert_eq!(a, vec![1, 4]);
+        let b = inst.continuation_b();
+        assert_eq!(b, vec![8, 9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly k")]
+    fn continuation_a_validates_len() {
+        let inst = LowerBoundInstance::new(5, 2, 3);
+        inst.continuation_a(&[1]);
+    }
+
+    #[test]
+    fn forced_error_matches_formula() {
+        let inst = LowerBoundInstance::new(10, 2, 100);
+        // res = 1000, denom = 20 + 4/100 = 20.04
+        assert!((inst.forced_error() - 1000.0 / 20.04).abs() < 1e-9);
+        // as x grows the bound approaches F1res/2m = x*m/2m = x/2
+        let big = LowerBoundInstance::new(10, 2, 1_000_000);
+        assert!((big.forced_error() / (big.x as f64 / 2.0) - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn worst_case_stream_matches_counts() {
+        let (stream, counts) = lossy_counting_worst_case(20, 5);
+        assert_eq!(stream.len() as u64, counts.iter().sum::<u64>());
+        assert_eq!(stream.len() as u64, 20 * 5, "each window exactly filled");
+        let c = ExactCounter::from_stream(&stream);
+        let mut observed: Vec<u64> = (1..=c.distinct() as u64).map(|i| c.count(&i)).collect();
+        observed.sort_unstable();
+        let mut expect = counts.clone();
+        expect.sort_unstable();
+        assert_eq!(observed, expect);
+    }
+
+    #[test]
+    fn worst_case_group_sizes_shrink_towards_the_end() {
+        let (_, counts) = lossy_counting_worst_case(100, 10);
+        // the largest burst is t+2, present w/(t+2) times
+        assert_eq!(counts.iter().filter(|&&c| c == 12).count(), 100 / 12);
+        assert!(counts.iter().filter(|&&c| c == 3).count() >= 100 / 3);
+    }
+}

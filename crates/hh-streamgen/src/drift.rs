@@ -1,0 +1,116 @@
+//! Non-stationary workloads: popularity drift and flash crowds.
+//!
+//! The paper's guarantees are worst-case over *orderings*, which includes
+//! arbitrary non-stationarity; these generators stress exactly that. A
+//! drifting stream rotates which items are popular over time (so early
+//! heavy hitters die off), and a flash crowd injects a burst of a brand-new
+//! item mid-stream (so summaries must displace established entries).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::zipf::{exact_zipf_counts, stream_from_counts, StreamOrder};
+use crate::Item;
+
+/// A stream of `phases` epochs; each epoch draws a Zipf(α) workload over a
+/// *rotated* item universe, so each epoch's heavy hitters are disjoint
+/// from the previous epoch's.
+///
+/// Items of epoch `p` are `p*n + 1 ..= p*n + n`. Total length is
+/// `phases * per_phase`.
+pub fn drifting_zipf(
+    n: usize,
+    per_phase: u64,
+    alpha: f64,
+    phases: usize,
+    seed: u64,
+) -> Vec<Item> {
+    assert!(phases >= 1);
+    let mut out = Vec::with_capacity((per_phase as usize) * phases);
+    let counts = exact_zipf_counts(n, per_phase, alpha);
+    for p in 0..phases {
+        let offset = (p * n) as u64;
+        let mut epoch = stream_from_counts(&counts, StreamOrder::Shuffled(seed ^ p as u64));
+        for x in &mut epoch {
+            *x += offset;
+        }
+        out.extend(epoch);
+    }
+    out
+}
+
+/// A background stream with a flash crowd: `background` is interrupted at
+/// `at` (a fraction in `[0,1]` of its length) by `burst_len` occurrences
+/// of the single brand-new item [`flash_item`], after which the background
+/// resumes.
+pub fn flash_crowd(background: &[Item], at: f64, burst_len: usize, seed: u64) -> Vec<Item> {
+    assert!((0.0..=1.0).contains(&at));
+    let cut = ((background.len() as f64) * at) as usize;
+    let mut out = Vec::with_capacity(background.len() + burst_len);
+    out.extend_from_slice(&background[..cut]);
+    out.extend(std::iter::repeat_n(flash_item(), burst_len));
+    out.extend_from_slice(&background[cut..]);
+    // light shuffle *within* the burst window edges keeps it adversarialish
+    // but deterministic; full shuffles would dissolve the flash semantics.
+    let lo = cut.saturating_sub(burst_len / 4);
+    let hi = (cut + burst_len + burst_len / 4).min(out.len());
+    let mut rng = StdRng::seed_from_u64(seed);
+    out[lo..hi].shuffle(&mut rng);
+    out
+}
+
+/// The item id used by [`flash_crowd`] bursts (outside any generator's
+/// normal universe).
+pub fn flash_item() -> Item {
+    u64::MAX - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::ExactCounter;
+
+    #[test]
+    fn drift_rotates_universes() {
+        let s = drifting_zipf(100, 1_000, 1.2, 3, 7);
+        assert_eq!(s.len(), 3_000);
+        let c = ExactCounter::from_stream(&s);
+        // every epoch contributes the same frequency vector over its own ids
+        assert_eq!(c.count(&1), c.count(&101));
+        assert_eq!(c.count(&101), c.count(&201));
+        assert!(c.count(&1) > c.count(&50));
+    }
+
+    #[test]
+    fn drift_heavy_hitters_change_per_phase() {
+        let s = drifting_zipf(50, 500, 1.5, 2, 1);
+        let first_half = ExactCounter::from_stream(&s[..500]);
+        let second_half = ExactCounter::from_stream(&s[500..]);
+        assert!(first_half.count(&1) > 0);
+        assert_eq!(first_half.count(&51), 0, "phase-2 items absent early");
+        assert_eq!(second_half.count(&1), 0, "phase-1 items absent late");
+    }
+
+    #[test]
+    fn flash_crowd_injects_burst() {
+        let bg: Vec<Item> = (0..1000).map(|i| i % 20 + 1).collect();
+        let s = flash_crowd(&bg, 0.5, 300, 3);
+        assert_eq!(s.len(), 1300);
+        let c = ExactCounter::from_stream(&s);
+        assert_eq!(c.count(&flash_item()), 300);
+        // background frequencies preserved
+        assert_eq!(c.count(&1), 50);
+    }
+
+    #[test]
+    fn flash_crowd_at_edges() {
+        let bg: Vec<Item> = vec![1, 2, 3, 4];
+        let head = flash_crowd(&bg, 0.0, 2, 0);
+        assert_eq!(head.len(), 6);
+        let tail = flash_crowd(&bg, 1.0, 2, 0);
+        assert_eq!(tail.len(), 6);
+        let c = ExactCounter::from_stream(&tail);
+        assert_eq!(c.count(&flash_item()), 2);
+    }
+}

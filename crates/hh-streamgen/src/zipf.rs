@@ -1,0 +1,248 @@
+//! Zipfian frequency vectors and streams (Section 5 of the paper).
+//!
+//! The paper's Theorem 8 assumes frequencies `f_i = N / (i^α ζ(α))` with
+//! `ζ(α) = Σ_{i=1}^n i^{-α}` (a *truncated* zeta normalizer over the n
+//! distinct items, exactly as defined in the paper — not the infinite Riemann
+//! zeta). [`exact_zipf_counts`] constructs integer frequency vectors that
+//! follow this law as closely as rounding allows, which is what the
+//! Theorem 8 / Theorem 9 experiments need. [`ZipfSampler`] instead samples
+//! i.i.d. from the Zipf distribution, which is the realistic-workload mode
+//! used by the motivating experiments.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rand_distr::Zipf;
+
+use crate::Item;
+
+/// The truncated zeta normalizer `ζ(α) = Σ_{i=1}^n i^{-α}` from the paper.
+pub fn zeta(n: usize, alpha: f64) -> f64 {
+    assert!(n > 0, "zeta needs at least one term");
+    (1..=n).map(|i| (i as f64).powf(-alpha)).sum()
+}
+
+/// Builds the exact-Zipf integer frequency vector: `n` items whose
+/// frequencies follow `f_i ≈ N / (i^α ζ(α))`, largest first.
+///
+/// Rounding is done by largest-remainder so that the returned vector sums to
+/// exactly `total` (unless `total < n` forces zero entries, which are kept so
+/// the index still identifies the rank). The vector is non-increasing.
+///
+/// ```
+/// let f = hh_streamgen::exact_zipf_counts(100, 10_000, 1.2);
+/// assert_eq!(f.iter().sum::<u64>(), 10_000);
+/// assert!(f.windows(2).all(|w| w[0] >= w[1]));
+/// ```
+pub fn exact_zipf_counts(n: usize, total: u64, alpha: f64) -> Vec<u64> {
+    assert!(n > 0, "need at least one item");
+    assert!(alpha >= 0.0, "alpha must be non-negative");
+    let z = zeta(n, alpha);
+    // Ideal real-valued frequencies.
+    let ideal: Vec<f64> = (1..=n)
+        .map(|i| total as f64 / ((i as f64).powf(alpha) * z))
+        .collect();
+    // Largest-remainder rounding preserving the exact total.
+    let mut counts: Vec<u64> = ideal.iter().map(|&x| x.floor() as u64).collect();
+    let assigned: u64 = counts.iter().sum();
+    let mut leftover = total - assigned.min(total);
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_unstable_by(|&a, &b| {
+        let ra = ideal[a] - ideal[a].floor();
+        let rb = ideal[b] - ideal[b].floor();
+        rb.partial_cmp(&ra).expect("finite").then(a.cmp(&b))
+    });
+    let mut idx = 0;
+    while leftover > 0 {
+        counts[order[idx % n]] += 1;
+        idx += 1;
+        leftover -= 1;
+    }
+    // Largest-remainder can break monotonicity by at most 1 between adjacent
+    // ranks; restore it (the paper's analysis needs f_1 >= f_2 >= ...).
+    counts.sort_unstable_by(|a, b| b.cmp(a));
+    counts
+}
+
+/// How the occurrences of a frequency vector are laid out in the stream.
+///
+/// The paper's guarantees hold for *any* ordering (in contrast to
+/// `LossyCounting`'s random-order analysis, see Section 1.1), so experiments
+/// sweep these.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamOrder {
+    /// Uniformly random permutation of all occurrences (seeded).
+    Shuffled(u64),
+    /// All occurrences of the most frequent item first, then the next, etc.
+    BlocksDescending,
+    /// All occurrences of the least frequent item first, then the next, etc.
+    /// Hard for algorithms that commit early to heavy items.
+    BlocksAscending,
+    /// Round-robin over the items still having occurrences left. Spreads
+    /// every item as thin as possible; hard for window-based pruning
+    /// (LossyCounting).
+    RoundRobin,
+}
+
+/// Materializes a stream realizing the given frequency vector.
+///
+/// Item ids are `1..=counts.len()` (matching the paper's convention that
+/// item `i` is the `i`-th most frequent when `counts` is sorted descending).
+/// Items with zero count simply never occur.
+pub fn stream_from_counts(counts: &[u64], order: StreamOrder) -> Vec<Item> {
+    let total: u64 = counts.iter().sum();
+    let mut stream: Vec<Item> = Vec::with_capacity(total as usize);
+    match order {
+        StreamOrder::BlocksDescending => {
+            for (i, &c) in counts.iter().enumerate() {
+                stream.extend(std::iter::repeat_n((i + 1) as Item, c as usize));
+            }
+        }
+        StreamOrder::BlocksAscending => {
+            for (i, &c) in counts.iter().enumerate().rev() {
+                stream.extend(std::iter::repeat_n((i + 1) as Item, c as usize));
+            }
+        }
+        StreamOrder::RoundRobin => {
+            let mut remaining: Vec<u64> = counts.to_vec();
+            let mut alive = true;
+            while alive {
+                alive = false;
+                for (i, r) in remaining.iter_mut().enumerate() {
+                    if *r > 0 {
+                        stream.push((i + 1) as Item);
+                        *r -= 1;
+                        alive = true;
+                    }
+                }
+            }
+        }
+        StreamOrder::Shuffled(seed) => {
+            for (i, &c) in counts.iter().enumerate() {
+                stream.extend(std::iter::repeat_n((i + 1) as Item, c as usize));
+            }
+            let mut rng = StdRng::seed_from_u64(seed);
+            stream.shuffle(&mut rng);
+        }
+    }
+    stream
+}
+
+/// I.i.d. sampler from the Zipf distribution over `1..=n` with exponent
+/// `alpha`.
+///
+/// Samples are item ids; smaller ids are more frequent. Backed by
+/// `rand_distr::Zipf` (rejection sampling) with a seeded `StdRng`.
+#[derive(Debug)]
+pub struct ZipfSampler {
+    rng: StdRng,
+    dist: Zipf<f64>,
+}
+
+impl ZipfSampler {
+    /// Creates a sampler over `n` items with exponent `alpha > 0`.
+    pub fn new(n: usize, alpha: f64, seed: u64) -> Self {
+        assert!(n > 0, "need at least one item");
+        assert!(alpha > 0.0, "rand_distr::Zipf requires alpha > 0");
+        ZipfSampler {
+            rng: StdRng::seed_from_u64(seed),
+            dist: Zipf::new(n as u64, alpha).expect("valid Zipf parameters"),
+        }
+    }
+
+    /// Draws one item id in `1..=n`.
+    pub fn sample(&mut self) -> Item {
+        self.rng.sample(self.dist) as Item
+    }
+
+    /// Draws a stream of `len` items.
+    pub fn stream(&mut self, len: usize) -> Vec<Item> {
+        (0..len).map(|_| self.sample()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::ExactCounter;
+
+    #[test]
+    fn zeta_small_values() {
+        assert!((zeta(1, 1.0) - 1.0).abs() < 1e-12);
+        assert!((zeta(2, 1.0) - 1.5).abs() < 1e-12);
+        assert!((zeta(3, 2.0) - (1.0 + 0.25 + 1.0 / 9.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exact_zipf_sums_to_total() {
+        for &alpha in &[0.5, 1.0, 1.5, 2.0] {
+            let f = exact_zipf_counts(50, 12_345, alpha);
+            assert_eq!(f.iter().sum::<u64>(), 12_345, "alpha={alpha}");
+            assert!(f.windows(2).all(|w| w[0] >= w[1]), "non-increasing");
+        }
+    }
+
+    #[test]
+    fn exact_zipf_ratios_follow_power_law() {
+        let f = exact_zipf_counts(100, 1_000_000, 1.0);
+        // f_1 / f_2 should be ~2 for alpha = 1
+        let ratio = f[0] as f64 / f[1] as f64;
+        assert!((ratio - 2.0).abs() < 0.05, "ratio={ratio}");
+        let ratio4 = f[0] as f64 / f[3] as f64;
+        assert!((ratio4 - 4.0).abs() < 0.1, "ratio4={ratio4}");
+    }
+
+    #[test]
+    fn exact_zipf_single_item() {
+        let f = exact_zipf_counts(1, 100, 1.5);
+        assert_eq!(f, vec![100]);
+    }
+
+    #[test]
+    fn stream_orders_preserve_frequencies() {
+        let counts = vec![5u64, 3, 0, 2];
+        for order in [
+            StreamOrder::Shuffled(7),
+            StreamOrder::BlocksDescending,
+            StreamOrder::BlocksAscending,
+            StreamOrder::RoundRobin,
+        ] {
+            let s = stream_from_counts(&counts, order);
+            assert_eq!(s.len(), 10);
+            let c = ExactCounter::from_stream(&s);
+            assert_eq!(c.count(&1), 5);
+            assert_eq!(c.count(&2), 3);
+            assert_eq!(c.count(&3), 0);
+            assert_eq!(c.count(&4), 2);
+        }
+    }
+
+    #[test]
+    fn round_robin_interleaves() {
+        let s = stream_from_counts(&[2, 2], StreamOrder::RoundRobin);
+        assert_eq!(s, vec![1, 2, 1, 2]);
+    }
+
+    #[test]
+    fn shuffle_is_seeded_deterministic() {
+        let counts = vec![4u64, 4, 4];
+        let a = stream_from_counts(&counts, StreamOrder::Shuffled(42));
+        let b = stream_from_counts(&counts, StreamOrder::Shuffled(42));
+        let c = stream_from_counts(&counts, StreamOrder::Shuffled(43));
+        assert_eq!(a, b);
+        assert_ne!(a, c, "different seeds should (overwhelmingly) differ");
+    }
+
+    #[test]
+    fn sampler_is_skewed_and_deterministic() {
+        let mut s1 = ZipfSampler::new(1000, 1.2, 9);
+        let mut s2 = ZipfSampler::new(1000, 1.2, 9);
+        let a = s1.stream(5000);
+        let b = s2.stream(5000);
+        assert_eq!(a, b);
+        let c = ExactCounter::from_stream(&a);
+        // item 1 should dominate item 100 by a wide margin
+        assert!(c.count(&1) > 10 * c.count(&100).max(1) / 2);
+        assert!(a.iter().all(|&x| (1..=1000).contains(&x)));
+    }
+}

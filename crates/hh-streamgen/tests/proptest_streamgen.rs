@@ -1,0 +1,89 @@
+//! Property-based tests on the workload substrate: frequency statistics,
+//! Zipf vector construction, and stream materialization.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use hh_streamgen::zipf::{stream_from_counts, StreamOrder};
+use hh_streamgen::{exact_zipf_counts, zeta, ExactCounter, Freqs};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn freqs_head_plus_residual_is_f1(counts in vec(0u64..1000, 0..50), k in 0usize..60) {
+        let f = Freqs::from_counts(counts.clone());
+        prop_assert_eq!(f.head1(k) + f.res1(k), f.f1());
+    }
+
+    #[test]
+    fn residual_monotone_in_k(counts in vec(0u64..1000, 0..50)) {
+        let f = Freqs::from_counts(counts);
+        for k in 0..f.distinct() {
+            prop_assert!(f.res1(k + 1) <= f.res1(k));
+        }
+    }
+
+    #[test]
+    fn residual_p_consistent_with_p1(counts in vec(1u64..500, 1..30), k in 0usize..30) {
+        let f = Freqs::from_counts(counts);
+        let via_p = f.res_p(k, 1.0);
+        prop_assert!((via_p - f.res1(k) as f64).abs() < 1e-6 * (f.f1() as f64).max(1.0));
+    }
+
+    #[test]
+    fn zeta_is_monotone_in_n_and_antitone_in_alpha(n in 1usize..200, alpha in 0.5f64..3.0) {
+        prop_assert!(zeta(n + 1, alpha) > zeta(n, alpha));
+        prop_assert!(zeta(n, alpha + 0.25) <= zeta(n, alpha));
+    }
+
+    #[test]
+    fn exact_zipf_sums_and_sorted(n in 1usize..200, total in 1u64..50_000, alpha in 0.0f64..3.0) {
+        let f = exact_zipf_counts(n, total, alpha);
+        prop_assert_eq!(f.len(), n);
+        prop_assert_eq!(f.iter().sum::<u64>(), total);
+        prop_assert!(f.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn all_orderings_realize_the_same_frequencies(
+        counts in vec(0u64..40, 0..20),
+        seed in 0u64..1000
+    ) {
+        let orders = [
+            StreamOrder::Shuffled(seed),
+            StreamOrder::BlocksAscending,
+            StreamOrder::BlocksDescending,
+            StreamOrder::RoundRobin,
+        ];
+        for order in orders {
+            let s = stream_from_counts(&counts, order);
+            let oracle = ExactCounter::from_stream(&s);
+            for (i, &c) in counts.iter().enumerate() {
+                prop_assert_eq!(oracle.count(&((i + 1) as u64)), c, "{:?}", order);
+            }
+            prop_assert_eq!(s.len() as u64, counts.iter().sum::<u64>());
+        }
+    }
+
+    #[test]
+    fn oracle_top_k_is_sorted_and_consistent(stream in vec(1u64..30, 0..200), k in 0usize..12) {
+        let oracle = ExactCounter::from_stream(&stream);
+        let top = oracle.top_k(k);
+        prop_assert!(top.len() <= k);
+        prop_assert!(top.windows(2).all(|w| w[0].1 >= w[1].1), "sorted by count");
+        for (item, c) in &top {
+            prop_assert_eq!(oracle.count(item), *c);
+        }
+        // top-k sum equals head1(k)
+        let sum: u64 = top.iter().map(|&(_, c)| c).sum();
+        prop_assert_eq!(sum, oracle.freqs().head1(k));
+    }
+
+    #[test]
+    fn coverage_is_antitone_in_fraction(counts in vec(1u64..100, 1..30)) {
+        let f = Freqs::from_counts(counts);
+        prop_assert!(f.coverage(0.3) <= f.coverage(0.7));
+        prop_assert!(f.coverage(0.7) <= f.coverage(1.0));
+    }
+}

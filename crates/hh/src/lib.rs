@@ -1,0 +1,53 @@
+//! # hh — Space-optimal heavy hitters with strong error bounds
+//!
+//! Facade crate for the reproduction of Berinde, Cormode, Indyk &
+//! Strauss, *Space-optimal Heavy Hitters with Strong Error Bounds*
+//! (PODS 2009). Re-exports the full public API of the workspace:
+//!
+//! * [`counters`] — FREQUENT, SPACESAVING (and the weighted FREQUENTR /
+//!   SPACESAVINGR), sparse recovery, merging, Zipf sizing and the
+//!   heavy-tolerance machinery (the paper's contribution);
+//! * [`sketches`] — Count-Min and Count-Sketch baselines;
+//! * [`streamgen`] — Zipfian / adversarial / weighted workload generators
+//!   with exact ground truth;
+//! * [`analysis`] — metrics and experiment drivers.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use hh::prelude::*;
+//!
+//! // Summarize a skewed stream with 8 counters.
+//! let stream = hh::streamgen::zipf::stream_from_counts(
+//!     &hh::streamgen::exact_zipf_counts(1000, 100_000, 1.3),
+//!     hh::streamgen::zipf::StreamOrder::Shuffled(42),
+//! );
+//! let mut summary = SpaceSaving::new(64);
+//! for &item in &stream {
+//!     summary.update(item);
+//! }
+//!
+//! // The k-tail guarantee: errors are bounded by the tail mass, not F1.
+//! let oracle = ExactCounter::from_stream(&stream);
+//! let check = hh::analysis::check_tail(&summary, &oracle, TailConstants::ONE_ONE, 8);
+//! assert!(check.ok);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use hh_analysis as analysis;
+pub use hh_counters as counters;
+pub use hh_sketches as sketches;
+pub use hh_streamgen as streamgen;
+
+/// Convenient glob-import surface: the names almost every user needs.
+pub mod prelude {
+    pub use hh_analysis::{check_tail, error_stats, lp_recovery_error, precision_recall, Table};
+    pub use hh_counters::{
+        Bias, FrequencyEstimator, Frequent, FrequentR, LossyCounting, SpaceSaving, SpaceSavingR,
+        TailConstants, WeightedFrequencyEstimator,
+    };
+    pub use hh_sketches::{CountMin, CountSketch, SketchHeavyHitters, UpdateRule};
+    pub use hh_streamgen::{ExactCounter, ExactWeightedCounter, Freqs, ZipfSampler};
+}

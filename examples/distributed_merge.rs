@@ -1,0 +1,60 @@
+//! Distributed summarization: eight sites each summarize their local
+//! stream; a coordinator merges the summaries without ever seeing the raw
+//! streams (Section 6.2 / Theorem 11 of the paper).
+//!
+//! Run with: `cargo run -p hh --example distributed_merge`
+
+use hh::counters::merge::merge_k_sparse;
+use hh::prelude::*;
+use hh::streamgen::generators::split;
+use hh::streamgen::zipf::{stream_from_counts, StreamOrder};
+
+fn main() {
+    let sites = 8;
+    let m = 96;
+    let k = 8;
+
+    // The union workload: one global Zipf stream, dealt out to the sites.
+    let counts = hh::streamgen::exact_zipf_counts(30_000, 400_000, 1.2);
+    let stream = stream_from_counts(&counts, StreamOrder::Shuffled(99));
+    let parts = split(&stream, sites);
+
+    // Each site runs SPACESAVING locally.
+    let summaries: Vec<SpaceSaving<u64>> = parts
+        .iter()
+        .map(|part| {
+            let mut s = SpaceSaving::new(m);
+            for &x in part {
+                s.update(x);
+            }
+            s
+        })
+        .collect();
+    for (i, s) in summaries.iter().enumerate() {
+        println!("site {i}: {} items summarized into {} counters", s.stream_len(), m);
+    }
+
+    // Coordinator: merge the k-sparse recoveries (Theorem 11's procedure).
+    let merged = merge_k_sparse(&summaries, k, || SpaceSaving::new(m));
+
+    // Theorem 11 guarantee over the UNION stream: constants (3A, A+B)=(3,2).
+    let oracle = ExactCounter::from_stream(&stream);
+    let freqs = oracle.freqs();
+    let merged_bound = TailConstants::ONE_ONE
+        .merged()
+        .bound(m, k, freqs.res1(k))
+        .expect("m > 2k");
+    let worst = oracle
+        .iter()
+        .map(|(i, f)| f.abs_diff(merged.estimate(i)))
+        .max()
+        .unwrap_or(0);
+
+    println!("\nmerged summary of {} total items:", merged.stream_len());
+    println!("{:>8}  {:>10}  {:>10}", "item", "merged est", "exact");
+    for (item, est) in merged.entries().into_iter().take(8) {
+        println!("{item:>8}  {est:>10}  {:>10}", oracle.count(&item));
+    }
+    println!("\nTheorem 11 check: max error {worst} <= 3*F1res({k})/(m-2k) = {merged_bound:.1}");
+    assert!((worst as f64) <= merged_bound);
+}

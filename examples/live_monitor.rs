@@ -1,0 +1,62 @@
+//! Live top-k monitoring with flash-crowd detection and summary
+//! checkpointing.
+//!
+//! A dashboard-style loop: a [`TopKMonitor`] reports top-k membership
+//! changes as they happen; mid-stream a flash crowd bursts in and is
+//! certified-detected; finally the summary is checkpointed to JSON and
+//! restored bit-identically (the snapshot machinery distributed
+//! deployments use).
+//!
+//! Run with: `cargo run -p hh --example live_monitor`
+
+use hh::counters::monitor::{TopKChange, TopKMonitor};
+use hh::counters::snapshot::SpaceSavingSnapshot;
+use hh::prelude::*;
+use hh::streamgen::drift::{flash_crowd, flash_item};
+use hh::streamgen::zipf::{stream_from_counts, StreamOrder};
+
+fn main() {
+    // Background: Zipf(1.3) traffic; a flash crowd bursts in at 70%.
+    let counts = hh::streamgen::exact_zipf_counts(2_000, 40_000, 1.3);
+    let background = stream_from_counts(&counts, StreamOrder::Shuffled(8));
+    let stream = flash_crowd(&background, 0.7, 4_000, 15);
+
+    let mut monitor: TopKMonitor<u64> = TopKMonitor::new(64, 5);
+    let mut change_log = 0usize;
+    for (pos, &item) in stream.iter().enumerate() {
+        for change in monitor.update(item) {
+            change_log += 1;
+            if change_log <= 12 || matches!(change, TopKChange::Entered(i) if i == flash_item()) {
+                match change {
+                    TopKChange::Entered(i) => {
+                        let label = if i == flash_item() { "  <-- FLASH CROWD" } else { "" };
+                        println!("[{pos:>6}] + item {i} entered top-5{label}");
+                    }
+                    TopKChange::Left(i) => println!("[{pos:>6}] - item {i} left top-5"),
+                }
+            }
+        }
+    }
+    println!("({change_log} membership changes total)\n");
+
+    println!("final top-5:");
+    for (item, count) in monitor.ranked() {
+        let label = if item == flash_item() { "  (the flash item)" } else { "" };
+        println!("  item {item:<22} {count:>7}{label}");
+    }
+    assert!(
+        monitor.members().contains(&flash_item()),
+        "the flash item must end in the top-5"
+    );
+
+    // Checkpoint the summary and restore it — estimates are identical.
+    let snapshot = SpaceSavingSnapshot::from_summary(monitor.summary());
+    let json = serde_json::to_string(&snapshot).expect("serialize");
+    println!("\ncheckpoint: {} bytes of JSON", json.len());
+    let restored: SpaceSavingSnapshot<u64> = serde_json::from_str(&json).expect("parse");
+    let restored = restored.into_summary();
+    for (item, count) in monitor.ranked() {
+        assert_eq!(restored.estimate(&item), count);
+    }
+    println!("restored summary matches the live one ✓");
+}

@@ -1,0 +1,63 @@
+//! Network monitoring: find the top flows *by bytes* in a synthetic packet
+//! trace using the weighted SPACESAVINGR algorithm (Section 6.1 of the
+//! paper).
+//!
+//! Each packet is `(flow_id, bytes)`; popularity is Zipfian and packet
+//! sizes are LogNormal — a standard stand-in for real router traces.
+//!
+//! Run with: `cargo run -p hh --example network_monitor`
+
+use hh::prelude::*;
+use hh::streamgen::WeightedStream;
+
+fn main() {
+    // 200k packets over 5k flows.
+    let trace = WeightedStream::packet_trace(5_000, 200_000, 1.1, 6.0, 1.5, 2024);
+    println!(
+        "trace: {} packets, {:.1} MB total",
+        trace.len(),
+        trace.total_weight() / 1e6
+    );
+
+    // Track byte counts with 64 counters.
+    let m = 64;
+    let mut monitor = SpaceSavingR::new(m);
+    for &(flow, bytes) in &trace.updates {
+        monitor.update_weighted(flow, bytes);
+    }
+
+    // Ground truth for comparison (a real monitor wouldn't have this!).
+    let oracle = ExactWeightedCounter::from_stream(&trace.updates);
+
+    println!("\ntop-10 flows by bytes (monitor vs exact):");
+    println!("{:>8}  {:>12}  {:>12}  {:>9}", "flow", "estimated", "exact", "rel err");
+    for (flow, est) in monitor.entries_weighted().into_iter().take(10) {
+        let exact = oracle.weight(&flow);
+        println!(
+            "{flow:>8}  {est:>12.0}  {exact:>12.0}  {:>8.2}%",
+            (est - exact).abs() / exact * 100.0
+        );
+    }
+
+    // Theorem 10: the weighted algorithms keep the A=B=1 tail guarantee.
+    let k = 8;
+    let bound = oracle.res1(k) / (m - k) as f64;
+    let worst = oracle
+        .sorted_weights()
+        .into_iter()
+        .map(|(flow, w)| (w - monitor.estimate_weighted(&flow)).abs())
+        .fold(0.0f64, f64::max);
+    println!("\nTheorem 10 check (k={k}): max byte error {worst:.0} <= bound {bound:.0}");
+    assert!(worst <= bound * (1.0 + 1e-9));
+
+    // Heavy-change candidates: flows whose guaranteed minimum exceeds 1% of
+    // traffic — zero false negatives by the overestimation property.
+    let threshold = trace.total_weight() * 0.01;
+    let heavy: Vec<u64> = monitor
+        .entries_weighted()
+        .into_iter()
+        .filter(|&(flow, _)| monitor.guaranteed_weight(&flow) >= threshold)
+        .map(|(flow, _)| flow)
+        .collect();
+    println!("flows certainly above 1% of traffic: {heavy:?}");
+}

@@ -1,0 +1,51 @@
+//! Quickstart: find the heavy hitters of a stream with SPACESAVING and see
+//! the paper's residual tail guarantee in action.
+//!
+//! Run with: `cargo run -p hh --example quickstart`
+
+use hh::prelude::*;
+use hh::streamgen::zipf::{stream_from_counts, StreamOrder};
+
+fn main() {
+    // A skewed stream: 100k occurrences of 10k distinct items, Zipf(1.3).
+    let counts = hh::streamgen::exact_zipf_counts(10_000, 100_000, 1.3);
+    let stream = stream_from_counts(&counts, StreamOrder::Shuffled(42));
+
+    // Summarize it with m = 32 counters — ~0.3% of the distinct items.
+    let m = 32;
+    let mut summary = SpaceSaving::new(m);
+    for &item in &stream {
+        summary.update(item);
+    }
+
+    println!("stream length      : {}", summary.stream_len());
+    println!("distinct items     : {}", counts.len());
+    println!("counters used (m)  : {m}");
+    println!();
+
+    // Top-10 according to the summary, with guaranteed bounds per item:
+    // true frequency f_i is always within [count - err, count].
+    println!("top-10 heavy hitters (estimate [guaranteed range]):");
+    for (item, count, err) in summary.entries_with_err().into_iter().take(10) {
+        println!("  item {item:>6}: {count:>6} [{}..={count}]", count - err);
+    }
+    println!();
+
+    // The k-tail guarantee (the paper's contribution): the error of EVERY
+    // estimate is at most F1^res(k)/(m-k) — the tail mass, not the whole
+    // stream, divides by the space.
+    let oracle = ExactCounter::from_stream(&stream);
+    let freqs = oracle.freqs();
+    let k = 8;
+    let bound = TailConstants::ONE_ONE
+        .bound(m, k, freqs.res1(k))
+        .expect("m > k");
+    let worst = oracle
+        .iter()
+        .map(|(i, f)| f.abs_diff(summary.estimate(i)))
+        .max()
+        .unwrap_or(0);
+    println!("k-tail guarantee (k={k}): max error {worst} <= bound {bound:.1}");
+    println!("(naive F1/m bound would have been {:.1})", freqs.f1() as f64 / m as f64);
+    assert!((worst as f64) <= bound);
+}

@@ -1,0 +1,61 @@
+//! Sparse recovery (Section 4 of the paper): reconstruct an approximation
+//! of the whole frequency vector from a tiny counter summary, with L1/L2
+//! error guarantees relative to the best possible k-sparse approximation.
+//!
+//! Run with: `cargo run -p hh --example sparse_recovery`
+
+use hh::counters::recovery::{k_sparse, residual_estimate};
+use hh::counters::underestimate::{Correction, UnderestimatedSpaceSaving};
+use hh::prelude::*;
+use hh::streamgen::stats::{msparse_recovery_bound, sparse_recovery_bound};
+use hh::streamgen::zipf::{stream_from_counts, StreamOrder};
+
+fn main() {
+    let k = 10;
+    let eps = 0.1;
+
+    let counts = hh::streamgen::exact_zipf_counts(20_000, 200_000, 1.1);
+    let stream = stream_from_counts(&counts, StreamOrder::Shuffled(5));
+    let oracle = ExactCounter::from_stream(&stream);
+    let freqs = oracle.freqs();
+
+    // Theorem 5 sizing for one-sided algorithms: m = k(2A/eps + B).
+    let m = TailConstants::ONE_ONE.counters_for_sparse_recovery(k, eps, true);
+    println!("k={k}, eps={eps} -> m = {m} counters");
+
+    let mut summary = SpaceSaving::new(m);
+    for &x in &stream {
+        summary.update(x);
+    }
+
+    // --- Theorem 5: k-sparse recovery -----------------------------------
+    let recovered = k_sparse(&summary, k);
+    for p in [1.0, 2.0] {
+        let err = lp_recovery_error(&recovered, &oracle, p);
+        let bound = sparse_recovery_bound(eps, k, p, freqs.res1(k), freqs.res_p(k, p));
+        let best = freqs.res_p(k, p).powf(1.0 / p);
+        println!(
+            "k-sparse  L{p:.0}: error {err:>9.1} <= bound {bound:>9.1} (best possible {best:.1})"
+        );
+        assert!(err <= bound);
+    }
+
+    // --- Theorem 6: estimating the residual F1^res(k) --------------------
+    let est_res = residual_estimate(&summary, k);
+    let true_res = freqs.res1(k);
+    println!(
+        "residual estimate: {est_res} vs true {true_res} (within {:.1}%)",
+        (est_res as f64 - true_res as f64).abs() / true_res as f64 * 100.0
+    );
+
+    // --- Theorem 7: m-sparse recovery from an underestimating view -------
+    let under = UnderestimatedSpaceSaving::new(&summary, Correction::PerItem);
+    let mut full: Vec<(u64, u64)> = under.entries();
+    full.retain(|&(_, c)| c > 0);
+    for p in [1.0, 2.0] {
+        let err = lp_recovery_error(&full, &oracle, p);
+        let bound = msparse_recovery_bound(eps, k, p, freqs.res1(k));
+        println!("m-sparse  L{p:.0}: error {err:>9.1} <= bound {bound:>9.1}");
+        assert!(err <= bound);
+    }
+}

@@ -1,0 +1,79 @@
+//! Word frequency over text — items are `String`s, showing the API is
+//! generic over any `Eq + Hash + Clone` item type, and that φ-heavy-hitter
+//! queries come with confidence labels.
+//!
+//! Run with: `cargo run -p hh --example word_count`
+
+use hh::counters::{spacesaving_heavy_hitters, Confidence};
+use hh::prelude::*;
+
+/// A paragraph with deliberately skewed word frequencies (public-domain
+/// style pangram soup); real deployments would stream a corpus.
+const TEXT: &str = "
+the quick brown fox jumps over the lazy dog while the dog watches the fox
+and the fox watches the dog the stream of words flows and the counters
+count the words in the stream the heavy words are the and fox and dog and
+stream while rare words appear once like zephyr quartz sphinx gizmo vexed
+the tail of the distribution carries little weight so the summary needs
+only a handful of counters to pin down the heavy words exactly the bound
+depends on the tail not on the heavy words themselves which is the whole
+point of the paper the end
+";
+
+fn main() {
+    let words: Vec<String> = TEXT
+        .split_whitespace()
+        .map(|w| w.to_lowercase())
+        .collect();
+
+    // The no-false-negative property needs the threshold phi*F1 to exceed
+    // the summary's minimum counter Δ ≤ F1^res(k)/(m−k), so size m
+    // accordingly: m = 32 makes Δ comfortably below 3% of this text.
+    let m = 32;
+    let mut summary: SpaceSaving<String> = SpaceSaving::new(m);
+    for w in &words {
+        summary.update(w.clone());
+    }
+
+    println!("{} words, {} distinct, {} counters\n", words.len(), {
+        let o: ExactCounter<String> = ExactCounter::from_stream(&words);
+        o.distinct()
+    }, m);
+
+    println!("top words (estimate [certified range]):");
+    for (word, count, err) in summary.entries_with_err().into_iter().take(8) {
+        println!("  {word:<10} {count:>4}  [{}..={}]", count - err, count);
+    }
+
+    // phi-heavy hitters with confidence labels: no false negatives.
+    let phi = 0.03;
+    println!("\nwords above {:.0}% of the text:", phi * 100.0);
+    for hit in spacesaving_heavy_hitters(&summary, phi) {
+        let label = match hit.confidence {
+            Confidence::Guaranteed => "guaranteed",
+            Confidence::Candidate => "candidate",
+        };
+        println!("  {:<10} {:>4}  ({label})", hit.item, hit.estimate);
+    }
+
+    // Verify the no-false-negative property against exact counts. It is
+    // sound whenever the threshold exceeds the minimum counter Δ (any item
+    // with f > Δ is stored in a SPACESAVING summary).
+    let oracle: ExactCounter<String> = ExactCounter::from_stream(&words);
+    let threshold = phi * words.len() as f64;
+    let delta = summary.min_counter();
+    assert!(
+        (delta as f64) < threshold,
+        "m too small for this phi: Δ={delta} >= threshold {threshold}"
+    );
+    let reported: Vec<String> = spacesaving_heavy_hitters(&summary, phi)
+        .into_iter()
+        .map(|h| h.item)
+        .collect();
+    for (word, count) in oracle.sorted_counts() {
+        if count as f64 > threshold {
+            assert!(reported.contains(&word), "missed heavy word {word}");
+        }
+    }
+    println!("\nno heavy word was missed (no false negatives, Δ={delta} < threshold {threshold:.1}) ✓");
+}

@@ -1,0 +1,180 @@
+//! Model-checking style integration tests: enumerate *every* short stream
+//! over a small alphabet and verify, with no randomness anywhere,
+//!
+//! * the k-tail guarantee (Appendix B/C constants) for both algorithms,
+//! * exact conformance with the Figure 1 pseudocode executors,
+//! * SPACESAVING's counter-sum and domination invariants,
+//! * FREQUENT's underestimation invariant.
+//!
+//! Exhaustive enumeration catches off-by-one boundary cases (ties, evictions
+//! at exactly the bound) that random testing misses.
+
+use hh::counters::bounds::tail_bound_one_one;
+use hh::prelude::*;
+use hh::counters::{ReferenceFrequent, ReferenceSpaceSaving};
+
+/// Calls `f` on every stream of exactly `len` over alphabet `1..=sigma`.
+fn for_each_stream(sigma: u64, len: usize, f: &mut impl FnMut(&[u64])) {
+    let mut stream = vec![1u64; len];
+    loop {
+        f(&stream);
+        let mut i = 0;
+        loop {
+            if i == len {
+                return;
+            }
+            if stream[i] < sigma {
+                stream[i] += 1;
+                break;
+            }
+            stream[i] = 1;
+            i += 1;
+        }
+    }
+}
+
+fn exact_freqs(stream: &[u64], sigma: u64) -> Vec<u64> {
+    let mut f = vec![0u64; sigma as usize + 1];
+    for &x in stream {
+        f[x as usize] += 1;
+    }
+    f
+}
+
+#[test]
+fn exhaustive_tail_guarantee_alphabet3() {
+    let sigma = 3u64;
+    for len in 1..=7 {
+        for m in 1..=4usize {
+            for_each_stream(sigma, len, &mut |stream| {
+                let mut fr = Frequent::new(m);
+                let mut ss = SpaceSaving::new(m);
+                for &x in stream {
+                    fr.update(x);
+                    ss.update(x);
+                }
+                let f = exact_freqs(stream, sigma);
+                let mut sorted = f.clone();
+                sorted.sort_unstable_by(|a, b| b.cmp(a));
+                for k in 0..m {
+                    let res: u64 = sorted.iter().skip(k).sum();
+                    let Some(bound) = tail_bound_one_one(m, k, res) else {
+                        continue;
+                    };
+                    for item in 1..=sigma {
+                        for (name, est) in [("fr", fr.estimate(&item)), ("ss", ss.estimate(&item))]
+                        {
+                            let err = f[item as usize].abs_diff(est);
+                            assert!(
+                                err <= bound,
+                                "{name} stream={stream:?} m={m} k={k} item={item}: {err} > {bound}"
+                            );
+                        }
+                    }
+                }
+            });
+        }
+    }
+}
+
+#[test]
+fn exhaustive_conformance_alphabet4() {
+    let sigma = 4u64;
+    for len in 1..=6 {
+        for m in [1usize, 2, 3] {
+            for_each_stream(sigma, len, &mut |stream| {
+                let mut fr = Frequent::new(m);
+                let mut fr_ref = ReferenceFrequent::new(m);
+                let mut ss = SpaceSaving::new(m);
+                let mut ss_ref = ReferenceSpaceSaving::new(m);
+                for &x in stream {
+                    fr.update(x);
+                    fr_ref.update(x);
+                    ss.update(x);
+                    ss_ref.update(x);
+                }
+                let mut fr_state = fr.entries();
+                fr_state.sort_unstable();
+                assert_eq!(fr_state, fr_ref.state(), "Frequent state, stream={stream:?} m={m}");
+                let mut ss_state = ss.entries();
+                ss_state.sort_unstable();
+                assert_eq!(ss_state, ss_ref.state(), "SpaceSaving state, stream={stream:?} m={m}");
+            });
+        }
+    }
+}
+
+#[test]
+fn exhaustive_spacesaving_invariants() {
+    let sigma = 3u64;
+    for len in 1..=7 {
+        for m in 1..=3usize {
+            for_each_stream(sigma, len, &mut |stream| {
+                let mut ss = SpaceSaving::new(m);
+                for &x in stream {
+                    ss.update(x);
+                }
+                ss.check_invariants();
+                // counter sum == N
+                let sum: u64 = ss.entries().iter().map(|&(_, c)| c).sum();
+                assert_eq!(sum, stream.len() as u64);
+                // overestimation and guaranteed-count sandwich
+                let f = exact_freqs(stream, sigma);
+                for item in 1..=sigma {
+                    let c = ss.estimate(&item);
+                    if c > 0 {
+                        assert!(c >= f[item as usize], "stored counts dominate");
+                    }
+                    assert!(ss.guaranteed_count(&item) <= f[item as usize]);
+                    assert!(ss.upper_estimate(&item) >= f[item as usize]);
+                }
+            });
+        }
+    }
+}
+
+#[test]
+fn exhaustive_frequent_invariants() {
+    let sigma = 3u64;
+    for len in 1..=7 {
+        for m in 1..=3usize {
+            for_each_stream(sigma, len, &mut |stream| {
+                let mut fr = Frequent::new(m);
+                for &x in stream {
+                    fr.update(x);
+                }
+                fr.check_invariants();
+                let f = exact_freqs(stream, sigma);
+                let d = fr.decrements();
+                for item in 1..=sigma {
+                    let c = fr.estimate(&item);
+                    assert!(c <= f[item as usize], "underestimates, stream={stream:?}");
+                    assert!(c + d >= f[item as usize], "within d of exact");
+                }
+            });
+        }
+    }
+}
+
+#[test]
+fn exhaustive_heavy_tolerance_tiny() {
+    // Theorem 1 on the full stream space (alphabet 2–3, lengths to 5):
+    // zero heavy-tolerance violations.
+    use hh::counters::htc::check_heavy_tolerance;
+    for sigma in [2u64, 3] {
+        for len in 1..=5 {
+            for m in [1usize, 2] {
+                for_each_stream(sigma, len, &mut |stream| {
+                    assert!(
+                        check_heavy_tolerance(|| Frequent::new(m), stream).is_empty(),
+                        "Frequent HTC violation on {stream:?} m={m}"
+                    );
+                    assert!(
+                        check_heavy_tolerance(|| SpaceSaving::new(m), stream).is_empty(),
+                        "SpaceSaving HTC violation on {stream:?} m={m}"
+                    );
+                });
+            }
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! Integration: counters vs sketches — the paper's motivating comparison,
+//! as assertions rather than tables.
+
+use hh::analysis::{error_stats, precision_recall, Algo};
+use hh::prelude::*;
+use hh::streamgen::zipf::{stream_from_counts, StreamOrder};
+use hh::streamgen::exact_zipf_counts;
+
+fn workload(seed: u64) -> Vec<u64> {
+    let counts = exact_zipf_counts(10_000, 100_000, 1.3);
+    stream_from_counts(&counts, StreamOrder::Shuffled(seed))
+}
+
+#[test]
+fn spacesaving_dominates_countmin_at_equal_space() {
+    let stream = workload(1);
+    let oracle = ExactCounter::from_stream(&stream);
+    for budget in [64usize, 256, 1024] {
+        let ss = hh::analysis::run(Algo::SpaceSaving, budget, 3, &stream);
+        let cm = hh::analysis::run(Algo::CountMin, budget, 3, &stream);
+        let ss_err = error_stats(ss.as_ref(), &oracle);
+        let cm_err = error_stats(cm.as_ref(), &oracle);
+        assert!(
+            ss_err.max <= cm_err.max,
+            "budget {budget}: SS max {} vs CM max {}",
+            ss_err.max,
+            cm_err.max
+        );
+        assert!(ss_err.mean <= cm_err.mean, "budget {budget}: mean errors");
+    }
+}
+
+#[test]
+fn counter_precision_recall_high_on_skewed_data() {
+    let stream = workload(2);
+    let oracle = ExactCounter::from_stream(&stream);
+    let k = 20;
+    for algo in [Algo::Frequent, Algo::SpaceSaving] {
+        let est = hh::analysis::run(algo, 256, 0, &stream);
+        let reported: Vec<u64> = est.entries().iter().take(k).map(|&(i, _)| i).collect();
+        let (p, r) = precision_recall(&reported, &oracle, k);
+        assert!(p >= 0.95, "{}: precision {p}", algo.name());
+        assert!(r >= 0.95, "{}: recall {r}", algo.name());
+    }
+}
+
+#[test]
+fn sketches_remain_usable_just_less_accurate() {
+    // The comparison must be fair: the sketches do work, they are only
+    // worse per unit of space on this insertion-only workload.
+    let stream = workload(3);
+    let oracle = ExactCounter::from_stream(&stream);
+    let k = 10;
+    for algo in [Algo::CountMin, Algo::CountMinCU, Algo::CountSketch] {
+        let est = hh::analysis::run(algo, 2048, 5, &stream);
+        let reported: Vec<u64> = est.entries().iter().take(k).map(|&(i, _)| i).collect();
+        let (_, r) = precision_recall(&reported, &oracle, k);
+        assert!(r >= 0.7, "{}: recall {r} with a generous budget", algo.name());
+    }
+}
+
+#[test]
+fn conservative_update_tightens_countmin() {
+    let stream = workload(4);
+    let oracle = ExactCounter::from_stream(&stream);
+    let cm = hh::analysis::run(Algo::CountMin, 512, 9, &stream);
+    let cu = hh::analysis::run(Algo::CountMinCU, 512, 9, &stream);
+    let cm_err = error_stats(cm.as_ref(), &oracle);
+    let cu_err = error_stats(cu.as_ref(), &oracle);
+    assert!(cu_err.mean <= cm_err.mean, "CU is never worse on average");
+}
+
+#[test]
+fn equal_space_includes_candidate_tracking_cost() {
+    // the sketch wrapper must charge for its candidate list
+    let est = hh::analysis::make_estimator(Algo::CountMin, 300, 0);
+    assert!(est.capacity() <= 300);
+    let est2 = hh::analysis::make_estimator(Algo::CountSketch, 300, 0);
+    assert!(est2.capacity() <= 300);
+}

@@ -1,0 +1,136 @@
+//! Integration: the k-tail guarantee (Theorem 2, Appendices B & C) across
+//! crates — generators from `hh-streamgen`, algorithms from `hh-counters`,
+//! checks from `hh-analysis`.
+
+use hh::analysis::{check_tail, Algo};
+use hh::prelude::*;
+use hh::streamgen::zipf::{stream_from_counts, StreamOrder};
+use hh::streamgen::{exact_zipf_counts, StreamBuilder};
+
+fn all_orders(counts: &[u64]) -> Vec<(&'static str, Vec<u64>)> {
+    vec![
+        ("shuffled", stream_from_counts(counts, StreamOrder::Shuffled(1))),
+        ("blocks-desc", stream_from_counts(counts, StreamOrder::BlocksDescending)),
+        ("blocks-asc", stream_from_counts(counts, StreamOrder::BlocksAscending)),
+        ("round-robin", stream_from_counts(counts, StreamOrder::RoundRobin)),
+    ]
+}
+
+#[test]
+fn tail_guarantee_holds_across_orderings_and_skews() {
+    for &alpha in &[0.8, 1.0, 1.3, 1.8] {
+        let counts = exact_zipf_counts(500, 20_000, alpha);
+        for (order, stream) in all_orders(&counts) {
+            let oracle = ExactCounter::from_stream(&stream);
+            for algo in [Algo::Frequent, Algo::SpaceSaving] {
+                let est = hh::analysis::run(algo, 32, 0, &stream);
+                for k in [0usize, 1, 3, 8, 16, 31] {
+                    let check = check_tail(est.as_ref(), &oracle, TailConstants::ONE_ONE, k);
+                    assert!(
+                        check.ok,
+                        "alpha={alpha} order={order} algo={} k={k}: {check:?}",
+                        algo.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn tail_guarantee_with_exactly_k_distinct_items_is_exact() {
+    // The paper's extreme case: when only k distinct items exist, the
+    // residual is zero, so estimation must be EXACT.
+    let k = 6;
+    let stream = StreamBuilder::new()
+        .counts(&[50, 40, 30, 20, 10, 5])
+        .order(StreamOrder::Shuffled(3))
+        .build();
+    let oracle = ExactCounter::from_stream(&stream);
+    for algo in [Algo::Frequent, Algo::SpaceSaving] {
+        let est = hh::analysis::run(algo, 2 * k, 0, &stream);
+        for (item, f) in oracle.iter() {
+            assert_eq!(
+                est.estimate(item),
+                f,
+                "{}: with m >= distinct items everything is exact",
+                algo.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn generic_htc_constants_also_hold() {
+    // Theorem 2 gives (A, 2A) for any heavy-tolerant algorithm with the
+    // basic guarantee; check the (1, 2) bound for k < m/2.
+    let counts = exact_zipf_counts(2_000, 50_000, 1.1);
+    let stream = stream_from_counts(&counts, StreamOrder::Shuffled(9));
+    let oracle = ExactCounter::from_stream(&stream);
+    for algo in [Algo::Frequent, Algo::SpaceSaving] {
+        let est = hh::analysis::run(algo, 64, 0, &stream);
+        for k in [0usize, 1, 5, 15, 31] {
+            let check = check_tail(est.as_ref(), &oracle, TailConstants::GENERIC, k);
+            assert!(check.ok, "{} k={k}: {check:?}", algo.name());
+        }
+    }
+}
+
+#[test]
+fn heavy_hitter_guarantee_is_the_zero_tail_case() {
+    let counts = exact_zipf_counts(300, 9_999, 1.0);
+    let stream = stream_from_counts(&counts, StreamOrder::Shuffled(4));
+    let oracle = ExactCounter::from_stream(&stream);
+    for algo in [Algo::Frequent, Algo::SpaceSaving] {
+        for m in [7usize, 23, 64] {
+            let est = hh::analysis::run(algo, m, 0, &stream);
+            let bound = oracle.total() / m as u64; // floor(F1/m)
+            for (item, f) in oracle.iter() {
+                let err = f.abs_diff(est.estimate(item));
+                assert!(err <= bound, "{} m={m} item {item}: {err} > {bound}", algo.name());
+            }
+        }
+    }
+}
+
+#[test]
+fn spacesaving_specific_invariants() {
+    // Appendix C's two pillars: counter sum == stream length, and the k
+    // largest counters dominate the true top-k frequencies.
+    let counts = exact_zipf_counts(1_000, 30_000, 1.2);
+    let stream = stream_from_counts(&counts, StreamOrder::Shuffled(17));
+    let oracle = ExactCounter::from_stream(&stream);
+    let mut ss = SpaceSaving::new(40);
+    for &x in &stream {
+        ss.update(x);
+    }
+    let entries = ss.entries();
+    let sum: u64 = entries.iter().map(|&(_, c)| c).sum();
+    assert_eq!(sum, 30_000);
+    // Theorem 2 of [25]: the i-th largest counter >= f_i
+    let exact_sorted = oracle.sorted_counts();
+    for (i, &(_, c)) in entries.iter().enumerate().take(10) {
+        assert!(
+            c >= exact_sorted[i].1,
+            "counter at rank {i} ({c}) must dominate f_{i} ({})",
+            exact_sorted[i].1
+        );
+    }
+}
+
+#[test]
+fn frequent_error_bounded_by_decrement_count() {
+    let counts = exact_zipf_counts(1_000, 30_000, 1.2);
+    let stream = stream_from_counts(&counts, StreamOrder::Shuffled(21));
+    let oracle = ExactCounter::from_stream(&stream);
+    let mut fr = Frequent::new(40);
+    for &x in &stream {
+        fr.update(x);
+    }
+    let d = fr.decrements();
+    for (item, f) in oracle.iter() {
+        let c = fr.estimate(item);
+        assert!(c <= f, "underestimates");
+        assert!(f - c <= d, "error bounded by decrement rounds");
+    }
+}
