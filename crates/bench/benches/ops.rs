@@ -97,5 +97,11 @@ fn bench_merge(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_increment, bench_evict_insert_cycle, bench_snapshot, bench_merge);
+criterion_group!(
+    benches,
+    bench_increment,
+    bench_evict_insert_cycle,
+    bench_snapshot,
+    bench_merge
+);
 criterion_main!(benches);

@@ -7,9 +7,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
-use hh_counters::{
-    FrequencyEstimator, Frequent, HeapSpaceSaving, ReferenceFrequent, SpaceSaving,
-};
+use hh_counters::{FrequencyEstimator, Frequent, HeapSpaceSaving, ReferenceFrequent, SpaceSaving};
 use hh_streamgen::zipf::{stream_from_counts, StreamOrder};
 use hh_streamgen::{exact_zipf_counts, Item};
 
@@ -57,5 +55,9 @@ fn bench_frequent_vs_reference(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_spacesaving_backends, bench_frequent_vs_reference);
+criterion_group!(
+    benches,
+    bench_spacesaving_backends,
+    bench_frequent_vs_reference
+);
 criterion_main!(benches);

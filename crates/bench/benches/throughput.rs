@@ -43,12 +43,41 @@ fn bench_updates(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_updates_batched(c: &mut Criterion) {
+    let stream = workload();
+    let mut group = c.benchmark_group("updates_per_sec_batched");
+    group.throughput(Throughput::Elements(stream.len() as u64));
+    group.sample_size(10);
+
+    for algo in Algo::ALL {
+        for &budget in &[64usize, 256, 1024] {
+            group.bench_with_input(
+                BenchmarkId::new(algo.name(), budget),
+                &budget,
+                |b, &budget| {
+                    b.iter(|| {
+                        let mut est = make_estimator(algo, budget, 7);
+                        est.update_batch(&stream);
+                        std::hint::black_box(est.stored_len())
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
 fn bench_queries(c: &mut Criterion) {
     let stream = workload();
     let mut group = c.benchmark_group("point_queries");
     group.sample_size(10);
 
-    for algo in [Algo::SpaceSaving, Algo::Frequent, Algo::CountMin, Algo::CountSketch] {
+    for algo in [
+        Algo::SpaceSaving,
+        Algo::Frequent,
+        Algo::CountMin,
+        Algo::CountSketch,
+    ] {
         let mut est = make_estimator(algo, 256, 7);
         for &x in &stream {
             est.update(x);
@@ -66,5 +95,5 @@ fn bench_queries(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_updates, bench_queries);
+criterion_group!(benches, bench_updates, bench_updates_batched, bench_queries);
 criterion_main!(benches);

@@ -28,7 +28,15 @@ pub fn run(scale: Scale) -> Report {
 
     let mut table = Table::new(
         format!("Counters vs sketches at equal space, Zipf(1.3), N={total}, n={n}, top-{k}"),
-        &["budget", "algorithm", "type", "max err", "mean err", "precision", "recall"],
+        &[
+            "budget",
+            "algorithm",
+            "type",
+            "max err",
+            "mean err",
+            "precision",
+            "recall",
+        ],
     );
 
     let mut shape_holds = true;
@@ -49,7 +57,12 @@ pub fn run(scale: Scale) -> Report {
             table.row(vec![
                 budget.to_string(),
                 algo.name().to_string(),
-                if algo.is_counter() { "counter" } else { "sketch" }.to_string(),
+                if algo.is_counter() {
+                    "counter"
+                } else {
+                    "sketch"
+                }
+                .to_string(),
                 stats.max.to_string(),
                 fnum(stats.mean),
                 fnum(prec),

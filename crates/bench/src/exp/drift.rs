@@ -55,9 +55,7 @@ pub fn run(scale: Scale) -> Report {
     let threshold = 0.05 * flash.len() as f64; // alert at 5% of traffic
     for (pos, &x) in flash.iter().enumerate() {
         ss.update(x);
-        if detected_at.is_none()
-            && (ss.guaranteed_count(&flash_item()) as f64) > threshold
-        {
+        if detected_at.is_none() && (ss.guaranteed_count(&flash_item()) as f64) > threshold {
             detected_at = Some(pos);
         }
     }
@@ -68,7 +66,10 @@ pub fn run(scale: Scale) -> Report {
     all_ok &= flash_check.ok && detected;
 
     let mut flash_table = Table::new(
-        format!("Flash crowd: burst of {burst} arrivals ({:.0}% of stream) at 60%", flash_frac * 100.0),
+        format!(
+            "Flash crowd: burst of {burst} arrivals ({:.0}% of stream) at 60%",
+            flash_frac * 100.0
+        ),
         &["property", "value"],
     );
     flash_table.row(vec![
@@ -87,7 +88,8 @@ pub fn run(scale: Scale) -> Report {
     Report {
         id: "exp_drift",
         verdict: if all_ok {
-            "guarantees hold under drift and flash crowds; burst certified-detected mid-stream".into()
+            "guarantees hold under drift and flash crowds; burst certified-detected mid-stream"
+                .into()
         } else {
             "NON-STATIONARY FAILURE — see tables".into()
         },

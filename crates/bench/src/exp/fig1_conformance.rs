@@ -22,10 +22,22 @@ fn streams(scale: Scale) -> Vec<(&'static str, Vec<Item>)> {
     let total = scale.pick(600u64, 6_000);
     let counts = exact_zipf_counts(n, total, 1.1);
     vec![
-        ("zipf shuffled", stream_from_counts(&counts, StreamOrder::Shuffled(7))),
-        ("zipf round-robin", stream_from_counts(&counts, StreamOrder::RoundRobin)),
-        ("zipf blocks asc", stream_from_counts(&counts, StreamOrder::BlocksAscending)),
-        ("zipf blocks desc", stream_from_counts(&counts, StreamOrder::BlocksDescending)),
+        (
+            "zipf shuffled",
+            stream_from_counts(&counts, StreamOrder::Shuffled(7)),
+        ),
+        (
+            "zipf round-robin",
+            stream_from_counts(&counts, StreamOrder::RoundRobin),
+        ),
+        (
+            "zipf blocks asc",
+            stream_from_counts(&counts, StreamOrder::BlocksAscending),
+        ),
+        (
+            "zipf blocks desc",
+            stream_from_counts(&counts, StreamOrder::BlocksDescending),
+        ),
     ]
 }
 
@@ -70,12 +82,7 @@ pub fn run(scale: Scale) -> Report {
                 }
             }
             all_ok &= f_ok && s_ok;
-            table.row(vec![
-                name.to_string(),
-                m.to_string(),
-                fok(f_ok),
-                fok(s_ok),
-            ]);
+            table.row(vec![name.to_string(), m.to_string(), fok(f_ok), fok(s_ok)]);
         }
     }
 

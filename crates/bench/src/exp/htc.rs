@@ -77,7 +77,8 @@ pub fn run(scale: Scale) -> Report {
     Report {
         id: "exp_htc",
         verdict: if all_ok {
-            "zero heavy-tolerance violations over the exhaustive stream space (Theorem 1 holds)".into()
+            "zero heavy-tolerance violations over the exhaustive stream space (Theorem 1 holds)"
+                .into()
         } else {
             "HEAVY-TOLERANCE VIOLATION FOUND — Theorem 1 contradicted?!".into()
         },

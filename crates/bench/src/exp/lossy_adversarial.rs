@@ -30,7 +30,12 @@ pub fn run(scale: Scale) -> Report {
 
     let mut lc_table = Table::new(
         format!("LossyCounting table high-water mark, w=1/eps={w}, {t} windows, N={n_stream}"),
-        &["ordering", "max table", "w·ln(t) reference", "max table / w"],
+        &[
+            "ordering",
+            "max table",
+            "w·ln(t) reference",
+            "max table / w",
+        ],
     );
 
     let mut sizes = Vec::new();

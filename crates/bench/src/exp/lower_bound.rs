@@ -61,7 +61,14 @@ pub fn run(scale: Scale) -> Report {
 
     let mut table = Table::new(
         format!("Theorem 13: adversarial lower bound, prefix multiplicity x={x}"),
-        &["algorithm", "m", "k", "forced bound", "observed worst err", "observed >= bound"],
+        &[
+            "algorithm",
+            "m",
+            "k",
+            "forced bound",
+            "observed worst err",
+            "observed >= bound",
+        ],
     );
     let mut all_ok = true;
 

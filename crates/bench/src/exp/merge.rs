@@ -17,7 +17,11 @@ use hh_streamgen::{exact_zipf_counts, ExactCounter, Item};
 
 use crate::report::{Report, Scale};
 
-fn summarize_parts(algo: Algo, parts: &[Vec<Item>], m: usize) -> Vec<Box<dyn FrequencyEstimator<Item>>> {
+fn summarize_parts(
+    algo: Algo,
+    parts: &[Vec<Item>],
+    m: usize,
+) -> Vec<Box<dyn FrequencyEstimator<Item>>> {
     parts
         .iter()
         .map(|p| hh_analysis::run(algo, m, 0, p))

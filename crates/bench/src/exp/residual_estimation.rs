@@ -26,7 +26,16 @@ pub fn run(scale: Scale) -> Report {
 
     let mut table = Table::new(
         format!("Theorem 6: residual estimation, Zipf(1.2), N={total}, m=Bk+Ak/eps"),
-        &["algorithm", "k", "eps", "m", "true F1res(k)", "estimate", "rel err", "ok"],
+        &[
+            "algorithm",
+            "k",
+            "eps",
+            "m",
+            "true F1res(k)",
+            "estimate",
+            "rel err",
+            "ok",
+        ],
     );
     let mut all_ok = true;
 

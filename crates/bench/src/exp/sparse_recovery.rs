@@ -33,7 +33,16 @@ pub fn run(scale: Scale) -> Report {
 
     let mut table = Table::new(
         format!("Theorem 5: k-sparse recovery, Zipf(1.1), N={total}, k={k}, m=k(2A/eps+B)"),
-        &["algorithm", "eps", "m", "p", "Lp err", "bound", "best possible", "ok"],
+        &[
+            "algorithm",
+            "eps",
+            "m",
+            "p",
+            "Lp err",
+            "bound",
+            "best possible",
+            "ok",
+        ],
     );
     let mut all_ok = true;
 

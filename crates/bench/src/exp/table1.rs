@@ -32,10 +32,19 @@ pub fn run(scale: Scale) -> Report {
     let res_k = freqs.res1(K);
 
     let mut table = Table::new(
-        format!("Table 1 (empirical): Zipf(1.2), N={total}, n={n}, budget={budget} counters, k={K}"),
+        format!(
+            "Table 1 (empirical): Zipf(1.2), N={total}, n={n}, budget={budget} counters, k={K}"
+        ),
         &[
-            "algorithm", "type", "space", "max err", "mean err",
-            "F1/m bound", "tail bound", "paper bound column", "within",
+            "algorithm",
+            "type",
+            "space",
+            "max err",
+            "mean err",
+            "F1/m bound",
+            "tail bound",
+            "paper bound column",
+            "within",
         ],
     );
 
@@ -65,7 +74,12 @@ pub fn run(scale: Scale) -> Report {
         all_ok &= ok;
         table.row(vec![
             algo.name().to_string(),
-            if algo.is_counter() { "counter" } else { "sketch" }.to_string(),
+            if algo.is_counter() {
+                "counter"
+            } else {
+                "sketch"
+            }
+            .to_string(),
             space.to_string(),
             stats.max.to_string(),
             fnum(stats.mean),

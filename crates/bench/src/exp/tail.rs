@@ -25,10 +25,22 @@ fn workloads(scale: Scale) -> Vec<(&'static str, Vec<Item>)> {
         .order(StreamOrder::Shuffled(3))
         .build();
     vec![
-        ("zipf(1.1) shuffled", stream_from_counts(&z11, StreamOrder::Shuffled(1))),
-        ("zipf(1.5) shuffled", stream_from_counts(&z15, StreamOrder::Shuffled(2))),
-        ("zipf(1.1) round-robin", stream_from_counts(&z11, StreamOrder::RoundRobin)),
-        ("zipf(1.1) blocks asc", stream_from_counts(&z11, StreamOrder::BlocksAscending)),
+        (
+            "zipf(1.1) shuffled",
+            stream_from_counts(&z11, StreamOrder::Shuffled(1)),
+        ),
+        (
+            "zipf(1.5) shuffled",
+            stream_from_counts(&z15, StreamOrder::Shuffled(2)),
+        ),
+        (
+            "zipf(1.1) round-robin",
+            stream_from_counts(&z11, StreamOrder::RoundRobin),
+        ),
+        (
+            "zipf(1.1) blocks asc",
+            stream_from_counts(&z11, StreamOrder::BlocksAscending),
+        ),
         ("8 heavy + uniform tail", two_level),
     ]
 }
@@ -57,7 +69,13 @@ pub fn run(scale: Scale) -> Report {
                 all_ok &= tight.ok && generic.ok;
                 let ratio = tight
                     .bound
-                    .map(|b| if b > 0.0 { tight.max_err as f64 / b } else { 0.0 })
+                    .map(|b| {
+                        if b > 0.0 {
+                            tight.max_err as f64 / b
+                        } else {
+                            0.0
+                        }
+                    })
                     .unwrap_or(0.0);
                 table.row(vec![
                     name.to_string(),

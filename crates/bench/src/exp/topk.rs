@@ -24,7 +24,14 @@ pub fn run(scale: Scale) -> Report {
 
     let mut table = Table::new(
         format!("Theorem 9: Zipf top-k order recovery, N={total}, n={n}"),
-        &["alpha", "k", "m (thm 9)", "algorithm", "order ok", "control m/4 ok"],
+        &[
+            "alpha",
+            "k",
+            "m (thm 9)",
+            "algorithm",
+            "order ok",
+            "control m/4 ok",
+        ],
     );
     let mut all_ok = true;
 
@@ -47,7 +54,11 @@ pub fn run(scale: Scale) -> Report {
                     m.to_string(),
                     algo.name().to_string(),
                     fok(ok),
-                    if control_ok { "ok".into() } else { "failed (expected)".into() },
+                    if control_ok {
+                        "ok".into()
+                    } else {
+                        "failed (expected)".into()
+                    },
                 ]);
             }
         }

@@ -19,14 +19,20 @@ pub fn run(scale: Scale) -> Report {
     let n = scale.pick(5_000, 50_000);
     let total = scale.pick(50_000u64, 500_000);
     let alphas = [1.0, 1.2, 1.5, 2.0];
-    let epsilons: &[f64] = &scale.pick(
-        vec![0.1, 0.05, 0.02],
-        vec![0.1, 0.05, 0.01, 0.005],
-    );
+    let epsilons: &[f64] = &scale.pick(vec![0.1, 0.05, 0.02], vec![0.1, 0.05, 0.01, 0.005]);
 
     let mut table = Table::new(
         format!("Theorem 8: Zipf error <= eps*F1 with m=(A+B)(1/eps)^(1/alpha); N={total}, n={n}"),
-        &["alpha", "eps", "m", "algorithm", "max err", "eps*F1", "err/(eps*F1)", "ok"],
+        &[
+            "alpha",
+            "eps",
+            "m",
+            "algorithm",
+            "max err",
+            "eps*F1",
+            "err/(eps*F1)",
+            "ok",
+        ],
     );
     let mut all_ok = true;
 

@@ -16,9 +16,10 @@ pub enum Scale {
 }
 
 impl Scale {
-    /// Parses process args: `--quick` selects [`Scale::Quick`].
+    /// Parses process args: `--quick` (or its CI alias `--smoke`) selects
+    /// [`Scale::Quick`].
     pub fn from_args() -> Self {
-        if std::env::args().any(|a| a == "--quick") {
+        if std::env::args().any(|a| a == "--quick" || a == "--smoke") {
             Scale::Quick
         } else {
             Scale::Full

@@ -91,11 +91,7 @@ pub const CS_DEPTH: usize = 5;
 /// Sketch instances reserve a tenth of the budget (at least 16 slots) for
 /// the heavy-hitter candidate list — a sketch without one cannot report
 /// heavy hitters at all, so any fair comparison must charge for it.
-pub fn make_estimator(
-    algo: Algo,
-    budget: usize,
-    seed: u64,
-) -> Box<dyn FrequencyEstimator<Item>> {
+pub fn make_estimator(algo: Algo, budget: usize, seed: u64) -> Box<dyn FrequencyEstimator<Item>> {
     assert!(budget >= 1, "need at least one counter");
     match algo {
         Algo::Frequent => Box::new(Frequent::new(budget)),
@@ -115,7 +111,10 @@ pub fn make_estimator(
             seed,
         )),
         Algo::CountMin | Algo::CountMinCU | Algo::CountSketch => {
-            assert!(budget >= 16, "sketch budgets below 16 cells are meaningless");
+            assert!(
+                budget >= 16,
+                "sketch budgets below 16 cells are meaningless"
+            );
             let candidates = (budget / 10).max(16).min(budget / 2);
             let cells = budget - candidates;
             match algo {
@@ -137,15 +136,19 @@ pub fn make_estimator(
     }
 }
 
-/// Feeds a stream into an estimator.
+/// Feeds a stream into an estimator via the batched ingest path (equivalent
+/// to one [`FrequencyEstimator::update`] per element).
 pub fn feed<E: FrequencyEstimator<Item> + ?Sized>(est: &mut E, stream: &[Item]) {
-    for &x in stream {
-        est.update(x);
-    }
+    est.update_batch(stream);
 }
 
 /// Builds an estimator, runs the stream through it, and returns it.
-pub fn run(algo: Algo, budget: usize, seed: u64, stream: &[Item]) -> Box<dyn FrequencyEstimator<Item>> {
+pub fn run(
+    algo: Algo,
+    budget: usize,
+    seed: u64,
+    stream: &[Item],
+) -> Box<dyn FrequencyEstimator<Item>> {
     let mut est = make_estimator(algo, budget, seed);
     feed(est.as_mut(), stream);
     est

@@ -36,7 +36,11 @@ where
     }
     ErrorStats {
         max,
-        mean: if items == 0 { 0.0 } else { sum as f64 / items as f64 },
+        mean: if items == 0 {
+            0.0
+        } else {
+            sum as f64 / items as f64
+        },
         items,
     }
 }
@@ -75,7 +79,14 @@ where
     let bound = constants.bound(est.capacity(), k, res1_k);
     let stats = error_stats(est, oracle);
     let ok = bound.map(|b| stats.max as f64 <= b.floor()).unwrap_or(true);
-    TailCheck { k, m: est.capacity(), res1_k, bound, max_err: stats.max, ok }
+    TailCheck {
+        k,
+        m: est.capacity(),
+        res1_k,
+        bound,
+        max_err: stats.max,
+        ok,
+    }
 }
 
 /// `‖f − f'‖_p` between the exact frequencies and a recovered sparse
@@ -119,8 +130,7 @@ where
         .take_while(|&&(_, c)| c >= kth)
         .map(|(i, _)| i)
         .collect();
-    let strict_topk: std::collections::HashSet<&I> =
-        exact.iter().take(k).map(|(i, _)| i).collect();
+    let strict_topk: std::collections::HashSet<&I> = exact.iter().take(k).map(|(i, _)| i).collect();
     let hits_precision = reported.iter().filter(|i| acceptable.contains(i)).count();
     let hits_recall = reported.iter().filter(|i| strict_topk.contains(i)).count();
     (

@@ -91,7 +91,11 @@ impl Table {
         let _ = writeln!(
             out,
             "{}",
-            self.headers.iter().map(|h| cell(h)).collect::<Vec<_>>().join(",")
+            self.headers
+                .iter()
+                .map(|h| cell(h))
+                .collect::<Vec<_>>()
+                .join(",")
         );
         for row in &self.rows {
             let _ = writeln!(
@@ -111,7 +115,11 @@ impl Table {
         let _ = writeln!(
             out,
             "|{}|",
-            self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+            self.headers
+                .iter()
+                .map(|_| "---")
+                .collect::<Vec<_>>()
+                .join("|")
         );
         for row in &self.rows {
             let _ = writeln!(out, "| {} |", row.join(" | "));
@@ -143,7 +151,11 @@ pub fn fbound(x: Option<f64>) -> String {
 
 /// Formats a boolean pass/fail cell.
 pub fn fok(ok: bool) -> String {
-    if ok { "ok".to_string() } else { "VIOLATED".to_string() }
+    if ok {
+        "ok".to_string()
+    } else {
+        "VIOLATED".to_string()
+    }
 }
 
 #[cfg(test)]

@@ -91,8 +91,16 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
 
     while let Some(arg) = it.next() {
         match arg.as_str() {
-            "-m" => opts.m = next_value(&mut it, "-m")?.parse().map_err(|e| format!("-m: {e}"))?,
-            "-k" => opts.k = next_value(&mut it, "-k")?.parse().map_err(|e| format!("-k: {e}"))?,
+            "-m" => {
+                opts.m = next_value(&mut it, "-m")?
+                    .parse()
+                    .map_err(|e| format!("-m: {e}"))?
+            }
+            "-k" => {
+                opts.k = next_value(&mut it, "-k")?
+                    .parse()
+                    .map_err(|e| format!("-k: {e}"))?
+            }
             "--phi" => {
                 opts.phi = next_value(&mut it, "--phi")?
                     .parse()

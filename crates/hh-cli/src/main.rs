@@ -229,7 +229,10 @@ fn render_counts(rows: &[(String, u64)], stream_len: u64, json: bool) -> String 
             .collect();
         format!("[{}]", cells.join(","))
     } else {
-        let mut out = format!("{:<24} {:>12}   (stream length {stream_len})\n", "item", "count");
+        let mut out = format!(
+            "{:<24} {:>12}   (stream length {stream_len})\n",
+            "item", "count"
+        );
         for (item, c) in rows {
             out.push_str(&format!("{item:<24} {c:>12}\n"));
         }

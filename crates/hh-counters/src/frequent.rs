@@ -80,37 +80,22 @@ impl<I: Eq + Hash + Clone> Frequent<I> {
         raw - self.offset
     }
 
-    #[doc(hidden)]
-    pub fn check_invariants(&self) {
-        self.summary.check_invariants();
-        assert!(self.summary.len() <= self.m);
-        if let Some(min) = self.summary.min_count() {
-            assert!(min > self.offset, "all stored values positive");
-        }
-    }
-}
-
-impl<I: Eq + Hash + Clone> FrequencyEstimator<I> for Frequent<I> {
-    fn name(&self) -> &'static str {
-        "Frequent"
-    }
-
-    fn capacity(&self) -> usize {
-        self.m
-    }
-
-    fn update_by(&mut self, item: I, count: u64) {
+    /// One FREQUENT step for `count` occurrences of `item`, cloning the item
+    /// only when it actually enters the table. Shared by
+    /// [`FrequencyEstimator::update_by`] and the batched ingest path.
+    fn apply(&mut self, item: &I, count: u64) {
         if count == 0 {
             return;
         }
         self.stream_len += count;
         let mut remaining = count;
         loop {
-            if self.summary.increment(&item, remaining) {
+            if self.summary.increment(item, remaining) {
                 return;
             }
             if self.summary.len() < self.m {
-                self.summary.insert(item, self.offset + remaining, self.offset);
+                self.summary
+                    .insert(item.clone(), self.offset + remaining, self.offset);
                 return;
             }
             // Table full and item unstored: spend decrement rounds. Each
@@ -133,6 +118,38 @@ impl<I: Eq + Hash + Clone> FrequencyEstimator<I> for Frequent<I> {
             // At least one entry died (t == min_val), so there is room now.
             debug_assert!(self.summary.len() < self.m);
         }
+    }
+
+    #[doc(hidden)]
+    pub fn check_invariants(&self) {
+        self.summary.check_invariants();
+        assert!(self.summary.len() <= self.m);
+        if let Some(min) = self.summary.min_count() {
+            assert!(min > self.offset, "all stored values positive");
+        }
+    }
+}
+
+impl<I: Eq + Hash + Clone> FrequencyEstimator<I> for Frequent<I> {
+    fn name(&self) -> &'static str {
+        "Frequent"
+    }
+
+    fn capacity(&self) -> usize {
+        self.m
+    }
+
+    fn update_by(&mut self, item: I, count: u64) {
+        self.apply(&item, count);
+    }
+
+    /// Batched ingest: run-length aggregates the slice so a run of `r`
+    /// equal arrivals costs one hash probe instead of `r`, and stored items
+    /// are never cloned. Equivalent to per-element
+    /// [`FrequencyEstimator::update`] (FREQUENT's bulk update commutes with
+    /// splitting, which the property tests verify).
+    fn update_batch(&mut self, items: &[I]) {
+        crate::traits::for_each_run(items, |item, run| self.apply(item, run));
     }
 
     fn estimate(&self, item: &I) -> u64 {

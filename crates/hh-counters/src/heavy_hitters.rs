@@ -62,7 +62,11 @@ pub fn spacesaving_heavy_hitters<I: Eq + Hash + Clone>(
             } else {
                 Confidence::Candidate
             };
-            out.push(HeavyHitter { item, estimate: count, confidence });
+            out.push(HeavyHitter {
+                item,
+                estimate: count,
+                confidence,
+            });
         }
     }
     out
@@ -87,7 +91,11 @@ pub fn frequent_heavy_hitters<I: Eq + Hash + Clone>(
             } else {
                 Confidence::Candidate
             };
-            out.push(HeavyHitter { item, estimate: value, confidence });
+            out.push(HeavyHitter {
+                item,
+                estimate: value,
+                confidence,
+            });
         }
     }
     out

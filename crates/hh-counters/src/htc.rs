@@ -50,7 +50,10 @@ where
     assert!(x < stream.len(), "Definition 3 requires x < s");
     let suffix = &stream[x..];
     let n = suffix.len();
-    assert!(n <= 24, "exhaustive subsequence check limited to short suffixes");
+    assert!(
+        n <= 24,
+        "exhaustive subsequence check limited to short suffixes"
+    );
     for mask in 0u64..(1u64 << n) {
         let mut algo = make();
         for u in &stream[..x] {
@@ -150,12 +153,7 @@ mod tests {
         // SpaceSaving with m=2: suffix 2,3,4 can push min counter up, but
         // 1's counter stays the max; it is never the argmin => guaranteed.
         let stream = [1u64, 1, 1, 1, 1, 2, 3, 4];
-        assert!(is_prefix_guaranteed(
-            || SpaceSaving::new(2),
-            &stream,
-            5,
-            &1
-        ));
+        assert!(is_prefix_guaranteed(|| SpaceSaving::new(2), &stream, 5, &1));
     }
 
     #[test]
@@ -163,7 +161,12 @@ mod tests {
         // 1 occurs once, then m=1 and another item arrives: 1 gets evicted
         // on the subsequence containing 2.
         let stream = [1u64, 2];
-        assert!(!is_prefix_guaranteed(|| SpaceSaving::new(1), &stream, 1, &1));
+        assert!(!is_prefix_guaranteed(
+            || SpaceSaving::new(1),
+            &stream,
+            1,
+            &1
+        ));
         assert!(!is_prefix_guaranteed(|| Frequent::new(1), &stream, 1, &1));
     }
 

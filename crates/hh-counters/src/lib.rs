@@ -51,7 +51,9 @@ pub mod underestimate;
 pub mod weighted;
 
 pub use frequent::Frequent;
-pub use heavy_hitters::{frequent_heavy_hitters, spacesaving_heavy_hitters, Confidence, HeavyHitter};
+pub use heavy_hitters::{
+    frequent_heavy_hitters, spacesaving_heavy_hitters, Confidence, HeavyHitter,
+};
 pub use lossy_counting::LossyCounting;
 pub use reference::{ReferenceFrequent, ReferenceSpaceSaving};
 pub use space_saving::{HeapSpaceSaving, SpaceSaving};

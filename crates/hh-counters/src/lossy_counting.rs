@@ -72,7 +72,8 @@ impl<I: Eq + Hash + Clone> LossyCounting<I> {
 
     fn prune(&mut self) {
         let window = self.window;
-        self.table.retain(|_, &mut (count, delta)| count + delta > window);
+        self.table
+            .retain(|_, &mut (count, delta)| count + delta > window);
     }
 
     #[doc(hidden)]

@@ -145,8 +145,10 @@ mod tests {
         let mut mon: TopKMonitor<u64> = TopKMonitor::new(16, 5);
         for &x in &stream {
             mon.update(x);
-            let expect: BTreeSet<u64> =
-                top_k(mon.summary(), 5).into_iter().map(|(i, _)| i).collect();
+            let expect: BTreeSet<u64> = top_k(mon.summary(), 5)
+                .into_iter()
+                .map(|(i, _)| i)
+                .collect();
             assert_eq!(mon.members(), &expect, "after {x}");
         }
     }

@@ -40,9 +40,7 @@ where
                 let make_shard = &make_shard;
                 scope.spawn(move || {
                     let mut shard = make_shard();
-                    for item in chunk {
-                        shard.update(item.clone());
-                    }
+                    shard.update_batch(chunk);
                     shard
                 })
             })
@@ -87,13 +85,11 @@ mod tests {
         let stream = skewed_stream();
         let m = 64;
         let k = 6;
-        let chunks: Vec<Vec<u64>> = stream.chunks(stream.len() / 7 + 1).map(|c| c.to_vec()).collect();
-        let merged = parallel_summarize(
-            &chunks,
-            k,
-            || SpaceSaving::new(m),
-            || SpaceSaving::new(m),
-        );
+        let chunks: Vec<Vec<u64>> = stream
+            .chunks(stream.len() / 7 + 1)
+            .map(|c| c.to_vec())
+            .collect();
+        let merged = parallel_summarize(&chunks, k, || SpaceSaving::new(m), || SpaceSaving::new(m));
 
         // ground truth
         let mut freqs: Vec<u64> = (1..=60u64).map(|i| 6000 / i).collect();
@@ -143,12 +139,8 @@ mod tests {
                 c
             })
             .collect();
-        let merged = parallel_summarize(
-            &chunks,
-            4,
-            || SpaceSaving::new(32),
-            || SpaceSaving::new(32),
-        );
+        let merged =
+            parallel_summarize(&chunks, 4, || SpaceSaving::new(32), || SpaceSaving::new(32));
         assert_eq!(merged.entries()[0].0, 999);
         assert!(merged.estimate(&999) >= 2000);
     }

@@ -32,7 +32,12 @@ impl<I: Ord + Clone> ReferenceFrequent<I> {
     /// Creates a reference executor with `m` counters.
     pub fn new(m: usize) -> Self {
         assert!(m >= 1);
-        ReferenceFrequent { t: BTreeMap::new(), m, stream_len: 0, decrements: 0 }
+        ReferenceFrequent {
+            t: BTreeMap::new(),
+            m,
+            stream_len: 0,
+            decrements: 0,
+        }
     }
 
     /// Number of decrement rounds performed.
@@ -120,7 +125,12 @@ impl<I: Ord + Clone> ReferenceSpaceSaving<I> {
     /// Creates a reference executor with `m` counters.
     pub fn new(m: usize) -> Self {
         assert!(m >= 1);
-        ReferenceSpaceSaving { t: BTreeMap::new(), m, seq: 0, stream_len: 0 }
+        ReferenceSpaceSaving {
+            t: BTreeMap::new(),
+            m,
+            seq: 0,
+            stream_len: 0,
+        }
     }
 
     /// The final state as a sorted `(item, counter)` map.

@@ -66,7 +66,10 @@ impl<I: Eq + Hash + Clone> SpaceSavingSnapshot<I> {
             "snapshot holds more entries than its capacity"
         );
         let total: u64 = self.entries.iter().map(|&(_, c, _)| c).sum();
-        assert!(total == self.stream_len, "SpaceSaving counter mass must equal stream length");
+        assert!(
+            total == self.stream_len,
+            "SpaceSaving counter mass must equal stream length"
+        );
         let mut s = SpaceSaving::restore(self.capacity, self.stream_len);
         // Insert in ascending order so the bucket FIFO (and hence future
         // tie-breaking) matches the original summary exactly.

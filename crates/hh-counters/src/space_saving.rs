@@ -36,7 +36,11 @@ impl<I: Eq + Hash + Clone> SpaceSaving<I> {
     /// Creates a summary with `m ≥ 1` counters.
     pub fn new(m: usize) -> Self {
         assert!(m >= 1, "need at least one counter");
-        SpaceSaving { summary: StreamSummary::with_capacity(m), m, stream_len: 0 }
+        SpaceSaving {
+            summary: StreamSummary::with_capacity(m),
+            m,
+            stream_len: 0,
+        }
     }
 
     /// The minimum counter value `Δ` (0 while the table is not full), which
@@ -69,7 +73,9 @@ impl<I: Eq + Hash + Clone> SpaceSaving<I> {
     /// stored items, `Δ` for unstored ones (an unstored item can have
     /// occurred at most `min_counter` times).
     pub fn upper_estimate(&self, item: &I) -> u64 {
-        self.summary.count(item).unwrap_or_else(|| self.min_counter())
+        self.summary
+            .count(item)
+            .unwrap_or_else(|| self.min_counter())
     }
 
     /// Full snapshot including the per-entry error annotations, sorted by
@@ -90,6 +96,26 @@ impl<I: Eq + Hash + Clone> SpaceSaving<I> {
     pub(crate) fn restore_entry(&mut self, item: I, count: u64, err: u64) {
         assert!(self.summary.len() < self.m, "snapshot exceeds capacity");
         self.summary.insert(item, count, err);
+    }
+
+    /// One SPACESAVING step for `count` occurrences of `item`, cloning the
+    /// item only when it actually enters the table. Shared by
+    /// [`FrequencyEstimator::update_by`] and the batched ingest path.
+    fn apply(&mut self, item: &I, count: u64) {
+        if count == 0 {
+            return;
+        }
+        self.stream_len += count;
+        if self.summary.increment(item, count) {
+            return;
+        }
+        if self.summary.len() < self.m {
+            self.summary.insert(item.clone(), count, 0);
+            return;
+        }
+        let (_, min_count, _) = self.summary.evict_min().expect("full table is non-empty");
+        self.summary
+            .insert(item.clone(), min_count + count, min_count);
     }
 
     #[doc(hidden)]
@@ -116,19 +142,16 @@ impl<I: Eq + Hash + Clone> FrequencyEstimator<I> for SpaceSaving<I> {
     }
 
     fn update_by(&mut self, item: I, count: u64) {
-        if count == 0 {
-            return;
-        }
-        self.stream_len += count;
-        if self.summary.increment(&item, count) {
-            return;
-        }
-        if self.summary.len() < self.m {
-            self.summary.insert(item, count, 0);
-            return;
-        }
-        let (_, min_count, _) = self.summary.evict_min().expect("full table is non-empty");
-        self.summary.insert(item, min_count + count, min_count);
+        self.apply(&item, count);
+    }
+
+    /// Batched ingest: run-length aggregates the slice so a run of `r`
+    /// equal arrivals costs one hash probe and one bucket move instead of
+    /// `r`, and stored items are never cloned. Equivalent to per-element
+    /// [`FrequencyEstimator::update`] (SPACESAVING's bulk update commutes
+    /// with splitting, which the property tests verify).
+    fn update_batch(&mut self, items: &[I]) {
+        crate::traits::for_each_run(items, |item, run| self.apply(item, run));
     }
 
     fn estimate(&self, item: &I) -> u64 {
@@ -254,7 +277,8 @@ impl<I: Eq + Hash + Clone + Ord> FrequencyEstimator<I> for HeapSpaceSaving<I> {
             self.push(item, count);
         } else {
             let (_, min_count, _) = self.evict_min();
-            self.counts.insert(item.clone(), (min_count + count, min_count));
+            self.counts
+                .insert(item.clone(), (min_count + count, min_count));
             self.push(item, min_count + count);
         }
         self.maybe_compact();
@@ -337,7 +361,10 @@ mod tests {
             assert!(s.guaranteed_count(&item) <= exact(item));
         }
         for i in 1..=7u64 {
-            assert!(exact(i) <= s.upper_estimate(&i), "upper bound covers all items");
+            assert!(
+                exact(i) <= s.upper_estimate(&i),
+                "upper bound covers all items"
+            );
         }
     }
 
@@ -365,6 +392,35 @@ mod tests {
         bulk.check_invariants();
         unit.check_invariants();
         assert_eq!(bulk.entries(), unit.entries());
+    }
+
+    #[test]
+    fn update_batch_equals_per_item_updates() {
+        // runs of repeated items exercise the run-length aggregation
+        let stream: Vec<u64> = (0..600)
+            .flat_map(|i| std::iter::repeat_n(i % 13, (i % 4 + 1) as usize))
+            .collect();
+        let mut batched = SpaceSaving::new(5);
+        batched.update_batch(&stream);
+        batched.check_invariants();
+        let unit = run(5, &stream);
+        assert_eq!(batched.entries_with_err(), unit.entries_with_err());
+        assert_eq!(batched.stream_len(), unit.stream_len());
+    }
+
+    #[test]
+    fn update_batch_on_strings_and_empty_slice() {
+        let mut s: SpaceSaving<String> = SpaceSaving::new(4);
+        s.update_batch(&[]);
+        assert_eq!(s.stream_len(), 0);
+        let words: Vec<String> = ["a", "b", "a", "a", "c"]
+            .iter()
+            .map(|w| w.to_string())
+            .collect();
+        s.update_batch(&words);
+        s.check_invariants();
+        assert_eq!(s.estimate(&"a".to_string()), 3);
+        assert_eq!(s.stream_len(), 5);
     }
 
     #[test]

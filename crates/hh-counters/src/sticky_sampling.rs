@@ -75,7 +75,9 @@ impl<I: Eq + Hash + Clone> StickySampling<I> {
         assert!(epsilon > 0.0 && epsilon < 1.0);
         assert!(support > 0.0 && support < 1.0);
         assert!(delta > 0.0 && delta < 1.0);
-        let window = ((1.0 / epsilon) * (1.0 / (support * delta)).ln()).ceil().max(1.0) as u64;
+        let window = ((1.0 / epsilon) * (1.0 / (support * delta)).ln())
+            .ceil()
+            .max(1.0) as u64;
         StickySampling {
             table: FxHashMap::default(),
             rng: XorShift64::new(seed),

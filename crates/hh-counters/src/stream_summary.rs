@@ -172,7 +172,13 @@ impl<I: Eq + Hash + Clone> StreamSummary<I> {
             idx
         } else {
             let idx = self.entries.len() as u32;
-            self.entries.push(Entry { item: Some(item), err, bucket: NIL, prev: NIL, next: NIL });
+            self.entries.push(Entry {
+                item: Some(item),
+                err,
+                bucket: NIL,
+                prev: NIL,
+                next: NIL,
+            });
             idx
         }
     }
@@ -199,7 +205,14 @@ impl<I: Eq + Hash + Clone> StreamSummary<I> {
             idx
         } else {
             let idx = self.buckets.len() as u32;
-            self.buckets.push(Bucket { count, front: NIL, back: NIL, prev: NIL, next: NIL, len: 0 });
+            self.buckets.push(Bucket {
+                count,
+                front: NIL,
+                back: NIL,
+                prev: NIL,
+                next: NIL,
+                len: 0,
+            });
             idx
         }
     }
@@ -207,7 +220,11 @@ impl<I: Eq + Hash + Clone> StreamSummary<I> {
     /// Links bucket `b` immediately before `next_b` (or at the very end when
     /// `next_b == NIL`).
     fn link_bucket_before(&mut self, b: u32, next_b: u32) {
-        let prev_b = if next_b == NIL { self.tail } else { self.buckets[next_b as usize].prev };
+        let prev_b = if next_b == NIL {
+            self.tail
+        } else {
+            self.buckets[next_b as usize].prev
+        };
         self.buckets[b as usize].prev = prev_b;
         self.buckets[b as usize].next = next_b;
         if prev_b == NIL {

@@ -40,9 +40,10 @@ where
     // rank, and the reported item must actually have that true frequency.
     let truth: std::collections::HashMap<&I, u64> =
         exact_top_k.iter().map(|(i, c)| (i, *c)).collect();
-    reported.iter().zip(exact_top_k).all(|((ri, _), (_, ec))| {
-        truth.get(ri).map(|&rc| rc == *ec).unwrap_or(false)
-    })
+    reported
+        .iter()
+        .zip(exact_top_k)
+        .all(|((ri, _), (_, ec))| truth.get(ri).map(|&rc| rc == *ec).unwrap_or(false))
 }
 
 /// The truncated zeta normalizer `ζ(α) = Σ_{i=1}^n i^{-α}` (duplicated from
@@ -65,12 +66,7 @@ pub fn zipf_counters_for_error(constants: TailConstants, eps: f64, alpha: f64) -
 /// Follows the proof: the needed error rate is
 /// `ε = α / (2ζ(α)(k+1)^α k)`, then apply the Theorem 8 sizing.
 /// For `α = 1` this yields the `Θ(k² ln n)` behaviour via `ζ(1) ≈ ln n`.
-pub fn zipf_counters_for_topk(
-    constants: TailConstants,
-    k: usize,
-    alpha: f64,
-    n: usize,
-) -> usize {
+pub fn zipf_counters_for_topk(constants: TailConstants, k: usize, alpha: f64, n: usize) -> usize {
     assert!(k >= 1);
     assert!(alpha >= 1.0, "Theorem 9 requires alpha >= 1");
     let z = zeta(n, alpha);

@@ -65,7 +65,27 @@ impl TailConstants {
 
     /// The merged-summary constants from Theorem 11: `(3A, A + B)`.
     pub fn merged(&self) -> TailConstants {
-        TailConstants { a: 3.0 * self.a, b: self.a + self.b }
+        TailConstants {
+            a: 3.0 * self.a,
+            b: self.a + self.b,
+        }
+    }
+}
+
+/// Calls `f` once per maximal run of adjacent equal items in `items`,
+/// passing the run's representative and its length — the aggregation step
+/// shared by the `StreamSummary`-backed [`FrequencyEstimator::update_batch`]
+/// fast paths.
+pub(crate) fn for_each_run<I: Eq>(items: &[I], mut f: impl FnMut(&I, u64)) {
+    let mut i = 0;
+    while i < items.len() {
+        let item = &items[i];
+        let mut run = 1usize;
+        while i + run < items.len() && items[i + run] == *item {
+            run += 1;
+        }
+        i += run;
+        f(item, run as u64);
     }
 }
 
@@ -90,6 +110,21 @@ pub trait FrequencyEstimator<I: Eq + Hash + Clone> {
     /// summaries and replaying sparse vectors; equivalent to `count` calls
     /// of [`FrequencyEstimator::update`]).
     fn update_by(&mut self, item: I, count: u64);
+
+    /// Processes a slice of arrivals in stream order — equivalent to calling
+    /// [`FrequencyEstimator::update`] once per element.
+    ///
+    /// The default implementation is that per-element loop; implementations
+    /// backed by [`crate::stream_summary::StreamSummary`] override it with a
+    /// run-length-aggregated fast path that skips per-item clones and
+    /// repeated hash probes. Batched ingest is also the natural unit for
+    /// sharded summarization ([`crate::parallel`]): each worker drains its
+    /// partition with one call.
+    fn update_batch(&mut self, items: &[I]) {
+        for item in items {
+            self.update(item.clone());
+        }
+    }
 
     /// The point estimate `c_i` (0 when the item is not stored).
     fn estimate(&self, item: &I) -> u64;
@@ -140,6 +175,10 @@ impl<I: Eq + Hash + Clone, T: FrequencyEstimator<I> + ?Sized> FrequencyEstimator
 
     fn update_by(&mut self, item: I, count: u64) {
         (**self).update_by(item, count)
+    }
+
+    fn update_batch(&mut self, items: &[I]) {
+        (**self).update_batch(items)
     }
 
     fn estimate(&self, item: &I) -> u64 {

@@ -42,7 +42,10 @@ struct LazyMinHeap<I: Ord> {
 
 impl<I: Ord> Default for LazyMinHeap<I> {
     fn default() -> Self {
-        LazyMinHeap { heap: BinaryHeap::new(), seq: 0 }
+        LazyMinHeap {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
     }
 }
 
@@ -113,7 +116,12 @@ impl<I: Eq + Hash + Clone + Ord> SpaceSavingR<I> {
     /// Creates a summary with `m ≥ 1` counters.
     pub fn new(m: usize) -> Self {
         assert!(m >= 1, "need at least one counter");
-        SpaceSavingR { counts: FxHashMap::default(), heap: LazyMinHeap::default(), m, total: 0.0 }
+        SpaceSavingR {
+            counts: FxHashMap::default(),
+            heap: LazyMinHeap::default(),
+            m,
+            total: 0.0,
+        }
     }
 
     /// The minimum counter value (0 while the table has room): the uniform
@@ -142,7 +150,8 @@ impl<I: Eq + Hash + Clone + Ord> SpaceSavingR<I> {
     fn maybe_compact(&mut self) {
         if self.heap.len() > 8 * self.m.max(16) {
             let counts = &self.counts;
-            self.heap.rebuild(counts.iter().map(|(i, &(w, _))| (i.clone(), w)));
+            self.heap
+                .rebuild(counts.iter().map(|(i, &(w, _))| (i.clone(), w)));
         }
     }
 
@@ -211,7 +220,9 @@ impl<I: Eq + Hash + Clone + Ord> WeightedFrequencyEstimator<I> for SpaceSavingR<
             .map(|(i, &(w, _))| (i.clone(), w))
             .collect();
         v.sort_unstable_by(|a, b| {
-            b.1.partial_cmp(&a.1).expect("finite").then_with(|| a.0.cmp(&b.0))
+            b.1.partial_cmp(&a.1)
+                .expect("finite")
+                .then_with(|| a.0.cmp(&b.0))
         });
         v
     }
@@ -244,7 +255,13 @@ impl<I: Eq + Hash + Clone + Ord> FrequentR<I> {
     /// Creates a summary with `m ≥ 1` counters.
     pub fn new(m: usize) -> Self {
         assert!(m >= 1, "need at least one counter");
-        FrequentR { raw: FxHashMap::default(), heap: LazyMinHeap::default(), offset: 0.0, m, total: 0.0 }
+        FrequentR {
+            raw: FxHashMap::default(),
+            heap: LazyMinHeap::default(),
+            offset: 0.0,
+            m,
+            total: 0.0,
+        }
     }
 
     /// Total weight removed from every counter so far (the weighted
@@ -276,7 +293,8 @@ impl<I: Eq + Hash + Clone + Ord> FrequentR<I> {
     fn maybe_compact(&mut self) {
         if self.heap.len() > 8 * self.m.max(16) {
             let raw_map = &self.raw;
-            self.heap.rebuild(raw_map.iter().map(|(i, &r)| (i.clone(), r)));
+            self.heap
+                .rebuild(raw_map.iter().map(|(i, &r)| (i.clone(), r)));
         }
     }
 }
@@ -346,7 +364,9 @@ impl<I: Eq + Hash + Clone + Ord> WeightedFrequencyEstimator<I> for FrequentR<I> 
             .map(|(i, &r)| (i.clone(), (r - self.offset).max(0.0)))
             .collect();
         v.sort_unstable_by(|a, b| {
-            b.1.partial_cmp(&a.1).expect("finite").then_with(|| a.0.cmp(&b.0))
+            b.1.partial_cmp(&a.1)
+                .expect("finite")
+                .then_with(|| a.0.cmp(&b.0))
         });
         v
     }
@@ -390,7 +410,14 @@ mod tests {
 
     #[test]
     fn spacesaving_r_counter_sum_equals_total_weight() {
-        let updates = [(1u64, 2.5), (2, 0.5), (3, 1.25), (1, 3.0), (4, 0.75), (5, 2.0)];
+        let updates = [
+            (1u64, 2.5),
+            (2, 0.5),
+            (3, 1.25),
+            (1, 3.0),
+            (4, 0.75),
+            (5, 2.0),
+        ];
         let mut s = SpaceSavingR::new(3);
         for &(i, w) in &updates {
             s.update_weighted(i, w);

@@ -140,6 +140,26 @@ proptest! {
     }
 
     #[test]
+    fn batch_updates_equal_unit_updates(stream in stream_strategy(8, 120), m in 1usize..6) {
+        let mut fr_batch = Frequent::new(m);
+        let mut fr_unit = Frequent::new(m);
+        let mut ss_batch = SpaceSaving::new(m);
+        let mut ss_unit = SpaceSaving::new(m);
+        fr_batch.update_batch(&stream);
+        ss_batch.update_batch(&stream);
+        for &x in &stream {
+            fr_unit.update(x);
+            ss_unit.update(x);
+        }
+        fr_batch.check_invariants();
+        ss_batch.check_invariants();
+        prop_assert_eq!(fr_batch.entries(), fr_unit.entries(), "Frequent batch == unit");
+        prop_assert_eq!(fr_batch.decrements(), fr_unit.decrements());
+        prop_assert_eq!(ss_batch.entries(), ss_unit.entries(), "SpaceSaving batch == unit");
+        prop_assert_eq!(ss_batch.stream_len(), ss_unit.stream_len());
+    }
+
+    #[test]
     fn heap_and_bucket_spacesaving_agree_on_counter_multiset(
         stream in stream_strategy(10, 150),
         m in 1usize..8

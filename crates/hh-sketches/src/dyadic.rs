@@ -32,9 +32,20 @@ impl DyadicCountMin {
     pub fn new(bits: u32, depth: usize, width: usize, seed: u64) -> Self {
         assert!((1..=63).contains(&bits));
         let levels = (0..bits)
-            .map(|l| CountMin::new(depth, width, seed.wrapping_add(l as u64 * 0x9E37_79B9), UpdateRule::Classic))
+            .map(|l| {
+                CountMin::new(
+                    depth,
+                    width,
+                    seed.wrapping_add(l as u64 * 0x9E37_79B9),
+                    UpdateRule::Classic,
+                )
+            })
             .collect();
-        DyadicCountMin { levels, bits, stream_len: 0 }
+        DyadicCountMin {
+            levels,
+            bits,
+            stream_len: 0,
+        }
     }
 
     /// Builds within a total cell budget, splitting evenly across levels
@@ -135,7 +146,10 @@ impl FrequencyEstimator<u64> for DyadicCountMin {
     }
 
     fn update_by(&mut self, item: u64, count: u64) {
-        assert!(item < self.universe(), "item outside the configured universe");
+        assert!(
+            item < self.universe(),
+            "item outside the configured universe"
+        );
         if count == 0 {
             return;
         }
@@ -201,7 +215,11 @@ mod tests {
             d.update(x);
         }
         let threshold = 300;
-        let found: Vec<u64> = d.items_above(threshold).into_iter().map(|(i, _)| i).collect();
+        let found: Vec<u64> = d
+            .items_above(threshold)
+            .into_iter()
+            .map(|(i, _)| i)
+            .collect();
         for i in 0..200u64 {
             let f = stream.iter().filter(|&&x| x == i).count() as u64;
             if f >= threshold {

@@ -25,7 +25,11 @@ impl<I: Eq + Hash + Clone + Ord, S: FrequencyEstimator<I>> SketchHeavyHitters<I,
     /// Wraps `sketch`, tracking up to `cap` candidate items.
     pub fn new(sketch: S, cap: usize) -> Self {
         assert!(cap >= 1);
-        SketchHeavyHitters { sketch, candidates: FxHashMap::default(), cap }
+        SketchHeavyHitters {
+            sketch,
+            candidates: FxHashMap::default(),
+            cap,
+        }
     }
 
     /// The wrapped sketch.
@@ -128,7 +132,10 @@ mod tests {
             hh.update(1000 + round); // singleton noise
         }
         let top: Vec<u64> = hh.entries().iter().take(3).map(|&(i, _)| i).collect();
-        assert!(top.contains(&1) && top.contains(&2) && top.contains(&3), "{top:?}");
+        assert!(
+            top.contains(&1) && top.contains(&2) && top.contains(&3),
+            "{top:?}"
+        );
     }
 
     #[test]

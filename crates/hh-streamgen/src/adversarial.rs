@@ -58,7 +58,9 @@ impl LowerBoundInstance {
     pub fn continuation_a(&self, forgotten: &[Item]) -> Vec<Item> {
         assert_eq!(forgotten.len(), self.k, "need exactly k forgotten items");
         assert!(
-            forgotten.iter().all(|&i| i >= 1 && i <= (self.m + self.k) as u64),
+            forgotten
+                .iter()
+                .all(|&i| i >= 1 && i <= (self.m + self.k) as u64),
             "forgotten items must come from the prefix universe"
         );
         forgotten.to_vec()

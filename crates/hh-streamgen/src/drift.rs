@@ -19,13 +19,7 @@ use crate::Item;
 ///
 /// Items of epoch `p` are `p*n + 1 ..= p*n + n`. Total length is
 /// `phases * per_phase`.
-pub fn drifting_zipf(
-    n: usize,
-    per_phase: u64,
-    alpha: f64,
-    phases: usize,
-    seed: u64,
-) -> Vec<Item> {
+pub fn drifting_zipf(n: usize, per_phase: u64, alpha: f64, phases: usize, seed: u64) -> Vec<Item> {
     assert!(phases >= 1);
     let mut out = Vec::with_capacity((per_phase as usize) * phases);
     let counts = exact_zipf_counts(n, per_phase, alpha);

@@ -38,7 +38,10 @@ impl Default for StreamBuilder {
 impl StreamBuilder {
     /// Creates an empty builder (default ordering: `Shuffled(0)`).
     pub fn new() -> Self {
-        StreamBuilder { counts: Vec::new(), order: StreamOrder::Shuffled(0) }
+        StreamBuilder {
+            counts: Vec::new(),
+            order: StreamOrder::Shuffled(0),
+        }
     }
 
     /// Appends `n` items each occurring `count` times. Items are assigned
@@ -136,7 +139,10 @@ impl WeightedStream {
         assert!(chunks > 0);
         let mut updates = Vec::with_capacity(totals.len() * chunks);
         for &(item, total) in totals {
-            assert!(total >= 0.0 && total.is_finite(), "weights must be non-negative");
+            assert!(
+                total >= 0.0 && total.is_finite(),
+                "weights must be non-negative"
+            );
             let per = total / chunks as f64;
             for _ in 0..chunks {
                 updates.push((item, per));
@@ -199,14 +205,20 @@ mod tests {
         assert_eq!(a, b);
         assert!(a.iter().all(|&x| (1..=10).contains(&x)));
         let c = ExactCounter::from_stream(&a);
-        assert!(c.distinct() == 10, "with 1000 draws of 10 items all appear whp");
+        assert!(
+            c.distinct() == 10,
+            "with 1000 draws of 10 items all appear whp"
+        );
     }
 
     #[test]
     fn packet_trace_weights_positive() {
         let w = WeightedStream::packet_trace(100, 2000, 1.1, 6.0, 1.0, 3);
         assert_eq!(w.len(), 2000);
-        assert!(w.updates.iter().all(|&(i, wt)| wt > 0.0 && (1..=100).contains(&i)));
+        assert!(w
+            .updates
+            .iter()
+            .all(|&(i, wt)| wt > 0.0 && (1..=100).contains(&i)));
         assert!(w.total_weight() > 0.0);
     }
 

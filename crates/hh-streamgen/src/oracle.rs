@@ -20,7 +20,10 @@ pub struct ExactCounter<I: Eq + Hash> {
 impl<I: Eq + Hash + Clone + Ord> ExactCounter<I> {
     /// Creates an empty oracle.
     pub fn new() -> Self {
-        ExactCounter { counts: HashMap::new(), total: 0 }
+        ExactCounter {
+            counts: HashMap::new(),
+            total: 0,
+        }
     }
 
     /// Builds an oracle directly from a stream.
@@ -72,11 +75,7 @@ impl<I: Eq + Hash + Clone + Ord> ExactCounter<I> {
     /// All `(item, count)` pairs sorted by decreasing count; ties broken by
     /// ascending item so the result is deterministic.
     pub fn sorted_counts(&self) -> Vec<(I, u64)> {
-        let mut v: Vec<(I, u64)> = self
-            .counts
-            .iter()
-            .map(|(i, &c)| (i.clone(), c))
-            .collect();
+        let mut v: Vec<(I, u64)> = self.counts.iter().map(|(i, &c)| (i.clone(), c)).collect();
         v.sort_unstable_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         v
     }
@@ -106,7 +105,10 @@ pub struct ExactWeightedCounter<I: Eq + Hash> {
 impl<I: Eq + Hash + Clone + Ord> ExactWeightedCounter<I> {
     /// Creates an empty weighted oracle.
     pub fn new() -> Self {
-        ExactWeightedCounter { weights: HashMap::new(), total: 0.0 }
+        ExactWeightedCounter {
+            weights: HashMap::new(),
+            total: 0.0,
+        }
     }
 
     /// Builds an oracle from a weighted stream of `(item, weight)` pairs.
@@ -150,11 +152,7 @@ impl<I: Eq + Hash + Clone + Ord> ExactWeightedCounter<I> {
     /// All `(item, weight)` pairs sorted by decreasing weight, ties broken by
     /// ascending item.
     pub fn sorted_weights(&self) -> Vec<(I, f64)> {
-        let mut v: Vec<(I, f64)> = self
-            .weights
-            .iter()
-            .map(|(i, &w)| (i.clone(), w))
-            .collect();
+        let mut v: Vec<(I, f64)> = self.weights.iter().map(|(i, &w)| (i.clone(), w)).collect();
         v.sort_unstable_by(|a, b| {
             b.1.partial_cmp(&a.1)
                 .expect("weights are finite")

@@ -30,7 +30,10 @@ pub fn read_stream(r: impl Read) -> std::io::Result<Vec<Item>> {
             continue;
         }
         let item: Item = t.parse().map_err(|e| {
-            std::io::Error::new(std::io::ErrorKind::InvalidData, format!("bad item {t:?}: {e}"))
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("bad item {t:?}: {e}"),
+            )
         })?;
         out.push(item);
     }
@@ -111,7 +114,9 @@ mod tests {
 
     #[test]
     fn weighted_roundtrip() {
-        let ws = WeightedStream { updates: vec![(1, 2.5), (7, 0.125)] };
+        let ws = WeightedStream {
+            updates: vec![(1, 2.5), (7, 0.125)],
+        };
         let mut buf = Vec::new();
         write_weighted(&mut buf, &ws).unwrap();
         let back = read_weighted(buf.as_slice()).unwrap();
@@ -122,7 +127,10 @@ mod tests {
     fn weighted_rejects_garbage() {
         assert!(read_weighted("1\n".as_bytes()).is_err(), "missing weight");
         assert!(read_weighted("1 x\n".as_bytes()).is_err(), "bad weight");
-        assert!(read_weighted("1 -2\n".as_bytes()).is_err(), "negative weight");
+        assert!(
+            read_weighted("1 -2\n".as_bytes()).is_err(),
+            "negative weight"
+        );
     }
 
     #[test]

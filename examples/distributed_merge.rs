@@ -31,7 +31,11 @@ fn main() {
         })
         .collect();
     for (i, s) in summaries.iter().enumerate() {
-        println!("site {i}: {} items summarized into {} counters", s.stream_len(), m);
+        println!(
+            "site {i}: {} items summarized into {} counters",
+            s.stream_len(),
+            m
+        );
     }
 
     // Coordinator: merge the k-sparse recoveries (Theorem 11's procedure).

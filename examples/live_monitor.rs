@@ -29,7 +29,11 @@ fn main() {
             if change_log <= 12 || matches!(change, TopKChange::Entered(i) if i == flash_item()) {
                 match change {
                     TopKChange::Entered(i) => {
-                        let label = if i == flash_item() { "  <-- FLASH CROWD" } else { "" };
+                        let label = if i == flash_item() {
+                            "  <-- FLASH CROWD"
+                        } else {
+                            ""
+                        };
                         println!("[{pos:>6}] + item {i} entered top-5{label}");
                     }
                     TopKChange::Left(i) => println!("[{pos:>6}] - item {i} left top-5"),
@@ -41,7 +45,11 @@ fn main() {
 
     println!("final top-5:");
     for (item, count) in monitor.ranked() {
-        let label = if item == flash_item() { "  (the flash item)" } else { "" };
+        let label = if item == flash_item() {
+            "  (the flash item)"
+        } else {
+            ""
+        };
         println!("  item {item:<22} {count:>7}{label}");
     }
     assert!(

@@ -30,7 +30,10 @@ fn main() {
     let oracle = ExactWeightedCounter::from_stream(&trace.updates);
 
     println!("\ntop-10 flows by bytes (monitor vs exact):");
-    println!("{:>8}  {:>12}  {:>12}  {:>9}", "flow", "estimated", "exact", "rel err");
+    println!(
+        "{:>8}  {:>12}  {:>12}  {:>9}",
+        "flow", "estimated", "exact", "rel err"
+    );
     for (flow, est) in monitor.entries_weighted().into_iter().take(10) {
         let exact = oracle.weight(&flow);
         println!(

@@ -29,7 +29,10 @@ fn main() {
     let exact = oracle.top_k(k);
     let reported = top_k(&summary, k);
 
-    println!("\n{:>4}  {:>8}  {:>10}  {:>10}", "rank", "query", "estimate", "exact");
+    println!(
+        "\n{:>4}  {:>8}  {:>10}  {:>10}",
+        "rank", "query", "estimate", "exact"
+    );
     for (rank, ((q, est), (eq, ef))) in reported.iter().zip(&exact).enumerate() {
         println!(
             "{:>4}  {q:>8}  {est:>10}  {ef:>10}{}",

@@ -46,6 +46,9 @@ fn main() {
         .max()
         .unwrap_or(0);
     println!("k-tail guarantee (k={k}): max error {worst} <= bound {bound:.1}");
-    println!("(naive F1/m bound would have been {:.1})", freqs.f1() as f64 / m as f64);
+    println!(
+        "(naive F1/m bound would have been {:.1})",
+        freqs.f1() as f64 / m as f64
+    );
     assert!((worst as f64) <= bound);
 }

@@ -21,10 +21,7 @@ point of the paper the end
 ";
 
 fn main() {
-    let words: Vec<String> = TEXT
-        .split_whitespace()
-        .map(|w| w.to_lowercase())
-        .collect();
+    let words: Vec<String> = TEXT.split_whitespace().map(|w| w.to_lowercase()).collect();
 
     // The no-false-negative property needs the threshold phi*F1 to exceed
     // the summary's minimum counter Δ ≤ F1^res(k)/(m−k), so size m
@@ -35,10 +32,15 @@ fn main() {
         summary.update(w.clone());
     }
 
-    println!("{} words, {} distinct, {} counters\n", words.len(), {
-        let o: ExactCounter<String> = ExactCounter::from_stream(&words);
-        o.distinct()
-    }, m);
+    println!(
+        "{} words, {} distinct, {} counters\n",
+        words.len(),
+        {
+            let o: ExactCounter<String> = ExactCounter::from_stream(&words);
+            o.distinct()
+        },
+        m
+    );
 
     println!("top words (estimate [certified range]):");
     for (word, count, err) in summary.entries_with_err().into_iter().take(8) {
@@ -75,5 +77,7 @@ fn main() {
             assert!(reported.contains(&word), "missed heavy word {word}");
         }
     }
-    println!("\nno heavy word was missed (no false negatives, Δ={delta} < threshold {threshold:.1}) ✓");
+    println!(
+        "\nno heavy word was missed (no false negatives, Δ={delta} < threshold {threshold:.1}) ✓"
+    );
 }

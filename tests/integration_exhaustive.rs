@@ -10,8 +10,8 @@
 //! at exactly the bound) that random testing misses.
 
 use hh::counters::bounds::tail_bound_one_one;
-use hh::prelude::*;
 use hh::counters::{ReferenceFrequent, ReferenceSpaceSaving};
+use hh::prelude::*;
 
 /// Calls `f` on every stream of exactly `len` over alphabet `1..=sigma`.
 fn for_each_stream(sigma: u64, len: usize, f: &mut impl FnMut(&[u64])) {
@@ -95,10 +95,18 @@ fn exhaustive_conformance_alphabet4() {
                 }
                 let mut fr_state = fr.entries();
                 fr_state.sort_unstable();
-                assert_eq!(fr_state, fr_ref.state(), "Frequent state, stream={stream:?} m={m}");
+                assert_eq!(
+                    fr_state,
+                    fr_ref.state(),
+                    "Frequent state, stream={stream:?} m={m}"
+                );
                 let mut ss_state = ss.entries();
                 ss_state.sort_unstable();
-                assert_eq!(ss_state, ss_ref.state(), "SpaceSaving state, stream={stream:?} m={m}");
+                assert_eq!(
+                    ss_state,
+                    ss_ref.state(),
+                    "SpaceSaving state, stream={stream:?} m={m}"
+                );
             });
         }
     }

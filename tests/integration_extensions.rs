@@ -80,7 +80,11 @@ fn parallel_summarize_agrees_with_snapshot_merge_path() {
         })
         .collect();
     let seq = hh::counters::merge::merge_k_sparse(&summaries, k, || SpaceSaving::new(m));
-    assert_eq!(par.entries(), seq.entries(), "thread scheduling must not leak into results");
+    assert_eq!(
+        par.entries(),
+        seq.entries(),
+        "thread scheduling must not leak into results"
+    );
 }
 
 #[test]
@@ -158,8 +162,11 @@ fn dyadic_sketch_finds_the_same_heavy_hitters_as_counters() {
         dy.update(x);
     }
     let threshold = 2_000u64;
-    let from_sketch: std::collections::BTreeSet<u64> =
-        dy.items_above(threshold).into_iter().map(|(i, _)| i).collect();
+    let from_sketch: std::collections::BTreeSet<u64> = dy
+        .items_above(threshold)
+        .into_iter()
+        .map(|(i, _)| i)
+        .collect();
     for (item, f) in oracle.iter() {
         if f >= threshold {
             assert!(from_sketch.contains(item), "dyadic sketch missed {item}");

@@ -4,9 +4,9 @@
 use hh::analysis::Algo;
 use hh::counters::merge::{merge_full, merge_k_sparse};
 use hh::prelude::*;
+use hh::streamgen::exact_zipf_counts;
 use hh::streamgen::generators::{concat, split};
 use hh::streamgen::zipf::{stream_from_counts, StreamOrder};
-use hh::streamgen::exact_zipf_counts;
 
 fn zipf_stream(seed: u64) -> Vec<u64> {
     let counts = exact_zipf_counts(5_000, 100_000, 1.2);
@@ -14,7 +14,10 @@ fn zipf_stream(seed: u64) -> Vec<u64> {
 }
 
 fn summarize(algo: Algo, parts: &[Vec<u64>], m: usize) -> Vec<Box<dyn FrequencyEstimator<u64>>> {
-    parts.iter().map(|p| hh::analysis::run(algo, m, 0, p)).collect()
+    parts
+        .iter()
+        .map(|p| hh::analysis::run(algo, m, 0, p))
+        .collect()
 }
 
 #[test]
@@ -73,8 +76,12 @@ fn merge_full_at_least_as_accurate_as_k_sparse_on_heavy_items() {
 #[test]
 fn merging_disjoint_universes_is_lossless_with_room() {
     // two sites with disjoint items, summaries big enough to be exact
-    let a: Vec<u64> = (1..=20).flat_map(|i| std::iter::repeat_n(i, i as usize)).collect();
-    let b: Vec<u64> = (101..=120).flat_map(|i| std::iter::repeat_n(i, (i - 100) as usize)).collect();
+    let a: Vec<u64> = (1..=20)
+        .flat_map(|i| std::iter::repeat_n(i, i as usize))
+        .collect();
+    let b: Vec<u64> = (101..=120)
+        .flat_map(|i| std::iter::repeat_n(i, (i - 100) as usize))
+        .collect();
     let mut sa = SpaceSaving::new(64);
     let mut sb = SpaceSaving::new(64);
     for &x in &a {
@@ -116,6 +123,9 @@ fn merge_is_associative_enough_for_trees() {
     let right = merge_k_sparse(&leafs[2..], k, || SpaceSaving::new(m));
     let root = merge_k_sparse(&[left, right], k, || SpaceSaving::new(m));
     let est = root.estimate(&777);
-    assert!(est >= 1200, "globally heavy item survives tree merging: {est}");
+    assert!(
+        est >= 1200,
+        "globally heavy item survives tree merging: {est}"
+    );
     assert_eq!(root.entries()[0].0, 777);
 }

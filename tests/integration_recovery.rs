@@ -3,9 +3,9 @@
 use hh::counters::recovery::{k_sparse, l1_norm, m_sparse, residual_estimate};
 use hh::counters::underestimate::{Correction, UnderestimatedSpaceSaving};
 use hh::prelude::*;
+use hh::streamgen::exact_zipf_counts;
 use hh::streamgen::stats::{msparse_recovery_bound, sparse_recovery_bound};
 use hh::streamgen::zipf::{stream_from_counts, StreamOrder};
-use hh::streamgen::exact_zipf_counts;
 
 fn zipf_stream(alpha: f64, seed: u64) -> Vec<u64> {
     let counts = exact_zipf_counts(3_000, 60_000, alpha);
@@ -29,8 +29,7 @@ fn theorem5_bound_over_parameter_grid() {
                 assert!(rec.len() <= k);
                 for p in [1.0, 1.5, 2.0, 3.0] {
                     let err = lp_recovery_error(&rec, &oracle, p);
-                    let bound =
-                        sparse_recovery_bound(eps, k, p, freqs.res1(k), freqs.res_p(k, p));
+                    let bound = sparse_recovery_bound(eps, k, p, freqs.res1(k), freqs.res_p(k, p));
                     assert!(
                         err <= bound + 1e-9,
                         "alpha={alpha} k={k} eps={eps} p={p}: {err} > {bound}"
@@ -117,7 +116,10 @@ fn theorem7_msparse_for_underestimating_summaries() {
             for p in [1.0, 2.0] {
                 let err = lp_recovery_error(rec, &oracle, p);
                 let bound = msparse_recovery_bound(eps, k, p, freqs.res1(k));
-                assert!(err <= bound + 1e-9, "{name} eps={eps} p={p}: {err} > {bound}");
+                assert!(
+                    err <= bound + 1e-9,
+                    "{name} eps={eps} p={p}: {err} > {bound}"
+                );
             }
         }
     }
@@ -132,8 +134,14 @@ fn recovered_norm_never_exceeds_stream_length_for_one_sided() {
         ss.update(x);
         fr.update(x);
     }
-    assert!(l1_norm(&m_sparse(&ss)) == ss.stream_len(), "SS counters sum to F1");
-    assert!(l1_norm(&m_sparse(&fr)) <= fr.stream_len(), "Frequent never overcounts");
+    assert!(
+        l1_norm(&m_sparse(&ss)) == ss.stream_len(),
+        "SS counters sum to F1"
+    );
+    assert!(
+        l1_norm(&m_sparse(&fr)) <= fr.stream_len(),
+        "Frequent never overcounts"
+    );
 }
 
 #[test]

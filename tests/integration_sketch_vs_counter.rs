@@ -3,8 +3,8 @@
 
 use hh::analysis::{error_stats, precision_recall, Algo};
 use hh::prelude::*;
-use hh::streamgen::zipf::{stream_from_counts, StreamOrder};
 use hh::streamgen::exact_zipf_counts;
+use hh::streamgen::zipf::{stream_from_counts, StreamOrder};
 
 fn workload(seed: u64) -> Vec<u64> {
     let counts = exact_zipf_counts(10_000, 100_000, 1.3);
@@ -55,7 +55,11 @@ fn sketches_remain_usable_just_less_accurate() {
         let est = hh::analysis::run(algo, 2048, 5, &stream);
         let reported: Vec<u64> = est.entries().iter().take(k).map(|&(i, _)| i).collect();
         let (_, r) = precision_recall(&reported, &oracle, k);
-        assert!(r >= 0.7, "{}: recall {r} with a generous budget", algo.name());
+        assert!(
+            r >= 0.7,
+            "{}: recall {r} with a generous budget",
+            algo.name()
+        );
     }
 }
 

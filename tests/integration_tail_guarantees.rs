@@ -9,10 +9,22 @@ use hh::streamgen::{exact_zipf_counts, StreamBuilder};
 
 fn all_orders(counts: &[u64]) -> Vec<(&'static str, Vec<u64>)> {
     vec![
-        ("shuffled", stream_from_counts(counts, StreamOrder::Shuffled(1))),
-        ("blocks-desc", stream_from_counts(counts, StreamOrder::BlocksDescending)),
-        ("blocks-asc", stream_from_counts(counts, StreamOrder::BlocksAscending)),
-        ("round-robin", stream_from_counts(counts, StreamOrder::RoundRobin)),
+        (
+            "shuffled",
+            stream_from_counts(counts, StreamOrder::Shuffled(1)),
+        ),
+        (
+            "blocks-desc",
+            stream_from_counts(counts, StreamOrder::BlocksDescending),
+        ),
+        (
+            "blocks-asc",
+            stream_from_counts(counts, StreamOrder::BlocksAscending),
+        ),
+        (
+            "round-robin",
+            stream_from_counts(counts, StreamOrder::RoundRobin),
+        ),
     ]
 }
 
@@ -87,7 +99,11 @@ fn heavy_hitter_guarantee_is_the_zero_tail_case() {
             let bound = oracle.total() / m as u64; // floor(F1/m)
             for (item, f) in oracle.iter() {
                 let err = f.abs_diff(est.estimate(item));
-                assert!(err <= bound, "{} m={m} item {item}: {err} > {bound}", algo.name());
+                assert!(
+                    err <= bound,
+                    "{} m={m} item {item}: {err} > {bound}",
+                    algo.name()
+                );
             }
         }
     }

@@ -1,0 +1,261 @@
+//! Minimal, self-contained stand-in for the `criterion` bench harness.
+//!
+//! Implements the API the workspace's benches use (`benchmark_group`,
+//! `Throughput::Elements`, `BenchmarkId`, `Bencher::iter`,
+//! `criterion_group!`/`criterion_main!`) over a plain wall-clock measurement
+//! loop: per benchmark it warms up once, times `sample_size` samples, and
+//! reports the median time per iteration plus derived throughput
+//! (items/sec) when the group declares one.
+//!
+//! Each finished group also appends a machine-readable record to
+//! `BENCH_<group>.json` in `$BENCH_OUT_DIR` (default: the current
+//! directory), which is how the repo snapshots baseline numbers.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Top-level benchmark driver handed to every `criterion_group!` target.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            sample_size: 10,
+            results: Vec::new(),
+        }
+    }
+}
+
+/// Declared per-iteration work, used to derive items/sec.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Number of elements processed per iteration.
+    Elements(u64),
+    /// Number of bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id composed of a function name and a parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id that is just a parameter value.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Passed to the benchmark closure; `iter` runs and times the payload.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples_ns: Vec<u128>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Runs `routine` once for warmup and `sample_size` timed times.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        std::hint::black_box(routine()); // warmup, untimed
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            self.samples_ns.push(start.elapsed().as_nanos());
+        }
+    }
+}
+
+#[derive(Debug)]
+struct BenchResult {
+    id: String,
+    median_ns: u128,
+    throughput: Option<f64>,
+}
+
+/// A group of benchmarks sharing throughput/sample-size settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    results: Vec<BenchResult>,
+}
+
+impl BenchmarkGroup {
+    /// Declares the per-iteration work for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Benchmarks `routine` with an explicit input value.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            samples_ns: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        routine(&mut b, input);
+        self.record(id.id, b);
+        self
+    }
+
+    /// Benchmarks a no-input routine.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples_ns: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        routine(&mut b);
+        self.record(id.into(), b);
+        self
+    }
+
+    fn record(&mut self, id: String, mut b: Bencher) {
+        b.samples_ns.sort_unstable();
+        let median_ns = if b.samples_ns.is_empty() {
+            0
+        } else {
+            b.samples_ns[b.samples_ns.len() / 2]
+        };
+        let throughput = match (self.throughput, median_ns) {
+            (Some(Throughput::Elements(n)), ns) if ns > 0 => Some(n as f64 * 1e9 / ns as f64),
+            (Some(Throughput::Bytes(n)), ns) if ns > 0 => Some(n as f64 * 1e9 / ns as f64),
+            _ => None,
+        };
+        let line = render_line(&self.name, &id, median_ns, throughput);
+        println!("{line}");
+        self.results.push(BenchResult {
+            id,
+            median_ns,
+            throughput,
+        });
+    }
+
+    /// Prints the group summary and writes `BENCH_<group>.json`.
+    pub fn finish(self) {
+        let path =
+            std::path::Path::new(&std::env::var("BENCH_OUT_DIR").unwrap_or_else(|_| ".".into()))
+                .join(format!("BENCH_{}.json", self.name.replace(['/', ' '], "_")));
+        let mut json = String::from("{\n");
+        let _ = writeln!(json, "  \"group\": \"{}\",", self.name);
+        json.push_str("  \"benchmarks\": [\n");
+        for (i, r) in self.results.iter().enumerate() {
+            let sep = if i + 1 == self.results.len() { "" } else { "," };
+            let tp = r
+                .throughput
+                .map(|t| format!("{t:.1}"))
+                .unwrap_or_else(|| "null".into());
+            let _ = writeln!(
+                json,
+                "    {{\"id\": \"{}\", \"median_ns_per_iter\": {}, \"items_per_sec\": {}}}{}",
+                r.id, r.median_ns, tp, sep
+            );
+        }
+        json.push_str("  ]\n}\n");
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("warning: could not write {}: {e}", path.display());
+        }
+    }
+}
+
+fn render_line(group: &str, id: &str, median_ns: u128, throughput: Option<f64>) -> String {
+    let time = if median_ns >= 1_000_000_000 {
+        format!("{:.3} s", median_ns as f64 / 1e9)
+    } else if median_ns >= 1_000_000 {
+        format!("{:.3} ms", median_ns as f64 / 1e6)
+    } else if median_ns >= 1_000 {
+        format!("{:.3} us", median_ns as f64 / 1e3)
+    } else {
+        format!("{median_ns} ns")
+    };
+    match throughput {
+        Some(t) if t >= 1e6 => {
+            format!(
+                "{group}/{id}  time: {time}/iter  throughput: {:.2} Melem/s",
+                t / 1e6
+            )
+        }
+        Some(t) => format!("{group}/{id}  time: {time}/iter  throughput: {t:.0} elem/s"),
+        None => format!("{group}/{id}  time: {time}/iter"),
+    }
+}
+
+/// Declares a bench entry point running each listed function in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_reports_throughput() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("unit_test_group");
+        g.throughput(Throughput::Elements(1000));
+        g.sample_size(3);
+        g.bench_function("noop_sum", |b| b.iter(|| (0..1000u64).sum::<u64>()));
+        assert_eq!(g.results.len(), 1);
+        assert!(g.results[0].throughput.is_some());
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("algo", 64).id, "algo/64");
+        assert_eq!(BenchmarkId::from_parameter(128).id, "128");
+    }
+}

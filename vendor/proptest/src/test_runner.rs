@@ -1,0 +1,63 @@
+//! Test execution plumbing: configuration, errors, and the per-test RNG.
+
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The RNG used to generate test cases.
+pub type TestRng = StdRng;
+
+/// Configuration for a [`proptest!`](crate::proptest) block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A failed test case (carried out of the test body by `prop_assert!`).
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// An assertion failed with the given message.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Builds a failure from a message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+/// Derives a deterministic RNG from a test's fully-qualified name, so runs
+/// are reproducible without a persisted seed file.
+pub fn rng_for(name: &str) -> TestRng {
+    // FNV-1a over the name.
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    StdRng::seed_from_u64(h)
+}

@@ -1,0 +1,193 @@
+//! Minimal, self-contained stand-in for the `rand_distr` crate.
+//!
+//! Provides the two distributions the workspace uses — [`LogNormal`] and
+//! [`Zipf`] — plus the [`Distribution`] trait re-export. Both samplers are
+//! exact (not approximations of the target law): LogNormal exponentiates a
+//! Box–Muller normal, and Zipf uses interval rejection against the shifted
+//! power-law envelope `(x - 1/2)^-s`, which dominates `round(x)^-s` on every
+//! unit interval.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+pub use rand::distributions::Distribution;
+use rand::RngCore;
+
+/// Error returned by distribution constructors on invalid parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParamError(&'static str);
+
+impl fmt::Display for ParamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid distribution parameter: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+fn unit(rng: &mut (impl RngCore + ?Sized)) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// The log-normal distribution `exp(N(mu, sigma^2))`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Creates a log-normal distribution; `sigma` must be non-negative and
+    /// both parameters finite.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, ParamError> {
+        if !mu.is_finite() || !sigma.is_finite() || sigma < 0.0 {
+            return Err(ParamError("LogNormal requires finite mu and sigma >= 0"));
+        }
+        Ok(LogNormal { mu, sigma })
+    }
+}
+
+impl Distribution<f64> for LogNormal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Box–Muller; reject u1 == 0 so ln() stays finite.
+        let mut u1 = unit(rng);
+        while u1 <= f64::MIN_POSITIVE {
+            u1 = unit(rng);
+        }
+        let u2 = unit(rng);
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        (self.mu + self.sigma * z).exp()
+    }
+}
+
+/// The Zipf distribution over `{1, ..., n}` with `P(k) ∝ k^-s`, `s > 0`.
+///
+/// Sampling is by rejection from the continuous envelope `g(x) = (x-1/2)^-s`
+/// on `[3/2, n+1/2]` (which dominates `round(x)^-s` there) with `k = 1`
+/// carried as an explicit atom of envelope mass `1 = 1^-s`, so accepted
+/// values follow the target law exactly. Expected retries are O(1) for all
+/// `s > 0`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Zipf<F> {
+    n: F,
+    s: F,
+    /// Envelope mass of the continuous part, `G(n + 1/2)`.
+    tail_mass: F,
+}
+
+impl Zipf<f64> {
+    /// Creates a Zipf distribution over `n` elements with exponent `s`.
+    pub fn new(n: u64, s: f64) -> Result<Self, ParamError> {
+        if n == 0 {
+            return Err(ParamError("Zipf requires n >= 1"));
+        }
+        if !s.is_finite() || s <= 0.0 {
+            return Err(ParamError("Zipf requires finite s > 0"));
+        }
+        let nf = n as f64;
+        Ok(Zipf {
+            n: nf,
+            s,
+            tail_mass: g_integral(nf + 0.5, s),
+        })
+    }
+}
+
+/// `∫_{3/2}^{x} (t - 1/2)^-s dt`.
+fn g_integral(x: f64, s: f64) -> f64 {
+    if x <= 1.5 {
+        return 0.0;
+    }
+    if s == 1.0 {
+        (x - 0.5).ln()
+    } else {
+        ((x - 0.5).powf(1.0 - s) - 1.0) / (1.0 - s)
+    }
+}
+
+/// Inverse of [`g_integral`] in `x`.
+fn g_inverse(v: f64, s: f64) -> f64 {
+    if s == 1.0 {
+        0.5 + v.exp()
+    } else {
+        0.5 + (1.0 + (1.0 - s) * v).powf(1.0 / (1.0 - s))
+    }
+}
+
+impl Distribution<f64> for Zipf<f64> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        let total = 1.0 + self.tail_mass;
+        loop {
+            let u = unit(rng) * total;
+            if u < 1.0 {
+                return 1.0; // the k = 1 atom: envelope == target, always accept
+            }
+            let x = g_inverse(u - 1.0, self.s).min(self.n + 0.5);
+            let k = x.round().max(2.0).min(self.n);
+            // Accept with probability target(k) / envelope(x).
+            let accept = (k.powf(-self.s)) * (x - 0.5).powf(self.s);
+            if unit(rng) < accept {
+                return k;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn lognormal_positive_and_centered() {
+        let d = LogNormal::new(1.0, 0.5).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 20_000;
+        let mut sum_ln = 0.0;
+        for _ in 0..n {
+            let v = rng.sample(d);
+            assert!(v > 0.0);
+            sum_ln += v.ln();
+        }
+        let mean_ln = sum_ln / n as f64;
+        assert!((mean_ln - 1.0).abs() < 0.02, "mean of ln ~ mu: {mean_ln}");
+    }
+
+    #[test]
+    fn zipf_range_and_skew() {
+        let d = Zipf::new(100, 1.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = [0u32; 101];
+        for _ in 0..100_000 {
+            let k = rng.sample(d) as usize;
+            assert!((1..=100).contains(&k));
+            counts[k] += 1;
+        }
+        // P(1)/P(2) = 2 for s = 1; allow sampling noise.
+        let ratio = counts[1] as f64 / counts[2] as f64;
+        assert!((ratio - 2.0).abs() < 0.2, "ratio={ratio}");
+        // P(1)/P(10) = 10.
+        let ratio10 = counts[1] as f64 / counts[10] as f64;
+        assert!((ratio10 - 10.0).abs() < 1.5, "ratio10={ratio10}");
+    }
+
+    #[test]
+    fn zipf_single_element() {
+        let d = Zipf::new(1, 2.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            assert_eq!(rng.sample(d), 1.0);
+        }
+    }
+
+    #[test]
+    fn zipf_rejects_bad_params() {
+        assert!(Zipf::new(0, 1.0).is_err());
+        assert!(Zipf::new(5, 0.0).is_err());
+        assert!(Zipf::new(5, -1.0).is_err());
+        assert!(LogNormal::new(f64::NAN, 1.0).is_err());
+        assert!(LogNormal::new(0.0, -1.0).is_err());
+    }
+}

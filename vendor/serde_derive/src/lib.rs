@@ -1,0 +1,220 @@
+//! Minimal `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! vendored `serde`.
+//!
+//! Supports plain structs with named fields and simple type parameters
+//! (`struct Snapshot<I> { a: usize, entries: Vec<(I, u64)> }`), which is the
+//! full shape the workspace derives on. Parsing is done directly over the
+//! `proc_macro` token stream — no `syn`/`quote`, since the build has no
+//! network access — and code generation emits plain source text that is
+//! re-parsed into a `TokenStream`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct StructShape {
+    name: String,
+    /// Type parameter names, e.g. `["I"]`.
+    params: Vec<String>,
+    fields: Vec<String>,
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Parses `[attrs] [pub] struct Name [<params>] { [pub] field: Type, ... }`.
+fn parse_struct(input: TokenStream) -> Result<StructShape, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes and visibility.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2, // '#' + [...]
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    match tokens.get(i) {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" => i += 1,
+        other => return Err(format!("expected `struct`, found {other:?}")),
+    }
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => {
+            i += 1;
+            id.to_string()
+        }
+        other => return Err(format!("expected struct name, found {other:?}")),
+    };
+
+    // Generic parameters: `<A, B: Bound, ...>`.
+    let mut params = Vec::new();
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        i += 1;
+        let mut depth = 1usize;
+        let mut expect_param = true;
+        while depth > 0 {
+            match tokens.get(i) {
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => depth += 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => depth -= 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 1 => {
+                    expect_param = true;
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ':' && depth == 1 => {
+                    expect_param = false; // bounds follow; skip until ',' or '>'
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == '\'' => {
+                    return Err("lifetimes are not supported by the vendored derive".into());
+                }
+                Some(TokenTree::Ident(id)) if depth == 1 && expect_param => {
+                    params.push(id.to_string());
+                    expect_param = false;
+                }
+                Some(_) => {}
+                None => return Err("unbalanced generics".into()),
+            }
+            i += 1;
+        }
+    }
+
+    // Field block.
+    let body = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.clone(),
+            Some(TokenTree::Ident(id)) if id.to_string() == "where" => {
+                return Err("where clauses are not supported by the vendored derive".into());
+            }
+            Some(_) => i += 1,
+            None => {
+                return Err("expected a braced field block (named-field struct)".into());
+            }
+        }
+    };
+
+    let field_tokens: Vec<TokenTree> = body.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut j = 0;
+    while j < field_tokens.len() {
+        // Skip attributes and visibility on the field.
+        loop {
+            match field_tokens.get(j) {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => j += 2,
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    j += 1;
+                    if let Some(TokenTree::Group(g)) = field_tokens.get(j) {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            j += 1;
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(tok) = field_tokens.get(j) else {
+            break;
+        };
+        let TokenTree::Ident(field_name) = tok else {
+            return Err(format!("expected field name, found {tok:?}"));
+        };
+        fields.push(field_name.to_string());
+        j += 1;
+        match field_tokens.get(j) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => j += 1,
+            other => return Err(format!("expected `:` after field name, found {other:?}")),
+        }
+        // Skip the type: consume until a ',' at angle-bracket depth 0.
+        let mut depth = 0isize;
+        while let Some(tok) = field_tokens.get(j) {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    j += 1;
+                    break;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+    }
+
+    Ok(StructShape {
+        name,
+        params,
+        fields,
+    })
+}
+
+fn generics_decl(params: &[String], bound: &str) -> (String, String) {
+    if params.is_empty() {
+        (String::new(), String::new())
+    } else {
+        let decl: Vec<String> = params.iter().map(|p| format!("{p}: {bound}")).collect();
+        (
+            format!("<{}>", decl.join(", ")),
+            format!("<{}>", params.join(", ")),
+        )
+    }
+}
+
+/// Derives the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = match parse_struct(input) {
+        Ok(s) => s,
+        Err(e) => return compile_error(&e),
+    };
+    let (impl_generics, ty_generics) = generics_decl(&shape.params, "::serde::Serialize");
+    let mut entries = String::new();
+    for f in &shape.fields {
+        entries.push_str(&format!(
+            "(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})),"
+        ));
+    }
+    format!(
+        "impl{impl_generics} ::serde::Serialize for {name}{ty_generics} {{\n\
+             fn to_value(&self) -> ::serde::json::Value {{\n\
+                 ::serde::json::Value::Object(vec![{entries}])\n\
+             }}\n\
+         }}",
+        name = shape.name,
+    )
+    .parse()
+    .unwrap()
+}
+
+/// Derives the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = match parse_struct(input) {
+        Ok(s) => s,
+        Err(e) => return compile_error(&e),
+    };
+    let (impl_generics, ty_generics) = generics_decl(&shape.params, "::serde::Deserialize");
+    let mut fields = String::new();
+    for f in &shape.fields {
+        fields.push_str(&format!(
+            "{f}: ::serde::Deserialize::from_value(::serde::get_field(entries, \"{f}\")?)?,"
+        ));
+    }
+    format!(
+        "impl{impl_generics} ::serde::Deserialize for {name}{ty_generics} {{\n\
+             fn from_value(v: &::serde::json::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 let entries = v.as_object().ok_or_else(|| {{\n\
+                     ::serde::Error::custom(format!(\"expected object for {name}, got {{v:?}}\"))\n\
+                 }})?;\n\
+                 ::std::result::Result::Ok({name} {{ {fields} }})\n\
+             }}\n\
+         }}",
+        name = shape.name,
+    )
+    .parse()
+    .unwrap()
+}
