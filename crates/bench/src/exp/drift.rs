@@ -8,7 +8,7 @@
 //! crosses the alert threshold) by the time its burst ends.
 
 use hh_analysis::{check_tail, fbound, fok, Algo, Table};
-use hh_counters::{FrequencyEstimator, SpaceSaving, TailConstants};
+use hh_counters::TailConstants;
 use hh_streamgen::drift::{drifting_zipf, flash_crowd, flash_item};
 use hh_streamgen::ExactCounter;
 
@@ -32,9 +32,9 @@ pub fn run(scale: Scale) -> Report {
         &["algorithm", "k", "bound", "max err", "ok"],
     );
     for algo in [Algo::Frequent, Algo::SpaceSaving] {
-        let est = hh_analysis::run(algo, m, 0, &drift_stream);
+        let est = crate::exp::engine(algo.kind().expect("engine-covered"), m, 0, &drift_stream);
         for kk in [0usize, k, 2 * k] {
-            let check = check_tail(est.as_ref(), &drift_oracle, TailConstants::ONE_ONE, kk);
+            let check = check_tail(&est, &drift_oracle, TailConstants::ONE_ONE, kk);
             all_ok &= check.ok;
             drift_table.row(vec![
                 algo.name().to_string(),
@@ -50,12 +50,17 @@ pub fn run(scale: Scale) -> Report {
     let background = drifting_zipf(n, per_phase, 1.2, 1, 9);
     let burst = (background.len() / 5).max(100);
     let flash = flash_crowd(&background, 0.6, burst, 11);
-    let mut ss = SpaceSaving::new(m);
+    let mut ss = hh::engine::EngineConfig::new(hh::engine::AlgoKind::SpaceSaving)
+        .counters(m)
+        .build()
+        .expect("valid budget");
     let mut detected_at = None;
     let threshold = 0.05 * flash.len() as f64; // alert at 5% of traffic
     for (pos, &x) in flash.iter().enumerate() {
         ss.update(x);
-        if detected_at.is_none() && (ss.guaranteed_count(&flash_item()) as f64) > threshold {
+        // certified lower bound from the engine's bound-interval API
+        let (lower, _) = ss.report().interval(&flash_item());
+        if detected_at.is_none() && (lower as f64) > threshold {
             detected_at = Some(pos);
         }
     }

@@ -8,23 +8,20 @@
 //! The practical `merge_full` variant (replay all m counters) is reported
 //! alongside — it is never worse.
 
+use hh::engine::{AlgoKind, Engine};
 use hh_analysis::{error_stats, fbound, fok, Algo, Table};
 use hh_counters::merge::{merge_full, merge_k_sparse};
-use hh_counters::{FrequencyEstimator, Frequent, SpaceSaving, TailConstants};
+use hh_counters::TailConstants;
 use hh_streamgen::generators::split;
 use hh_streamgen::zipf::{stream_from_counts, StreamOrder};
 use hh_streamgen::{exact_zipf_counts, ExactCounter, Item};
 
 use crate::report::{Report, Scale};
 
-fn summarize_parts(
-    algo: Algo,
-    parts: &[Vec<Item>],
-    m: usize,
-) -> Vec<Box<dyn FrequencyEstimator<Item>>> {
+fn summarize_parts(kind: AlgoKind, parts: &[Vec<Item>], m: usize) -> Vec<Engine<Item>> {
     parts
         .iter()
-        .map(|p| hh_analysis::run(algo, m, 0, p))
+        .map(|p| crate::exp::engine(kind, m, 0, p))
         .collect()
 }
 
@@ -50,21 +47,19 @@ pub fn run(scale: Scale) -> Report {
     let mut all_ok = true;
 
     for algo in [Algo::Frequent, Algo::SpaceSaving] {
+        let kind = algo.kind().expect("engine-covered");
+        // the merge targets are fresh engines from the same config — no
+        // per-algorithm dispatch needed anymore
+        let fresh = || crate::exp::engine(kind, m, 0, &[]);
         for &ell in &ells {
             let parts = split(&stream, ell);
-            let summaries = summarize_parts(algo, &parts, m);
+            let summaries = summarize_parts(kind, &parts, m);
 
-            let merged_sparse: Box<dyn FrequencyEstimator<Item>> = match algo {
-                Algo::Frequent => Box::new(merge_k_sparse(&summaries, k, || Frequent::new(m))),
-                _ => Box::new(merge_k_sparse(&summaries, k, || SpaceSaving::new(m))),
-            };
-            let merged_all: Box<dyn FrequencyEstimator<Item>> = match algo {
-                Algo::Frequent => Box::new(merge_full(&summaries, || Frequent::new(m))),
-                _ => Box::new(merge_full(&summaries, || SpaceSaving::new(m))),
-            };
+            let merged_sparse = merge_k_sparse(&summaries, k, fresh);
+            let merged_all = merge_full(&summaries, fresh);
 
             for (mode, merged) in [("k-sparse (Thm 11)", merged_sparse), ("full", merged_all)] {
-                let stats = error_stats(merged.as_ref(), &oracle);
+                let stats = error_stats(&merged, &oracle);
                 let ok = bound.map(|b| stats.max as f64 <= b + 1e-9).unwrap_or(true);
                 // Theorem 11 only covers the k-sparse construction; we check
                 // the full variant against the same bound since it carries

@@ -1,5 +1,21 @@
 //! One module per reproduced table / figure / theorem.
 
+use hh::engine::{AlgoKind, Engine, EngineConfig};
+use hh_streamgen::Item;
+
+/// Builds an engine through the unified `hh::engine` config API, feeds it
+/// `stream` through the batched ingest path, and returns it — the standard
+/// constructor for the experiment drivers.
+pub(crate) fn engine(kind: AlgoKind, m: usize, seed: u64, stream: &[Item]) -> Engine<Item> {
+    let mut e = EngineConfig::new(kind)
+        .counters(m)
+        .seed(seed)
+        .build()
+        .expect("valid experiment budget");
+    hh_analysis::feed(&mut e, stream);
+    e
+}
+
 pub mod counter_vs_sketch;
 pub mod drift;
 pub mod fig1_conformance;

@@ -9,9 +9,9 @@
 //! Both corrections of SPACESAVING (global-Δ and per-item `err_i`) are
 //! evaluated; the per-item one is tighter in practice, as the paper notes.
 
-use hh_analysis::{feed, fnum, fok, lp_recovery_error, Table};
-use hh_counters::underestimate::{Correction, UnderestimatedSpaceSaving};
-use hh_counters::{recovery, Frequent, SpaceSaving, TailConstants};
+use hh::engine::AlgoKind;
+use hh_analysis::{fnum, fok, lp_recovery_error, Table};
+use hh_counters::{recovery, TailConstants};
 use hh_streamgen::stats::msparse_recovery_bound;
 use hh_streamgen::zipf::{stream_from_counts, StreamOrder};
 use hh_streamgen::{exact_zipf_counts, ExactCounter, Item};
@@ -40,19 +40,29 @@ pub fn run(scale: Scale) -> Report {
         let m = TailConstants::ONE_ONE.counters_for_residual_estimate(k, eps);
 
         // FREQUENT: natively underestimating.
-        let mut fr = Frequent::new(m);
-        feed(&mut fr, &stream);
-        let variants: Vec<(String, Vec<(Item, u64)>)> = {
-            let mut ss = SpaceSaving::new(m);
-            feed(&mut ss, &stream);
-            let global = UnderestimatedSpaceSaving::new(&ss, Correction::GlobalMin).entries();
-            let per_item = UnderestimatedSpaceSaving::new(&ss, Correction::PerItem).entries();
-            vec![
-                ("Frequent".to_string(), recovery::m_sparse(&fr)),
-                ("SpaceSaving−Δ".to_string(), global),
-                ("SpaceSaving−err_i".to_string(), per_item),
-            ]
+        let fr = crate::exp::engine(AlgoKind::Frequent, m, 0, &stream);
+        let ss_engine = crate::exp::engine(AlgoKind::SpaceSaving, m, 0, &stream);
+        let ss_entries = ss_engine.report().entries();
+        // The per-item correction c_i − err_i is exactly the certified
+        // lower bound the engine's interval API reports.
+        let per_item: Vec<(Item, u64)> = ss_entries.iter().map(|e| (e.item, e.lower)).collect();
+        // The global-Δ ablation subtracts the minimum counter from every
+        // estimate; the entries are sorted descending, so Δ is the last one
+        // (0 while the table still has room).
+        let delta = if ss_engine.stored_len() == ss_engine.capacity() {
+            ss_entries.last().map(|e| e.estimate).unwrap_or(0)
+        } else {
+            0
         };
+        let global: Vec<(Item, u64)> = ss_entries
+            .iter()
+            .map(|e| (e.item, e.estimate.saturating_sub(delta)))
+            .collect();
+        let variants: Vec<(String, Vec<(Item, u64)>)> = vec![
+            ("Frequent".to_string(), recovery::m_sparse(&fr)),
+            ("SpaceSaving−Δ".to_string(), global),
+            ("SpaceSaving−err_i".to_string(), per_item),
+        ];
 
         for (name, mut recovered) in variants {
             recovered.retain(|&(_, c)| c > 0);

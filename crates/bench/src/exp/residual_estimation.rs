@@ -5,7 +5,6 @@
 //! residual: `(1−ε)·F1^res(k) ≤ F1 − ‖f'‖₁ ≤ (1+ε)·F1^res(k)`.
 
 use hh_analysis::{fnum, fok, Algo, Table};
-use hh_counters::recovery::residual_estimate;
 use hh_counters::TailConstants;
 use hh_streamgen::zipf::{stream_from_counts, StreamOrder};
 use hh_streamgen::{exact_zipf_counts, ExactCounter};
@@ -43,8 +42,8 @@ pub fn run(scale: Scale) -> Report {
         for &k in &ks {
             for &eps in &epsilons {
                 let m = TailConstants::ONE_ONE.counters_for_residual_estimate(k, eps);
-                let est = hh_analysis::run(algo, m, 0, &stream);
-                let observed = residual_estimate(est.as_ref(), k);
+                let est = crate::exp::engine(algo.kind().expect("engine-covered"), m, 0, &stream);
+                let observed = est.report().residual(k);
                 let truth = freqs.res1(k);
                 let lo = (1.0 - eps) * truth as f64;
                 let hi = (1.0 + eps) * truth as f64;

@@ -39,8 +39,8 @@ pub fn run(scale: Scale) -> Report {
     for algo in [Algo::Frequent, Algo::SpaceSaving] {
         let mut prev_err = u64::MAX;
         for &m in ms {
-            let est = hh_analysis::run(algo, m, 0, &stream);
-            let stats = error_stats(est.as_ref(), &oracle);
+            let est = crate::exp::engine(algo.kind().expect("engine-covered"), m, 0, &stream);
+            let stats = error_stats(&est, &oracle);
             let upper = res_k as f64 / (m - k) as f64;
             let normalized = stats.max as f64 * (m - k) as f64 / res_k as f64;
             let ok = (stats.max as f64) <= upper && stats.max <= prev_err;

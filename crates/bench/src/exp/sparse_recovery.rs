@@ -49,8 +49,8 @@ pub fn run(scale: Scale) -> Report {
     for algo in [Algo::Frequent, Algo::SpaceSaving] {
         for &eps in &epsilons {
             let m = TailConstants::ONE_ONE.counters_for_sparse_recovery(k, eps, true);
-            let est = hh_analysis::run(algo, m, 0, &stream);
-            let recovered = k_sparse(est.as_ref(), k);
+            let est = crate::exp::engine(algo.kind().expect("engine-covered"), m, 0, &stream);
+            let recovered = k_sparse(&est, k);
             for p in [1.0f64, 2.0] {
                 let err = lp_recovery_error(&recovered, &oracle, p);
                 let res1 = freqs.res1(k);

@@ -59,13 +59,13 @@ pub fn run(scale: Scale) -> Report {
     for (name, stream) in workloads(scale) {
         let oracle = ExactCounter::from_stream(&stream);
         for algo in [Algo::Frequent, Algo::SpaceSaving] {
-            let est = hh_analysis::run(algo, m, 0, &stream);
+            let est = crate::exp::engine(algo.kind().expect("engine-covered"), m, 0, &stream);
             for &k in &ks {
                 if k >= m {
                     continue;
                 }
-                let tight = check_tail(est.as_ref(), &oracle, TailConstants::ONE_ONE, k);
-                let generic = check_tail(est.as_ref(), &oracle, TailConstants::GENERIC, k);
+                let tight = check_tail(&est, &oracle, TailConstants::ONE_ONE, k);
+                let generic = check_tail(&est, &oracle, TailConstants::GENERIC, k);
                 all_ok &= tight.ok && generic.ok;
                 let ratio = tight
                     .bound

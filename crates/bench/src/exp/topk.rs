@@ -43,11 +43,16 @@ pub fn run(scale: Scale) -> Report {
             let m = zipf_counters_for_topk(TailConstants::ONE_ONE, k, alpha, n).max(16);
             let exact_topk = oracle.top_k(k);
             for algo in [Algo::Frequent, Algo::SpaceSaving] {
-                let est = hh_analysis::run(algo, m, 0, &stream);
-                let ok = order_correct(est.as_ref(), &exact_topk);
+                let est = crate::exp::engine(algo.kind().expect("engine-covered"), m, 0, &stream);
+                let ok = order_correct(&est, &exact_topk);
                 all_ok &= ok;
-                let control = hh_analysis::run(algo, (m / 4).max(2), 0, &stream);
-                let control_ok = order_correct(control.as_ref(), &exact_topk);
+                let control = crate::exp::engine(
+                    algo.kind().expect("engine-covered"),
+                    (m / 4).max(2),
+                    0,
+                    &stream,
+                );
+                let control_ok = order_correct(&control, &exact_topk);
                 table.row(vec![
                     format!("{alpha}"),
                     k.to_string(),

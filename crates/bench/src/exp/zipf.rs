@@ -43,8 +43,9 @@ pub fn run(scale: Scale) -> Report {
         for &eps in epsilons {
             let m = zipf_counters_for_error(TailConstants::ONE_ONE, eps, alpha);
             for algo in [Algo::Frequent, Algo::SpaceSaving] {
-                let est = hh_analysis::run(algo, m.max(16), 0, &stream);
-                let stats = error_stats(est.as_ref(), &oracle);
+                let est =
+                    crate::exp::engine(algo.kind().expect("engine-covered"), m.max(16), 0, &stream);
+                let stats = error_stats(&est, &oracle);
                 let bound = eps * total as f64;
                 let ok = (stats.max as f64) <= bound + 1e-9;
                 all_ok &= ok;

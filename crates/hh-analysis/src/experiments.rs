@@ -1,10 +1,16 @@
 //! Shared experiment drivers: algorithm factories keyed by name and stream
 //! feeding helpers, so every bench binary and integration test builds its
 //! comparisons the same way.
+//!
+//! Every algorithm the unified engine covers is constructed through
+//! [`hh_sketches::engine::EngineConfig`]; only the two ablation-only
+//! backends (the lazy-heap SPACESAVING variant and the dyadic Count-Min)
+//! are built directly, since they exist to benchmark design choices rather
+//! than to serve queries.
 
 use hh_counters::traits::FrequencyEstimator;
-use hh_counters::{Frequent, HeapSpaceSaving, LossyCounting, SpaceSaving, StickySampling};
-use hh_sketches::{CountMin, CountSketch, DyadicCountMin, SketchHeavyHitters, UpdateRule};
+use hh_sketches::engine::{AlgoKind, EngineConfig};
+use hh_sketches::DyadicCountMin;
 use hh_streamgen::Item;
 
 /// Universe bits assumed for [`Algo::DyadicCountMin`] instances (ids up to
@@ -78,61 +84,60 @@ impl Algo {
                 | Algo::StickySampling
         )
     }
+
+    /// The engine [`AlgoKind`] backing this comparison algorithm, when the
+    /// unified engine covers it (`None` for the two ablation-only
+    /// backends).
+    pub fn kind(self) -> Option<AlgoKind> {
+        match self {
+            Algo::Frequent => Some(AlgoKind::Frequent),
+            Algo::SpaceSaving => Some(AlgoKind::SpaceSaving),
+            Algo::LossyCounting => Some(AlgoKind::LossyCounting),
+            Algo::StickySampling => Some(AlgoKind::StickySampling),
+            Algo::CountMin | Algo::CountMinCU => Some(AlgoKind::CountMin),
+            Algo::CountSketch => Some(AlgoKind::CountSketch),
+            Algo::HeapSpaceSaving | Algo::DyadicCountMin => None,
+        }
+    }
 }
 
-/// Depth used for Count-Min instances built by [`make_estimator`].
-pub const CM_DEPTH: usize = 4;
+/// Depth used for Count-Min instances built by [`make_estimator`] — the
+/// engine's own default, so the experiment harness always benchmarks the
+/// sketch shape the serving path uses.
+pub const CM_DEPTH: usize = hh_sketches::engine::CM_DEPTH;
 /// Depth used for Count-Sketch instances built by [`make_estimator`].
-pub const CS_DEPTH: usize = 5;
+pub const CS_DEPTH: usize = hh_sketches::engine::CS_DEPTH;
 
 /// Builds an estimator with a total space budget of `budget` counters
 /// (cells for sketches, stored entries for counter algorithms).
 ///
-/// Sketch instances reserve a tenth of the budget (at least 16 slots) for
-/// the heavy-hitter candidate list — a sketch without one cannot report
-/// heavy hitters at all, so any fair comparison must charge for it.
+/// Engine-covered algorithms are constructed through [`EngineConfig`]
+/// (which reserves a tenth of a sketch budget, at least 16 slots, for the
+/// heavy-hitter candidate list — a sketch without one cannot report heavy
+/// hitters at all, so any fair comparison must charge for it); the
+/// sampling/update-rule parameters match the engine's defaults exactly.
 pub fn make_estimator(algo: Algo, budget: usize, seed: u64) -> Box<dyn FrequencyEstimator<Item>> {
     assert!(budget >= 1, "need at least one counter");
+    if let Some(kind) = algo.kind() {
+        let config = EngineConfig::new(kind)
+            .counters(budget)
+            .seed(seed)
+            .conservative(algo == Algo::CountMinCU)
+            .sketch_depth(match kind {
+                AlgoKind::CountSketch => CS_DEPTH,
+                _ => CM_DEPTH,
+            });
+        return Box::new(config.build::<Item>().expect("valid experiment budget"));
+    }
     match algo {
-        Algo::Frequent => Box::new(Frequent::new(budget)),
-        Algo::SpaceSaving => Box::new(SpaceSaving::new(budget)),
-        Algo::HeapSpaceSaving => Box::new(HeapSpaceSaving::new(budget)),
-        Algo::LossyCounting => Box::new(LossyCounting::with_width(budget as u64)),
-        Algo::StickySampling => Box::new(StickySampling::new(
-            1.0 / budget as f64,
-            0.01,
-            0.1,
-            seed | 1,
-        )),
+        Algo::HeapSpaceSaving => Box::new(hh_counters::HeapSpaceSaving::new(budget)),
         Algo::DyadicCountMin => Box::new(DyadicCountMin::with_budget(
             DYADIC_BITS,
             budget,
             CM_DEPTH,
             seed,
         )),
-        Algo::CountMin | Algo::CountMinCU | Algo::CountSketch => {
-            assert!(
-                budget >= 16,
-                "sketch budgets below 16 cells are meaningless"
-            );
-            let candidates = (budget / 10).max(16).min(budget / 2);
-            let cells = budget - candidates;
-            match algo {
-                Algo::CountMin => Box::new(SketchHeavyHitters::new(
-                    CountMin::with_budget(cells, CM_DEPTH, seed, UpdateRule::Classic),
-                    candidates,
-                )),
-                Algo::CountMinCU => Box::new(SketchHeavyHitters::new(
-                    CountMin::with_budget(cells, CM_DEPTH, seed, UpdateRule::Conservative),
-                    candidates,
-                )),
-                Algo::CountSketch => Box::new(SketchHeavyHitters::new(
-                    CountSketch::with_budget(cells, CS_DEPTH, seed),
-                    candidates,
-                )),
-                _ => unreachable!(),
-            }
-        }
+        _ => unreachable!("engine-covered algorithms handled above"),
     }
 }
 

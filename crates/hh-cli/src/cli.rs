@@ -1,24 +1,42 @@
 //! Argument parsing for the `hh` binary (no external dependency).
+//!
+//! Everything maps onto the unified `hh::engine` API: `--algo` parses
+//! straight into an [`AlgoKind`], `-m`/`--eps` become a
+//! [`hh::engine::CapacitySpec`], and the parsed [`Options`] build engines
+//! exclusively through [`EngineConfig`].
+
+use hh::engine::{AlgoKind, CapacitySpec, EngineConfig};
+use hh::Error;
 
 /// Usage text printed on parse errors.
 pub const USAGE: &str = "\
-usage: hh <command> [options] [FILE]
+usage: hh <command> [options] [FILE...]
 
 commands:
   topk        report the k items with the largest counters
   heavy       report items above phi*F1 with confidence labels
   estimate    report estimates for the items given via --items
   residual    estimate the residual tail mass F1^res(k)
+  merge       merge two or more snapshot FILEs and report the top-k
+  gen         emit a synthetic Zipf trace (requires --zipf)
 
 options:
-  -m <N>            counters to use (default 256)
-  -k <N>            k for topk/residual (default 10)
-  --phi <F>         heavy-hitter threshold fraction (default 0.01)
-  --algo <A>        spacesaving (default) or frequent
-  --items <a,b,c>   comma-separated items for `estimate`
-  --weighted        lines are `item weight` (SPACESAVINGR)
-  --json            machine-readable output
-  FILE              input path (default: stdin), one item per line";
+  -m <N>             counters to use (default 256)
+  --eps <F>          size the summary from the paper's Theorem 6/7 rule
+                     m = Bk + Ak/eps instead of -m (uses -k)
+  -k <N>             k for topk/residual and --eps sizing (default 10)
+  --phi <F>          heavy-hitter threshold fraction (default 0.01)
+  --algo <A>         spacesaving (default), frequent, lossycounting,
+                     stickysampling, countmin or countsketch
+  --seed <N>         seed for randomized backends (default 0)
+  --items <a,b,c>    comma-separated items for `estimate`
+  --weighted         lines are `item weight` (SPACESAVINGR / FREQUENTR)
+  --json             machine-readable output
+  --snapshot-out <F> write the engine snapshot to F after ingest
+  --snapshot-in <F>  resume from a snapshot written by --snapshot-out
+  --zipf <SPEC>      for `gen`: n,total,alpha[,seed] (e.g. 1000,50000,1.2)
+  FILE               input path (default: stdin), one item per line;
+                     `merge` takes two or more snapshot files";
 
 /// Which subcommand to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -31,15 +49,23 @@ pub enum Command {
     Estimate,
     /// `residual`
     Residual,
+    /// `merge`
+    Merge,
+    /// `gen`
+    Gen,
 }
 
-/// Which counter algorithm to use.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Algo {
-    /// SPACESAVING (default; overestimates, best top-k behaviour).
-    SpaceSaving,
-    /// FREQUENT (underestimates; smaller per-entry state).
-    Frequent,
+/// Parameters of a `gen --zipf` trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ZipfSpec {
+    /// Distinct items.
+    pub n: usize,
+    /// Total stream length.
+    pub total: u64,
+    /// Skew parameter.
+    pub alpha: f64,
+    /// Shuffle seed.
+    pub seed: u64,
 }
 
 /// Parsed command-line options.
@@ -47,75 +73,97 @@ pub enum Algo {
 pub struct Options {
     /// Subcommand.
     pub command: Command,
-    /// Counter budget `m`.
-    pub m: usize,
-    /// `k` for topk/residual.
+    /// Explicit counter budget (`-m`), if given.
+    pub m: Option<usize>,
+    /// Error-rate sizing (`--eps`), if given.
+    pub eps: Option<f64>,
+    /// `k` for topk/residual and `--eps` sizing.
     pub k: usize,
     /// φ for `heavy`.
     pub phi: f64,
     /// Algorithm choice.
-    pub algo: Algo,
+    pub algo: AlgoKind,
+    /// Seed for randomized backends.
+    pub seed: u64,
     /// Items for `estimate`.
     pub items: Vec<String>,
     /// Weighted input mode.
     pub weighted: bool,
     /// JSON output.
     pub json: bool,
-    /// Input file (None = stdin).
-    pub input: Option<String>,
+    /// Snapshot output path.
+    pub snapshot_out: Option<String>,
+    /// Snapshot input path.
+    pub snapshot_in: Option<String>,
+    /// Zipf spec for `gen`.
+    pub zipf: Option<ZipfSpec>,
+    /// Input files (at most one, except for `merge`).
+    pub inputs: Vec<String>,
+}
+
+impl Options {
+    /// The engine configuration these options describe: `--algo` plus
+    /// either the explicit `-m` budget or the `--eps` Theorem 6/7 sizing.
+    pub fn engine_config(&self) -> EngineConfig {
+        let config = EngineConfig::new(self.algo).seed(self.seed);
+        match (self.eps, self.m) {
+            (Some(eps), _) => config.capacity(CapacitySpec::ResidualEstimate { k: self.k, eps }),
+            (None, Some(m)) => config.counters(m),
+            (None, None) => config.counters(256),
+        }
+    }
 }
 
 /// Parses arguments (after the program name).
-pub fn parse_args(args: &[String]) -> Result<Options, String> {
+pub fn parse_args(args: &[String]) -> Result<Options, Error> {
     let mut it = args.iter().peekable();
     let command = match it.next().map(String::as_str) {
         Some("topk") => Command::TopK,
         Some("heavy") => Command::Heavy,
         Some("estimate") => Command::Estimate,
         Some("residual") => Command::Residual,
-        Some(other) => return Err(format!("unknown command {other:?}")),
-        None => return Err("missing command".into()),
+        Some("merge") => Command::Merge,
+        Some("gen") => Command::Gen,
+        Some(other) => return Err(Error::parse(format!("unknown command {other:?}"))),
+        None => return Err(Error::parse("missing command")),
     };
 
     let mut opts = Options {
         command,
-        m: 256,
+        m: None,
+        eps: None,
         k: 10,
         phi: 0.01,
-        algo: Algo::SpaceSaving,
+        algo: AlgoKind::SpaceSaving,
+        seed: 0,
         items: Vec::new(),
         weighted: false,
         json: false,
-        input: None,
+        snapshot_out: None,
+        snapshot_in: None,
+        zipf: None,
+        inputs: Vec::new(),
     };
 
     while let Some(arg) = it.next() {
         match arg.as_str() {
-            "-m" => {
-                opts.m = next_value(&mut it, "-m")?
-                    .parse()
-                    .map_err(|e| format!("-m: {e}"))?
+            "-m" => opts.m = Some(parse_num(next_value(&mut it, "-m")?, "-m")?),
+            "--eps" => {
+                let eps: f64 = parse_num(next_value(&mut it, "--eps")?, "--eps")?;
+                if !(eps > 0.0 && eps < 1.0) {
+                    return Err(Error::parse("--eps must be in (0, 1)"));
+                }
+                opts.eps = Some(eps);
             }
-            "-k" => {
-                opts.k = next_value(&mut it, "-k")?
-                    .parse()
-                    .map_err(|e| format!("-k: {e}"))?
-            }
+            "-k" => opts.k = parse_num(next_value(&mut it, "-k")?, "-k")?,
             "--phi" => {
-                opts.phi = next_value(&mut it, "--phi")?
-                    .parse()
-                    .map_err(|e| format!("--phi: {e}"))?;
+                opts.phi = parse_num(next_value(&mut it, "--phi")?, "--phi")?;
                 if !(0.0..1.0).contains(&opts.phi) {
-                    return Err("--phi must be in [0, 1)".into());
+                    return Err(Error::parse("--phi must be in [0, 1)"));
                 }
             }
-            "--algo" => {
-                opts.algo = match next_value(&mut it, "--algo")?.as_str() {
-                    "spacesaving" | "space-saving" | "ss" => Algo::SpaceSaving,
-                    "frequent" | "misra-gries" | "mg" => Algo::Frequent,
-                    other => return Err(format!("unknown algorithm {other:?}")),
-                }
-            }
+            "--algo" => opts.algo = next_value(&mut it, "--algo")?.parse()?,
+            "--seed" => opts.seed = parse_num(next_value(&mut it, "--seed")?, "--seed")?,
             "--items" => {
                 opts.items = next_value(&mut it, "--items")?
                     .split(',')
@@ -125,40 +173,95 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
             }
             "--weighted" => opts.weighted = true,
             "--json" => opts.json = true,
-            other if other.starts_with('-') => return Err(format!("unknown option {other:?}")),
-            path => {
-                if opts.input.is_some() {
-                    return Err("more than one input file given".into());
-                }
-                opts.input = Some(path.to_string());
+            "--snapshot-out" => {
+                opts.snapshot_out = Some(next_value(&mut it, "--snapshot-out")?.clone())
             }
+            "--snapshot-in" => {
+                opts.snapshot_in = Some(next_value(&mut it, "--snapshot-in")?.clone())
+            }
+            "--zipf" => opts.zipf = Some(parse_zipf(next_value(&mut it, "--zipf")?)?),
+            other if other.starts_with('-') => {
+                return Err(Error::parse(format!("unknown option {other:?}")))
+            }
+            path => opts.inputs.push(path.to_string()),
         }
     }
 
-    if opts.m == 0 {
-        return Err("-m must be at least 1".into());
-    }
-    if opts.command == Command::Estimate && opts.items.is_empty() {
-        return Err("estimate requires --items".into());
-    }
-    if opts.command == Command::Heavy && opts.weighted {
-        return Err("heavy is not yet supported with --weighted".into());
-    }
+    validate(&opts)?;
     Ok(opts)
+}
+
+fn validate(opts: &Options) -> Result<(), Error> {
+    if opts.m == Some(0) {
+        return Err(Error::parse("-m must be at least 1"));
+    }
+    if opts.m.is_some() && opts.eps.is_some() {
+        return Err(Error::parse("-m and --eps are mutually exclusive"));
+    }
+    if opts.k == 0 {
+        return Err(Error::parse("-k must be at least 1"));
+    }
+    match opts.command {
+        Command::Estimate if opts.items.is_empty() => {
+            Err(Error::parse("estimate requires --items"))
+        }
+        Command::Merge if opts.inputs.len() < 2 => {
+            Err(Error::parse("merge needs at least two snapshot files"))
+        }
+        Command::Gen if opts.zipf.is_none() => Err(Error::parse("gen requires --zipf")),
+        Command::Gen if opts.weighted => Err(Error::parse("gen emits unweighted traces")),
+        _ if opts.command != Command::Merge && opts.inputs.len() > 1 => {
+            Err(Error::parse("more than one input file given"))
+        }
+        _ => Ok(()),
+    }
+}
+
+fn parse_zipf(spec: &str) -> Result<ZipfSpec, Error> {
+    let parts: Vec<&str> = spec.split(',').collect();
+    if !(3..=4).contains(&parts.len()) {
+        return Err(Error::parse(format!(
+            "--zipf expects n,total,alpha[,seed], got {spec:?}"
+        )));
+    }
+    let spec = ZipfSpec {
+        n: parse_num(parts[0], "--zipf n")?,
+        total: parse_num(parts[1], "--zipf total")?,
+        alpha: parse_num(parts[2], "--zipf alpha")?,
+        seed: match parts.get(3) {
+            Some(s) => parse_num(s, "--zipf seed")?,
+            None => 0,
+        },
+    };
+    if spec.n == 0 || spec.total == 0 || spec.alpha <= 0.0 {
+        return Err(Error::parse("--zipf needs n >= 1, total >= 1, alpha > 0"));
+    }
+    Ok(spec)
+}
+
+fn parse_num<T: std::str::FromStr>(value: impl AsRef<str>, flag: &str) -> Result<T, Error>
+where
+    T::Err: std::fmt::Display,
+{
+    value
+        .as_ref()
+        .parse()
+        .map_err(|e| Error::parse(format!("{flag}: {e}")))
 }
 
 fn next_value<'a>(
     it: &mut std::iter::Peekable<std::slice::Iter<'a, String>>,
     flag: &str,
-) -> Result<&'a String, String> {
-    it.next().ok_or_else(|| format!("{flag} needs a value"))
+) -> Result<&'a String, Error> {
+    it.next()
+        .ok_or_else(|| Error::parse(format!("{flag} needs a value")))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn p(args: &[&str]) -> Result<Options, String> {
+    fn p(args: &[&str]) -> Result<Options, Error> {
         parse_args(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
     }
 
@@ -166,11 +269,12 @@ mod tests {
     fn defaults() {
         let o = p(&["topk"]).unwrap();
         assert_eq!(o.command, Command::TopK);
-        assert_eq!(o.m, 256);
+        assert_eq!(o.m, None);
         assert_eq!(o.k, 10);
-        assert_eq!(o.algo, Algo::SpaceSaving);
+        assert_eq!(o.algo, AlgoKind::SpaceSaving);
         assert!(!o.weighted && !o.json);
-        assert!(o.input.is_none());
+        assert!(o.inputs.is_empty());
+        assert_eq!(o.engine_config().resolved_counters().unwrap(), 256);
     }
 
     #[test]
@@ -180,11 +284,35 @@ mod tests {
         ])
         .unwrap();
         assert_eq!(o.command, Command::Heavy);
-        assert_eq!(o.m, 64);
+        assert_eq!(o.m, Some(64));
         assert_eq!(o.phi, 0.05);
-        assert_eq!(o.algo, Algo::Frequent);
+        assert_eq!(o.algo, AlgoKind::Frequent);
         assert!(o.json);
-        assert_eq!(o.input.as_deref(), Some("data.txt"));
+        assert_eq!(o.inputs, vec!["data.txt".to_string()]);
+        assert_eq!(o.engine_config().resolved_counters().unwrap(), 64);
+    }
+
+    #[test]
+    fn every_engine_algo_parses() {
+        for (name, kind) in [
+            ("spacesaving", AlgoKind::SpaceSaving),
+            ("frequent", AlgoKind::Frequent),
+            ("lossycounting", AlgoKind::LossyCounting),
+            ("stickysampling", AlgoKind::StickySampling),
+            ("countmin", AlgoKind::CountMin),
+            ("countsketch", AlgoKind::CountSketch),
+        ] {
+            assert_eq!(p(&["topk", "--algo", name]).unwrap().algo, kind);
+        }
+    }
+
+    #[test]
+    fn eps_drives_theorem_sizing() {
+        // m = Bk + Ak/eps = 10 + 1000 with A = B = 1, k = 10
+        let o = p(&["topk", "--eps", "0.01"]).unwrap();
+        assert_eq!(o.engine_config().resolved_counters().unwrap(), 1010);
+        assert!(p(&["topk", "--eps", "0.01", "-m", "64"]).is_err());
+        assert!(p(&["topk", "--eps", "1.5"]).is_err());
     }
 
     #[test]
@@ -192,6 +320,39 @@ mod tests {
         assert!(p(&["estimate"]).is_err());
         let o = p(&["estimate", "--items", "a,b"]).unwrap();
         assert_eq!(o.items, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn merge_needs_two_snapshots() {
+        assert!(p(&["merge"]).is_err());
+        assert!(p(&["merge", "one.json"]).is_err());
+        let o = p(&["merge", "a.json", "b.json", "c.json"]).unwrap();
+        assert_eq!(o.inputs.len(), 3);
+    }
+
+    #[test]
+    fn gen_parses_zipf_spec() {
+        assert!(p(&["gen"]).is_err());
+        let o = p(&["gen", "--zipf", "100,5000,1.2,7"]).unwrap();
+        let z = o.zipf.unwrap();
+        assert_eq!((z.n, z.total, z.seed), (100, 5000, 7));
+        assert!((z.alpha - 1.2).abs() < 1e-12);
+        assert!(p(&["gen", "--zipf", "100,5000"]).is_err());
+        assert!(p(&["gen", "--zipf", "0,5000,1.2"]).is_err());
+    }
+
+    #[test]
+    fn snapshot_flags_parse() {
+        let o = p(&[
+            "topk",
+            "--snapshot-out",
+            "s.json",
+            "--snapshot-in",
+            "r.json",
+        ])
+        .unwrap();
+        assert_eq!(o.snapshot_out.as_deref(), Some("s.json"));
+        assert_eq!(o.snapshot_in.as_deref(), Some("r.json"));
     }
 
     #[test]
@@ -203,6 +364,6 @@ mod tests {
         assert!(p(&["topk", "--bogus"]).is_err());
         assert!(p(&["topk", "a.txt", "b.txt"]).is_err());
         assert!(p(&["topk", "-m", "0"]).is_err());
-        assert!(p(&["heavy", "--weighted"]).is_err());
+        assert!(p(&["topk", "--algo", "nope"]).is_err());
     }
 }

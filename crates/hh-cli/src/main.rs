@@ -1,26 +1,36 @@
-//! `hh` — command-line heavy hitters.
+//! `hh` — command-line heavy hitters over the unified `hh::engine` API.
 //!
 //! Reads a stream of items (one per line; with `--weighted`, lines are
 //! `item weight`) from stdin or a file and reports heavy hitters with the
-//! PODS 2009 residual guarantees.
+//! PODS 2009 residual guarantees. Engine state round-trips through
+//! `--snapshot-out`/`--snapshot-in`, and `hh merge` combines snapshots
+//! produced on different machines (Theorem 11).
 //!
 //! ```text
-//! hh topk  -k 10 -m 256 [--algo spacesaving|frequent] [FILE]
-//! hh heavy --phi 0.01 -m 256 [FILE]
+//! hh topk  -k 10 -m 256 [--algo spacesaving|frequent|...] [FILE]
+//! hh topk  -k 10 --eps 0.001 [FILE]            # Theorem 6/7 auto-sizing
+//! hh heavy --phi 0.01 -m 256 [--weighted] [FILE]
 //! hh estimate -m 256 --items 1,2,3 [FILE]
 //! hh residual -k 10 -m 256 [FILE]
-//! hh topk --weighted -k 5 [FILE]      # lines: "<item> <weight>"
+//! hh topk --weighted -k 5 [FILE]               # lines: "<item> <weight>"
+//! hh topk --snapshot-out shard.json [FILE]     # checkpoint after ingest
+//! hh merge a.json b.json [--snapshot-out merged.json]
+//! hh gen --zipf 10000,1000000,1.2,7            # synthetic trace to stdout
 //! ```
 //!
 //! Add `--json` for machine-readable output. Items are arbitrary
 //! whitespace-free strings.
 
+use std::fmt::Write as _;
 use std::io::{BufRead, BufReader, Read};
 use std::process::ExitCode;
 
 mod cli;
 
-use cli::{parse_args, Algo, Command, Options};
+use cli::{parse_args, Command, Options};
+use hh::counters::Confidence;
+use hh::engine::{Engine, Snapshot, WeightedEngine};
+use hh::Error;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -32,18 +42,28 @@ fn main() -> ExitCode {
         }
     };
 
-    let reader: Box<dyn Read> = match &opts.input {
-        Some(path) => match std::fs::File::open(path) {
-            Ok(f) => Box::new(f),
-            Err(e) => {
-                eprintln!("error: cannot open {path}: {e}");
-                return ExitCode::from(1);
-            }
-        },
-        None => Box::new(std::io::stdin()),
+    let result = match opts.command {
+        Command::Gen => run_gen(&opts),
+        Command::Merge => run_merge(&opts),
+        _ => {
+            let reader: Box<dyn Read> = match opts.inputs.first() {
+                Some(path) => match std::fs::File::open(path) {
+                    Ok(f) => Box::new(f),
+                    Err(e) => {
+                        eprintln!("error: cannot open {path}: {e}");
+                        return ExitCode::from(1);
+                    }
+                },
+                // With a snapshot to resume from and no FILE, query the
+                // snapshot directly instead of blocking on stdin.
+                None if opts.snapshot_in.is_some() => Box::new(std::io::empty()),
+                None => Box::new(std::io::stdin()),
+            };
+            run(opts, BufReader::new(reader))
+        }
     };
 
-    match run(opts, BufReader::new(reader)) {
+    match result {
         Ok(output) => {
             println!("{output}");
             ExitCode::SUCCESS
@@ -55,7 +75,7 @@ fn main() -> ExitCode {
     }
 }
 
-fn run(opts: Options, reader: impl BufRead) -> Result<String, String> {
+fn run(opts: Options, reader: impl BufRead) -> Result<String, Error> {
     if opts.weighted {
         run_weighted(opts, reader)
     } else {
@@ -63,157 +83,194 @@ fn run(opts: Options, reader: impl BufRead) -> Result<String, String> {
     }
 }
 
-fn run_unweighted(opts: Options, reader: impl BufRead) -> Result<String, String> {
-    use hh_counters::{FrequencyEstimator, Frequent, SpaceSaving};
-
-    enum Summary {
-        Frequent(Frequent<String>),
-        SpaceSaving(SpaceSaving<String>),
-    }
-    let mut summary = match opts.algo {
-        Algo::Frequent => Summary::Frequent(Frequent::new(opts.m)),
-        Algo::SpaceSaving => Summary::SpaceSaving(SpaceSaving::new(opts.m)),
+fn run_unweighted(opts: Options, reader: impl BufRead) -> Result<String, Error> {
+    let mut engine: Engine<String> = match &opts.snapshot_in {
+        Some(path) => Engine::from_json(&std::fs::read_to_string(path)?)?,
+        None => opts.engine_config().build()?,
     };
 
     for line in reader.lines() {
-        let line = line.map_err(|e| format!("read error: {e}"))?;
+        let line = line?;
         let item = line.trim();
         if item.is_empty() {
             continue;
         }
-        match &mut summary {
-            Summary::Frequent(s) => s.update(item.to_string()),
-            Summary::SpaceSaving(s) => s.update(item.to_string()),
-        }
+        engine.update(item.to_string());
     }
 
-    let est: &dyn FrequencyEstimator<String> = match &summary {
-        Summary::Frequent(s) => s,
-        Summary::SpaceSaving(s) => s,
-    };
-
-    match opts.command {
-        Command::TopK => {
-            let top = hh_counters::topk::top_k(est, opts.k);
-            Ok(render_counts(&top, est.stream_len(), opts.json))
-        }
+    let report = engine.report();
+    let out = match opts.command {
+        Command::TopK => render_counts(&report.top_k(opts.k), engine.stream_len(), opts.json),
         Command::Heavy => {
-            let hits: Vec<(String, u64, &'static str)> = match &summary {
-                Summary::SpaceSaving(s) => hh_counters::spacesaving_heavy_hitters(s, opts.phi)
-                    .into_iter()
-                    .map(|h| (h.item, h.estimate, confidence_str(h.confidence)))
-                    .collect(),
-                Summary::Frequent(s) => hh_counters::frequent_heavy_hitters(s, opts.phi)
-                    .into_iter()
-                    .map(|h| (h.item, h.estimate, confidence_str(h.confidence)))
-                    .collect(),
-            };
-            Ok(render_heavy(&hits, opts.phi, est.stream_len(), opts.json))
+            let hits = report.heavy_hitters(opts.phi)?;
+            render_heavy(&hits, opts.phi, engine.stream_len(), opts.json)
         }
         Command::Estimate => {
-            let rows: Vec<(String, u64)> = opts
+            let rows: Vec<hh::engine::ReportEntry<String>> = opts
                 .items
                 .iter()
-                .map(|i| (i.clone(), est.estimate(i)))
+                .map(|i| {
+                    let (lower, upper) = report.interval(i);
+                    hh::engine::ReportEntry {
+                        item: i.clone(),
+                        estimate: engine.estimate(i),
+                        lower,
+                        upper,
+                    }
+                })
                 .collect();
-            Ok(render_counts(&rows, est.stream_len(), opts.json))
+            render_counts(&rows, engine.stream_len(), opts.json)
         }
         Command::Residual => {
-            let res = hh_counters::recovery::residual_estimate(est, opts.k);
+            let res = report.residual(opts.k);
             if opts.json {
-                Ok(format!(
+                format!(
                     "{{\"k\":{},\"residual_estimate\":{},\"stream_len\":{}}}",
                     opts.k,
                     res,
-                    est.stream_len()
-                ))
+                    engine.stream_len()
+                )
             } else {
-                Ok(format!(
+                format!(
                     "F1^res({}) ~= {res}   (stream length {})",
                     opts.k,
-                    est.stream_len()
-                ))
+                    engine.stream_len()
+                )
             }
         }
+        Command::Merge | Command::Gen => unreachable!("handled in main"),
+    };
+
+    if let Some(path) = &opts.snapshot_out {
+        std::fs::write(path, engine.to_json()?)?;
     }
+    Ok(out)
 }
 
-fn run_weighted(opts: Options, reader: impl BufRead) -> Result<String, String> {
-    use hh_counters::{SpaceSavingR, WeightedFrequencyEstimator};
+fn run_weighted(opts: Options, reader: impl BufRead) -> Result<String, Error> {
+    let mut engine: WeightedEngine<String> = match &opts.snapshot_in {
+        Some(path) => WeightedEngine::from_json(&std::fs::read_to_string(path)?)?,
+        None => opts.engine_config().build_weighted()?,
+    };
 
-    let mut summary: SpaceSavingR<String> = SpaceSavingR::new(opts.m);
     for line in reader.lines() {
-        let line = line.map_err(|e| format!("read error: {e}"))?;
+        let line = line?;
         let mut parts = line.split_whitespace();
         let Some(item) = parts.next() else { continue };
         let w: f64 = parts
             .next()
-            .ok_or_else(|| format!("weighted mode needs 'item weight' lines, got {line:?}"))?
+            .ok_or_else(|| {
+                Error::parse(format!(
+                    "weighted mode needs 'item weight' lines, got {line:?}"
+                ))
+            })?
             .parse()
-            .map_err(|e| format!("bad weight in {line:?}: {e}"))?;
+            .map_err(|e| Error::parse(format!("bad weight in {line:?}: {e}")))?;
         if w < 0.0 || !w.is_finite() {
-            return Err(format!("negative or non-finite weight in {line:?}"));
+            return Err(Error::parse(format!(
+                "negative or non-finite weight in {line:?}"
+            )));
         }
-        summary.update_weighted(item.to_string(), w);
+        engine.update(item.to_string(), w);
     }
 
-    match opts.command {
-        Command::TopK => {
-            let mut top = summary.entries_weighted();
-            top.truncate(opts.k);
-            if opts.json {
-                let rows: Vec<String> = top
-                    .iter()
-                    .map(|(i, w)| format!("{{\"item\":{},\"weight\":{w}}}", json_str(i)))
-                    .collect();
-                Ok(format!("[{}]", rows.join(",")))
-            } else {
-                let mut out = format!(
-                    "{:<24} {:>14}   (total weight {:.3})\n",
-                    "item",
-                    "weight",
-                    summary.total_weight()
-                );
-                for (item, w) in top {
-                    out.push_str(&format!("{item:<24} {w:>14.3}\n"));
-                }
-                Ok(out.trim_end().to_string())
-            }
+    let report = engine.weighted_report();
+    let total = hh::counters::WeightedFrequencyEstimator::total_weight(&engine);
+    let out = match opts.command {
+        Command::TopK => render_weights(&report.top_k(opts.k), total, opts.json),
+        Command::Heavy => {
+            let hits = report.heavy_hitters(opts.phi)?;
+            render_weighted_heavy(&hits, opts.phi, total, opts.json)
         }
         Command::Estimate => {
-            let rows: Vec<String> = opts
+            let rows: Vec<hh::engine::WeightedReportEntry<String>> = opts
                 .items
                 .iter()
                 .map(|i| {
-                    if opts.json {
-                        format!(
-                            "{{\"item\":{},\"weight\":{}}}",
-                            json_str(i),
-                            summary.estimate_weighted(i)
-                        )
-                    } else {
-                        format!("{i}\t{:.3}", summary.estimate_weighted(i))
+                    let (lower, upper) = report.interval(i);
+                    hh::engine::WeightedReportEntry {
+                        item: i.clone(),
+                        estimate: engine.estimate(i),
+                        lower,
+                        upper,
                     }
                 })
                 .collect();
-            if opts.json {
-                Ok(format!("[{}]", rows.join(",")))
-            } else {
-                Ok(rows.join("\n"))
-            }
+            render_weights(&rows, total, opts.json)
         }
         Command::Residual => {
-            let res = hh_counters::recovery::residual_estimate_weighted(&summary, opts.k);
-            Ok(format!("F1^res({}) ~= {res:.3}", opts.k))
+            let res = report.residual(opts.k);
+            if opts.json {
+                format!("{{\"k\":{},\"residual_estimate\":{res}}}", opts.k)
+            } else {
+                format!("F1^res({}) ~= {res:.3}", opts.k)
+            }
         }
-        Command::Heavy => Err("heavy is not yet supported in --weighted mode".into()),
+        Command::Merge | Command::Gen => unreachable!("handled in main"),
+    };
+
+    if let Some(path) = &opts.snapshot_out {
+        std::fs::write(path, engine.to_json()?)?;
     }
+    Ok(out)
 }
 
-fn confidence_str(c: hh_counters::Confidence) -> &'static str {
+/// `hh merge`: combine two or more snapshot files (Theorem 11's merge with
+/// full counter replay; cell-wise for sketches) and report the top-k.
+fn run_merge(opts: &Options) -> Result<String, Error> {
+    let mut snapshots = Vec::new();
+    for path in &opts.inputs {
+        let snap: Snapshot<String> = serde_json::from_str(&std::fs::read_to_string(path)?)?;
+        snapshots.push(snap);
+    }
+    let weighted = snapshots[0].is_weighted();
+
+    let out;
+    let json;
+    if weighted {
+        let mut engine = WeightedEngine::from_snapshot(snapshots.remove(0))?;
+        for snap in &snapshots {
+            engine.merge_snapshot(snap)?;
+        }
+        let total = hh::counters::WeightedFrequencyEstimator::total_weight(&engine);
+        out = render_weights(&engine.weighted_report().top_k(opts.k), total, opts.json);
+        json = engine.to_json()?;
+    } else {
+        let mut engine = Engine::from_snapshot(snapshots.remove(0))?;
+        for snap in &snapshots {
+            engine.merge_snapshot(snap)?;
+        }
+        out = render_counts(
+            &engine.report().top_k(opts.k),
+            engine.stream_len(),
+            opts.json,
+        );
+        json = engine.to_json()?;
+    }
+
+    if let Some(path) = &opts.snapshot_out {
+        std::fs::write(path, json)?;
+    }
+    Ok(out)
+}
+
+/// `hh gen`: emit a shuffled Zipf trace, one item per line.
+fn run_gen(opts: &Options) -> Result<String, Error> {
+    use hh::streamgen::zipf::{stream_from_counts, StreamOrder};
+    let z = opts.zipf.expect("validated by parse_args");
+    let counts = hh::streamgen::exact_zipf_counts(z.n, z.total, z.alpha);
+    let stream = stream_from_counts(&counts, StreamOrder::Shuffled(z.seed));
+    let mut out = String::with_capacity(stream.len() * 6);
+    for item in stream {
+        let _ = writeln!(out, "{item}");
+    }
+    Ok(out.trim_end().to_string())
+}
+
+fn confidence_str(c: Confidence) -> &'static str {
     match c {
-        hh_counters::Confidence::Guaranteed => "guaranteed",
-        hh_counters::Confidence::Candidate => "candidate",
+        Confidence::Guaranteed => "guaranteed",
+        Confidence::Candidate => "candidate",
     }
 }
 
@@ -221,27 +278,40 @@ fn json_str(s: &str) -> String {
     serde_json::to_string(s).expect("string serializes")
 }
 
-fn render_counts(rows: &[(String, u64)], stream_len: u64, json: bool) -> String {
+fn render_counts(rows: &[hh::engine::ReportEntry<String>], stream_len: u64, json: bool) -> String {
     if json {
         let cells: Vec<String> = rows
             .iter()
-            .map(|(i, c)| format!("{{\"item\":{},\"count\":{c}}}", json_str(i)))
+            .map(|r| {
+                format!(
+                    "{{\"item\":{},\"count\":{},\"lower\":{},\"upper\":{}}}",
+                    json_str(&r.item),
+                    r.estimate,
+                    r.lower,
+                    r.upper
+                )
+            })
             .collect();
         format!("[{}]", cells.join(","))
     } else {
         let mut out = format!(
-            "{:<24} {:>12}   (stream length {stream_len})\n",
-            "item", "count"
+            "{:<24} {:>12} {:>18}   (stream length {stream_len})\n",
+            "item", "count", "certified range"
         );
-        for (item, c) in rows {
-            out.push_str(&format!("{item:<24} {c:>12}\n"));
+        for r in rows {
+            out.push_str(&format!(
+                "{:<24} {:>12} {:>18}\n",
+                r.item,
+                r.estimate,
+                format!("[{}..={}]", r.lower, r.upper)
+            ));
         }
         out.trim_end().to_string()
     }
 }
 
 fn render_heavy(
-    rows: &[(String, u64, &'static str)],
+    rows: &[hh::engine::HeavyHitterEntry<String>],
     phi: f64,
     stream_len: u64,
     json: bool,
@@ -249,10 +319,12 @@ fn render_heavy(
     if json {
         let cells: Vec<String> = rows
             .iter()
-            .map(|(i, c, conf)| {
+            .map(|r| {
                 format!(
-                    "{{\"item\":{},\"count\":{c},\"confidence\":\"{conf}\"}}",
-                    json_str(i)
+                    "{{\"item\":{},\"count\":{},\"confidence\":\"{}\"}}",
+                    json_str(&r.item),
+                    r.estimate,
+                    confidence_str(r.confidence)
                 )
             })
             .collect();
@@ -262,8 +334,78 @@ fn render_heavy(
             "items above phi={phi} of stream (threshold {:.1}):\n",
             phi * stream_len as f64
         );
-        for (item, c, conf) in rows {
-            out.push_str(&format!("{item:<24} {c:>12}  {conf}\n"));
+        for r in rows {
+            out.push_str(&format!(
+                "{:<24} {:>12}  {}\n",
+                r.item,
+                r.estimate,
+                confidence_str(r.confidence)
+            ));
+        }
+        out.trim_end().to_string()
+    }
+}
+
+fn render_weights(
+    rows: &[hh::engine::WeightedReportEntry<String>],
+    total_weight: f64,
+    json: bool,
+) -> String {
+    if json {
+        let cells: Vec<String> = rows
+            .iter()
+            .map(|r| {
+                format!(
+                    "{{\"item\":{},\"weight\":{}}}",
+                    json_str(&r.item),
+                    r.estimate
+                )
+            })
+            .collect();
+        format!("[{}]", cells.join(","))
+    } else {
+        let mut out = format!(
+            "{:<24} {:>14}   (total weight {total_weight:.3})\n",
+            "item", "weight"
+        );
+        for r in rows {
+            out.push_str(&format!("{:<24} {:>14.3}\n", r.item, r.estimate));
+        }
+        out.trim_end().to_string()
+    }
+}
+
+fn render_weighted_heavy(
+    rows: &[hh::engine::WeightedHeavyHitterEntry<String>],
+    phi: f64,
+    total_weight: f64,
+    json: bool,
+) -> String {
+    if json {
+        let cells: Vec<String> = rows
+            .iter()
+            .map(|r| {
+                format!(
+                    "{{\"item\":{},\"weight\":{},\"confidence\":\"{}\"}}",
+                    json_str(&r.item),
+                    r.estimate,
+                    confidence_str(r.confidence)
+                )
+            })
+            .collect();
+        format!("[{}]", cells.join(","))
+    } else {
+        let mut out = format!(
+            "items above phi={phi} of total weight (threshold {:.3}):\n",
+            phi * total_weight
+        );
+        for r in rows {
+            out.push_str(&format!(
+                "{:<24} {:>14.3}  {}\n",
+                r.item,
+                r.estimate,
+                confidence_str(r.confidence)
+            ));
         }
         out.trim_end().to_string()
     }
@@ -291,12 +433,26 @@ mod tests {
     }
 
     #[test]
-    fn topk_json() {
+    fn topk_json_carries_bounds() {
         let o = opts(&["topk", "-k", "1", "-m", "8", "--json"]);
         let out = run(o, "x\nx\ny\n".as_bytes()).unwrap();
         let parsed: serde_json::Value = serde_json::from_str(&out).expect("valid json");
         assert_eq!(parsed[0]["item"], "x");
         assert_eq!(parsed[0]["count"], 2);
+        assert_eq!(parsed[0]["lower"], 2);
+        assert_eq!(parsed[0]["upper"], 2);
+    }
+
+    #[test]
+    fn every_algo_runs_topk() {
+        for algo in ["spacesaving", "frequent", "lossy", "sticky", "cm", "cs"] {
+            let o = opts(&["topk", "--algo", algo, "-k", "1", "-m", "64"]);
+            let out = run(o, "q\nq\nq\nr\n".as_bytes()).unwrap();
+            assert!(
+                out.lines().nth(1).unwrap().starts_with('q'),
+                "{algo}: {out}"
+            );
+        }
     }
 
     #[test]
@@ -316,11 +472,15 @@ mod tests {
     }
 
     #[test]
-    fn weighted_topk() {
+    fn weighted_topk_and_heavy() {
         let o = opts(&["topk", "--weighted", "-k", "1", "-m", "8"]);
         let out = run(o, "a 1.5\nb 10.0\na 2.0\n".as_bytes()).unwrap();
         let lines: Vec<&str> = out.lines().collect();
         assert!(lines[1].starts_with('b'), "{out}");
+        // heavy is now supported in weighted mode through the engine
+        let o2 = opts(&["heavy", "--weighted", "--phi", "0.5", "-m", "8"]);
+        let out2 = run(o2, "a 1.5\nb 10.0\na 2.0\n".as_bytes()).unwrap();
+        assert!(out2.contains('b') && out2.contains("guaranteed"), "{out2}");
     }
 
     #[test]
@@ -343,5 +503,66 @@ mod tests {
         let o = opts(&["topk", "--algo", "frequent", "-k", "1", "-m", "4"]);
         let out = run(o, "q\nq\nq\nr\n".as_bytes()).unwrap();
         assert!(out.lines().nth(1).unwrap().starts_with('q'));
+    }
+
+    #[test]
+    fn eps_sizing_builds_bigger_summaries() {
+        let o = opts(&["topk", "--eps", "0.1", "-k", "5"]);
+        assert_eq!(o.engine_config().resolved_counters().unwrap(), 55);
+        let out = run(o, "a\nb\na\n".as_bytes()).unwrap();
+        assert!(out.lines().nth(1).unwrap().starts_with('a'));
+    }
+
+    #[test]
+    fn snapshot_roundtrip_and_merge_via_files() {
+        let dir = std::env::temp_dir().join(format!("hh-cli-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let s1 = dir.join("s1.json");
+        let s2 = dir.join("s2.json");
+        let merged = dir.join("merged.json");
+        let s1s = s1.to_str().unwrap();
+        let s2s = s2.to_str().unwrap();
+
+        // two shards summarize disjoint halves
+        let o = opts(&["topk", "-m", "8", "--snapshot-out", s1s]);
+        run(o, "a\na\nb\n".as_bytes()).unwrap();
+        let o = opts(&["topk", "-m", "8", "--snapshot-out", s2s]);
+        run(o, "a\nc\n".as_bytes()).unwrap();
+
+        // merge them and check the combined counts
+        let o = opts(&[
+            "merge",
+            "-k",
+            "2",
+            "--snapshot-out",
+            merged.to_str().unwrap(),
+            s1s,
+            s2s,
+        ]);
+        let out = run_merge(&o).unwrap();
+        assert!(out.lines().nth(1).unwrap().starts_with('a'), "{out}");
+
+        // resume from the merged snapshot without any new input
+        let o = opts(&[
+            "estimate",
+            "--items",
+            "a",
+            "--json",
+            "--snapshot-in",
+            merged.to_str().unwrap(),
+        ]);
+        let out = run(o, "".as_bytes()).unwrap();
+        let parsed: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert_eq!(parsed[0]["count"], 3);
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn gen_emits_trace() {
+        let o = opts(&["gen", "--zipf", "10,100,1.5,3"]);
+        let out = run_gen(&o).unwrap();
+        assert_eq!(out.lines().count(), 100);
+        assert!(out.lines().all(|l| l.parse::<u64>().is_ok()));
     }
 }

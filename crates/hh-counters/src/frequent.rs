@@ -20,6 +20,7 @@
 
 use std::hash::Hash;
 
+use crate::error::Error;
 use crate::stream_summary::StreamSummary;
 use crate::traits::{Bias, FrequencyEstimator, TailConstants};
 
@@ -31,6 +32,10 @@ pub struct Frequent<I: Eq + Hash + Clone> {
     /// Number of decrement rounds so far (`d` in Appendix B); logical value
     /// of an entry is `raw − offset`.
     offset: u64,
+    /// Decrement rounds inherited from absorbed snapshots (Theorem 11
+    /// merging): they widen the `estimate + decrements` upper bound but are
+    /// not part of the raw-count offset.
+    absorbed: u64,
     stream_len: u64,
 }
 
@@ -42,6 +47,7 @@ impl<I: Eq + Hash + Clone> Frequent<I> {
             summary: StreamSummary::with_capacity(m),
             m,
             offset: 0,
+            absorbed: 0,
             stream_len: 0,
         }
     }
@@ -49,30 +55,89 @@ impl<I: Eq + Hash + Clone> Frequent<I> {
     /// Number of decrement rounds performed so far. Every estimate `c_i`
     /// satisfies `f_i − decrements ≤ c_i ≤ f_i`.
     pub fn decrements(&self) -> u64 {
-        self.offset
+        self.offset + self.absorbed
     }
 
     /// A guaranteed upper bound on any item's true frequency:
     /// `estimate + decrements`.
     pub fn upper_estimate(&self, item: &I) -> u64 {
-        self.estimate(item) + self.offset
+        self.estimate(item) + self.decrements()
     }
 
-    /// Creates an empty shell carrying previously consumed stream state
-    /// (snapshot rehydration; see [`crate::snapshot`]).
-    pub(crate) fn restore(m: usize, stream_len: u64, decrements: u64) -> Self {
+    /// Rebuilds a summary from snapshot parts: the capacity `m`, the total
+    /// stream length consumed, the number of decrement rounds performed,
+    /// and the stored `(item, logical value)` pairs in *descending* value
+    /// order (the order [`FrequencyEstimator::entries`] produces). The
+    /// restored summary has identical estimates, decrement count and
+    /// tie-breaking state.
+    ///
+    /// Returns [`Error::CorruptSnapshot`] when the parts are inconsistent
+    /// (more entries than capacity, non-positive or out-of-order values,
+    /// duplicates, or stored mass exceeding the stream length).
+    pub fn from_parts(
+        m: usize,
+        stream_len: u64,
+        decrements: u64,
+        entries: Vec<(I, u64)>,
+    ) -> Result<Self, Error> {
+        if m == 0 {
+            return Err(Error::corrupt_snapshot("capacity must be at least 1"));
+        }
+        if entries.len() > m {
+            return Err(Error::corrupt_snapshot(format!(
+                "{} entries exceed capacity {m}",
+                entries.len()
+            )));
+        }
+        let total: u64 = entries.iter().map(|&(_, v)| v).sum();
+        if total > stream_len {
+            return Err(Error::corrupt_snapshot(format!(
+                "stored mass {total} exceeds stream length {stream_len}"
+            )));
+        }
         let mut s = Self::new(m);
         s.stream_len = stream_len;
         s.offset = decrements;
-        s
+        // Ascending insertion preserves the bucket FIFO order (see the
+        // SPACESAVING rehydration note).
+        let mut prev = 0u64;
+        for (item, value) in entries.into_iter().rev() {
+            if value == 0 {
+                return Err(Error::corrupt_snapshot("stored values must be positive"));
+            }
+            if value < prev {
+                return Err(Error::corrupt_snapshot(
+                    "entries must be in descending value order",
+                ));
+            }
+            prev = value;
+            if s.summary.contains(&item) {
+                return Err(Error::corrupt_snapshot("duplicate item in snapshot"));
+            }
+            s.summary.insert(item, decrements + value, decrements);
+        }
+        Ok(s)
     }
 
-    /// Re-inserts a snapshot entry with the given logical value (snapshot
-    /// rehydration).
-    pub(crate) fn restore_entry(&mut self, item: I, value: u64) {
-        assert!(self.summary.len() < self.m, "snapshot exceeds capacity");
-        assert!(value > 0);
-        self.summary.insert(item, self.offset + value, self.offset);
+    /// Absorbs another FREQUENT summary's snapshot state (the Theorem 11
+    /// merge step): replays the donor's stored `(item, value)` counters,
+    /// then accounts for the donor's decrement rounds and unreplayed stream
+    /// mass so the merged `estimate + decrements` upper bound and `F1` stay
+    /// sound. Estimates keep underestimating: the replayed mass never
+    /// exceeds the true combined frequencies.
+    pub fn absorb_parts(&mut self, entries: &[(I, u64)], decrements: u64, stream_len: u64) {
+        let mut mass = 0u64;
+        for (item, value) in entries {
+            if *value > 0 {
+                self.apply(item, *value);
+                mass += *value;
+            }
+        }
+        // Decrement rounds the donor performed bound the mass its table no
+        // longer holds (an unstored donor item has f ≤ decrements); fold
+        // them into the merged bound and restore the true combined F1.
+        self.absorbed += decrements;
+        self.stream_len += stream_len.saturating_sub(mass);
     }
 
     fn logical(&self, raw: u64) -> u64 {
@@ -177,6 +242,12 @@ impl<I: Eq + Hash + Clone> FrequencyEstimator<I> for Frequent<I> {
 
     fn bias(&self) -> Bias {
         Bias::Under
+    }
+
+    /// The inherent [`Frequent::upper_estimate`]:
+    /// `estimate + decrements` bounds any item's true frequency.
+    fn upper_estimate(&self, item: &I) -> u64 {
+        Frequent::upper_estimate(self, item)
     }
 
     fn tail_constants(&self) -> Option<TailConstants> {

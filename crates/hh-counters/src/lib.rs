@@ -31,6 +31,7 @@
 #![forbid(unsafe_code)]
 
 pub mod bounds;
+pub mod error;
 pub mod fasthash;
 pub mod frequent;
 pub mod heavy_hitters;
@@ -41,7 +42,6 @@ pub mod monitor;
 pub mod parallel;
 pub mod recovery;
 pub mod reference;
-pub mod snapshot;
 pub mod space_saving;
 pub mod sticky_sampling;
 pub mod stream_summary;
@@ -50,6 +50,7 @@ pub mod traits;
 pub mod underestimate;
 pub mod weighted;
 
+pub use error::Error;
 pub use frequent::Frequent;
 pub use heavy_hitters::{
     frequent_heavy_hitters, spacesaving_heavy_hitters, Confidence, HeavyHitter,

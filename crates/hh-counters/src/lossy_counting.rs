@@ -15,6 +15,7 @@
 
 use std::hash::Hash;
 
+use crate::error::Error;
 use crate::fasthash::FxHashMap;
 use crate::traits::{Bias, FrequencyEstimator, TailConstants};
 
@@ -68,6 +69,122 @@ impl<I: Eq + Hash + Clone> LossyCounting<I> {
     /// experiment measures).
     pub fn max_table_len(&self) -> usize {
         self.max_table
+    }
+
+    /// The window width `w = ⌈1/ε⌉`.
+    pub fn width(&self) -> u64 {
+        self.width
+    }
+
+    /// The current window id `b = ⌈N/w⌉` (starts at 1).
+    pub fn window(&self) -> u64 {
+        self.window
+    }
+
+    /// Stored `(item, count, delta)` triples, sorted by decreasing count —
+    /// the full per-entry state (snapshot capture).
+    pub fn entries_with_delta(&self) -> Vec<(I, u64, u64)> {
+        let mut v: Vec<(I, u64, u64)> = self
+            .table
+            .iter()
+            .map(|(i, &(c, d))| (i.clone(), c, d))
+            .collect();
+        v.sort_unstable_by_key(|e| std::cmp::Reverse(e.1));
+        v
+    }
+
+    /// Rebuilds a summary from snapshot parts. The table is unordered, so
+    /// entry order does not matter; `max_table` is the recorded high-water
+    /// mark (must be at least the entry count).
+    ///
+    /// Returns [`Error::CorruptSnapshot`] on inconsistent parts (zero
+    /// width/window, `delta ≥ window`, zero counts, duplicates, or a
+    /// high-water mark below the table size).
+    pub fn from_parts(
+        width: u64,
+        window: u64,
+        stream_len: u64,
+        max_table: usize,
+        entries: Vec<(I, u64, u64)>,
+    ) -> Result<Self, Error> {
+        if width == 0 || window == 0 {
+            return Err(Error::corrupt_snapshot("width and window must be positive"));
+        }
+        // The window id must have kept pace with the stream: organically
+        // `b = ⌊N/w⌋ + 1` and merged summaries sum window ids, so `b` can
+        // never fall below `⌊N/w⌋`. A smaller value would make the
+        // `window − 1` upper bound for unstored items unsound.
+        if window < stream_len / width {
+            return Err(Error::corrupt_snapshot(format!(
+                "window id {window} inconsistent with stream length {stream_len} at width {width}"
+            )));
+        }
+        if max_table < entries.len() {
+            return Err(Error::corrupt_snapshot(format!(
+                "high-water mark {max_table} below table size {}",
+                entries.len()
+            )));
+        }
+        let mut s = Self::with_width(width);
+        s.window = window;
+        s.stream_len = stream_len;
+        s.max_table = max_table;
+        for (item, count, delta) in entries {
+            if count == 0 {
+                return Err(Error::corrupt_snapshot("stored counts must be positive"));
+            }
+            if delta >= window {
+                return Err(Error::corrupt_snapshot(
+                    "delta must be a past window id (< window)",
+                ));
+            }
+            if s.table.insert(item, (count, delta)).is_some() {
+                return Err(Error::corrupt_snapshot("duplicate item in snapshot"));
+            }
+        }
+        Ok(s)
+    }
+
+    /// Absorbs another LOSSYCOUNTING summary's snapshot state (same width)
+    /// — the Manku–Motwani distributed merge. Counts add; each side's
+    /// `delta` (its maximum missed mass) adds too, with an absent side
+    /// contributing its `window − 1` bound. The merged window id is the sum
+    /// of both sides' (so every new delta stays a past window id), followed
+    /// by one standard prune. Estimates keep underestimating and
+    /// `count + delta` stays a sound upper bound on the combined frequency.
+    pub fn absorb_parts(&mut self, entries: Vec<(I, u64, u64)>, window: u64, stream_len: u64) {
+        let donor_absent = window.saturating_sub(1);
+        let self_absent = self.window - 1;
+        let mut seen = crate::fasthash::FxHashMap::default();
+        for (item, count, delta) in entries {
+            if count == 0 {
+                continue;
+            }
+            seen.insert(item.clone(), ());
+            match self.table.get_mut(&item) {
+                Some((c, d)) => {
+                    *c += count;
+                    *d += delta;
+                }
+                None => {
+                    self.table.insert(item, (count, delta + self_absent));
+                }
+            }
+        }
+        for (item, (_, d)) in self.table.iter_mut() {
+            if !seen.contains_key(item) {
+                *d += donor_absent;
+            }
+        }
+        self.stream_len += stream_len;
+        self.window += donor_absent;
+        // Organic pruning drops entries with `c + d ≤ b` *before* advancing
+        // to window `b + 1`, which is what keeps the `window − 1` upper
+        // bound sound for pruned items; mirror that by pruning at the
+        // pre-advance boundary `window − 1` rather than at `window`.
+        let boundary = self.window - 1;
+        self.table.retain(|_, &mut (c, d)| c + d > boundary);
+        self.max_table = self.max_table.max(self.table.len());
     }
 
     fn prune(&mut self) {
@@ -146,6 +263,17 @@ impl<I: Eq + Hash + Clone> FrequencyEstimator<I> for LossyCounting<I> {
 
     fn bias(&self) -> Bias {
         Bias::Under
+    }
+
+    /// Manku–Motwani upper bound: `count + delta` for stored items (delta
+    /// is the maximum number of missed occurrences), `window − 1` for
+    /// unstored ones (an item pruned in window `b` had `f_i ≤ b` and has
+    /// not been seen since).
+    fn upper_estimate(&self, item: &I) -> u64 {
+        match self.table.get(item) {
+            Some(&(count, delta)) => count + delta,
+            None => self.window - 1,
+        }
     }
 
     /// LOSSYCOUNTING has an `εF1` guarantee but no residual tail guarantee

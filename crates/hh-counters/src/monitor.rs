@@ -23,10 +23,14 @@ pub enum TopKChange<I> {
     Left(I),
 }
 
-/// SPACESAVING plus incremental top-k membership tracking.
+/// A frequency estimator plus incremental top-k membership tracking.
+///
+/// Defaults to a [`SpaceSaving`] summary; any [`FrequencyEstimator`] —
+/// including a config-built `hh::engine::Engine` — can be wrapped via
+/// [`TopKMonitor::with_summary`].
 #[derive(Debug, Clone)]
-pub struct TopKMonitor<I: Eq + Hash + Clone + Ord> {
-    summary: SpaceSaving<I>,
+pub struct TopKMonitor<I: Eq + Hash + Clone + Ord, E: FrequencyEstimator<I> = SpaceSaving<I>> {
+    summary: E,
     k: usize,
     members: BTreeSet<I>,
     /// Estimate of the weakest current member (entry threshold).
@@ -34,11 +38,21 @@ pub struct TopKMonitor<I: Eq + Hash + Clone + Ord> {
 }
 
 impl<I: Eq + Hash + Clone + Ord> TopKMonitor<I> {
-    /// Creates a monitor with `m` counters tracking the top `k` (`k ≤ m`).
+    /// Creates a SPACESAVING-backed monitor with `m` counters tracking the
+    /// top `k` (`k ≤ m`).
     pub fn new(m: usize, k: usize) -> Self {
         assert!(k >= 1 && k <= m, "need 1 <= k <= m");
+        Self::with_summary(SpaceSaving::new(m), k)
+    }
+}
+
+impl<I: Eq + Hash + Clone + Ord, E: FrequencyEstimator<I>> TopKMonitor<I, E> {
+    /// Wraps an existing (typically empty) summary, tracking the top `k`
+    /// (`k ≤` the summary's capacity).
+    pub fn with_summary(summary: E, k: usize) -> Self {
+        assert!(k >= 1 && k <= summary.capacity(), "need 1 <= k <= m");
         TopKMonitor {
-            summary: SpaceSaving::new(m),
+            summary,
             k,
             members: BTreeSet::new(),
             kth_estimate: 0,
@@ -46,7 +60,7 @@ impl<I: Eq + Hash + Clone + Ord> TopKMonitor<I> {
     }
 
     /// The wrapped summary.
-    pub fn summary(&self) -> &SpaceSaving<I> {
+    pub fn summary(&self) -> &E {
         &self.summary
     }
 

@@ -20,6 +20,7 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::hash::Hash;
 
+use crate::error::Error;
 use crate::fasthash::FxHashMap;
 use crate::stream_summary::StreamSummary;
 use crate::traits::{Bias, FrequencyEstimator, TailConstants};
@@ -30,6 +31,11 @@ pub struct SpaceSaving<I: Eq + Hash + Clone> {
     summary: StreamSummary<I>,
     m: usize,
     stream_len: u64,
+    /// Upper-bound slack inherited from absorbed snapshots (Theorem 11
+    /// merging): each donor's minimum counter `Δ` bounds the mass of the
+    /// items it did *not* store, so every post-merge upper bound widens by
+    /// the accumulated donor `Δ`s.
+    absorbed_slack: u64,
 }
 
 impl<I: Eq + Hash + Clone> SpaceSaving<I> {
@@ -40,6 +46,7 @@ impl<I: Eq + Hash + Clone> SpaceSaving<I> {
             summary: StreamSummary::with_capacity(m),
             m,
             stream_len: 0,
+            absorbed_slack: 0,
         }
     }
 
@@ -71,11 +78,38 @@ impl<I: Eq + Hash + Clone> SpaceSaving<I> {
 
     /// An upper bound on the true frequency of *any* item: the estimate for
     /// stored items, `Δ` for unstored ones (an unstored item can have
-    /// occurred at most `min_counter` times).
+    /// occurred at most `min_counter` times), plus the absorbed-snapshot
+    /// slack (mass a merged-in donor may have held for the item without
+    /// storing it).
     pub fn upper_estimate(&self, item: &I) -> u64 {
         self.summary
             .count(item)
             .unwrap_or_else(|| self.min_counter())
+            + self.absorbed_slack
+    }
+
+    /// The accumulated donor-`Δ` slack from absorbed snapshots (0 for a
+    /// summary that never merged).
+    pub fn absorbed_slack(&self) -> u64 {
+        self.absorbed_slack
+    }
+
+    /// Absorbs another SPACESAVING summary's snapshot state (the Theorem 11
+    /// merge step): replays every stored `(item, count, err)` counter via
+    /// [`SpaceSaving::absorb_counter`], then widens the upper-bound slack
+    /// by the donor's minimum counter `Δ` (plus any slack the donor itself
+    /// had absorbed) — an item the donor did not store may still have
+    /// occurred up to `Δ` times in its stream.
+    pub fn absorb_parts(&mut self, entries: &[(I, u64, u64)], capacity: usize, slack: u64) {
+        let donor_min = if entries.len() >= capacity {
+            entries.iter().map(|&(_, c, _)| c).min().unwrap_or(0)
+        } else {
+            0
+        };
+        for (item, count, err) in entries {
+            self.absorb_counter(item, *count, *err);
+        }
+        self.absorbed_slack += donor_min + slack;
     }
 
     /// Full snapshot including the per-entry error annotations, sorted by
@@ -84,18 +118,82 @@ impl<I: Eq + Hash + Clone> SpaceSaving<I> {
         self.summary.snapshot_desc()
     }
 
-    /// Creates an empty shell carrying a previously consumed stream length
-    /// (snapshot rehydration; see [`crate::snapshot`]).
-    pub(crate) fn restore(m: usize, stream_len: u64) -> Self {
+    /// Rebuilds a summary from snapshot parts: the capacity `m`, the total
+    /// stream length consumed, and the stored `(item, count, err)` triples
+    /// in *descending* count order (the order [`Self::entries_with_err`]
+    /// produces). The restored summary has identical estimates, error
+    /// annotations, tie-breaking state and guarantees.
+    ///
+    /// Returns [`Error::CorruptSnapshot`] when the parts are inconsistent:
+    /// more entries than capacity, `err > count`, duplicate items, counts
+    /// out of order, or counter mass differing from `stream_len` (the
+    /// Appendix C invariant).
+    pub fn from_parts(
+        m: usize,
+        stream_len: u64,
+        absorbed_slack: u64,
+        entries: Vec<(I, u64, u64)>,
+    ) -> Result<Self, Error> {
+        if m == 0 {
+            return Err(Error::corrupt_snapshot("capacity must be at least 1"));
+        }
+        if entries.len() > m {
+            return Err(Error::corrupt_snapshot(format!(
+                "{} entries exceed capacity {m}",
+                entries.len()
+            )));
+        }
+        let total: u64 = entries.iter().map(|&(_, c, _)| c).sum();
+        if total != stream_len {
+            return Err(Error::corrupt_snapshot(format!(
+                "SpaceSaving counter mass {total} must equal stream length {stream_len}"
+            )));
+        }
         let mut s = Self::new(m);
         s.stream_len = stream_len;
-        s
+        s.absorbed_slack = absorbed_slack;
+        // Insert in ascending order so the bucket FIFO (and hence future
+        // tie-breaking) matches the original summary exactly.
+        let mut prev = 0u64;
+        for (item, count, err) in entries.into_iter().rev() {
+            if err > count {
+                return Err(Error::corrupt_snapshot(format!(
+                    "err {err} exceeds count {count}"
+                )));
+            }
+            if count == 0 {
+                return Err(Error::corrupt_snapshot("stored counts must be positive"));
+            }
+            if count < prev {
+                return Err(Error::corrupt_snapshot(
+                    "entries must be in descending count order",
+                ));
+            }
+            prev = count;
+            if s.summary.contains(&item) {
+                return Err(Error::corrupt_snapshot("duplicate item in snapshot"));
+            }
+            s.summary.insert(item, count, err);
+        }
+        Ok(s)
     }
 
-    /// Re-inserts a snapshot entry verbatim (snapshot rehydration).
-    pub(crate) fn restore_entry(&mut self, item: I, count: u64, err: u64) {
-        assert!(self.summary.len() < self.m, "snapshot exceeds capacity");
-        self.summary.insert(item, count, err);
+    /// Absorbs one counter of another SPACESAVING summary (the Theorem 11
+    /// merge step): like `update_by(item, count)` but the absorbed counter's
+    /// own overcount bound `err ≤ count` is added to the entry's stored
+    /// annotation, so post-merge certified lower bounds (`c_i − err_i`)
+    /// remain sound — the replayed `count` may itself overcount the donor
+    /// stream by up to `err`.
+    pub fn absorb_counter(&mut self, item: &I, count: u64, err: u64) {
+        if count == 0 {
+            return;
+        }
+        debug_assert!(err <= count, "a SPACESAVING counter bounds its own err");
+        self.apply(item, count);
+        // `apply` either incremented the stored entry, inserted the item, or
+        // evicted the minimum to admit it — in every case the item is now
+        // stored and its annotation absorbs the donor's error term.
+        self.summary.add_err(item, err.min(count));
     }
 
     /// One SPACESAVING step for `count` occurrences of `item`, cloning the
@@ -178,8 +276,17 @@ impl<I: Eq + Hash + Clone> FrequencyEstimator<I> for SpaceSaving<I> {
         Bias::Over
     }
 
-    fn lower_estimate(&self, item: &I) -> u64 {
-        self.guaranteed_count(item)
+    /// The stored overcount annotation `err_i` — the trait's default
+    /// [`FrequencyEstimator::lower_estimate`] turns this into the certified
+    /// minimum `c_i − err_i`.
+    fn error_term(&self, item: &I) -> Option<u64> {
+        self.err(item)
+    }
+
+    /// The inherent [`SpaceSaving::upper_estimate`]: the estimate for
+    /// stored items, the minimum counter `Δ` for unstored ones.
+    fn upper_estimate(&self, item: &I) -> u64 {
+        SpaceSaving::upper_estimate(self, item)
     }
 
     fn tail_constants(&self) -> Option<TailConstants> {
@@ -310,8 +417,10 @@ impl<I: Eq + Hash + Clone + Ord> FrequencyEstimator<I> for HeapSpaceSaving<I> {
         Bias::Over
     }
 
-    fn lower_estimate(&self, item: &I) -> u64 {
-        self.counts.get(item).map(|&(c, e)| c - e).unwrap_or(0)
+    /// The stored overcount annotation; the trait default derives
+    /// `lower_estimate = c_i − err_i` from it.
+    fn error_term(&self, item: &I) -> Option<u64> {
+        self.counts.get(item).map(|&(_, e)| e)
     }
 
     fn tail_constants(&self) -> Option<TailConstants> {

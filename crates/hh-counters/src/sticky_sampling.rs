@@ -17,6 +17,7 @@
 
 use std::hash::Hash;
 
+use crate::error::Error;
 use crate::fasthash::FxHashMap;
 use crate::traits::{Bias, FrequencyEstimator, TailConstants};
 
@@ -104,6 +105,101 @@ impl<I: Eq + Hash + Clone> StickySampling<I> {
     /// Current sampling rate.
     pub fn rate(&self) -> u64 {
         self.rate
+    }
+
+    /// The window parameter `w = (1/ε)·ln(1/(sδ))`.
+    pub fn window(&self) -> u64 {
+        self.window
+    }
+
+    /// Arrivals remaining until the next rate doubling.
+    pub fn until_double(&self) -> u64 {
+        self.until_double
+    }
+
+    /// The PRNG's current state word (snapshot capture — restoring it makes
+    /// a rehydrated instance continue the exact same coin-flip sequence).
+    pub fn rng_state(&self) -> u64 {
+        self.rng.state
+    }
+
+    /// Stored `(item, count)` pairs sorted by decreasing count — the full
+    /// table state (snapshot capture).
+    pub fn entries_sorted(&self) -> Vec<(I, u64)> {
+        self.entries()
+    }
+
+    /// Rebuilds a summary from snapshot parts (the table is unordered, so
+    /// entry order does not matter). The restored instance continues with
+    /// the identical sampling schedule and coin-flip sequence.
+    ///
+    /// Returns [`Error::CorruptSnapshot`] on inconsistent parts (rate or
+    /// window of 0, `epsilon ∉ (0,1)`, zero counts, duplicates).
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_parts(
+        epsilon: f64,
+        window: u64,
+        rate: u64,
+        until_double: u64,
+        rng_state: u64,
+        stream_len: u64,
+        max_table: usize,
+        entries: Vec<(I, u64)>,
+    ) -> Result<Self, Error> {
+        if !(epsilon > 0.0 && epsilon < 1.0) {
+            return Err(Error::corrupt_snapshot("epsilon must be in (0, 1)"));
+        }
+        if window == 0 || rate == 0 || until_double == 0 {
+            return Err(Error::corrupt_snapshot(
+                "window, rate and until_double must be positive",
+            ));
+        }
+        if max_table < entries.len() {
+            return Err(Error::corrupt_snapshot(format!(
+                "high-water mark {max_table} below table size {}",
+                entries.len()
+            )));
+        }
+        let mut table = FxHashMap::default();
+        for (item, count) in entries {
+            if count == 0 {
+                return Err(Error::corrupt_snapshot("stored counts must be positive"));
+            }
+            if table.insert(item, count).is_some() {
+                return Err(Error::corrupt_snapshot("duplicate item in snapshot"));
+            }
+        }
+        Ok(StickySampling {
+            table,
+            rng: XorShift64 {
+                state: rng_state.max(1),
+            },
+            rate,
+            until_double,
+            window,
+            epsilon,
+            stream_len,
+            max_table,
+        })
+    }
+
+    /// Absorbs another STICKY SAMPLING summary's snapshot state: a direct
+    /// table union (counts add) plus the donor's stream length. O(m) — the
+    /// donor's sample is *not* replayed through the sampler, which would
+    /// cost O(total count) in coin flips and re-thin already-thinned
+    /// counts, compounding undersampling on every merge hop. Both sides'
+    /// counts underestimate their streams, so the union keeps
+    /// underestimating the combined one; the local sampling schedule
+    /// (rate, epoch) continues unchanged.
+    pub fn absorb_parts(&mut self, entries: Vec<(I, u64)>, stream_len: u64) {
+        for (item, count) in entries {
+            if count == 0 {
+                continue;
+            }
+            *self.table.entry(item).or_insert(0) += count;
+        }
+        self.stream_len += stream_len;
+        self.max_table = self.max_table.max(self.table.len());
     }
 
     fn double_rate(&mut self) {

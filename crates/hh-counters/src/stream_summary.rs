@@ -335,6 +335,18 @@ impl<I: Eq + Hash + Clone> StreamSummary<I> {
         self.counter_sum += count;
     }
 
+    /// Adds `extra` to `item`'s error annotation (returns `false` when the
+    /// item is not stored). Counts and bucket order are untouched — used by
+    /// the snapshot-merge path, where an absorbed counter carries its own
+    /// overcount bound.
+    pub fn add_err(&mut self, item: &I, extra: u64) -> bool {
+        let Some(&e) = self.index.get(item) else {
+            return false;
+        };
+        self.entries[e as usize].err += extra;
+        true
+    }
+
     /// Increases `item`'s raw count by `by` (returns `false` when the item
     /// is not stored). O(1) for `by == 1`; for larger `by` the cost is the
     /// number of distinct counts skipped over.

@@ -74,9 +74,18 @@ impl TailConstants {
 
 /// Calls `f` once per maximal run of adjacent equal items in `items`,
 /// passing the run's representative and its length — the aggregation step
-/// shared by the `StreamSummary`-backed [`FrequencyEstimator::update_batch`]
-/// fast paths.
-pub(crate) fn for_each_run<I: Eq>(items: &[I], mut f: impl FnMut(&I, u64)) {
+/// shared by the [`FrequencyEstimator::update_batch`] fast paths (the
+/// `StreamSummary`-backed counters here, and the sketch overrides in
+/// `hh-sketches`).
+///
+/// ```
+/// let mut runs = Vec::new();
+/// hh_counters::traits::for_each_run(&[1u64, 1, 2, 1, 1, 1], |item, len| {
+///     runs.push((*item, len));
+/// });
+/// assert_eq!(runs, vec![(1, 2), (2, 1), (1, 3)]);
+/// ```
+pub fn for_each_run<I: Eq>(items: &[I], mut f: impl FnMut(&I, u64)) {
     let mut i = 0;
     while i < items.len() {
         let item = &items[i];
@@ -142,15 +151,46 @@ pub trait FrequencyEstimator<I: Eq + Hash + Clone> {
     /// The estimator's bias direction, if one-sided.
     fn bias(&self) -> Bias;
 
+    /// The per-item overcount annotation stored for `item`, if the backend
+    /// records one (SPACESAVING's `err_i`: the minimum counter value when
+    /// the item last entered the table). `None` when the item is unstored
+    /// or the algorithm keeps no such annotation.
+    fn error_term(&self, item: &I) -> Option<u64> {
+        let _ = item;
+        None
+    }
+
     /// A guaranteed lower bound on the item's true frequency.
     ///
-    /// For underestimating algorithms this equals [`Self::estimate`]; for
-    /// SPACESAVING it is `c_i − err_i` (Section 4.2). Defaults to 0 for
-    /// unstored items.
+    /// For underestimating algorithms this equals [`Self::estimate`]. For
+    /// overestimating algorithms the default consults the stored
+    /// [`Self::error_term`] and returns `c_i − err_i` (Section 4.2 of the
+    /// paper) — so stored SPACESAVING items get their certified minimum
+    /// rather than a vacuous 0. Two-sided estimators (and unstored items of
+    /// overestimating ones) fall back to 0.
     fn lower_estimate(&self, item: &I) -> u64 {
         match self.bias() {
             Bias::Under => self.estimate(item),
-            _ => 0,
+            _ => match self.error_term(item) {
+                Some(err) => self.estimate(item).saturating_sub(err),
+                None => 0,
+            },
+        }
+    }
+
+    /// A guaranteed upper bound on the item's true frequency.
+    ///
+    /// The default is only aware of the bias direction: overestimating
+    /// algorithms return their estimate for stored items (it already
+    /// dominates `f_i`) and the trivially sound [`Self::stream_len`]
+    /// otherwise; everything else returns [`Self::stream_len`].
+    /// Implementations with sharper information override this — SPACESAVING
+    /// bounds unstored items by the minimum counter `Δ`, FREQUENT adds its
+    /// decrement count, LOSSYCOUNTING adds the stored `delta` window id.
+    fn upper_estimate(&self, item: &I) -> u64 {
+        match self.bias() {
+            Bias::Over if self.error_term(item).is_some() => self.estimate(item),
+            _ => self.stream_len(),
         }
     }
 
@@ -201,8 +241,16 @@ impl<I: Eq + Hash + Clone, T: FrequencyEstimator<I> + ?Sized> FrequencyEstimator
         (**self).bias()
     }
 
+    fn error_term(&self, item: &I) -> Option<u64> {
+        (**self).error_term(item)
+    }
+
     fn lower_estimate(&self, item: &I) -> u64 {
         (**self).lower_estimate(item)
+    }
+
+    fn upper_estimate(&self, item: &I) -> u64 {
+        (**self).upper_estimate(item)
     }
 
     fn tail_constants(&self) -> Option<TailConstants> {

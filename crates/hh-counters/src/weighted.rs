@@ -15,6 +15,7 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::hash::Hash;
 
+use crate::error::Error;
 use crate::fasthash::FxHashMap;
 use crate::traits::{TailConstants, WeightedFrequencyEstimator};
 
@@ -110,6 +111,9 @@ pub struct SpaceSavingR<I: Eq + Hash + Clone + Ord> {
     heap: LazyMinHeap<I>,
     m: usize,
     total: f64,
+    /// Upper-bound slack inherited from absorbed snapshots (each donor's
+    /// minimum counter bounds the weight of items it did not store).
+    absorbed_slack: f64,
 }
 
 impl<I: Eq + Hash + Clone + Ord> SpaceSavingR<I> {
@@ -121,7 +125,55 @@ impl<I: Eq + Hash + Clone + Ord> SpaceSavingR<I> {
             heap: LazyMinHeap::default(),
             m,
             total: 0.0,
+            absorbed_slack: 0.0,
         }
+    }
+
+    /// Absorbs one counter of another SPACESAVINGR summary (Theorem 11
+    /// merging): like `update_weighted(item, w)` but the absorbed counter's
+    /// own overcount bound `err ≤ w` is added to the entry's stored
+    /// annotation, so post-merge certified lower weights (`c_i − err_i`)
+    /// remain sound.
+    pub fn absorb_counter(&mut self, item: &I, w: f64, err: f64) {
+        if w <= 0.0 {
+            return;
+        }
+        self.update_weighted(item.clone(), w);
+        if let Some(entry) = self.counts.get_mut(item) {
+            entry.1 += err.clamp(0.0, w);
+        }
+    }
+
+    /// Absorbs another SPACESAVINGR summary's snapshot state (Theorem 11
+    /// merging): replays every stored `(item, weight, err)` counter via
+    /// [`SpaceSavingR::absorb_counter`], then widens the upper-bound slack
+    /// by the donor's minimum counter (plus any slack the donor itself had
+    /// absorbed) — an item the donor did not store may still carry up to
+    /// that much weight in its stream.
+    pub fn absorb_parts(&mut self, entries: &[(I, f64, f64)], capacity: usize, slack: f64) {
+        let donor_min = if entries.len() >= capacity {
+            entries
+                .iter()
+                .map(|&(_, w, _)| w)
+                .fold(f64::INFINITY, f64::min)
+                .max(0.0)
+        } else {
+            0.0
+        };
+        for (item, weight, err) in entries {
+            self.absorb_counter(item, *weight, *err);
+        }
+        self.absorbed_slack += (if donor_min.is_finite() {
+            donor_min
+        } else {
+            0.0
+        }) + slack.max(0.0);
+    }
+
+    /// The accumulated donor-minimum slack from absorbed snapshots (0 for a
+    /// summary that never merged).
+    pub fn absorbed_slack(&self) -> f64 {
+        self.absorbed_slack
     }
 
     /// The minimum counter value (0 while the table has room): the uniform
@@ -155,19 +207,71 @@ impl<I: Eq + Hash + Clone + Ord> SpaceSavingR<I> {
         }
     }
 
-    /// Creates an empty shell carrying a previously consumed total weight
-    /// (snapshot rehydration; see [`crate::snapshot`]).
-    pub(crate) fn restore(m: usize, total: f64) -> Self {
-        let mut s = Self::new(m);
-        s.total = total;
-        s
+    /// Stored `(item, weight, err)` triples in descending weight order —
+    /// the full per-entry state (snapshot capture).
+    pub fn entries_with_err(&self) -> Vec<(I, f64, f64)> {
+        let mut v: Vec<(I, f64, f64)> = self
+            .counts
+            .iter()
+            .map(|(i, &(w, e))| (i.clone(), w, e))
+            .collect();
+        v.sort_unstable_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("finite")
+                .then_with(|| a.0.cmp(&b.0))
+        });
+        v
     }
 
-    /// Re-inserts a snapshot entry verbatim (snapshot rehydration).
-    pub(crate) fn restore_entry(&mut self, item: I, weight: f64, err: f64) {
-        assert!(self.counts.len() < self.m, "snapshot exceeds capacity");
-        self.counts.insert(item.clone(), (weight, err));
-        self.heap.push(weight, item);
+    /// Rebuilds a summary from snapshot parts (capacity, total consumed
+    /// weight, and `(item, weight, err)` triples in any order).
+    ///
+    /// Returns [`Error::CorruptSnapshot`] on inconsistent parts (more
+    /// entries than capacity, non-finite or negative weights, `err` above
+    /// the weight beyond float tolerance, duplicates).
+    pub fn from_parts(
+        m: usize,
+        total_weight: f64,
+        absorbed_slack: f64,
+        entries: Vec<(I, f64, f64)>,
+    ) -> Result<Self, Error> {
+        if m == 0 {
+            return Err(Error::corrupt_snapshot("capacity must be at least 1"));
+        }
+        if entries.len() > m {
+            return Err(Error::corrupt_snapshot(format!(
+                "{} entries exceed capacity {m}",
+                entries.len()
+            )));
+        }
+        if !total_weight.is_finite() || total_weight < 0.0 {
+            return Err(Error::corrupt_snapshot(
+                "total weight must be finite and >= 0",
+            ));
+        }
+        if !absorbed_slack.is_finite() || absorbed_slack < 0.0 {
+            return Err(Error::corrupt_snapshot(
+                "absorbed slack must be finite and >= 0",
+            ));
+        }
+        let mut s = Self::new(m);
+        s.total = total_weight;
+        s.absorbed_slack = absorbed_slack;
+        for (item, weight, err) in entries {
+            if !(weight.is_finite() && err.is_finite() && weight >= 0.0 && err >= 0.0) {
+                return Err(Error::corrupt_snapshot(
+                    "weights and errs must be finite and non-negative",
+                ));
+            }
+            if err > weight + 1e-9 {
+                return Err(Error::corrupt_snapshot("err must not exceed weight"));
+            }
+            if s.counts.insert(item.clone(), (weight, err)).is_some() {
+                return Err(Error::corrupt_snapshot("duplicate item in snapshot"));
+            }
+            s.heap.push(weight, item);
+        }
+        Ok(s)
     }
 }
 
@@ -247,6 +351,10 @@ pub struct FrequentR<I: Eq + Hash + Clone + Ord> {
     raw: FxHashMap<I, f64>,
     heap: LazyMinHeap<I>,
     offset: f64,
+    /// Reductions inherited from absorbed snapshots (Theorem 11 merging):
+    /// they widen the `estimate + reductions` upper bound but are not part
+    /// of the raw-counter offset.
+    absorbed: f64,
     m: usize,
     total: f64,
 }
@@ -259,6 +367,7 @@ impl<I: Eq + Hash + Clone + Ord> FrequentR<I> {
             raw: FxHashMap::default(),
             heap: LazyMinHeap::default(),
             offset: 0.0,
+            absorbed: 0.0,
             m,
             total: 0.0,
         }
@@ -268,11 +377,75 @@ impl<I: Eq + Hash + Clone + Ord> FrequentR<I> {
     /// analogue of FREQUENT's decrement count): every estimate satisfies
     /// `f_i − reductions ≤ c_i ≤ f_i`.
     pub fn reductions(&self) -> f64 {
-        self.offset
+        self.offset + self.absorbed
+    }
+
+    /// Absorbs another FREQUENTR summary's snapshot state (Theorem 11
+    /// merging): replays the donor's stored `(item, value)` counters, then
+    /// accounts for the donor's reductions and unreplayed weight so the
+    /// merged `estimate + reductions` upper bound and total weight stay
+    /// sound. Estimates keep underestimating the combined weights.
+    pub fn absorb_parts(&mut self, entries: &[(I, f64)], reductions: f64, total_weight: f64) {
+        let mut mass = 0.0f64;
+        for (item, value) in entries {
+            if *value > 0.0 {
+                self.update_weighted(item.clone(), *value);
+                mass += *value;
+            }
+        }
+        self.absorbed += reductions.max(0.0);
+        self.total += (total_weight - mass).max(0.0);
     }
 
     fn zero_tolerance(&self) -> f64 {
         1e-12 * self.offset.max(1.0)
+    }
+
+    /// Rebuilds a summary from snapshot parts: capacity, total consumed
+    /// weight, the accumulated reduction offset, and `(item, logical
+    /// value)` pairs in any order (the values [`WeightedFrequencyEstimator::
+    /// entries_weighted`] reports).
+    ///
+    /// Returns [`Error::CorruptSnapshot`] on inconsistent parts.
+    pub fn from_parts(
+        m: usize,
+        total_weight: f64,
+        reductions: f64,
+        entries: Vec<(I, f64)>,
+    ) -> Result<Self, Error> {
+        if m == 0 {
+            return Err(Error::corrupt_snapshot("capacity must be at least 1"));
+        }
+        if entries.len() > m {
+            return Err(Error::corrupt_snapshot(format!(
+                "{} entries exceed capacity {m}",
+                entries.len()
+            )));
+        }
+        if !(total_weight.is_finite() && reductions.is_finite())
+            || total_weight < 0.0
+            || reductions < 0.0
+        {
+            return Err(Error::corrupt_snapshot(
+                "total weight and reductions must be finite and >= 0",
+            ));
+        }
+        let mut s = Self::new(m);
+        s.total = total_weight;
+        s.offset = reductions;
+        for (item, value) in entries {
+            if !value.is_finite() || value <= 0.0 {
+                return Err(Error::corrupt_snapshot(
+                    "stored logical values must be finite and positive",
+                ));
+            }
+            let raw = reductions + value;
+            if s.raw.insert(item.clone(), raw).is_some() {
+                return Err(Error::corrupt_snapshot("duplicate item in snapshot"));
+            }
+            s.heap.push(raw, item);
+        }
+        Ok(s)
     }
 
     /// Drops entries whose logical value is ≤ the float-equality tolerance.

@@ -269,15 +269,16 @@ proptest! {
 
     #[test]
     fn snapshot_roundtrip_is_lossless(stream in stream_strategy(10, 120), m in 1usize..8) {
-        use hh_counters::snapshot::{FrequentSnapshot, SpaceSavingSnapshot};
         let mut ss = SpaceSaving::new(m);
         let mut fr = Frequent::new(m);
         for &x in &stream {
             ss.update(x);
             fr.update(x);
         }
-        let ss2 = SpaceSavingSnapshot::from_summary(&ss).into_summary();
-        let fr2 = FrequentSnapshot::from_summary(&fr).into_summary();
+        let ss2 = SpaceSaving::from_parts(m, ss.stream_len(), ss.absorbed_slack(), ss.entries_with_err())
+            .expect("captured parts are consistent");
+        let fr2 = Frequent::from_parts(m, fr.stream_len(), fr.decrements(), fr.entries())
+            .expect("captured parts are consistent");
         prop_assert_eq!(ss2.entries_with_err(), ss.entries_with_err());
         prop_assert_eq!(fr2.entries(), fr.entries());
         prop_assert_eq!(fr2.decrements(), fr.decrements());

@@ -10,7 +10,8 @@
 
 use std::hash::Hash;
 
-use hh_counters::traits::{Bias, FrequencyEstimator};
+use hh_counters::error::Error;
+use hh_counters::traits::{for_each_run, Bias, FrequencyEstimator};
 
 use crate::hash::{item_key, PolyHash};
 
@@ -32,6 +33,7 @@ pub struct CountMin<I> {
     table: Vec<u64>, // d × w, row-major
     width: usize,
     rule: UpdateRule,
+    seed: u64,
     stream_len: u64,
     _marker: std::marker::PhantomData<fn(&I)>,
 }
@@ -48,6 +50,7 @@ impl<I: Eq + Hash + Clone> CountMin<I> {
             table: vec![0; depth * width],
             width,
             rule,
+            seed,
             stream_len: 0,
             _marker: std::marker::PhantomData,
         }
@@ -80,9 +83,118 @@ impl<I: Eq + Hash + Clone> CountMin<I> {
         self.width
     }
 
+    /// The seed the row hashes were derived from (snapshot capture; two
+    /// sketches agree on cell positions iff their seeds and shapes agree).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The update discipline.
+    pub fn rule(&self) -> UpdateRule {
+        self.rule
+    }
+
+    /// The raw `d × w` cell table, row-major (snapshot capture).
+    pub fn cells(&self) -> &[u64] {
+        &self.table
+    }
+
+    /// Rebuilds a sketch from snapshot parts. The hash functions are
+    /// re-derived from `seed`, so the restored sketch answers every query
+    /// identically to the captured one.
+    ///
+    /// Returns [`Error::CorruptSnapshot`] when `cells` does not have
+    /// exactly `depth × width` entries or a dimension is zero.
+    pub fn from_parts(
+        depth: usize,
+        width: usize,
+        seed: u64,
+        rule: UpdateRule,
+        stream_len: u64,
+        cells: Vec<u64>,
+    ) -> Result<Self, Error> {
+        if depth == 0 || width == 0 {
+            return Err(Error::corrupt_snapshot("depth and width must be positive"));
+        }
+        if cells.len() != depth * width {
+            return Err(Error::corrupt_snapshot(format!(
+                "expected {} cells for a {depth}x{width} sketch, got {}",
+                depth * width,
+                cells.len()
+            )));
+        }
+        let mut s = Self::new(depth, width, seed, rule);
+        s.table = cells;
+        s.stream_len = stream_len;
+        Ok(s)
+    }
+
+    /// Cell-wise merge: adds `other`'s counts into `self`. Sound for both
+    /// update rules (for conservative updates the merged estimates remain
+    /// upper bounds, though no longer identical to single-stream CU).
+    ///
+    /// Returns [`Error::SnapshotMismatch`] unless shape, seed and rule all
+    /// agree — merging differently-hashed sketches is meaningless.
+    pub fn merge_from(&mut self, other: &CountMin<I>) -> Result<(), Error> {
+        if self.depth() != other.depth()
+            || self.width != other.width
+            || self.seed != other.seed
+            || self.rule != other.rule
+        {
+            return Err(Error::SnapshotMismatch {
+                expected: format!(
+                    "CountMin {}x{} seed {} {:?}",
+                    self.depth(),
+                    self.width,
+                    self.seed,
+                    self.rule
+                ),
+                found: format!(
+                    "CountMin {}x{} seed {} {:?}",
+                    other.depth(),
+                    other.width,
+                    other.seed,
+                    other.rule
+                ),
+            });
+        }
+        for (a, b) in self.table.iter_mut().zip(&other.table) {
+            *a += b;
+        }
+        self.stream_len += other.stream_len;
+        Ok(())
+    }
+
     #[inline]
     fn cell_index(&self, row: usize, key: u64) -> usize {
         row * self.width + self.rows[row].bucket(key, self.width)
+    }
+
+    /// One update of `count` occurrences for a pre-hashed key (shared by
+    /// [`FrequencyEstimator::update_by`] and the batched fast path).
+    fn add_key(&mut self, key: u64, count: u64) {
+        self.stream_len += count;
+        match self.rule {
+            UpdateRule::Classic => {
+                for r in 0..self.rows.len() {
+                    let idx = self.cell_index(r, key);
+                    self.table[idx] += count;
+                }
+            }
+            UpdateRule::Conservative => {
+                let est = (0..self.rows.len())
+                    .map(|r| self.table[self.cell_index(r, key)])
+                    .min()
+                    .expect("at least one row");
+                let target = est + count;
+                for r in 0..self.rows.len() {
+                    let idx = self.cell_index(r, key);
+                    if self.table[idx] < target {
+                        self.table[idx] = target;
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -105,29 +217,16 @@ impl<I: Eq + Hash + Clone> FrequencyEstimator<I> for CountMin<I> {
         if count == 0 {
             return;
         }
-        self.stream_len += count;
-        let key = item_key(&item);
-        match self.rule {
-            UpdateRule::Classic => {
-                for r in 0..self.rows.len() {
-                    let idx = self.cell_index(r, key);
-                    self.table[idx] += count;
-                }
-            }
-            UpdateRule::Conservative => {
-                let est = (0..self.rows.len())
-                    .map(|r| self.table[self.cell_index(r, key)])
-                    .min()
-                    .expect("at least one row");
-                let target = est + count;
-                for r in 0..self.rows.len() {
-                    let idx = self.cell_index(r, key);
-                    if self.table[idx] < target {
-                        self.table[idx] = target;
-                    }
-                }
-            }
-        }
+        self.add_key(item_key(&item), count);
+    }
+
+    /// Batched ingest: run-length aggregates the slice so a run of `r`
+    /// equal arrivals costs one item hash and one `d`-row cell sweep
+    /// instead of `r` (equivalent for both update rules: classic updates
+    /// are additive, and `r` consecutive conservative updates of one item
+    /// raise each cell to `min + r` exactly as one `+r` update does).
+    fn update_batch(&mut self, items: &[I]) {
+        for_each_run(items, |item, run| self.add_key(item_key(item), run));
     }
 
     fn estimate(&self, item: &I) -> u64 {
@@ -155,6 +254,12 @@ impl<I: Eq + Hash + Clone> FrequencyEstimator<I> for CountMin<I> {
 
     fn bias(&self) -> Bias {
         Bias::Over
+    }
+
+    /// Count-Min estimates are upper bounds for *every* item (stored or
+    /// not), so the estimate itself is the tightest upper bound available.
+    fn upper_estimate(&self, item: &I) -> u64 {
+        self.estimate(item)
     }
 }
 
@@ -240,5 +345,55 @@ mod tests {
         for i in 0..10u64 {
             assert_eq!(a.estimate(&i), b.estimate(&i));
         }
+    }
+
+    #[test]
+    fn update_batch_matches_unit_updates_both_rules() {
+        let stream: Vec<u64> = (0..3000)
+            .flat_map(|i| std::iter::repeat_n(i % 29, (i % 5 + 1) as usize))
+            .collect();
+        for rule in [UpdateRule::Classic, UpdateRule::Conservative] {
+            let mut batched: CountMin<u64> = CountMin::new(4, 64, 9, rule);
+            batched.update_batch(&stream);
+            let unit = run(rule, &stream, 4, 64);
+            assert_eq!(batched.stream_len(), unit.stream_len());
+            for i in 0..29u64 {
+                assert_eq!(batched.estimate(&i), unit.estimate(&i), "{rule:?} item {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn from_parts_roundtrip() {
+        let cm = run(
+            UpdateRule::Conservative,
+            &(0..500u64).collect::<Vec<_>>(),
+            4,
+            32,
+        );
+        let back = CountMin::<u64>::from_parts(
+            cm.depth(),
+            cm.width(),
+            cm.seed(),
+            cm.rule(),
+            cm.stream_len(),
+            cm.cells().to_vec(),
+        )
+        .expect("valid parts");
+        for i in 0..500u64 {
+            assert_eq!(back.estimate(&i), cm.estimate(&i));
+        }
+        assert!(CountMin::<u64>::from_parts(4, 32, 0, UpdateRule::Classic, 0, vec![0; 7]).is_err());
+    }
+
+    #[test]
+    fn merge_adds_cell_wise_and_rejects_mismatch() {
+        let mut a = run(UpdateRule::Classic, &[1u64, 2, 3, 1], 4, 64);
+        let b = run(UpdateRule::Classic, &[1u64, 4], 4, 64);
+        a.merge_from(&b).expect("same shape");
+        assert_eq!(a.stream_len(), 6);
+        assert!(a.estimate(&1) >= 3);
+        let other_seed: CountMin<u64> = CountMin::new(4, 64, 99, UpdateRule::Classic);
+        assert!(a.merge_from(&other_seed).is_err());
     }
 }

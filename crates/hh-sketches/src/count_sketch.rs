@@ -8,7 +8,8 @@
 
 use std::hash::Hash;
 
-use hh_counters::traits::{Bias, FrequencyEstimator};
+use hh_counters::error::Error;
+use hh_counters::traits::{for_each_run, Bias, FrequencyEstimator};
 
 use crate::hash::{item_key, PolyHash};
 
@@ -19,6 +20,7 @@ pub struct CountSketch<I> {
     signs: Vec<PolyHash>,
     table: Vec<i64>, // d × w, row-major
     width: usize,
+    seed: u64,
     stream_len: u64,
     _marker: std::marker::PhantomData<fn(&I)>,
 }
@@ -38,6 +40,7 @@ impl<I: Eq + Hash + Clone> CountSketch<I> {
             signs,
             table: vec![0; depth * width],
             width,
+            seed,
             stream_len: 0,
             _marker: std::marker::PhantomData,
         }
@@ -58,6 +61,81 @@ impl<I: Eq + Hash + Clone> CountSketch<I> {
     /// Number of columns `w`.
     pub fn width(&self) -> usize {
         self.width
+    }
+
+    /// The seed the row hashes were derived from (snapshot capture).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The raw `d × w` signed cell table, row-major (snapshot capture).
+    pub fn cells(&self) -> &[i64] {
+        &self.table
+    }
+
+    /// Rebuilds a sketch from snapshot parts; the hash and sign functions
+    /// are re-derived from `seed`.
+    ///
+    /// Returns [`Error::CorruptSnapshot`] when `cells` does not have
+    /// exactly `depth × width` entries or a dimension is zero.
+    pub fn from_parts(
+        depth: usize,
+        width: usize,
+        seed: u64,
+        stream_len: u64,
+        cells: Vec<i64>,
+    ) -> Result<Self, Error> {
+        if depth == 0 || width == 0 {
+            return Err(Error::corrupt_snapshot("depth and width must be positive"));
+        }
+        if cells.len() != depth * width {
+            return Err(Error::corrupt_snapshot(format!(
+                "expected {} cells for a {depth}x{width} sketch, got {}",
+                depth * width,
+                cells.len()
+            )));
+        }
+        let mut s = Self::new(depth, width, seed);
+        s.table = cells;
+        s.stream_len = stream_len;
+        Ok(s)
+    }
+
+    /// Cell-wise merge: Count-Sketch is linear, so adding tables yields
+    /// exactly the sketch of the concatenated streams.
+    ///
+    /// Returns [`Error::SnapshotMismatch`] unless shape and seed agree.
+    pub fn merge_from(&mut self, other: &CountSketch<I>) -> Result<(), Error> {
+        if self.depth() != other.depth() || self.width != other.width || self.seed != other.seed {
+            return Err(Error::SnapshotMismatch {
+                expected: format!(
+                    "CountSketch {}x{} seed {}",
+                    self.depth(),
+                    self.width,
+                    self.seed
+                ),
+                found: format!(
+                    "CountSketch {}x{} seed {}",
+                    other.depth(),
+                    other.width,
+                    other.seed
+                ),
+            });
+        }
+        for (a, b) in self.table.iter_mut().zip(&other.table) {
+            *a += b;
+        }
+        self.stream_len += other.stream_len;
+        Ok(())
+    }
+
+    /// One update of `count` occurrences for a pre-hashed key.
+    fn add_key(&mut self, key: u64, count: u64) {
+        self.stream_len += count;
+        for r in 0..self.depth() {
+            let idx = r * self.width + self.buckets[r].bucket(key, self.width);
+            self.table[idx] += self.signs[r].sign(key) * count as i64;
+        }
     }
 
     /// The signed (possibly negative) median estimate — the sketch's native
@@ -95,12 +173,14 @@ impl<I: Eq + Hash + Clone> FrequencyEstimator<I> for CountSketch<I> {
         if count == 0 {
             return;
         }
-        self.stream_len += count;
-        let key = item_key(&item);
-        for r in 0..self.depth() {
-            let idx = r * self.width + self.buckets[r].bucket(key, self.width);
-            self.table[idx] += self.signs[r].sign(key) * count as i64;
-        }
+        self.add_key(item_key(&item), count);
+    }
+
+    /// Batched ingest: run-length aggregates the slice so a run of `r`
+    /// equal arrivals costs one item hash and one `d`-row sweep instead of
+    /// `r` — exactly equivalent because Count-Sketch updates are linear.
+    fn update_batch(&mut self, items: &[I]) {
+        for_each_run(items, |item, run| self.add_key(item_key(item), run));
     }
 
     /// The median estimate clamped to the non-negative domain.
@@ -183,6 +263,52 @@ mod tests {
             cs.update(42u64);
         }
         assert_eq!(cs.estimate(&42), 10);
+    }
+
+    #[test]
+    fn update_batch_matches_unit_updates() {
+        let stream: Vec<u64> = (0..2000)
+            .flat_map(|i| std::iter::repeat_n(i % 17, (i % 3 + 1) as usize))
+            .collect();
+        let mut batched: CountSketch<u64> = CountSketch::new(5, 64, 3);
+        batched.update_batch(&stream);
+        let mut unit: CountSketch<u64> = CountSketch::new(5, 64, 3);
+        for &x in &stream {
+            unit.update(x);
+        }
+        assert_eq!(batched.stream_len(), unit.stream_len());
+        for i in 0..17u64 {
+            assert_eq!(batched.signed_estimate(&i), unit.signed_estimate(&i));
+        }
+    }
+
+    #[test]
+    fn from_parts_roundtrip_and_linear_merge() {
+        let mut a: CountSketch<u64> = CountSketch::new(4, 32, 11);
+        let mut b: CountSketch<u64> = CountSketch::new(4, 32, 11);
+        let mut whole: CountSketch<u64> = CountSketch::new(4, 32, 11);
+        for i in 0..300u64 {
+            let x = i % 23;
+            if i % 2 == 0 {
+                a.update(x);
+            } else {
+                b.update(x);
+            }
+            whole.update(x);
+        }
+        let back = CountSketch::<u64>::from_parts(4, 32, 11, a.stream_len(), a.cells().to_vec())
+            .expect("valid parts");
+        assert_eq!(back.signed_estimate(&1), a.signed_estimate(&1));
+        a.merge_from(&b).expect("same shape");
+        for i in 0..23u64 {
+            assert_eq!(
+                a.signed_estimate(&i),
+                whole.signed_estimate(&i),
+                "linearity"
+            );
+        }
+        let mismatch: CountSketch<u64> = CountSketch::new(4, 64, 11);
+        assert!(a.merge_from(&mismatch).is_err());
     }
 
     #[test]

@@ -1,0 +1,2129 @@
+//! The unified heavy-hitters engine (`hh::engine`).
+//!
+//! The paper's central observation is that FREQUENT, SPACESAVING and their
+//! relatives are interchangeable instances of one heavy-tolerant counter
+//! abstraction with `(A, B)` tail constants. This module turns that
+//! observation into an API: an [`EngineConfig`] picks an algorithm
+//! ([`AlgoKind`]) and a space budget ([`CapacitySpec`] — explicit, or
+//! derived from `eps`/`k`/`phi` by the paper's sizing theorems), and
+//! [`EngineConfig::build`] returns a uniform [`Engine`] handle. Every
+//! engine answers the same [`Report`] queries (top-k, φ-heavy hitters with
+//! confidence labels, residual estimation, per-item bound intervals),
+//! serializes to one portable [`Snapshot`] format, and merges across
+//! processes via [`Engine::merge`] (Theorem 11).
+//!
+//! ```
+//! use hh_sketches::engine::{AlgoKind, EngineConfig};
+//!
+//! let mut engine = EngineConfig::new(AlgoKind::SpaceSaving)
+//!     .counters(8)
+//!     .build::<u64>()
+//!     .unwrap();
+//! engine.update_batch(&[1, 1, 1, 2, 2, 3, 1, 4]);
+//!
+//! let report = engine.report();
+//! let top = report.top_k(1);
+//! assert_eq!(top[0].item, 1);
+//! // every entry carries a certified (lower, upper) frequency interval
+//! assert!(top[0].lower <= 4 && 4 <= top[0].upper);
+//! ```
+
+use std::fmt;
+use std::hash::Hash;
+use std::str::FromStr;
+
+use hh_counters::error::Error;
+use hh_counters::heavy_hitters::Confidence;
+use hh_counters::recovery;
+use hh_counters::topk::zipf_counters_for_topk;
+use hh_counters::traits::{Bias, FrequencyEstimator, TailConstants, WeightedFrequencyEstimator};
+use hh_counters::{Frequent, FrequentR, LossyCounting, SpaceSaving, SpaceSavingR, StickySampling};
+use serde::json::Value;
+use serde::{Deserialize, Serialize};
+
+use crate::count_min::{CountMin, UpdateRule};
+use crate::count_sketch::CountSketch;
+use crate::topk_tracker::SketchHeavyHitters;
+
+/// Bound alias for item types an engine can track: hashable, orderable,
+/// cloneable and sendable (so engines can be sharded across threads).
+///
+/// Blanket-implemented; `u64`, `String` and friends all qualify.
+///
+/// ```
+/// fn takes_item<I: hh_sketches::engine::EngineItem>(_: I) {}
+/// takes_item(42u64);
+/// takes_item("flow".to_string());
+/// ```
+pub trait EngineItem: Eq + Hash + Ord + Clone + Send + 'static {}
+
+impl<T: Eq + Hash + Ord + Clone + Send + 'static> EngineItem for T {}
+
+// ---------------------------------------------------------------------------
+// Algorithm selection
+// ---------------------------------------------------------------------------
+
+/// The algorithms an [`EngineConfig`] can construct.
+///
+/// The two headline counter algorithms carry the paper's deterministic
+/// `A = B = 1` k-tail guarantee; the remaining four are the comparators the
+/// paper measures against (deterministic and randomized counters, and the
+/// two sketches wrapped with a heavy-hitter candidate heap).
+///
+/// ```
+/// use hh_sketches::engine::AlgoKind;
+///
+/// assert_eq!(AlgoKind::ALL.len(), 6);
+/// assert_eq!("spacesaving".parse::<AlgoKind>().unwrap(), AlgoKind::SpaceSaving);
+/// assert!(AlgoKind::Frequent.is_counter());
+/// assert!(!AlgoKind::CountSketch.is_counter());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AlgoKind {
+    /// SPACESAVING (overestimates; `A = B = 1` tail guarantee).
+    SpaceSaving,
+    /// FREQUENT / Misra–Gries (underestimates; `A = B = 1` tail guarantee).
+    Frequent,
+    /// LOSSYCOUNTING (underestimates; `εF1` guarantee, floating table).
+    LossyCounting,
+    /// STICKY SAMPLING (randomized; probabilistic `εF1` guarantee).
+    StickySampling,
+    /// Count-Min sketch plus a bounded candidate heap for enumeration.
+    CountMin,
+    /// Count-Sketch plus a bounded candidate heap for enumeration.
+    CountSketch,
+}
+
+impl AlgoKind {
+    /// All engine algorithms, counters first.
+    pub const ALL: [AlgoKind; 6] = [
+        AlgoKind::SpaceSaving,
+        AlgoKind::Frequent,
+        AlgoKind::LossyCounting,
+        AlgoKind::StickySampling,
+        AlgoKind::CountMin,
+        AlgoKind::CountSketch,
+    ];
+
+    /// Canonical lowercase name (the one [`FromStr`] accepts first).
+    ///
+    /// ```
+    /// assert_eq!(hh_sketches::engine::AlgoKind::CountMin.name(), "countmin");
+    /// ```
+    pub fn name(self) -> &'static str {
+        match self {
+            AlgoKind::SpaceSaving => "spacesaving",
+            AlgoKind::Frequent => "frequent",
+            AlgoKind::LossyCounting => "lossycounting",
+            AlgoKind::StickySampling => "stickysampling",
+            AlgoKind::CountMin => "countmin",
+            AlgoKind::CountSketch => "countsketch",
+        }
+    }
+
+    /// Whether the algorithm stores items explicitly (a counter algorithm)
+    /// rather than hashing them into a sketch.
+    ///
+    /// ```
+    /// use hh_sketches::engine::AlgoKind;
+    /// assert!(AlgoKind::LossyCounting.is_counter());
+    /// assert!(!AlgoKind::CountMin.is_counter());
+    /// ```
+    pub fn is_counter(self) -> bool {
+        !matches!(self, AlgoKind::CountMin | AlgoKind::CountSketch)
+    }
+
+    /// Whether [`EngineConfig::build_weighted`] supports this algorithm
+    /// (only the two Section 6.1 counter algorithms have real-weighted
+    /// variants).
+    ///
+    /// ```
+    /// use hh_sketches::engine::AlgoKind;
+    /// assert!(AlgoKind::SpaceSaving.supports_weighted());
+    /// assert!(!AlgoKind::StickySampling.supports_weighted());
+    /// ```
+    pub fn supports_weighted(self) -> bool {
+        matches!(self, AlgoKind::SpaceSaving | AlgoKind::Frequent)
+    }
+
+    /// The `(A, B)` tail constants proved for the algorithm, if any.
+    ///
+    /// ```
+    /// use hh_sketches::engine::AlgoKind;
+    /// assert!(AlgoKind::SpaceSaving.tail_constants().is_some());
+    /// assert!(AlgoKind::LossyCounting.tail_constants().is_none());
+    /// ```
+    pub fn tail_constants(self) -> Option<TailConstants> {
+        match self {
+            AlgoKind::SpaceSaving | AlgoKind::Frequent => Some(TailConstants::ONE_ONE),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for AlgoKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for AlgoKind {
+    type Err = Error;
+
+    fn from_str(s: &str) -> Result<Self, Error> {
+        match s.to_ascii_lowercase().as_str() {
+            "spacesaving" | "space-saving" | "ss" => Ok(AlgoKind::SpaceSaving),
+            "frequent" | "misra-gries" | "mg" => Ok(AlgoKind::Frequent),
+            "lossycounting" | "lossy-counting" | "lossy" | "lc" => Ok(AlgoKind::LossyCounting),
+            "stickysampling" | "sticky-sampling" | "sticky" => Ok(AlgoKind::StickySampling),
+            "countmin" | "count-min" | "cm" => Ok(AlgoKind::CountMin),
+            "countsketch" | "count-sketch" | "cs" => Ok(AlgoKind::CountSketch),
+            other => Err(Error::invalid_config(format!(
+                "unknown algorithm {other:?} (expected one of spacesaving, frequent, \
+                 lossycounting, stickysampling, countmin, countsketch)"
+            ))),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Capacity sizing
+// ---------------------------------------------------------------------------
+
+/// How many counters an engine gets: an explicit budget, or a budget
+/// derived from accuracy targets by the paper's sizing results
+/// ([`TailConstants::counters_for_sparse_recovery`],
+/// [`TailConstants::counters_for_residual_estimate`], Definition 1, and
+/// the Theorem 9 Zipf top-k recipe).
+///
+/// ```
+/// use hh_sketches::engine::CapacitySpec;
+/// use hh_counters::TailConstants;
+///
+/// // Theorem 6/7 sizing: m = Bk + Ak/eps = 10 + 100 with A = B = 1.
+/// let spec = CapacitySpec::ResidualEstimate { k: 10, eps: 0.1 };
+/// assert_eq!(spec.resolve(TailConstants::ONE_ONE, true).unwrap(), 110);
+/// // explicit budgets pass through unchanged
+/// assert_eq!(CapacitySpec::Counters(64).resolve(TailConstants::ONE_ONE, true).unwrap(), 64);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CapacitySpec {
+    /// An explicit counter budget `m ≥ 1`.
+    Counters(usize),
+    /// Theorem 5 sizing for k-sparse recovery at error `eps`:
+    /// `m = k(cA/eps + B)` with `c = 2` for one-sided algorithms, 3
+    /// otherwise.
+    SparseRecovery {
+        /// Sparsity target `k ≥ 1`.
+        k: usize,
+        /// Relative error `eps ∈ (0, 1)`.
+        eps: f64,
+    },
+    /// Theorem 6/7 sizing for residual estimation and uniform error
+    /// `eps·F1^res(k)/k`: `m = Bk + Ak/eps`.
+    ResidualEstimate {
+        /// Tail parameter `k ≥ 1`.
+        k: usize,
+        /// Relative error `eps ∈ (0, 1)`.
+        eps: f64,
+    },
+    /// Definition 1 sizing for the φ-heavy-hitters query: `m = ⌈A/phi⌉`
+    /// counters keep every estimation error below `phi·F1`.
+    HeavyHitters {
+        /// Heavy-hitter threshold `phi ∈ (0, 1)`.
+        phi: f64,
+    },
+    /// Theorem 9 sizing: enough counters to recover the top-k of Zipf(α)
+    /// data over `n` distinct items in the correct order.
+    ZipfTopK {
+        /// Ranking depth `k ≥ 1`.
+        k: usize,
+        /// Zipf skew `alpha ≥ 1`.
+        alpha: f64,
+        /// Number of distinct items.
+        n: usize,
+    },
+}
+
+impl CapacitySpec {
+    /// Resolves the spec to a concrete counter budget using the given tail
+    /// constants (`one_sided` selects the tighter Theorem 5 constant).
+    ///
+    /// ```
+    /// use hh_sketches::engine::CapacitySpec;
+    /// use hh_counters::TailConstants;
+    ///
+    /// // Definition 1: phi = 1% needs ceil(A/phi) = 100 counters.
+    /// let m = CapacitySpec::HeavyHitters { phi: 0.01 }
+    ///     .resolve(TailConstants::ONE_ONE, true)
+    ///     .unwrap();
+    /// assert_eq!(m, 100);
+    /// assert!(CapacitySpec::Counters(0).resolve(TailConstants::ONE_ONE, true).is_err());
+    /// ```
+    pub fn resolve(&self, constants: TailConstants, one_sided: bool) -> Result<usize, Error> {
+        let check_eps = |eps: f64| {
+            if eps > 0.0 && eps < 1.0 {
+                Ok(())
+            } else {
+                Err(Error::invalid_config(format!(
+                    "eps must be in (0, 1), got {eps}"
+                )))
+            }
+        };
+        let check_k = |k: usize| {
+            if k >= 1 {
+                Ok(())
+            } else {
+                Err(Error::invalid_config("k must be at least 1"))
+            }
+        };
+        match *self {
+            CapacitySpec::Counters(m) => {
+                if m >= 1 {
+                    Ok(m)
+                } else {
+                    Err(Error::invalid_config("need at least one counter"))
+                }
+            }
+            CapacitySpec::SparseRecovery { k, eps } => {
+                check_k(k)?;
+                check_eps(eps)?;
+                Ok(constants.counters_for_sparse_recovery(k, eps, one_sided))
+            }
+            CapacitySpec::ResidualEstimate { k, eps } => {
+                check_k(k)?;
+                check_eps(eps)?;
+                Ok(constants.counters_for_residual_estimate(k, eps))
+            }
+            CapacitySpec::HeavyHitters { phi } => {
+                if !(phi > 0.0 && phi < 1.0) {
+                    return Err(Error::invalid_config(format!(
+                        "phi must be in (0, 1), got {phi}"
+                    )));
+                }
+                Ok((constants.a / phi).ceil().max(1.0) as usize)
+            }
+            CapacitySpec::ZipfTopK { k, alpha, n } => {
+                check_k(k)?;
+                if alpha < 1.0 {
+                    return Err(Error::invalid_config(format!(
+                        "Theorem 9 sizing requires alpha >= 1, got {alpha}"
+                    )));
+                }
+                Ok(zipf_counters_for_topk(constants, k, alpha, n.max(1)))
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Configuration
+// ---------------------------------------------------------------------------
+
+/// Default depth (rows) for Count-Min backends — exported so harnesses
+/// that build sketches directly stay in lockstep with the engine.
+pub const CM_DEPTH: usize = 4;
+/// Default depth (rows) for Count-Sketch backends.
+pub const CS_DEPTH: usize = 5;
+/// Support and failure parameters used for STICKY SAMPLING backends.
+const STICKY_SUPPORT: f64 = 0.01;
+const STICKY_DELTA: f64 = 0.1;
+
+/// Builder describing how to construct an [`Engine`] (or a
+/// [`WeightedEngine`]).
+///
+/// ```
+/// use hh_sketches::engine::{AlgoKind, CapacitySpec, EngineConfig};
+///
+/// let config = EngineConfig::new(AlgoKind::Frequent)
+///     .capacity(CapacitySpec::ResidualEstimate { k: 8, eps: 0.05 })
+///     .seed(7);
+/// let engine = config.build::<String>().unwrap();
+/// assert_eq!(engine.capacity(), 168); // Bk + Ak/eps = 8 + 160
+/// assert_eq!(engine.algo(), AlgoKind::Frequent);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    algo: AlgoKind,
+    capacity: CapacitySpec,
+    seed: u64,
+    rule: UpdateRule,
+    depth: Option<usize>,
+}
+
+impl EngineConfig {
+    /// Starts a config for `algo` with the default budget of 256 counters.
+    ///
+    /// ```
+    /// use hh_sketches::engine::{AlgoKind, EngineConfig};
+    /// let e = EngineConfig::new(AlgoKind::SpaceSaving).build::<u64>().unwrap();
+    /// assert_eq!(e.capacity(), 256);
+    /// ```
+    pub fn new(algo: AlgoKind) -> Self {
+        EngineConfig {
+            algo,
+            capacity: CapacitySpec::Counters(256),
+            seed: 0,
+            rule: UpdateRule::Classic,
+            depth: None,
+        }
+    }
+
+    /// The configured algorithm.
+    pub fn algo(&self) -> AlgoKind {
+        self.algo
+    }
+
+    /// Sets an explicit counter budget (shorthand for
+    /// [`CapacitySpec::Counters`]).
+    ///
+    /// ```
+    /// use hh_sketches::engine::{AlgoKind, EngineConfig};
+    /// let e = EngineConfig::new(AlgoKind::SpaceSaving).counters(64).build::<u64>().unwrap();
+    /// assert_eq!(e.capacity(), 64);
+    /// ```
+    pub fn counters(mut self, m: usize) -> Self {
+        self.capacity = CapacitySpec::Counters(m);
+        self
+    }
+
+    /// Sets the capacity from any [`CapacitySpec`].
+    pub fn capacity(mut self, spec: CapacitySpec) -> Self {
+        self.capacity = spec;
+        self
+    }
+
+    /// Sizes the engine for residual-error target `eps` at tail parameter
+    /// `k` (shorthand for [`CapacitySpec::ResidualEstimate`] — the sizing
+    /// behind the CLI's `--eps` flag).
+    ///
+    /// ```
+    /// use hh_sketches::engine::{AlgoKind, EngineConfig};
+    /// let e = EngineConfig::new(AlgoKind::SpaceSaving).error_rate(0.1, 10).build::<u64>().unwrap();
+    /// assert_eq!(e.capacity(), 110);
+    /// ```
+    pub fn error_rate(mut self, eps: f64, k: usize) -> Self {
+        self.capacity = CapacitySpec::ResidualEstimate { k, eps };
+        self
+    }
+
+    /// Sizes the engine to answer φ-heavy-hitter queries at threshold
+    /// `phi` (shorthand for [`CapacitySpec::HeavyHitters`]).
+    ///
+    /// ```
+    /// use hh_sketches::engine::{AlgoKind, EngineConfig};
+    /// let e = EngineConfig::new(AlgoKind::Frequent).heavy_hitter_phi(0.02).build::<u64>().unwrap();
+    /// assert_eq!(e.capacity(), 50);
+    /// ```
+    pub fn heavy_hitter_phi(mut self, phi: f64) -> Self {
+        self.capacity = CapacitySpec::HeavyHitters { phi };
+        self
+    }
+
+    /// Sizes the engine by the Theorem 9 Zipf top-k recipe (shorthand for
+    /// [`CapacitySpec::ZipfTopK`]).
+    ///
+    /// ```
+    /// use hh_sketches::engine::{AlgoKind, EngineConfig};
+    /// let e = EngineConfig::new(AlgoKind::Frequent)
+    ///     .zipf_top_k(10, 1.4, 20_000)
+    ///     .build::<u64>()
+    ///     .unwrap();
+    /// assert!(e.capacity() > 10);
+    /// ```
+    pub fn zipf_top_k(mut self, k: usize, alpha: f64, n: usize) -> Self {
+        self.capacity = CapacitySpec::ZipfTopK { k, alpha, n };
+        self
+    }
+
+    /// Seeds the randomized backends (sticky sampling's coin flips, the
+    /// sketches' hash families). Deterministic backends ignore it.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Switches Count-Min to conservative (Estan–Varghese) updates.
+    ///
+    /// ```
+    /// use hh_sketches::engine::{AlgoKind, EngineConfig};
+    /// let e = EngineConfig::new(AlgoKind::CountMin).conservative(true).build::<u64>().unwrap();
+    /// assert_eq!(e.name(), "CountMin(CU)");
+    /// ```
+    pub fn conservative(mut self, conservative: bool) -> Self {
+        self.rule = if conservative {
+            UpdateRule::Conservative
+        } else {
+            UpdateRule::Classic
+        };
+        self
+    }
+
+    /// Overrides the sketch depth (rows). Ignored by counter algorithms.
+    pub fn sketch_depth(mut self, depth: usize) -> Self {
+        self.depth = Some(depth);
+        self
+    }
+
+    /// The concrete counter budget this config resolves to (the sizing the
+    /// build will use).
+    ///
+    /// ```
+    /// use hh_sketches::engine::{AlgoKind, EngineConfig};
+    /// let c = EngineConfig::new(AlgoKind::SpaceSaving).error_rate(0.01, 10);
+    /// assert_eq!(c.resolved_counters().unwrap(), 1010);
+    /// ```
+    pub fn resolved_counters(&self) -> Result<usize, Error> {
+        let constants = self.algo.tail_constants().unwrap_or(TailConstants::GENERIC);
+        // Sketch budgets are sized with the generic constants too; the
+        // one-sided discount only applies to the counter algorithms.
+        let one_sided = self.algo.is_counter();
+        self.capacity.resolve(constants, one_sided)
+    }
+
+    /// Builds the configured engine.
+    ///
+    /// Fails with [`Error::InvalidConfig`] on a bad capacity spec, or on a
+    /// sketch budget too small to split between cells and candidate slots.
+    ///
+    /// ```
+    /// use hh_sketches::engine::{AlgoKind, EngineConfig};
+    ///
+    /// for algo in AlgoKind::ALL {
+    ///     let mut e = EngineConfig::new(algo).counters(128).seed(3).build::<u64>().unwrap();
+    ///     e.update_batch(&[1, 1, 2]);
+    ///     assert_eq!(e.stream_len(), 3);
+    /// }
+    /// ```
+    pub fn build<I: EngineItem>(&self) -> Result<Engine<I>, Error> {
+        let budget = self.resolved_counters()?;
+        let backend: Box<dyn Backend<I> + Send> = match self.algo {
+            AlgoKind::SpaceSaving => Box::new(SpaceSaving::new(budget)),
+            AlgoKind::Frequent => Box::new(Frequent::new(budget)),
+            AlgoKind::LossyCounting => Box::new(LossyCounting::with_width(budget as u64)),
+            AlgoKind::StickySampling => Box::new(StickySampling::new(
+                1.0 / (budget.max(2)) as f64,
+                STICKY_SUPPORT,
+                STICKY_DELTA,
+                self.seed | 1,
+            )),
+            AlgoKind::CountMin => {
+                let (cells, candidates) = split_sketch_budget(budget)?;
+                let depth = self.depth.unwrap_or(CM_DEPTH);
+                Box::new(SketchHeavyHitters::new(
+                    CountMin::with_budget(cells.max(depth), depth, self.seed, self.rule),
+                    candidates,
+                ))
+            }
+            AlgoKind::CountSketch => {
+                let (cells, candidates) = split_sketch_budget(budget)?;
+                let depth = self.depth.unwrap_or(CS_DEPTH);
+                Box::new(SketchHeavyHitters::new(
+                    CountSketch::with_budget(cells.max(depth), depth, self.seed),
+                    candidates,
+                ))
+            }
+        };
+        Ok(Engine {
+            backend,
+            kind: self.algo,
+        })
+    }
+
+    /// Builds the real-weighted variant (Section 6.1: SPACESAVINGR or
+    /// FREQUENTR).
+    ///
+    /// Fails with [`Error::Unsupported`] for algorithms without a weighted
+    /// form.
+    ///
+    /// ```
+    /// use hh_sketches::engine::{AlgoKind, EngineConfig};
+    ///
+    /// let mut e = EngineConfig::new(AlgoKind::SpaceSaving)
+    ///     .counters(16)
+    ///     .build_weighted::<u64>()
+    ///     .unwrap();
+    /// e.update(7, 2.5);
+    /// assert!((e.estimate(&7) - 2.5).abs() < 1e-12);
+    /// assert!(EngineConfig::new(AlgoKind::CountMin).build_weighted::<u64>().is_err());
+    /// ```
+    pub fn build_weighted<I: EngineItem>(&self) -> Result<WeightedEngine<I>, Error> {
+        let budget = self.resolved_counters()?;
+        let backend: Box<dyn WeightedBackend<I> + Send> = match self.algo {
+            AlgoKind::SpaceSaving => Box::new(SpaceSavingR::new(budget)),
+            AlgoKind::Frequent => Box::new(FrequentR::new(budget)),
+            other => {
+                return Err(Error::Unsupported {
+                    algo: other.name().to_string(),
+                    operation: "weighted updates",
+                })
+            }
+        };
+        Ok(WeightedEngine {
+            backend,
+            kind: self.algo,
+        })
+    }
+}
+
+/// Splits a sketch's total budget into (cells, candidate slots), charging
+/// a tenth (at least 16 slots) for the candidate heap a sketch needs to
+/// enumerate heavy hitters at all.
+fn split_sketch_budget(budget: usize) -> Result<(usize, usize), Error> {
+    if budget < 16 {
+        return Err(Error::invalid_config(format!(
+            "sketch budgets below 16 cells are meaningless, got {budget}"
+        )));
+    }
+    let candidates = (budget / 10).max(16).min(budget / 2);
+    Ok((budget - candidates, candidates))
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot wire format
+// ---------------------------------------------------------------------------
+
+/// Wire state of a SPACESAVING backend.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpaceSavingState<I> {
+    /// Counter capacity `m`.
+    pub capacity: usize,
+    /// Total stream length consumed.
+    pub stream_len: u64,
+    /// Upper-bound slack accumulated from prior merges (donor `Δ`s).
+    pub absorbed_slack: u64,
+    /// Stored `(item, count, err)` triples in descending count order.
+    pub entries: Vec<(I, u64, u64)>,
+}
+
+/// Wire state of a FREQUENT backend.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FrequentState<I> {
+    /// Counter capacity `m`.
+    pub capacity: usize,
+    /// Total stream length consumed.
+    pub stream_len: u64,
+    /// Decrement rounds performed.
+    pub decrements: u64,
+    /// Stored `(item, logical value)` pairs in descending order.
+    pub entries: Vec<(I, u64)>,
+}
+
+/// Wire state of a LOSSYCOUNTING backend.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LossyCountingState<I> {
+    /// Window width `w = ⌈1/ε⌉`.
+    pub width: u64,
+    /// Current window id.
+    pub window: u64,
+    /// Total stream length consumed.
+    pub stream_len: u64,
+    /// Table-size high-water mark.
+    pub max_table: usize,
+    /// Stored `(item, count, delta)` triples.
+    pub entries: Vec<(I, u64, u64)>,
+}
+
+/// Wire state of a STICKY SAMPLING backend.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StickySamplingState<I> {
+    /// Error parameter ε.
+    pub epsilon: f64,
+    /// Window parameter `w`.
+    pub window: u64,
+    /// Current sampling rate.
+    pub rate: u64,
+    /// Arrivals remaining until the next rate doubling.
+    pub until_double: u64,
+    /// PRNG state word.
+    pub rng_state: u64,
+    /// Total stream length consumed.
+    pub stream_len: u64,
+    /// Table-size high-water mark.
+    pub max_table: usize,
+    /// Stored `(item, count)` pairs.
+    pub entries: Vec<(I, u64)>,
+}
+
+/// Wire state of a Count-Min backend (sketch cells plus candidate heap).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CountMinState<I> {
+    /// Rows `d`.
+    pub depth: usize,
+    /// Columns `w`.
+    pub width: usize,
+    /// Hash-family seed.
+    pub seed: u64,
+    /// Whether conservative updates are in force.
+    pub conservative: bool,
+    /// Total stream length consumed.
+    pub stream_len: u64,
+    /// The `d × w` cells, row-major.
+    pub cells: Vec<u64>,
+    /// Tracked candidate items.
+    pub candidates: Vec<I>,
+    /// Candidate slots.
+    pub cap: usize,
+}
+
+/// Wire state of a Count-Sketch backend (signed cells plus candidate heap).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CountSketchState<I> {
+    /// Rows `d`.
+    pub depth: usize,
+    /// Columns `w`.
+    pub width: usize,
+    /// Hash-family seed.
+    pub seed: u64,
+    /// Total stream length consumed.
+    pub stream_len: u64,
+    /// The `d × w` signed cells, row-major.
+    pub cells: Vec<i64>,
+    /// Tracked candidate items.
+    pub candidates: Vec<I>,
+    /// Candidate slots.
+    pub cap: usize,
+}
+
+/// Wire state of a weighted SPACESAVINGR backend.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpaceSavingRState<I> {
+    /// Counter capacity `m`.
+    pub capacity: usize,
+    /// Total stream weight consumed.
+    pub total_weight: f64,
+    /// Upper-bound slack accumulated from prior merges (donor minimums).
+    pub absorbed_slack: f64,
+    /// Stored `(item, weight, err)` triples in descending weight order.
+    pub entries: Vec<(I, f64, f64)>,
+}
+
+/// Wire state of a weighted FREQUENTR backend.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FrequentRState<I> {
+    /// Counter capacity `m`.
+    pub capacity: usize,
+    /// Total stream weight consumed.
+    pub total_weight: f64,
+    /// Accumulated reduction offset.
+    pub reductions: f64,
+    /// Stored `(item, logical value)` pairs in descending order.
+    pub entries: Vec<(I, f64)>,
+}
+
+/// The single portable snapshot format covering every engine backend.
+///
+/// A snapshot round-trips through JSON (or any serde format) and
+/// rehydrates — via [`Engine::from_snapshot`] /
+/// [`WeightedEngine::from_snapshot`] — into an engine whose estimates,
+/// bounds and tie-breaking state are identical to the captured one's.
+/// Snapshots are also the merge currency: [`Engine::merge_snapshot`]
+/// absorbs a snapshot produced by another process.
+///
+/// ```
+/// use hh_sketches::engine::{AlgoKind, Engine, EngineConfig, Snapshot};
+///
+/// let mut e = EngineConfig::new(AlgoKind::SpaceSaving).counters(4).build::<u64>().unwrap();
+/// e.update_batch(&[1, 1, 2, 3]);
+/// let json = serde_json::to_string(&e.snapshot()).unwrap();
+/// let back: Snapshot<u64> = serde_json::from_str(&json).unwrap();
+/// assert_eq!(back.algo(), AlgoKind::SpaceSaving);
+/// let restored = Engine::from_snapshot(back).unwrap();
+/// assert_eq!(restored.estimate(&1), e.estimate(&1));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum Snapshot<I> {
+    /// SPACESAVING state.
+    SpaceSaving(SpaceSavingState<I>),
+    /// FREQUENT state.
+    Frequent(FrequentState<I>),
+    /// LOSSYCOUNTING state.
+    LossyCounting(LossyCountingState<I>),
+    /// STICKY SAMPLING state.
+    StickySampling(StickySamplingState<I>),
+    /// Count-Min state.
+    CountMin(CountMinState<I>),
+    /// Count-Sketch state.
+    CountSketch(CountSketchState<I>),
+    /// Weighted SPACESAVINGR state.
+    SpaceSavingR(SpaceSavingRState<I>),
+    /// Weighted FREQUENTR state.
+    FrequentR(FrequentRState<I>),
+}
+
+impl<I> Snapshot<I> {
+    /// The algorithm the snapshot came from (weighted variants report
+    /// their unweighted [`AlgoKind`]).
+    ///
+    /// ```
+    /// use hh_sketches::engine::{AlgoKind, EngineConfig};
+    /// let e = EngineConfig::new(AlgoKind::Frequent).counters(4).build::<u64>().unwrap();
+    /// assert_eq!(e.snapshot().algo(), AlgoKind::Frequent);
+    /// ```
+    pub fn algo(&self) -> AlgoKind {
+        match self {
+            Snapshot::SpaceSaving(_) | Snapshot::SpaceSavingR(_) => AlgoKind::SpaceSaving,
+            Snapshot::Frequent(_) | Snapshot::FrequentR(_) => AlgoKind::Frequent,
+            Snapshot::LossyCounting(_) => AlgoKind::LossyCounting,
+            Snapshot::StickySampling(_) => AlgoKind::StickySampling,
+            Snapshot::CountMin(_) => AlgoKind::CountMin,
+            Snapshot::CountSketch(_) => AlgoKind::CountSketch,
+        }
+    }
+
+    /// Whether this is a weighted (Section 6.1) snapshot.
+    pub fn is_weighted(&self) -> bool {
+        matches!(self, Snapshot::SpaceSavingR(_) | Snapshot::FrequentR(_))
+    }
+
+    fn tag(&self) -> &'static str {
+        match self {
+            Snapshot::SpaceSaving(_) => "space_saving",
+            Snapshot::Frequent(_) => "frequent",
+            Snapshot::LossyCounting(_) => "lossy_counting",
+            Snapshot::StickySampling(_) => "sticky_sampling",
+            Snapshot::CountMin(_) => "count_min",
+            Snapshot::CountSketch(_) => "count_sketch",
+            Snapshot::SpaceSavingR(_) => "space_saving_r",
+            Snapshot::FrequentR(_) => "frequent_r",
+        }
+    }
+}
+
+// The vendored serde derive handles plain structs only, so the enum's
+// externally-tagged encoding ({"algo": tag, "state": {...}}) is written by
+// hand on top of the derived per-variant state impls.
+impl<I: Serialize> Serialize for Snapshot<I> {
+    fn to_value(&self) -> Value {
+        let state = match self {
+            Snapshot::SpaceSaving(s) => s.to_value(),
+            Snapshot::Frequent(s) => s.to_value(),
+            Snapshot::LossyCounting(s) => s.to_value(),
+            Snapshot::StickySampling(s) => s.to_value(),
+            Snapshot::CountMin(s) => s.to_value(),
+            Snapshot::CountSketch(s) => s.to_value(),
+            Snapshot::SpaceSavingR(s) => s.to_value(),
+            Snapshot::FrequentR(s) => s.to_value(),
+        };
+        Value::Object(vec![
+            ("algo".to_string(), Value::String(self.tag().to_string())),
+            ("state".to_string(), state),
+        ])
+    }
+}
+
+impl<I: Deserialize> Deserialize for Snapshot<I> {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        let entries = v
+            .as_object()
+            .ok_or_else(|| serde::Error::custom(format!("expected snapshot object, got {v:?}")))?;
+        let tag_value = serde::get_field(entries, "algo")?;
+        let tag = tag_value
+            .as_str()
+            .ok_or_else(|| serde::Error::custom("snapshot `algo` tag must be a string"))?;
+        let state = serde::get_field(entries, "state")?;
+        match tag {
+            "space_saving" => Ok(Snapshot::SpaceSaving(Deserialize::from_value(state)?)),
+            "frequent" => Ok(Snapshot::Frequent(Deserialize::from_value(state)?)),
+            "lossy_counting" => Ok(Snapshot::LossyCounting(Deserialize::from_value(state)?)),
+            "sticky_sampling" => Ok(Snapshot::StickySampling(Deserialize::from_value(state)?)),
+            "count_min" => Ok(Snapshot::CountMin(Deserialize::from_value(state)?)),
+            "count_sketch" => Ok(Snapshot::CountSketch(Deserialize::from_value(state)?)),
+            "space_saving_r" => Ok(Snapshot::SpaceSavingR(Deserialize::from_value(state)?)),
+            "frequent_r" => Ok(Snapshot::FrequentR(Deserialize::from_value(state)?)),
+            other => Err(serde::Error::custom(format!(
+                "unknown snapshot algo tag {other:?}"
+            ))),
+        }
+    }
+}
+
+fn mismatch<I>(expected: &'static str, found: &Snapshot<I>) -> Error {
+    Error::SnapshotMismatch {
+        expected: expected.to_string(),
+        found: found.tag().to_string(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Backend plumbing
+// ---------------------------------------------------------------------------
+
+/// Object-safe extension every engine backend implements on top of
+/// [`FrequencyEstimator`]: snapshot capture and snapshot absorption.
+trait Backend<I: EngineItem>: FrequencyEstimator<I> {
+    fn snapshot(&self) -> Snapshot<I>;
+    fn absorb(&mut self, snap: &Snapshot<I>) -> Result<(), Error>;
+}
+
+impl<I: EngineItem> Backend<I> for SpaceSaving<I> {
+    fn snapshot(&self) -> Snapshot<I> {
+        Snapshot::SpaceSaving(SpaceSavingState {
+            capacity: self.capacity(),
+            stream_len: self.stream_len(),
+            absorbed_slack: self.absorbed_slack(),
+            entries: self.entries_with_err(),
+        })
+    }
+
+    fn absorb(&mut self, snap: &Snapshot<I>) -> Result<(), Error> {
+        let Snapshot::SpaceSaving(state) = snap else {
+            return Err(mismatch("space_saving", snap));
+        };
+        // replay the counters carrying their overcount bounds (sound lower
+        // bounds) and widen the upper-bound slack by the donor's Δ (sound
+        // upper bounds for items the donor did not store)
+        self.absorb_parts(&state.entries, state.capacity, state.absorbed_slack);
+        Ok(())
+    }
+}
+
+impl<I: EngineItem> Backend<I> for Frequent<I> {
+    fn snapshot(&self) -> Snapshot<I> {
+        Snapshot::Frequent(FrequentState {
+            capacity: self.capacity(),
+            stream_len: self.stream_len(),
+            decrements: self.decrements(),
+            entries: self.entries(),
+        })
+    }
+
+    fn absorb(&mut self, snap: &Snapshot<I>) -> Result<(), Error> {
+        let Snapshot::Frequent(state) = snap else {
+            return Err(mismatch("frequent", snap));
+        };
+        // replay the counters and fold in the donor's decrement rounds and
+        // unstored stream mass, keeping upper bounds and F1 sound
+        self.absorb_parts(&state.entries, state.decrements, state.stream_len);
+        Ok(())
+    }
+}
+
+impl<I: EngineItem> Backend<I> for LossyCounting<I> {
+    fn snapshot(&self) -> Snapshot<I> {
+        Snapshot::LossyCounting(LossyCountingState {
+            width: self.width(),
+            window: self.window(),
+            stream_len: self.stream_len(),
+            max_table: self.max_table_len(),
+            entries: self.entries_with_delta(),
+        })
+    }
+
+    fn absorb(&mut self, snap: &Snapshot<I>) -> Result<(), Error> {
+        let Snapshot::LossyCounting(state) = snap else {
+            return Err(mismatch("lossy_counting", snap));
+        };
+        // Manku–Motwani distributed merge: counts and deltas add, the
+        // absent side contributing its window bound — see
+        // `LossyCounting::absorb_parts`
+        self.absorb_parts(state.entries.clone(), state.window, state.stream_len);
+        Ok(())
+    }
+}
+
+impl<I: EngineItem> Backend<I> for StickySampling<I> {
+    fn snapshot(&self) -> Snapshot<I> {
+        Snapshot::StickySampling(StickySamplingState {
+            epsilon: self.epsilon(),
+            window: self.window(),
+            rate: self.rate(),
+            until_double: self.until_double(),
+            rng_state: self.rng_state(),
+            stream_len: self.stream_len(),
+            max_table: self.max_table_len(),
+            entries: self.entries_sorted(),
+        })
+    }
+
+    fn absorb(&mut self, snap: &Snapshot<I>) -> Result<(), Error> {
+        let Snapshot::StickySampling(state) = snap else {
+            return Err(mismatch("sticky_sampling", snap));
+        };
+        // O(m) table union — replaying through the sampler would cost
+        // O(total count) coin flips and re-thin the donor's sample
+        self.absorb_parts(state.entries.clone(), state.stream_len);
+        Ok(())
+    }
+}
+
+impl<I: EngineItem> Backend<I> for SketchHeavyHitters<I, CountMin<I>> {
+    fn snapshot(&self) -> Snapshot<I> {
+        let sketch = self.sketch();
+        Snapshot::CountMin(CountMinState {
+            depth: sketch.depth(),
+            width: sketch.width(),
+            seed: sketch.seed(),
+            conservative: sketch.rule() == UpdateRule::Conservative,
+            stream_len: sketch.stream_len(),
+            cells: sketch.cells().to_vec(),
+            candidates: self.candidate_items(),
+            cap: self.candidate_cap(),
+        })
+    }
+
+    fn absorb(&mut self, snap: &Snapshot<I>) -> Result<(), Error> {
+        let Snapshot::CountMin(state) = snap else {
+            return Err(mismatch("count_min", snap));
+        };
+        let rule = if state.conservative {
+            UpdateRule::Conservative
+        } else {
+            UpdateRule::Classic
+        };
+        let other_sketch = CountMin::from_parts(
+            state.depth,
+            state.width,
+            state.seed,
+            rule,
+            state.stream_len,
+            state.cells.clone(),
+        )?;
+        let other = SketchHeavyHitters::from_parts(
+            other_sketch,
+            state.candidates.clone(),
+            state.cap.max(1),
+        )?;
+        self.merge_from(&other, |a, b| a.merge_from(b))
+    }
+}
+
+impl<I: EngineItem> Backend<I> for SketchHeavyHitters<I, CountSketch<I>> {
+    fn snapshot(&self) -> Snapshot<I> {
+        let sketch = self.sketch();
+        Snapshot::CountSketch(CountSketchState {
+            depth: sketch.depth(),
+            width: sketch.width(),
+            seed: sketch.seed(),
+            stream_len: sketch.stream_len(),
+            cells: sketch.cells().to_vec(),
+            candidates: self.candidate_items(),
+            cap: self.candidate_cap(),
+        })
+    }
+
+    fn absorb(&mut self, snap: &Snapshot<I>) -> Result<(), Error> {
+        let Snapshot::CountSketch(state) = snap else {
+            return Err(mismatch("count_sketch", snap));
+        };
+        let other_sketch = CountSketch::from_parts(
+            state.depth,
+            state.width,
+            state.seed,
+            state.stream_len,
+            state.cells.clone(),
+        )?;
+        let other = SketchHeavyHitters::from_parts(
+            other_sketch,
+            state.candidates.clone(),
+            state.cap.max(1),
+        )?;
+        self.merge_from(&other, |a, b| a.merge_from(b))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The engine handle
+// ---------------------------------------------------------------------------
+
+/// A uniform, object-safe handle over any configured backend.
+///
+/// `Engine` itself implements [`FrequencyEstimator`], so everything in the
+/// workspace that is generic over estimators — `check_tail`, `k_sparse`,
+/// `merge_k_sparse`, `parallel_summarize`, `TopKMonitor` — drives engines
+/// unchanged.
+///
+/// ```
+/// use hh_sketches::engine::{AlgoKind, EngineConfig};
+/// use hh_counters::FrequencyEstimator;
+///
+/// let mut e = EngineConfig::new(AlgoKind::Frequent).counters(8).build().unwrap();
+/// e.update("the".to_string());
+/// e.update("the".to_string());
+/// assert_eq!(e.estimate(&"the".to_string()), 2);
+/// assert_eq!(e.stored_len(), 1);
+/// ```
+pub struct Engine<I: EngineItem> {
+    backend: Box<dyn Backend<I> + Send>,
+    kind: AlgoKind,
+}
+
+impl<I: EngineItem> fmt::Debug for Engine<I> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Engine")
+            .field("algo", &self.kind)
+            .field("capacity", &self.backend.capacity())
+            .field("stored_len", &self.backend.stored_len())
+            .field("stream_len", &self.backend.stream_len())
+            .finish()
+    }
+}
+
+impl<I: EngineItem> Engine<I> {
+    /// The algorithm this engine runs.
+    ///
+    /// ```
+    /// use hh_sketches::engine::{AlgoKind, EngineConfig};
+    /// let e = EngineConfig::new(AlgoKind::CountSketch).counters(64).build::<u64>().unwrap();
+    /// assert_eq!(e.algo(), AlgoKind::CountSketch);
+    /// ```
+    pub fn algo(&self) -> AlgoKind {
+        self.kind
+    }
+
+    /// Short human-readable backend name (e.g. `"SpaceSaving"`,
+    /// `"CountMin(CU)"`).
+    pub fn name(&self) -> &'static str {
+        self.backend.name()
+    }
+
+    /// The space budget `m` the backend was built with (for sketches:
+    /// cells plus candidate slots).
+    pub fn capacity(&self) -> usize {
+        self.backend.capacity()
+    }
+
+    /// Processes one occurrence of `item`.
+    pub fn update(&mut self, item: I) {
+        self.backend.update(item);
+    }
+
+    /// Processes `count` occurrences of `item` at once.
+    pub fn update_by(&mut self, item: I, count: u64) {
+        self.backend.update_by(item, count);
+    }
+
+    /// Processes a slice of arrivals through the backend's batched fast
+    /// path (run-length aggregated where the backend supports it).
+    pub fn update_batch(&mut self, items: &[I]) {
+        self.backend.update_batch(items);
+    }
+
+    /// The backend's point estimate `c_i` (0 for unstored items).
+    pub fn estimate(&self, item: &I) -> u64 {
+        self.backend.estimate(item)
+    }
+
+    /// Number of items currently stored.
+    pub fn stored_len(&self) -> usize {
+        self.backend.stored_len()
+    }
+
+    /// Stored `(item, estimate)` pairs, sorted by decreasing estimate.
+    pub fn entries(&self) -> Vec<(I, u64)> {
+        self.backend.entries()
+    }
+
+    /// Total stream length consumed so far (`F1`).
+    pub fn stream_len(&self) -> u64 {
+        self.backend.stream_len()
+    }
+
+    /// The backend's bias direction.
+    pub fn bias(&self) -> Bias {
+        self.backend.bias()
+    }
+
+    /// The `(A, B)` tail constants proved for the backend, if any.
+    pub fn tail_constants(&self) -> Option<TailConstants> {
+        self.backend.tail_constants()
+    }
+
+    /// The unified query surface over this engine's current state.
+    ///
+    /// ```
+    /// use hh_sketches::engine::{AlgoKind, EngineConfig};
+    /// let mut e = EngineConfig::new(AlgoKind::SpaceSaving).counters(8).build::<u64>().unwrap();
+    /// e.update_batch(&[5, 5, 5, 9]);
+    /// assert_eq!(e.report().top_k(1)[0].item, 5);
+    /// ```
+    pub fn report(&self) -> Report<'_, I> {
+        Report { engine: self }
+    }
+
+    /// Captures the engine's full state as a portable [`Snapshot`].
+    pub fn snapshot(&self) -> Snapshot<I> {
+        self.backend.snapshot()
+    }
+
+    /// Rehydrates an engine from a snapshot; the restored engine answers
+    /// every query identically to the captured one and continues the
+    /// stream bit-identically.
+    ///
+    /// Fails with [`Error::CorruptSnapshot`] on inconsistent state, or
+    /// [`Error::Unsupported`] for weighted snapshots (use
+    /// [`WeightedEngine::from_snapshot`]).
+    ///
+    /// ```
+    /// use hh_sketches::engine::{AlgoKind, Engine, EngineConfig};
+    /// let mut e = EngineConfig::new(AlgoKind::LossyCounting).counters(8).build::<u64>().unwrap();
+    /// e.update_batch(&[1, 1, 2]);
+    /// let restored = Engine::from_snapshot(e.snapshot()).unwrap();
+    /// assert_eq!(restored.estimate(&1), 2);
+    /// ```
+    pub fn from_snapshot(snap: Snapshot<I>) -> Result<Self, Error> {
+        let (kind, backend): (AlgoKind, Box<dyn Backend<I> + Send>) = match snap {
+            Snapshot::SpaceSaving(s) => (
+                AlgoKind::SpaceSaving,
+                Box::new(SpaceSaving::from_parts(
+                    s.capacity,
+                    s.stream_len,
+                    s.absorbed_slack,
+                    s.entries,
+                )?),
+            ),
+            Snapshot::Frequent(s) => (
+                AlgoKind::Frequent,
+                Box::new(Frequent::from_parts(
+                    s.capacity,
+                    s.stream_len,
+                    s.decrements,
+                    s.entries,
+                )?),
+            ),
+            Snapshot::LossyCounting(s) => (
+                AlgoKind::LossyCounting,
+                Box::new(LossyCounting::from_parts(
+                    s.width,
+                    s.window,
+                    s.stream_len,
+                    s.max_table,
+                    s.entries,
+                )?),
+            ),
+            Snapshot::StickySampling(s) => (
+                AlgoKind::StickySampling,
+                Box::new(StickySampling::from_parts(
+                    s.epsilon,
+                    s.window,
+                    s.rate,
+                    s.until_double,
+                    s.rng_state,
+                    s.stream_len,
+                    s.max_table,
+                    s.entries,
+                )?),
+            ),
+            Snapshot::CountMin(s) => {
+                let rule = if s.conservative {
+                    UpdateRule::Conservative
+                } else {
+                    UpdateRule::Classic
+                };
+                let sketch =
+                    CountMin::from_parts(s.depth, s.width, s.seed, rule, s.stream_len, s.cells)?;
+                (
+                    AlgoKind::CountMin,
+                    Box::new(SketchHeavyHitters::from_parts(sketch, s.candidates, s.cap)?),
+                )
+            }
+            Snapshot::CountSketch(s) => {
+                let sketch =
+                    CountSketch::from_parts(s.depth, s.width, s.seed, s.stream_len, s.cells)?;
+                (
+                    AlgoKind::CountSketch,
+                    Box::new(SketchHeavyHitters::from_parts(sketch, s.candidates, s.cap)?),
+                )
+            }
+            weighted @ (Snapshot::SpaceSavingR(_) | Snapshot::FrequentR(_)) => {
+                return Err(Error::Unsupported {
+                    algo: weighted.algo().name().to_string(),
+                    operation: "rehydrating a weighted snapshot into an unweighted Engine",
+                })
+            }
+        };
+        Ok(Engine { backend, kind })
+    }
+
+    /// Absorbs a snapshot produced elsewhere (another process, an earlier
+    /// run) into this engine — the cross-process merge primitive.
+    ///
+    /// Counter backends replay the snapshot's stored counters (the
+    /// full-replay variant of Theorem 11's merge, so two merged `(A, B)`
+    /// summaries keep a `(3A, A+B)` tail guarantee) while folding in the
+    /// donor's bound bookkeeping — SPACESAVING error annotations, FREQUENT
+    /// decrement rounds, LOSSYCOUNTING deltas — so per-item `(lower,
+    /// upper)` intervals stay sound after the merge and `stream_len`
+    /// reports the true combined `F1`. STICKY SAMPLING merges by O(m)
+    /// table union; sketch backends add cell-wise and re-rank the
+    /// candidate union. Fails with [`Error::SnapshotMismatch`] when
+    /// algorithms (or sketch shapes) differ.
+    pub fn merge_snapshot(&mut self, snap: &Snapshot<I>) -> Result<(), Error> {
+        self.backend.absorb(snap)
+    }
+
+    /// Merges another engine of the same configuration into this one (see
+    /// [`Engine::merge_snapshot`]).
+    ///
+    /// ```
+    /// use hh_sketches::engine::{AlgoKind, EngineConfig};
+    /// let config = EngineConfig::new(AlgoKind::SpaceSaving).counters(8);
+    /// let mut a = config.build::<u64>().unwrap();
+    /// let mut b = config.build::<u64>().unwrap();
+    /// a.update_batch(&[1, 1, 2]);
+    /// b.update_batch(&[1, 3]);
+    /// a.merge(&b).unwrap();
+    /// assert_eq!(a.stream_len(), 5);
+    /// assert_eq!(a.estimate(&1), 3);
+    /// ```
+    pub fn merge(&mut self, other: &Engine<I>) -> Result<(), Error> {
+        self.backend.absorb(&other.snapshot())
+    }
+
+    /// Serializes the engine's snapshot to JSON.
+    ///
+    /// ```
+    /// use hh_sketches::engine::{AlgoKind, EngineConfig};
+    /// let e = EngineConfig::new(AlgoKind::SpaceSaving).counters(4).build::<u64>().unwrap();
+    /// assert!(e.to_json().unwrap().contains("space_saving"));
+    /// ```
+    pub fn to_json(&self) -> Result<String, Error>
+    where
+        I: Serialize,
+    {
+        Ok(serde_json::to_string(&self.snapshot())?)
+    }
+
+    /// Rehydrates an engine from [`Engine::to_json`] output.
+    ///
+    /// ```
+    /// use hh_sketches::engine::{AlgoKind, Engine, EngineConfig};
+    /// let mut e = EngineConfig::new(AlgoKind::Frequent).counters(4).build::<u64>().unwrap();
+    /// e.update_batch(&[1, 1, 2]);
+    /// let back: Engine<u64> = Engine::from_json(&e.to_json().unwrap()).unwrap();
+    /// assert_eq!(back.estimate(&1), e.estimate(&1));
+    /// ```
+    pub fn from_json(json: &str) -> Result<Self, Error>
+    where
+        I: Deserialize,
+    {
+        let snap: Snapshot<I> = serde_json::from_str(json)?;
+        Self::from_snapshot(snap)
+    }
+}
+
+impl<I: EngineItem> FrequencyEstimator<I> for Engine<I> {
+    fn name(&self) -> &'static str {
+        self.backend.name()
+    }
+
+    fn capacity(&self) -> usize {
+        self.backend.capacity()
+    }
+
+    fn update(&mut self, item: I) {
+        self.backend.update(item)
+    }
+
+    fn update_by(&mut self, item: I, count: u64) {
+        self.backend.update_by(item, count)
+    }
+
+    fn update_batch(&mut self, items: &[I]) {
+        self.backend.update_batch(items)
+    }
+
+    fn estimate(&self, item: &I) -> u64 {
+        self.backend.estimate(item)
+    }
+
+    fn stored_len(&self) -> usize {
+        self.backend.stored_len()
+    }
+
+    fn entries(&self) -> Vec<(I, u64)> {
+        self.backend.entries()
+    }
+
+    fn stream_len(&self) -> u64 {
+        self.backend.stream_len()
+    }
+
+    fn bias(&self) -> Bias {
+        self.backend.bias()
+    }
+
+    fn error_term(&self, item: &I) -> Option<u64> {
+        self.backend.error_term(item)
+    }
+
+    fn lower_estimate(&self, item: &I) -> u64 {
+        self.backend.lower_estimate(item)
+    }
+
+    fn upper_estimate(&self, item: &I) -> u64 {
+        self.backend.upper_estimate(item)
+    }
+
+    fn tail_constants(&self) -> Option<TailConstants> {
+        self.backend.tail_constants()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The query surface
+// ---------------------------------------------------------------------------
+
+/// One reported item with its certified frequency interval.
+///
+/// `lower ≤ f_item ≤ upper` always holds for deterministic backends (for
+/// STICKY SAMPLING the bounds are the trivial ones its probabilistic
+/// guarantee allows).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReportEntry<I> {
+    /// The item.
+    pub item: I,
+    /// The backend's point estimate.
+    pub estimate: u64,
+    /// Certified lower bound on the true frequency.
+    pub lower: u64,
+    /// Certified upper bound on the true frequency.
+    pub upper: u64,
+}
+
+/// One reported φ-heavy hitter: a [`ReportEntry`] plus its confidence
+/// label, unified across over- and under-estimating backends.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HeavyHitterEntry<I> {
+    /// The item.
+    pub item: I,
+    /// The backend's point estimate.
+    pub estimate: u64,
+    /// Certified lower bound on the true frequency.
+    pub lower: u64,
+    /// Certified upper bound on the true frequency.
+    pub upper: u64,
+    /// Guaranteed (`lower > φF1`) or merely potential (`upper > φF1`).
+    pub confidence: Confidence,
+}
+
+/// The one query surface every engine answers: top-k, φ-heavy hitters,
+/// residual estimation, and per-item bound intervals.
+///
+/// Borrowed from [`Engine::report`]; queries never mutate the engine.
+///
+/// ```
+/// use hh_sketches::engine::{AlgoKind, EngineConfig};
+/// use hh_counters::Confidence;
+///
+/// let mut e = EngineConfig::new(AlgoKind::Frequent).counters(16).build::<u64>().unwrap();
+/// e.update_batch(&[7, 7, 7, 7, 7, 7, 1, 2, 3, 4]);
+/// let report = e.report();
+/// assert_eq!(report.top_k(1)[0].item, 7);
+/// // 7 carries 60% of the stream: a guaranteed 0.5-heavy hitter
+/// let hh = report.heavy_hitters(0.5).unwrap();
+/// assert_eq!(hh[0].item, 7);
+/// assert_eq!(hh[0].confidence, Confidence::Guaranteed);
+/// // residual mass after removing the top-1
+/// assert_eq!(report.residual(1), 4);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Report<'a, I: EngineItem> {
+    engine: &'a Engine<I>,
+}
+
+impl<I: EngineItem> Report<'_, I> {
+    /// The certified `(lower, upper)` frequency interval for any item,
+    /// stored or not.
+    ///
+    /// ```
+    /// use hh_sketches::engine::{AlgoKind, EngineConfig};
+    /// let mut e = EngineConfig::new(AlgoKind::SpaceSaving).counters(8).build::<u64>().unwrap();
+    /// e.update_batch(&[1, 1, 2]);
+    /// assert_eq!(e.report().interval(&1), (2, 2)); // table not full: exact
+    /// ```
+    pub fn interval(&self, item: &I) -> (u64, u64) {
+        (
+            self.engine.lower_estimate(item),
+            self.engine.upper_estimate(item),
+        )
+    }
+
+    /// Every stored entry with its bound interval, sorted by decreasing
+    /// estimate (ties broken by the backend's eviction order).
+    pub fn entries(&self) -> Vec<ReportEntry<I>> {
+        self.engine
+            .entries()
+            .into_iter()
+            .map(|(item, estimate)| {
+                let (lower, upper) = self.interval(&item);
+                ReportEntry {
+                    item,
+                    estimate,
+                    lower,
+                    upper,
+                }
+            })
+            .collect()
+    }
+
+    /// The `k` largest entries, most frequent first (subsumes the free
+    /// `topk::top_k` helper).
+    ///
+    /// ```
+    /// use hh_sketches::engine::{AlgoKind, EngineConfig};
+    /// let mut e = EngineConfig::new(AlgoKind::SpaceSaving).counters(8).build::<u64>().unwrap();
+    /// e.update_batch(&[1, 1, 1, 2, 2, 3]);
+    /// let top: Vec<u64> = e.report().top_k(2).into_iter().map(|r| r.item).collect();
+    /// assert_eq!(top, vec![1, 2]);
+    /// ```
+    pub fn top_k(&self, k: usize) -> Vec<ReportEntry<I>> {
+        let mut entries = self.entries();
+        entries.truncate(k);
+        entries
+    }
+
+    /// The φ-heavy-hitters query, unified across bias directions: every
+    /// stored item whose certified *upper* bound exceeds `phi·F1` is
+    /// returned (hence no false negatives among stored items), labelled
+    /// [`Confidence::Guaranteed`] when its *lower* bound already exceeds
+    /// the threshold and [`Confidence::Candidate`] otherwise.
+    ///
+    /// Fails with [`Error::InvalidQuery`] when `phi ∉ [0, 1)`.
+    ///
+    /// ```
+    /// use hh_sketches::engine::{AlgoKind, EngineConfig};
+    /// let mut e = EngineConfig::new(AlgoKind::SpaceSaving).counters(16).build::<u64>().unwrap();
+    /// e.update_batch(&[9, 9, 9, 9, 1, 2, 3, 4, 5, 6]);
+    /// let hh = e.report().heavy_hitters(0.3).unwrap();
+    /// assert_eq!(hh.len(), 1);
+    /// assert_eq!(hh[0].item, 9);
+    /// assert!(e.report().heavy_hitters(1.0).is_err());
+    /// ```
+    pub fn heavy_hitters(&self, phi: f64) -> Result<Vec<HeavyHitterEntry<I>>, Error> {
+        if !(0.0..1.0).contains(&phi) {
+            return Err(Error::InvalidQuery(format!(
+                "phi must be in [0, 1), got {phi}"
+            )));
+        }
+        let threshold = phi * self.engine.stream_len() as f64;
+        Ok(self
+            .entries()
+            .into_iter()
+            .filter(|e| e.upper as f64 > threshold)
+            .map(|e| {
+                let confidence = if e.lower as f64 > threshold {
+                    Confidence::Guaranteed
+                } else {
+                    Confidence::Candidate
+                };
+                HeavyHitterEntry {
+                    item: e.item,
+                    estimate: e.estimate,
+                    lower: e.lower,
+                    upper: e.upper,
+                    confidence,
+                }
+            })
+            .collect())
+    }
+
+    /// The Theorem 6 estimator of the residual tail mass `F1^res(k)`: the
+    /// stream length minus the mass of the k largest counters.
+    pub fn residual(&self, k: usize) -> u64 {
+        recovery::residual_estimate(self.engine, k)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Weighted engine
+// ---------------------------------------------------------------------------
+
+/// Object-safe extension for the Section 6.1 weighted backends.
+trait WeightedBackend<I: EngineItem>: WeightedFrequencyEstimator<I> {
+    fn lower_weight(&self, item: &I) -> f64;
+    fn upper_weight(&self, item: &I) -> f64;
+    fn snapshot(&self) -> Snapshot<I>;
+    fn absorb(&mut self, snap: &Snapshot<I>) -> Result<(), Error>;
+}
+
+impl<I: EngineItem> WeightedBackend<I> for SpaceSavingR<I> {
+    fn lower_weight(&self, item: &I) -> f64 {
+        self.guaranteed_weight(item)
+    }
+
+    fn upper_weight(&self, item: &I) -> f64 {
+        if self.err(item).is_some() {
+            // the absorbed slack covers weight a merged-in donor may have
+            // held for the item without storing it
+            self.estimate_weighted(item) + self.absorbed_slack()
+        } else {
+            // unstored: bounded by the minimum counter, whose lazy lookup
+            // needs &mut — fall back to the trivially sound total weight
+            self.total_weight()
+        }
+    }
+
+    fn snapshot(&self) -> Snapshot<I> {
+        Snapshot::SpaceSavingR(SpaceSavingRState {
+            capacity: self.capacity(),
+            total_weight: self.total_weight(),
+            absorbed_slack: self.absorbed_slack(),
+            entries: self.entries_with_err(),
+        })
+    }
+
+    fn absorb(&mut self, snap: &Snapshot<I>) -> Result<(), Error> {
+        let Snapshot::SpaceSavingR(state) = snap else {
+            return Err(mismatch("space_saving_r", snap));
+        };
+        self.absorb_parts(&state.entries, state.capacity, state.absorbed_slack);
+        Ok(())
+    }
+}
+
+impl<I: EngineItem> WeightedBackend<I> for FrequentR<I> {
+    fn lower_weight(&self, item: &I) -> f64 {
+        self.estimate_weighted(item)
+    }
+
+    fn upper_weight(&self, item: &I) -> f64 {
+        self.estimate_weighted(item) + self.reductions()
+    }
+
+    fn snapshot(&self) -> Snapshot<I> {
+        Snapshot::FrequentR(FrequentRState {
+            capacity: self.capacity(),
+            total_weight: self.total_weight(),
+            reductions: self.reductions(),
+            entries: self.entries_weighted(),
+        })
+    }
+
+    fn absorb(&mut self, snap: &Snapshot<I>) -> Result<(), Error> {
+        let Snapshot::FrequentR(state) = snap else {
+            return Err(mismatch("frequent_r", snap));
+        };
+        self.absorb_parts(&state.entries, state.reductions, state.total_weight);
+        Ok(())
+    }
+}
+
+/// The uniform handle over a real-weighted backend (SPACESAVINGR or
+/// FREQUENTR; Theorem 10 preserves the `A = B = 1` tail guarantee over the
+/// weight vector).
+///
+/// ```
+/// use hh_sketches::engine::{AlgoKind, EngineConfig};
+///
+/// let mut e = EngineConfig::new(AlgoKind::SpaceSaving)
+///     .counters(8)
+///     .build_weighted::<&'static str>()
+///     .unwrap();
+/// e.update("flow-a", 120.0);
+/// e.update("flow-b", 3.5);
+/// e.update("flow-a", 40.0);
+/// assert_eq!(e.weighted_report().top_k(1)[0].item, "flow-a");
+/// ```
+pub struct WeightedEngine<I: EngineItem> {
+    backend: Box<dyn WeightedBackend<I> + Send>,
+    kind: AlgoKind,
+}
+
+impl<I: EngineItem> fmt::Debug for WeightedEngine<I> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("WeightedEngine")
+            .field("algo", &self.kind)
+            .field("capacity", &self.backend.capacity())
+            .field("stored_len", &self.backend.stored_len())
+            .field("total_weight", &self.backend.total_weight())
+            .finish()
+    }
+}
+
+impl<I: EngineItem> WeightedEngine<I> {
+    /// The algorithm this engine runs (its unweighted [`AlgoKind`]).
+    pub fn algo(&self) -> AlgoKind {
+        self.kind
+    }
+
+    /// Processes an arrival of `item` with weight `w ≥ 0`.
+    pub fn update(&mut self, item: I, w: f64) {
+        self.backend.update_weighted(item, w);
+    }
+
+    /// The point estimate of the item's total weight.
+    pub fn estimate(&self, item: &I) -> f64 {
+        self.backend.estimate_weighted(item)
+    }
+
+    /// The unified weighted query surface.
+    pub fn weighted_report(&self) -> WeightedReport<'_, I> {
+        WeightedReport { engine: self }
+    }
+
+    /// Captures the engine's full state as a portable [`Snapshot`].
+    pub fn snapshot(&self) -> Snapshot<I> {
+        self.backend.snapshot()
+    }
+
+    /// Rehydrates a weighted engine from a snapshot.
+    ///
+    /// ```
+    /// use hh_sketches::engine::{AlgoKind, EngineConfig, WeightedEngine};
+    /// let mut e = EngineConfig::new(AlgoKind::Frequent).counters(4).build_weighted().unwrap();
+    /// e.update(1u64, 2.5);
+    /// let back = WeightedEngine::from_snapshot(e.snapshot()).unwrap();
+    /// assert!((back.estimate(&1) - 2.5).abs() < 1e-12);
+    /// ```
+    pub fn from_snapshot(snap: Snapshot<I>) -> Result<Self, Error> {
+        let (kind, backend): (AlgoKind, Box<dyn WeightedBackend<I> + Send>) = match snap {
+            Snapshot::SpaceSavingR(s) => (
+                AlgoKind::SpaceSaving,
+                Box::new(SpaceSavingR::from_parts(
+                    s.capacity,
+                    s.total_weight,
+                    s.absorbed_slack,
+                    s.entries,
+                )?),
+            ),
+            Snapshot::FrequentR(s) => (
+                AlgoKind::Frequent,
+                Box::new(FrequentR::from_parts(
+                    s.capacity,
+                    s.total_weight,
+                    s.reductions,
+                    s.entries,
+                )?),
+            ),
+            other => {
+                return Err(Error::Unsupported {
+                    algo: other.algo().name().to_string(),
+                    operation: "rehydrating an unweighted snapshot into a WeightedEngine",
+                })
+            }
+        };
+        Ok(WeightedEngine { backend, kind })
+    }
+
+    /// Absorbs a weighted snapshot (cross-process merge; the weighted
+    /// analogue of [`Engine::merge_snapshot`]).
+    pub fn merge_snapshot(&mut self, snap: &Snapshot<I>) -> Result<(), Error> {
+        self.backend.absorb(snap)
+    }
+
+    /// Merges another weighted engine into this one.
+    pub fn merge(&mut self, other: &WeightedEngine<I>) -> Result<(), Error> {
+        self.backend.absorb(&other.snapshot())
+    }
+
+    /// Serializes the engine's snapshot to JSON.
+    pub fn to_json(&self) -> Result<String, Error>
+    where
+        I: Serialize,
+    {
+        Ok(serde_json::to_string(&self.snapshot())?)
+    }
+
+    /// Rehydrates a weighted engine from [`WeightedEngine::to_json`]
+    /// output.
+    pub fn from_json(json: &str) -> Result<Self, Error>
+    where
+        I: Deserialize,
+    {
+        let snap: Snapshot<I> = serde_json::from_str(json)?;
+        Self::from_snapshot(snap)
+    }
+}
+
+impl<I: EngineItem> WeightedFrequencyEstimator<I> for WeightedEngine<I> {
+    fn name(&self) -> &'static str {
+        self.backend.name()
+    }
+
+    fn capacity(&self) -> usize {
+        self.backend.capacity()
+    }
+
+    fn update_weighted(&mut self, item: I, w: f64) {
+        self.backend.update_weighted(item, w)
+    }
+
+    fn estimate_weighted(&self, item: &I) -> f64 {
+        self.backend.estimate_weighted(item)
+    }
+
+    fn stored_len(&self) -> usize {
+        self.backend.stored_len()
+    }
+
+    fn entries_weighted(&self) -> Vec<(I, f64)> {
+        self.backend.entries_weighted()
+    }
+
+    fn total_weight(&self) -> f64 {
+        self.backend.total_weight()
+    }
+
+    fn tail_constants(&self) -> Option<TailConstants> {
+        self.backend.tail_constants()
+    }
+}
+
+/// One reported item of a weighted query, with its certified weight
+/// interval.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightedReportEntry<I> {
+    /// The item.
+    pub item: I,
+    /// The backend's point estimate of its total weight.
+    pub estimate: f64,
+    /// Certified lower bound on the true weight.
+    pub lower: f64,
+    /// Certified upper bound on the true weight.
+    pub upper: f64,
+}
+
+/// One reported weighted φ-heavy hitter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightedHeavyHitterEntry<I> {
+    /// The item.
+    pub item: I,
+    /// The backend's point estimate of its total weight.
+    pub estimate: f64,
+    /// Certified lower bound on the true weight.
+    pub lower: f64,
+    /// Certified upper bound on the true weight.
+    pub upper: f64,
+    /// Guaranteed or merely potential.
+    pub confidence: Confidence,
+}
+
+/// The weighted twin of [`Report`]: top-k, φ-heavy hitters, residual and
+/// per-item intervals over total weights.
+///
+/// ```
+/// use hh_sketches::engine::{AlgoKind, EngineConfig};
+/// use hh_counters::Confidence;
+///
+/// let mut e = EngineConfig::new(AlgoKind::SpaceSaving).counters(8).build_weighted().unwrap();
+/// e.update(1u64, 70.0);
+/// e.update(2, 20.0);
+/// e.update(3, 10.0);
+/// let hh = e.weighted_report().heavy_hitters(0.5).unwrap();
+/// assert_eq!(hh.len(), 1);
+/// assert_eq!((hh[0].item, hh[0].confidence), (1, Confidence::Guaranteed));
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct WeightedReport<'a, I: EngineItem> {
+    engine: &'a WeightedEngine<I>,
+}
+
+impl<I: EngineItem> WeightedReport<'_, I> {
+    /// The certified `(lower, upper)` weight interval for any item.
+    pub fn interval(&self, item: &I) -> (f64, f64) {
+        (
+            self.engine.backend.lower_weight(item),
+            self.engine.backend.upper_weight(item),
+        )
+    }
+
+    /// Every stored entry with its weight interval, heaviest first.
+    pub fn entries(&self) -> Vec<WeightedReportEntry<I>> {
+        self.engine
+            .backend
+            .entries_weighted()
+            .into_iter()
+            .map(|(item, estimate)| {
+                let (lower, upper) = self.interval(&item);
+                WeightedReportEntry {
+                    item,
+                    estimate,
+                    lower,
+                    upper,
+                }
+            })
+            .collect()
+    }
+
+    /// The `k` heaviest entries.
+    pub fn top_k(&self, k: usize) -> Vec<WeightedReportEntry<I>> {
+        let mut entries = self.entries();
+        entries.truncate(k);
+        entries
+    }
+
+    /// The weighted φ-heavy-hitters query (threshold `phi` of the total
+    /// weight), with the same no-false-negative/labelling contract as
+    /// [`Report::heavy_hitters`].
+    pub fn heavy_hitters(&self, phi: f64) -> Result<Vec<WeightedHeavyHitterEntry<I>>, Error> {
+        if !(0.0..1.0).contains(&phi) {
+            return Err(Error::InvalidQuery(format!(
+                "phi must be in [0, 1), got {phi}"
+            )));
+        }
+        let threshold = phi * self.engine.backend.total_weight();
+        Ok(self
+            .entries()
+            .into_iter()
+            .filter(|e| e.upper > threshold)
+            .map(|e| {
+                let confidence = if e.lower > threshold {
+                    Confidence::Guaranteed
+                } else {
+                    Confidence::Candidate
+                };
+                WeightedHeavyHitterEntry {
+                    item: e.item,
+                    estimate: e.estimate,
+                    lower: e.lower,
+                    upper: e.upper,
+                    confidence,
+                }
+            })
+            .collect())
+    }
+
+    /// The weighted Theorem 6 residual estimator: total weight minus the
+    /// mass of the k heaviest counters.
+    pub fn residual(&self, k: usize) -> f64 {
+        recovery::residual_estimate_weighted(self.engine, k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stream() -> Vec<u64> {
+        (0..2000).map(|i| (i * i + 7 * i) % 53).collect()
+    }
+
+    #[test]
+    fn every_algo_builds_and_ingests() {
+        for algo in AlgoKind::ALL {
+            let mut e = EngineConfig::new(algo)
+                .counters(64)
+                .seed(5)
+                .build::<u64>()
+                .expect("builds");
+            e.update_batch(&stream());
+            assert_eq!(e.stream_len(), 2000, "{algo}");
+            assert_eq!(e.algo(), algo);
+            assert!(!e.report().top_k(3).is_empty(), "{algo}");
+        }
+    }
+
+    #[test]
+    fn intervals_bracket_truth_for_deterministic_backends() {
+        let s = stream();
+        let exact = |i: u64| s.iter().filter(|&&x| x == i).count() as u64;
+        for algo in [
+            AlgoKind::SpaceSaving,
+            AlgoKind::Frequent,
+            AlgoKind::LossyCounting,
+            AlgoKind::CountMin,
+        ] {
+            let mut e = EngineConfig::new(algo).counters(64).build::<u64>().unwrap();
+            e.update_batch(&s);
+            let report = e.report();
+            for i in 0..53u64 {
+                let (lo, hi) = report.interval(&i);
+                let f = exact(i);
+                assert!(
+                    lo <= f && f <= hi,
+                    "{algo} item {i}: {f} not in [{lo}, {hi}]"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn heavy_hitters_match_free_functions() {
+        use hh_counters::{frequent_heavy_hitters, spacesaving_heavy_hitters};
+        let mut s = vec![1u64; 300];
+        s.extend(std::iter::repeat_n(2u64, 150));
+        s.extend((0..30u64).flat_map(|i| std::iter::repeat_n(100 + i, 10)));
+
+        let mut ss = SpaceSaving::new(16);
+        ss.update_batch(&s);
+        let mut engine = EngineConfig::new(AlgoKind::SpaceSaving)
+            .counters(16)
+            .build::<u64>()
+            .unwrap();
+        engine.update_batch(&s);
+        let via_engine = engine.report().heavy_hitters(0.15).unwrap();
+        let via_free = spacesaving_heavy_hitters(&ss, 0.15);
+        assert_eq!(via_engine.len(), via_free.len());
+        for (a, b) in via_engine.iter().zip(&via_free) {
+            assert_eq!(
+                (a.item, a.estimate, a.confidence),
+                (b.item, b.estimate, b.confidence)
+            );
+        }
+
+        let mut fr = Frequent::new(16);
+        fr.update_batch(&s);
+        let mut engine = EngineConfig::new(AlgoKind::Frequent)
+            .counters(16)
+            .build::<u64>()
+            .unwrap();
+        engine.update_batch(&s);
+        let via_engine = engine.report().heavy_hitters(0.15).unwrap();
+        let via_free = frequent_heavy_hitters(&fr, 0.15);
+        assert_eq!(via_engine.len(), via_free.len());
+        for (a, b) in via_engine.iter().zip(&via_free) {
+            assert_eq!(
+                (a.item, a.estimate, a.confidence),
+                (b.item, b.estimate, b.confidence)
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_roundtrips_for_every_algo() {
+        for algo in AlgoKind::ALL {
+            let mut e = EngineConfig::new(algo)
+                .counters(48)
+                .seed(11)
+                .build::<u64>()
+                .unwrap();
+            e.update_batch(&stream());
+            let json = e.to_json().expect("serialize");
+            let mut back: Engine<u64> = Engine::from_json(&json).expect("deserialize");
+            assert_eq!(back.algo(), algo);
+            assert_eq!(back.stream_len(), e.stream_len());
+            for i in 0..53u64 {
+                assert_eq!(back.estimate(&i), e.estimate(&i), "{algo} item {i}");
+                assert_eq!(
+                    back.report().interval(&i),
+                    e.report().interval(&i),
+                    "{algo} item {i} interval"
+                );
+            }
+            // restored engines continue identically (incl. RNG state)
+            let suffix: Vec<u64> = (0..500).map(|i| (i * 13) % 61).collect();
+            e.update_batch(&suffix);
+            back.update_batch(&suffix);
+            for i in 0..61u64 {
+                assert_eq!(back.estimate(&i), e.estimate(&i), "{algo} after resume");
+            }
+        }
+    }
+
+    #[test]
+    fn merge_rejects_cross_algo() {
+        let mut a = EngineConfig::new(AlgoKind::SpaceSaving)
+            .counters(8)
+            .build::<u64>()
+            .unwrap();
+        let b = EngineConfig::new(AlgoKind::Frequent)
+            .counters(8)
+            .build::<u64>()
+            .unwrap();
+        assert!(matches!(a.merge(&b), Err(Error::SnapshotMismatch { .. })));
+    }
+
+    #[test]
+    fn sketch_merge_is_cellwise() {
+        let config = EngineConfig::new(AlgoKind::CountMin).counters(128).seed(9);
+        let mut a = config.build::<u64>().unwrap();
+        let mut b = config.build::<u64>().unwrap();
+        let mut whole = config.build::<u64>().unwrap();
+        for i in 0..600u64 {
+            let x = i % 37;
+            if i % 2 == 0 {
+                a.update(x);
+            } else {
+                b.update(x);
+            }
+            whole.update(x);
+        }
+        a.merge(&b).expect("same config");
+        assert_eq!(a.stream_len(), 600);
+        for i in 0..37u64 {
+            assert_eq!(a.estimate(&i), whole.estimate(&i), "CM merge linearity");
+        }
+        // differently-seeded sketches refuse to merge
+        let other = EngineConfig::new(AlgoKind::CountMin)
+            .counters(128)
+            .seed(10)
+            .build::<u64>()
+            .unwrap();
+        assert!(a.merge(&other).is_err());
+    }
+
+    #[test]
+    fn weighted_engine_roundtrip_and_merge() {
+        for algo in [AlgoKind::SpaceSaving, AlgoKind::Frequent] {
+            let config = EngineConfig::new(algo).counters(8);
+            let mut a = config.build_weighted::<u64>().unwrap();
+            a.update(1, 5.0);
+            a.update(2, 2.5);
+            let back = WeightedEngine::from_json(&a.to_json().unwrap()).unwrap();
+            assert!((back.estimate(&1) - a.estimate(&1)).abs() < 1e-12, "{algo}");
+            let mut b = config.build_weighted::<u64>().unwrap();
+            b.update(1, 3.0);
+            a.merge(&b).unwrap();
+            assert!(a.estimate(&1) >= 8.0 - 1e-9, "{algo}");
+        }
+    }
+
+    #[test]
+    fn weighted_and_unweighted_snapshots_do_not_cross() {
+        let e = EngineConfig::new(AlgoKind::SpaceSaving)
+            .counters(4)
+            .build::<u64>()
+            .unwrap();
+        assert!(WeightedEngine::from_snapshot(e.snapshot()).is_err());
+        let w = EngineConfig::new(AlgoKind::SpaceSaving)
+            .counters(4)
+            .build_weighted::<u64>()
+            .unwrap();
+        assert!(Engine::from_snapshot(w.snapshot()).is_err());
+    }
+
+    #[test]
+    fn corrupt_snapshots_are_rejected() {
+        let snap = Snapshot::SpaceSaving(SpaceSavingState {
+            capacity: 2,
+            stream_len: 100, // inconsistent with entries
+            absorbed_slack: 0,
+            entries: vec![(1u64, 3, 0)],
+        });
+        assert!(matches!(
+            Engine::from_snapshot(snap),
+            Err(Error::CorruptSnapshot(_))
+        ));
+        let snap = Snapshot::Frequent(FrequentState {
+            capacity: 1,
+            stream_len: 10,
+            decrements: 0,
+            entries: vec![(1u64, 3), (2, 2)],
+        });
+        assert!(Engine::from_snapshot(snap).is_err());
+    }
+
+    #[test]
+    fn capacity_specs_validate() {
+        assert!(EngineConfig::new(AlgoKind::SpaceSaving)
+            .counters(0)
+            .build::<u64>()
+            .is_err());
+        assert!(EngineConfig::new(AlgoKind::SpaceSaving)
+            .error_rate(1.5, 4)
+            .build::<u64>()
+            .is_err());
+        assert!(EngineConfig::new(AlgoKind::SpaceSaving)
+            .heavy_hitter_phi(0.0)
+            .build::<u64>()
+            .is_err());
+        assert!(EngineConfig::new(AlgoKind::CountMin)
+            .counters(8) // below the 16-cell sketch minimum
+            .build::<u64>()
+            .is_err());
+    }
+
+    #[test]
+    fn string_items_roundtrip() {
+        let mut e = EngineConfig::new(AlgoKind::SpaceSaving)
+            .counters(4)
+            .build::<String>()
+            .unwrap();
+        for w in ["the", "cat", "the", "hat", "the"] {
+            e.update(w.to_string());
+        }
+        let back: Engine<String> = Engine::from_json(&e.to_json().unwrap()).unwrap();
+        assert_eq!(back.estimate(&"the".to_string()), 3);
+    }
+}

@@ -20,10 +20,12 @@
 pub mod count_min;
 pub mod count_sketch;
 pub mod dyadic;
+pub mod engine;
 pub mod hash;
 pub mod topk_tracker;
 
 pub use count_min::{CountMin, UpdateRule};
 pub use count_sketch::CountSketch;
 pub use dyadic::DyadicCountMin;
+pub use engine::{AlgoKind, CapacitySpec, Engine, EngineConfig, Report, Snapshot, WeightedEngine};
 pub use topk_tracker::SketchHeavyHitters;

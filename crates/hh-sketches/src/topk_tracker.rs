@@ -10,8 +10,9 @@
 
 use std::hash::Hash;
 
+use hh_counters::error::Error;
 use hh_counters::fasthash::FxHashMap;
-use hh_counters::traits::{Bias, FrequencyEstimator};
+use hh_counters::traits::{for_each_run, Bias, FrequencyEstimator};
 
 /// A sketch plus a bounded candidate set of likely heavy hitters.
 #[derive(Debug, Clone)]
@@ -41,6 +42,71 @@ impl<I: Eq + Hash + Clone + Ord, S: FrequencyEstimator<I>> SketchHeavyHitters<I,
     /// sketch itself.
     pub fn candidate_cap(&self) -> usize {
         self.cap
+    }
+
+    /// The candidate items currently tracked, in descending-estimate order
+    /// (snapshot capture; the cached estimates are re-derived from the
+    /// sketch on restore).
+    pub fn candidate_items(&self) -> Vec<I> {
+        self.entries().into_iter().map(|(i, _)| i).collect()
+    }
+
+    /// Rebuilds a tracker from snapshot parts: the (already restored)
+    /// sketch, the candidate items, and the candidate capacity. Cached
+    /// candidate estimates are refreshed from the sketch.
+    ///
+    /// Returns [`Error::CorruptSnapshot`] when `cap` is zero, there are
+    /// more candidates than `cap`, or a candidate repeats.
+    pub fn from_parts(sketch: S, candidates: Vec<I>, cap: usize) -> Result<Self, Error> {
+        if cap == 0 {
+            return Err(Error::corrupt_snapshot("candidate cap must be positive"));
+        }
+        if candidates.len() > cap {
+            return Err(Error::corrupt_snapshot(format!(
+                "{} candidates exceed cap {cap}",
+                candidates.len()
+            )));
+        }
+        let mut map = FxHashMap::default();
+        for item in candidates {
+            let est = sketch.estimate(&item);
+            if map.insert(item, est).is_some() {
+                return Err(Error::corrupt_snapshot("duplicate candidate in snapshot"));
+            }
+        }
+        Ok(SketchHeavyHitters {
+            sketch,
+            candidates: map,
+            cap,
+        })
+    }
+
+    /// Merges another tracker into this one: sketches are merged by
+    /// `merge_sketch`, then the candidate union is re-ranked under the
+    /// merged estimates and truncated to `cap`.
+    pub fn merge_from(
+        &mut self,
+        other: &SketchHeavyHitters<I, S>,
+        merge_sketch: impl FnOnce(&mut S, &S) -> Result<(), Error>,
+    ) -> Result<(), Error> {
+        merge_sketch(&mut self.sketch, &other.sketch)?;
+        let mut union: Vec<I> = self.candidates.keys().cloned().collect();
+        for item in other.candidates.keys() {
+            if !self.candidates.contains_key(item) {
+                union.push(item.clone());
+            }
+        }
+        let mut ranked: Vec<(I, u64)> = union
+            .into_iter()
+            .map(|i| {
+                let e = self.sketch.estimate(&i);
+                (i, e)
+            })
+            .collect();
+        ranked.sort_unstable_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        ranked.truncate(self.cap);
+        self.candidates = ranked.into_iter().collect();
+        Ok(())
     }
 
     fn refresh_candidate(&mut self, item: I) {
@@ -87,6 +153,19 @@ impl<I: Eq + Hash + Clone + Ord, S: FrequencyEstimator<I>> FrequencyEstimator<I>
         self.refresh_candidate(item);
     }
 
+    /// Batched ingest: run-length aggregates the slice, costing one sketch
+    /// update and one candidate refresh per run instead of per element.
+    /// Equivalent to per-element updates: within a run only the run's own
+    /// item changes, estimates only grow, and the admission decision made
+    /// once with the full run applied matches the per-element sequence's
+    /// final decision.
+    fn update_batch(&mut self, items: &[I]) {
+        for_each_run(items, |item, run| {
+            self.sketch.update_by(item.clone(), run);
+            self.refresh_candidate(item.clone());
+        });
+    }
+
     fn estimate(&self, item: &I) -> u64 {
         self.sketch.estimate(item)
     }
@@ -112,6 +191,18 @@ impl<I: Eq + Hash + Clone + Ord, S: FrequencyEstimator<I>> FrequencyEstimator<I>
 
     fn bias(&self) -> Bias {
         self.sketch.bias()
+    }
+
+    fn error_term(&self, item: &I) -> Option<u64> {
+        self.sketch.error_term(item)
+    }
+
+    fn lower_estimate(&self, item: &I) -> u64 {
+        self.sketch.lower_estimate(item)
+    }
+
+    fn upper_estimate(&self, item: &I) -> u64 {
+        self.sketch.upper_estimate(item)
     }
 }
 

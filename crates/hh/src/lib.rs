@@ -4,6 +4,9 @@
 //! Strauss, *Space-optimal Heavy Hitters with Strong Error Bounds*
 //! (PODS 2009). Re-exports the full public API of the workspace:
 //!
+//! * [`engine`] — the unified serving surface: config-driven construction
+//!   ([`engine::EngineConfig`]), one query surface ([`engine::Report`]),
+//!   portable snapshots ([`engine::Snapshot`]) and cross-process merging;
 //! * [`counters`] — FREQUENT, SPACESAVING (and the weighted FREQUENTR /
 //!   SPACESAVINGR), sparse recovery, merging, Zipf sizing and the
 //!   heavy-tolerance machinery (the paper's contribution);
@@ -14,22 +17,41 @@
 //!
 //! ## Quick start
 //!
+//! Pick an algorithm and a sizing rule, build an [`engine::Engine`], and
+//! query it — switching algorithms (or deriving the budget from an error
+//! target) is a config change, not a code change:
+//!
 //! ```
 //! use hh::prelude::*;
 //!
-//! // Summarize a skewed stream with 8 counters.
+//! // Summarize a skewed stream; 64 counters for ~1000 distinct items.
 //! let stream = hh::streamgen::zipf::stream_from_counts(
 //!     &hh::streamgen::exact_zipf_counts(1000, 100_000, 1.3),
 //!     hh::streamgen::zipf::StreamOrder::Shuffled(42),
 //! );
-//! let mut summary = SpaceSaving::new(64);
-//! for &item in &stream {
-//!     summary.update(item);
+//! let mut engine = EngineConfig::new(AlgoKind::SpaceSaving)
+//!     .counters(64)
+//!     .build()
+//!     .expect("valid config");
+//! engine.update_batch(&stream);
+//!
+//! // One query surface: top-k with certified (lower, upper) intervals,
+//! // phi-heavy hitters with confidence labels, residual estimation.
+//! let report = engine.report();
+//! for entry in report.top_k(5) {
+//!     assert!(entry.lower <= entry.estimate && entry.estimate <= entry.upper);
 //! }
+//! let heavy = report.heavy_hitters(0.05).expect("phi in range");
+//! assert!(!heavy.is_empty());
+//!
+//! // Snapshots round-trip through JSON and merge across processes.
+//! let json = engine.to_json().expect("serializes");
+//! let restored: Engine<u64> = Engine::from_json(&json).expect("rehydrates");
+//! assert_eq!(restored.estimate(&1), engine.estimate(&1));
 //!
 //! // The k-tail guarantee: errors are bounded by the tail mass, not F1.
 //! let oracle = ExactCounter::from_stream(&stream);
-//! let check = hh::analysis::check_tail(&summary, &oracle, TailConstants::ONE_ONE, 8);
+//! let check = hh::analysis::check_tail(&engine, &oracle, TailConstants::ONE_ONE, 8);
 //! assert!(check.ok);
 //! ```
 
@@ -41,12 +63,18 @@ pub use hh_counters as counters;
 pub use hh_sketches as sketches;
 pub use hh_streamgen as streamgen;
 
+pub use hh_counters::error::Error;
+pub use hh_sketches::engine;
+
 /// Convenient glob-import surface: the names almost every user needs.
 pub mod prelude {
     pub use hh_analysis::{check_tail, error_stats, lp_recovery_error, precision_recall, Table};
     pub use hh_counters::{
-        Bias, FrequencyEstimator, Frequent, FrequentR, LossyCounting, SpaceSaving, SpaceSavingR,
-        TailConstants, WeightedFrequencyEstimator,
+        Bias, Confidence, Error, FrequencyEstimator, Frequent, FrequentR, LossyCounting,
+        SpaceSaving, SpaceSavingR, TailConstants, WeightedFrequencyEstimator,
+    };
+    pub use hh_sketches::engine::{
+        AlgoKind, CapacitySpec, Engine, EngineConfig, Report, Snapshot, WeightedEngine,
     };
     pub use hh_sketches::{CountMin, CountSketch, SketchHeavyHitters, UpdateRule};
     pub use hh_streamgen::{ExactCounter, ExactWeightedCounter, Freqs, ZipfSampler};

@@ -1,16 +1,15 @@
-//! Live top-k monitoring with flash-crowd detection and summary
+//! Live top-k monitoring with flash-crowd detection and engine
 //! checkpointing.
 //!
-//! A dashboard-style loop: a [`TopKMonitor`] reports top-k membership
-//! changes as they happen; mid-stream a flash crowd bursts in and is
-//! certified-detected; finally the summary is checkpointed to JSON and
-//! restored bit-identically (the snapshot machinery distributed
-//! deployments use).
+//! A dashboard-style loop: a [`TopKMonitor`] wrapping a config-built
+//! engine reports top-k membership changes as they happen; mid-stream a
+//! flash crowd bursts in and is certified-detected; finally the engine is
+//! checkpointed to JSON through the portable snapshot format and restored
+//! bit-identically (the machinery distributed deployments use).
 //!
 //! Run with: `cargo run -p hh --example live_monitor`
 
 use hh::counters::monitor::{TopKChange, TopKMonitor};
-use hh::counters::snapshot::SpaceSavingSnapshot;
 use hh::prelude::*;
 use hh::streamgen::drift::{flash_crowd, flash_item};
 use hh::streamgen::zipf::{stream_from_counts, StreamOrder};
@@ -21,7 +20,12 @@ fn main() {
     let background = stream_from_counts(&counts, StreamOrder::Shuffled(8));
     let stream = flash_crowd(&background, 0.7, 4_000, 15);
 
-    let mut monitor: TopKMonitor<u64> = TopKMonitor::new(64, 5);
+    // The monitor wraps any estimator; here a config-built engine.
+    let engine: Engine<u64> = EngineConfig::new(AlgoKind::SpaceSaving)
+        .counters(64)
+        .build()
+        .expect("valid config");
+    let mut monitor = TopKMonitor::with_summary(engine, 5);
     let mut change_log = 0usize;
     for (pos, &item) in stream.iter().enumerate() {
         for change in monitor.update(item) {
@@ -57,14 +61,12 @@ fn main() {
         "the flash item must end in the top-5"
     );
 
-    // Checkpoint the summary and restore it — estimates are identical.
-    let snapshot = SpaceSavingSnapshot::from_summary(monitor.summary());
-    let json = serde_json::to_string(&snapshot).expect("serialize");
+    // Checkpoint the engine and restore it — estimates are identical.
+    let json = monitor.summary().to_json().expect("serialize");
     println!("\ncheckpoint: {} bytes of JSON", json.len());
-    let restored: SpaceSavingSnapshot<u64> = serde_json::from_str(&json).expect("parse");
-    let restored = restored.into_summary();
+    let restored: Engine<u64> = Engine::from_json(&json).expect("parse");
     for (item, count) in monitor.ranked() {
         assert_eq!(restored.estimate(&item), count);
     }
-    println!("restored summary matches the live one ✓");
+    println!("restored engine matches the live one ✓");
 }

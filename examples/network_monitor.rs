@@ -1,6 +1,5 @@
 //! Network monitoring: find the top flows *by bytes* in a synthetic packet
-//! trace using the weighted SPACESAVINGR algorithm (Section 6.1 of the
-//! paper).
+//! trace with a weighted engine (SPACESAVINGR, Section 6.1 of the paper).
 //!
 //! Each packet is `(flow_id, bytes)`; popularity is Zipfian and packet
 //! sizes are LogNormal — a standard stand-in for real router traces.
@@ -19,11 +18,14 @@ fn main() {
         trace.total_weight() / 1e6
     );
 
-    // Track byte counts with 64 counters.
+    // Track byte counts with 64 counters through the weighted engine.
     let m = 64;
-    let mut monitor = SpaceSavingR::new(m);
+    let mut monitor: WeightedEngine<u64> = EngineConfig::new(AlgoKind::SpaceSaving)
+        .counters(m)
+        .build_weighted()
+        .expect("valid config");
     for &(flow, bytes) in &trace.updates {
-        monitor.update_weighted(flow, bytes);
+        monitor.update(flow, bytes);
     }
 
     // Ground truth for comparison (a real monitor wouldn't have this!).
@@ -34,11 +36,15 @@ fn main() {
         "{:>8}  {:>12}  {:>12}  {:>9}",
         "flow", "estimated", "exact", "rel err"
     );
-    for (flow, est) in monitor.entries_weighted().into_iter().take(10) {
-        let exact = oracle.weight(&flow);
+    let report = monitor.weighted_report();
+    for entry in report.top_k(10) {
+        let exact = oracle.weight(&entry.item);
         println!(
-            "{flow:>8}  {est:>12.0}  {exact:>12.0}  {:>8.2}%",
-            (est - exact).abs() / exact * 100.0
+            "{:>8}  {:>12.0}  {:>12.0}  {:>8.2}%",
+            entry.item,
+            entry.estimate,
+            exact,
+            (entry.estimate - exact).abs() / exact * 100.0
         );
     }
 
@@ -48,19 +54,21 @@ fn main() {
     let worst = oracle
         .sorted_weights()
         .into_iter()
-        .map(|(flow, w)| (w - monitor.estimate_weighted(&flow)).abs())
+        .map(|(flow, w)| (w - monitor.estimate(&flow)).abs())
         .fold(0.0f64, f64::max);
     println!("\nTheorem 10 check (k={k}): max byte error {worst:.0} <= bound {bound:.0}");
     assert!(worst <= bound * (1.0 + 1e-9));
 
-    // Heavy-change candidates: flows whose guaranteed minimum exceeds 1% of
-    // traffic — zero false negatives by the overestimation property.
-    let threshold = trace.total_weight() * 0.01;
-    let heavy: Vec<u64> = monitor
-        .entries_weighted()
+    // Heavy flows with confidence labels: a guaranteed entry's certified
+    // lower bound already exceeds the threshold — zero false positives
+    // among the guaranteed, zero false negatives overall.
+    let phi = 0.01;
+    let heavy: Vec<u64> = report
+        .heavy_hitters(phi)
+        .expect("phi in range")
         .into_iter()
-        .filter(|&(flow, _)| monitor.guaranteed_weight(&flow) >= threshold)
-        .map(|(flow, _)| flow)
+        .filter(|h| h.confidence == Confidence::Guaranteed)
+        .map(|h| h.item)
         .collect();
     println!("flows certainly above 1% of traffic: {heavy:?}");
 }

@@ -1,9 +1,10 @@
 //! Search-query analytics: recover the top-k queries *in the correct
-//! order* from a Zipfian query log, sizing the summary by Theorem 9.
+//! order* from a Zipfian query log, with the engine sized by the Theorem 9
+//! recipe straight from the config (`CapacitySpec::ZipfTopK`).
 //!
 //! Run with: `cargo run -p hh --example query_log_topk`
 
-use hh::counters::topk::{order_correct, top_k, zipf_counters_for_topk};
+use hh::counters::topk::order_correct;
 use hh::prelude::*;
 use hh::streamgen::zipf::{stream_from_counts, StreamOrder};
 
@@ -13,43 +14,50 @@ fn main() {
     let alpha = 1.4; // query popularity skew
     let k = 10;
 
-    // The paper tells us how many counters top-k needs on Zipf data:
-    let m = zipf_counters_for_topk(TailConstants::ONE_ONE, k, alpha, n);
+    // The paper tells us how many counters top-k needs on Zipf data; the
+    // config derives the budget from the theorem directly.
+    let config = EngineConfig::new(AlgoKind::Frequent).zipf_top_k(k, alpha, n);
+    let m = config.resolved_counters().expect("valid sizing");
     println!("Theorem 9 sizing: top-{k} of Zipf({alpha}) needs m = {m} counters");
 
     let counts = hh::streamgen::exact_zipf_counts(n, total, alpha);
     let stream = stream_from_counts(&counts, StreamOrder::Shuffled(7));
 
-    let mut summary = Frequent::new(m);
-    for &q in &stream {
-        summary.update(q);
-    }
+    let mut engine = config.build::<u64>().expect("valid config");
+    engine.update_batch(&stream);
 
     let oracle = ExactCounter::from_stream(&stream);
     let exact = oracle.top_k(k);
-    let reported = top_k(&summary, k);
+    let reported = engine.report().top_k(k);
 
     println!(
         "\n{:>4}  {:>8}  {:>10}  {:>10}",
         "rank", "query", "estimate", "exact"
     );
-    for (rank, ((q, est), (eq, ef))) in reported.iter().zip(&exact).enumerate() {
+    for (rank, (entry, (eq, ef))) in reported.iter().zip(&exact).enumerate() {
         println!(
-            "{:>4}  {q:>8}  {est:>10}  {ef:>10}{}",
+            "{:>4}  {:>8}  {:>10}  {ef:>10}{}",
             rank + 1,
-            if q == eq { "" } else { "  <-- mismatch" }
+            entry.item,
+            entry.estimate,
+            if &entry.item == eq {
+                ""
+            } else {
+                "  <-- mismatch"
+            }
         );
     }
 
-    let ok = order_correct(&summary, &exact);
+    let ok = order_correct(&engine, &exact);
     println!("\ntop-{k} recovered in correct order: {ok}");
     assert!(ok, "Theorem 9 sizing must recover the exact ranking");
 
     // Contrast: a summary sized naively at k counters cannot do this.
-    let mut tiny = Frequent::new(k);
-    for &q in &stream {
-        tiny.update(q);
-    }
+    let mut tiny = EngineConfig::new(AlgoKind::Frequent)
+        .counters(k)
+        .build::<u64>()
+        .expect("valid config");
+    tiny.update_batch(&stream);
     println!(
         "control with only m={k} counters recovers the order: {}",
         order_correct(&tiny, &exact)

@@ -1,5 +1,5 @@
-//! Quickstart: find the heavy hitters of a stream with SPACESAVING and see
-//! the paper's residual tail guarantee in action.
+//! Quickstart: find the heavy hitters of a stream through the unified
+//! `hh::engine` API and see the paper's residual tail guarantee in action.
 //!
 //! Run with: `cargo run -p hh --example quickstart`
 
@@ -12,22 +12,27 @@ fn main() {
     let stream = stream_from_counts(&counts, StreamOrder::Shuffled(42));
 
     // Summarize it with m = 32 counters — ~0.3% of the distinct items.
+    // Switching to Frequent (or a sketch) is a one-word config change.
     let m = 32;
-    let mut summary = SpaceSaving::new(m);
-    for &item in &stream {
-        summary.update(item);
-    }
+    let mut engine = EngineConfig::new(AlgoKind::SpaceSaving)
+        .counters(m)
+        .build()
+        .expect("valid config");
+    engine.update_batch(&stream);
 
-    println!("stream length      : {}", summary.stream_len());
+    println!("stream length      : {}", engine.stream_len());
     println!("distinct items     : {}", counts.len());
     println!("counters used (m)  : {m}");
     println!();
 
-    // Top-10 according to the summary, with guaranteed bounds per item:
-    // true frequency f_i is always within [count - err, count].
-    println!("top-10 heavy hitters (estimate [guaranteed range]):");
-    for (item, count, err) in summary.entries_with_err().into_iter().take(10) {
-        println!("  item {item:>6}: {count:>6} [{}..={count}]", count - err);
+    // Top-10 according to the engine's report, with certified bounds per
+    // item: the true frequency f_i is always within [lower, upper].
+    println!("top-10 heavy hitters (estimate [certified range]):");
+    for entry in engine.report().top_k(10) {
+        println!(
+            "  item {:>6}: {:>6} [{}..={}]",
+            entry.item, entry.estimate, entry.lower, entry.upper
+        );
     }
     println!();
 
@@ -42,7 +47,7 @@ fn main() {
         .expect("m > k");
     let worst = oracle
         .iter()
-        .map(|(i, f)| f.abs_diff(summary.estimate(i)))
+        .map(|(i, f)| f.abs_diff(engine.estimate(i)))
         .max()
         .unwrap_or(0);
     println!("k-tail guarantee (k={k}): max error {worst} <= bound {bound:.1}");

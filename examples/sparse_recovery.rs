@@ -1,11 +1,13 @@
 //! Sparse recovery (Section 4 of the paper): reconstruct an approximation
 //! of the whole frequency vector from a tiny counter summary, with L1/L2
 //! error guarantees relative to the best possible k-sparse approximation.
+//! The engine is sized by the Theorem 5 rule straight from the config, and
+//! the Section 4.2 underestimating view comes from the report's certified
+//! lower bounds.
 //!
 //! Run with: `cargo run -p hh --example sparse_recovery`
 
-use hh::counters::recovery::{k_sparse, residual_estimate};
-use hh::counters::underestimate::{Correction, UnderestimatedSpaceSaving};
+use hh::counters::recovery::k_sparse;
 use hh::prelude::*;
 use hh::streamgen::stats::{msparse_recovery_bound, sparse_recovery_bound};
 use hh::streamgen::zipf::{stream_from_counts, StreamOrder};
@@ -19,17 +21,18 @@ fn main() {
     let oracle = ExactCounter::from_stream(&stream);
     let freqs = oracle.freqs();
 
-    // Theorem 5 sizing for one-sided algorithms: m = k(2A/eps + B).
-    let m = TailConstants::ONE_ONE.counters_for_sparse_recovery(k, eps, true);
+    // Theorem 5 sizing for one-sided algorithms: m = k(2A/eps + B),
+    // resolved inside the engine config.
+    let config =
+        EngineConfig::new(AlgoKind::SpaceSaving).capacity(CapacitySpec::SparseRecovery { k, eps });
+    let m = config.resolved_counters().expect("valid sizing");
     println!("k={k}, eps={eps} -> m = {m} counters");
 
-    let mut summary = SpaceSaving::new(m);
-    for &x in &stream {
-        summary.update(x);
-    }
+    let mut engine = config.build::<u64>().expect("valid config");
+    engine.update_batch(&stream);
 
     // --- Theorem 5: k-sparse recovery -----------------------------------
-    let recovered = k_sparse(&summary, k);
+    let recovered = k_sparse(&engine, k);
     for p in [1.0, 2.0] {
         let err = lp_recovery_error(&recovered, &oracle, p);
         let bound = sparse_recovery_bound(eps, k, p, freqs.res1(k), freqs.res_p(k, p));
@@ -41,16 +44,22 @@ fn main() {
     }
 
     // --- Theorem 6: estimating the residual F1^res(k) --------------------
-    let est_res = residual_estimate(&summary, k);
+    let est_res = engine.report().residual(k);
     let true_res = freqs.res1(k);
     println!(
         "residual estimate: {est_res} vs true {true_res} (within {:.1}%)",
         (est_res as f64 - true_res as f64).abs() / true_res as f64 * 100.0
     );
 
-    // --- Theorem 7: m-sparse recovery from an underestimating view -------
-    let under = UnderestimatedSpaceSaving::new(&summary, Correction::PerItem);
-    let mut full: Vec<(u64, u64)> = under.entries();
+    // --- Theorem 7: m-sparse recovery from the underestimating view ------
+    // The per-item correction c_i − err_i of Section 4.2 is exactly the
+    // certified lower bound of every report entry.
+    let mut full: Vec<(u64, u64)> = engine
+        .report()
+        .entries()
+        .into_iter()
+        .map(|e| (e.item, e.lower))
+        .collect();
     full.retain(|&(_, c)| c > 0);
     for p in [1.0, 2.0] {
         let err = lp_recovery_error(&full, &oracle, p);

@@ -1,10 +1,9 @@
-//! Word frequency over text — items are `String`s, showing the API is
-//! generic over any `Eq + Hash + Clone` item type, and that φ-heavy-hitter
-//! queries come with confidence labels.
+//! Word frequency over text — engine items are `String`s, showing the API
+//! is generic over any hashable item type, and that φ-heavy-hitter queries
+//! come with confidence labels through the unified `Report` surface.
 //!
 //! Run with: `cargo run -p hh --example word_count`
 
-use hh::counters::{spacesaving_heavy_hitters, Confidence};
 use hh::prelude::*;
 
 /// A paragraph with deliberately skewed word frequencies (public-domain
@@ -26,11 +25,11 @@ fn main() {
     // The no-false-negative property needs the threshold phi*F1 to exceed
     // the summary's minimum counter Δ ≤ F1^res(k)/(m−k), so size m
     // accordingly: m = 32 makes Δ comfortably below 3% of this text.
-    let m = 32;
-    let mut summary: SpaceSaving<String> = SpaceSaving::new(m);
-    for w in &words {
-        summary.update(w.clone());
-    }
+    let mut engine: Engine<String> = EngineConfig::new(AlgoKind::SpaceSaving)
+        .counters(32)
+        .build()
+        .expect("valid config");
+    engine.update_batch(&words);
 
     println!(
         "{} words, {} distinct, {} counters\n",
@@ -39,18 +38,22 @@ fn main() {
             let o: ExactCounter<String> = ExactCounter::from_stream(&words);
             o.distinct()
         },
-        m
+        engine.capacity()
     );
 
     println!("top words (estimate [certified range]):");
-    for (word, count, err) in summary.entries_with_err().into_iter().take(8) {
-        println!("  {word:<10} {count:>4}  [{}..={}]", count - err, count);
+    for entry in engine.report().top_k(8) {
+        println!(
+            "  {:<10} {:>4}  [{}..={}]",
+            entry.item, entry.estimate, entry.lower, entry.upper
+        );
     }
 
     // phi-heavy hitters with confidence labels: no false negatives.
     let phi = 0.03;
     println!("\nwords above {:.0}% of the text:", phi * 100.0);
-    for hit in spacesaving_heavy_hitters(&summary, phi) {
+    let hits = engine.report().heavy_hitters(phi).expect("phi in range");
+    for hit in &hits {
         let label = match hit.confidence {
             Confidence::Guaranteed => "guaranteed",
             Confidence::Candidate => "candidate",
@@ -60,21 +63,20 @@ fn main() {
 
     // Verify the no-false-negative property against exact counts. It is
     // sound whenever the threshold exceeds the minimum counter Δ (any item
-    // with f > Δ is stored in a SPACESAVING summary).
+    // with f > Δ is stored in a SPACESAVING summary); an unstored word's
+    // certified upper bound is exactly Δ.
     let oracle: ExactCounter<String> = ExactCounter::from_stream(&words);
     let threshold = phi * words.len() as f64;
-    let delta = summary.min_counter();
+    let report = engine.report();
+    let delta = report.interval(&"unstored-probe".to_string()).1;
     assert!(
         (delta as f64) < threshold,
         "m too small for this phi: Δ={delta} >= threshold {threshold}"
     );
-    let reported: Vec<String> = spacesaving_heavy_hitters(&summary, phi)
-        .into_iter()
-        .map(|h| h.item)
-        .collect();
+    let reported: Vec<&String> = hits.iter().map(|h| &h.item).collect();
     for (word, count) in oracle.sorted_counts() {
         if count as f64 > threshold {
-            assert!(reported.contains(&word), "missed heavy word {word}");
+            assert!(reported.contains(&&word), "missed heavy word {word}");
         }
     }
     println!(

@@ -7,7 +7,6 @@
 use hh::analysis::Algo;
 use hh::counters::monitor::TopKMonitor;
 use hh::counters::parallel::parallel_summarize;
-use hh::counters::snapshot::SpaceSavingSnapshot;
 use hh::counters::{spacesaving_heavy_hitters, Confidence};
 use hh::prelude::*;
 use hh::streamgen::drift::{drifting_zipf, flash_crowd, flash_item};
@@ -24,28 +23,28 @@ fn full_distributed_lifecycle() {
     let m = 96;
     let k = 8;
 
-    // 2. each shard summarizes; summaries cross "the network" as JSON
+    // 2. each shard summarizes through the engine façade; the portable
+    //    snapshots cross "the network" as JSON
+    let config = EngineConfig::new(AlgoKind::SpaceSaving).counters(m);
     let blobs: Vec<String> = shards
         .iter()
         .map(|shard| {
-            let mut s = SpaceSaving::new(m);
-            for &x in shard {
-                s.update(x);
-            }
-            serde_json::to_string(&SpaceSavingSnapshot::from_summary(&s)).expect("serialize")
+            let mut e = config.build::<u64>().expect("engine builds");
+            e.update_batch(shard);
+            e.to_json().expect("serialize")
         })
         .collect();
 
-    // 3. coordinator rehydrates and merges
-    let summaries: Vec<SpaceSaving<u64>> = blobs
+    // 3. coordinator rehydrates engines and merges them k-sparsely —
+    //    Engine implements FrequencyEstimator, so the generic Theorem 11
+    //    merge drives engines unchanged
+    let engines: Vec<Engine<u64>> = blobs
         .iter()
-        .map(|b| {
-            serde_json::from_str::<SpaceSavingSnapshot<u64>>(b)
-                .expect("deserialize")
-                .into_summary()
-        })
+        .map(|b| Engine::from_json(b).expect("deserialize"))
         .collect();
-    let merged = hh::counters::merge::merge_k_sparse(&summaries, k, || SpaceSaving::new(m));
+    let merged = hh::counters::merge::merge_k_sparse(&engines, k, || {
+        config.build::<u64>().expect("target engine builds")
+    });
 
     // 4. the merged summary answers with the Theorem 11 guarantee
     let oracle = ExactCounter::from_stream(&stream);
@@ -57,6 +56,21 @@ fn full_distributed_lifecycle() {
         assert!(
             f.abs_diff(merged.estimate(item)) as f64 <= bound,
             "item {item} beyond the merged bound"
+        );
+    }
+
+    // 5. the engine's own snapshot-merge primitive absorbs the same blobs
+    //    and answers every query under the same guarantee
+    let mut absorbed = config.build::<u64>().expect("engine builds");
+    for b in &blobs {
+        let snap: Snapshot<u64> = serde_json::from_str(b).expect("snapshot parses");
+        absorbed.merge_snapshot(&snap).expect("same config merges");
+    }
+    assert_eq!(absorbed.stream_len(), stream.len() as u64);
+    for (item, f) in oracle.iter() {
+        assert!(
+            f.abs_diff(absorbed.estimate(item)) as f64 <= bound,
+            "item {item} beyond the merged bound via merge_snapshot"
         );
     }
 }
