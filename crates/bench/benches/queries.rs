@@ -1,0 +1,51 @@
+//! Point-query benchmarks: `estimate()` cost per algorithm after a full
+//! ingest.
+//!
+//! Lives in its own bench target (and hence its own process) so the query
+//! timings are not contaminated by the allocator/cache state the ingest
+//! benchmarks leave behind — queries are a few nanoseconds each, where a
+//! polluted heap layout alone is visible in the numbers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use hh_analysis::{make_estimator, Algo};
+use hh_streamgen::zipf::{stream_from_counts, StreamOrder};
+use hh_streamgen::{exact_zipf_counts, Item};
+
+fn workload() -> Vec<Item> {
+    let counts = exact_zipf_counts(20_000, 200_000, 1.2);
+    stream_from_counts(&counts, StreamOrder::Shuffled(1))
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let stream = workload();
+    let mut group = c.benchmark_group("point_queries");
+    // Each iteration is only a few microseconds, so the median needs many
+    // samples to shake off scheduler/interrupt noise on small machines.
+    group.sample_size(99);
+
+    for algo in [
+        Algo::SpaceSaving,
+        Algo::Frequent,
+        Algo::CountMin,
+        Algo::CountSketch,
+    ] {
+        let mut est = make_estimator(algo, 256, 7);
+        for &x in &stream {
+            est.update(x);
+        }
+        group.bench_function(algo.name(), |b| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for i in 1..=2_000u64 {
+                    acc = acc.wrapping_add(est.estimate(&i));
+                }
+                std::hint::black_box(acc)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_queries);
+criterion_main!(benches);

@@ -67,33 +67,37 @@ fn bench_updates_batched(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_queries(c: &mut Criterion) {
+/// The `update_many` driver shape: the same stream fed as 8192-element
+/// chunks, as a buffered reader (the CLI) or a shard worker would deliver
+/// it. Overhead versus one whole-stream `update_batch` should be noise.
+fn bench_updates_chunked(c: &mut Criterion) {
     let stream = workload();
-    let mut group = c.benchmark_group("point_queries");
+    let mut group = c.benchmark_group("updates_per_sec_chunked");
+    group.throughput(Throughput::Elements(stream.len() as u64));
     group.sample_size(10);
 
-    for algo in [
-        Algo::SpaceSaving,
-        Algo::Frequent,
-        Algo::CountMin,
-        Algo::CountSketch,
-    ] {
-        let mut est = make_estimator(algo, 256, 7);
-        for &x in &stream {
-            est.update(x);
+    for algo in [Algo::SpaceSaving, Algo::Frequent, Algo::CountMin] {
+        for &budget in &[64usize, 256] {
+            group.bench_with_input(
+                BenchmarkId::new(algo.name(), budget),
+                &budget,
+                |b, &budget| {
+                    b.iter(|| {
+                        let mut est = make_estimator(algo, budget, 7);
+                        hh_analysis::feed_chunked(est.as_mut(), &stream, 8192);
+                        std::hint::black_box(est.stored_len())
+                    });
+                },
+            );
         }
-        group.bench_function(algo.name(), |b| {
-            b.iter(|| {
-                let mut acc = 0u64;
-                for i in 1..=2_000u64 {
-                    acc = acc.wrapping_add(est.estimate(&i));
-                }
-                std::hint::black_box(acc)
-            });
-        });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_updates, bench_updates_batched, bench_queries);
+criterion_group!(
+    benches,
+    bench_updates,
+    bench_updates_batched,
+    bench_updates_chunked
+);
 criterion_main!(benches);

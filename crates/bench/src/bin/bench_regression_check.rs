@@ -1,0 +1,144 @@
+//! Bench-regression smoke gate.
+//!
+//! Re-measures the two sentinel hot-path configurations — SPACESAVING at
+//! 256 counters and Count-Min at a 64-cell budget — on the exact workload
+//! the throughput benchmarks use, and fails (exit 1) if median items/sec
+//! drops more than the tolerance below the checked-in `BENCH_*.json`
+//! baselines. This keeps the PR 4 hot-path gains from silently rotting.
+//!
+//! ```text
+//! cargo run --release -p bench --bin bench_regression_check
+//! ```
+//!
+//! Knobs (environment):
+//! * `BENCH_BASELINE_DIR` — where the `BENCH_updates_per_sec{,_batched}.json`
+//!   baselines live (default: current directory, i.e. the repo root in CI).
+//! * `BENCH_REGRESSION_TOLERANCE` — allowed fractional drop (default 0.20,
+//!   i.e. fail below 80% of baseline). The default suits same-machine
+//!   comparisons; CI sets a much larger value because shared runners are
+//!   arbitrarily slower than the machines that recorded the baselines, so
+//!   cross-machine absolute throughput can only catch order-of-magnitude
+//!   rot, not jitter.
+
+use std::time::Instant;
+
+use hh_analysis::{feed, make_estimator, Algo};
+use hh_streamgen::zipf::{stream_from_counts, StreamOrder};
+use hh_streamgen::{exact_zipf_counts, Item};
+
+/// The sentinel configurations: (algo, budget, baseline file, bench id).
+const SENTINELS: [(Algo, usize, &str, bool); 4] = [
+    (Algo::SpaceSaving, 256, "BENCH_updates_per_sec.json", false),
+    (Algo::CountMin, 64, "BENCH_updates_per_sec.json", false),
+    (
+        Algo::SpaceSaving,
+        256,
+        "BENCH_updates_per_sec_batched.json",
+        true,
+    ),
+    (
+        Algo::CountMin,
+        64,
+        "BENCH_updates_per_sec_batched.json",
+        true,
+    ),
+];
+
+const SAMPLES: usize = 7;
+
+fn workload() -> Vec<Item> {
+    // Identical to crates/bench/benches/throughput.rs.
+    let counts = exact_zipf_counts(20_000, 200_000, 1.2);
+    stream_from_counts(&counts, StreamOrder::Shuffled(1))
+}
+
+/// Median items/sec over `SAMPLES` runs of one full-stream ingest.
+fn measure(algo: Algo, budget: usize, batched: bool, stream: &[Item]) -> f64 {
+    let mut rates: Vec<f64> = (0..SAMPLES)
+        .map(|_| {
+            let mut est = make_estimator(algo, budget, 7);
+            let start = Instant::now();
+            if batched {
+                feed(est.as_mut(), stream);
+            } else {
+                for &x in stream {
+                    est.update(x);
+                }
+            }
+            let secs = start.elapsed().as_secs_f64();
+            std::hint::black_box(est.stored_len());
+            stream.len() as f64 / secs
+        })
+        .collect();
+    rates.sort_by(|a, b| a.total_cmp(b));
+    rates[rates.len() / 2]
+}
+
+/// Reads the baseline items/sec for `id` out of a BENCH json file.
+fn baseline(dir: &str, file: &str, id: &str) -> Result<f64, String> {
+    let path = format!("{dir}/{file}");
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let value: serde_json::Value =
+        serde_json::from_str(&text).map_err(|e| format!("bad json in {path}: {e}"))?;
+    let benchmarks = value["benchmarks"]
+        .as_array()
+        .ok_or_else(|| format!("{path}: missing benchmarks array"))?;
+    for b in benchmarks {
+        if b["id"].as_str() == Some(id) {
+            return b["items_per_sec"]
+                .as_f64()
+                .ok_or_else(|| format!("{path}: {id} has no items_per_sec"));
+        }
+    }
+    Err(format!("{path}: no benchmark with id {id:?}"))
+}
+
+fn main() {
+    let dir = std::env::var("BENCH_BASELINE_DIR").unwrap_or_else(|_| ".".to_string());
+    let tolerance: f64 = std::env::var("BENCH_REGRESSION_TOLERANCE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.20);
+    let stream = workload();
+
+    let mut failed = false;
+    println!(
+        "bench regression gate (tolerance: -{:.0}%)",
+        tolerance * 100.0
+    );
+    for (algo, budget, file, batched) in SENTINELS {
+        let id = format!("{}/{budget}", algo.name());
+        let base = match baseline(&dir, file, &id) {
+            Ok(b) => b,
+            Err(e) => {
+                // A gate that cannot find its baselines must not pass
+                // vacuously: a misconfigured dir or a renamed bench id
+                // would otherwise keep CI green while measuring nothing.
+                eprintln!("FAIL {id} ({file}): baseline unavailable: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        let measured = measure(algo, budget, batched, &stream);
+        let ratio = measured / base;
+        let verdict = if ratio >= 1.0 - tolerance {
+            "ok"
+        } else {
+            "FAIL"
+        };
+        println!(
+            "{verdict:>4}  {file} {id}: {:.1} Melem/s vs baseline {:.1} Melem/s ({:+.1}%)",
+            measured / 1e6,
+            base / 1e6,
+            (ratio - 1.0) * 100.0
+        );
+        if ratio < 1.0 - tolerance {
+            failed = true;
+        }
+    }
+    if failed {
+        eprintln!("bench regression gate FAILED");
+        std::process::exit(1);
+    }
+    println!("bench regression gate passed");
+}

@@ -147,6 +147,21 @@ pub fn feed<E: FrequencyEstimator<Item> + ?Sized>(est: &mut E, stream: &[Item]) 
     est.update_batch(stream);
 }
 
+/// Feeds a stream in fixed-size chunks through the estimator's
+/// [`FrequencyEstimator::update_many`] path — the driver shape of buffered
+/// ingest (a CLI reading line blocks, a shard worker draining partition
+/// segments). Equivalent to [`feed`]; backend pre-aggregation scratch is
+/// reused across chunks.
+pub fn feed_chunked<E: FrequencyEstimator<Item> + ?Sized>(
+    est: &mut E,
+    stream: &[Item],
+    chunk: usize,
+) {
+    assert!(chunk >= 1, "chunk size must be positive");
+    let chunks: Vec<&[Item]> = stream.chunks(chunk).collect();
+    est.update_many(&chunks);
+}
+
 /// Builds an estimator, runs the stream through it, and returns it.
 pub fn run(
     algo: Algo,

@@ -17,7 +17,7 @@ pub mod experiments;
 pub mod metrics;
 pub mod table;
 
-pub use experiments::{feed, make_estimator, run, Algo};
+pub use experiments::{feed, feed_chunked, make_estimator, run, Algo};
 pub use metrics::{
     check_tail, error_stats, lp_recovery_error, precision_recall, ErrorStats, TailCheck,
 };

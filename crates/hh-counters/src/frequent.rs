@@ -236,6 +236,15 @@ impl<I: Eq + Hash + Clone> FrequencyEstimator<I> for Frequent<I> {
             .collect()
     }
 
+    /// Allocation-free snapshot straight out of the bucket list, with raw
+    /// counts translated to logical values on the way out.
+    fn entries_into(&self, out: &mut Vec<(I, u64)>) {
+        out.clear();
+        out.reserve(self.summary.len());
+        self.summary
+            .for_each_desc(|item, raw, _| out.push((item.clone(), self.logical(raw))));
+    }
+
     fn stream_len(&self) -> u64 {
         self.stream_len
     }

@@ -39,6 +39,7 @@ pub mod htc;
 pub mod lossy_counting;
 pub mod merge;
 pub mod monitor;
+pub mod oaindex;
 pub mod parallel;
 pub mod recovery;
 pub mod reference;

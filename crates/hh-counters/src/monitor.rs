@@ -35,6 +35,10 @@ pub struct TopKMonitor<I: Eq + Hash + Clone + Ord, E: FrequencyEstimator<I> = Sp
     members: BTreeSet<I>,
     /// Estimate of the weakest current member (entry threshold).
     kth_estimate: u64,
+    /// Reused snapshot buffer for resyncs ([`FrequencyEstimator::entries_into`]),
+    /// so the monitor loop stops allocating a fresh `Vec` per membership
+    /// change.
+    scratch: Vec<(I, u64)>,
 }
 
 impl<I: Eq + Hash + Clone + Ord> TopKMonitor<I> {
@@ -56,6 +60,7 @@ impl<I: Eq + Hash + Clone + Ord, E: FrequencyEstimator<I>> TopKMonitor<I, E> {
             k,
             members: BTreeSet::new(),
             kth_estimate: 0,
+            scratch: Vec::new(),
         }
     }
 
@@ -75,10 +80,9 @@ impl<I: Eq + Hash + Clone + Ord, E: FrequencyEstimator<I>> TopKMonitor<I, E> {
     }
 
     fn resync(&mut self) -> Vec<TopKChange<I>> {
-        let fresh: BTreeSet<I> = top_k(&self.summary, self.k)
-            .into_iter()
-            .map(|(i, _)| i)
-            .collect();
+        self.summary.entries_into(&mut self.scratch);
+        self.scratch.truncate(self.k);
+        let fresh: BTreeSet<I> = self.scratch.iter().map(|(i, _)| i.clone()).collect();
         let mut changes = Vec::new();
         for gone in self.members.difference(&fresh) {
             changes.push(TopKChange::Left(gone.clone()));

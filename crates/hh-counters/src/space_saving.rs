@@ -268,6 +268,15 @@ impl<I: Eq + Hash + Clone> FrequencyEstimator<I> for SpaceSaving<I> {
             .collect()
     }
 
+    /// Allocation-free snapshot straight out of the bucket list
+    /// ([`StreamSummary::for_each_desc`]).
+    fn entries_into(&self, out: &mut Vec<(I, u64)>) {
+        out.clear();
+        out.reserve(self.summary.len());
+        self.summary
+            .for_each_desc(|item, count, _| out.push((item.clone(), count)));
+    }
+
     fn stream_len(&self) -> u64 {
         self.stream_len
     }
@@ -295,7 +304,15 @@ impl<I: Eq + Hash + Clone> FrequencyEstimator<I> for SpaceSaving<I> {
 }
 
 /// Ablation baseline: SPACESAVING backed by a lazy binary heap instead of
-/// the bucket list. O(log m) amortized per update.
+/// the bucket list.
+///
+/// Increments of stored items are pure hash-map updates — the heap is *not*
+/// touched, so its entries go stale. Repair happens lazily at eviction
+/// time: popping a stale entry re-pushes the item at its current count and
+/// keeps popping. Since every live item has exactly one heap entry and
+/// counts only grow, an eviction performs at most one re-push per item,
+/// keeping the heap at exactly `counts.len() ≤ m` entries with O(log m)
+/// amortized eviction cost.
 ///
 /// Tie-breaking among minimal counters follows heap order, which differs
 /// from [`SpaceSaving`]'s least-recently-updated rule; all *guarantees* are
@@ -304,8 +321,8 @@ impl<I: Eq + Hash + Clone> FrequencyEstimator<I> for SpaceSaving<I> {
 #[derive(Debug, Clone)]
 pub struct HeapSpaceSaving<I: Eq + Hash + Clone + Ord> {
     counts: FxHashMap<I, (u64, u64)>, // item -> (count, err)
-    /// Lazy min-heap of (count-at-push, seq, item); stale entries are
-    /// skipped on pop.
+    /// Lazy min-heap of (count-at-push, seq, item); exactly one entry per
+    /// stored item, repaired on pop when stale.
     heap: BinaryHeap<Reverse<(u64, u64, I)>>,
     seq: u64,
     m: usize,
@@ -331,7 +348,8 @@ impl<I: Eq + Hash + Clone + Ord> HeapSpaceSaving<I> {
     }
 
     /// Pops the live minimum `(item, count, err)` and removes it from the
-    /// table.
+    /// table, re-pushing stale entries at their current count along the way
+    /// (the lazy repair step).
     fn evict_min(&mut self) -> (I, u64, u64) {
         loop {
             let Reverse((count, _, item)) = self.heap.pop().expect("table non-empty");
@@ -340,24 +358,15 @@ impl<I: Eq + Hash + Clone + Ord> HeapSpaceSaving<I> {
                     self.counts.remove(&item);
                     return (item, count, err);
                 }
-                _ => continue, // stale heap entry
+                Some(&(cur, _)) => {
+                    // stale: the item was incremented since its push; its
+                    // fresh entry cannot be the minimum we are looking for,
+                    // but it must stay represented in the heap
+                    debug_assert!(cur > count);
+                    self.push(item, cur);
+                }
+                None => unreachable!("every heap entry belongs to a stored item"),
             }
-        }
-    }
-
-    /// Periodic compaction keeps the lazy heap within a constant factor of
-    /// the table size.
-    fn maybe_compact(&mut self) {
-        if self.heap.len() > 8 * self.m.max(16) {
-            let counts = &self.counts;
-            let mut fresh = BinaryHeap::with_capacity(counts.len());
-            let mut seq = 0u64;
-            for (item, &(c, _)) in counts.iter() {
-                seq += 1;
-                fresh.push(Reverse((c, seq, item.clone())));
-            }
-            self.seq = seq;
-            self.heap = fresh;
         }
     }
 }
@@ -376,9 +385,10 @@ impl<I: Eq + Hash + Clone + Ord> FrequencyEstimator<I> for HeapSpaceSaving<I> {
             return;
         }
         self.stream_len += count;
-        if let Some(&(cur, err)) = self.counts.get(&item) {
-            self.counts.insert(item.clone(), (cur + count, err));
-            self.push(item, cur + count);
+        if let Some(entry) = self.counts.get_mut(&item) {
+            // hot path: bump the table only; the heap entry goes stale and
+            // is repaired lazily at the next eviction that encounters it
+            entry.0 += count;
         } else if self.counts.len() < self.m {
             self.counts.insert(item.clone(), (count, 0));
             self.push(item, count);
@@ -388,7 +398,18 @@ impl<I: Eq + Hash + Clone + Ord> FrequencyEstimator<I> for HeapSpaceSaving<I> {
                 .insert(item.clone(), (min_count + count, min_count));
             self.push(item, min_count + count);
         }
-        self.maybe_compact();
+    }
+
+    /// Batched ingest: run-length aggregated like the bucket-list variant.
+    fn update_batch(&mut self, items: &[I]) {
+        crate::traits::for_each_run(items, |item, run| {
+            if let Some(entry) = self.counts.get_mut(item) {
+                self.stream_len += run;
+                entry.0 += run;
+            } else {
+                self.update_by(item.clone(), run);
+            }
+        });
     }
 
     fn estimate(&self, item: &I) -> u64 {
@@ -554,12 +575,41 @@ mod tests {
     }
 
     #[test]
-    fn heap_compaction_bounds_memory() {
+    fn lazy_heap_stays_at_one_entry_per_item() {
         let mut heap = HeapSpaceSaving::new(4);
         for i in 0..10_000u64 {
             heap.update(i % 100);
         }
-        assert!(heap.heap.len() <= 8 * 16 + 1, "lazy heap stays bounded");
+        assert_eq!(heap.heap.len(), heap.counts.len(), "one entry per item");
+        assert!(heap.heap.len() <= 4);
+    }
+
+    #[test]
+    fn lazy_heap_evicts_true_minimum_after_stale_increments() {
+        // fill, then bump item 1 far past the others without touching the
+        // heap; the next eviction must repair the stale entry and evict a
+        // genuinely minimal item, never 1
+        let mut heap = HeapSpaceSaving::new(3);
+        for i in 1..=3u64 {
+            heap.update(i);
+        }
+        for _ in 0..10 {
+            heap.update(1);
+        }
+        heap.update(99); // forces an eviction of 2 or 3 (count 1)
+        assert!(heap.estimate(&1) >= 11);
+        assert_eq!(heap.estimate(&99), 2); // min(1) + 1
+        let entries = heap.entries();
+        assert_eq!(entries.len(), 3, "table stays full: {entries:?}");
+        // SPACESAVING invariant: counter mass equals the stream length —
+        // the eviction replaced a count-1 entry by 99 at count 2, so the
+        // stored mass is exactly the 14 arrivals.
+        let stored: u64 = entries.iter().map(|&(_, c)| c).sum();
+        assert_eq!(stored, 14, "counter sum tracks stream length");
+        assert!(
+            !entries.iter().any(|&(i, _)| i == 2) || !entries.iter().any(|&(i, _)| i == 3),
+            "one of the count-1 items was evicted: {entries:?}"
+        );
     }
 
     #[test]

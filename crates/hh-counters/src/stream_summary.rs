@@ -12,8 +12,19 @@
 //!   the offset — each pop is charged to the insertion that created the
 //!   entry).
 //!
-//! Both linked lists are index-based arenas over `Vec` (no `unsafe`), per
-//! the usual Rust pattern for intrusive structures.
+//! # Memory layout
+//!
+//! Both linked lists are index-based arenas (no `unsafe`), stored
+//! *struct-of-arrays* along the hot/cold split an update actually has: the
+//! per-entry **link record** (bucket id + FIFO links, 12 bytes) is one flat
+//! array, the per-bucket **counts** another, the per-bucket link/FIFO
+//! metadata a third — while the items themselves and their cold error
+//! annotations live out of line and are only read on insert, eviction,
+//! lookup confirmation and snapshot. The item index is a custom
+//! open-addressing `(tag, slot)` table ([`crate::oaindex::RawIndex`])
+//! instead of a general `HashMap`, so the per-update probe is a single
+//! flat-array scan that never drags item keys through the cache and never
+//! stalls on a rehash (see `docs/PERFORMANCE.md`).
 //!
 //! # Tie-breaking discipline
 //!
@@ -23,19 +34,18 @@
 //! reference pseudocode executors in [`crate::reference`] implement the same
 //! rule, which is what makes exact state-conformance testing possible.
 
-use std::hash::Hash;
+use std::hash::{BuildHasher, Hash};
 
-use crate::fasthash::FxHashMap;
+use crate::fasthash::FxBuildHasher;
+use crate::oaindex::RawIndex;
 
 const NIL: u32 = u32::MAX;
 
-#[derive(Debug, Clone)]
-struct Entry<I> {
-    /// `None` only while the slot sits on the free list.
-    item: Option<I>,
-    /// Error annotation carried with the entry (SPACESAVING stores the
-    /// evicted count here; FREQUENT stores the offset at insertion).
-    err: u64,
+/// Per-entry link record: everything an update touches about an entry, in
+/// one 12-byte load.
+#[derive(Debug, Clone, Copy)]
+struct EntryLink {
+    /// Bucket the entry belongs to.
     bucket: u32,
     /// Neighbour towards the front (more recently attached) of the bucket.
     prev: u32,
@@ -43,17 +53,35 @@ struct Entry<I> {
     next: u32,
 }
 
-#[derive(Debug, Clone)]
-struct Bucket {
-    count: u64,
-    front: u32,
-    back: u32,
+const DETACHED: EntryLink = EntryLink {
+    bucket: NIL,
+    prev: NIL,
+    next: NIL,
+};
+
+/// Per-bucket link/FIFO metadata (counts live in their own array so count
+/// scans stay dense).
+#[derive(Debug, Clone, Copy)]
+struct BucketMeta {
     /// Bucket with the next smaller count.
     prev: u32,
     /// Bucket with the next larger count.
     next: u32,
+    /// Most recently attached entry.
+    front: u32,
+    /// Least recently attached entry.
+    back: u32,
+    /// Number of entries in the bucket.
     len: u32,
 }
+
+const EMPTY_BUCKET: BucketMeta = BucketMeta {
+    prev: NIL,
+    next: NIL,
+    front: NIL,
+    back: NIL,
+    len: 0,
+};
 
 /// A snapshot row: `(item, raw_count, err)`.
 pub type SummaryEntry<I> = (I, u64, u64);
@@ -66,13 +94,28 @@ pub type SummaryEntry<I> = (I, u64, u64);
 /// exactly one bucket.
 #[derive(Debug, Clone)]
 pub struct StreamSummary<I> {
-    entries: Vec<Entry<I>>,
+    // ---- entry arenas (parallel arrays indexed by entry id) ----
+    /// Item payloads, out of line from the hot link arrays. `None` only
+    /// while the slot sits on the free list.
+    items: Vec<Option<I>>,
+    /// Error annotation carried with each entry (SPACESAVING stores the
+    /// evicted count here; FREQUENT stores the offset at insertion). Cold:
+    /// read only on eviction, merge and snapshot.
+    eerr: Vec<u64>,
+    /// Hot per-entry link records.
+    elink: Vec<EntryLink>,
     free_entries: Vec<u32>,
-    buckets: Vec<Bucket>,
+    // ---- bucket arenas (parallel arrays indexed by bucket id) ----
+    /// Raw count shared by every entry in the bucket.
+    bcount: Vec<u64>,
+    /// Bucket list/FIFO metadata.
+    bmeta: Vec<BucketMeta>,
     free_buckets: Vec<u32>,
     head: u32,
     tail: u32,
-    index: FxHashMap<I, u32>,
+    /// Open-addressing item index: item hash → entry id.
+    index: RawIndex,
+    hasher: FxBuildHasher,
     len: usize,
     /// Running sum of all raw counts (cheap `F1`-style invariant checks).
     counter_sum: u64,
@@ -88,24 +131,33 @@ impl<I: Eq + Hash + Clone> StreamSummary<I> {
     /// Creates an empty summary.
     pub fn new() -> Self {
         StreamSummary {
-            entries: Vec::new(),
+            items: Vec::new(),
+            eerr: Vec::new(),
+            elink: Vec::new(),
             free_entries: Vec::new(),
-            buckets: Vec::new(),
+            bcount: Vec::new(),
+            bmeta: Vec::new(),
             free_buckets: Vec::new(),
             head: NIL,
             tail: NIL,
-            index: FxHashMap::default(),
+            index: RawIndex::default(),
+            hasher: FxBuildHasher::default(),
             len: 0,
             counter_sum: 0,
         }
     }
 
-    /// Creates an empty summary with capacity pre-allocated for `m` entries.
+    /// Creates an empty summary with capacity pre-allocated for `m` entries
+    /// (the index is sized so it never rehashes while at most `m` items are
+    /// stored).
     pub fn with_capacity(m: usize) -> Self {
         let mut s = Self::new();
-        s.entries.reserve(m);
-        s.buckets.reserve(m + 1);
-        s.index.reserve(m);
+        s.items.reserve(m);
+        s.eerr.reserve(m);
+        s.elink.reserve(m);
+        s.bcount.reserve(m + 1);
+        s.bmeta.reserve(m + 1);
+        s.index = RawIndex::with_capacity(m);
         s
     }
 
@@ -124,21 +176,34 @@ impl<I: Eq + Hash + Clone> StreamSummary<I> {
         self.counter_sum
     }
 
+    #[inline]
+    fn hash_of(&self, item: &I) -> u64 {
+        self.hasher.hash_one(item)
+    }
+
+    /// Index probe: entry id of `item`, if stored.
+    #[inline]
+    fn find(&self, item: &I) -> Option<u32> {
+        let items = &self.items;
+        self.index.get(self.hash_of(item), |e| {
+            items[e as usize].as_ref() == Some(item)
+        })
+    }
+
     /// Whether `item` is stored.
     pub fn contains(&self, item: &I) -> bool {
-        self.index.contains_key(item)
+        self.find(item).is_some()
     }
 
     /// Raw count of `item`, if stored.
     pub fn count(&self, item: &I) -> Option<u64> {
-        self.index
-            .get(item)
-            .map(|&e| self.buckets[self.entries[e as usize].bucket as usize].count)
+        self.find(item)
+            .map(|e| self.bcount[self.elink[e as usize].bucket as usize])
     }
 
     /// Error annotation of `item`, if stored.
     pub fn err(&self, item: &I) -> Option<u64> {
-        self.index.get(item).map(|&e| self.entries[e as usize].err)
+        self.find(item).map(|e| self.eerr[e as usize])
     }
 
     /// Smallest raw count currently stored.
@@ -146,7 +211,7 @@ impl<I: Eq + Hash + Clone> StreamSummary<I> {
         if self.head == NIL {
             None
         } else {
-            Some(self.buckets[self.head as usize].count)
+            Some(self.bcount[self.head as usize])
         }
     }
 
@@ -155,7 +220,7 @@ impl<I: Eq + Hash + Clone> StreamSummary<I> {
         if self.tail == NIL {
             None
         } else {
-            Some(self.buckets[self.tail as usize].count)
+            Some(self.bcount[self.tail as usize])
         }
     }
 
@@ -163,56 +228,35 @@ impl<I: Eq + Hash + Clone> StreamSummary<I> {
 
     fn alloc_entry(&mut self, item: I, err: u64) -> u32 {
         if let Some(idx) = self.free_entries.pop() {
-            let e = &mut self.entries[idx as usize];
-            e.item = Some(item);
-            e.err = err;
-            e.bucket = NIL;
-            e.prev = NIL;
-            e.next = NIL;
+            self.items[idx as usize] = Some(item);
+            self.eerr[idx as usize] = err;
+            self.elink[idx as usize] = DETACHED;
             idx
         } else {
-            let idx = self.entries.len() as u32;
-            self.entries.push(Entry {
-                item: Some(item),
-                err,
-                bucket: NIL,
-                prev: NIL,
-                next: NIL,
-            });
+            let idx = self.items.len() as u32;
+            self.items.push(Some(item));
+            self.eerr.push(err);
+            self.elink.push(DETACHED);
             idx
         }
     }
 
     fn free_entry(&mut self, e: u32) -> I {
-        let slot = &mut self.entries[e as usize];
-        let item = slot.item.take().expect("freeing a live entry");
-        slot.prev = NIL;
-        slot.next = NIL;
-        slot.bucket = NIL;
+        let item = self.items[e as usize].take().expect("freeing a live entry");
+        self.elink[e as usize] = DETACHED;
         self.free_entries.push(e);
         item
     }
 
     fn alloc_bucket(&mut self, count: u64) -> u32 {
         if let Some(idx) = self.free_buckets.pop() {
-            let b = &mut self.buckets[idx as usize];
-            b.count = count;
-            b.front = NIL;
-            b.back = NIL;
-            b.prev = NIL;
-            b.next = NIL;
-            b.len = 0;
+            self.bcount[idx as usize] = count;
+            self.bmeta[idx as usize] = EMPTY_BUCKET;
             idx
         } else {
-            let idx = self.buckets.len() as u32;
-            self.buckets.push(Bucket {
-                count,
-                front: NIL,
-                back: NIL,
-                prev: NIL,
-                next: NIL,
-                len: 0,
-            });
+            let idx = self.bcount.len() as u32;
+            self.bcount.push(count);
+            self.bmeta.push(EMPTY_BUCKET);
             idx
         }
     }
@@ -223,83 +267,81 @@ impl<I: Eq + Hash + Clone> StreamSummary<I> {
         let prev_b = if next_b == NIL {
             self.tail
         } else {
-            self.buckets[next_b as usize].prev
+            self.bmeta[next_b as usize].prev
         };
-        self.buckets[b as usize].prev = prev_b;
-        self.buckets[b as usize].next = next_b;
+        self.bmeta[b as usize].prev = prev_b;
+        self.bmeta[b as usize].next = next_b;
         if prev_b == NIL {
             self.head = b;
         } else {
-            self.buckets[prev_b as usize].next = b;
+            self.bmeta[prev_b as usize].next = b;
         }
         if next_b == NIL {
             self.tail = b;
         } else {
-            self.buckets[next_b as usize].prev = b;
+            self.bmeta[next_b as usize].prev = b;
         }
     }
 
     fn unlink_bucket(&mut self, b: u32) {
-        let (prev, next) = {
-            let bk = &self.buckets[b as usize];
-            debug_assert_eq!(bk.len, 0, "only empty buckets are unlinked");
-            (bk.prev, bk.next)
-        };
+        let BucketMeta { prev, next, .. } = self.bmeta[b as usize];
+        debug_assert_eq!(
+            self.bmeta[b as usize].len, 0,
+            "only empty buckets are unlinked"
+        );
         if prev == NIL {
             self.head = next;
         } else {
-            self.buckets[prev as usize].next = next;
+            self.bmeta[prev as usize].next = next;
         }
         if next == NIL {
             self.tail = prev;
         } else {
-            self.buckets[next as usize].prev = prev;
+            self.bmeta[next as usize].prev = prev;
         }
         self.free_buckets.push(b);
     }
 
     /// Attaches entry `e` at the front of bucket `b`.
+    #[inline]
     fn attach_front(&mut self, e: u32, b: u32) {
-        let old_front = self.buckets[b as usize].front;
-        {
-            let entry = &mut self.entries[e as usize];
-            entry.bucket = b;
-            entry.prev = NIL;
-            entry.next = old_front;
-        }
+        let old_front = self.bmeta[b as usize].front;
+        self.elink[e as usize] = EntryLink {
+            bucket: b,
+            prev: NIL,
+            next: old_front,
+        };
         if old_front != NIL {
-            self.entries[old_front as usize].prev = e;
+            self.elink[old_front as usize].prev = e;
+        } else {
+            self.bmeta[b as usize].back = e;
         }
-        let bucket = &mut self.buckets[b as usize];
-        bucket.front = e;
-        if bucket.back == NIL {
-            bucket.back = e;
-        }
-        bucket.len += 1;
+        self.bmeta[b as usize].front = e;
+        self.bmeta[b as usize].len += 1;
     }
 
     /// Detaches entry `e` from its bucket; does *not* remove the bucket even
     /// if it becomes empty (callers may still need it as a list anchor).
+    /// The entry's own link record is left stale — every caller either
+    /// re-attaches (overwriting it) or frees the entry.
+    #[inline]
     fn detach(&mut self, e: u32) {
-        let (b, prev, next) = {
-            let entry = &self.entries[e as usize];
-            (entry.bucket, entry.prev, entry.next)
-        };
+        let EntryLink {
+            bucket: b,
+            prev,
+            next,
+        } = self.elink[e as usize];
         if prev == NIL {
-            self.buckets[b as usize].front = next;
+            self.bmeta[b as usize].front = next;
         } else {
-            self.entries[prev as usize].next = next;
+            self.elink[prev as usize].next = next;
         }
         if next == NIL {
-            self.buckets[b as usize].back = prev;
+            self.bmeta[b as usize].back = prev;
         } else {
-            self.entries[next as usize].prev = prev;
+            self.elink[next as usize].prev = prev;
         }
-        self.buckets[b as usize].len -= 1;
-        let entry = &mut self.entries[e as usize];
-        entry.prev = NIL;
-        entry.next = NIL;
-        entry.bucket = NIL;
+        self.bmeta[b as usize].len -= 1;
     }
 
     /// Finds the bucket holding exactly `count`, creating one in order if it
@@ -308,10 +350,10 @@ impl<I: Eq + Hash + Clone> StreamSummary<I> {
     /// increments that dominate streaming workloads.
     fn bucket_at(&mut self, count: u64, start: u32) -> u32 {
         let mut cur = if start == NIL { self.head } else { start };
-        while cur != NIL && self.buckets[cur as usize].count < count {
-            cur = self.buckets[cur as usize].next;
+        while cur != NIL && self.bcount[cur as usize] < count {
+            cur = self.bmeta[cur as usize].next;
         }
-        if cur != NIL && self.buckets[cur as usize].count == count {
+        if cur != NIL && self.bcount[cur as usize] == count {
             cur
         } else {
             let b = self.alloc_bucket(count);
@@ -327,10 +369,11 @@ impl<I: Eq + Hash + Clone> StreamSummary<I> {
     /// Panics in debug builds if the item is already stored.
     pub fn insert(&mut self, item: I, count: u64, err: u64) {
         debug_assert!(!self.contains(&item), "insert of an already-stored item");
-        let e = self.alloc_entry(item.clone(), err);
+        let hash = self.hash_of(&item);
+        let e = self.alloc_entry(item, err);
         let b = self.bucket_at(count, NIL);
         self.attach_front(e, b);
-        self.index.insert(item, e);
+        self.index.insert(hash, e);
         self.len += 1;
         self.counter_sum += count;
     }
@@ -340,10 +383,10 @@ impl<I: Eq + Hash + Clone> StreamSummary<I> {
     /// the snapshot-merge path, where an absorbed counter carries its own
     /// overcount bound.
     pub fn add_err(&mut self, item: &I, extra: u64) -> bool {
-        let Some(&e) = self.index.get(item) else {
+        let Some(e) = self.find(item) else {
             return false;
         };
-        self.entries[e as usize].err += extra;
+        self.eerr[e as usize] += extra;
         true
     }
 
@@ -351,28 +394,32 @@ impl<I: Eq + Hash + Clone> StreamSummary<I> {
     /// is not stored). O(1) for `by == 1`; for larger `by` the cost is the
     /// number of distinct counts skipped over.
     pub fn increment(&mut self, item: &I, by: u64) -> bool {
-        let Some(&e) = self.index.get(item) else {
+        let Some(e) = self.find(item) else {
             return false;
         };
         if by == 0 {
             return true;
         }
-        let b = self.entries[e as usize].bucket;
-        let new_count = self.buckets[b as usize].count + by;
         self.counter_sum += by;
+        let b = self.elink[e as usize].bucket;
+        let new_count = self.bcount[b as usize] + by;
+        let BucketMeta { len, next, .. } = self.bmeta[b as usize];
         // In-place bump: sole occupant and the next bucket (if any) is still
         // strictly larger. Keeps the hot path allocation-free.
-        let next = self.buckets[b as usize].next;
-        if self.buckets[b as usize].len == 1
-            && (next == NIL || self.buckets[next as usize].count > new_count)
-        {
-            self.buckets[b as usize].count = new_count;
+        if len == 1 && (next == NIL || self.bcount[next as usize] > new_count) {
+            self.bcount[b as usize] = new_count;
             return true;
         }
+        // Common streaming case: the exact target bucket is the immediate
+        // neighbour (`+1` increments with both counts populated).
         self.detach(e);
-        let target = self.bucket_at(new_count, b);
+        let target = if next != NIL && self.bcount[next as usize] == new_count {
+            next
+        } else {
+            self.bucket_at(new_count, b)
+        };
         self.attach_front(e, target);
-        if self.buckets[b as usize].len == 0 {
+        if self.bmeta[b as usize].len == 0 {
             self.unlink_bucket(b);
         }
         true
@@ -385,16 +432,16 @@ impl<I: Eq + Hash + Clone> StreamSummary<I> {
             return None;
         }
         let b = self.head;
-        let e = self.buckets[b as usize].back;
+        let e = self.bmeta[b as usize].back;
         debug_assert_ne!(e, NIL, "head bucket cannot be empty");
-        let count = self.buckets[b as usize].count;
+        let count = self.bcount[b as usize];
         self.detach(e);
-        if self.buckets[b as usize].len == 0 {
+        if self.bmeta[b as usize].len == 0 {
             self.unlink_bucket(b);
         }
-        let err = self.entries[e as usize].err;
+        let err = self.eerr[e as usize];
         let item = self.free_entry(e);
-        self.index.remove(&item);
+        self.index.remove(self.hash_of(&item), |v| v == e);
         self.len -= 1;
         self.counter_sum -= count;
         Some((item, count, err))
@@ -402,14 +449,17 @@ impl<I: Eq + Hash + Clone> StreamSummary<I> {
 
     /// Removes a specific item, returning its `(raw_count, err)`.
     pub fn remove(&mut self, item: &I) -> Option<(u64, u64)> {
-        let e = self.index.remove(item)?;
-        let b = self.entries[e as usize].bucket;
-        let count = self.buckets[b as usize].count;
+        let items = &self.items;
+        let e = self.index.remove(self.hasher.hash_one(item), |e| {
+            items[e as usize].as_ref() == Some(item)
+        })?;
+        let b = self.elink[e as usize].bucket;
+        let count = self.bcount[b as usize];
         self.detach(e);
-        if self.buckets[b as usize].len == 0 {
+        if self.bmeta[b as usize].len == 0 {
             self.unlink_bucket(b);
         }
-        let err = self.entries[e as usize].err;
+        let err = self.eerr[e as usize];
         self.free_entry(e);
         self.len -= 1;
         self.counter_sum -= count;
@@ -421,15 +471,15 @@ impl<I: Eq + Hash + Clone> StreamSummary<I> {
     /// the offset interpretation; amortized O(1) per removed entry.
     pub fn pop_le(&mut self, threshold: u64) -> Vec<I> {
         let mut out = Vec::new();
-        while self.head != NIL && self.buckets[self.head as usize].count <= threshold {
+        while self.head != NIL && self.bcount[self.head as usize] <= threshold {
             let b = self.head;
-            let count = self.buckets[b as usize].count;
-            let mut e = self.buckets[b as usize].front;
+            let count = self.bcount[b as usize];
+            let mut e = self.bmeta[b as usize].front;
             while e != NIL {
-                let next = self.entries[e as usize].next;
+                let next = self.elink[e as usize].next;
                 self.detach(e);
                 let item = self.free_entry(e);
-                self.index.remove(&item);
+                self.index.remove(self.hash_of(&item), |v| v == e);
                 out.push(item);
                 self.len -= 1;
                 self.counter_sum -= count;
@@ -443,30 +493,66 @@ impl<I: Eq + Hash + Clone> StreamSummary<I> {
     /// Snapshot of all entries in ascending count order (FIFO order within a
     /// bucket: oldest first).
     pub fn snapshot_asc(&self) -> Vec<SummaryEntry<I>> {
-        let mut out = Vec::with_capacity(self.len);
+        let mut out = Vec::new();
+        self.snapshot_asc_into(&mut out);
+        out
+    }
+
+    /// Ascending snapshot written into a caller-owned buffer (cleared
+    /// first) — the allocation-free variant for monitor/report loops.
+    pub fn snapshot_asc_into(&self, out: &mut Vec<SummaryEntry<I>>) {
+        out.clear();
+        out.reserve(self.len);
         let mut b = self.head;
         while b != NIL {
-            let bucket = &self.buckets[b as usize];
-            let mut e = bucket.back;
+            let count = self.bcount[b as usize];
+            let mut e = self.bmeta[b as usize].back;
             while e != NIL {
-                let entry = &self.entries[e as usize];
                 out.push((
-                    entry.item.clone().expect("live entry"),
-                    bucket.count,
-                    entry.err,
+                    self.items[e as usize].clone().expect("live entry"),
+                    count,
+                    self.eerr[e as usize],
                 ));
-                e = entry.prev;
+                e = self.elink[e as usize].prev;
             }
-            b = bucket.next;
+            b = self.bmeta[b as usize].next;
         }
-        out
     }
 
     /// Snapshot in descending count order.
     pub fn snapshot_desc(&self) -> Vec<SummaryEntry<I>> {
-        let mut v = self.snapshot_asc();
-        v.reverse();
-        v
+        let mut out = Vec::new();
+        self.snapshot_desc_into(&mut out);
+        out
+    }
+
+    /// Descending snapshot written into a caller-owned buffer (cleared
+    /// first). Exactly the reverse of [`StreamSummary::snapshot_asc_into`],
+    /// produced by walking the lists backwards instead of reversing.
+    pub fn snapshot_desc_into(&self, out: &mut Vec<SummaryEntry<I>>) {
+        out.clear();
+        out.reserve(self.len);
+        self.for_each_desc(|item, count, err| out.push((item.clone(), count, err)));
+    }
+
+    /// Visits every entry in descending count order (the
+    /// [`StreamSummary::snapshot_desc`] order) without cloning items or
+    /// allocating — the primitive behind the `entries_into` reuse variants.
+    pub fn for_each_desc(&self, mut f: impl FnMut(&I, u64, u64)) {
+        let mut b = self.tail;
+        while b != NIL {
+            let count = self.bcount[b as usize];
+            let mut e = self.bmeta[b as usize].front;
+            while e != NIL {
+                f(
+                    self.items[e as usize].as_ref().expect("live entry"),
+                    count,
+                    self.eerr[e as usize],
+                );
+                e = self.elink[e as usize].next;
+            }
+            b = self.bmeta[b as usize].prev;
+        }
     }
 
     /// Exhaustive structural self-check used by the property tests: list
@@ -474,39 +560,44 @@ impl<I: Eq + Hash + Clone> StreamSummary<I> {
     /// `counter_sum` bookkeeping.
     #[doc(hidden)]
     pub fn check_invariants(&self) {
+        self.index.check_invariants();
         let mut seen_entries = 0usize;
         let mut sum = 0u64;
         let mut b = self.head;
         let mut prev_b = NIL;
         let mut prev_count: Option<u64> = None;
         while b != NIL {
-            let bucket = &self.buckets[b as usize];
-            assert_eq!(bucket.prev, prev_b, "bucket back-link");
+            assert_eq!(self.bmeta[b as usize].prev, prev_b, "bucket back-link");
+            let count = self.bcount[b as usize];
             if let Some(pc) = prev_count {
-                assert!(bucket.count > pc, "bucket counts strictly increasing");
+                assert!(count > pc, "bucket counts strictly increasing");
             }
-            assert!(bucket.len > 0, "no empty buckets in the list");
+            assert!(
+                self.bmeta[b as usize].len > 0,
+                "no empty buckets in the list"
+            );
             // walk entries front -> back
-            let mut e = bucket.front;
+            let mut e = self.bmeta[b as usize].front;
             let mut prev_e = NIL;
             let mut n = 0u32;
             while e != NIL {
-                let entry = &self.entries[e as usize];
-                assert_eq!(entry.prev, prev_e, "entry back-link");
-                assert_eq!(entry.bucket, b, "entry bucket pointer");
-                let item = entry.item.as_ref().expect("live entry has item");
-                assert_eq!(self.index.get(item), Some(&e), "index points at entry");
+                assert_eq!(self.elink[e as usize].prev, prev_e, "entry back-link");
+                assert_eq!(self.elink[e as usize].bucket, b, "entry bucket pointer");
+                let item = self.items[e as usize]
+                    .as_ref()
+                    .expect("live entry has item");
+                assert_eq!(self.find(item), Some(e), "index points at entry");
                 n += 1;
-                sum += bucket.count;
+                sum += count;
                 prev_e = e;
-                e = entry.next;
+                e = self.elink[e as usize].next;
             }
-            assert_eq!(bucket.back, prev_e, "bucket back pointer");
-            assert_eq!(bucket.len, n, "bucket len bookkeeping");
+            assert_eq!(self.bmeta[b as usize].back, prev_e, "bucket back pointer");
+            assert_eq!(self.bmeta[b as usize].len, n, "bucket len bookkeeping");
             seen_entries += n as usize;
-            prev_count = Some(bucket.count);
+            prev_count = Some(count);
             prev_b = b;
-            b = bucket.next;
+            b = self.bmeta[b as usize].next;
         }
         assert_eq!(self.tail, prev_b, "tail pointer");
         assert_eq!(seen_entries, self.len, "len bookkeeping");
@@ -635,6 +726,21 @@ mod tests {
         assert_eq!(counts, vec![1, 3, 3, 7]);
         let desc = s.snapshot_desc();
         assert_eq!(desc.first().map(|&(i, c, _)| (i, c)), Some((3, 7)));
+        // the _into variants agree with the allocating ones and clear old
+        // contents
+        let mut buf = vec![(99u64, 99u64, 99u64)];
+        s.snapshot_desc_into(&mut buf);
+        assert_eq!(buf, desc);
+        s.snapshot_asc_into(&mut buf);
+        assert_eq!(buf, asc);
+    }
+
+    #[test]
+    fn desc_is_exact_reverse_of_asc() {
+        let s = summary_of(&[(1, 3), (2, 1), (3, 7), (4, 3), (5, 3), (6, 1)]);
+        let mut asc = s.snapshot_asc();
+        asc.reverse();
+        assert_eq!(asc, s.snapshot_desc());
     }
 
     #[test]
@@ -662,8 +768,8 @@ mod tests {
             assert!(s.is_empty());
         }
         // arena should not have grown past one round's worth
-        assert!(s.entries.len() <= 100);
-        assert!(s.buckets.len() <= 101);
+        assert!(s.items.len() <= 100);
+        assert!(s.bcount.len() <= 101);
     }
 
     #[test]
@@ -672,5 +778,20 @@ mod tests {
         assert!(s.increment(&1, 0));
         assert_eq!(s.count(&1), Some(5));
         s.check_invariants();
+    }
+
+    #[test]
+    fn presized_summary_index_never_rehashes() {
+        // fill to capacity and churn; the RawIndex was pre-sized for m so
+        // the probe table must never grow (no rehash stall)
+        let mut s: StreamSummary<u64> = StreamSummary::with_capacity(512);
+        for i in 0..512u64 {
+            s.insert(i, 1, 0);
+        }
+        for i in 0..512u64 {
+            s.increment(&i, i + 1);
+        }
+        s.check_invariants();
+        assert_eq!(s.len(), 512);
     }
 }

@@ -98,6 +98,32 @@ pub fn for_each_run<I: Eq>(items: &[I], mut f: impl FnMut(&I, u64)) {
     }
 }
 
+/// Sorts a `(key, count)` scratch buffer by key, merges equal keys, and
+/// calls `f` once per *distinct* key with its total count — the full
+/// pre-aggregation step the commutative sketch `update_batch` fast paths
+/// share (see [`FrequencyEstimator::updates_commute`]). The buffer is left
+/// sorted; callers reuse it across batches.
+///
+/// ```
+/// let mut agg = vec![(7u64, 1u64), (3, 2), (7, 4)];
+/// let mut out = Vec::new();
+/// hh_counters::traits::for_each_aggregated(&mut agg, |k, c| out.push((k, c)));
+/// assert_eq!(out, vec![(3, 2), (7, 5)]);
+/// ```
+pub fn for_each_aggregated(agg: &mut [(u64, u64)], mut f: impl FnMut(u64, u64)) {
+    agg.sort_unstable_by_key(|&(key, _)| key);
+    let mut i = 0;
+    while i < agg.len() {
+        let (key, mut count) = agg[i];
+        i += 1;
+        while i < agg.len() && agg[i].0 == key {
+            count += agg[i].1;
+            i += 1;
+        }
+        f(key, count);
+    }
+}
+
 /// A streaming frequency estimator over items of type `I`.
 ///
 /// Implementations process a stream one update at a time and answer point
@@ -135,6 +161,36 @@ pub trait FrequencyEstimator<I: Eq + Hash + Clone> {
         }
     }
 
+    /// Processes several slices of arrivals in order — equivalent to one
+    /// [`FrequencyEstimator::update_batch`] call per chunk. This is the
+    /// natural ingest surface for drivers that buffer their input (the CLI
+    /// reads line chunks, shard workers drain partition segments): each
+    /// chunk goes through the backend's batched fast path with one virtual
+    /// call, and any backend-owned pre-aggregation scratch is reused across
+    /// chunks.
+    fn update_many(&mut self, chunks: &[&[I]]) {
+        for chunk in chunks {
+            self.update_batch(chunk);
+        }
+    }
+
+    /// Whether this estimator's final state is invariant under *reordering
+    /// and aggregation* of its update sequence — i.e. any permutation of
+    /// `update_by` calls, and any merging of same-item calls into one
+    /// weighted call, produces an identical final state.
+    ///
+    /// True for purely additive structures (classic Count-Min,
+    /// Count-Sketch: cell updates are linear). False for anything whose
+    /// state depends on arrival order: the counter algorithms (eviction and
+    /// tie-breaking are order-sensitive), conservative-update Count-Min,
+    /// and candidate trackers. Batched ingest paths consult this to decide
+    /// whether a batch may be pre-aggregated by item (collapsing *all*
+    /// duplicates) rather than only run-length compressed (collapsing
+    /// adjacent duplicates, which is always safe for the algorithms here).
+    fn updates_commute(&self) -> bool {
+        false
+    }
+
     /// The point estimate `c_i` (0 when the item is not stored).
     fn estimate(&self, item: &I) -> u64;
 
@@ -144,6 +200,16 @@ pub trait FrequencyEstimator<I: Eq + Hash + Clone> {
     /// Snapshot of stored `(item, estimate)` pairs, sorted by decreasing
     /// estimate with ties broken by the summary's eviction order.
     fn entries(&self) -> Vec<(I, u64)>;
+
+    /// [`FrequencyEstimator::entries`] written into a caller-owned buffer
+    /// (cleared first). The default delegates to `entries`; implementations
+    /// backed by [`crate::stream_summary::StreamSummary`] override it to
+    /// write straight out of the summary, so monitor/report loops that poll
+    /// every few updates stop allocating a fresh `Vec` per poll.
+    fn entries_into(&self, out: &mut Vec<(I, u64)>) {
+        out.clear();
+        out.append(&mut self.entries());
+    }
 
     /// Total weight processed so far (`F1` of the consumed stream).
     fn stream_len(&self) -> u64;
@@ -221,6 +287,14 @@ impl<I: Eq + Hash + Clone, T: FrequencyEstimator<I> + ?Sized> FrequencyEstimator
         (**self).update_batch(items)
     }
 
+    fn update_many(&mut self, chunks: &[&[I]]) {
+        (**self).update_many(chunks)
+    }
+
+    fn updates_commute(&self) -> bool {
+        (**self).updates_commute()
+    }
+
     fn estimate(&self, item: &I) -> u64 {
         (**self).estimate(item)
     }
@@ -231,6 +305,10 @@ impl<I: Eq + Hash + Clone, T: FrequencyEstimator<I> + ?Sized> FrequencyEstimator
 
     fn entries(&self) -> Vec<(I, u64)> {
         (**self).entries()
+    }
+
+    fn entries_into(&self, out: &mut Vec<(I, u64)>) {
+        (**self).entries_into(out)
     }
 
     fn stream_len(&self) -> u64 {

@@ -1,0 +1,138 @@
+//! State conformance of the SoA `StreamSummary`-backed algorithms against
+//! the Figure 1 reference executors, at the capacities the PR 4 layout
+//! overhaul targets: tiny (m = 2, maximal eviction pressure), medium
+//! (m = 64) and the cache-cliff size (m = 16384, where the open-addressing
+//! index and the split arenas actually matter).
+//!
+//! The references are O(m) per eviction, so the m = 16384 case fills the
+//! table once, runs a long increment-heavy phase, and bounds the number of
+//! reference-side eviction scans; states are compared exactly at the end
+//! (the smaller capacities compare after every prefix).
+
+use hh_counters::{
+    FrequencyEstimator, Frequent, ReferenceFrequent, ReferenceSpaceSaving, SpaceSaving,
+};
+
+/// Deterministic pseudo-random stream over `universe` items.
+fn stream(len: usize, universe: u64, seed: u64) -> Vec<u64> {
+    let mut x = seed | 1;
+    (0..len)
+        .map(|_| {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (x >> 33) % universe + 1
+        })
+        .collect()
+}
+
+fn spacesaving_conformance_per_prefix(m: usize, s: &[u64]) {
+    let mut fast = SpaceSaving::new(m);
+    let mut slow = ReferenceSpaceSaving::new(m);
+    for &x in s {
+        fast.update(x);
+        slow.update(x);
+        let mut fs: Vec<(u64, u64)> = fast.entries();
+        fs.sort_unstable();
+        assert_eq!(fs, slow.state(), "m={m} after prefix ending in {x}");
+    }
+    fast.check_invariants();
+}
+
+fn frequent_conformance_per_prefix(m: usize, s: &[u64]) {
+    let mut fast = Frequent::new(m);
+    let mut slow = ReferenceFrequent::new(m);
+    for &x in s {
+        fast.update(x);
+        slow.update(x);
+        let mut fs = fast.entries();
+        fs.sort_unstable();
+        assert_eq!(fs, slow.state(), "m={m} after prefix ending in {x}");
+    }
+    assert_eq!(fast.decrements(), slow.decrements());
+    fast.check_invariants();
+}
+
+#[test]
+fn spacesaving_soa_conformance_m2() {
+    spacesaving_conformance_per_prefix(2, &stream(600, 9, 7));
+}
+
+#[test]
+fn frequent_soa_conformance_m2() {
+    frequent_conformance_per_prefix(2, &stream(600, 9, 11));
+}
+
+#[test]
+fn spacesaving_soa_conformance_m64() {
+    spacesaving_conformance_per_prefix(64, &stream(3000, 200, 13));
+}
+
+#[test]
+fn frequent_soa_conformance_m64() {
+    frequent_conformance_per_prefix(64, &stream(3000, 200, 17));
+}
+
+/// m = 16384: fill past capacity, hammer the stored items with increments
+/// (the workload the SoA layout optimizes), sprinkle a bounded number of
+/// evicting arrivals, then compare the full final state exactly.
+#[test]
+fn spacesaving_soa_conformance_m16384() {
+    let m = 16384usize;
+    let mut fast = SpaceSaving::new(m);
+    let mut slow = ReferenceSpaceSaving::new(m);
+    let feed = |fast: &mut SpaceSaving<u64>, slow: &mut ReferenceSpaceSaving<u64>, x: u64| {
+        fast.update(x);
+        slow.update(x);
+    };
+    // fill phase: m distinct items (no evictions yet)
+    for i in 0..m as u64 {
+        feed(&mut fast, &mut slow, i + 1);
+    }
+    // increment-heavy phase over stored items
+    for &x in &stream(60_000, m as u64, 23) {
+        feed(&mut fast, &mut slow, x);
+    }
+    // bounded eviction phase: 200 unseen items (each costs the reference an
+    // O(m) scan — keep it small) interleaved with more increments
+    for (i, &x) in stream(2_000, m as u64, 29).iter().enumerate() {
+        if i % 10 == 0 {
+            feed(&mut fast, &mut slow, 1_000_000 + i as u64);
+        }
+        feed(&mut fast, &mut slow, x);
+    }
+    fast.check_invariants();
+    let mut fs: Vec<(u64, u64)> = fast.entries();
+    fs.sort_unstable();
+    assert_eq!(fs, slow.state(), "m=16384 final state");
+}
+
+#[test]
+fn frequent_soa_conformance_m16384() {
+    let m = 16384usize;
+    let mut fast = Frequent::new(m);
+    let mut slow = ReferenceFrequent::new(m);
+    let feed = |fast: &mut Frequent<u64>, slow: &mut ReferenceFrequent<u64>, x: u64| {
+        fast.update(x);
+        slow.update(x);
+    };
+    for i in 0..m as u64 {
+        feed(&mut fast, &mut slow, i + 1);
+    }
+    for &x in &stream(60_000, m as u64, 31) {
+        feed(&mut fast, &mut slow, x);
+    }
+    // decrement rounds: each unseen arrival on a full table decrements all
+    // m reference counters — keep the count bounded
+    for (i, &x) in stream(2_000, m as u64, 37).iter().enumerate() {
+        if i % 20 == 0 {
+            feed(&mut fast, &mut slow, 1_000_000 + i as u64);
+        }
+        feed(&mut fast, &mut slow, x);
+    }
+    fast.check_invariants();
+    assert_eq!(fast.decrements(), slow.decrements());
+    let mut fs = fast.entries();
+    fs.sort_unstable();
+    assert_eq!(fs, slow.state(), "m=16384 final state");
+}

@@ -11,9 +11,9 @@
 use std::hash::Hash;
 
 use hh_counters::error::Error;
-use hh_counters::traits::{for_each_run, Bias, FrequencyEstimator};
+use hh_counters::traits::{for_each_aggregated, for_each_run, Bias, FrequencyEstimator};
 
-use crate::hash::{item_key, PolyHash};
+use crate::hash::{item_key, RowHashes};
 
 /// Update discipline for [`CountMin`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -27,10 +27,22 @@ pub enum UpdateRule {
 }
 
 /// Count-Min sketch over items hashable to `u64` keys.
+///
+/// The `d × w` table is one contiguous row-major allocation with
+/// precomputed per-row base offsets, and the row hashes live in one flat
+/// coefficient array ([`RowHashes`]) — an update hashes all rows up front
+/// and then touches cells with no intervening pointer chases.
 #[derive(Debug, Clone)]
 pub struct CountMin<I> {
-    rows: Vec<PolyHash>,
+    rows: RowHashes,
     table: Vec<u64>, // d × w, row-major
+    /// Precomputed row base offsets into `table` (`r * width`).
+    row_base: Vec<usize>,
+    /// Reused per-update cell-index buffer (conservative updates need the
+    /// min over all rows before writing any cell).
+    idx_scratch: Vec<usize>,
+    /// Reused batched-ingest aggregation buffer of `(key, count)` pairs.
+    agg_scratch: Vec<(u64, u64)>,
     width: usize,
     rule: UpdateRule,
     seed: u64,
@@ -42,12 +54,13 @@ impl<I: Eq + Hash + Clone> CountMin<I> {
     /// Creates a sketch with `depth` rows × `width` columns, seeded.
     pub fn new(depth: usize, width: usize, seed: u64, rule: UpdateRule) -> Self {
         assert!(depth >= 1 && width >= 1);
-        let rows = (0..depth)
-            .map(|r| PolyHash::new(2, seed.wrapping_add(0x9E37 * (r as u64 + 1))))
-            .collect();
+        let rows = RowHashes::new(depth, |r| seed.wrapping_add(0x9E37 * (r as u64 + 1)));
         CountMin {
             rows,
             table: vec![0; depth * width],
+            row_base: (0..depth).map(|r| r * width).collect(),
+            idx_scratch: Vec::with_capacity(depth),
+            agg_scratch: Vec::new(),
             width,
             rule,
             seed,
@@ -75,7 +88,7 @@ impl<I: Eq + Hash + Clone> CountMin<I> {
 
     /// Number of rows `d`.
     pub fn depth(&self) -> usize {
-        self.rows.len()
+        self.rows.depth()
     }
 
     /// Number of columns `w`.
@@ -167,28 +180,35 @@ impl<I: Eq + Hash + Clone> CountMin<I> {
 
     #[inline]
     fn cell_index(&self, row: usize, key: u64) -> usize {
-        row * self.width + self.rows[row].bucket(key, self.width)
+        self.row_base[row] + self.rows.bucket(row, key, self.width)
     }
 
     /// One update of `count` occurrences for a pre-hashed key (shared by
-    /// [`FrequencyEstimator::update_by`] and the batched fast path).
+    /// [`FrequencyEstimator::update_by`] and the batched fast path). All
+    /// row hashes are evaluated up front into a reused index buffer, then
+    /// the cells are touched in one sweep.
     fn add_key(&mut self, key: u64, count: u64) {
         self.stream_len += count;
+        self.idx_scratch.clear();
+        for r in 0..self.rows.depth() {
+            let idx = self.row_base[r] + self.rows.bucket(r, key, self.width);
+            self.idx_scratch.push(idx);
+        }
         match self.rule {
             UpdateRule::Classic => {
-                for r in 0..self.rows.len() {
-                    let idx = self.cell_index(r, key);
+                for &idx in &self.idx_scratch {
                     self.table[idx] += count;
                 }
             }
             UpdateRule::Conservative => {
-                let est = (0..self.rows.len())
-                    .map(|r| self.table[self.cell_index(r, key)])
+                let est = self
+                    .idx_scratch
+                    .iter()
+                    .map(|&idx| self.table[idx])
                     .min()
                     .expect("at least one row");
                 let target = est + count;
-                for r in 0..self.rows.len() {
-                    let idx = self.cell_index(r, key);
+                for &idx in &self.idx_scratch {
                     if self.table[idx] < target {
                         self.table[idx] = target;
                     }
@@ -220,18 +240,37 @@ impl<I: Eq + Hash + Clone> FrequencyEstimator<I> for CountMin<I> {
         self.add_key(item_key(&item), count);
     }
 
-    /// Batched ingest: run-length aggregates the slice so a run of `r`
-    /// equal arrivals costs one item hash and one `d`-row cell sweep
-    /// instead of `r` (equivalent for both update rules: classic updates
-    /// are additive, and `r` consecutive conservative updates of one item
-    /// raise each cell to `min + r` exactly as one `+r` update does).
+    /// Batched ingest.
+    ///
+    /// *Classic* updates are purely additive, so the whole batch is
+    /// pre-aggregated first: run-length collapse into `(key, count)` pairs
+    /// in a reused scratch buffer, sort by key, merge, then apply one
+    /// weighted `d`-row sweep per *distinct* key — on skewed streams this
+    /// turns most of the `depth × len` cell touches into sequential work
+    /// over far fewer keys, with identical final state.
+    ///
+    /// *Conservative* updates are order-sensitive across distinct items, so
+    /// only adjacent runs are collapsed (a run of `r` equal arrivals raises
+    /// each cell to `min + r` exactly as one `+r` update does), which keeps
+    /// the path exactly equivalent to the per-element loop.
     fn update_batch(&mut self, items: &[I]) {
-        for_each_run(items, |item, run| self.add_key(item_key(item), run));
+        match self.rule {
+            UpdateRule::Classic => {
+                let mut agg = std::mem::take(&mut self.agg_scratch);
+                agg.clear();
+                for_each_run(items, |item, run| agg.push((item_key(item), run)));
+                for_each_aggregated(&mut agg, |key, count| self.add_key(key, count));
+                self.agg_scratch = agg;
+            }
+            UpdateRule::Conservative => {
+                for_each_run(items, |item, run| self.add_key(item_key(item), run));
+            }
+        }
     }
 
     fn estimate(&self, item: &I) -> u64 {
         let key = item_key(item);
-        (0..self.rows.len())
+        (0..self.rows.depth())
             .map(|r| self.table[self.cell_index(r, key)])
             .min()
             .expect("at least one row")
@@ -254,6 +293,13 @@ impl<I: Eq + Hash + Clone> FrequencyEstimator<I> for CountMin<I> {
 
     fn bias(&self) -> Bias {
         Bias::Over
+    }
+
+    /// Classic updates are additive, hence invariant under reordering and
+    /// aggregation; conservative updates are order-sensitive across
+    /// distinct items.
+    fn updates_commute(&self) -> bool {
+        self.rule == UpdateRule::Classic
     }
 
     /// Count-Min estimates are upper bounds for *every* item (stored or

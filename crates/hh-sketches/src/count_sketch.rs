@@ -2,23 +2,32 @@
 //! comparator from Table 1, with the `(f_i − f̂_i)² ≤ ε/k · F2^res(k)`
 //! guarantee using `O((k/ε)·log n)` counters.
 //!
-//! `d` rows of `w` signed counters; each row pairs a bucket hash with a ±1
-//! sign hash. The estimate is the *median* over rows of
+//! `d` rows of `w` signed counters; each row derives its bucket *and* its
+//! ±1 sign from a single pairwise polynomial evaluation (sign from the low
+//! bit, bucket from the remaining bits — the classic folding that halves
+//! the hashing work per row). The estimate is the *median* over rows of
 //! `sign_r(i) · cell_r(i)`, an unbiased two-sided estimator.
 
 use std::hash::Hash;
 
 use hh_counters::error::Error;
-use hh_counters::traits::{for_each_run, Bias, FrequencyEstimator};
+use hh_counters::traits::{for_each_aggregated, for_each_run, Bias, FrequencyEstimator};
 
-use crate::hash::{item_key, PolyHash};
+use crate::hash::{item_key, RowHashes};
 
 /// Count-Sketch over items hashable to `u64` keys.
+///
+/// Like [`crate::count_min::CountMin`], the table is one contiguous
+/// row-major allocation with precomputed per-row base offsets and a flat
+/// row-hash coefficient array.
 #[derive(Debug, Clone)]
 pub struct CountSketch<I> {
-    buckets: Vec<PolyHash>,
-    signs: Vec<PolyHash>,
+    rows: RowHashes,
     table: Vec<i64>, // d × w, row-major
+    /// Precomputed row base offsets into `table` (`r * width`).
+    row_base: Vec<usize>,
+    /// Reused batched-ingest aggregation buffer of `(key, count)` pairs.
+    agg_scratch: Vec<(u64, u64)>,
     width: usize,
     seed: u64,
     stream_len: u64,
@@ -29,16 +38,12 @@ impl<I: Eq + Hash + Clone> CountSketch<I> {
     /// Creates a sketch with `depth` rows × `width` columns, seeded.
     pub fn new(depth: usize, width: usize, seed: u64) -> Self {
         assert!(depth >= 1 && width >= 1);
-        let buckets = (0..depth)
-            .map(|r| PolyHash::new(2, seed.wrapping_add(0xB5_C0 * (r as u64 + 1))))
-            .collect();
-        let signs = (0..depth)
-            .map(|r| PolyHash::new(2, seed.wrapping_add(0x51_6E * (r as u64 + 1)) ^ 0xDEAD_BEEF))
-            .collect();
+        let rows = RowHashes::new(depth, |r| seed.wrapping_add(0xB5_C0 * (r as u64 + 1)));
         CountSketch {
-            buckets,
-            signs,
+            rows,
             table: vec![0; depth * width],
+            row_base: (0..depth).map(|r| r * width).collect(),
+            agg_scratch: Vec::new(),
             width,
             seed,
             stream_len: 0,
@@ -55,7 +60,7 @@ impl<I: Eq + Hash + Clone> CountSketch<I> {
 
     /// Number of rows `d`.
     pub fn depth(&self) -> usize {
-        self.buckets.len()
+        self.rows.depth()
     }
 
     /// Number of columns `w`.
@@ -129,12 +134,13 @@ impl<I: Eq + Hash + Clone> CountSketch<I> {
         Ok(())
     }
 
-    /// One update of `count` occurrences for a pre-hashed key.
+    /// One update of `count` occurrences for a pre-hashed key: one folded
+    /// polynomial evaluation per row yields both the bucket and the sign.
     fn add_key(&mut self, key: u64, count: u64) {
         self.stream_len += count;
-        for r in 0..self.depth() {
-            let idx = r * self.width + self.buckets[r].bucket(key, self.width);
-            self.table[idx] += self.signs[r].sign(key) * count as i64;
+        for r in 0..self.rows.depth() {
+            let (sign, bucket) = self.rows.signed_bucket(r, key, self.width);
+            self.table[self.row_base[r] + bucket] += sign * count as i64;
         }
     }
 
@@ -144,8 +150,8 @@ impl<I: Eq + Hash + Clone> CountSketch<I> {
         let key = item_key(item);
         let mut row_estimates: Vec<i64> = (0..self.depth())
             .map(|r| {
-                let idx = r * self.width + self.buckets[r].bucket(key, self.width);
-                self.signs[r].sign(key) * self.table[idx]
+                let (sign, bucket) = self.rows.signed_bucket(r, key, self.width);
+                sign * self.table[self.row_base[r] + bucket]
             })
             .collect();
         row_estimates.sort_unstable();
@@ -176,11 +182,17 @@ impl<I: Eq + Hash + Clone> FrequencyEstimator<I> for CountSketch<I> {
         self.add_key(item_key(&item), count);
     }
 
-    /// Batched ingest: run-length aggregates the slice so a run of `r`
-    /// equal arrivals costs one item hash and one `d`-row sweep instead of
-    /// `r` — exactly equivalent because Count-Sketch updates are linear.
+    /// Batched ingest: Count-Sketch updates are linear, so the whole batch
+    /// is pre-aggregated — run-length collapse into `(key, count)` pairs in
+    /// a reused scratch buffer, sort by key, merge, then one weighted
+    /// `d`-row sweep per *distinct* key. Exactly equivalent to the
+    /// per-element loop.
     fn update_batch(&mut self, items: &[I]) {
-        for_each_run(items, |item, run| self.add_key(item_key(item), run));
+        let mut agg = std::mem::take(&mut self.agg_scratch);
+        agg.clear();
+        for_each_run(items, |item, run| agg.push((item_key(item), run)));
+        for_each_aggregated(&mut agg, |key, count| self.add_key(key, count));
+        self.agg_scratch = agg;
     }
 
     /// The median estimate clamped to the non-negative domain.
@@ -205,6 +217,12 @@ impl<I: Eq + Hash + Clone> FrequencyEstimator<I> for CountSketch<I> {
 
     fn bias(&self) -> Bias {
         Bias::TwoSided
+    }
+
+    /// Count-Sketch updates are linear: invariant under reordering and
+    /// aggregation.
+    fn updates_commute(&self) -> bool {
+        true
     }
 }
 

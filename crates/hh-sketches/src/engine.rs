@@ -666,6 +666,12 @@ pub struct CountMinState<I> {
     pub cap: usize,
 }
 
+/// Revision of Count-Sketch's seed→layout derivation. Bumped when the
+/// hash family changes (rev 2: the folded single-polynomial bucket+sign
+/// evaluation), so a snapshot captured under a different derivation fails
+/// loudly instead of silently rehydrating into wrong cell positions.
+pub const CS_HASH_REV: u32 = 2;
+
 /// Wire state of a Count-Sketch backend (signed cells plus candidate heap).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CountSketchState<I> {
@@ -675,6 +681,12 @@ pub struct CountSketchState<I> {
     pub width: usize,
     /// Hash-family seed.
     pub seed: u64,
+    /// Hash-derivation revision the cells were produced under
+    /// ([`CS_HASH_REV`]); mismatches are rejected at restore/merge time.
+    /// (Snapshots from before this field existed fail to deserialize —
+    /// their cells came from the old two-polynomial family and cannot be
+    /// interpreted by this build either.)
+    pub hash_rev: u32,
     /// Total stream length consumed.
     pub stream_len: u64,
     /// The `d × w` signed cells, row-major.
@@ -845,6 +857,21 @@ fn mismatch<I>(expected: &'static str, found: &Snapshot<I>) -> Error {
     }
 }
 
+/// Rejects Count-Sketch snapshots whose cells were produced under a
+/// different seed→layout derivation — the seed alone cannot tell them
+/// apart, and merging or rehydrating across derivations silently corrupts
+/// every estimate.
+fn check_cs_hash_rev(rev: u32) -> Result<(), Error> {
+    if rev == CS_HASH_REV {
+        Ok(())
+    } else {
+        Err(Error::corrupt_snapshot(format!(
+            "count_sketch snapshot uses hash derivation rev {rev}, this build uses rev \
+             {CS_HASH_REV}; re-capture the snapshot with a matching build"
+        )))
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Backend plumbing
 // ---------------------------------------------------------------------------
@@ -995,6 +1022,7 @@ impl<I: EngineItem> Backend<I> for SketchHeavyHitters<I, CountSketch<I>> {
             depth: sketch.depth(),
             width: sketch.width(),
             seed: sketch.seed(),
+            hash_rev: CS_HASH_REV,
             stream_len: sketch.stream_len(),
             cells: sketch.cells().to_vec(),
             candidates: self.candidate_items(),
@@ -1006,6 +1034,7 @@ impl<I: EngineItem> Backend<I> for SketchHeavyHitters<I, CountSketch<I>> {
         let Snapshot::CountSketch(state) = snap else {
             return Err(mismatch("count_sketch", snap));
         };
+        check_cs_hash_rev(state.hash_rev)?;
         let other_sketch = CountSketch::from_parts(
             state.depth,
             state.width,
@@ -1094,9 +1123,32 @@ impl<I: EngineItem> Engine<I> {
     }
 
     /// Processes a slice of arrivals through the backend's batched fast
-    /// path (run-length aggregated where the backend supports it).
+    /// path.
+    ///
+    /// Every backend routes this through a pre-aggregation step over a
+    /// backend-owned reusable scratch buffer (no per-batch allocation):
+    /// commutative sketches collapse the batch to one weighted update per
+    /// distinct item, order-sensitive backends collapse adjacent runs —
+    /// the strongest aggregation that preserves their exact per-element
+    /// semantics.
     pub fn update_batch(&mut self, items: &[I]) {
         self.backend.update_batch(items);
+    }
+
+    /// Processes several slices of arrivals in order — the chunked ingest
+    /// surface for drivers that buffer their input (the CLI reads line
+    /// chunks; shard workers drain partition segments). Each chunk goes
+    /// through [`Engine::update_batch`] with one virtual call, and the
+    /// backend's pre-aggregation scratch is reused across chunks.
+    ///
+    /// ```
+    /// use hh_sketches::engine::{AlgoKind, EngineConfig};
+    /// let mut e = EngineConfig::new(AlgoKind::SpaceSaving).counters(8).build::<u64>().unwrap();
+    /// e.update_many(&[&[1, 1, 2][..], &[2, 3][..]]);
+    /// assert_eq!(e.stream_len(), 5);
+    /// ```
+    pub fn update_many(&mut self, chunks: &[&[I]]) {
+        self.backend.update_many(chunks);
     }
 
     /// The backend's point estimate `c_i` (0 for unstored items).
@@ -1218,6 +1270,7 @@ impl<I: EngineItem> Engine<I> {
                 )
             }
             Snapshot::CountSketch(s) => {
+                check_cs_hash_rev(s.hash_rev)?;
                 let sketch =
                     CountSketch::from_parts(s.depth, s.width, s.seed, s.stream_len, s.cells)?;
                 (
@@ -1323,6 +1376,14 @@ impl<I: EngineItem> FrequencyEstimator<I> for Engine<I> {
         self.backend.update_batch(items)
     }
 
+    fn update_many(&mut self, chunks: &[&[I]]) {
+        self.backend.update_many(chunks)
+    }
+
+    fn updates_commute(&self) -> bool {
+        self.backend.updates_commute()
+    }
+
     fn estimate(&self, item: &I) -> u64 {
         self.backend.estimate(item)
     }
@@ -1333,6 +1394,10 @@ impl<I: EngineItem> FrequencyEstimator<I> for Engine<I> {
 
     fn entries(&self) -> Vec<(I, u64)> {
         self.backend.entries()
+    }
+
+    fn entries_into(&self, out: &mut Vec<(I, u64)>) {
+        self.backend.entries_into(out)
     }
 
     fn stream_len(&self) -> u64 {
@@ -1442,19 +1507,40 @@ impl<I: EngineItem> Report<'_, I> {
     /// Every stored entry with its bound interval, sorted by decreasing
     /// estimate (ties broken by the backend's eviction order).
     pub fn entries(&self) -> Vec<ReportEntry<I>> {
-        self.engine
-            .entries()
-            .into_iter()
-            .map(|(item, estimate)| {
-                let (lower, upper) = self.interval(&item);
-                ReportEntry {
-                    item,
-                    estimate,
-                    lower,
-                    upper,
-                }
-            })
-            .collect()
+        let mut pairs = Vec::new();
+        let mut out = Vec::new();
+        self.entries_into(&mut pairs, &mut out);
+        out
+    }
+
+    /// [`Report::entries`] written into caller-owned buffers (both cleared
+    /// first): `pairs` is the raw `(item, estimate)` scratch filled via the
+    /// backend's allocation-free
+    /// [`FrequencyEstimator::entries_into`] path, `out` receives the
+    /// interval-annotated rows. Monitor/report loops that poll every few
+    /// updates reuse both buffers and stop allocating per poll.
+    ///
+    /// ```
+    /// use hh_sketches::engine::{AlgoKind, EngineConfig};
+    /// let mut e = EngineConfig::new(AlgoKind::SpaceSaving).counters(8).build::<u64>().unwrap();
+    /// e.update_batch(&[5, 5, 9]);
+    /// let (mut pairs, mut rows) = (Vec::new(), Vec::new());
+    /// e.report().entries_into(&mut pairs, &mut rows);
+    /// assert_eq!(rows[0].item, 5);
+    /// ```
+    pub fn entries_into(&self, pairs: &mut Vec<(I, u64)>, out: &mut Vec<ReportEntry<I>>) {
+        self.engine.backend.entries_into(pairs);
+        out.clear();
+        out.reserve(pairs.len());
+        for (item, estimate) in pairs.drain(..) {
+            let (lower, upper) = self.interval(&item);
+            out.push(ReportEntry {
+                item,
+                estimate,
+                lower,
+                upper,
+            });
+        }
     }
 
     /// The `k` largest entries, most frequent first (subsumes the free
@@ -2092,6 +2178,29 @@ mod tests {
             entries: vec![(1u64, 3), (2, 2)],
         });
         assert!(Engine::from_snapshot(snap).is_err());
+    }
+
+    #[test]
+    fn count_sketch_hash_revision_mismatch_is_rejected() {
+        let mut e = EngineConfig::new(AlgoKind::CountSketch)
+            .counters(64)
+            .build::<u64>()
+            .unwrap();
+        e.update_batch(&[1, 1, 2]);
+        let Snapshot::CountSketch(mut state) = e.snapshot() else {
+            panic!("count-sketch snapshot expected");
+        };
+        assert_eq!(state.hash_rev, CS_HASH_REV);
+        state.hash_rev = CS_HASH_REV - 1; // cells from an older derivation
+        let stale = Snapshot::CountSketch(state);
+        assert!(matches!(
+            Engine::from_snapshot(stale.clone()),
+            Err(Error::CorruptSnapshot(_))
+        ));
+        assert!(matches!(
+            e.merge_snapshot(&stale),
+            Err(Error::CorruptSnapshot(_))
+        ));
     }
 
     #[test]

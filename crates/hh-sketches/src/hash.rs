@@ -110,6 +110,71 @@ impl PolyHash {
     }
 }
 
+/// The pairwise-independent row-hash family of a sketch, stored as one
+/// flat array of `(a, b)` coefficient pairs.
+///
+/// Functionally each row is exactly `PolyHash::new(2, row_seed)` — same
+/// SplitMix64 coefficient derivation, same Mersenne-prime evaluation — but
+/// evaluating *all* rows for one key is a single pass over contiguous
+/// memory instead of `d` pointer-chases through separately-allocated
+/// coefficient vectors. This is the hot-path form the sketches use; the
+/// general [`PolyHash`] remains for k-wise (k > 2) uses.
+#[derive(Debug, Clone)]
+pub struct RowHashes {
+    /// `(a, b)` per row: the row hash is `a·x + b mod (2^61 − 1)`.
+    coeffs: Vec<[u64; 2]>,
+}
+
+impl RowHashes {
+    /// Derives `depth` independent pairwise functions; row `r` uses the
+    /// seed `seed_for_row(r)` exactly as `PolyHash::new(2, ·)` would, so
+    /// sketch layouts are reproducible from the same seeds across snapshot
+    /// round-trips.
+    pub fn new(depth: usize, mut seed_for_row: impl FnMut(usize) -> u64) -> Self {
+        let coeffs = (0..depth)
+            .map(|r| {
+                let mut rng = SplitMix64::new(seed_for_row(r));
+                let mut a = rng.next_mod_p();
+                let b = rng.next_mod_p();
+                if a == 0 {
+                    a = 1; // keep the polynomial degree exact, as PolyHash does
+                }
+                [a, b]
+            })
+            .collect();
+        RowHashes { coeffs }
+    }
+
+    /// Number of rows.
+    pub fn depth(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// Row `r`'s hash of `x`, in `[0, 2^61 − 1)`.
+    #[inline]
+    pub fn hash(&self, r: usize, x: u64) -> u64 {
+        let [a, b] = self.coeffs[r];
+        mod_p_mul_add(a, x % MERSENNE_P, b)
+    }
+
+    /// Row `r`'s hash reduced onto `[0, buckets)`.
+    #[inline]
+    pub fn bucket(&self, r: usize, x: u64, buckets: usize) -> usize {
+        (self.hash(r, x) % buckets as u64) as usize
+    }
+
+    /// Row `r`'s hash split into a ±1 sign (low bit) and a bucket (the
+    /// remaining bits reduced onto `[0, buckets)`) — the folded evaluation
+    /// Count-Sketch uses so one polynomial evaluation serves both the
+    /// bucket and the sign hash.
+    #[inline]
+    pub fn signed_bucket(&self, r: usize, x: u64, buckets: usize) -> (i64, usize) {
+        let h = self.hash(r, x);
+        let sign = 1 - 2 * (h & 1) as i64;
+        (sign, ((h >> 1) % buckets as u64) as usize)
+    }
+}
+
 /// Hashes an arbitrary `Hash` item to a `u64` key with the crate's fast
 /// hasher; sketches then apply their seeded [`PolyHash`] functions to this
 /// key. (The composition stays pairwise independent over the keys actually
@@ -178,6 +243,32 @@ mod tests {
         let h = PolyHash::new(2, 11);
         let sum: i64 = (0..10_000u64).map(|x| h.sign(x)).sum();
         assert!(sum.abs() < 500, "signs should be nearly balanced: {sum}");
+    }
+
+    #[test]
+    fn row_hashes_match_polyhash_rows() {
+        let seed = 42u64;
+        let rows = RowHashes::new(4, |r| seed.wrapping_add(0x9E37 * (r as u64 + 1)));
+        for r in 0..4 {
+            let poly = PolyHash::new(2, seed.wrapping_add(0x9E37 * (r as u64 + 1)));
+            for x in [0u64, 1, 7, 1 << 40, u64::MAX] {
+                assert_eq!(rows.hash(r, x), poly.hash(x), "row {r} x {x}");
+                assert_eq!(rows.bucket(r, x, 37), poly.bucket(x, 37));
+            }
+        }
+    }
+
+    #[test]
+    fn signed_bucket_balanced_and_in_range() {
+        let rows = RowHashes::new(1, |_| 9);
+        let mut sum = 0i64;
+        for x in 0..10_000u64 {
+            let (sign, bucket) = rows.signed_bucket(0, x, 64);
+            assert!(sign == 1 || sign == -1);
+            assert!(bucket < 64);
+            sum += sign;
+        }
+        assert!(sum.abs() < 500, "signs nearly balanced: {sum}");
     }
 
     #[test]

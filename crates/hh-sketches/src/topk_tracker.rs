@@ -20,6 +20,10 @@ pub struct SketchHeavyHitters<I: Eq + Hash + Clone, S> {
     sketch: S,
     candidates: FxHashMap<I, u64>,
     cap: usize,
+    /// Reused batched-ingest aggregation buffer: `(first position, count)`
+    /// per run, sorted by item so a batch costs one sketch update and one
+    /// candidate refresh per *distinct* item when the sketch commutes.
+    agg_scratch: Vec<(usize, u64)>,
 }
 
 impl<I: Eq + Hash + Clone + Ord, S: FrequencyEstimator<I>> SketchHeavyHitters<I, S> {
@@ -30,6 +34,7 @@ impl<I: Eq + Hash + Clone + Ord, S: FrequencyEstimator<I>> SketchHeavyHitters<I,
             sketch,
             candidates: FxHashMap::default(),
             cap,
+            agg_scratch: Vec::new(),
         }
     }
 
@@ -78,6 +83,7 @@ impl<I: Eq + Hash + Clone + Ord, S: FrequencyEstimator<I>> SketchHeavyHitters<I,
             sketch,
             candidates: map,
             cap,
+            agg_scratch: Vec::new(),
         })
     }
 
@@ -153,17 +159,58 @@ impl<I: Eq + Hash + Clone + Ord, S: FrequencyEstimator<I>> FrequencyEstimator<I>
         self.refresh_candidate(item);
     }
 
-    /// Batched ingest: run-length aggregates the slice, costing one sketch
-    /// update and one candidate refresh per run instead of per element.
-    /// Equivalent to per-element updates: within a run only the run's own
-    /// item changes, estimates only grow, and the admission decision made
-    /// once with the full run applied matches the per-element sequence's
-    /// final decision.
+    /// Batched ingest.
+    ///
+    /// When the wrapped sketch's updates commute (classic Count-Min,
+    /// Count-Sketch), the batch is pre-aggregated by *item*: run-length
+    /// collapse into a reused `(position, count)` scratch, sort by item,
+    /// merge, then one weighted sketch update and one candidate refresh per
+    /// distinct item. The sketch ends in exactly the per-element state;
+    /// candidate admissions are decided against the batch-final estimates
+    /// (the candidate heap is a heuristic whose refresh order within a
+    /// batch is unspecified — see `docs/PERFORMANCE.md`).
+    ///
+    /// Order-sensitive sketches (conservative Count-Min) fall back to
+    /// run-length aggregation, which is exactly equivalent to the
+    /// per-element loop: within a run only the run's own item changes,
+    /// estimates only grow, and the admission decision made once with the
+    /// full run applied matches the per-element sequence's final decision.
     fn update_batch(&mut self, items: &[I]) {
-        for_each_run(items, |item, run| {
-            self.sketch.update_by(item.clone(), run);
-            self.refresh_candidate(item.clone());
-        });
+        if self.sketch.updates_commute() {
+            let mut agg = std::mem::take(&mut self.agg_scratch);
+            agg.clear();
+            let mut i = 0;
+            while i < items.len() {
+                let start = i;
+                let item = &items[i];
+                while i < items.len() && items[i] == *item {
+                    i += 1;
+                }
+                agg.push((start, (i - start) as u64));
+            }
+            // unstable sort: equal-item runs merge below, so their relative
+            // order is irrelevant — and unlike the stable sort this one
+            // does not allocate a merge buffer per batch
+            agg.sort_unstable_by(|&(a, _), &(b, _)| items[a].cmp(&items[b]));
+            let mut j = 0;
+            while j < agg.len() {
+                let (pos, mut count) = agg[j];
+                let item = &items[pos];
+                j += 1;
+                while j < agg.len() && items[agg[j].0] == *item {
+                    count += agg[j].1;
+                    j += 1;
+                }
+                self.sketch.update_by(item.clone(), count);
+                self.refresh_candidate(item.clone());
+            }
+            self.agg_scratch = agg;
+        } else {
+            for_each_run(items, |item, run| {
+                self.sketch.update_by(item.clone(), run);
+                self.refresh_candidate(item.clone());
+            });
+        }
     }
 
     fn estimate(&self, item: &I) -> u64 {
@@ -176,13 +223,22 @@ impl<I: Eq + Hash + Clone + Ord, S: FrequencyEstimator<I>> FrequencyEstimator<I>
 
     /// Candidates with their *current* sketch estimates, sorted descending.
     fn entries(&self) -> Vec<(I, u64)> {
-        let mut v: Vec<(I, u64)> = self
-            .candidates
-            .keys()
-            .map(|i| (i.clone(), self.sketch.estimate(i)))
-            .collect();
-        v.sort_unstable_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        let mut v = Vec::new();
+        self.entries_into(&mut v);
         v
+    }
+
+    /// Allocation-free variant: re-estimates the candidates into the
+    /// caller's buffer.
+    fn entries_into(&self, out: &mut Vec<(I, u64)>) {
+        out.clear();
+        out.reserve(self.candidates.len());
+        out.extend(
+            self.candidates
+                .keys()
+                .map(|i| (i.clone(), self.sketch.estimate(i))),
+        );
+        out.sort_unstable_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
     }
 
     fn stream_len(&self) -> u64 {

@@ -1,0 +1,188 @@
+//! Property tests for the batched ingest paths (the PR 4 pre-aggregation
+//! pipeline): for every `AlgoKind`, any mix of `update_batch` chunks,
+//! weighted `update_by` calls and single `update`s must be observationally
+//! equivalent to the plain per-item `update` loop over the same arrival
+//! sequence.
+//!
+//! "Observationally equivalent" is exact for the counter algorithms
+//! (identical `entries()` including tie order — their batched paths only
+//! collapse *adjacent* runs, which commutes with splitting). For the
+//! sketch-backed engines the *estimator state* is exact (identical point
+//! estimates and `stream_len` — classic Count-Min and Count-Sketch are
+//! additive, so full per-item pre-aggregation is lossless), while the
+//! candidate heap is a heuristic whose within-batch refresh order is
+//! unspecified: the tests pin down that every reported candidate carries
+//! the sketch's own (identical) estimate.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use hh_counters::FrequencyEstimator;
+use hh_sketches::engine::{AlgoKind, Engine, EngineConfig};
+use hh_sketches::{CountMin, CountSketch, UpdateRule};
+
+/// One ingest segment: `kind` selects the ingestion surface engine A uses.
+type Seg = (u64, u64, u8);
+
+fn segments() -> impl Strategy<Value = Vec<Seg>> {
+    // (item, weight, kind): kind 0 => part of an update_batch chunk,
+    // 1 => update_by(item, weight), 2 => `weight` single updates.
+    vec((1u64..16, 1u64..4, 0u8..3), 1..80)
+}
+
+/// Expands the segment list into the logical per-item arrival sequence.
+fn expand(segs: &[Seg]) -> Vec<u64> {
+    let mut out = Vec::new();
+    for &(item, w, _) in segs {
+        out.extend(std::iter::repeat_n(item, w as usize));
+    }
+    out
+}
+
+/// Drives engine `a` through the mixed fast-path surfaces: consecutive
+/// kind-0 segments accumulate into one `update_batch` chunk (flushed when
+/// the kind changes), kind 1 uses `update_by`, kind 2 the unit loop.
+fn drive_mixed(a: &mut Engine<u64>, segs: &[Seg]) {
+    let mut chunk: Vec<u64> = Vec::new();
+    for &(item, w, kind) in segs {
+        if kind == 0 {
+            chunk.extend(std::iter::repeat_n(item, w as usize));
+            continue;
+        }
+        if !chunk.is_empty() {
+            a.update_batch(&chunk);
+            chunk.clear();
+        }
+        match kind {
+            1 => a.update_by(item, w),
+            _ => {
+                for _ in 0..w {
+                    a.update(item);
+                }
+            }
+        }
+    }
+    if !chunk.is_empty() {
+        a.update_batch(&chunk);
+    }
+}
+
+proptest! {
+    /// Counter algorithms: the batched/weighted paths end in *exactly* the
+    /// per-item-loop state — entries (with tie order), estimates, bounds
+    /// and stream length all match.
+    #[test]
+    fn counter_batched_paths_are_exactly_per_item(
+        segs in segments(),
+        m in 2usize..48,
+        seed in 0u64..8,
+    ) {
+        let arrivals = expand(&segs);
+        for algo in [
+            AlgoKind::SpaceSaving,
+            AlgoKind::Frequent,
+            AlgoKind::LossyCounting,
+            AlgoKind::StickySampling,
+        ] {
+            let config = EngineConfig::new(algo).counters(m).seed(seed);
+            let mut mixed = config.build::<u64>().expect("engine builds");
+            let mut unit = config.build::<u64>().expect("engine builds");
+            drive_mixed(&mut mixed, &segs);
+            for &x in &arrivals {
+                unit.update(x);
+            }
+            prop_assert_eq!(mixed.stream_len(), unit.stream_len(), "{}", algo);
+            prop_assert_eq!(mixed.entries(), unit.entries(), "{}", algo);
+            for i in 0..16u64 {
+                prop_assert_eq!(mixed.estimate(&i), unit.estimate(&i), "{} item {}", algo, i);
+                prop_assert_eq!(
+                    mixed.report().interval(&i),
+                    unit.report().interval(&i),
+                    "{} item {} interval", algo, i
+                );
+            }
+        }
+    }
+
+    /// Sketch-backed engines: the sketch state after any mix of batched
+    /// and unit ingestion is identical to the per-item loop's (additive
+    /// updates), so every point estimate and the stream length match; the
+    /// candidate heap always reports the sketch's own estimates.
+    #[test]
+    fn sketch_batched_paths_match_per_item_estimates(
+        segs in segments(),
+        m in 32usize..64,
+        seed in 0u64..8,
+    ) {
+        let arrivals = expand(&segs);
+        for algo in [AlgoKind::CountMin, AlgoKind::CountSketch] {
+            let config = EngineConfig::new(algo).counters(m).seed(seed);
+            let mut mixed = config.build::<u64>().expect("engine builds");
+            let mut unit = config.build::<u64>().expect("engine builds");
+            drive_mixed(&mut mixed, &segs);
+            for &x in &arrivals {
+                unit.update(x);
+            }
+            prop_assert_eq!(mixed.stream_len(), unit.stream_len(), "{}", algo);
+            for i in 0..16u64 {
+                prop_assert_eq!(mixed.estimate(&i), unit.estimate(&i), "{} item {}", algo, i);
+            }
+            for (item, est) in mixed.entries() {
+                prop_assert_eq!(est, mixed.estimate(&item), "{} candidate {}", algo, item);
+            }
+        }
+    }
+
+    /// The bare sketches (no candidate wrapper): full pre-aggregation is
+    /// bit-exact against the unit loop for classic Count-Min and
+    /// Count-Sketch, and the run-length path is bit-exact for conservative
+    /// Count-Min (cells compared directly).
+    #[test]
+    fn bare_sketch_update_batch_is_cell_exact(
+        stream in vec(1u64..32, 1..400),
+        seed in 0u64..8,
+    ) {
+        let mut batched: CountMin<u64> = CountMin::new(4, 32, seed, UpdateRule::Classic);
+        let mut unit: CountMin<u64> = CountMin::new(4, 32, seed, UpdateRule::Classic);
+        batched.update_batch(&stream);
+        for &x in &stream {
+            unit.update(x);
+        }
+        prop_assert_eq!(batched.cells(), unit.cells(), "classic CM cells");
+
+        let mut batched: CountMin<u64> = CountMin::new(4, 32, seed, UpdateRule::Conservative);
+        let mut unit: CountMin<u64> = CountMin::new(4, 32, seed, UpdateRule::Conservative);
+        batched.update_batch(&stream);
+        for &x in &stream {
+            unit.update(x);
+        }
+        prop_assert_eq!(batched.cells(), unit.cells(), "conservative CM cells");
+
+        let mut batched: CountSketch<u64> = CountSketch::new(5, 32, seed);
+        let mut unit: CountSketch<u64> = CountSketch::new(5, 32, seed);
+        batched.update_batch(&stream);
+        for &x in &stream {
+            unit.update(x);
+        }
+        prop_assert_eq!(batched.cells(), unit.cells(), "CS cells");
+    }
+}
+
+/// The commutativity flags that gate full pre-aggregation: additive
+/// sketches commute, everything whose state is order-sensitive does not.
+#[test]
+fn updates_commute_flags() {
+    let cm_classic: CountMin<u64> = CountMin::new(2, 8, 0, UpdateRule::Classic);
+    let cm_cu: CountMin<u64> = CountMin::new(2, 8, 0, UpdateRule::Conservative);
+    let cs: CountSketch<u64> = CountSketch::new(2, 8, 0);
+    assert!(cm_classic.updates_commute());
+    assert!(!cm_cu.updates_commute());
+    assert!(cs.updates_commute());
+    for algo in [AlgoKind::SpaceSaving, AlgoKind::Frequent] {
+        let e = EngineConfig::new(algo).counters(8).build::<u64>().unwrap();
+        assert!(
+            !FrequencyEstimator::updates_commute(&e),
+            "{algo}: counter states are order-sensitive"
+        );
+    }
+}
