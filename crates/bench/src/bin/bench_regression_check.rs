@@ -1,10 +1,12 @@
 //! Bench-regression smoke gate.
 //!
-//! Re-measures the two sentinel hot-path configurations — SPACESAVING at
-//! 256 counters and Count-Min at a 64-cell budget — on the exact workload
-//! the throughput benchmarks use, and fails (exit 1) if median items/sec
+//! Re-measures the sentinel hot-path configurations — SPACESAVING at 256
+//! counters and Count-Min at a 64-cell budget on the throughput-bench
+//! workload, plus the 4-shard `hh::pipeline` ingest on the
+//! pipeline-bench workload — and fails (exit 1) if median items/sec
 //! drops more than the tolerance below the checked-in `BENCH_*.json`
-//! baselines. This keeps the PR 4 hot-path gains from silently rotting.
+//! baselines. This keeps the PR 4 hot-path gains and the sharded
+//! pipeline's concurrency wins from silently rotting.
 //!
 //! ```text
 //! cargo run --release -p bench --bin bench_regression_check
@@ -22,25 +24,59 @@
 
 use std::time::Instant;
 
+use hh::pipeline::{PipelineConfig, Routing, ShardIngest};
+use hh::prelude::EngineConfig;
 use hh_analysis::{feed, make_estimator, Algo};
 use hh_streamgen::zipf::{stream_from_counts, StreamOrder};
 use hh_streamgen::{exact_zipf_counts, Item};
 
-/// The sentinel configurations: (algo, budget, baseline file, bench id).
-const SENTINELS: [(Algo, usize, &str, bool); 4] = [
-    (Algo::SpaceSaving, 256, "BENCH_updates_per_sec.json", false),
-    (Algo::CountMin, 64, "BENCH_updates_per_sec.json", false),
+/// How a sentinel drives its ingest.
+#[derive(Clone, Copy)]
+enum Mode {
+    /// One `update` call per element.
+    PerItem,
+    /// One whole-stream `update_batch` call.
+    Batched,
+    /// Sharded `hh::pipeline` ingest at the given shard count.
+    Pipeline(usize),
+}
+
+/// The sentinel configurations: (algo, budget, baseline file, id, mode).
+const SENTINELS: [(Algo, usize, &str, &str, Mode); 5] = [
+    (
+        Algo::SpaceSaving,
+        256,
+        "BENCH_updates_per_sec.json",
+        "SpaceSaving/256",
+        Mode::PerItem,
+    ),
+    (
+        Algo::CountMin,
+        64,
+        "BENCH_updates_per_sec.json",
+        "CountMin/64",
+        Mode::PerItem,
+    ),
     (
         Algo::SpaceSaving,
         256,
         "BENCH_updates_per_sec_batched.json",
-        true,
+        "SpaceSaving/256",
+        Mode::Batched,
     ),
     (
         Algo::CountMin,
         64,
         "BENCH_updates_per_sec_batched.json",
-        true,
+        "CountMin/64",
+        Mode::Batched,
+    ),
+    (
+        Algo::SpaceSaving,
+        256,
+        "BENCH_pipeline_throughput.json",
+        "pipeline/4",
+        Mode::Pipeline(4),
     ),
 ];
 
@@ -52,21 +88,51 @@ fn workload() -> Vec<Item> {
     stream_from_counts(&counts, StreamOrder::Shuffled(1))
 }
 
+fn pipeline_workload() -> Vec<Item> {
+    // Identical to crates/bench/benches/pipeline_throughput.rs: hot-set
+    // saturation traffic, 4× the counter budget in distinct items.
+    let counts = exact_zipf_counts(1024, 1_000_000, 0.1);
+    stream_from_counts(&counts, StreamOrder::Shuffled(1))
+}
+
 /// Median items/sec over `SAMPLES` runs of one full-stream ingest.
-fn measure(algo: Algo, budget: usize, batched: bool, stream: &[Item]) -> f64 {
+fn measure(algo: Algo, budget: usize, mode: Mode, stream: &[Item]) -> f64 {
     let mut rates: Vec<f64> = (0..SAMPLES)
         .map(|_| {
-            let mut est = make_estimator(algo, budget, 7);
-            let start = Instant::now();
-            if batched {
-                feed(est.as_mut(), stream);
-            } else {
-                for &x in stream {
-                    est.update(x);
+            let start;
+            match mode {
+                Mode::PerItem | Mode::Batched => {
+                    let mut est = make_estimator(algo, budget, 7);
+                    start = Instant::now();
+                    if matches!(mode, Mode::Batched) {
+                        feed(est.as_mut(), stream);
+                    } else {
+                        for &x in stream {
+                            est.update(x);
+                        }
+                    }
+                    std::hint::black_box(est.stored_len());
+                }
+                Mode::Pipeline(shards) => {
+                    // Mirrors the pipeline_throughput bench configuration.
+                    let kind = algo
+                        .kind()
+                        .expect("pipeline sentinels must use engine-covered algorithms");
+                    start = Instant::now();
+                    let mut pipeline =
+                        PipelineConfig::new(EngineConfig::new(kind).counters(budget))
+                            .shards(shards)
+                            .routing(Routing::HashPartition)
+                            .ingest(ShardIngest::Aggregate)
+                            .batch_size(32 * 1024)
+                            .spawn::<Item>()
+                            .expect("valid pipeline config");
+                    pipeline.send_batch(stream).expect("shards alive");
+                    let merged = pipeline.finish().expect("clean shutdown");
+                    std::hint::black_box(merged.stream_len());
                 }
             }
             let secs = start.elapsed().as_secs_f64();
-            std::hint::black_box(est.stored_len());
             stream.len() as f64 / secs
         })
         .collect();
@@ -100,15 +166,15 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(0.20);
     let stream = workload();
+    let pipeline_stream = pipeline_workload();
 
     let mut failed = false;
     println!(
         "bench regression gate (tolerance: -{:.0}%)",
         tolerance * 100.0
     );
-    for (algo, budget, file, batched) in SENTINELS {
-        let id = format!("{}/{budget}", algo.name());
-        let base = match baseline(&dir, file, &id) {
+    for (algo, budget, file, id, mode) in SENTINELS {
+        let base = match baseline(&dir, file, id) {
             Ok(b) => b,
             Err(e) => {
                 // A gate that cannot find its baselines must not pass
@@ -119,7 +185,11 @@ fn main() {
                 continue;
             }
         };
-        let measured = measure(algo, budget, batched, &stream);
+        let sentinel_stream = match mode {
+            Mode::Pipeline(_) => &pipeline_stream,
+            _ => &stream,
+        };
+        let measured = measure(algo, budget, mode, sentinel_stream);
         let ratio = measured / base;
         let verdict = if ratio >= 1.0 - tolerance {
             "ok"

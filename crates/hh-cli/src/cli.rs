@@ -19,6 +19,7 @@ commands:
   residual    estimate the residual tail mass F1^res(k)
   merge       merge two or more snapshot FILEs and report the top-k
   gen         emit a synthetic Zipf trace (requires --zipf)
+  serve       sharded streaming ingest with periodic live top-k reports
 
 options:
   -m <N>             counters to use (default 256)
@@ -35,6 +36,9 @@ options:
   --snapshot-out <F> write the engine snapshot to F after ingest
   --snapshot-in <F>  resume from a snapshot written by --snapshot-out
   --zipf <SPEC>      for `gen`: n,total,alpha[,seed] (e.g. 1000,50000,1.2)
+  --shards <N>       for `serve`: worker shards (default: available cores)
+  --report-every <N> for `serve`: emit a live top-k report every N items
+                     (default 0: only the final report)
   FILE               input path (default: stdin), one item per line;
                      `merge` takes two or more snapshot files";
 
@@ -53,6 +57,8 @@ pub enum Command {
     Merge,
     /// `gen`
     Gen,
+    /// `serve`
+    Serve,
 }
 
 /// Parameters of a `gen --zipf` trace.
@@ -97,6 +103,10 @@ pub struct Options {
     pub snapshot_in: Option<String>,
     /// Zipf spec for `gen`.
     pub zipf: Option<ZipfSpec>,
+    /// Worker shards for `serve` (`None`: one per available core).
+    pub shards: Option<usize>,
+    /// Report interval (items) for `serve`; 0 means only the final report.
+    pub report_every: u64,
     /// Input files (at most one, except for `merge`).
     pub inputs: Vec<String>,
 }
@@ -124,6 +134,7 @@ pub fn parse_args(args: &[String]) -> Result<Options, Error> {
         Some("residual") => Command::Residual,
         Some("merge") => Command::Merge,
         Some("gen") => Command::Gen,
+        Some("serve") => Command::Serve,
         Some(other) => return Err(Error::parse(format!("unknown command {other:?}"))),
         None => return Err(Error::parse("missing command")),
     };
@@ -142,6 +153,8 @@ pub fn parse_args(args: &[String]) -> Result<Options, Error> {
         snapshot_out: None,
         snapshot_in: None,
         zipf: None,
+        shards: None,
+        report_every: 0,
         inputs: Vec::new(),
     };
 
@@ -180,6 +193,13 @@ pub fn parse_args(args: &[String]) -> Result<Options, Error> {
                 opts.snapshot_in = Some(next_value(&mut it, "--snapshot-in")?.clone())
             }
             "--zipf" => opts.zipf = Some(parse_zipf(next_value(&mut it, "--zipf")?)?),
+            "--shards" => {
+                opts.shards = Some(parse_num(next_value(&mut it, "--shards")?, "--shards")?)
+            }
+            "--report-every" => {
+                opts.report_every =
+                    parse_num(next_value(&mut it, "--report-every")?, "--report-every")?
+            }
             other if other.starts_with('-') => {
                 return Err(Error::parse(format!("unknown option {other:?}")))
             }
@@ -210,6 +230,13 @@ fn validate(opts: &Options) -> Result<(), Error> {
         }
         Command::Gen if opts.zipf.is_none() => Err(Error::parse("gen requires --zipf")),
         Command::Gen if opts.weighted => Err(Error::parse("gen emits unweighted traces")),
+        Command::Serve if opts.shards == Some(0) => {
+            Err(Error::parse("--shards must be at least 1"))
+        }
+        Command::Serve if opts.weighted => Err(Error::parse("serve ingests unweighted streams")),
+        Command::Serve if opts.snapshot_in.is_some() => Err(Error::parse(
+            "serve starts from an empty pipeline; --snapshot-in is not supported",
+        )),
         _ if opts.command != Command::Merge && opts.inputs.len() > 1 => {
             Err(Error::parse("more than one input file given"))
         }
@@ -353,6 +380,31 @@ mod tests {
         .unwrap();
         assert_eq!(o.snapshot_out.as_deref(), Some("s.json"));
         assert_eq!(o.snapshot_in.as_deref(), Some("r.json"));
+    }
+
+    #[test]
+    fn serve_parses_and_validates() {
+        let o = p(&[
+            "serve",
+            "--shards",
+            "4",
+            "--report-every",
+            "1000",
+            "-k",
+            "3",
+        ])
+        .unwrap();
+        assert_eq!(o.command, Command::Serve);
+        assert_eq!(o.shards, Some(4));
+        assert_eq!(o.report_every, 1000);
+        assert_eq!(o.k, 3);
+        // shards default to auto, reports default to final-only
+        let o = p(&["serve"]).unwrap();
+        assert_eq!(o.shards, None);
+        assert_eq!(o.report_every, 0);
+        assert!(p(&["serve", "--shards", "0"]).is_err());
+        assert!(p(&["serve", "--weighted"]).is_err());
+        assert!(p(&["serve", "--snapshot-in", "x.json"]).is_err());
     }
 
     #[test]

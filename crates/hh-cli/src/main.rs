@@ -16,6 +16,8 @@
 //! hh topk --snapshot-out shard.json [FILE]     # checkpoint after ingest
 //! hh merge a.json b.json [--snapshot-out merged.json]
 //! hh gen --zipf 10000,1000000,1.2,7            # synthetic trace to stdout
+//! hh serve --shards 4 --report-every 100000 -k 10 [FILE]
+//! #   sharded pipeline ingest (hh::pipeline) with live top-k reports
 //! ```
 //!
 //! Add `--json` for machine-readable output. Items are arbitrary
@@ -30,6 +32,7 @@ mod cli;
 use cli::{parse_args, Command, Options};
 use hh::counters::Confidence;
 use hh::engine::{Engine, Snapshot, WeightedEngine};
+use hh::pipeline::{Pipeline, PipelineConfig, ShardIngest};
 use hh::Error;
 
 fn main() -> ExitCode {
@@ -59,7 +62,12 @@ fn main() -> ExitCode {
                 None if opts.snapshot_in.is_some() => Box::new(std::io::empty()),
                 None => Box::new(std::io::stdin()),
             };
-            run(opts, BufReader::new(reader))
+            if opts.command == Command::Serve {
+                let stdout = std::io::stdout();
+                run_serve(&opts, BufReader::new(reader), &mut stdout.lock())
+            } else {
+                run(opts, BufReader::new(reader))
+            }
         }
     };
 
@@ -155,13 +163,95 @@ fn run_unweighted(opts: Options, reader: impl BufRead) -> Result<String, Error> 
                 )
             }
         }
-        Command::Merge | Command::Gen => unreachable!("handled in main"),
+        Command::Merge | Command::Gen | Command::Serve => unreachable!("handled in main"),
     };
 
     if let Some(path) = &opts.snapshot_out {
         std::fs::write(path, engine.to_json()?)?;
     }
     Ok(out)
+}
+
+/// `hh serve`: long-lived sharded ingest over the `hh::pipeline` service.
+/// N worker shards (default: available cores) each own an engine built
+/// from the same config; hash-partitioned routing with batch
+/// pre-aggregation; every `--report-every` items a live top-k report is
+/// written to `out` from the merged epoch snapshot while ingest
+/// continues. Returns the final merged report.
+fn run_serve(
+    opts: &Options,
+    reader: impl BufRead,
+    out: &mut impl std::io::Write,
+) -> Result<String, Error> {
+    let shards = opts.shards.unwrap_or_else(hh::counters::pool::max_workers);
+    let mut pipeline: Pipeline<String> = PipelineConfig::new(opts.engine_config())
+        .shards(shards)
+        .ingest(ShardIngest::Aggregate)
+        .spawn()?;
+
+    let mut until_report = opts.report_every;
+    for line in reader.lines() {
+        let line = line?;
+        let item = line.trim();
+        if item.is_empty() {
+            continue;
+        }
+        pipeline.send(item.to_string())?;
+        if opts.report_every > 0 {
+            until_report -= 1;
+            if until_report == 0 {
+                until_report = opts.report_every;
+                let live = pipeline.merged()?;
+                write_serve_report(out, &live, pipeline.epoch(), opts)?;
+                out.flush()?;
+            }
+        }
+    }
+
+    let merged = pipeline.finish()?;
+    if let Some(path) = &opts.snapshot_out {
+        std::fs::write(path, merged.to_json()?)?;
+    }
+    Ok(serve_report(&merged, None, opts))
+}
+
+/// Renders one serve report; `epoch` is `Some` for periodic live reports
+/// and `None` for the final one.
+fn serve_report(engine: &Engine<String>, epoch: Option<u64>, opts: &Options) -> String {
+    let table = render_counts(
+        &engine.report().top_k(opts.k),
+        engine.stream_len(),
+        opts.json,
+    );
+    if opts.json {
+        // one self-contained JSON object per report (NDJSON-friendly)
+        let label = match epoch {
+            Some(e) => format!("\"epoch\":{e}"),
+            None => "\"final\":true".to_string(),
+        };
+        format!(
+            "{{{label},\"stream_len\":{},\"top\":{table}}}",
+            engine.stream_len()
+        )
+    } else {
+        match epoch {
+            Some(e) => format!(
+                "-- live report (epoch {e}, {} items) --\n{table}\n",
+                engine.stream_len()
+            ),
+            None => table,
+        }
+    }
+}
+
+fn write_serve_report(
+    out: &mut impl std::io::Write,
+    engine: &Engine<String>,
+    epoch: u64,
+    opts: &Options,
+) -> Result<(), Error> {
+    writeln!(out, "{}", serve_report(engine, Some(epoch), opts))?;
+    Ok(())
 }
 
 fn run_weighted(opts: Options, reader: impl BufRead) -> Result<String, Error> {
@@ -223,7 +313,7 @@ fn run_weighted(opts: Options, reader: impl BufRead) -> Result<String, Error> {
                 format!("F1^res({}) ~= {res:.3}", opts.k)
             }
         }
-        Command::Merge | Command::Gen => unreachable!("handled in main"),
+        Command::Merge | Command::Gen | Command::Serve => unreachable!("handled in main"),
     };
 
     if let Some(path) = &opts.snapshot_out {
@@ -572,6 +662,99 @@ mod tests {
         let parsed: serde_json::Value = serde_json::from_str(&out).unwrap();
         assert_eq!(parsed[0]["count"], 3);
 
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn serve_reports_live_and_final() {
+        let o = opts(&[
+            "serve",
+            "--shards",
+            "2",
+            "--report-every",
+            "4",
+            "-k",
+            "2",
+            "-m",
+            "16",
+        ]);
+        let input = "a\nb\na\nc\na\nb\na\n";
+        let mut live = Vec::new();
+        let final_report = run_serve(&o, input.as_bytes(), &mut live).unwrap();
+        let live = String::from_utf8(live).unwrap();
+        // 7 items at --report-every 4: exactly one live report (epoch 1)
+        assert!(live.contains("live report (epoch 1, 4 items)"), "{live}");
+        let lines: Vec<&str> = final_report.lines().collect();
+        assert!(lines[0].contains("stream length 7"), "{final_report}");
+        assert!(lines[1].starts_with('a'), "{final_report}");
+    }
+
+    #[test]
+    fn serve_json_reports_are_ndjson_objects() {
+        let o = opts(&[
+            "serve",
+            "--shards",
+            "3",
+            "--report-every",
+            "2",
+            "-k",
+            "1",
+            "--json",
+        ]);
+        let mut live = Vec::new();
+        let final_report = run_serve(&o, "x\nx\ny\nx\n".as_bytes(), &mut live).unwrap();
+        let live = String::from_utf8(live).unwrap();
+        for line in live.lines().filter(|l| !l.is_empty()) {
+            let v: serde_json::Value = serde_json::from_str(line).expect("live line parses");
+            assert!(v["epoch"].as_f64().is_some(), "{line}");
+        }
+        let v: serde_json::Value = serde_json::from_str(&final_report).expect("final parses");
+        assert_eq!(v["final"], true);
+        assert_eq!(v["stream_len"], 4);
+        assert_eq!(v["top"][0]["item"], "x");
+        assert_eq!(v["top"][0]["count"], 3);
+    }
+
+    #[test]
+    fn serve_counts_match_sequential_topk() {
+        // sharded serve and single-engine topk agree on exact counts when
+        // the table has headroom
+        let input: String = (0..200).map(|i| format!("w{}\n", i % 7)).collect();
+        let o = opts(&["serve", "--shards", "4", "-k", "7", "-m", "64", "--json"]);
+        let mut sink = Vec::new();
+        let served = run_serve(&o, input.as_bytes(), &mut sink).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&served).unwrap();
+        let top = v["top"].as_array().unwrap();
+        assert_eq!(top.len(), 7);
+        // 200 = 7 * 28 + 4: words w0..w3 occur 29 times, w4..w6 28 times
+        let total: f64 = top.iter().map(|e| e["count"].as_f64().unwrap()).sum();
+        assert_eq!(total, 200.0);
+        for entry in top {
+            let c = entry["count"].as_f64().unwrap();
+            assert!(c == 28.0 || c == 29.0, "{entry:?}");
+        }
+    }
+
+    #[test]
+    fn serve_snapshot_out_resumes_elsewhere() {
+        let dir = std::env::temp_dir().join(format!("hh-serve-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let snap = dir.join("served.json");
+        let o = opts(&[
+            "serve",
+            "--shards",
+            "2",
+            "-m",
+            "16",
+            "--snapshot-out",
+            snap.to_str().unwrap(),
+        ]);
+        let mut sink = Vec::new();
+        run_serve(&o, "a\na\nb\n".as_bytes(), &mut sink).unwrap();
+        let restored: Engine<String> =
+            Engine::from_json(&std::fs::read_to_string(&snap).unwrap()).unwrap();
+        assert_eq!(restored.estimate(&"a".to_string()), 2);
+        assert_eq!(restored.stream_len(), 3);
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -42,6 +42,8 @@ pub enum Error {
     CorruptSnapshot(String),
     /// A query parameter is out of its domain (e.g. `phi ∉ [0, 1)`).
     InvalidQuery(String),
+    /// A sharded-pipeline worker failed (panicked shard, closed channel).
+    Pipeline(String),
     /// Malformed textual input (CLI stream lines, numeric arguments).
     Parse(String),
     /// An I/O failure (file or stdin/stdout access).
@@ -65,6 +67,11 @@ impl Error {
     pub fn parse(msg: impl Into<String>) -> Self {
         Error::Parse(msg.into())
     }
+
+    /// Builds an [`Error::Pipeline`] from any displayable message.
+    pub fn pipeline(msg: impl Into<String>) -> Self {
+        Error::Pipeline(msg.into())
+    }
 }
 
 impl fmt::Display for Error {
@@ -79,6 +86,7 @@ impl fmt::Display for Error {
             }
             Error::CorruptSnapshot(msg) => write!(f, "corrupt snapshot: {msg}"),
             Error::InvalidQuery(msg) => write!(f, "invalid query: {msg}"),
+            Error::Pipeline(msg) => write!(f, "pipeline error: {msg}"),
             Error::Parse(msg) => write!(f, "parse error: {msg}"),
             Error::Io(e) => write!(f, "I/O error: {e}"),
             Error::Json(msg) => write!(f, "JSON error: {msg}"),
@@ -125,6 +133,7 @@ mod tests {
             },
             Error::corrupt_snapshot("counter mass mismatch"),
             Error::InvalidQuery("phi must be in [0, 1)".into()),
+            Error::pipeline("shard 3 disconnected"),
             Error::parse("bad weight"),
             Error::Io(std::io::Error::new(std::io::ErrorKind::NotFound, "gone")),
             Error::Json("missing field".into()),

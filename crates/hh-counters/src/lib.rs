@@ -41,6 +41,7 @@ pub mod merge;
 pub mod monitor;
 pub mod oaindex;
 pub mod parallel;
+pub mod pool;
 pub mod recovery;
 pub mod reference;
 pub mod space_saving;

@@ -21,12 +21,34 @@
 //!
 //! The index is deliberately not a `HashMap` replacement: the caller must
 //! guarantee that `insert` is never called for a key that is already
-//! present, must pass consistent hashes (the same hasher for the same
-//! key), and may not use `u32::MAX` as a value (it is the reserved
-//! empty-slot sentinel).
+//! present and must pass consistent hashes (the same hasher for the same
+//! key). Values are unrestricted — any `u32` may be stored.
+//!
+//! Emptiness is encoded in the *tag* field: `u32::MAX` marks an empty
+//! slot. A hash whose high 32 bits are all ones (adversarially
+//! constructible input — nothing stops a caller's hash function from
+//! producing it) would collide with that sentinel, so input tags are
+//! deterministically remapped `u32::MAX → 0` before they are stored or
+//! probed. The remap merely merges two tag values into one probe chain;
+//! correctness is unaffected because lookups always confirm candidates
+//! through the caller's equality closure.
 
-/// Sentinel marking an empty probe slot.
-const EMPTY: u32 = u32::MAX;
+/// Sentinel marking an empty probe slot (stored in the tag field; input
+/// tags can never take this value after [`tag_of`] remapping).
+const EMPTY_TAG: u32 = u32::MAX;
+
+/// The probe tag of a hash: its high 32 bits (the well-mixed half of a
+/// multiply-based hash), with the reserved sentinel value remapped
+/// deterministically so adversarial input can never forge an empty slot.
+#[inline]
+fn tag_of(hash: u64) -> u32 {
+    let tag = (hash >> 32) as u32;
+    if tag == EMPTY_TAG {
+        0
+    } else {
+        tag
+    }
+}
 
 /// One probe slot: the high 32 bits of the key's hash plus the caller's
 /// value (an arena slot id).
@@ -71,8 +93,8 @@ impl RawIndex {
         RawIndex {
             slots: vec![
                 Slot {
-                    tag: 0,
-                    value: EMPTY
+                    tag: EMPTY_TAG,
+                    value: 0
                 };
                 cap
             ],
@@ -96,11 +118,11 @@ impl RawIndex {
     /// tag matches.
     #[inline]
     pub fn get(&self, hash: u64, mut eq: impl FnMut(u32) -> bool) -> Option<u32> {
-        let tag = (hash >> 32) as u32;
+        let tag = tag_of(hash);
         let mut pos = tag as usize & self.mask;
         loop {
             let slot = self.slots[pos];
-            if slot.value == EMPTY {
+            if slot.tag == EMPTY_TAG {
                 return None;
             }
             if slot.tag == tag && eq(slot.value) {
@@ -110,25 +132,23 @@ impl RawIndex {
         }
     }
 
-    /// Inserts a key (by hash) mapping to `value` (any `u32` except the
-    /// reserved `u32::MAX` sentinel).
+    /// Inserts a key (by hash) mapping to `value` (any `u32`).
     ///
     /// The caller must guarantee the key is absent; duplicate inserts leave
     /// the index holding both copies and later removals will misbehave.
     #[inline]
     pub fn insert(&mut self, hash: u64, value: u32) {
-        debug_assert_ne!(value, EMPTY, "u32::MAX is the reserved empty sentinel");
         if (self.len + 1) * 8 > self.slots.len() * 3 {
             self.grow();
         }
-        self.insert_tag((hash >> 32) as u32, value);
+        self.insert_tag(tag_of(hash), value);
         self.len += 1;
     }
 
     #[inline]
     fn insert_tag(&mut self, tag: u32, value: u32) {
         let mut pos = tag as usize & self.mask;
-        while self.slots[pos].value != EMPTY {
+        while self.slots[pos].tag != EMPTY_TAG {
             pos = (pos + 1) & self.mask;
         }
         self.slots[pos] = Slot { tag, value };
@@ -138,11 +158,11 @@ impl RawIndex {
     /// [`RawIndex::get`]. Uses backward-shift deletion, so no tombstones
     /// accumulate.
     pub fn remove(&mut self, hash: u64, mut eq: impl FnMut(u32) -> bool) -> Option<u32> {
-        let tag = (hash >> 32) as u32;
+        let tag = tag_of(hash);
         let mut pos = tag as usize & self.mask;
         let value = loop {
             let slot = self.slots[pos];
-            if slot.value == EMPTY {
+            if slot.tag == EMPTY_TAG {
                 return None;
             }
             if slot.tag == tag && eq(slot.value) {
@@ -158,7 +178,7 @@ impl RawIndex {
         loop {
             cur = (cur + 1) & mask;
             let slot = self.slots[cur];
-            if slot.value == EMPTY {
+            if slot.tag == EMPTY_TAG {
                 break;
             }
             let ideal = slot.tag as usize & mask;
@@ -169,7 +189,7 @@ impl RawIndex {
                 hole = cur;
             }
         }
-        self.slots[hole].value = EMPTY;
+        self.slots[hole].tag = EMPTY_TAG;
         self.len -= 1;
         Some(value)
     }
@@ -184,15 +204,15 @@ impl RawIndex {
             &mut self.slots,
             vec![
                 Slot {
-                    tag: 0,
-                    value: EMPTY
+                    tag: EMPTY_TAG,
+                    value: 0
                 };
                 new_cap
             ],
         );
         self.mask = self.slots.len() - 1;
         for slot in old {
-            if slot.value != EMPTY {
+            if slot.tag != EMPTY_TAG {
                 self.insert_tag(slot.tag, slot.value);
             }
         }
@@ -205,14 +225,14 @@ impl RawIndex {
     pub fn check_invariants(&self) {
         let mut stored = 0usize;
         for (pos, slot) in self.slots.iter().enumerate() {
-            if slot.value == EMPTY {
+            if slot.tag == EMPTY_TAG {
                 continue;
             }
             stored += 1;
             let mut cur = slot.tag as usize & self.mask;
             loop {
                 assert_ne!(
-                    self.slots[cur].value, EMPTY,
+                    self.slots[cur].tag, EMPTY_TAG,
                     "probe chain for slot {pos} crosses an empty slot"
                 );
                 if cur == pos {
@@ -281,6 +301,80 @@ mod tests {
         assert_eq!(idx.remove(42, |v| v == 0), Some(0));
         assert_eq!(idx.get(42, |v| v == 1), Some(1));
         idx.check_invariants();
+    }
+
+    #[test]
+    fn sentinel_tag_hashes_are_remapped_not_asserted() {
+        // Regression: a hash whose high 32 bits are all ones produces the
+        // tag reserved as the empty-slot sentinel. Such hashes are
+        // adversarially constructible input (nothing stops a caller's hash
+        // function from emitting them), so the index must remap the tag
+        // deterministically (u32::MAX → 0) and keep working — never panic
+        // or misread the slot as empty.
+        let mut idx = RawIndex::with_capacity(8);
+        let sentinel_hashes: Vec<u64> = (0..64u64)
+            .map(|low| (u64::from(u32::MAX) << 32) | low)
+            .collect();
+        for (v, &h) in sentinel_hashes.iter().enumerate() {
+            idx.insert(h, v as u32);
+        }
+        idx.check_invariants();
+        assert_eq!(idx.len(), 64);
+        for (v, &h) in sentinel_hashes.iter().enumerate() {
+            assert_eq!(idx.get(h, |got| got == v as u32), Some(v as u32));
+        }
+        // An absent sentinel-tag key terminates its probe without panicking.
+        assert_eq!(idx.get(u64::MAX, |got| got == 9999), None);
+        for (v, &h) in sentinel_hashes.iter().enumerate() {
+            assert_eq!(idx.remove(h, |got| got == v as u32), Some(v as u32));
+            idx.check_invariants();
+        }
+        assert!(idx.is_empty());
+    }
+
+    #[test]
+    fn sentinel_tag_shares_a_chain_with_genuine_zero_tags() {
+        // The u32::MAX → 0 remap merges two tag values into one probe
+        // chain; the equality closure must still tell the keys apart, and
+        // backward-shift deletion must keep both reachable.
+        let mut idx = RawIndex::with_capacity(4);
+        idx.insert(u64::MAX, 1); // tag u32::MAX, remapped to 0
+        idx.insert(7, 2); // tag genuinely 0 (high bits clear)
+        idx.insert((u64::from(u32::MAX) << 32) | 5, 3); // remapped again
+        idx.check_invariants();
+        assert_eq!(idx.get(u64::MAX, |v| v == 1), Some(1));
+        assert_eq!(idx.get(7, |v| v == 2), Some(2));
+        assert_eq!(idx.remove(u64::MAX, |v| v == 1), Some(1));
+        idx.check_invariants();
+        assert_eq!(idx.get(7, |v| v == 2), Some(2));
+        assert_eq!(
+            idx.get((u64::from(u32::MAX) << 32) | 5, |v| v == 3),
+            Some(3)
+        );
+    }
+
+    #[test]
+    fn any_u32_value_may_be_stored() {
+        // Emptiness lives in the tag, so values — arena slot ids chosen by
+        // the caller — are unrestricted, including u32::MAX.
+        let mut idx = RawIndex::with_capacity(4);
+        idx.insert(h(1), u32::MAX);
+        idx.insert(h(2), 0);
+        assert_eq!(idx.get(h(1), |v| v == u32::MAX), Some(u32::MAX));
+        assert_eq!(idx.remove(h(1), |v| v == u32::MAX), Some(u32::MAX));
+        idx.check_invariants();
+        assert_eq!(idx.get(h(2), |v| v == 0), Some(0));
+    }
+
+    #[test]
+    fn sentinel_tag_survives_growth() {
+        let mut idx = RawIndex::with_capacity(0);
+        idx.insert(u64::MAX, 42);
+        for k in 0..5_000u64 {
+            idx.insert(h(k), k as u32);
+        }
+        idx.check_invariants();
+        assert_eq!(idx.get(u64::MAX, |v| v == 42), Some(42));
     }
 
     #[test]

@@ -7,17 +7,28 @@
 //! `(3A, A+B)` k-tail guarantee over the *whole* stream regardless of how
 //! the partition interleaved it — the guarantee is partition-oblivious.
 //!
-//! Plain `std::thread::scope` is all that is needed: shards share nothing
-//! while running and merge once at the end.
+//! Shards share nothing while running and merge once at the end, so the
+//! work runs on the capped [`crate::pool`] scheduler: at most
+//! [`crate::pool::max_workers`] worker threads steal chunks from a shared
+//! cursor, instead of the former one-thread-per-chunk fan-out (which
+//! turned a 10 000-chunk call into 10 000 OS threads, or an abort once
+//! thread spawning failed).
 
 use std::hash::Hash;
 
 use crate::merge::merge_k_sparse;
+use crate::pool;
 use crate::traits::FrequencyEstimator;
 
-/// Summarizes `chunks` in parallel (one thread per chunk) with summaries
-/// built by `make_shard`, then merges the per-chunk summaries into a fresh
-/// summary from `make_target` using the Theorem 11 k-sparse replay.
+/// Summarizes `chunks` in parallel with summaries built by `make_shard`,
+/// then merges the per-chunk summaries into a fresh summary from
+/// `make_target` using the Theorem 11 k-sparse replay.
+///
+/// The chunk summaries run on a worker pool capped at
+/// [`pool::max_workers`] threads (work-stealing over chunks), and summary
+/// `j` is always built from `chunks[j]` alone — the result is a pure
+/// function of `(chunks, k, configs)`, bit-identical to the former
+/// thread-per-chunk implementation for any chunk count.
 ///
 /// `make_shard` must produce identically-configured summaries; the merged
 /// result then has a `(3A, A+B)` k-tail guarantee when the shard algorithm
@@ -33,22 +44,10 @@ where
     A: FrequencyEstimator<I> + Send,
     T: FrequencyEstimator<I>,
 {
-    let summaries: Vec<A> = std::thread::scope(|scope| {
-        let handles: Vec<_> = chunks
-            .iter()
-            .map(|chunk| {
-                let make_shard = &make_shard;
-                scope.spawn(move || {
-                    let mut shard = make_shard();
-                    shard.update_batch(chunk);
-                    shard
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("shard thread panicked"))
-            .collect()
+    let summaries: Vec<A> = pool::run_indexed(chunks, |_, chunk| {
+        let mut shard = make_shard();
+        shard.update_batch(chunk);
+        shard
     });
     merge_k_sparse(&summaries, k, make_target)
 }
@@ -127,6 +126,34 @@ mod tests {
             || SpaceSaving::new(8),
         );
         assert_eq!(merged.stored_len(), 0);
+    }
+
+    #[test]
+    fn ten_thousand_chunks_run_on_a_capped_pool() {
+        // Regression for the unbounded fan-out: this call used to spawn
+        // one OS thread per chunk (10 000 threads here, or an abort when
+        // spawning failed). On the pooled scheduler it must complete with
+        // at most `pool::max_workers()` threads and still be bit-identical
+        // to the sequential per-chunk summarization + k-sparse merge.
+        let chunks: Vec<Vec<u64>> = (0..10_000u64)
+            .map(|j| vec![j % 50, (j * 7) % 50, 999])
+            .collect();
+        let merged =
+            parallel_summarize(&chunks, 4, || SpaceSaving::new(32), || SpaceSaving::new(32));
+
+        let expected_shards: Vec<SpaceSaving<u64>> = chunks
+            .iter()
+            .map(|c| {
+                let mut s = SpaceSaving::new(32);
+                s.update_batch(c);
+                s
+            })
+            .collect();
+        let expected =
+            crate::merge::merge_k_sparse(&expected_shards, 4, || SpaceSaving::<u64>::new(32));
+        assert_eq!(merged.entries_with_err(), expected.entries_with_err());
+        assert_eq!(merged.stream_len(), expected.stream_len());
+        assert_eq!(merged.entries()[0].0, 999);
     }
 
     #[test]

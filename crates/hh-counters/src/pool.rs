@@ -1,0 +1,162 @@
+//! A bounded work-stealing worker pool for indexed task lists.
+//!
+//! The sharded ingest paths fan work out across threads in two shapes:
+//! batch summarization ([`crate::parallel::parallel_summarize`]) runs one
+//! closure per chunk of a finite task list, and the long-lived streaming
+//! pipeline (`hh::pipeline`, in `hh-sketches`) keeps per-shard workers
+//! alive behind channels. This module is the batch half's scheduler: a
+//! scoped pool that caps its threads at the machine's available
+//! parallelism and lets workers *steal* task indices from a shared atomic
+//! cursor, so ten thousand chunks cost at most `available_parallelism`
+//! OS threads instead of ten thousand.
+//!
+//! Results are returned in task order and each result is a pure function
+//! of `(index, task)` — scheduling never leaks into the output, which is
+//! what lets `parallel_summarize` keep its bit-for-bit determinism
+//! guarantee while running on a capped pool.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The pool's thread cap: the machine's available parallelism (1 when it
+/// cannot be determined).
+///
+/// ```
+/// assert!(hh_counters::pool::max_workers() >= 1);
+/// ```
+pub fn max_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Runs `f(index, &tasks[index])` for every task on a scoped worker pool
+/// of at most [`max_workers`] threads, returning the results in task
+/// order.
+///
+/// Workers pull indices from a shared atomic cursor (work stealing), so
+/// an uneven task list keeps every thread busy until the list drains. The
+/// output is deterministic: result `i` is exactly `f(i, &tasks[i])`
+/// regardless of which worker ran it or in what order.
+///
+/// ```
+/// let squares = hh_counters::pool::run_indexed(&[1u64, 2, 3, 4], |_, &x| x * x);
+/// assert_eq!(squares, vec![1, 4, 9, 16]);
+/// ```
+pub fn run_indexed<T, R, F>(tasks: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    run_indexed_on(max_workers(), tasks, f)
+}
+
+/// [`run_indexed`] with an explicit worker cap (still clamped to the task
+/// count; `0` is treated as 1). Exposed so tests — and callers that know
+/// their tasks block on I/O rather than CPU — can pick the pool size.
+pub fn run_indexed_on<T, R, F>(workers: usize, tasks: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let workers = workers.max(1).min(tasks.len());
+    if workers <= 1 {
+        // Nothing to schedule: run inline and skip the thread machinery.
+        return tasks.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+
+    // One slot per task. A Mutex per slot keeps the crate free of unsafe
+    // code; every lock is uncontended (each index is claimed by exactly
+    // one worker) so the cost is one atomic pair per task — noise next to
+    // the summarization work a task performs.
+    let results: Vec<Mutex<Option<R>>> = tasks.iter().map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= tasks.len() {
+                    break;
+                }
+                let r = f(i, &tasks[i]);
+                *results[i].lock().expect("result slot poisoned") = Some(r);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every task index was claimed and completed")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn empty_and_single_task_lists() {
+        let none: Vec<u32> = run_indexed(&[] as &[u32], |_, &x| x);
+        assert!(none.is_empty());
+        assert_eq!(run_indexed(&[7u32], |i, &x| x + i as u32), vec![7]);
+    }
+
+    #[test]
+    fn results_are_in_task_order() {
+        let tasks: Vec<usize> = (0..10_000).collect();
+        let out = run_indexed_on(4, &tasks, |i, &t| {
+            assert_eq!(i, t);
+            t * 2
+        });
+        assert_eq!(out.len(), 10_000);
+        for (i, r) in out.iter().enumerate() {
+            assert_eq!(*r, i * 2);
+        }
+    }
+
+    #[test]
+    fn concurrency_never_exceeds_the_cap() {
+        // Each task records how many tasks are in flight at once; the peak
+        // must stay at or below the requested pool size even with far more
+        // tasks than workers.
+        let cap = 4;
+        let in_flight = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        let tasks: Vec<u32> = (0..500).collect();
+        run_indexed_on(cap, &tasks, |_, &t| {
+            let now = in_flight.fetch_add(1, Ordering::SeqCst) + 1;
+            peak.fetch_max(now, Ordering::SeqCst);
+            std::thread::yield_now();
+            in_flight.fetch_sub(1, Ordering::SeqCst);
+            t
+        });
+        let seen = peak.load(Ordering::SeqCst);
+        assert!(seen <= cap, "peak concurrency {seen} exceeded cap {cap}");
+    }
+
+    #[test]
+    fn worker_cap_is_clamped_to_task_count() {
+        // More workers than tasks must not deadlock or drop results.
+        let out = run_indexed_on(64, &[1u64, 2, 3], |_, &x| x);
+        assert_eq!(out, vec![1, 2, 3]);
+        // Zero workers degrades to inline execution.
+        let out = run_indexed_on(0, &[5u64], |_, &x| x);
+        assert_eq!(out, vec![5]);
+    }
+
+    #[test]
+    fn scheduling_does_not_change_results() {
+        let tasks: Vec<u64> = (0..257).map(|i| i * 31 % 97).collect();
+        let expected: Vec<u64> = tasks.iter().map(|&t| t.wrapping_mul(t)).collect();
+        for workers in [1, 2, 3, 8] {
+            let out = run_indexed_on(workers, &tasks, |_, &t| t.wrapping_mul(t));
+            assert_eq!(out, expected, "workers={workers}");
+        }
+    }
+}

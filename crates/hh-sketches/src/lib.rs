@@ -22,10 +22,12 @@ pub mod count_sketch;
 pub mod dyadic;
 pub mod engine;
 pub mod hash;
+pub mod pipeline;
 pub mod topk_tracker;
 
 pub use count_min::{CountMin, UpdateRule};
 pub use count_sketch::CountSketch;
 pub use dyadic::DyadicCountMin;
 pub use engine::{AlgoKind, CapacitySpec, Engine, EngineConfig, Report, Snapshot, WeightedEngine};
+pub use pipeline::{Pipeline, PipelineConfig, Routing, ShardIngest};
 pub use topk_tracker::SketchHeavyHitters;

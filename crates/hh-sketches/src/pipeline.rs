@@ -1,0 +1,838 @@
+//! `hh::pipeline` — a long-lived sharded ingest service with live queries.
+//!
+//! [`crate::engine`] turned the paper's algorithms into one serving
+//! surface; this module turns that surface into a *concurrent* one. A
+//! [`Pipeline`] owns `N` worker threads, each holding a private
+//! [`Engine`] built from one [`EngineConfig`], fed through bounded
+//! channels by a routing coordinator. Queries are **live**: at any point
+//! the coordinator collects per-shard [`Snapshot`]s at an epoch boundary
+//! and merges them through [`Engine::merge_snapshot`] (full counter
+//! replay with bound bookkeeping), so a merged report carries certified
+//! intervals while ingest keeps running.
+//!
+//! Everything rests on the paper's Theorem 11 (Section 6.2): summaries
+//! of separate sub-streams merge with only a constant-factor loss —
+//! `(A, B)` per shard becomes `(3A, A+B)` merged — **regardless of how
+//! the stream was partitioned**. Two consequences shape the design:
+//!
+//! * routing is a policy choice, not a correctness concern
+//!   ([`Routing::HashPartition`] by item hash, or [`Routing::RoundRobin`]
+//!   over whole batches — both yield the same merged guarantee);
+//! * shards may reorder *within* the sub-stream they were dealt: the
+//!   guarantee never conditions on arrival order, so
+//!   [`ShardIngest::Aggregate`] pre-aggregates every delivered batch to
+//!   one `update_by` per distinct item (a large constant-factor win on
+//!   hot-set traffic), while [`ShardIngest::Preserve`] keeps per-shard
+//!   arrival order bit-exact — a pipeline in `Preserve` mode is the
+//!   streaming twin of [`parallel_summarize`]: collecting its shard
+//!   states and k-sparse-merging them ([`Pipeline::merged_k_sparse`])
+//!   equals `parallel_summarize` on the same partition, bit for bit.
+//!
+//! Backpressure is part of the contract: channels hold at most
+//! `queue_depth` batches per shard, so a producer that outruns the
+//! workers blocks in [`Pipeline::send`] instead of queuing unboundedly.
+//!
+//! ```
+//! use hh_sketches::engine::{AlgoKind, EngineConfig};
+//! use hh_sketches::pipeline::PipelineConfig;
+//!
+//! let mut pipeline = PipelineConfig::new(EngineConfig::new(AlgoKind::SpaceSaving).counters(16))
+//!     .shards(2)
+//!     .spawn::<u64>()
+//!     .unwrap();
+//! for i in 0..1000u64 {
+//!     pipeline.send(i % 7).unwrap();
+//! }
+//! // live query: merged snapshot at an epoch boundary, ingest continues
+//! let live = pipeline.merged().unwrap();
+//! assert_eq!(live.stream_len(), 1000);
+//! pipeline.send_batch(&[3, 3, 3]).unwrap();
+//! let merged = pipeline.finish().unwrap();
+//! assert_eq!(merged.stream_len(), 1003);
+//! assert_eq!(merged.report().top_k(1)[0].item, 3);
+//! ```
+//!
+//! [`parallel_summarize`]: hh_counters::parallel::parallel_summarize
+
+use std::hash::{BuildHasher, Hash};
+use std::sync::mpsc::{Receiver, SyncSender};
+use std::thread::JoinHandle;
+
+use hh_counters::error::Error;
+use hh_counters::fasthash::FxBuildHasher;
+use hh_counters::merge::merge_k_sparse;
+
+use crate::engine::{Engine, EngineConfig, EngineItem, Snapshot};
+
+// ---------------------------------------------------------------------------
+// Configuration
+// ---------------------------------------------------------------------------
+
+/// How the coordinator assigns arrivals to shards.
+///
+/// Theorem 11's merged guarantee is partition-oblivious, so the choice
+/// trades locality against balance rather than correctness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Routing {
+    /// Each item goes to the shard `fx_hash(item) mod shards` — see
+    /// [`hash_shard`]. All occurrences of an item land on one shard, so
+    /// each shard summarizes a disjoint slice of the universe: per-shard
+    /// counter pressure drops and a hot set of up to `shards × m`
+    /// distinct items is held exactly. The default.
+    #[default]
+    HashPartition,
+    /// Whole batches are dealt to shards in rotation. No per-item work in
+    /// the router, but every shard sees the full universe.
+    RoundRobin,
+}
+
+/// How a shard worker consumes a delivered batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShardIngest {
+    /// `update_batch` in delivery order — per-shard state is bit-identical
+    /// to a sequential summary of the shard's sub-stream, which is what
+    /// makes a `Preserve` pipeline exactly reproducible by
+    /// [`hh_counters::parallel::parallel_summarize`] on the same
+    /// partition. The default.
+    #[default]
+    Preserve,
+    /// Pre-aggregate each batch to one `update_by` per distinct item
+    /// (first-occurrence order). Equivalent to ingesting a permutation of
+    /// the batch, which Theorem 11 licenses: the merged `(3A, A+B)`
+    /// guarantee never conditions on arrival order. Within-shard
+    /// tie-breaking may differ from `Preserve`; certified bounds and the
+    /// tail guarantee do not.
+    Aggregate,
+}
+
+/// Builder for a [`Pipeline`]: one [`EngineConfig`] describing every
+/// shard's summary, plus the concurrency knobs.
+///
+/// ```
+/// use hh_sketches::engine::{AlgoKind, EngineConfig};
+/// use hh_sketches::pipeline::{PipelineConfig, Routing, ShardIngest};
+///
+/// let config = PipelineConfig::new(EngineConfig::new(AlgoKind::Frequent).counters(64))
+///     .shards(4)
+///     .routing(Routing::RoundRobin)
+///     .ingest(ShardIngest::Aggregate)
+///     .batch_size(1024)
+///     .queue_depth(2);
+/// assert_eq!(config.shard_count(), 4);
+/// let pipeline = config.spawn::<u64>().unwrap();
+/// assert_eq!(pipeline.shards(), 4);
+/// pipeline.finish().unwrap();
+/// ```
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    engine: EngineConfig,
+    shards: usize,
+    routing: Routing,
+    ingest: ShardIngest,
+    batch: usize,
+    queue: usize,
+}
+
+impl PipelineConfig {
+    /// Starts a pipeline config: engines per `engine`, one shard per unit
+    /// of available parallelism, hash-partitioned routing,
+    /// order-preserving ingest, 8192-item batches, 4 queued batches per
+    /// shard.
+    pub fn new(engine: EngineConfig) -> Self {
+        PipelineConfig {
+            engine,
+            shards: hh_counters::pool::max_workers(),
+            routing: Routing::default(),
+            ingest: ShardIngest::default(),
+            batch: 8192,
+            queue: 4,
+        }
+    }
+
+    /// Sets the number of worker shards (`≥ 1`).
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Sets the routing policy.
+    pub fn routing(mut self, routing: Routing) -> Self {
+        self.routing = routing;
+        self
+    }
+
+    /// Sets how shard workers consume batches.
+    pub fn ingest(mut self, ingest: ShardIngest) -> Self {
+        self.ingest = ingest;
+        self
+    }
+
+    /// Sets the router's flush threshold: a shard buffer is shipped once
+    /// it holds this many items (`≥ 1`).
+    pub fn batch_size(mut self, batch: usize) -> Self {
+        self.batch = batch;
+        self
+    }
+
+    /// Sets the bounded channel capacity, in batches per shard (`≥ 1`);
+    /// a full queue blocks the producer (backpressure).
+    pub fn queue_depth(mut self, queue: usize) -> Self {
+        self.queue = queue;
+        self
+    }
+
+    /// The configured shard count.
+    pub fn shard_count(&self) -> usize {
+        self.shards
+    }
+
+    /// The per-shard [`EngineConfig`].
+    pub fn engine_config(&self) -> &EngineConfig {
+        &self.engine
+    }
+
+    /// Validates the config and spawns the shard workers.
+    ///
+    /// Fails with [`Error::InvalidConfig`] on a zero shard count, batch
+    /// size or queue depth, or when the engine config itself is invalid
+    /// (the error a plain [`EngineConfig::build`] would report).
+    pub fn spawn<I: EngineItem>(&self) -> Result<Pipeline<I>, Error> {
+        if self.shards == 0 {
+            return Err(Error::invalid_config("pipeline needs at least one shard"));
+        }
+        if self.batch == 0 {
+            return Err(Error::invalid_config("batch size must be at least 1"));
+        }
+        if self.queue == 0 {
+            return Err(Error::invalid_config("queue depth must be at least 1"));
+        }
+        let mut senders = Vec::with_capacity(self.shards);
+        let mut workers = Vec::with_capacity(self.shards);
+        for _ in 0..self.shards {
+            // Engines are built on the coordinator thread so config errors
+            // surface here, before any thread exists.
+            let engine = self.engine.build::<I>()?;
+            let (tx, rx) = std::sync::mpsc::sync_channel::<Msg<I>>(self.queue);
+            let ingest = self.ingest;
+            workers.push(std::thread::spawn(move || shard_worker(engine, rx, ingest)));
+            senders.push(tx);
+        }
+        let buffers = match self.routing {
+            Routing::HashPartition => (0..self.shards)
+                .map(|_| Vec::with_capacity(self.batch))
+                .collect(),
+            Routing::RoundRobin => vec![Vec::with_capacity(self.batch)],
+        };
+        Ok(Pipeline {
+            config: self.clone(),
+            senders,
+            workers,
+            buffers,
+            rr_cursor: 0,
+            routed: 0,
+            epoch: 0,
+        })
+    }
+}
+
+/// The shard an item routes to under [`Routing::HashPartition`]: the
+/// item's Fx hash modulo the shard count. Public because it is part of
+/// the pipeline's partition contract — tests (and external shards
+/// reproducing a pipeline's partition) rely on it.
+///
+/// ```
+/// let s = hh_sketches::pipeline::hash_shard(4, &42u64);
+/// assert!(s < 4);
+/// assert_eq!(s, hh_sketches::pipeline::hash_shard(4, &42u64));
+/// ```
+pub fn hash_shard<I: Hash>(shards: usize, item: &I) -> usize {
+    // Multiply-shift on the high 32 bits: the well-mixed half of the Fx
+    // product (its low bits are a bijection of the key's low bits for
+    // integer keys, so `hash % shards` with a power-of-two shard count
+    // would route strided IDs onto a single shard).
+    let high = FxBuildHasher::default().hash_one(item) >> 32;
+    ((high * shards as u64) >> 32) as usize
+}
+
+// ---------------------------------------------------------------------------
+// Worker side
+// ---------------------------------------------------------------------------
+
+enum Msg<I> {
+    /// A routed batch of arrivals.
+    Batch(Vec<I>),
+    /// Epoch marker: reply with the shard's current snapshot. FIFO
+    /// channel order makes the reply reflect exactly the batches routed
+    /// to this shard before the marker.
+    Checkpoint(SyncSender<Snapshot<I>>),
+}
+
+fn shard_worker<I: EngineItem>(
+    mut engine: Engine<I>,
+    rx: Receiver<Msg<I>>,
+    ingest: ShardIngest,
+) -> Engine<I> {
+    let mut aggregator = BatchAggregator::new();
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            Msg::Batch(batch) => match ingest {
+                ShardIngest::Preserve => engine.update_batch(&batch),
+                ShardIngest::Aggregate => aggregator.ingest(&mut engine, &batch),
+            },
+            Msg::Checkpoint(reply) => {
+                // A dropped reply receiver means the coordinator gave up
+                // on this epoch; ingest continues regardless.
+                let _ = reply.send(engine.snapshot());
+            }
+        }
+    }
+    // Channel disconnected: the coordinator is finishing (or dropped the
+    // pipeline). Hand the engine back through the join handle.
+    engine
+}
+
+/// Per-batch multiset aggregation scratch for [`ShardIngest::Aggregate`]:
+/// an open-addressing table mapping items to a first-occurrence-ordered
+/// `(item, count)` list, cleared between batches.
+struct BatchAggregator<I> {
+    /// Slot → `index + 1` into `pairs`; 0 is empty.
+    table: Vec<u32>,
+    mask: usize,
+    pairs: Vec<(I, u64)>,
+    build: FxBuildHasher,
+}
+
+impl<I: EngineItem> BatchAggregator<I> {
+    fn new() -> Self {
+        BatchAggregator {
+            table: Vec::new(),
+            mask: 0,
+            pairs: Vec::new(),
+            build: FxBuildHasher::default(),
+        }
+    }
+
+    /// Feeds `batch` into `engine` as one `update_by` per distinct item,
+    /// counts aggregated, items in first-occurrence order — a fixed,
+    /// deterministic permutation of the batch.
+    fn ingest(&mut self, engine: &mut Engine<I>, batch: &[I]) {
+        if batch.is_empty() {
+            return;
+        }
+        // ≤ 1/2 load even if every batch item is distinct.
+        let want = (batch.len() * 2).next_power_of_two().max(16);
+        if self.table.len() < want {
+            self.table = vec![0u32; want];
+            self.mask = want - 1;
+        } else {
+            self.table.fill(0);
+        }
+        for item in batch {
+            // probe with the well-mixed high half of the hash (the low
+            // bits of an unmixed Fx product cluster on strided keys)
+            let mut pos = (self.build.hash_one(item) >> 32) as usize & self.mask;
+            loop {
+                let slot = self.table[pos];
+                if slot == 0 {
+                    self.pairs.push((item.clone(), 1));
+                    self.table[pos] = self.pairs.len() as u32;
+                    break;
+                }
+                let idx = (slot - 1) as usize;
+                if self.pairs[idx].0 == *item {
+                    self.pairs[idx].1 += 1;
+                    break;
+                }
+                pos = (pos + 1) & self.mask;
+            }
+        }
+        for (item, count) in self.pairs.drain(..) {
+            engine.update_by(item, count);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The coordinator handle
+// ---------------------------------------------------------------------------
+
+/// A running sharded ingest service (see the [module docs](self)).
+///
+/// The handle is the single producer: [`Pipeline::send`] /
+/// [`Pipeline::send_batch`] route arrivals, the query methods
+/// ([`Pipeline::snapshots`], [`Pipeline::merged`],
+/// [`Pipeline::merged_k_sparse`]) collect an epoch-consistent view while
+/// ingest stays live, and [`Pipeline::finish`] drains everything and
+/// returns the final merged engine.
+pub struct Pipeline<I: EngineItem> {
+    config: PipelineConfig,
+    senders: Vec<SyncSender<Msg<I>>>,
+    workers: Vec<JoinHandle<Engine<I>>>,
+    /// Pending per-shard batches (`HashPartition`) or the single staging
+    /// batch (`RoundRobin`).
+    buffers: Vec<Vec<I>>,
+    rr_cursor: usize,
+    routed: u64,
+    epoch: u64,
+}
+
+impl<I: EngineItem> std::fmt::Debug for Pipeline<I> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pipeline")
+            .field("shards", &self.senders.len())
+            .field("routing", &self.config.routing)
+            .field("ingest", &self.config.ingest)
+            .field("routed", &self.routed)
+            .field("epoch", &self.epoch)
+            .finish()
+    }
+}
+
+impl<I: EngineItem> Pipeline<I> {
+    /// Number of worker shards.
+    pub fn shards(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Items accepted by the router so far (buffered or shipped). After
+    /// an [`Error::Pipeline`], counts exactly the items accepted before
+    /// the failure.
+    pub fn routed(&self) -> u64 {
+        self.routed
+    }
+
+    /// Completed epoch-boundary queries so far.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Routes one arrival. Blocks when the destination shard's queue is
+    /// full (backpressure). Fails with [`Error::Pipeline`] if a shard
+    /// worker has died.
+    pub fn send(&mut self, item: I) -> Result<(), Error> {
+        self.routed += 1;
+        match self.config.routing {
+            Routing::HashPartition => {
+                let shard = hash_shard(self.senders.len(), &item);
+                self.buffers[shard].push(item);
+                if self.buffers[shard].len() >= self.config.batch {
+                    self.ship(shard)?;
+                }
+            }
+            Routing::RoundRobin => {
+                self.buffers[0].push(item);
+                if self.buffers[0].len() >= self.config.batch {
+                    self.ship_round_robin()?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Routes a slice of arrivals in order (equivalent to
+    /// [`Pipeline::send`] per element, specialized per routing policy —
+    /// this is the service's ingest hot path).
+    pub fn send_batch(&mut self, items: &[I]) -> Result<(), Error> {
+        match self.config.routing {
+            Routing::HashPartition => {
+                let shards = self.senders.len();
+                for item in items {
+                    let shard = hash_shard(shards, item);
+                    self.buffers[shard].push(item.clone());
+                    self.routed += 1;
+                    if self.buffers[shard].len() >= self.config.batch {
+                        self.ship(shard)?;
+                    }
+                }
+            }
+            Routing::RoundRobin => {
+                // whole sub-slices straight into the staging buffer
+                let mut rest = items;
+                while !rest.is_empty() {
+                    let room = self.config.batch - self.buffers[0].len();
+                    let take = room.min(rest.len());
+                    self.buffers[0].extend_from_slice(&rest[..take]);
+                    self.routed += take as u64;
+                    rest = &rest[take..];
+                    if self.buffers[0].len() >= self.config.batch {
+                        self.ship_round_robin()?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Ships every buffered item to its shard, leaving the buffers empty.
+    /// Called implicitly by the query methods and by [`Pipeline::finish`].
+    pub fn flush(&mut self) -> Result<(), Error> {
+        match self.config.routing {
+            Routing::HashPartition => {
+                for shard in 0..self.buffers.len() {
+                    if !self.buffers[shard].is_empty() {
+                        self.ship(shard)?;
+                    }
+                }
+            }
+            Routing::RoundRobin => {
+                if !self.buffers[0].is_empty() {
+                    self.ship_round_robin()?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn ship(&mut self, shard: usize) -> Result<(), Error> {
+        let batch = std::mem::replace(
+            &mut self.buffers[shard],
+            Vec::with_capacity(self.config.batch),
+        );
+        self.senders[shard]
+            .send(Msg::Batch(batch))
+            .map_err(|_| Error::pipeline(format!("shard {shard} is no longer receiving")))
+    }
+
+    fn ship_round_robin(&mut self) -> Result<(), Error> {
+        let shard = self.rr_cursor;
+        self.rr_cursor = (self.rr_cursor + 1) % self.senders.len();
+        let batch = std::mem::replace(&mut self.buffers[0], Vec::with_capacity(self.config.batch));
+        self.senders[shard]
+            .send(Msg::Batch(batch))
+            .map_err(|_| Error::pipeline(format!("shard {shard} is no longer receiving")))
+    }
+
+    /// Collects one snapshot per shard at an epoch boundary: every item
+    /// routed before this call is reflected, no item sent after is. The
+    /// pipeline keeps ingesting afterwards; the epoch counter increments.
+    pub fn snapshots(&mut self) -> Result<Vec<Snapshot<I>>, Error> {
+        self.flush()?;
+        // Phase 1: post a checkpoint marker to every shard...
+        let mut replies = Vec::with_capacity(self.senders.len());
+        for (shard, tx) in self.senders.iter().enumerate() {
+            let (reply_tx, reply_rx) = std::sync::mpsc::sync_channel(1);
+            tx.send(Msg::Checkpoint(reply_tx))
+                .map_err(|_| Error::pipeline(format!("shard {shard} is no longer receiving")))?;
+            replies.push(reply_rx);
+        }
+        // ...then collect, so shards drain their queues concurrently
+        // instead of one at a time.
+        let mut snaps = Vec::with_capacity(replies.len());
+        for (shard, rx) in replies.into_iter().enumerate() {
+            snaps.push(rx.recv().map_err(|_| {
+                Error::pipeline(format!(
+                    "shard {shard} died before answering the checkpoint"
+                ))
+            })?);
+        }
+        self.epoch += 1;
+        Ok(snaps)
+    }
+
+    /// The live merged view: per-shard snapshots collected at an epoch
+    /// boundary and combined through [`Engine::merge_snapshot`] — full
+    /// counter replay with the donors' bound bookkeeping folded in, so
+    /// the returned engine's certified intervals and `stream_len` are
+    /// sound for the combined stream and its [`Engine::report`] is the
+    /// pipeline's live query surface. Carries the Theorem 11 `(3A, A+B)`
+    /// k-tail guarantee when shards carry `(A, B)`.
+    pub fn merged(&mut self) -> Result<Engine<I>, Error> {
+        let snaps = self.snapshots()?;
+        merge_snapshots(snaps)
+    }
+
+    /// The Theorem 11 *k-sparse* merge of an epoch-boundary view: each
+    /// shard contributes only its k-sparse recovery, exactly the
+    /// construction of
+    /// [`hh_counters::parallel::parallel_summarize`]. With
+    /// [`ShardIngest::Preserve`], the result is bit-identical to
+    /// `parallel_summarize(partition, k, …)` on the partition this
+    /// pipeline's routing produced.
+    pub fn merged_k_sparse(&mut self, k: usize) -> Result<Engine<I>, Error> {
+        let snaps = self.snapshots()?;
+        let mut shards = Vec::with_capacity(snaps.len());
+        for snap in snaps {
+            shards.push(Engine::from_snapshot(snap)?);
+        }
+        let target = self.config.engine.build::<I>()?;
+        Ok(merge_k_sparse(&shards, k, move || target))
+    }
+
+    /// Per-shard engines reconstructed from an epoch-boundary snapshot
+    /// set, in shard order — the raw material for custom merges.
+    pub fn shard_engines(&mut self) -> Result<Vec<Engine<I>>, Error> {
+        self.snapshots()?
+            .into_iter()
+            .map(Engine::from_snapshot)
+            .collect()
+    }
+
+    /// Drains every buffer, stops the workers, and returns the final
+    /// merged engine (same merge as [`Pipeline::merged`]).
+    pub fn finish(self) -> Result<Engine<I>, Error> {
+        let engines = self.finish_shards()?;
+        let mut engines = engines.into_iter();
+        let mut merged = engines.next().expect("spawn enforces at least one shard");
+        for engine in engines {
+            merged.merge(&engine)?;
+        }
+        Ok(merged)
+    }
+
+    /// Drains every buffer, stops the workers, and returns the per-shard
+    /// engines in shard order.
+    pub fn finish_shards(mut self) -> Result<Vec<Engine<I>>, Error> {
+        self.flush()?;
+        // Dropping the senders disconnects the channels; workers drain
+        // what is queued and return their engines.
+        self.senders.clear();
+        let mut engines = Vec::with_capacity(self.workers.len());
+        for (shard, handle) in self.workers.drain(..).enumerate() {
+            engines.push(
+                handle
+                    .join()
+                    .map_err(|_| Error::pipeline(format!("shard {shard} worker panicked")))?,
+            );
+        }
+        Ok(engines)
+    }
+}
+
+/// Folds a snapshot set into one engine via the snapshot-merge path.
+fn merge_snapshots<I: EngineItem>(snaps: Vec<Snapshot<I>>) -> Result<Engine<I>, Error> {
+    let mut snaps = snaps.into_iter();
+    let first = snaps
+        .next()
+        .ok_or_else(|| Error::pipeline("no shard snapshots to merge"))?;
+    let mut merged = Engine::from_snapshot(first)?;
+    for snap in snaps {
+        merged.merge_snapshot(&snap)?;
+    }
+    Ok(merged)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::AlgoKind;
+    use hh_counters::traits::FrequencyEstimator;
+
+    fn stream(len: u64, modulus: u64) -> Vec<u64> {
+        (0..len).map(|i| (i * i + 11 * i) % modulus).collect()
+    }
+
+    fn ss_config(m: usize) -> PipelineConfig {
+        PipelineConfig::new(EngineConfig::new(AlgoKind::SpaceSaving).counters(m))
+    }
+
+    #[test]
+    fn spawn_validates_config() {
+        assert!(ss_config(8).shards(0).spawn::<u64>().is_err());
+        assert!(ss_config(8).batch_size(0).spawn::<u64>().is_err());
+        assert!(ss_config(8).queue_depth(0).spawn::<u64>().is_err());
+        assert!(ss_config(0).shards(2).spawn::<u64>().is_err()); // engine config error
+    }
+
+    #[test]
+    fn merged_counts_the_whole_stream_for_every_mode() {
+        let s = stream(20_000, 997);
+        for routing in [Routing::HashPartition, Routing::RoundRobin] {
+            for ingest in [ShardIngest::Preserve, ShardIngest::Aggregate] {
+                let mut p = ss_config(64)
+                    .shards(3)
+                    .routing(routing)
+                    .ingest(ingest)
+                    .batch_size(512)
+                    .spawn::<u64>()
+                    .unwrap();
+                p.send_batch(&s).unwrap();
+                let merged = p.finish().unwrap();
+                assert_eq!(merged.stream_len(), 20_000, "{routing:?}/{ingest:?}");
+                assert!(merged.stored_len() <= 64);
+            }
+        }
+    }
+
+    #[test]
+    fn live_queries_are_epoch_consistent_and_nondestructive() {
+        let mut p = ss_config(32)
+            .shards(4)
+            .batch_size(64)
+            .spawn::<u64>()
+            .unwrap();
+        p.send_batch(&stream(5_000, 37)).unwrap();
+        let first = p.merged().unwrap();
+        assert_eq!(first.stream_len(), 5_000);
+        assert_eq!(p.epoch(), 1);
+
+        // ingest continues; the next epoch sees strictly more
+        p.send_batch(&stream(2_500, 37)).unwrap();
+        let second = p.merged().unwrap();
+        assert_eq!(second.stream_len(), 7_500);
+        assert_eq!(p.epoch(), 2);
+
+        let fin = p.finish().unwrap();
+        assert_eq!(fin.stream_len(), 7_500);
+    }
+
+    #[test]
+    fn hash_partition_sends_all_occurrences_to_one_shard() {
+        let s = stream(8_000, 101);
+        let mut p = ss_config(128)
+            .shards(4)
+            .batch_size(256)
+            .spawn::<u64>()
+            .unwrap();
+        p.send_batch(&s).unwrap();
+        let shards = p.finish_shards().unwrap();
+        // every item is fully counted on exactly its hash shard
+        for item in 0..101u64 {
+            let exact = s.iter().filter(|&&x| x == item).count() as u64;
+            if exact == 0 {
+                continue;
+            }
+            let home = hash_shard(4, &item);
+            assert_eq!(shards[home].estimate(&item), exact, "item {item}");
+            for (j, shard) in shards.iter().enumerate() {
+                if j != home {
+                    assert_eq!(shard.estimate(&item), 0, "item {item} leaked to shard {j}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn round_robin_deals_whole_batches_in_rotation() {
+        // batch=3, 2 shards: batches alternate 0, 1, 0, 1...
+        let mut p = ss_config(16)
+            .shards(2)
+            .routing(Routing::RoundRobin)
+            .batch_size(3)
+            .spawn::<u64>()
+            .unwrap();
+        p.send_batch(&[1, 1, 1, 2, 2, 2, 3, 3, 3]).unwrap();
+        let shards = p.finish_shards().unwrap();
+        assert_eq!(shards[0].estimate(&1), 3);
+        assert_eq!(shards[0].estimate(&3), 3);
+        assert_eq!(shards[1].estimate(&2), 3);
+        assert_eq!(shards[0].estimate(&2), 0);
+    }
+
+    #[test]
+    fn preserve_mode_matches_parallel_summarize_bit_for_bit() {
+        use hh_counters::parallel::parallel_summarize;
+        use hh_counters::SpaceSaving;
+
+        let s = stream(30_000, 499);
+        let (shards, m, k) = (4usize, 48usize, 6usize);
+        let mut p = ss_config(m)
+            .shards(shards)
+            .batch_size(777)
+            .spawn::<u64>()
+            .unwrap();
+        p.send_batch(&s).unwrap();
+        let via_pipeline = p.merged_k_sparse(k).unwrap();
+
+        // reconstruct the partition from the public routing contract
+        let mut partition = vec![Vec::new(); shards];
+        for &x in &s {
+            partition[hash_shard(shards, &x)].push(x);
+        }
+        let via_parallel = parallel_summarize(
+            &partition,
+            k,
+            || SpaceSaving::<u64>::new(m),
+            || SpaceSaving::<u64>::new(m),
+        );
+        assert_eq!(via_pipeline.entries(), via_parallel.entries());
+        assert_eq!(via_pipeline.stream_len(), via_parallel.stream_len());
+    }
+
+    #[test]
+    fn aggregate_mode_is_deterministic_and_exact_below_capacity() {
+        let s = stream(12_000, 61); // 61 distinct < m: summaries stay exact
+        let run = || {
+            let mut p = ss_config(128)
+                .shards(3)
+                .ingest(ShardIngest::Aggregate)
+                .batch_size(100)
+                .spawn::<u64>()
+                .unwrap();
+            p.send_batch(&s).unwrap();
+            p.finish().unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.entries(), b.entries(), "two identical runs must agree");
+        for item in 0..61u64 {
+            let exact = s.iter().filter(|&&x| x == item).count() as u64;
+            assert_eq!(a.estimate(&item), exact, "item {item}");
+        }
+    }
+
+    #[test]
+    fn aggregate_matches_preserve_on_commutative_backends() {
+        // Count-Min cell updates are linear, so batch aggregation is
+        // invisible to the sketch: point estimates must agree exactly.
+        let s = stream(9_000, 211);
+        let run = |ingest| {
+            let mut p =
+                PipelineConfig::new(EngineConfig::new(AlgoKind::CountMin).counters(256).seed(3))
+                    .shards(2)
+                    .ingest(ingest)
+                    .batch_size(128)
+                    .spawn::<u64>()
+                    .unwrap();
+            p.send_batch(&s).unwrap();
+            p.finish().unwrap()
+        };
+        let preserve = run(ShardIngest::Preserve);
+        let aggregate = run(ShardIngest::Aggregate);
+        for item in 0..211u64 {
+            assert_eq!(
+                preserve.estimate(&item),
+                aggregate.estimate(&item),
+                "item {item}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_algo_runs_through_the_pipeline() {
+        let s = stream(4_000, 53);
+        for algo in AlgoKind::ALL {
+            let mut p = PipelineConfig::new(EngineConfig::new(algo).counters(64).seed(5))
+                .shards(2)
+                .batch_size(256)
+                .spawn::<u64>()
+                .unwrap();
+            p.send_batch(&s).unwrap();
+            let merged = p.finish().unwrap();
+            assert_eq!(merged.stream_len(), 4_000, "{algo}");
+            assert!(!merged.report().top_k(3).is_empty(), "{algo}");
+        }
+    }
+
+    #[test]
+    fn string_items_route_and_merge() {
+        let words = ["the", "cat", "sat", "the", "mat", "the"];
+        let mut p = PipelineConfig::new(EngineConfig::new(AlgoKind::SpaceSaving).counters(8))
+            .shards(2)
+            .batch_size(2)
+            .spawn::<String>()
+            .unwrap();
+        for w in words {
+            p.send(w.to_string()).unwrap();
+        }
+        let merged = p.finish().unwrap();
+        assert_eq!(merged.estimate(&"the".to_string()), 3);
+        assert_eq!(merged.stream_len(), 6);
+    }
+
+    #[test]
+    fn dropping_a_pipeline_does_not_hang() {
+        let mut p = ss_config(8).shards(2).batch_size(4).spawn::<u64>().unwrap();
+        p.send_batch(&[1, 2, 3]).unwrap();
+        drop(p); // workers exit on disconnect; nothing to join
+    }
+}

@@ -7,6 +7,10 @@
 //! * [`engine`] — the unified serving surface: config-driven construction
 //!   ([`engine::EngineConfig`]), one query surface ([`engine::Report`]),
 //!   portable snapshots ([`engine::Snapshot`]) and cross-process merging;
+//! * [`pipeline`] — the concurrent twin of [`engine`]: a long-lived
+//!   sharded ingest service ([`pipeline::Pipeline`]) with bounded-channel
+//!   backpressure and live epoch-boundary queries, sound by the paper's
+//!   Theorem 11 merge;
 //! * [`counters`] — FREQUENT, SPACESAVING (and the weighted FREQUENTR /
 //!   SPACESAVINGR), sparse recovery, merging, Zipf sizing and the
 //!   heavy-tolerance machinery (the paper's contribution);
@@ -65,6 +69,7 @@ pub use hh_streamgen as streamgen;
 
 pub use hh_counters::error::Error;
 pub use hh_sketches::engine;
+pub use hh_sketches::pipeline;
 
 /// Convenient glob-import surface: the names almost every user needs.
 pub mod prelude {
@@ -76,6 +81,7 @@ pub mod prelude {
     pub use hh_sketches::engine::{
         AlgoKind, CapacitySpec, Engine, EngineConfig, Report, Snapshot, WeightedEngine,
     };
+    pub use hh_sketches::pipeline::{Pipeline, PipelineConfig, Routing, ShardIngest};
     pub use hh_sketches::{CountMin, CountSketch, SketchHeavyHitters, UpdateRule};
     pub use hh_streamgen::{ExactCounter, ExactWeightedCounter, Freqs, ZipfSampler};
 }

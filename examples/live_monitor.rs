@@ -1,18 +1,25 @@
-//! Live top-k monitoring with flash-crowd detection and engine
-//! checkpointing.
+//! Live flash-crowd monitoring on the sharded `hh::pipeline` service.
 //!
-//! A dashboard-style loop: a [`TopKMonitor`] wrapping a config-built
-//! engine reports top-k membership changes as they happen; mid-stream a
-//! flash crowd bursts in and is certified-detected; finally the engine is
-//! checkpointed to JSON through the portable snapshot format and restored
-//! bit-identically (the machinery distributed deployments use).
+//! A dashboard-style loop over a long-lived concurrent pipeline: four
+//! worker shards each own a SPACESAVING engine and ingest a
+//! hash-partitioned Zipf stream through bounded channels. Every few
+//! thousand arrivals the coordinator takes an epoch-boundary query —
+//! per-shard snapshots merged through `Engine::merge_snapshot`, so the
+//! live top-5 carries certified `(lower, upper)` intervals — and watches
+//! a flash crowd burst into the ranking mid-stream. At the end the
+//! pipeline is drained, the final merged engine is checkpointed to JSON
+//! and restored bit-identically (the machinery distributed deployments
+//! use).
 //!
 //! Run with: `cargo run -p hh --example live_monitor`
 
-use hh::counters::monitor::{TopKChange, TopKMonitor};
 use hh::prelude::*;
 use hh::streamgen::drift::{flash_crowd, flash_item};
 use hh::streamgen::zipf::{stream_from_counts, StreamOrder};
+
+const SHARDS: usize = 4;
+const EPOCH_EVERY: usize = 6_000;
+const TOP_K: usize = 5;
 
 fn main() {
     // Background: Zipf(1.3) traffic; a flash crowd bursts in at 70%.
@@ -20,53 +27,80 @@ fn main() {
     let background = stream_from_counts(&counts, StreamOrder::Shuffled(8));
     let stream = flash_crowd(&background, 0.7, 4_000, 15);
 
-    // The monitor wraps any estimator; here a config-built engine.
-    let engine: Engine<u64> = EngineConfig::new(AlgoKind::SpaceSaving)
-        .counters(64)
-        .build()
-        .expect("valid config");
-    let mut monitor = TopKMonitor::with_summary(engine, 5);
-    let mut change_log = 0usize;
-    for (pos, &item) in stream.iter().enumerate() {
-        for change in monitor.update(item) {
-            change_log += 1;
-            if change_log <= 12 || matches!(change, TopKChange::Entered(i) if i == flash_item()) {
-                match change {
-                    TopKChange::Entered(i) => {
-                        let label = if i == flash_item() {
-                            "  <-- FLASH CROWD"
-                        } else {
-                            ""
-                        };
-                        println!("[{pos:>6}] + item {i} entered top-5{label}");
-                    }
-                    TopKChange::Left(i) => println!("[{pos:>6}] - item {i} left top-5"),
-                }
-            }
-        }
-    }
-    println!("({change_log} membership changes total)\n");
+    // One EngineConfig describes every shard; the pipeline owns the
+    // worker threads, channels and routing.
+    let mut pipeline: Pipeline<u64> =
+        PipelineConfig::new(EngineConfig::new(AlgoKind::SpaceSaving).counters(64))
+            .shards(SHARDS)
+            .routing(Routing::HashPartition)
+            .ingest(ShardIngest::Aggregate)
+            .batch_size(1_024)
+            .spawn()
+            .expect("valid pipeline config");
 
-    println!("final top-5:");
-    for (item, count) in monitor.ranked() {
-        let label = if item == flash_item() {
+    println!(
+        "ingesting {} arrivals across {SHARDS} shards; live top-{TOP_K} every {EPOCH_EVERY}:\n",
+        stream.len()
+    );
+    let mut flash_seen_at = None;
+    for chunk in stream.chunks(EPOCH_EVERY) {
+        pipeline.send_batch(chunk).expect("shards alive");
+
+        // Epoch-boundary query: ingest keeps running, the merged view is
+        // consistent with everything routed so far.
+        let live = pipeline.merged().expect("merged epoch view");
+        let top = live.report().top_k(TOP_K);
+        print!(
+            "[epoch {:>2}, {:>6} items] top-{TOP_K}:",
+            pipeline.epoch(),
+            live.stream_len()
+        );
+        for entry in &top {
+            print!(" {}({})", entry.item, entry.estimate);
+        }
+        if flash_seen_at.is_none() && top.iter().any(|e| e.item == flash_item()) {
+            flash_seen_at = Some(live.stream_len());
+            print!("   <-- FLASH CROWD detected");
+        }
+        println!();
+    }
+
+    let detected = flash_seen_at.expect("the flash crowd must enter the live top-5");
+    println!(
+        "\nflash item {} detected at ~{detected} items",
+        flash_item()
+    );
+
+    // Drain the pipeline; the final merged engine answers every query.
+    let merged = pipeline.finish().expect("clean shutdown");
+    assert_eq!(merged.stream_len(), stream.len() as u64);
+    println!("\nfinal top-{TOP_K} (with certified intervals):");
+    for entry in merged.report().top_k(TOP_K) {
+        let label = if entry.item == flash_item() {
             "  (the flash item)"
         } else {
             ""
         };
-        println!("  item {item:<22} {count:>7}{label}");
+        println!(
+            "  item {:<10} {:>7}  [{}..={}]{}",
+            entry.item, entry.estimate, entry.lower, entry.upper, label
+        );
     }
     assert!(
-        monitor.members().contains(&flash_item()),
-        "the flash item must end in the top-5"
+        merged
+            .report()
+            .top_k(TOP_K)
+            .iter()
+            .any(|e| e.item == flash_item()),
+        "the flash item must end in the top-{TOP_K}"
     );
 
-    // Checkpoint the engine and restore it — estimates are identical.
-    let json = monitor.summary().to_json().expect("serialize");
+    // Checkpoint the merged engine and restore it — estimates identical.
+    let json = merged.to_json().expect("serialize");
     println!("\ncheckpoint: {} bytes of JSON", json.len());
     let restored: Engine<u64> = Engine::from_json(&json).expect("parse");
-    for (item, count) in monitor.ranked() {
-        assert_eq!(restored.estimate(&item), count);
+    for entry in merged.report().top_k(TOP_K) {
+        assert_eq!(restored.estimate(&entry.item), entry.estimate);
     }
     println!("restored engine matches the live one ✓");
 }
