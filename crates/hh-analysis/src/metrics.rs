@@ -1,5 +1,12 @@
 //! Error metrics: per-item estimation error, Lp recovery error,
 //! precision/recall, and tail-guarantee checks against ground truth.
+//!
+//! These are *accuracy* metrics — offline comparisons of an estimator
+//! against an exact oracle, used by the experiment suite to reproduce
+//! the paper's tables. They are unrelated to the *runtime* metrics in
+//! `hh-obs` (counters/gauges/histograms behind `Pipeline::stats()` and
+//! `serve --stats-every`), which describe how the serving stack behaves
+//! in production and never need ground truth.
 
 use std::collections::HashMap;
 use std::hash::Hash;

@@ -20,6 +20,8 @@ commands:
   merge       merge two or more snapshot FILEs and report the top-k
   gen         emit a synthetic Zipf trace (requires --zipf)
   serve       sharded streaming ingest with periodic live top-k reports
+  stats       validate and render an NDJSON stats stream from
+              `serve --stats-every` (reads FILE or stdin)
 
 options:
   -m <N>             counters to use (default 256)
@@ -39,6 +41,10 @@ options:
   --shards <N>       for `serve`: worker shards (default: available cores)
   --report-every <N> for `serve`: emit a live top-k report every N items
                      (default 0: only the final report)
+  --stats-every <N>  for `serve`: emit a pipeline telemetry record (per-shard
+                     items, queue depth, imbalance, epoch latency quantiles)
+                     every N items (default 0: only the final stats record;
+                     stats records are NDJSON objects with \"stats\":true)
   FILE               input path (default: stdin), one item per line;
                      `merge` takes two or more snapshot files";
 
@@ -59,6 +65,8 @@ pub enum Command {
     Gen,
     /// `serve`
     Serve,
+    /// `stats`
+    Stats,
 }
 
 /// Parameters of a `gen --zipf` trace.
@@ -107,6 +115,9 @@ pub struct Options {
     pub shards: Option<usize>,
     /// Report interval (items) for `serve`; 0 means only the final report.
     pub report_every: u64,
+    /// Stats interval (items) for `serve`; 0 means only the final stats
+    /// record (and none at all unless `--stats-every` was given).
+    pub stats_every: Option<u64>,
     /// Input files (at most one, except for `merge`).
     pub inputs: Vec<String>,
 }
@@ -135,6 +146,7 @@ pub fn parse_args(args: &[String]) -> Result<Options, Error> {
         Some("merge") => Command::Merge,
         Some("gen") => Command::Gen,
         Some("serve") => Command::Serve,
+        Some("stats") => Command::Stats,
         Some(other) => return Err(Error::parse(format!("unknown command {other:?}"))),
         None => return Err(Error::parse("missing command")),
     };
@@ -155,6 +167,7 @@ pub fn parse_args(args: &[String]) -> Result<Options, Error> {
         zipf: None,
         shards: None,
         report_every: 0,
+        stats_every: None,
         inputs: Vec::new(),
     };
 
@@ -200,6 +213,12 @@ pub fn parse_args(args: &[String]) -> Result<Options, Error> {
                 opts.report_every =
                     parse_num(next_value(&mut it, "--report-every")?, "--report-every")?
             }
+            "--stats-every" => {
+                opts.stats_every = Some(parse_num(
+                    next_value(&mut it, "--stats-every")?,
+                    "--stats-every",
+                )?)
+            }
             other if other.starts_with('-') => {
                 return Err(Error::parse(format!("unknown option {other:?}")))
             }
@@ -237,6 +256,12 @@ fn validate(opts: &Options) -> Result<(), Error> {
         Command::Serve if opts.snapshot_in.is_some() => Err(Error::parse(
             "serve starts from an empty pipeline; --snapshot-in is not supported",
         )),
+        Command::Stats if opts.weighted || opts.snapshot_in.is_some() => Err(Error::parse(
+            "stats reads an NDJSON stats stream; only --json and FILE apply",
+        )),
+        _ if opts.stats_every.is_some() && opts.command != Command::Serve => {
+            Err(Error::parse("--stats-every only applies to serve"))
+        }
         _ if opts.command != Command::Merge && opts.inputs.len() > 1 => {
             Err(Error::parse("more than one input file given"))
         }
@@ -405,6 +430,28 @@ mod tests {
         assert!(p(&["serve", "--shards", "0"]).is_err());
         assert!(p(&["serve", "--weighted"]).is_err());
         assert!(p(&["serve", "--snapshot-in", "x.json"]).is_err());
+    }
+
+    #[test]
+    fn stats_flags_parse_and_validate() {
+        let o = p(&["serve", "--stats-every", "500"]).unwrap();
+        assert_eq!(o.stats_every, Some(500));
+        // default: no stats records at all
+        assert_eq!(p(&["serve"]).unwrap().stats_every, None);
+        // 0 = only the final stats record
+        assert_eq!(
+            p(&["serve", "--stats-every", "0"]).unwrap().stats_every,
+            Some(0)
+        );
+        // --stats-every belongs to serve alone
+        assert!(p(&["topk", "--stats-every", "10"]).is_err());
+
+        let o = p(&["stats", "run.ndjson", "--json"]).unwrap();
+        assert_eq!(o.command, Command::Stats);
+        assert_eq!(o.inputs, vec!["run.ndjson".to_string()]);
+        assert!(o.json);
+        assert!(p(&["stats", "--weighted"]).is_err());
+        assert!(p(&["stats", "--snapshot-in", "x.json"]).is_err());
     }
 
     #[test]

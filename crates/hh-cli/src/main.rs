@@ -18,6 +18,8 @@
 //! hh gen --zipf 10000,1000000,1.2,7            # synthetic trace to stdout
 //! hh serve --shards 4 --report-every 100000 -k 10 [FILE]
 //! #   sharded pipeline ingest (hh::pipeline) with live top-k reports
+//! hh serve --stats-every 50000 --json [FILE]   # + NDJSON telemetry records
+//! hh stats run.ndjson                          # validate/render a stats stream
 //! ```
 //!
 //! Add `--json` for machine-readable output. Items are arbitrary
@@ -32,7 +34,8 @@ mod cli;
 use cli::{parse_args, Command, Options};
 use hh::counters::Confidence;
 use hh::engine::{Engine, Snapshot, WeightedEngine};
-use hh::pipeline::{Pipeline, PipelineConfig, ShardIngest};
+use hh::obs::HistogramSnapshot;
+use hh::pipeline::{Pipeline, PipelineConfig, PipelineStats, ShardIngest};
 use hh::Error;
 
 fn main() -> ExitCode {
@@ -65,6 +68,8 @@ fn main() -> ExitCode {
             if opts.command == Command::Serve {
                 let stdout = std::io::stdout();
                 run_serve(&opts, BufReader::new(reader), &mut stdout.lock())
+            } else if opts.command == Command::Stats {
+                run_stats(&opts, BufReader::new(reader))
             } else {
                 run(opts, BufReader::new(reader))
             }
@@ -163,7 +168,9 @@ fn run_unweighted(opts: Options, reader: impl BufRead) -> Result<String, Error> 
                 )
             }
         }
-        Command::Merge | Command::Gen | Command::Serve => unreachable!("handled in main"),
+        Command::Merge | Command::Gen | Command::Serve | Command::Stats => {
+            unreachable!("handled in main")
+        }
     };
 
     if let Some(path) = &opts.snapshot_out {
@@ -189,7 +196,9 @@ fn run_serve(
         .ingest(ShardIngest::Aggregate)
         .spawn()?;
 
+    let stats_every = opts.stats_every.unwrap_or(0);
     let mut until_report = opts.report_every;
+    let mut until_stats = stats_every;
     for line in reader.lines() {
         let line = line?;
         let item = line.trim();
@@ -206,6 +215,28 @@ fn run_serve(
                 out.flush()?;
             }
         }
+        if stats_every > 0 {
+            until_stats -= 1;
+            if until_stats == 0 {
+                until_stats = stats_every;
+                // An epoch-boundary query first: queues drain (counters
+                // become exact) and the snapshot/merge histograms gain a
+                // fresh sample, so the record carries live latency
+                // quantiles even without --report-every.
+                pipeline.merged()?;
+                let stats = pipeline.stats();
+                writeln!(out, "{}", stats_record(&stats, false, opts.json))?;
+                out.flush()?;
+            }
+        }
+    }
+
+    if opts.stats_every.is_some() {
+        // Final stats record at one last epoch boundary, before teardown.
+        pipeline.merged()?;
+        let stats = pipeline.stats();
+        writeln!(out, "{}", stats_record(&stats, true, opts.json))?;
+        out.flush()?;
     }
 
     let merged = pipeline.finish()?;
@@ -213,6 +244,165 @@ fn run_serve(
         std::fs::write(path, merged.to_json()?)?;
     }
     Ok(serve_report(&merged, None, opts))
+}
+
+/// Renders one [`HistogramSnapshot`] as a JSON object (nanosecond
+/// latency quantiles).
+fn hist_json(h: &HistogramSnapshot) -> String {
+    format!(
+        "{{\"count\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"max\":{}}}",
+        h.count, h.p50, h.p90, h.p99, h.max
+    )
+}
+
+/// Renders one pipeline telemetry record. JSON records are single-line
+/// NDJSON objects tagged `"stats":true` so consumers (and `hh stats`)
+/// can separate them from the `"epoch"`/`"final"` top-k reports sharing
+/// the stream; text records are a small per-shard table.
+fn stats_record(stats: &PipelineStats, fin: bool, json: bool) -> String {
+    if json {
+        let shards: Vec<String> = stats
+            .shards
+            .iter()
+            .map(|s| {
+                format!(
+                    "{{\"shard\":{},\"items\":{},\"batches\":{},\"routed\":{},\
+                     \"queue_depth\":{},\"send_block_ns\":{}}}",
+                    s.shard,
+                    s.items_ingested,
+                    s.batches_ingested,
+                    s.routed_items,
+                    s.queue_depth,
+                    hist_json(&s.send_block_ns)
+                )
+            })
+            .collect();
+        let fin = if fin { "\"final\":true," } else { "" };
+        format!(
+            "{{\"stats\":true,{fin}\"epoch\":{},\"routed\":{},\"imbalance\":{:.4},\
+             \"snapshot_ns\":{},\"merge_ns\":{},\"shards\":[{}]}}",
+            stats.epochs,
+            stats.routed,
+            stats.imbalance,
+            hist_json(&stats.snapshot_ns),
+            hist_json(&stats.merge_ns),
+            shards.join(",")
+        )
+    } else {
+        let label = if fin { "final stats" } else { "stats" };
+        let mut out = format!(
+            "-- {label} (epoch {}, {} items, imbalance {:.2}, \
+             snapshot p50 {} ns, merge p50 {} ns) --\n",
+            stats.epochs, stats.routed, stats.imbalance, stats.snapshot_ns.p50, stats.merge_ns.p50
+        );
+        let _ = writeln!(
+            out,
+            "{:>5} {:>12} {:>10} {:>12} {:>7} {:>16}",
+            "shard", "items", "batches", "routed", "queue", "send p99 (ns)"
+        );
+        for s in &stats.shards {
+            let _ = writeln!(
+                out,
+                "{:>5} {:>12} {:>10} {:>12} {:>7} {:>16}",
+                s.shard,
+                s.items_ingested,
+                s.batches_ingested,
+                s.routed_items,
+                s.queue_depth,
+                s.send_block_ns.p99
+            );
+        }
+        out.trim_end().to_string()
+    }
+}
+
+/// `hh stats`: read an NDJSON stream produced by `serve --stats-every`
+/// (possibly interleaved with top-k report objects), validate every
+/// stats record, and render a summary of the run. Fails on malformed
+/// JSON or stats records missing required fields — which is what makes
+/// it usable as a smoke validator in CI.
+fn run_stats(opts: &Options, reader: impl BufRead) -> Result<String, Error> {
+    let mut records = 0u64;
+    let mut last: Option<serde_json::Value> = None;
+    let mut last_routed = 0u64;
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v: serde_json::Value = serde_json::from_str(&line)
+            .map_err(|e| Error::parse(format!("line {}: invalid JSON: {e}", lineno + 1)))?;
+        if v["stats"] != true {
+            continue; // an interleaved top-k report (or the final report)
+        }
+        for field in ["epoch", "routed", "imbalance"] {
+            if v[field].as_f64().is_none() {
+                return Err(Error::parse(format!(
+                    "line {}: stats record missing {field:?}",
+                    lineno + 1
+                )));
+            }
+        }
+        let shards = v["shards"].as_array().ok_or_else(|| {
+            Error::parse(format!(
+                "line {}: stats record missing \"shards\"",
+                lineno + 1
+            ))
+        })?;
+        for (i, s) in shards.iter().enumerate() {
+            for field in ["shard", "items", "routed", "queue_depth"] {
+                if s[field].as_f64().is_none() {
+                    return Err(Error::parse(format!(
+                        "line {}: shard {i} missing {field:?}",
+                        lineno + 1
+                    )));
+                }
+            }
+        }
+        let routed = v["routed"].as_u64().unwrap_or(0);
+        if routed < last_routed {
+            return Err(Error::parse(format!(
+                "line {}: routed went backwards ({routed} < {last_routed})",
+                lineno + 1
+            )));
+        }
+        last_routed = routed;
+        records += 1;
+        last = Some(v);
+    }
+    let Some(last) = last else {
+        return Err(Error::parse("no stats records in input"));
+    };
+    if opts.json {
+        let last = serde_json::to_string(&last).map_err(|e| Error::parse(e.to_string()))?;
+        Ok(format!("{{\"records\":{records},\"last\":{last}}}"))
+    } else {
+        let shards = last["shards"].as_array().expect("validated above");
+        let mut out = format!(
+            "{} stats records; last: epoch {}, {} items routed, imbalance {:.2}, {} shards\n",
+            records,
+            last["epoch"].as_u64().unwrap_or(0),
+            last["routed"].as_u64().unwrap_or(0),
+            last["imbalance"].as_f64().unwrap_or(1.0),
+            shards.len()
+        );
+        let _ = writeln!(
+            out,
+            "{:>5} {:>12} {:>12} {:>7}",
+            "shard", "items", "routed", "queue"
+        );
+        for s in shards {
+            let _ = writeln!(
+                out,
+                "{:>5} {:>12} {:>12} {:>7}",
+                s["shard"].as_u64().unwrap_or(0),
+                s["items"].as_u64().unwrap_or(0),
+                s["routed"].as_u64().unwrap_or(0),
+                s["queue_depth"].as_u64().unwrap_or(0)
+            );
+        }
+        Ok(out.trim_end().to_string())
+    }
 }
 
 /// Renders one serve report; `epoch` is `Some` for periodic live reports
@@ -313,7 +503,9 @@ fn run_weighted(opts: Options, reader: impl BufRead) -> Result<String, Error> {
                 format!("F1^res({}) ~= {res:.3}", opts.k)
             }
         }
-        Command::Merge | Command::Gen | Command::Serve => unreachable!("handled in main"),
+        Command::Merge | Command::Gen | Command::Serve | Command::Stats => {
+            unreachable!("handled in main")
+        }
     };
 
     if let Some(path) = &opts.snapshot_out {
@@ -764,5 +956,133 @@ mod tests {
         let out = run_gen(&o).unwrap();
         assert_eq!(out.lines().count(), 100);
         assert!(out.lines().all(|l| l.parse::<u64>().is_ok()));
+    }
+
+    #[test]
+    fn serve_stats_every_emits_ndjson_stats_records() {
+        let o = opts(&[
+            "serve",
+            "--shards",
+            "3",
+            "--stats-every",
+            "4",
+            "--report-every",
+            "5",
+            "-k",
+            "1",
+            "--json",
+        ]);
+        let input: String = (0..12).map(|i| format!("s{}\n", i % 4)).collect();
+        let mut live = Vec::new();
+        run_serve(&o, input.as_bytes(), &mut live).unwrap();
+        let live = String::from_utf8(live).unwrap();
+
+        let mut stats = Vec::new();
+        let mut reports = 0;
+        for line in live.lines().filter(|l| !l.is_empty()) {
+            let v: serde_json::Value = serde_json::from_str(line).expect("NDJSON line parses");
+            if v["stats"] == true {
+                stats.push(v);
+            } else {
+                reports += 1;
+                assert!(v["epoch"].as_f64().is_some(), "report line: {line}");
+            }
+        }
+        assert!(reports >= 1, "report records interleave: {live}");
+        // 12 items / every 4 = 3 interval records, plus the final one.
+        assert_eq!(stats.len(), 4, "{live}");
+        assert_eq!(stats.last().unwrap()["final"], true);
+        for (i, s) in stats.iter().enumerate() {
+            // Interval records fire at an epoch boundary: exact counters.
+            assert!(s["routed"].as_u64().unwrap() <= 12);
+            assert!(s["imbalance"].as_f64().unwrap() >= 1.0);
+            assert!(s["snapshot_ns"]["count"].as_u64().unwrap() >= 1, "{s:?}");
+            assert!(s["merge_ns"]["count"].as_u64().unwrap() >= 1, "{s:?}");
+            let shards = s["shards"].as_array().unwrap();
+            assert_eq!(shards.len(), 3);
+            let ingested: u64 = shards.iter().map(|sh| sh["items"].as_u64().unwrap()).sum();
+            assert_eq!(ingested, s["routed"].as_u64().unwrap(), "record {i}: {s:?}");
+            for sh in shards {
+                assert_eq!(sh["queue_depth"].as_u64().unwrap(), 0, "boundary drained");
+                assert!(sh["send_block_ns"]["count"].as_u64().is_some());
+            }
+        }
+        assert_eq!(stats.last().unwrap()["routed"].as_u64().unwrap(), 12);
+    }
+
+    #[test]
+    fn serve_stats_text_mode_renders_table() {
+        let o = opts(&["serve", "--shards", "2", "--stats-every", "3", "-m", "16"]);
+        let mut live = Vec::new();
+        run_serve(&o, "a\nb\nc\nd\n".as_bytes(), &mut live).unwrap();
+        let live = String::from_utf8(live).unwrap();
+        assert!(live.contains("-- stats (epoch"), "{live}");
+        assert!(live.contains("-- final stats (epoch"), "{live}");
+        assert!(live.contains("send p99"), "{live}");
+    }
+
+    #[test]
+    fn stats_validates_and_summarizes_a_serve_stream() {
+        // end-to-end: serve --stats-every produces a stream that hh stats
+        // accepts, in both text and JSON output modes
+        let o = opts(&[
+            "serve",
+            "--shards",
+            "2",
+            "--stats-every",
+            "2",
+            "--report-every",
+            "3",
+            "-k",
+            "1",
+            "--json",
+        ]);
+        let mut live = Vec::new();
+        let final_report = run_serve(&o, "x\ny\nx\nz\nx\n".as_bytes(), &mut live).unwrap();
+        let mut stream = String::from_utf8(live).unwrap();
+        stream.push_str(&final_report);
+        stream.push('\n');
+
+        let so = opts(&["stats"]);
+        let summary = run_stats(&so, stream.as_bytes()).unwrap();
+        assert!(summary.contains("stats records"), "{summary}");
+        assert!(summary.contains("5 items routed"), "{summary}");
+
+        let sj = opts(&["stats", "--json"]);
+        let json = run_stats(&sj, stream.as_bytes()).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&json).expect("summary parses");
+        // 5 items / every 2 = 2 interval records + 1 final
+        assert_eq!(v["records"], 3);
+        assert_eq!(v["last"]["final"], true);
+        assert_eq!(v["last"]["routed"], 5);
+    }
+
+    #[test]
+    fn stats_rejects_malformed_streams() {
+        let o = opts(&["stats"]);
+        assert!(run_stats(&o, "not json\n".as_bytes()).is_err(), "bad JSON");
+
+        let o = opts(&["stats"]);
+        let err = run_stats(&o, "{\"stats\":true,\"epoch\":1}\n".as_bytes());
+        assert!(err.is_err(), "missing fields");
+
+        let o = opts(&["stats"]);
+        assert!(
+            run_stats(&o, "{\"epoch\":1,\"top\":[]}\n".as_bytes()).is_err(),
+            "stream with zero stats records"
+        );
+
+        // routed must be monotone across records
+        let o = opts(&["stats"]);
+        let shardless = |routed: u64| {
+            format!(
+                "{{\"stats\":true,\"epoch\":1,\"routed\":{routed},\"imbalance\":1.0,\"shards\":[]}}"
+            )
+        };
+        let stream = format!("{}\n{}\n", shardless(9), shardless(4));
+        assert!(
+            run_stats(&o, stream.as_bytes()).is_err(),
+            "routed regressed"
+        );
     }
 }

@@ -16,7 +16,67 @@
 //! guarantee while running on a capped pool.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
+
+use hh_obs::{Counter, Registry};
+
+/// Process-wide pool telemetry: how often the batch scheduler ran, in
+/// which shape, and how many tasks it dispatched.
+///
+/// The pool is free-function shaped (no instance to hang state off), so
+/// its counters are a process-wide static behind [`metrics`]. Handles are
+/// relaxed atomics; one `fetch_add` pair per *pool invocation* — noise
+/// next to the summarization work a run performs.
+#[derive(Debug, Clone)]
+pub struct PoolMetrics {
+    /// Tasks dispatched across all runs.
+    pub tasks: Counter,
+    /// Runs that spawned a scoped worker pool.
+    pub parallel_runs: Counter,
+    /// Runs executed inline (one worker or ≤ 1 task).
+    pub inline_runs: Counter,
+}
+
+/// The process-wide [`PoolMetrics`] instance.
+///
+/// ```
+/// let before = hh_counters::pool::metrics().tasks.get();
+/// hh_counters::pool::run_indexed(&[1u64, 2, 3], |_, &x| x);
+/// assert_eq!(hh_counters::pool::metrics().tasks.get(), before + 3);
+/// ```
+pub fn metrics() -> &'static PoolMetrics {
+    static METRICS: OnceLock<PoolMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| PoolMetrics {
+        tasks: Counter::new(),
+        parallel_runs: Counter::new(),
+        inline_runs: Counter::new(),
+    })
+}
+
+/// Registers the pool counters into `registry` (as `hh_pool_*`), so a
+/// higher layer's exposition — e.g. `hh::pipeline`'s registry — carries
+/// them alongside its own metrics.
+pub fn register_metrics(registry: &Registry) {
+    let m = metrics();
+    registry.register_counter(
+        "hh_pool_tasks_total",
+        &[],
+        "tasks dispatched by the batch worker pool",
+        &m.tasks,
+    );
+    registry.register_counter(
+        "hh_pool_parallel_runs_total",
+        &[],
+        "pool runs that spawned scoped worker threads",
+        &m.parallel_runs,
+    );
+    registry.register_counter(
+        "hh_pool_inline_runs_total",
+        &[],
+        "pool runs executed inline without threads",
+        &m.inline_runs,
+    );
+}
 
 /// The pool's thread cap: the machine's available parallelism (1 when it
 /// cannot be determined).
@@ -62,10 +122,13 @@ where
     F: Fn(usize, &T) -> R + Sync,
 {
     let workers = workers.max(1).min(tasks.len());
+    metrics().tasks.add(tasks.len() as u64);
     if workers <= 1 {
         // Nothing to schedule: run inline and skip the thread machinery.
+        metrics().inline_runs.inc();
         return tasks.iter().enumerate().map(|(i, t)| f(i, t)).collect();
     }
+    metrics().parallel_runs.inc();
 
     // One slot per task. A Mutex per slot keeps the crate free of unsafe
     // code; every lock is uncontended (each index is claimed by exactly

@@ -1,0 +1,290 @@
+//! A fixed-size log-bucketed histogram with lock-free recording.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Bucket count for the 2-significant-bit log scheme over `u64`:
+/// values `0..8` get exact buckets, every further power-of-two octave is
+/// split into 4 sub-buckets — `4 × 63 = 252` in total covers all of
+/// `u64` (see [`bucket_index`]).
+const BUCKETS: usize = 252;
+
+/// Quantiles reported by [`Histogram::snapshot`].
+const QUANTILES: [f64; 3] = [0.50, 0.90, 0.99];
+
+/// Index of the log bucket holding `v`.
+///
+/// Scheme: values below 8 map to their own bucket (`idx = v`); for
+/// `v ≥ 8` the bucket is the octave (position of the most significant
+/// bit) refined by the next 2 mantissa bits, i.e. `idx = 4·(p−1) + sub`
+/// with `p = ⌊log2 v⌋` and `sub` the two bits below the MSB. Bucket
+/// width is `2^(p−2)`, so a reported quantile is within **12.5%** of the
+/// true value (the half-width of its bucket).
+fn bucket_index(v: u64) -> usize {
+    if v < 8 {
+        return v as usize;
+    }
+    let p = 63 - v.leading_zeros() as usize; // ⌊log2 v⌋, ≥ 3 here
+    let sub = ((v >> (p - 2)) & 0b11) as usize;
+    4 * (p - 1) + sub
+}
+
+/// The midpoint of bucket `idx` — the value quantile read-out reports.
+fn bucket_midpoint(idx: usize) -> u64 {
+    if idx < 8 {
+        return idx as u64;
+    }
+    let p = idx / 4 + 1;
+    let sub = (idx % 4) as u64;
+    let lower = (4 + sub) << (p - 2);
+    lower + (1u64 << (p - 3))
+}
+
+#[derive(Debug)]
+struct Inner {
+    buckets: Vec<AtomicU64>,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+/// A log-bucketed distribution sketch: O(1) lock-free recording, 252
+/// fixed buckets (~2 KiB), quantiles within 12.5% relative error plus an
+/// **exact** running max.
+///
+/// Built for latency-style values in nanoseconds, but any `u64` works.
+/// Cloning yields a handle on the same histogram; recording is 4 relaxed
+/// atomic ops, so it belongs on per-batch and per-epoch paths, not
+/// per-item hot loops.
+///
+/// ```
+/// let h = hh_obs::Histogram::new();
+/// for v in [10u64, 10, 10, 1000] {
+///     h.record(v);
+/// }
+/// let s = h.snapshot();
+/// assert_eq!(s.count, 4);
+/// assert_eq!(s.max, 1000);
+/// assert!(s.p50 >= 9 && s.p50 <= 11);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Histogram(Arc<Inner>);
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// A new, empty histogram.
+    pub fn new() -> Self {
+        Histogram(Arc::new(Inner {
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }))
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        let inner = &*self.0;
+        inner.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        inner.sum.fetch_add(v, Ordering::Relaxed);
+        inner.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Records a [`Duration`](std::time::Duration) in nanoseconds
+    /// (saturating at `u64::MAX` — ~584 years).
+    #[inline]
+    pub fn record_duration(&self, d: std::time::Duration) {
+        self.record(d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// A consistent read-out of the distribution.
+    ///
+    /// Bucket counts are sampled once and quantiles computed against that
+    /// sample, so the snapshot is internally consistent; concurrent
+    /// writers may or may not be included (live sampling).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let inner = &*self.0;
+        let counts: Vec<u64> = inner
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let count: u64 = counts.iter().sum();
+        let max = inner.max.load(Ordering::Relaxed);
+        let sum = inner.sum.load(Ordering::Relaxed);
+
+        let mut q = [0u64; QUANTILES.len()];
+        if count > 0 {
+            // rank_i = ⌈q_i · count⌉ (1-based); one cumulative scan
+            // resolves all quantiles since both lists are sorted.
+            let mut cumulative = 0u64;
+            let mut qi = 0;
+            'buckets: for (idx, &c) in counts.iter().enumerate() {
+                cumulative += c;
+                while (QUANTILES[qi] * count as f64).ceil() as u64 <= cumulative {
+                    // Clamp to the exact max: the top occupied bucket's
+                    // midpoint may overshoot the largest recorded value.
+                    q[qi] = bucket_midpoint(idx).min(max);
+                    qi += 1;
+                    if qi == QUANTILES.len() {
+                        break 'buckets;
+                    }
+                }
+            }
+        }
+        HistogramSnapshot {
+            count,
+            sum,
+            max,
+            p50: q[0],
+            p90: q[1],
+            p99: q[2],
+        }
+    }
+}
+
+/// A point-in-time read-out of a [`Histogram`].
+///
+/// `p50`/`p90`/`p99` are bucket midpoints (≤ 12.5% relative error,
+/// clamped to the exact `max`); `count`, `sum` and `max` are exact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HistogramSnapshot {
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of all recorded values.
+    pub sum: u64,
+    /// Largest recorded value (exact).
+    pub max: u64,
+    /// Median estimate.
+    pub p50: u64,
+    /// 90th-percentile estimate.
+    pub p90: u64,
+    /// 99th-percentile estimate.
+    pub p99: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean of the recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_monotonic_and_total() {
+        let mut last = 0usize;
+        let mut probes: Vec<u64> = (0..2048).collect();
+        for p in 11..64 {
+            probes.push((1u64 << p) - 1);
+            probes.push(1u64 << p);
+            probes.push((1u64 << p) + 1);
+        }
+        probes.push(u64::MAX);
+        probes.sort_unstable();
+        for v in probes {
+            let idx = bucket_index(v);
+            assert!(idx < BUCKETS, "v={v} idx={idx}");
+            assert!(idx >= last, "index must not decrease at v={v}");
+            last = idx;
+        }
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn midpoint_lands_in_its_own_bucket() {
+        for idx in 0..BUCKETS {
+            assert_eq!(
+                bucket_index(bucket_midpoint(idx)),
+                idx,
+                "midpoint of bucket {idx} escapes it"
+            );
+        }
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let h = Histogram::new();
+        for v in [0u64, 1, 2, 3, 4, 5, 6, 7] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 8);
+        assert_eq!(s.sum, 28);
+        assert_eq!(s.max, 7);
+        // values < 8 get exact buckets: the median of 0..=7 at ⌈0.5·8⌉ = 4
+        // is the 4th smallest value, 3
+        assert_eq!(s.p50, 3);
+    }
+
+    #[test]
+    fn quantiles_within_relative_error() {
+        let h = Histogram::new();
+        // 1..=10_000 uniformly: p50 ≈ 5000, p90 ≈ 9000, p99 ≈ 9900
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 10_000);
+        assert_eq!(s.max, 10_000);
+        for (got, want) in [(s.p50, 5_000.0), (s.p90, 9_000.0), (s.p99, 9_900.0)] {
+            let rel = (got as f64 - want).abs() / want;
+            assert!(rel <= 0.125, "got {got}, want ~{want} (rel {rel:.3})");
+        }
+    }
+
+    #[test]
+    fn max_is_exact_and_clamps_quantiles() {
+        let h = Histogram::new();
+        h.record(1_000_003);
+        let s = h.snapshot();
+        assert_eq!(s.max, 1_000_003);
+        // single observation: every quantile lands in its bucket (≤ 12.5%
+        // relative error) and never exceeds the exact max
+        for q in [s.p50, s.p90, s.p99] {
+            assert!(q <= s.max);
+            let rel = (q as f64 - 1_000_003.0).abs() / 1_000_003.0;
+            assert!(rel <= 0.125, "q={q} rel={rel:.3}");
+        }
+        // a bucket-midpoint overshoot is clamped to the exact max
+        let h2 = Histogram::new();
+        h2.record(8); // bucket [8,10), midpoint 9 > max 8
+        assert_eq!(h2.snapshot().p50, 8);
+    }
+
+    #[test]
+    fn empty_snapshot_is_all_zero() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s, HistogramSnapshot::default());
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = Histogram::new();
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let h = h.clone();
+                scope.spawn(move || {
+                    for i in 0..10_000u64 {
+                        h.record(t * 10_000 + i);
+                    }
+                });
+            }
+        });
+        let s = h.snapshot();
+        assert_eq!(s.count, 40_000);
+        assert_eq!(s.max, 39_999);
+    }
+}

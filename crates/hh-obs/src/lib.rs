@@ -1,0 +1,82 @@
+//! `hh-obs` — zero-dependency runtime telemetry for the heavy-hitters
+//! stack.
+//!
+//! The accuracy story of this workspace is offline: `hh-analysis`
+//! compares estimators against exact oracles *after* a run. This crate is
+//! the complementary *runtime* story — what the sharded pipeline is doing
+//! while it runs: how many items each shard has ingested, how deep its
+//! queue is, how long the producer blocked on backpressure, how long an
+//! epoch merge took. Three primitives cover it:
+//!
+//! * [`Counter`] — a monotonically increasing atomic `u64` (relaxed
+//!   ordering; one `fetch_add` per observation);
+//! * [`Gauge`] — an atomic `i64` that can go up and down (queue depths,
+//!   in-flight batches);
+//! * [`Histogram`] — a fixed-size log-bucketed distribution sketch with
+//!   lock-free recording and `p50`/`p90`/`p99`/`max` read-out
+//!   ([`Histogram::snapshot`]).
+//!
+//! Handles clone cheaply (an [`Arc`] bump) and every mutation is a
+//! relaxed atomic, so a worker thread can hold its own handles while a
+//! coordinator reads them live. A [`Registry`] names metrics (with
+//! optional Prometheus-style labels) and renders the whole set as
+//! Prometheus text exposition ([`Registry::to_prometheus`]) or a single
+//! JSON object ([`Registry::to_json`]) — both hand-rolled, because this
+//! crate deliberately has **no dependencies** (std only): even the
+//! bottom-of-stack `hh-counters` can instrument itself without cycles.
+//!
+//! ```
+//! use hh_obs::{Registry, Histogram};
+//!
+//! let registry = Registry::new();
+//! let items = registry.counter_with(
+//!     "ingest_items_total",
+//!     &[("shard", "0")],
+//!     "items ingested by the shard worker",
+//! );
+//! let latency = registry.histogram("merge_ns", "epoch merge latency");
+//!
+//! items.add(1024);
+//! latency.record(350_000);
+//! let snap = latency.snapshot();
+//! assert_eq!(snap.count, 1);
+//! assert!(registry.to_prometheus().contains("ingest_items_total{shard=\"0\"} 1024"));
+//! assert!(registry.to_json().starts_with('{'));
+//! ```
+//!
+//! [`Arc`]: std::sync::Arc
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod histogram;
+mod primitives;
+mod registry;
+
+pub use histogram::{Histogram, HistogramSnapshot};
+pub use primitives::{Counter, Gauge};
+pub use registry::{Metric, Registry};
+
+/// Minimal JSON string escaper used by the exposition encoders (quotes,
+/// backslashes and control characters; everything else passes through).
+///
+/// ```
+/// assert_eq!(hh_obs::json_escape("a\"b\\c\n"), "a\\\"b\\\\c\\n");
+/// ```
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}

@@ -1,0 +1,144 @@
+//! The scalar metric primitives: [`Counter`] and [`Gauge`].
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A monotonically increasing event counter.
+///
+/// Cloning yields another handle on the **same** counter (an `Arc` bump),
+/// which is how a worker thread and a coordinator share one metric. Every
+/// mutation is one relaxed `fetch_add`; reads are relaxed loads — the
+/// value observed while writers are active is a live sample, exact once
+/// the writers are quiescent (e.g. at a pipeline epoch boundary).
+///
+/// ```
+/// let c = hh_obs::Counter::new();
+/// let handle = c.clone();
+/// handle.inc();
+/// handle.add(9);
+/// assert_eq!(c.get(), 10);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A new counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A value that can go up *and* down — queue depths, in-flight work.
+///
+/// Signed so that transient decrement-before-increment interleavings
+/// (reader samples between a consumer's `dec` and a producer's `inc`)
+/// stay representable instead of wrapping. Same sharing and ordering
+/// model as [`Counter`].
+///
+/// ```
+/// let g = hh_obs::Gauge::new();
+/// g.add(3);
+/// g.sub(1);
+/// g.set(7);
+/// assert_eq!(g.get(), 7);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// A new gauge at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n` (may be negative).
+    #[inline]
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Subtracts `n`.
+    #[inline]
+    pub fn sub(&self, n: i64) {
+        self.0.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Overwrites the value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    #[inline]
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_handles_share_state() {
+        let c = Counter::new();
+        assert_eq!(c.get(), 0);
+        let h = c.clone();
+        for _ in 0..5 {
+            h.inc();
+        }
+        c.add(100);
+        assert_eq!(c.get(), 105);
+        assert_eq!(h.get(), 105);
+    }
+
+    #[test]
+    fn gauge_moves_both_ways() {
+        let g = Gauge::new();
+        g.add(10);
+        g.sub(25);
+        assert_eq!(g.get(), -15);
+        g.set(3);
+        assert_eq!(g.get(), 3);
+    }
+
+    #[test]
+    fn concurrent_increments_are_not_lost() {
+        let c = Counter::new();
+        let g = Gauge::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let c = c.clone();
+                let g = g.clone();
+                scope.spawn(move || {
+                    for _ in 0..10_000 {
+                        c.inc();
+                        g.add(1);
+                        g.sub(1);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 40_000);
+        assert_eq!(g.get(), 0);
+    }
+}

@@ -527,6 +527,7 @@ impl EngineConfig {
         Ok(Engine {
             backend,
             kind: self.algo,
+            ingest: IngestStats::default(),
         })
     }
 
@@ -1055,6 +1056,27 @@ impl<I: EngineItem> Backend<I> for SketchHeavyHitters<I, CountSketch<I>> {
 // The engine handle
 // ---------------------------------------------------------------------------
 
+/// Ingest-side accounting an [`Engine`] keeps as it consumes its stream.
+///
+/// Plain (non-atomic) `u64`s: an engine is single-owner on its ingest
+/// path, so the counters are branch-free adds that cost nothing
+/// measurable next to the backend work — they are always on, not feature
+/// gated. `occurrences` tracks weighted arrivals (an `update_by(x, 5)`
+/// adds 5), so after pure ingest it equals [`Engine::stream_len`];
+/// unlike `stream_len` it is **not** carried across
+/// snapshot/merge/rehydration — it counts what *this* engine instance
+/// ingested locally, which is exactly what runtime telemetry wants
+/// (see [`crate::pipeline::PipelineStats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IngestStats {
+    /// Occurrences ingested locally (weighted: `update_by` adds `count`).
+    pub occurrences: u64,
+    /// Single-item calls (`update` / `update_by`).
+    pub calls: u64,
+    /// Slices consumed via `update_batch` / `update_many`.
+    pub batches: u64,
+}
+
 /// A uniform, object-safe handle over any configured backend.
 ///
 /// `Engine` itself implements [`FrequencyEstimator`], so everything in the
@@ -1075,6 +1097,7 @@ impl<I: EngineItem> Backend<I> for SketchHeavyHitters<I, CountSketch<I>> {
 pub struct Engine<I: EngineItem> {
     backend: Box<dyn Backend<I> + Send>,
     kind: AlgoKind,
+    ingest: IngestStats,
 }
 
 impl<I: EngineItem> fmt::Debug for Engine<I> {
@@ -1114,11 +1137,15 @@ impl<I: EngineItem> Engine<I> {
 
     /// Processes one occurrence of `item`.
     pub fn update(&mut self, item: I) {
+        self.ingest.occurrences += 1;
+        self.ingest.calls += 1;
         self.backend.update(item);
     }
 
     /// Processes `count` occurrences of `item` at once.
     pub fn update_by(&mut self, item: I, count: u64) {
+        self.ingest.occurrences += count;
+        self.ingest.calls += 1;
         self.backend.update_by(item, count);
     }
 
@@ -1132,6 +1159,8 @@ impl<I: EngineItem> Engine<I> {
     /// the strongest aggregation that preserves their exact per-element
     /// semantics.
     pub fn update_batch(&mut self, items: &[I]) {
+        self.ingest.occurrences += items.len() as u64;
+        self.ingest.batches += 1;
         self.backend.update_batch(items);
     }
 
@@ -1148,7 +1177,28 @@ impl<I: EngineItem> Engine<I> {
     /// assert_eq!(e.stream_len(), 5);
     /// ```
     pub fn update_many(&mut self, chunks: &[&[I]]) {
+        for chunk in chunks {
+            self.ingest.occurrences += chunk.len() as u64;
+        }
+        self.ingest.batches += chunks.len() as u64;
         self.backend.update_many(chunks);
+    }
+
+    /// This engine instance's local ingest accounting (see
+    /// [`IngestStats`] for what "local" excludes).
+    ///
+    /// ```
+    /// use hh_sketches::engine::{AlgoKind, EngineConfig};
+    /// let mut e = EngineConfig::new(AlgoKind::SpaceSaving).counters(8).build::<u64>().unwrap();
+    /// e.update_batch(&[1, 1, 2]);
+    /// e.update_by(7, 5);
+    /// let stats = e.ingest_stats();
+    /// assert_eq!(stats.occurrences, 8);
+    /// assert_eq!(stats.batches, 1);
+    /// assert_eq!(stats.calls, 1);
+    /// ```
+    pub fn ingest_stats(&self) -> IngestStats {
+        self.ingest
     }
 
     /// The backend's point estimate `c_i` (0 for unstored items).
@@ -1285,7 +1335,11 @@ impl<I: EngineItem> Engine<I> {
                 })
             }
         };
-        Ok(Engine { backend, kind })
+        Ok(Engine {
+            backend,
+            kind,
+            ingest: IngestStats::default(),
+        })
     }
 
     /// Absorbs a snapshot produced elsewhere (another process, an earlier
@@ -1364,20 +1418,24 @@ impl<I: EngineItem> FrequencyEstimator<I> for Engine<I> {
         self.backend.capacity()
     }
 
+    // The four ingest entry points route through the inherent methods so
+    // the IngestStats accounting is single-sourced: an engine driven
+    // through the trait (check_tail, merge_k_sparse, TopKMonitor…) counts
+    // exactly like one driven directly.
     fn update(&mut self, item: I) {
-        self.backend.update(item)
+        Engine::update(self, item)
     }
 
     fn update_by(&mut self, item: I, count: u64) {
-        self.backend.update_by(item, count)
+        Engine::update_by(self, item, count)
     }
 
     fn update_batch(&mut self, items: &[I]) {
-        self.backend.update_batch(items)
+        Engine::update_batch(self, items)
     }
 
     fn update_many(&mut self, chunks: &[&[I]]) {
-        self.backend.update_many(chunks)
+        Engine::update_many(self, chunks)
     }
 
     fn updates_commute(&self) -> bool {

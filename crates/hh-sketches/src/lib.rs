@@ -28,6 +28,8 @@ pub mod topk_tracker;
 pub use count_min::{CountMin, UpdateRule};
 pub use count_sketch::CountSketch;
 pub use dyadic::DyadicCountMin;
-pub use engine::{AlgoKind, CapacitySpec, Engine, EngineConfig, Report, Snapshot, WeightedEngine};
-pub use pipeline::{Pipeline, PipelineConfig, Routing, ShardIngest};
+pub use engine::{
+    AlgoKind, CapacitySpec, Engine, EngineConfig, IngestStats, Report, Snapshot, WeightedEngine,
+};
+pub use pipeline::{Pipeline, PipelineConfig, PipelineStats, Routing, ShardIngest, ShardStats};
 pub use topk_tracker::SketchHeavyHitters;

@@ -57,10 +57,12 @@
 use std::hash::{BuildHasher, Hash};
 use std::sync::mpsc::{Receiver, SyncSender};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use hh_counters::error::Error;
 use hh_counters::fasthash::FxBuildHasher;
 use hh_counters::merge::merge_k_sparse;
+use hh_obs::{Counter, Gauge, Histogram, HistogramSnapshot, Registry};
 
 use crate::engine::{Engine, EngineConfig, EngineItem, Snapshot};
 
@@ -206,15 +208,19 @@ impl PipelineConfig {
         if self.queue == 0 {
             return Err(Error::invalid_config("queue depth must be at least 1"));
         }
+        let metrics = PipelineMetrics::new(self.shards);
         let mut senders = Vec::with_capacity(self.shards);
         let mut workers = Vec::with_capacity(self.shards);
-        for _ in 0..self.shards {
+        for shard in 0..self.shards {
             // Engines are built on the coordinator thread so config errors
             // surface here, before any thread exists.
             let engine = self.engine.build::<I>()?;
             let (tx, rx) = std::sync::mpsc::sync_channel::<Msg<I>>(self.queue);
             let ingest = self.ingest;
-            workers.push(std::thread::spawn(move || shard_worker(engine, rx, ingest)));
+            let shard_metrics = metrics.shards[shard].clone();
+            workers.push(std::thread::spawn(move || {
+                shard_worker(engine, rx, ingest, shard_metrics)
+            }));
             senders.push(tx);
         }
         let buffers = match self.routing {
@@ -231,6 +237,7 @@ impl PipelineConfig {
             rr_cursor: 0,
             routed: 0,
             epoch: 0,
+            metrics,
         })
     }
 }
@@ -255,6 +262,155 @@ pub fn hash_shard<I: Hash>(shards: usize, item: &I) -> usize {
 }
 
 // ---------------------------------------------------------------------------
+// Telemetry
+// ---------------------------------------------------------------------------
+
+/// Shared metric handles for one shard. The router holds one clone, the
+/// shard worker another; all mutations are relaxed atomics on the
+/// *per-batch* paths (ship / receive), never per item — which is what
+/// keeps the instrumented send hot path within noise of the bare one.
+#[derive(Debug, Clone)]
+struct ShardMetrics {
+    /// Worker side: occurrences the shard engine has consumed.
+    items_ingested: Counter,
+    /// Worker side: batches consumed.
+    batches_ingested: Counter,
+    /// Router side: items shipped to this shard (the routing
+    /// distribution; feeds the imbalance ratio).
+    routed_items: Counter,
+    /// Batches in flight on the shard's channel: `+1` at ship, `−1` when
+    /// the worker dequeues — a live sample of backpressure.
+    queue_depth: Gauge,
+    /// Nanoseconds the producer spent inside `send` per shipped batch —
+    /// grows when the bounded channel is full (backpressure blocking).
+    send_block_ns: Histogram,
+}
+
+/// All pipeline telemetry, owned by the coordinator and exposed through
+/// [`Pipeline::stats`] / [`Pipeline::registry`].
+#[derive(Debug)]
+struct PipelineMetrics {
+    registry: Registry,
+    shards: Vec<ShardMetrics>,
+    /// Wall time of each epoch-boundary snapshot collection.
+    snapshot_ns: Histogram,
+    /// Wall time of each snapshot-set merge (merged / merged_k_sparse).
+    merge_ns: Histogram,
+    epochs: Counter,
+}
+
+impl PipelineMetrics {
+    fn new(shards: usize) -> Self {
+        let registry = Registry::new();
+        let shard_metrics = (0..shards)
+            .map(|i| {
+                let shard = i.to_string();
+                let labels: &[(&str, &str)] = &[("shard", shard.as_str())];
+                ShardMetrics {
+                    items_ingested: registry.counter_with(
+                        "hh_pipeline_shard_items_total",
+                        labels,
+                        "occurrences consumed by the shard worker",
+                    ),
+                    batches_ingested: registry.counter_with(
+                        "hh_pipeline_shard_batches_total",
+                        labels,
+                        "batches consumed by the shard worker",
+                    ),
+                    routed_items: registry.counter_with(
+                        "hh_pipeline_shard_routed_total",
+                        labels,
+                        "items the router shipped to this shard",
+                    ),
+                    queue_depth: registry.gauge_with(
+                        "hh_pipeline_shard_queue_depth",
+                        labels,
+                        "batches in flight on the shard channel",
+                    ),
+                    send_block_ns: registry.histogram_with(
+                        "hh_pipeline_send_block_ns",
+                        labels,
+                        "producer time inside send per shipped batch",
+                    ),
+                }
+            })
+            .collect();
+        let snapshot_ns = registry.histogram(
+            "hh_pipeline_snapshot_ns",
+            "epoch-boundary snapshot collection wall time",
+        );
+        let merge_ns =
+            registry.histogram("hh_pipeline_merge_ns", "epoch snapshot-set merge wall time");
+        let epochs = registry.counter(
+            "hh_pipeline_epochs_total",
+            "completed epoch-boundary queries",
+        );
+        hh_counters::pool::register_metrics(&registry);
+        PipelineMetrics {
+            registry,
+            shards: shard_metrics,
+            snapshot_ns,
+            merge_ns,
+            epochs,
+        }
+    }
+}
+
+/// Point-in-time telemetry for one shard (see [`PipelineStats`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardStats {
+    /// Shard index (position in routing order).
+    pub shard: usize,
+    /// Occurrences the shard worker has consumed so far.
+    pub items_ingested: u64,
+    /// Batches the shard worker has consumed so far.
+    pub batches_ingested: u64,
+    /// Items the router has shipped to this shard (routing distribution).
+    pub routed_items: u64,
+    /// Batches currently in flight on the shard's channel. A live sample:
+    /// transiently `−1`/`+1` around a dequeue while ingest runs, exactly
+    /// `0` right after an epoch boundary.
+    pub queue_depth: i64,
+    /// Distribution of producer time inside `send` per shipped batch.
+    pub send_block_ns: HistogramSnapshot,
+}
+
+/// A point-in-time read-out of a running [`Pipeline`]'s telemetry,
+/// returned by [`Pipeline::stats`].
+///
+/// Sampling is live and lock-free: values mutate while ingest runs, and
+/// cross-counter identities are only exact at quiescent points. Right
+/// after an epoch-boundary query ([`Pipeline::snapshots`] or any method
+/// built on it), every queue is drained, so
+/// `Σ shards[i].items_ingested == routed` exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineStats {
+    /// Items accepted by the router (mirror of [`Pipeline::routed`]).
+    pub routed: u64,
+    /// Completed epoch-boundary queries (mirror of [`Pipeline::epoch`]).
+    pub epochs: u64,
+    /// Routing imbalance: max over shards of shipped items divided by the
+    /// per-shard mean. `1.0` is perfectly balanced (and the value before
+    /// anything shipped); `shards as f64` means one shard took it all.
+    pub imbalance: f64,
+    /// Distribution of epoch-boundary snapshot collection wall time.
+    pub snapshot_ns: HistogramSnapshot,
+    /// Distribution of epoch snapshot-set merge wall time.
+    pub merge_ns: HistogramSnapshot,
+    /// Per-shard telemetry, in shard order.
+    pub shards: Vec<ShardStats>,
+}
+
+impl PipelineStats {
+    /// Total items shipped to shards (`Σ routed_items`); trails
+    /// [`PipelineStats::routed`] by whatever is still buffered in the
+    /// router.
+    pub fn shipped(&self) -> u64 {
+        self.shards.iter().map(|s| s.routed_items).sum()
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Worker side
 // ---------------------------------------------------------------------------
 
@@ -271,14 +427,20 @@ fn shard_worker<I: EngineItem>(
     mut engine: Engine<I>,
     rx: Receiver<Msg<I>>,
     ingest: ShardIngest,
+    metrics: ShardMetrics,
 ) -> Engine<I> {
     let mut aggregator = BatchAggregator::new();
     while let Ok(msg) = rx.recv() {
         match msg {
-            Msg::Batch(batch) => match ingest {
-                ShardIngest::Preserve => engine.update_batch(&batch),
-                ShardIngest::Aggregate => aggregator.ingest(&mut engine, &batch),
-            },
+            Msg::Batch(batch) => {
+                metrics.queue_depth.sub(1);
+                match ingest {
+                    ShardIngest::Preserve => engine.update_batch(&batch),
+                    ShardIngest::Aggregate => aggregator.ingest(&mut engine, &batch),
+                }
+                metrics.items_ingested.add(batch.len() as u64);
+                metrics.batches_ingested.inc();
+            }
             Msg::Checkpoint(reply) => {
                 // A dropped reply receiver means the coordinator gave up
                 // on this epoch; ingest continues regardless.
@@ -374,6 +536,7 @@ pub struct Pipeline<I: EngineItem> {
     rr_cursor: usize,
     routed: u64,
     epoch: u64,
+    metrics: PipelineMetrics,
 }
 
 impl<I: EngineItem> std::fmt::Debug for Pipeline<I> {
@@ -404,6 +567,79 @@ impl<I: EngineItem> Pipeline<I> {
     /// Completed epoch-boundary queries so far.
     pub fn epoch(&self) -> u64 {
         self.epoch
+    }
+
+    /// A live telemetry sample: per-shard ingest counters, queue depths,
+    /// send-block and epoch-latency distributions, and the derived
+    /// routing imbalance ratio. Non-blocking (relaxed atomic loads); see
+    /// [`PipelineStats`] for which identities are exact when.
+    ///
+    /// ```
+    /// use hh_sketches::engine::{AlgoKind, EngineConfig};
+    /// use hh_sketches::pipeline::PipelineConfig;
+    ///
+    /// let mut p = PipelineConfig::new(EngineConfig::new(AlgoKind::SpaceSaving).counters(16))
+    ///     .shards(2)
+    ///     .batch_size(8)
+    ///     .spawn::<u64>()
+    ///     .unwrap();
+    /// p.send_batch(&(0..100).collect::<Vec<u64>>()).unwrap();
+    /// p.merged().unwrap(); // epoch boundary: queues drained
+    /// let stats = p.stats();
+    /// assert_eq!(stats.routed, 100);
+    /// assert_eq!(stats.shards.iter().map(|s| s.items_ingested).sum::<u64>(), 100);
+    /// assert!(stats.imbalance >= 1.0);
+    /// p.finish().unwrap();
+    /// ```
+    pub fn stats(&self) -> PipelineStats {
+        let shards: Vec<ShardStats> = self
+            .metrics
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(i, m)| ShardStats {
+                shard: i,
+                items_ingested: m.items_ingested.get(),
+                batches_ingested: m.batches_ingested.get(),
+                routed_items: m.routed_items.get(),
+                queue_depth: m.queue_depth.get(),
+                send_block_ns: m.send_block_ns.snapshot(),
+            })
+            .collect();
+        let shipped: u64 = shards.iter().map(|s| s.routed_items).sum();
+        let imbalance = if shipped == 0 {
+            1.0
+        } else {
+            let max = shards.iter().map(|s| s.routed_items).max().unwrap_or(0);
+            let mean = shipped as f64 / shards.len() as f64;
+            max as f64 / mean
+        };
+        PipelineStats {
+            routed: self.routed,
+            epochs: self.metrics.epochs.get(),
+            imbalance,
+            snapshot_ns: self.metrics.snapshot_ns.snapshot(),
+            merge_ns: self.metrics.merge_ns.snapshot(),
+            shards,
+        }
+    }
+
+    /// The pipeline's metric [`Registry`] — every counter, gauge and
+    /// histogram behind [`Pipeline::stats`] plus the process-wide pool
+    /// counters, renderable as Prometheus text or JSON.
+    ///
+    /// ```
+    /// # use hh_sketches::engine::{AlgoKind, EngineConfig};
+    /// # use hh_sketches::pipeline::PipelineConfig;
+    /// let p = PipelineConfig::new(EngineConfig::new(AlgoKind::Frequent).counters(8))
+    ///     .shards(1)
+    ///     .spawn::<u64>()
+    ///     .unwrap();
+    /// assert!(p.registry().to_prometheus().contains("hh_pipeline_shard_items_total"));
+    /// p.finish().unwrap();
+    /// ```
+    pub fn registry(&self) -> &Registry {
+        &self.metrics.registry
     }
 
     /// Routes one arrival. Blocks when the destination shard's queue is
@@ -488,24 +724,42 @@ impl<I: EngineItem> Pipeline<I> {
             &mut self.buffers[shard],
             Vec::with_capacity(self.config.batch),
         );
-        self.senders[shard]
-            .send(Msg::Batch(batch))
-            .map_err(|_| Error::pipeline(format!("shard {shard} is no longer receiving")))
+        self.ship_to(shard, batch)
     }
 
     fn ship_round_robin(&mut self) -> Result<(), Error> {
         let shard = self.rr_cursor;
         self.rr_cursor = (self.rr_cursor + 1) % self.senders.len();
         let batch = std::mem::replace(&mut self.buffers[0], Vec::with_capacity(self.config.batch));
-        self.senders[shard]
-            .send(Msg::Batch(batch))
-            .map_err(|_| Error::pipeline(format!("shard {shard} is no longer receiving")))
+        self.ship_to(shard, batch)
+    }
+
+    /// The single shipping point: all telemetry is per *batch* here (a
+    /// counter add, a gauge bump, one timed send), so the per-item send
+    /// paths above stay exactly as lean as before instrumentation.
+    fn ship_to(&mut self, shard: usize, batch: Vec<I>) -> Result<(), Error> {
+        let metrics = &self.metrics.shards[shard];
+        metrics.routed_items.add(batch.len() as u64);
+        metrics.queue_depth.add(1);
+        let start = Instant::now();
+        let sent = self.senders[shard].send(Msg::Batch(batch));
+        metrics.send_block_ns.record_duration(start.elapsed());
+        if sent.is_err() {
+            // Never delivered: keep the in-flight gauge truthful on the
+            // (terminal) dead-shard path.
+            metrics.queue_depth.sub(1);
+            return Err(Error::pipeline(format!(
+                "shard {shard} is no longer receiving"
+            )));
+        }
+        Ok(())
     }
 
     /// Collects one snapshot per shard at an epoch boundary: every item
     /// routed before this call is reflected, no item sent after is. The
     /// pipeline keeps ingesting afterwards; the epoch counter increments.
     pub fn snapshots(&mut self) -> Result<Vec<Snapshot<I>>, Error> {
+        let start = Instant::now();
         self.flush()?;
         // Phase 1: post a checkpoint marker to every shard...
         let mut replies = Vec::with_capacity(self.senders.len());
@@ -526,6 +780,8 @@ impl<I: EngineItem> Pipeline<I> {
             })?);
         }
         self.epoch += 1;
+        self.metrics.snapshot_ns.record_duration(start.elapsed());
+        self.metrics.epochs.inc();
         Ok(snaps)
     }
 
@@ -538,7 +794,10 @@ impl<I: EngineItem> Pipeline<I> {
     /// k-tail guarantee when shards carry `(A, B)`.
     pub fn merged(&mut self) -> Result<Engine<I>, Error> {
         let snaps = self.snapshots()?;
-        merge_snapshots(snaps)
+        let start = Instant::now();
+        let merged = merge_snapshots(snaps);
+        self.metrics.merge_ns.record_duration(start.elapsed());
+        merged
     }
 
     /// The Theorem 11 *k-sparse* merge of an epoch-boundary view: each
@@ -550,12 +809,15 @@ impl<I: EngineItem> Pipeline<I> {
     /// pipeline's routing produced.
     pub fn merged_k_sparse(&mut self, k: usize) -> Result<Engine<I>, Error> {
         let snaps = self.snapshots()?;
+        let start = Instant::now();
         let mut shards = Vec::with_capacity(snaps.len());
         for snap in snaps {
             shards.push(Engine::from_snapshot(snap)?);
         }
         let target = self.config.engine.build::<I>()?;
-        Ok(merge_k_sparse(&shards, k, move || target))
+        let merged = merge_k_sparse(&shards, k, move || target);
+        self.metrics.merge_ns.record_duration(start.elapsed());
+        Ok(merged)
     }
 
     /// Per-shard engines reconstructed from an epoch-boundary snapshot
@@ -827,6 +1089,79 @@ mod tests {
         let merged = p.finish().unwrap();
         assert_eq!(merged.estimate(&"the".to_string()), 3);
         assert_eq!(merged.stream_len(), 6);
+    }
+
+    #[test]
+    fn stats_are_exact_at_epoch_boundaries() {
+        let s = stream(10_000, 313);
+        let mut p = ss_config(64)
+            .shards(3)
+            .batch_size(128)
+            .spawn::<u64>()
+            .unwrap();
+        p.send_batch(&s).unwrap();
+        p.merged().unwrap();
+
+        let stats = p.stats();
+        assert_eq!(stats.routed, 10_000);
+        assert_eq!(stats.epochs, 1);
+        assert_eq!(stats.shipped(), 10_000, "epoch boundary flushes buffers");
+        let ingested: u64 = stats.shards.iter().map(|s| s.items_ingested).sum();
+        assert_eq!(ingested, 10_000, "checkpoint implies queues drained");
+        for shard in &stats.shards {
+            assert_eq!(shard.queue_depth, 0, "shard {} not drained", shard.shard);
+            assert_eq!(shard.items_ingested, shard.routed_items);
+            assert_eq!(shard.send_block_ns.count, shard.batches_ingested);
+        }
+        assert!(stats.imbalance >= 1.0 && stats.imbalance <= 3.0);
+        assert_eq!(stats.snapshot_ns.count, 1);
+        assert_eq!(stats.merge_ns.count, 1);
+        p.finish().unwrap();
+    }
+
+    #[test]
+    fn round_robin_stats_are_balanced() {
+        let mut p = ss_config(16)
+            .shards(2)
+            .routing(Routing::RoundRobin)
+            .batch_size(10)
+            .spawn::<u64>()
+            .unwrap();
+        p.send_batch(&(0..1000).collect::<Vec<u64>>()).unwrap();
+        p.snapshots().unwrap();
+        let stats = p.stats();
+        // 100 batches dealt alternately: 50 per shard, perfectly balanced
+        assert!((stats.imbalance - 1.0).abs() < 1e-9, "{}", stats.imbalance);
+        for shard in &stats.shards {
+            assert_eq!(shard.routed_items, 500);
+            assert_eq!(shard.batches_ingested, 50);
+        }
+        p.finish().unwrap();
+    }
+
+    #[test]
+    fn registry_exposes_pipeline_and_pool_metrics() {
+        let mut p = ss_config(8)
+            .shards(2)
+            .batch_size(16)
+            .spawn::<u64>()
+            .unwrap();
+        p.send_batch(&(0..64).collect::<Vec<u64>>()).unwrap();
+        p.snapshots().unwrap();
+        let text = p.registry().to_prometheus();
+        for family in [
+            "hh_pipeline_shard_items_total",
+            "hh_pipeline_shard_queue_depth",
+            "hh_pipeline_send_block_ns",
+            "hh_pipeline_snapshot_ns",
+            "hh_pipeline_epochs_total",
+            "hh_pool_tasks_total",
+        ] {
+            assert!(text.contains(family), "missing {family} in:\n{text}");
+        }
+        let json = p.registry().to_json();
+        assert!(json.contains("\"hh_pipeline_epochs_total\""));
+        p.finish().unwrap();
     }
 
     #[test]

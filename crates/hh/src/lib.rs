@@ -14,6 +14,9 @@
 //! * [`counters`] — FREQUENT, SPACESAVING (and the weighted FREQUENTR /
 //!   SPACESAVINGR), sparse recovery, merging, Zipf sizing and the
 //!   heavy-tolerance machinery (the paper's contribution);
+//! * [`obs`] — zero-dependency runtime telemetry (counters, gauges,
+//!   log-bucketed histograms, Prometheus/JSON exposition) behind
+//!   [`pipeline::Pipeline::stats`] and the CLI's `serve --stats-every`;
 //! * [`sketches`] — Count-Min and Count-Sketch baselines;
 //! * [`streamgen`] — Zipfian / adversarial / weighted workload generators
 //!   with exact ground truth;
@@ -64,6 +67,7 @@
 
 pub use hh_analysis as analysis;
 pub use hh_counters as counters;
+pub use hh_obs as obs;
 pub use hh_sketches as sketches;
 pub use hh_streamgen as streamgen;
 
@@ -81,7 +85,9 @@ pub mod prelude {
     pub use hh_sketches::engine::{
         AlgoKind, CapacitySpec, Engine, EngineConfig, Report, Snapshot, WeightedEngine,
     };
-    pub use hh_sketches::pipeline::{Pipeline, PipelineConfig, Routing, ShardIngest};
+    pub use hh_sketches::pipeline::{
+        Pipeline, PipelineConfig, PipelineStats, Routing, ShardIngest, ShardStats,
+    };
     pub use hh_sketches::{CountMin, CountSketch, SketchHeavyHitters, UpdateRule};
     pub use hh_streamgen::{ExactCounter, ExactWeightedCounter, Freqs, ZipfSampler};
 }
