@@ -28,9 +28,19 @@
 //!   *paired same-process ratio* — both sides run back-to-back on the
 //!   same machine in the same run — so it stays tight even on shared CI
 //!   runners.
+//! * `BENCH_SERVER_INGEST_TOLERANCE` — allowed fractional shortfall of
+//!   the loopback `hh::net` server's ingest rate below half the
+//!   in-process pipeline rate (default 0.20, i.e. fail below a 40%
+//!   ratio). Also a paired same-process ratio: both sides run
+//!   back-to-back, so machine speed cancels and only the network stack's
+//!   relative cost is gated. The 50% target itself holds on a quiet
+//!   machine; the tolerance absorbs scheduler jitter, which hits the
+//!   multi-thread server lifecycle harder than the steady pipeline.
 
+use std::io::{Read as _, Write as _};
 use std::time::Instant;
 
+use hh::net::{sys, NetOptions, ServeOptions, Server};
 use hh::pipeline::{PipelineConfig, Routing, ShardIngest};
 use hh::prelude::{EngineConfig, FrequencyEstimator};
 use hh_analysis::{feed, make_estimator, Algo};
@@ -232,6 +242,127 @@ fn check_obs_overhead(dir: &str, stream: &[Item]) -> bool {
     !ok
 }
 
+/// The server-ingest sentinel: paired ratio of loopback `hh::net` server
+/// ingest (the pipeline-bench workload arriving as the line protocol over
+/// TCP) to the same stream fed to the in-process 4-shard pipeline.
+/// Mirrors `crates/bench/benches/server_ingest.rs` — same engine config,
+/// shard count, and 8 Ki batch on both sides, so the ratio isolates the
+/// network stack. Minima over alternating rounds, as in
+/// [`measure_obs_overhead`]: noise only inflates a lifecycle, so the
+/// ratio of minima approximates the uncontended cost on any machine.
+/// Returns (pipeline items/sec, server items/sec).
+fn measure_server_ingest(stream: &[Item]) -> (f64, f64) {
+    const M: usize = 256;
+    const SHARDS: usize = 4;
+    const BATCH: usize = 8192;
+    const ROUNDS: usize = 5;
+
+    fn engine_config() -> EngineConfig {
+        EngineConfig::new(hh::engine::AlgoKind::SpaceSaving).counters(M)
+    }
+
+    fn time_pipeline(stream: &[Item]) -> f64 {
+        let start = Instant::now();
+        let mut pipeline = PipelineConfig::new(engine_config())
+            .shards(SHARDS)
+            .routing(Routing::HashPartition)
+            .ingest(ShardIngest::Aggregate)
+            .batch_size(BATCH)
+            .spawn::<Item>()
+            .expect("valid pipeline config");
+        pipeline.send_batch(stream).expect("shards alive");
+        let merged = pipeline.finish().expect("clean shutdown");
+        std::hint::black_box(merged.stream_len());
+        start.elapsed().as_secs_f64()
+    }
+
+    fn time_server(lines: &[u8]) -> f64 {
+        sys::reset_drain();
+        let start = Instant::now();
+        let serve = ServeOptions::new(engine_config())
+            .shards(Some(SHARDS))
+            .batch_size(BATCH);
+        let net = NetOptions::new().tcp("127.0.0.1:0");
+        let server: Server<Item> = Server::bind(serve, net).expect("bind loopback");
+        let addr = server.tcp_addr().expect("tcp address");
+        let handle = std::thread::spawn(move || {
+            let mut out = Vec::new();
+            server.run(&mut out).expect("server run")
+        });
+        let mut conn = std::net::TcpStream::connect(addr).expect("connect");
+        let _ = sys::set_socket_buffers(std::os::fd::AsRawFd::as_raw_fd(&conn), 4 * 1024 * 1024);
+        conn.write_all(lines).expect("stream lines");
+        conn.write_all(b"?shutdown\n").expect("request drain");
+        conn.shutdown(std::net::Shutdown::Write)
+            .expect("half-close");
+        let mut ack = Vec::new();
+        conn.read_to_end(&mut ack).expect("drain ack");
+        let merged = handle.join().expect("server thread");
+        std::hint::black_box(merged.stream_len());
+        start.elapsed().as_secs_f64()
+    }
+
+    // The stream rendered as the wire protocol: one item per line.
+    let mut lines = Vec::with_capacity(stream.len() * 5);
+    for item in stream {
+        lines.extend_from_slice(item.to_string().as_bytes());
+        lines.push(b'\n');
+    }
+
+    time_pipeline(stream);
+    time_server(&lines);
+    let mut best_pipeline = f64::INFINITY;
+    let mut best_server = f64::INFINITY;
+    for round in 0..ROUNDS {
+        if round % 2 == 0 {
+            best_pipeline = best_pipeline.min(time_pipeline(stream));
+            best_server = best_server.min(time_server(&lines));
+        } else {
+            best_server = best_server.min(time_server(&lines));
+            best_pipeline = best_pipeline.min(time_pipeline(stream));
+        }
+    }
+    let n = stream.len() as f64;
+    (n / best_pipeline, n / best_server)
+}
+
+/// Gate the server's relative ingest cost: the paired loopback/in-process
+/// ratio must not fall more than the tolerance below the 50% target, and
+/// the `BENCH_server_ingest.json` baseline must exist (a gate without its
+/// baseline is measuring nothing). Returns true on failure.
+fn check_server_ingest(dir: &str, stream: &[Item]) -> bool {
+    const REQUIRED_RATIO: f64 = 0.5;
+    let tolerance: f64 = std::env::var("BENCH_SERVER_INGEST_TOLERANCE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.20);
+    let file = "BENCH_server_ingest.json";
+    let baseline_ratio = match (
+        baseline(dir, file, "pipeline/4"),
+        baseline(dir, file, "server_loopback/4"),
+    ) {
+        (Ok(pipeline), Ok(server)) => server / pipeline,
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("FAIL server_ingest ({file}): baseline unavailable: {e}");
+            return true;
+        }
+    };
+    let (pipeline_rate, server_rate) = measure_server_ingest(stream);
+    let ratio = server_rate / pipeline_rate;
+    let floor = REQUIRED_RATIO * (1.0 - tolerance);
+    let ok = ratio >= floor;
+    println!(
+        "{:>4}  {file} server/pipeline: {:.1} / {:.1} Melem/s = {:.0}% (baseline {:.0}%, floor {:.0}%)",
+        if ok { "ok" } else { "FAIL" },
+        server_rate / 1e6,
+        pipeline_rate / 1e6,
+        ratio * 100.0,
+        baseline_ratio * 100.0,
+        floor * 100.0
+    );
+    !ok
+}
+
 /// Reads the baseline items/sec for `id` out of a BENCH json file.
 fn baseline(dir: &str, file: &str, id: &str) -> Result<f64, String> {
     let path = format!("{dir}/{file}");
@@ -299,6 +430,9 @@ fn main() {
         }
     }
     if check_obs_overhead(&dir, &stream) {
+        failed = true;
+    }
+    if check_server_ingest(&dir, &pipeline_stream) {
         failed = true;
     }
     if failed {

@@ -6,6 +6,8 @@
 //! exclusively through [`EngineConfig`].
 
 use hh::engine::{AlgoKind, CapacitySpec, EngineConfig};
+use hh::net::{NetOptions, ServeOptions};
+use hh::pipeline::{Routing, ShardIngest};
 use hh::Error;
 
 /// Usage text printed on parse errors.
@@ -19,9 +21,14 @@ commands:
   residual    estimate the residual tail mass F1^res(k)
   merge       merge two or more snapshot FILEs and report the top-k
   gen         emit a synthetic Zipf trace (requires --zipf)
-  serve       sharded streaming ingest with periodic live top-k reports
+  serve       sharded streaming ingest with periodic live top-k reports;
+              with --listen / --listen-unix, a network server speaking the
+              docs/PROTOCOL.md line protocol instead of reading FILE/stdin
+  client      stream FILE/stdin to a running `serve --listen` server,
+              send --query commands, print the NDJSON responses
   stats       validate and render an NDJSON stats stream from
-              `serve --stats-every` (reads FILE or stdin)
+              `serve --stats-every` (records carry \"v\":1; unknown
+              versions are rejected; reads FILE or stdin)
 
 options:
   -m <N>             counters to use (default 256)
@@ -37,14 +44,37 @@ options:
   --json             machine-readable output
   --snapshot-out <F> write the engine snapshot to F after ingest
   --snapshot-in <F>  resume from a snapshot written by --snapshot-out
+                     (for `serve`: folded into every report and the final
+                     snapshot — the drain -> resume cycle)
   --zipf <SPEC>      for `gen`: n,total,alpha[,seed] (e.g. 1000,50000,1.2)
-  --shards <N>       for `serve`: worker shards (default: available cores)
-  --report-every <N> for `serve`: emit a live top-k report every N items
+
+serve options (each maps 1:1 onto hh::net::ServeOptions; stdin/trace mode
+and --listen mode share the struct, so the two cannot drift):
+  --shards <N>       worker shards (default: available cores)
+  --routing <R>      hash (default) or roundrobin
+  --ingest <M>       aggregate (default) or preserve
+  --batch-size <N>   router flush threshold in items (default 8192)
+  --queue-depth <N>  bounded channel capacity in batches (default 4)
+  --report-every <N> emit a live top-k report every N items
                      (default 0: only the final report)
-  --stats-every <N>  for `serve`: emit a pipeline telemetry record (per-shard
-                     items, queue depth, imbalance, epoch latency quantiles)
+  --stats-every <N>  emit a pipeline telemetry record (per-shard items,
+                     queue depth, imbalance, epoch latency quantiles)
                      every N items (default 0: only the final stats record;
                      stats records are NDJSON objects with \"stats\":true)
+
+serve --listen options (hh::net::NetOptions; records are always NDJSON):
+  --listen <H:P>     TCP listen address (port 0 = ephemeral)
+  --listen-unix <F>  Unix-domain socket path
+  --addr-file <F>    write the bound TCP address to F (for scripts)
+  --idle-timeout <N> close connections idle for N ms (default 30000; 0 off)
+  --max-conns <N>    concurrent connection cap (default 1024)
+
+client options:
+  --connect <H:P>    server address (required)
+  --query <Q>        in-band query after ingest, e.g. 'topk 5', 'stats',
+                     'snapshot', 'ping' (repeatable)
+  --shutdown         finish by asking the server to drain gracefully
+
   FILE               input path (default: stdin), one item per line;
                      `merge` takes two or more snapshot files";
 
@@ -65,6 +95,8 @@ pub enum Command {
     Gen,
     /// `serve`
     Serve,
+    /// `client`
+    Client,
     /// `stats`
     Stats,
 }
@@ -118,6 +150,30 @@ pub struct Options {
     /// Stats interval (items) for `serve`; 0 means only the final stats
     /// record (and none at all unless `--stats-every` was given).
     pub stats_every: Option<u64>,
+    /// Shard routing policy for `serve`.
+    pub routing: Routing,
+    /// Per-shard ingest mode for `serve`.
+    pub ingest: ShardIngest,
+    /// Router flush threshold in items for `serve`.
+    pub batch_size: usize,
+    /// Bounded channel capacity (batches) for `serve`.
+    pub queue_depth: usize,
+    /// TCP listen address for `serve --listen`.
+    pub listen: Option<String>,
+    /// Unix-domain socket path for `serve --listen-unix`.
+    pub listen_unix: Option<String>,
+    /// File to write the bound TCP address to.
+    pub addr_file: Option<String>,
+    /// Idle connection timeout in milliseconds (0 disables).
+    pub idle_timeout_ms: u64,
+    /// Concurrent connection cap for `serve --listen`.
+    pub max_conns: usize,
+    /// Server address for `client --connect`.
+    pub connect: Option<String>,
+    /// In-band queries for `client` (e.g. `topk 5`, `stats`).
+    pub queries: Vec<String>,
+    /// Whether `client` asks the server to drain after ingest.
+    pub shutdown: bool,
     /// Input files (at most one, except for `merge`).
     pub inputs: Vec<String>,
 }
@@ -133,6 +189,45 @@ impl Options {
             (None, None) => config.counters(256),
         }
     }
+
+    /// The [`ServeOptions`] these flags describe. Every serve knob maps
+    /// 1:1 onto the struct, so the stdin path and `--listen` path share
+    /// one configuration surface and cannot drift.
+    pub fn serve_options(&self) -> ServeOptions {
+        ServeOptions::new(self.engine_config())
+            .shards(self.shards)
+            .routing(self.routing)
+            .ingest(self.ingest)
+            .batch_size(self.batch_size)
+            .queue_depth(self.queue_depth)
+            .report_every(self.report_every)
+            .stats_every(self.stats_every)
+            .snapshot_in(self.snapshot_in.clone())
+            .snapshot_out(self.snapshot_out.clone())
+            .top_k(self.k)
+    }
+
+    /// The [`NetOptions`] these flags describe (only meaningful when a
+    /// listen flag was given).
+    pub fn net_options(&self) -> NetOptions {
+        let mut net = NetOptions::new()
+            .idle_timeout_ms(self.idle_timeout_ms)
+            .max_conns(self.max_conns)
+            .addr_file(self.addr_file.clone());
+        if let Some(addr) = &self.listen {
+            net = net.tcp(addr.clone());
+        }
+        if let Some(path) = &self.listen_unix {
+            net = net.unix(path.clone());
+        }
+        net
+    }
+
+    /// Whether `serve` should run the network server instead of reading
+    /// FILE/stdin.
+    pub fn listening(&self) -> bool {
+        self.listen.is_some() || self.listen_unix.is_some()
+    }
 }
 
 /// Parses arguments (after the program name).
@@ -146,6 +241,7 @@ pub fn parse_args(args: &[String]) -> Result<Options, Error> {
         Some("merge") => Command::Merge,
         Some("gen") => Command::Gen,
         Some("serve") => Command::Serve,
+        Some("client") => Command::Client,
         Some("stats") => Command::Stats,
         Some(other) => return Err(Error::parse(format!("unknown command {other:?}"))),
         None => return Err(Error::parse("missing command")),
@@ -168,6 +264,18 @@ pub fn parse_args(args: &[String]) -> Result<Options, Error> {
         shards: None,
         report_every: 0,
         stats_every: None,
+        routing: Routing::HashPartition,
+        ingest: ShardIngest::Aggregate,
+        batch_size: 8192,
+        queue_depth: 4,
+        listen: None,
+        listen_unix: None,
+        addr_file: None,
+        idle_timeout_ms: 30_000,
+        max_conns: 1024,
+        connect: None,
+        queries: Vec::new(),
+        shutdown: false,
         inputs: Vec::new(),
     };
 
@@ -219,6 +327,50 @@ pub fn parse_args(args: &[String]) -> Result<Options, Error> {
                     "--stats-every",
                 )?)
             }
+            "--routing" => {
+                opts.routing = match next_value(&mut it, "--routing")?.as_str() {
+                    "hash" => Routing::HashPartition,
+                    "roundrobin" => Routing::RoundRobin,
+                    other => {
+                        return Err(Error::parse(format!(
+                            "--routing must be hash or roundrobin, got {other:?}"
+                        )))
+                    }
+                }
+            }
+            "--ingest" => {
+                opts.ingest = match next_value(&mut it, "--ingest")?.as_str() {
+                    "aggregate" => ShardIngest::Aggregate,
+                    "preserve" => ShardIngest::Preserve,
+                    other => {
+                        return Err(Error::parse(format!(
+                            "--ingest must be aggregate or preserve, got {other:?}"
+                        )))
+                    }
+                }
+            }
+            "--batch-size" => {
+                opts.batch_size = parse_num(next_value(&mut it, "--batch-size")?, "--batch-size")?
+            }
+            "--queue-depth" => {
+                opts.queue_depth =
+                    parse_num(next_value(&mut it, "--queue-depth")?, "--queue-depth")?
+            }
+            "--listen" => opts.listen = Some(next_value(&mut it, "--listen")?.clone()),
+            "--listen-unix" => {
+                opts.listen_unix = Some(next_value(&mut it, "--listen-unix")?.clone())
+            }
+            "--addr-file" => opts.addr_file = Some(next_value(&mut it, "--addr-file")?.clone()),
+            "--idle-timeout" => {
+                opts.idle_timeout_ms =
+                    parse_num(next_value(&mut it, "--idle-timeout")?, "--idle-timeout")?
+            }
+            "--max-conns" => {
+                opts.max_conns = parse_num(next_value(&mut it, "--max-conns")?, "--max-conns")?
+            }
+            "--connect" => opts.connect = Some(next_value(&mut it, "--connect")?.clone()),
+            "--query" => opts.queries.push(next_value(&mut it, "--query")?.clone()),
+            "--shutdown" => opts.shutdown = true,
             other if other.starts_with('-') => {
                 return Err(Error::parse(format!("unknown option {other:?}")))
             }
@@ -240,6 +392,16 @@ fn validate(opts: &Options) -> Result<(), Error> {
     if opts.k == 0 {
         return Err(Error::parse("-k must be at least 1"));
     }
+    if opts.command != Command::Serve && opts.listening() {
+        return Err(Error::parse("--listen/--listen-unix only apply to serve"));
+    }
+    if opts.command != Command::Client
+        && (opts.connect.is_some() || !opts.queries.is_empty() || opts.shutdown)
+    {
+        return Err(Error::parse(
+            "--connect/--query/--shutdown only apply to client",
+        ));
+    }
     match opts.command {
         Command::Estimate if opts.items.is_empty() => {
             Err(Error::parse("estimate requires --items"))
@@ -252,10 +414,17 @@ fn validate(opts: &Options) -> Result<(), Error> {
         Command::Serve if opts.shards == Some(0) => {
             Err(Error::parse("--shards must be at least 1"))
         }
+        Command::Serve if opts.batch_size == 0 => {
+            Err(Error::parse("--batch-size must be at least 1"))
+        }
+        Command::Serve if opts.queue_depth == 0 => {
+            Err(Error::parse("--queue-depth must be at least 1"))
+        }
         Command::Serve if opts.weighted => Err(Error::parse("serve ingests unweighted streams")),
-        Command::Serve if opts.snapshot_in.is_some() => Err(Error::parse(
-            "serve starts from an empty pipeline; --snapshot-in is not supported",
+        Command::Serve if opts.listening() && !opts.inputs.is_empty() => Err(Error::parse(
+            "serve --listen takes no FILE input; clients stream over the socket",
         )),
+        Command::Client if opts.connect.is_none() => Err(Error::parse("client requires --connect")),
         Command::Stats if opts.weighted || opts.snapshot_in.is_some() => Err(Error::parse(
             "stats reads an NDJSON stats stream; only --json and FILE apply",
         )),
@@ -429,7 +598,78 @@ mod tests {
         assert_eq!(o.report_every, 0);
         assert!(p(&["serve", "--shards", "0"]).is_err());
         assert!(p(&["serve", "--weighted"]).is_err());
-        assert!(p(&["serve", "--snapshot-in", "x.json"]).is_err());
+        assert!(p(&["serve", "--batch-size", "0"]).is_err());
+        assert!(p(&["serve", "--queue-depth", "0"]).is_err());
+        // Resume is supported: drain writes --snapshot-out, restart folds
+        // it back in via --snapshot-in.
+        let o = p(&["serve", "--snapshot-in", "x.json"]).unwrap();
+        assert_eq!(o.snapshot_in.as_deref(), Some("x.json"));
+        o.serve_options().validate().unwrap();
+    }
+
+    #[test]
+    fn serve_listen_flags_parse_and_gate() {
+        let o = p(&[
+            "serve",
+            "--listen",
+            "127.0.0.1:0",
+            "--addr-file",
+            "addr.txt",
+            "--idle-timeout",
+            "5000",
+            "--max-conns",
+            "16",
+            "--routing",
+            "roundrobin",
+            "--ingest",
+            "preserve",
+            "--batch-size",
+            "512",
+            "--queue-depth",
+            "2",
+        ])
+        .unwrap();
+        assert!(o.listening());
+        assert_eq!(o.listen.as_deref(), Some("127.0.0.1:0"));
+        assert_eq!(o.addr_file.as_deref(), Some("addr.txt"));
+        assert_eq!(o.idle_timeout_ms, 5000);
+        assert_eq!(o.max_conns, 16);
+        assert_eq!(o.routing, Routing::RoundRobin);
+        assert_eq!(o.ingest, ShardIngest::Preserve);
+        assert_eq!((o.batch_size, o.queue_depth), (512, 2));
+        o.serve_options().validate().unwrap();
+        o.net_options().validate().unwrap();
+        // listen flags belong to serve; FILE input conflicts with --listen
+        assert!(p(&["topk", "--listen", "127.0.0.1:0"]).is_err());
+        assert!(p(&["serve", "--listen", "127.0.0.1:0", "in.txt"]).is_err());
+        assert!(p(&["serve", "--routing", "nope"]).is_err());
+        assert!(p(&["serve", "--ingest", "nope"]).is_err());
+    }
+
+    #[test]
+    fn client_flags_parse_and_gate() {
+        let o = p(&[
+            "client",
+            "--connect",
+            "127.0.0.1:7777",
+            "--query",
+            "topk 5",
+            "--query",
+            "stats",
+            "--shutdown",
+            "trace.txt",
+        ])
+        .unwrap();
+        assert_eq!(o.command, Command::Client);
+        assert_eq!(o.connect.as_deref(), Some("127.0.0.1:7777"));
+        assert_eq!(o.queries, vec!["topk 5".to_string(), "stats".to_string()]);
+        assert!(o.shutdown);
+        assert_eq!(o.inputs, vec!["trace.txt".to_string()]);
+        // --connect is mandatory; client flags belong to client
+        assert!(p(&["client"]).is_err());
+        assert!(p(&["topk", "--connect", "x:1"]).is_err());
+        assert!(p(&["serve", "--query", "stats"]).is_err());
+        assert!(p(&["topk", "--shutdown"]).is_err());
     }
 
     #[test]

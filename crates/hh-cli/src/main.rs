@@ -19,6 +19,8 @@
 //! hh serve --shards 4 --report-every 100000 -k 10 [FILE]
 //! #   sharded pipeline ingest (hh::pipeline) with live top-k reports
 //! hh serve --stats-every 50000 --json [FILE]   # + NDJSON telemetry records
+//! hh serve --listen 127.0.0.1:7777             # network server (docs/PROTOCOL.md)
+//! hh client --connect 127.0.0.1:7777 --query 'topk 5' [FILE]
 //! hh stats run.ndjson                          # validate/render a stats stream
 //! ```
 //!
@@ -26,7 +28,7 @@
 //! whitespace-free strings.
 
 use std::fmt::Write as _;
-use std::io::{BufRead, BufReader, Read};
+use std::io::{BufRead, BufReader, Read, Write as _};
 use std::process::ExitCode;
 
 mod cli;
@@ -34,8 +36,8 @@ mod cli;
 use cli::{parse_args, Command, Options};
 use hh::counters::Confidence;
 use hh::engine::{Engine, Snapshot, WeightedEngine};
-use hh::obs::HistogramSnapshot;
-use hh::pipeline::{Pipeline, PipelineConfig, PipelineStats, ShardIngest};
+use hh::net::{proto, ServeSession, Server};
+use hh::pipeline::PipelineStats;
 use hh::Error;
 
 fn main() -> ExitCode {
@@ -51,6 +53,12 @@ fn main() -> ExitCode {
     let result = match opts.command {
         Command::Gen => run_gen(&opts),
         Command::Merge => run_merge(&opts),
+        // The network server never opens FILE/stdin: all ingest arrives
+        // over the socket.
+        Command::Serve if opts.listening() => {
+            let stdout = std::io::stdout();
+            run_serve_net(&opts, &mut stdout.lock())
+        }
         _ => {
             let reader: Box<dyn Read> = match opts.inputs.first() {
                 Some(path) => match std::fs::File::open(path) {
@@ -62,16 +70,19 @@ fn main() -> ExitCode {
                 },
                 // With a snapshot to resume from and no FILE, query the
                 // snapshot directly instead of blocking on stdin.
-                None if opts.snapshot_in.is_some() => Box::new(std::io::empty()),
+                None if opts.snapshot_in.is_some() && opts.command != Command::Client => {
+                    Box::new(std::io::empty())
+                }
                 None => Box::new(std::io::stdin()),
             };
-            if opts.command == Command::Serve {
-                let stdout = std::io::stdout();
-                run_serve(&opts, BufReader::new(reader), &mut stdout.lock())
-            } else if opts.command == Command::Stats {
-                run_stats(&opts, BufReader::new(reader))
-            } else {
-                run(opts, BufReader::new(reader))
+            match opts.command {
+                Command::Serve => {
+                    let stdout = std::io::stdout();
+                    run_serve(&opts, BufReader::new(reader), &mut stdout.lock())
+                }
+                Command::Client => run_client(&opts, BufReader::new(reader)),
+                Command::Stats => run_stats(&opts, BufReader::new(reader)),
+                _ => run(opts, BufReader::new(reader)),
             }
         }
     };
@@ -168,7 +179,7 @@ fn run_unweighted(opts: Options, reader: impl BufRead) -> Result<String, Error> 
                 )
             }
         }
-        Command::Merge | Command::Gen | Command::Serve | Command::Stats => {
+        Command::Merge | Command::Gen | Command::Serve | Command::Client | Command::Stats => {
             unreachable!("handled in main")
         }
     };
@@ -179,115 +190,112 @@ fn run_unweighted(opts: Options, reader: impl BufRead) -> Result<String, Error> 
     Ok(out)
 }
 
-/// `hh serve`: long-lived sharded ingest over the `hh::pipeline` service.
-/// N worker shards (default: available cores) each own an engine built
-/// from the same config; hash-partitioned routing with batch
-/// pre-aggregation; every `--report-every` items a live top-k report is
-/// written to `out` from the merged epoch snapshot while ingest
-/// continues. Returns the final merged report.
+/// `hh serve`: long-lived sharded ingest over the `hh::pipeline` service,
+/// configured through the same [`hh::net::ServeOptions`] the network
+/// server uses. N worker shards (default: available cores) each own an
+/// engine built from the same config; every `--report-every` items a live
+/// top-k report is written to `out` from the merged epoch snapshot while
+/// ingest continues. With `--snapshot-in`, the resumed summary is folded
+/// into every report. Returns the final merged report.
 fn run_serve(
     opts: &Options,
     reader: impl BufRead,
     out: &mut impl std::io::Write,
 ) -> Result<String, Error> {
-    let shards = opts.shards.unwrap_or_else(hh::counters::pool::max_workers);
-    let mut pipeline: Pipeline<String> = PipelineConfig::new(opts.engine_config())
-        .shards(shards)
-        .ingest(ShardIngest::Aggregate)
-        .spawn()?;
+    let mut session: ServeSession<String> = ServeSession::spawn(&opts.serve_options())?;
 
-    let stats_every = opts.stats_every.unwrap_or(0);
-    let mut until_report = opts.report_every;
-    let mut until_stats = stats_every;
     for line in reader.lines() {
         let line = line?;
         let item = line.trim();
         if item.is_empty() {
             continue;
         }
-        pipeline.send(item.to_string())?;
-        if opts.report_every > 0 {
-            until_report -= 1;
-            if until_report == 0 {
-                until_report = opts.report_every;
-                let live = pipeline.merged()?;
-                write_serve_report(out, &live, pipeline.epoch(), opts)?;
-                out.flush()?;
-            }
+        // Per-item sends keep cadence boundaries exact: a report due at
+        // item N fires at item N, not at the end of a chunk containing it.
+        let due = session.send(item.to_string())?;
+        if due.report {
+            let live = session.merged()?;
+            write_serve_report(out, &live, session.pipeline().epoch(), opts)?;
+            out.flush()?;
         }
-        if stats_every > 0 {
-            until_stats -= 1;
-            if until_stats == 0 {
-                until_stats = stats_every;
-                // An epoch-boundary query first: queues drain (counters
-                // become exact) and the snapshot/merge histograms gain a
-                // fresh sample, so the record carries live latency
-                // quantiles even without --report-every.
-                pipeline.merged()?;
-                let stats = pipeline.stats();
-                writeln!(out, "{}", stats_record(&stats, false, opts.json))?;
-                out.flush()?;
-            }
+        if due.stats {
+            // An epoch-boundary query first: queues drain (counters
+            // become exact) and the snapshot/merge histograms gain a
+            // fresh sample, so the record carries live latency
+            // quantiles even without --report-every.
+            session.merged()?;
+            let stats = session.stats();
+            writeln!(out, "{}", stats_record(&stats, false, opts.json))?;
+            out.flush()?;
         }
     }
 
     if opts.stats_every.is_some() {
         // Final stats record at one last epoch boundary, before teardown.
-        pipeline.merged()?;
-        let stats = pipeline.stats();
+        session.merged()?;
+        let stats = session.stats();
         writeln!(out, "{}", stats_record(&stats, true, opts.json))?;
         out.flush()?;
     }
 
-    let merged = pipeline.finish()?;
-    if let Some(path) = &opts.snapshot_out {
-        std::fs::write(path, merged.to_json()?)?;
+    // finish() folds the resume snapshot and writes --snapshot-out.
+    let merged = session.finish()?;
+    serve_report(&merged, None, opts)
+}
+
+/// `hh serve --listen`: the network server. Binds the configured
+/// listeners, installs SIGTERM/SIGINT drain handlers, and multiplexes
+/// client connections onto the shard pipeline until a drain is requested
+/// (signal or in-band `?shutdown`). Cadence reports/stats and query
+/// responses go to the clients; the final merged report goes to stdout,
+/// and `--snapshot-out` captures the drained summary for `--snapshot-in`
+/// resume.
+fn run_serve_net(opts: &Options, out: &mut impl std::io::Write) -> Result<String, Error> {
+    let server: Server<String> = Server::bind(opts.serve_options(), opts.net_options())?;
+    if let Some(addr) = server.tcp_addr() {
+        eprintln!("listening on {addr}");
     }
-    Ok(serve_report(&merged, None, opts))
+    hh::net::sys::install_drain_signal_handlers();
+    let merged = server.run(out)?;
+    serve_report(&merged, None, opts)
 }
 
-/// Renders one [`HistogramSnapshot`] as a JSON object (nanosecond
-/// latency quantiles).
-fn hist_json(h: &HistogramSnapshot) -> String {
-    format!(
-        "{{\"count\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"max\":{}}}",
-        h.count, h.p50, h.p90, h.p99, h.max
-    )
+/// `hh client`: stream FILE/stdin to a `serve --listen` server, then send
+/// each `--query` (and `--shutdown`, if asked) and print every NDJSON
+/// response the server wrote back.
+fn run_client(opts: &Options, mut reader: impl BufRead) -> Result<String, Error> {
+    let addr = opts.connect.as_deref().expect("validated by parse_args");
+    let stream = std::net::TcpStream::connect(addr)
+        .map_err(|e| Error::parse(format!("cannot connect to {addr}: {e}")))?;
+    let mut writer = std::io::BufWriter::new(stream.try_clone()?);
+
+    std::io::copy(&mut reader, &mut writer)?;
+    // Ingest may not end in a newline; a blank line is ignored server-side.
+    writer.write_all(b"\n")?;
+    for q in &opts.queries {
+        writeln!(writer, "?{q}")?;
+    }
+    if opts.shutdown {
+        writer.write_all(b"?shutdown\n")?;
+    }
+    writer.flush()?;
+    // Half-close: the server sees EOF, finishes our batches, flushes any
+    // responses, and closes — so read-to-EOF collects everything.
+    stream.shutdown(std::net::Shutdown::Write)?;
+
+    let mut responses = String::new();
+    BufReader::new(stream).read_to_string(&mut responses)?;
+    Ok(responses.trim_end().to_string())
 }
 
-/// Renders one pipeline telemetry record. JSON records are single-line
-/// NDJSON objects tagged `"stats":true` so consumers (and `hh stats`)
-/// can separate them from the `"epoch"`/`"final"` top-k reports sharing
-/// the stream; text records are a small per-shard table.
+/// Renders one pipeline telemetry record. JSON records come from
+/// `hh::net::proto` — the same versioned (`"v":1`) NDJSON objects the
+/// network server emits, tagged `"stats":true` so consumers (and
+/// `hh stats`) can separate them from the `"epoch"`/`"final"` top-k
+/// reports sharing the stream; text records are a small per-shard table.
 fn stats_record(stats: &PipelineStats, fin: bool, json: bool) -> String {
     if json {
-        let shards: Vec<String> = stats
-            .shards
-            .iter()
-            .map(|s| {
-                format!(
-                    "{{\"shard\":{},\"items\":{},\"batches\":{},\"routed\":{},\
-                     \"queue_depth\":{},\"send_block_ns\":{}}}",
-                    s.shard,
-                    s.items_ingested,
-                    s.batches_ingested,
-                    s.routed_items,
-                    s.queue_depth,
-                    hist_json(&s.send_block_ns)
-                )
-            })
-            .collect();
-        let fin = if fin { "\"final\":true," } else { "" };
-        format!(
-            "{{\"stats\":true,{fin}\"epoch\":{},\"routed\":{},\"imbalance\":{:.4},\
-             \"snapshot_ns\":{},\"merge_ns\":{},\"shards\":[{}]}}",
-            stats.epochs,
-            stats.routed,
-            stats.imbalance,
-            hist_json(&stats.snapshot_ns),
-            hist_json(&stats.merge_ns),
-            shards.join(",")
-        )
+        proto::stats_record(stats, None, fin)
     } else {
         let label = if fin { "final stats" } else { "stats" };
         let mut out = format!(
@@ -319,8 +327,9 @@ fn stats_record(stats: &PipelineStats, fin: bool, json: bool) -> String {
 /// `hh stats`: read an NDJSON stream produced by `serve --stats-every`
 /// (possibly interleaved with top-k report objects), validate every
 /// stats record, and render a summary of the run. Fails on malformed
-/// JSON or stats records missing required fields — which is what makes
-/// it usable as a smoke validator in CI.
+/// JSON, records missing the `"v"` schema version (or carrying an
+/// unknown one), or stats records missing required fields — which is
+/// what makes it usable as a smoke validator in CI.
 fn run_stats(opts: &Options, reader: impl BufRead) -> Result<String, Error> {
     let mut records = 0u64;
     let mut last: Option<serde_json::Value> = None;
@@ -332,6 +341,8 @@ fn run_stats(opts: &Options, reader: impl BufRead) -> Result<String, Error> {
         }
         let v: serde_json::Value = serde_json::from_str(&line)
             .map_err(|e| Error::parse(format!("line {}: invalid JSON: {e}", lineno + 1)))?;
+        // Every record — stats or report — carries the schema version.
+        proto::check_version(&v).map_err(|e| Error::parse(format!("line {}: {e}", lineno + 1)))?;
         if v["stats"] != true {
             continue; // an interleaved top-k report (or the final report)
         }
@@ -406,31 +417,24 @@ fn run_stats(opts: &Options, reader: impl BufRead) -> Result<String, Error> {
 }
 
 /// Renders one serve report; `epoch` is `Some` for periodic live reports
-/// and `None` for the final one.
-fn serve_report(engine: &Engine<String>, epoch: Option<u64>, opts: &Options) -> String {
-    let table = render_counts(
-        &engine.report().top_k(opts.k),
-        engine.stream_len(),
-        opts.json,
-    );
+/// and `None` for the final one. JSON reports come from `hh::net::proto`
+/// (versioned, identical to what the network server sends to clients).
+fn serve_report(
+    engine: &Engine<String>,
+    epoch: Option<u64>,
+    opts: &Options,
+) -> Result<String, Error> {
     if opts.json {
-        // one self-contained JSON object per report (NDJSON-friendly)
-        let label = match epoch {
-            Some(e) => format!("\"epoch\":{e}"),
-            None => "\"final\":true".to_string(),
-        };
-        format!(
-            "{{{label},\"stream_len\":{},\"top\":{table}}}",
-            engine.stream_len()
-        )
+        proto::report_record(engine, epoch, opts.k)
     } else {
-        match epoch {
+        let table = render_counts(&engine.report().top_k(opts.k), engine.stream_len(), false);
+        Ok(match epoch {
             Some(e) => format!(
                 "-- live report (epoch {e}, {} items) --\n{table}\n",
                 engine.stream_len()
             ),
             None => table,
-        }
+        })
     }
 }
 
@@ -440,7 +444,7 @@ fn write_serve_report(
     epoch: u64,
     opts: &Options,
 ) -> Result<(), Error> {
-    writeln!(out, "{}", serve_report(engine, Some(epoch), opts))?;
+    writeln!(out, "{}", serve_report(engine, Some(epoch), opts)?)?;
     Ok(())
 }
 
@@ -503,7 +507,7 @@ fn run_weighted(opts: Options, reader: impl BufRead) -> Result<String, Error> {
                 format!("F1^res({}) ~= {res:.3}", opts.k)
             }
         }
-        Command::Merge | Command::Gen | Command::Serve | Command::Stats => {
+        Command::Merge | Command::Gen | Command::Serve | Command::Client | Command::Stats => {
             unreachable!("handled in main")
         }
     };
@@ -1063,20 +1067,32 @@ mod tests {
         assert!(run_stats(&o, "not json\n".as_bytes()).is_err(), "bad JSON");
 
         let o = opts(&["stats"]);
-        let err = run_stats(&o, "{\"stats\":true,\"epoch\":1}\n".as_bytes());
+        let err = run_stats(&o, "{\"v\":1,\"stats\":true,\"epoch\":1}\n".as_bytes());
         assert!(err.is_err(), "missing fields");
 
         let o = opts(&["stats"]);
         assert!(
-            run_stats(&o, "{\"epoch\":1,\"top\":[]}\n".as_bytes()).is_err(),
+            run_stats(&o, "{\"v\":1,\"epoch\":1,\"top\":[]}\n".as_bytes()).is_err(),
             "stream with zero stats records"
+        );
+
+        // records must carry the schema version, and a known one
+        let o = opts(&["stats"]);
+        assert!(
+            run_stats(&o, "{\"stats\":true,\"epoch\":1,\"routed\":1}\n".as_bytes()).is_err(),
+            "record without \"v\""
+        );
+        let o = opts(&["stats"]);
+        assert!(
+            run_stats(&o, "{\"v\":99,\"epoch\":1,\"top\":[]}\n".as_bytes()).is_err(),
+            "unknown schema version"
         );
 
         // routed must be monotone across records
         let o = opts(&["stats"]);
         let shardless = |routed: u64| {
             format!(
-                "{{\"stats\":true,\"epoch\":1,\"routed\":{routed},\"imbalance\":1.0,\"shards\":[]}}"
+                "{{\"v\":1,\"stats\":true,\"epoch\":1,\"routed\":{routed},\"imbalance\":1.0,\"shards\":[]}}"
             )
         };
         let stream = format!("{}\n{}\n", shardless(9), shardless(4));

@@ -1,0 +1,633 @@
+//! The shared serving configuration: one [`ServeOptions`] drives both the
+//! CLI's stdin/trace `serve` loop and the network [`crate::Server`], so
+//! the two ingest modes cannot drift apart, plus the [`ServeSession`]
+//! runtime that both loops tick.
+//!
+//! `ServeOptions` owns every knob the two modes share — shard count,
+//! routing, shard-ingest mode, batch size, queue depth, report/stats
+//! cadence, snapshot in/out — and `hh serve`'s flags map 1:1 onto it.
+//! [`NetOptions`] adds the listener-only knobs (addresses, connection
+//! limits, timeouts).
+
+use std::fmt::Display;
+
+use hh_counters::error::Error;
+use hh_sketches::engine::{Engine, EngineConfig, EngineItem, Snapshot};
+use hh_sketches::pipeline::{Pipeline, PipelineConfig, PipelineStats, Routing, ShardIngest};
+use serde::{Deserialize, Serialize};
+
+/// Everything the stdin/trace serve path and the network serve path have
+/// in common. Build one from an [`EngineConfig`], tune it with the
+/// builder methods, then [`ServeSession::spawn`] it.
+///
+/// # Invariants
+///
+/// [`ServeOptions::validate`] (called by `spawn`) returns
+/// [`Error::InvalidConfig`] — never panics, never silently clamps — when
+/// `shards`, `batch_size` or `queue_depth` is zero, or when the embedded
+/// engine config itself cannot build.
+///
+/// ```
+/// use hh_net::ServeOptions;
+/// use hh_sketches::engine::{AlgoKind, EngineConfig};
+///
+/// let opts = ServeOptions::new(EngineConfig::new(AlgoKind::SpaceSaving).counters(64))
+///     .shards(Some(2))
+///     .report_every(10_000)
+///     .top_k(5);
+/// assert!(opts.validate().is_ok());
+/// assert!(ServeOptions::new(EngineConfig::new(AlgoKind::SpaceSaving).counters(64))
+///     .batch_size(0)
+///     .validate()
+///     .is_err());
+/// ```
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    engine: EngineConfig,
+    shards: Option<usize>,
+    routing: Routing,
+    ingest: ShardIngest,
+    batch_size: usize,
+    queue_depth: usize,
+    report_every: u64,
+    stats_every: Option<u64>,
+    snapshot_in: Option<String>,
+    snapshot_out: Option<String>,
+    k: usize,
+}
+
+impl ServeOptions {
+    /// Serving defaults over `engine`: auto shard count (one per
+    /// available core), hash-partition routing, per-batch aggregation
+    /// (the serving sweet spot — order never matters to the merged
+    /// guarantee), 8192-item batches, 4-deep queues, final-only reports,
+    /// no stats records, no snapshots, `k = 10`.
+    pub fn new(engine: EngineConfig) -> Self {
+        ServeOptions {
+            engine,
+            shards: None,
+            routing: Routing::HashPartition,
+            ingest: ShardIngest::Aggregate,
+            batch_size: 8192,
+            queue_depth: 4,
+            report_every: 0,
+            stats_every: None,
+            snapshot_in: None,
+            snapshot_out: None,
+            k: 10,
+        }
+    }
+
+    /// Sets the shard count (must be ≥ 1; `None` = one per core).
+    pub fn shards(mut self, shards: Option<usize>) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Sets the routing policy.
+    pub fn routing(mut self, routing: Routing) -> Self {
+        self.routing = routing;
+        self
+    }
+
+    /// Sets the shard ingest mode.
+    pub fn ingest(mut self, ingest: ShardIngest) -> Self {
+        self.ingest = ingest;
+        self
+    }
+
+    /// Sets the router batch size (must be ≥ 1).
+    pub fn batch_size(mut self, batch_size: usize) -> Self {
+        self.batch_size = batch_size;
+        self
+    }
+
+    /// Sets the per-shard queue depth in batches (must be ≥ 1).
+    pub fn queue_depth(mut self, queue_depth: usize) -> Self {
+        self.queue_depth = queue_depth;
+        self
+    }
+
+    /// Emits a live top-k report record every `n` ingested items
+    /// (0: final report only).
+    pub fn report_every(mut self, n: u64) -> Self {
+        self.report_every = n;
+        self
+    }
+
+    /// Emits a telemetry record every `n` ingested items (`Some(0)`:
+    /// only a final stats record; `None`: no stats records).
+    pub fn stats_every(mut self, n: Option<u64>) -> Self {
+        self.stats_every = n;
+        self
+    }
+
+    /// Resumes from a snapshot file written by `--snapshot-out` (merged
+    /// into every report through the Theorem 11 snapshot merge).
+    pub fn snapshot_in(mut self, path: Option<String>) -> Self {
+        self.snapshot_in = path;
+        self
+    }
+
+    /// Writes the final merged snapshot to this path on drain.
+    pub fn snapshot_out(mut self, path: Option<String>) -> Self {
+        self.snapshot_out = path;
+        self
+    }
+
+    /// Sets `k` for report records.
+    pub fn top_k(mut self, k: usize) -> Self {
+        self.k = k;
+        self
+    }
+
+    /// The embedded engine config.
+    pub fn engine_config(&self) -> &EngineConfig {
+        &self.engine
+    }
+
+    /// The report cadence in items (0: final only).
+    pub fn report_cadence(&self) -> u64 {
+        self.report_every
+    }
+
+    /// The stats cadence in items (`None`: no stats records).
+    pub fn stats_cadence(&self) -> Option<u64> {
+        self.stats_every
+    }
+
+    /// The snapshot-out path, if any.
+    pub fn snapshot_out_path(&self) -> Option<&str> {
+        self.snapshot_out.as_deref()
+    }
+
+    /// The snapshot-in path, if any.
+    pub fn snapshot_in_path(&self) -> Option<&str> {
+        self.snapshot_in.as_deref()
+    }
+
+    /// `k` for report records.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The pipeline configuration these options describe.
+    pub fn pipeline_config(&self) -> PipelineConfig {
+        let mut config = PipelineConfig::new(self.engine.clone())
+            .routing(self.routing)
+            .ingest(self.ingest)
+            .batch_size(self.batch_size)
+            .queue_depth(self.queue_depth);
+        if let Some(shards) = self.shards {
+            config = config.shards(shards);
+        }
+        config
+    }
+
+    /// Checks the serving invariants without spawning anything.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidConfig`] on zero `shards`, `batch_size` or
+    /// `queue_depth`, a zero report `k`, or an unbuildable engine config.
+    pub fn validate(&self) -> Result<(), Error> {
+        if self.shards == Some(0) {
+            return Err(Error::invalid_config("serve needs at least one shard"));
+        }
+        if self.batch_size == 0 {
+            return Err(Error::invalid_config("batch size must be at least 1"));
+        }
+        if self.queue_depth == 0 {
+            return Err(Error::invalid_config("queue depth must be at least 1"));
+        }
+        if self.k == 0 {
+            return Err(Error::invalid_config("report k must be at least 1"));
+        }
+        // Surfaces engine-config errors (0 counters, bad eps, …) here
+        // instead of at first use.
+        self.engine.build::<u64>()?;
+        Ok(())
+    }
+}
+
+/// Whether a cadence boundary was crossed by the items just routed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Due {
+    /// A live top-k report record is due.
+    pub report: bool,
+    /// A telemetry stats record is due.
+    pub stats: bool,
+}
+
+impl Due {
+    /// True when anything is due.
+    pub fn any(self) -> bool {
+        self.report || self.stats
+    }
+}
+
+/// The running half of [`ServeOptions`], shared verbatim by the CLI's
+/// stdin loop and the network server: a spawned [`Pipeline`], the resume
+/// snapshot (folded into every merged view), and the report/stats
+/// cadence countdowns.
+///
+/// ```
+/// use hh_net::{ServeOptions, ServeSession};
+/// use hh_sketches::engine::{AlgoKind, EngineConfig};
+///
+/// let opts = ServeOptions::new(EngineConfig::new(AlgoKind::SpaceSaving).counters(16))
+///     .shards(Some(2))
+///     .report_every(3);
+/// let mut session: ServeSession<u64> = ServeSession::spawn(&opts).unwrap();
+/// assert!(!session.send_batch(&[1, 2]).unwrap().report);
+/// assert!(session.send_batch(&[3]).unwrap().report); // boundary crossed
+/// let merged = session.finish().unwrap();
+/// assert_eq!(merged.stream_len(), 3);
+/// ```
+#[derive(Debug)]
+pub struct ServeSession<I: EngineItem> {
+    pipeline: Pipeline<I>,
+    resume: Option<Snapshot<I>>,
+    report_every: u64,
+    stats_every: u64,
+    until_report: u64,
+    until_stats: u64,
+    snapshot_out: Option<String>,
+    k: usize,
+}
+
+impl<I: EngineItem> ServeSession<I> {
+    /// Validates `opts`, loads the resume snapshot (if configured) and
+    /// spawns the shard pipeline.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`ServeOptions::validate`] rejects, plus I/O or
+    /// deserialization failures on the `snapshot_in` file.
+    pub fn spawn(opts: &ServeOptions) -> Result<Self, Error>
+    where
+        I: Deserialize,
+    {
+        opts.validate()?;
+        let resume = match &opts.snapshot_in {
+            Some(path) => {
+                let text = std::fs::read_to_string(path)?;
+                let snap: Snapshot<I> = serde_json::from_str(&text)?;
+                Some(snap)
+            }
+            None => None,
+        };
+        let pipeline = opts.pipeline_config().spawn()?;
+        Ok(ServeSession {
+            pipeline,
+            resume,
+            report_every: opts.report_every,
+            stats_every: opts.stats_every.unwrap_or(0),
+            until_report: opts.report_every,
+            until_stats: opts.stats_every.unwrap_or(0),
+            snapshot_out: opts.snapshot_out.clone(),
+            k: opts.k,
+        })
+    }
+
+    /// `k` for report records.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The underlying pipeline (live stats, registry, …).
+    pub fn pipeline(&self) -> &Pipeline<I> {
+        &self.pipeline
+    }
+
+    /// Items routed into the pipeline this session (excludes the resumed
+    /// snapshot's stream).
+    pub fn routed(&self) -> u64 {
+        self.pipeline.routed()
+    }
+
+    /// Whether any shard queue is full — routing more would block the
+    /// producer. The network server stops consuming sockets while this
+    /// holds (backpressure propagates to clients through TCP).
+    pub fn saturated(&self) -> bool {
+        self.pipeline.saturated()
+    }
+
+    /// A live telemetry sample (see [`Pipeline::stats`]).
+    pub fn stats(&self) -> PipelineStats {
+        self.pipeline.stats()
+    }
+
+    /// Routes one item; returns which cadence boundaries it crossed.
+    pub fn send(&mut self, item: I) -> Result<Due, Error> {
+        self.pipeline.send(item)?;
+        Ok(self.note_routed(1))
+    }
+
+    /// Routes a batch; returns which cadence boundaries it crossed (a
+    /// boundary inside the batch fires once, at the end of the batch).
+    pub fn send_batch(&mut self, items: &[I]) -> Result<Due, Error> {
+        if items.is_empty() {
+            return Ok(Due::default());
+        }
+        self.pipeline.send_batch(items)?;
+        Ok(self.note_routed(items.len() as u64))
+    }
+
+    fn note_routed(&mut self, n: u64) -> Due {
+        let mut due = Due::default();
+        if self.report_every > 0 {
+            if n >= self.until_report {
+                due.report = true;
+                let over = (n - self.until_report) % self.report_every;
+                self.until_report = self.report_every - over;
+            } else {
+                self.until_report -= n;
+            }
+        }
+        if self.stats_every > 0 {
+            if n >= self.until_stats {
+                due.stats = true;
+                let over = (n - self.until_stats) % self.stats_every;
+                self.until_stats = self.stats_every - over;
+            } else {
+                self.until_stats -= n;
+            }
+        }
+        due
+    }
+
+    /// The live merged view at an epoch boundary, with the resume
+    /// snapshot folded in (so reports always cover the resumed stream
+    /// too). See [`Pipeline::merged`].
+    pub fn merged(&mut self) -> Result<Engine<I>, Error> {
+        let mut merged = self.pipeline.merged()?;
+        if let Some(resume) = &self.resume {
+            merged.merge_snapshot(resume)?;
+        }
+        Ok(merged)
+    }
+
+    /// Drains the pipeline, folds in the resume snapshot, writes the
+    /// final snapshot to the configured `snapshot_out` path, and returns
+    /// the final merged engine.
+    pub fn finish(self) -> Result<Engine<I>, Error>
+    where
+        I: Serialize,
+    {
+        let ServeSession {
+            pipeline,
+            resume,
+            snapshot_out,
+            ..
+        } = self;
+        let mut merged = pipeline.finish()?;
+        if let Some(resume) = &resume {
+            merged.merge_snapshot(resume)?;
+        }
+        if let Some(path) = &snapshot_out {
+            std::fs::write(path, merged.to_json()?)?;
+        }
+        Ok(merged)
+    }
+}
+
+/// Listener-side options for the network server: where to listen and the
+/// per-connection robustness knobs.
+///
+/// # Invariants
+///
+/// [`NetOptions::validate`] (called by [`crate::Server::bind`]) returns
+/// [`Error::InvalidConfig`] — never panics — when no listener address is
+/// configured, `max_conns` is zero, or `max_line_bytes` is under 2.
+#[derive(Debug, Clone)]
+pub struct NetOptions {
+    tcp: Option<String>,
+    unix: Option<String>,
+    idle_timeout_ms: u64,
+    max_conns: usize,
+    max_line_bytes: usize,
+    addr_file: Option<String>,
+}
+
+impl Default for NetOptions {
+    fn default() -> Self {
+        NetOptions {
+            tcp: None,
+            unix: None,
+            idle_timeout_ms: 30_000,
+            max_conns: 1024,
+            max_line_bytes: 64 * 1024,
+            addr_file: None,
+        }
+    }
+}
+
+impl NetOptions {
+    /// No listeners, 30 s idle timeout, ≤ 1024 connections, 64 KiB line
+    /// limit. Configure at least one listener before binding.
+    pub fn new() -> Self {
+        NetOptions::default()
+    }
+
+    /// Listens on a TCP address (`host:port`; port 0 binds an ephemeral
+    /// port — read it back via [`crate::Server::tcp_addr`] or the
+    /// addr file).
+    pub fn tcp(mut self, addr: impl Into<String>) -> Self {
+        self.tcp = Some(addr.into());
+        self
+    }
+
+    /// Listens on a Unix-domain socket path (removed and re-created at
+    /// bind).
+    pub fn unix(mut self, path: impl Into<String>) -> Self {
+        self.unix = Some(path.into());
+        self
+    }
+
+    /// Closes connections idle longer than this (0 disables the sweep).
+    pub fn idle_timeout_ms(mut self, ms: u64) -> Self {
+        self.idle_timeout_ms = ms;
+        self
+    }
+
+    /// Caps concurrent connections (must be ≥ 1); excess accepts get an
+    /// error record and an immediate close.
+    pub fn max_conns(mut self, n: usize) -> Self {
+        self.max_conns = n;
+        self
+    }
+
+    /// Caps a single protocol line (must be ≥ 2); longer lines are
+    /// rejected as malformed and skipped to the next newline.
+    pub fn max_line_bytes(mut self, n: usize) -> Self {
+        self.max_line_bytes = n;
+        self
+    }
+
+    /// After binding, writes the actual listening TCP address
+    /// (`host:port`, one line) to this path — how scripts find an
+    /// ephemeral port.
+    pub fn addr_file(mut self, path: Option<String>) -> Self {
+        self.addr_file = path;
+        self
+    }
+
+    pub(crate) fn tcp_addr_spec(&self) -> Option<&str> {
+        self.tcp.as_deref()
+    }
+
+    pub(crate) fn unix_path_spec(&self) -> Option<&str> {
+        self.unix.as_deref()
+    }
+
+    pub(crate) fn idle_timeout(&self) -> Option<std::time::Duration> {
+        (self.idle_timeout_ms > 0).then(|| std::time::Duration::from_millis(self.idle_timeout_ms))
+    }
+
+    pub(crate) fn max_conns_cap(&self) -> usize {
+        self.max_conns
+    }
+
+    pub(crate) fn max_line_cap(&self) -> usize {
+        self.max_line_bytes
+    }
+
+    pub(crate) fn addr_file_path(&self) -> Option<&str> {
+        self.addr_file.as_deref()
+    }
+
+    /// Checks the listener invariants.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidConfig`] when no listener is configured,
+    /// `max_conns == 0`, or `max_line_bytes < 2`.
+    pub fn validate(&self) -> Result<(), Error> {
+        if self.tcp.is_none() && self.unix.is_none() {
+            return Err(Error::invalid_config(
+                "server needs at least one listener (tcp or unix)",
+            ));
+        }
+        if self.max_conns == 0 {
+            return Err(Error::invalid_config("max_conns must be at least 1"));
+        }
+        if self.max_line_bytes < 2 {
+            return Err(Error::invalid_config(
+                "max_line_bytes must be at least 2 (item + newline)",
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Items a [`crate::Server`] can serve: engine items that also parse from
+/// a protocol line and render into report records. Blanket-implemented;
+/// `String` and every integer type qualify.
+pub trait ServeItem: EngineItem + std::str::FromStr + Display + Serialize + Deserialize {}
+
+impl<T: EngineItem + std::str::FromStr + Display + Serialize + Deserialize> ServeItem for T {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hh_sketches::engine::AlgoKind;
+
+    fn opts() -> ServeOptions {
+        ServeOptions::new(EngineConfig::new(AlgoKind::SpaceSaving).counters(32))
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_values_with_typed_errors() {
+        for bad in [
+            opts().shards(Some(0)),
+            opts().batch_size(0),
+            opts().queue_depth(0),
+            opts().top_k(0),
+            ServeOptions::new(EngineConfig::new(AlgoKind::SpaceSaving).counters(0)),
+        ] {
+            match bad.validate() {
+                Err(Error::InvalidConfig(_)) => {}
+                other => panic!("expected InvalidConfig, got {other:?}"),
+            }
+        }
+        assert!(opts().validate().is_ok());
+    }
+
+    #[test]
+    fn net_options_validate() {
+        assert!(matches!(
+            NetOptions::new().validate(),
+            Err(Error::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            NetOptions::new().tcp("127.0.0.1:0").max_conns(0).validate(),
+            Err(Error::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            NetOptions::new()
+                .tcp("127.0.0.1:0")
+                .max_line_bytes(1)
+                .validate(),
+            Err(Error::InvalidConfig(_))
+        ));
+        assert!(NetOptions::new().tcp("127.0.0.1:0").validate().is_ok());
+        assert!(NetOptions::new().unix("/tmp/x.sock").validate().is_ok());
+    }
+
+    #[test]
+    fn cadence_boundaries_fire_once_per_crossing() {
+        let o = opts().shards(Some(1)).report_every(5).stats_every(Some(3));
+        let mut s: ServeSession<u64> = ServeSession::spawn(&o).unwrap();
+        // 3 items: stats boundary only.
+        let due = s.send_batch(&[1, 2, 3]).unwrap();
+        assert_eq!(
+            due,
+            Due {
+                report: false,
+                stats: true
+            }
+        );
+        // 2 more (total 5): report boundary; stats not yet (next at 6).
+        let due = s.send_batch(&[4, 5]).unwrap();
+        assert!(due.report && !due.stats);
+        // One giant batch crosses both cadences multiple times: fires once.
+        let due = s.send_batch(&(0..17).collect::<Vec<u64>>()).unwrap();
+        assert!(due.report && due.stats);
+        // Countdown stays aligned: routed = 22, next report at 25.
+        assert!(!s.send_batch(&[9, 9]).unwrap().report);
+        assert!(s.send(7).unwrap().report);
+        s.finish().unwrap();
+    }
+
+    #[test]
+    fn session_round_trips_snapshot_out_and_resume() {
+        let dir = std::env::temp_dir().join(format!("hh-net-session-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let snap = dir.join("resume.json").to_str().unwrap().to_string();
+
+        let first = opts().shards(Some(2)).snapshot_out(Some(snap.clone()));
+        let mut s: ServeSession<u64> = ServeSession::spawn(&first).unwrap();
+        s.send_batch(&[1, 1, 2]).unwrap();
+        let merged = s.finish().unwrap();
+        assert_eq!(merged.stream_len(), 3);
+
+        // Resume: live merged views and the final engine include the
+        // snapshot's stream.
+        let second = opts().shards(Some(2)).snapshot_in(Some(snap));
+        let mut s: ServeSession<u64> = ServeSession::spawn(&second).unwrap();
+        s.send_batch(&[1, 3]).unwrap();
+        let live = s.merged().unwrap();
+        assert_eq!(live.stream_len(), 5);
+        assert_eq!(live.estimate(&1), 3);
+        let fin = s.finish().unwrap();
+        assert_eq!(fin.stream_len(), 5);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn spawn_surfaces_missing_snapshot_in() {
+        let o = opts().snapshot_in(Some("/nonexistent/hh-net-nope.json".into()));
+        assert!(matches!(ServeSession::<u64>::spawn(&o), Err(Error::Io(_))));
+    }
+}

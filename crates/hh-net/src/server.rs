@@ -1,0 +1,941 @@
+//! The network server: one epoll event loop multiplexing many client
+//! connections onto the bounded shard channels of a [`ServeSession`].
+//!
+//! # Design
+//!
+//! Single-threaded at the socket layer (all parallelism lives in the
+//! pipeline's shard workers): the loop waits for edge-triggered
+//! readiness, drains readable sockets into per-connection line buffers,
+//! batches parsed items into [`ServeSession::send_batch`], and answers
+//! in-band `?` queries from epoch-boundary merged engines. Backpressure
+//! is the point of the shape — when any shard queue is full
+//! ([`ServeSession::saturated`]), the loop simply *stops reading* client
+//! sockets; kernel receive buffers fill, TCP flow control pushes back on
+//! writers, and nothing is dropped or buffered unboundedly.
+//!
+//! Robustness: malformed lines get an error record and a registry
+//! counter (the connection lives on), oversized lines are skipped to the
+//! next newline, idle connections are reaped, and SIGTERM / SIGINT /
+//! `?shutdown` trigger a graceful drain — flush staged items, emit final
+//! records, write `--snapshot-out`, return the merged engine.
+
+use std::io::{self, Read as _, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::fd::{AsRawFd, RawFd};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::time::{Duration, Instant};
+
+use hh_counters::error::Error;
+use hh_obs::{Counter, Gauge, Registry};
+use hh_sketches::engine::Engine;
+
+use crate::options::{Due, NetOptions, ServeItem, ServeOptions, ServeSession};
+use crate::poll::{Event, Interest, Poller};
+use crate::proto::{self, Line, NetSample, Query};
+use crate::sys;
+
+const TCP_TOKEN: u64 = 0;
+const UNIX_TOKEN: u64 = 1;
+const CONN_BASE: u64 = 2;
+
+/// Read chunk per `read(2)` call. Sized so a saturating sender is
+/// drained in few syscalls; at the line protocol's typical ~5 bytes per
+/// item one chunk carries ~13k items, comfortably above one shard batch.
+const READ_CHUNK: usize = 64 * 1024;
+/// Staged items are shipped to the pipeline at this many.
+const STAGE_CAP: usize = 8192;
+/// Kernel send/receive buffer requested per connection (clamped by the
+/// host's `net.core.{r,w}mem_max`).
+const SOCK_BUF: usize = 4 * 1024 * 1024;
+/// A connection whose pending responses exceed this is dropped (a client
+/// that asks for snapshots and never reads them).
+const MAX_WBUF: usize = 8 * 1024 * 1024;
+/// How long the drain waits for clients to accept final responses.
+const DRAIN_FLUSH: Duration = Duration::from_secs(1);
+
+/// Connection-layer counters, registered into the pipeline's
+/// [`Registry`] (so `to_prometheus`/`to_json` and `?stats` all see them).
+#[derive(Debug)]
+struct NetMetrics {
+    accepted: Counter,
+    open: Gauge,
+    rejected: Counter,
+    idle_timeouts: Counter,
+    lines: Counter,
+    queries: Counter,
+    malformed: Counter,
+    bytes_in: Counter,
+    bytes_out: Counter,
+}
+
+impl NetMetrics {
+    fn new(registry: &Registry) -> Self {
+        NetMetrics {
+            accepted: registry.counter("hh_net_accepted_total", "connections accepted"),
+            open: registry.gauge("hh_net_open_connections", "connections currently open"),
+            rejected: registry.counter(
+                "hh_net_rejected_total",
+                "connections refused at the max_conns cap",
+            ),
+            idle_timeouts: registry.counter(
+                "hh_net_idle_timeouts_total",
+                "connections reaped by the idle sweep",
+            ),
+            lines: registry.counter("hh_net_lines_total", "ingest lines accepted"),
+            queries: registry.counter("hh_net_queries_total", "query commands answered"),
+            malformed: registry.counter(
+                "hh_net_malformed_total",
+                "protocol lines rejected as malformed",
+            ),
+            bytes_in: registry.counter("hh_net_bytes_in_total", "bytes read from clients"),
+            bytes_out: registry.counter("hh_net_bytes_out_total", "bytes written to clients"),
+        }
+    }
+
+    fn sample(&self) -> NetSample {
+        NetSample {
+            accepted: self.accepted.get(),
+            open: self.open.get(),
+            rejected: self.rejected.get(),
+            idle_timeouts: self.idle_timeouts.get(),
+            lines: self.lines.get(),
+            queries: self.queries.get(),
+            malformed: self.malformed.get(),
+            bytes_in: self.bytes_in.get(),
+            bytes_out: self.bytes_out.get(),
+        }
+    }
+}
+
+/// A client socket behind either listener.
+#[derive(Debug)]
+enum ConnStream {
+    Tcp(TcpStream),
+    Unix(UnixStream),
+}
+
+impl ConnStream {
+    fn fd(&self) -> RawFd {
+        match self {
+            ConnStream::Tcp(s) => s.as_raw_fd(),
+            ConnStream::Unix(s) => s.as_raw_fd(),
+        }
+    }
+
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            ConnStream::Tcp(s) => s.read(buf),
+            ConnStream::Unix(s) => s.read(buf),
+        }
+    }
+
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            ConnStream::Tcp(s) => s.write(buf),
+            ConnStream::Unix(s) => s.write(buf),
+        }
+    }
+}
+
+/// Per-connection state in the slab.
+#[derive(Debug)]
+struct Conn {
+    stream: ConnStream,
+    /// Partial-line carry-over between reads.
+    rbuf: Vec<u8>,
+    /// Pending response bytes not yet accepted by the socket.
+    wbuf: Vec<u8>,
+    wpos: usize,
+    /// Residual readability under edge triggering: set by an `EPOLLIN`
+    /// edge (or at accept), cleared only when a read returns
+    /// `WouldBlock`. While the pipeline is saturated the loop leaves this
+    /// set and simply doesn't read — that *is* the backpressure.
+    readable: bool,
+    /// Whether the socket last accepted writes (cleared on `WouldBlock`,
+    /// restored by an `EPOLLOUT` edge).
+    can_write: bool,
+    /// Registered for write readiness (only while a flush is pending).
+    want_write: bool,
+    /// Currently discarding an oversized line (until the next newline).
+    skip_line: bool,
+    /// Peer finished sending; close once the write buffer drains.
+    eof: bool,
+    /// Fatal socket error or write-buffer overflow; close now.
+    broken: bool,
+    /// Protocol lines received (for error records).
+    lines: u64,
+    last_activity: Instant,
+}
+
+impl Conn {
+    fn new(stream: ConnStream, now: Instant) -> Self {
+        Conn {
+            stream,
+            rbuf: Vec::new(),
+            wbuf: Vec::new(),
+            wpos: 0,
+            readable: true,
+            can_write: true,
+            want_write: false,
+            skip_line: false,
+            eof: false,
+            broken: false,
+            lines: 0,
+            last_activity: now,
+        }
+    }
+
+    fn has_pending_writes(&self) -> bool {
+        self.wpos < self.wbuf.len()
+    }
+}
+
+/// Writes as much pending response as the socket will take, and keeps
+/// the poller's write interest in sync (registered only while bytes are
+/// actually stuck).
+fn flush_conn(conn: &mut Conn, token: u64, poller: &Poller, metrics: &NetMetrics) {
+    while conn.has_pending_writes() && conn.can_write && !conn.broken {
+        match conn.stream.write(&conn.wbuf[conn.wpos..]) {
+            Ok(0) => conn.broken = true,
+            Ok(n) => {
+                conn.wpos += n;
+                metrics.bytes_out.add(n as u64);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => conn.can_write = false,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => conn.broken = true,
+        }
+    }
+    if !conn.has_pending_writes() {
+        conn.wbuf.clear();
+        conn.wpos = 0;
+        if conn.want_write {
+            conn.want_write = false;
+            let _ = poller.modify(conn.stream.fd(), token, Interest::READ);
+        }
+    } else if !conn.want_write {
+        conn.want_write = true;
+        let _ = poller.modify(conn.stream.fd(), token, Interest::READ_WRITE);
+    }
+}
+
+/// Runtime-specialized integer item: when `I` is `u64`, converts the
+/// decimal value already accumulated while scanning the line, skipping
+/// the string re-parse. The `Any` downcast monomorphizes to a constant
+/// type-id comparison, so for other item types this is a compile-time
+/// `None` and the caller falls back to `FromStr`.
+#[inline]
+fn int_item<I: ServeItem>(value: u64) -> Option<I> {
+    (&value as &dyn std::any::Any).downcast_ref::<I>().cloned()
+}
+
+/// The ingest/query server. Construct with [`Server::bind`], then
+/// [`Server::run`] the event loop to completion (drain); periodic
+/// report/stats records stream to the writer passed to `run`, exactly as
+/// in stdin serve mode.
+#[derive(Debug)]
+pub struct Server<I: ServeItem> {
+    session: ServeSession<I>,
+    net: NetOptions,
+    poller: Poller,
+    tcp: Option<TcpListener>,
+    tcp_addr: Option<SocketAddr>,
+    unix: Option<UnixListener>,
+    unix_path: Option<String>,
+    conns: Vec<Option<Conn>>,
+    free: Vec<usize>,
+    staged: Vec<I>,
+    metrics: NetMetrics,
+    /// Accepted item lines not yet flushed into the `lines` counter (a
+    /// relaxed fetch_add per line is measurable at line-rate, so the hot
+    /// path accumulates here and [`Self::net_sample`] reconciles).
+    pending_lines: u64,
+    /// Final stats record on drain (mirrors `--stats-every` being set).
+    stats_final: bool,
+    drain: bool,
+}
+
+impl<I: ServeItem> Server<I> {
+    /// Validates both option sets, spawns the shard pipeline (resuming
+    /// from `--snapshot-in` if configured), binds the listeners
+    /// nonblocking, and writes the addr file.
+    ///
+    /// # Errors
+    ///
+    /// Typed [`Error::InvalidConfig`] for degenerate options (see
+    /// [`ServeOptions::validate`] and [`NetOptions::validate`]), plus
+    /// I/O errors from binding.
+    pub fn bind(serve: ServeOptions, net: NetOptions) -> Result<Self, Error> {
+        net.validate()?;
+        let stats_final = serve.stats_cadence().is_some();
+        let session = ServeSession::spawn(&serve)?;
+        let poller = Poller::new(128)?;
+
+        let mut tcp = None;
+        let mut tcp_addr = None;
+        if let Some(spec) = net.tcp_addr_spec() {
+            let listener = TcpListener::bind(spec)?;
+            listener.set_nonblocking(true)?;
+            poller.add(listener.as_raw_fd(), TCP_TOKEN, Interest::READ)?;
+            tcp_addr = Some(listener.local_addr()?);
+            tcp = Some(listener);
+        }
+
+        let mut unix = None;
+        let mut unix_path = None;
+        if let Some(path) = net.unix_path_spec() {
+            // A dead socket file from a previous run would fail the bind.
+            let _ = std::fs::remove_file(path);
+            let listener = UnixListener::bind(path)?;
+            listener.set_nonblocking(true)?;
+            poller.add(listener.as_raw_fd(), UNIX_TOKEN, Interest::READ)?;
+            unix_path = Some(path.to_string());
+            unix = Some(listener);
+        }
+
+        if let (Some(path), Some(addr)) = (net.addr_file_path(), tcp_addr) {
+            std::fs::write(path, format!("{addr}\n"))?;
+        }
+
+        let metrics = NetMetrics::new(session.pipeline().registry());
+        Ok(Server {
+            session,
+            net,
+            poller,
+            tcp,
+            tcp_addr,
+            unix,
+            unix_path,
+            conns: Vec::new(),
+            free: Vec::new(),
+            staged: Vec::with_capacity(STAGE_CAP),
+            metrics,
+            pending_lines: 0,
+            stats_final,
+            drain: false,
+        })
+    }
+
+    /// The actual TCP listening address (resolves `:0` ephemeral binds).
+    pub fn tcp_addr(&self) -> Option<SocketAddr> {
+        self.tcp_addr
+    }
+
+    /// Runs the event loop until a drain is requested (SIGTERM/SIGINT
+    /// via [`sys::install_drain_signal_handlers`], [`sys::request_drain`],
+    /// or an in-band `?shutdown`), then drains: staged items ship, final
+    /// records stream to `out`, pending client responses flush, the
+    /// final snapshot is written, and the merged engine is returned.
+    pub fn run(mut self, out: &mut impl io::Write) -> Result<Engine<I>, Error> {
+        let mut events: Vec<Event> = Vec::new();
+        let mut last_sweep = Instant::now();
+        loop {
+            if sys::drain_requested() {
+                self.drain = true;
+            }
+            if self.drain {
+                return self.shutdown(out);
+            }
+
+            let timeout = self.poll_timeout();
+            self.poller.wait(&mut events, timeout)?;
+            let now = Instant::now();
+
+            for ev in &events {
+                match ev.token {
+                    TCP_TOKEN => self.accept_tcp(now),
+                    UNIX_TOKEN => self.accept_unix(now),
+                    token => self.note_conn_event(token, ev),
+                }
+            }
+
+            self.flush_pending_writers();
+            self.pump(out, now)?;
+
+            if let Some(idle) = self.net.idle_timeout() {
+                let cadence = idle.min(Duration::from_millis(250));
+                if now.duration_since(last_sweep) >= cadence {
+                    last_sweep = now;
+                    self.sweep_idle(now, idle);
+                }
+            }
+        }
+    }
+
+    /// Picks the wait timeout: near-immediate when backpressured reads
+    /// are pending (re-check saturation as the shard workers drain), a
+    /// coarse tick otherwise (the loop must still wake to notice signals
+    /// and idle connections).
+    fn poll_timeout(&self) -> i32 {
+        let paused = self.conns.iter().flatten().any(|c| c.readable && !c.broken);
+        if paused {
+            1
+        } else {
+            250
+        }
+    }
+
+    fn accept_tcp(&mut self, now: Instant) {
+        loop {
+            let Some(listener) = &self.tcp else { return };
+            match listener.accept() {
+                Ok((stream, _)) => self.install(ConnStream::Tcp(stream), now),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                // Transient accept failures (ECONNABORTED, fd pressure):
+                // stop this round, the listener stays registered.
+                Err(_) => return,
+            }
+        }
+    }
+
+    fn accept_unix(&mut self, now: Instant) {
+        loop {
+            let Some(listener) = &self.unix else { return };
+            match listener.accept() {
+                Ok((stream, _)) => self.install(ConnStream::Unix(stream), now),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => return,
+            }
+        }
+    }
+
+    fn install(&mut self, stream: ConnStream, now: Instant) {
+        let open = self.conns.iter().flatten().count();
+        if open >= self.net.max_conns_cap() {
+            self.metrics.rejected.inc();
+            // Best-effort notice; the socket drops either way.
+            let mut stream = stream;
+            let record = proto::error_record("server at max_conns, try later", 0);
+            let _ = stream.write(record.as_bytes());
+            let _ = stream.write(b"\n");
+            return;
+        }
+        let nonblocking = match &stream {
+            ConnStream::Tcp(s) => s.set_nonblocking(true),
+            ConnStream::Unix(s) => s.set_nonblocking(true),
+        };
+        if nonblocking.is_err() {
+            return;
+        }
+        // Deep kernel buffers keep a bursty ingest sender running instead
+        // of blocking on a 16 KiB default window; best-effort (the kernel
+        // clamps to rmem_max/wmem_max, and Unix sockets may refuse).
+        let _ = sys::set_socket_buffers(stream.fd(), SOCK_BUF);
+        let slot = self.free.pop().unwrap_or_else(|| {
+            self.conns.push(None);
+            self.conns.len() - 1
+        });
+        let token = CONN_BASE + slot as u64;
+        // `readable` starts true: bytes may land before registration, and
+        // an edge-triggered poller would not re-announce them.
+        let conn = Conn::new(stream, now);
+        if self
+            .poller
+            .add(conn.stream.fd(), token, Interest::READ)
+            .is_err()
+        {
+            self.free.push(slot);
+            return;
+        }
+        self.conns[slot] = Some(conn);
+        self.metrics.accepted.inc();
+        self.metrics.open.add(1);
+    }
+
+    fn note_conn_event(&mut self, token: u64, ev: &Event) {
+        let slot = (token - CONN_BASE) as usize;
+        let Some(Some(conn)) = self.conns.get_mut(slot) else {
+            return;
+        };
+        if ev.readable || ev.hangup {
+            // Hangup still drains buffered data first: the read path hits
+            // EOF naturally once the kernel buffer empties.
+            conn.readable = true;
+        }
+        if ev.writable {
+            conn.can_write = true;
+        }
+    }
+
+    /// Retries stuck response buffers after write-readiness edges, and
+    /// closes connections that finished (EOF + drained) or broke.
+    fn flush_pending_writers(&mut self) {
+        for slot in 0..self.conns.len() {
+            let mut done = false;
+            if let Some(conn) = self.conns[slot].as_mut() {
+                if conn.has_pending_writes() && conn.can_write {
+                    flush_conn(conn, CONN_BASE + slot as u64, &self.poller, &self.metrics);
+                }
+                done = conn.broken || (conn.eof && !conn.has_pending_writes());
+            }
+            if done {
+                self.close(slot);
+            }
+        }
+    }
+
+    fn close(&mut self, slot: usize) {
+        if let Some(conn) = self.conns[slot].take() {
+            self.poller.remove(conn.stream.fd());
+            self.metrics.open.sub(1);
+            self.free.push(slot);
+        }
+    }
+
+    fn sweep_idle(&mut self, now: Instant, idle: Duration) {
+        for slot in 0..self.conns.len() {
+            let timed_out = matches!(
+                self.conns[slot].as_ref(),
+                Some(conn) if now.duration_since(conn.last_activity) >= idle
+            );
+            if timed_out {
+                self.metrics.idle_timeouts.inc();
+                self.close(slot);
+            }
+        }
+    }
+
+    /// Drains every readable connection into the pipeline, pausing the
+    /// moment the shard queues saturate; then ships whatever was staged.
+    fn pump(&mut self, out: &mut impl io::Write, now: Instant) -> Result<(), Error> {
+        for slot in 0..self.conns.len() {
+            if self.session.saturated() {
+                break;
+            }
+            let Some(mut conn) = self.conns[slot].take() else {
+                continue;
+            };
+            if !conn.readable || conn.broken {
+                self.conns[slot] = Some(conn);
+                continue;
+            }
+            let keep = self.pump_conn(&mut conn, slot, out, now)?;
+            if keep && !conn.broken {
+                self.conns[slot] = Some(conn);
+            } else {
+                self.poller.remove(conn.stream.fd());
+                self.metrics.open.sub(1);
+                self.free.push(slot);
+            }
+        }
+        let due = self.ship()?;
+        self.emit_due(due, out)?;
+        Ok(())
+    }
+
+    /// Reads one connection until `WouldBlock`, EOF, or pipeline
+    /// saturation. Returns whether the connection stays in the slab.
+    fn pump_conn(
+        &mut self,
+        conn: &mut Conn,
+        slot: usize,
+        out: &mut impl io::Write,
+        now: Instant,
+    ) -> Result<bool, Error> {
+        let token = CONN_BASE + slot as u64;
+        let mut scratch = [0u8; READ_CHUNK];
+        loop {
+            if self.session.saturated() {
+                // Leave `readable` set: the loop resumes here once the
+                // shard workers catch up. No read happens meanwhile, so
+                // the client's TCP window closes — backpressure.
+                return Ok(true);
+            }
+            match conn.stream.read(&mut scratch) {
+                Ok(0) => {
+                    conn.eof = true;
+                    conn.readable = false;
+                    break;
+                }
+                Ok(n) => {
+                    self.metrics.bytes_in.add(n as u64);
+                    conn.last_activity = now;
+                    self.ingest_bytes(conn, token, &scratch[..n], out)?;
+                    if conn.broken {
+                        return Ok(false);
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    conn.readable = false;
+                    break;
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => return Ok(false),
+            }
+        }
+        if conn.eof {
+            // A final unterminated line still counts (printf-style
+            // clients); then flush responses and close when drained.
+            if !conn.rbuf.is_empty() && !conn.skip_line {
+                let line = std::mem::take(&mut conn.rbuf);
+                self.handle_line(conn, token, &line, out)?;
+            }
+            conn.rbuf.clear();
+            flush_conn(conn, token, &self.poller, &self.metrics);
+            return Ok(conn.has_pending_writes() && !conn.broken);
+        }
+        Ok(true)
+    }
+
+    /// Splits freshly read bytes into protocol lines, stitching the
+    /// carry-over partial line from the previous read and enforcing the
+    /// line-length cap. The bulk of the chunk is processed in place —
+    /// only the stitched first line and the unconsumed tail ever touch
+    /// the carry buffer, so a steady ingest stream costs no extra copy.
+    fn ingest_bytes(
+        &mut self,
+        conn: &mut Conn,
+        token: u64,
+        mut bytes: &[u8],
+        out: &mut impl io::Write,
+    ) -> Result<(), Error> {
+        let max_line = self.net.max_line_cap();
+        if !conn.rbuf.is_empty() {
+            // The previous read ended mid-line. Stitch exactly one line:
+            // carry + bytes through the first newline (rbuf never holds
+            // a newline, so the stitched buffer holds exactly one).
+            match bytes.iter().position(|&b| b == b'\n') {
+                Some(i) => {
+                    let mut carry = std::mem::take(&mut conn.rbuf);
+                    carry.extend_from_slice(&bytes[..=i]);
+                    bytes = &bytes[i + 1..];
+                    self.ingest_slice(conn, token, &carry, out)?;
+                    if conn.broken {
+                        return Ok(());
+                    }
+                }
+                None => {
+                    conn.rbuf.extend_from_slice(bytes);
+                    bytes = &[];
+                }
+            }
+        }
+        if !bytes.is_empty() {
+            let used = self.ingest_slice(conn, token, bytes, out)?;
+            if conn.broken {
+                return Ok(());
+            }
+            conn.rbuf.extend_from_slice(&bytes[used..]);
+        }
+        if conn.skip_line {
+            conn.rbuf.clear();
+        } else if conn.rbuf.len() > max_line {
+            conn.lines += 1;
+            self.reject(conn, token, "line exceeds max_line_bytes");
+            conn.skip_line = true;
+            conn.rbuf.clear();
+        }
+        Ok(())
+    }
+
+    /// Processes every complete line in `data` and returns how many bytes
+    /// were consumed (the unconsumed tail is a partial line the caller
+    /// carries over). Decodes the largest valid-UTF-8 prefix in one
+    /// vectorized pass rather than validating line by line; invalid
+    /// sequences reject only their own line, and an incomplete trailing
+    /// sequence is left for the next read.
+    fn ingest_slice(
+        &mut self,
+        conn: &mut Conn,
+        token: u64,
+        data: &[u8],
+        out: &mut impl io::Write,
+    ) -> Result<usize, Error> {
+        let mut start = 0usize;
+        'decode: while start < data.len() {
+            let (valid_len, bad) = match std::str::from_utf8(&data[start..]) {
+                Ok(_) => (data.len() - start, None),
+                Err(e) => (e.valid_up_to(), e.error_len()),
+            };
+            let text =
+                std::str::from_utf8(&data[start..start + valid_len]).expect("validated prefix");
+            let tb = text.as_bytes();
+            let mut consumed = 0usize;
+            while consumed < tb.len() {
+                // One fused walk per line: locate the newline while
+                // accumulating the decimal value, so the dominant line
+                // shape — a plain integer item — costs a single pass and
+                // no re-parse. Wrapping arithmetic keeps the speculative
+                // accumulate branch-free; the value is only trusted when
+                // every byte was a digit and the line is short enough
+                // (<= 19 digits) to fit a `u64`.
+                let mut value = 0u64;
+                let mut digits = true;
+                let mut nl = usize::MAX;
+                for (off, &b) in tb[consumed..].iter().enumerate() {
+                    if b == b'\n' {
+                        nl = consumed + off;
+                        break;
+                    }
+                    let d = b.wrapping_sub(b'0');
+                    digits &= d <= 9;
+                    value = value.wrapping_mul(10).wrapping_add(u64::from(d & 0xf));
+                }
+                if nl == usize::MAX {
+                    break; // incomplete tail line: carry over
+                }
+                let j = nl;
+                let line = &text[consumed..j];
+                let len = j - consumed;
+                consumed = j + 1;
+                if conn.skip_line {
+                    // Tail of an oversized line: discard through its \n.
+                    conn.skip_line = false;
+                    continue;
+                }
+                // All-decimal lines convert straight from the walk; other
+                // plain single-item lines (printable ASCII, no
+                // whitespace, not a query) parse without the protocol
+                // dispatch. Anything else — or a fast parse that fails —
+                // takes the full `parse_line` path, which produces the
+                // proper error record.
+                let fast = if digits && (1..=19).contains(&len) {
+                    int_item::<I>(value).or_else(|| line.parse::<I>().ok())
+                } else if len >= 1
+                    && tb[j - len] != b'?'
+                    && line.bytes().all(|b| (b'!'..=b'~').contains(&b))
+                {
+                    line.parse::<I>().ok()
+                } else {
+                    None
+                };
+                match fast {
+                    Some(item) => {
+                        conn.lines += 1;
+                        self.pending_lines += 1;
+                        self.staged.push(item);
+                        if self.staged.len() >= STAGE_CAP {
+                            let due = self.ship()?;
+                            self.emit_due(due, out)?;
+                        }
+                    }
+                    None => self.handle_text(conn, token, line, out)?,
+                }
+                if conn.broken {
+                    return Ok(start + consumed);
+                }
+            }
+            start += consumed;
+            match bad {
+                // The next line holds an invalid sequence: reject through
+                // its newline (if complete) and keep decoding after it.
+                Some(_) => {
+                    let Some(rel) = data[start..].iter().position(|&b| b == b'\n') else {
+                        break 'decode;
+                    };
+                    if conn.skip_line {
+                        conn.skip_line = false;
+                    } else {
+                        conn.lines += 1;
+                        self.reject(conn, token, "line is not valid UTF-8");
+                    }
+                    start += rel + 1;
+                    if conn.broken {
+                        return Ok(start);
+                    }
+                }
+                // Incomplete trailing sequence: wait for more bytes.
+                None => break 'decode,
+            }
+        }
+        Ok(start)
+    }
+
+    /// Parses and executes one complete protocol line given as raw bytes
+    /// (the EOF trailing-line path; freshly read data goes through the
+    /// bulk-validated [`Self::ingest_bytes`] instead).
+    fn handle_line(
+        &mut self,
+        conn: &mut Conn,
+        token: u64,
+        raw: &[u8],
+        out: &mut impl io::Write,
+    ) -> Result<(), Error> {
+        match std::str::from_utf8(raw) {
+            Ok(text) => self.handle_text(conn, token, text, out),
+            Err(_) => {
+                conn.lines += 1;
+                self.reject(conn, token, "line is not valid UTF-8");
+                Ok(())
+            }
+        }
+    }
+
+    /// Parses and executes one complete protocol line.
+    fn handle_text(
+        &mut self,
+        conn: &mut Conn,
+        token: u64,
+        text: &str,
+        out: &mut impl io::Write,
+    ) -> Result<(), Error> {
+        conn.lines += 1;
+        match proto::parse_line(text) {
+            Line::Empty => {}
+            Line::Item(s, count) => match s.parse::<I>() {
+                Ok(item) => {
+                    // Batched into the registry at the next sample point;
+                    // a relaxed fetch_add per line is measurable at
+                    // line-rate.
+                    self.pending_lines += 1;
+                    for _ in 0..count {
+                        self.staged.push(item.clone());
+                        if self.staged.len() >= STAGE_CAP {
+                            let due = self.ship()?;
+                            self.emit_due(due, out)?;
+                        }
+                    }
+                }
+                Err(_) => self.reject(conn, token, "item does not parse as the served item type"),
+            },
+            Line::Query(q) => self.answer(conn, token, q, out)?,
+            Line::Malformed(reason) => self.reject(conn, token, reason),
+        }
+        Ok(())
+    }
+
+    /// Rejects a malformed line: error record to the sender, registry
+    /// counter, connection survives.
+    fn reject(&mut self, conn: &mut Conn, token: u64, reason: &str) {
+        self.metrics.malformed.inc();
+        let record = proto::error_record(reason, conn.lines);
+        self.push_reply(conn, token, &record);
+    }
+
+    /// Answers one in-band query. Staged items ship first so the
+    /// response covers everything the client already sent.
+    fn answer(
+        &mut self,
+        conn: &mut Conn,
+        token: u64,
+        query: Query,
+        out: &mut impl io::Write,
+    ) -> Result<(), Error> {
+        self.metrics.queries.inc();
+        let due = self.ship()?;
+        self.emit_due(due, out)?;
+        let record = match query {
+            Query::TopK(k) => {
+                let merged = self.session.merged()?;
+                let epoch = self.session.pipeline().epoch();
+                proto::report_record(&merged, Some(epoch), k.unwrap_or(self.session.k()))?
+            }
+            Query::Stats => {
+                // Epoch boundary first: queues drain, counters go exact.
+                self.session.merged()?;
+                let sample = self.net_sample();
+                proto::stats_record(&self.session.stats(), Some(&sample), false)
+            }
+            Query::Snapshot => {
+                let merged = self.session.merged()?;
+                proto::snapshot_record(&merged)?
+            }
+            Query::Ping => proto::pong_record(),
+            Query::Shutdown => {
+                self.drain = true;
+                proto::shutdown_record(self.session.routed())
+            }
+        };
+        self.push_reply(conn, token, &record);
+        Ok(())
+    }
+
+    /// Queues one record (plus newline) on a connection and flushes as
+    /// much as the socket takes now.
+    fn push_reply(&mut self, conn: &mut Conn, token: u64, record: &str) {
+        if conn.wbuf.len() + record.len() > MAX_WBUF {
+            conn.broken = true;
+            return;
+        }
+        conn.wbuf.extend_from_slice(record.as_bytes());
+        conn.wbuf.push(b'\n');
+        flush_conn(conn, token, &self.poller, &self.metrics);
+    }
+
+    /// Ships the staged batch into the pipeline.
+    fn ship(&mut self) -> Result<Due, Error> {
+        if self.staged.is_empty() {
+            return Ok(Due::default());
+        }
+        let due = self.session.send_batch(&self.staged)?;
+        self.staged.clear();
+        Ok(due)
+    }
+
+    /// Streams cadence-due report/stats records to the server's own
+    /// output, exactly like stdin serve mode.
+    fn emit_due(&mut self, due: Due, out: &mut impl io::Write) -> Result<(), Error> {
+        if due.report {
+            let merged = self.session.merged()?;
+            let epoch = self.session.pipeline().epoch();
+            let k = self.session.k();
+            writeln!(out, "{}", proto::report_record(&merged, Some(epoch), k)?)?;
+        }
+        if due.stats {
+            self.session.merged()?;
+            let sample = self.net_sample();
+            let record = proto::stats_record(&self.session.stats(), Some(&sample), false);
+            writeln!(out, "{record}")?;
+        }
+        if due.any() {
+            out.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Flushes batched hot-path counts into the registry and samples the
+    /// network metrics — the only way a [`NetSample`] should be taken.
+    fn net_sample(&mut self) -> NetSample {
+        self.metrics
+            .lines
+            .add(std::mem::take(&mut self.pending_lines));
+        self.metrics.sample()
+    }
+
+    /// Graceful drain: ship staged items, emit the final stats record,
+    /// give clients a bounded window to accept pending responses, write
+    /// the final snapshot, return the merged engine.
+    fn shutdown(mut self, out: &mut impl io::Write) -> Result<Engine<I>, Error> {
+        let due = self.ship()?;
+        self.emit_due(due, out)?;
+        if self.stats_final {
+            self.session.merged()?;
+            let sample = self.net_sample();
+            let record = proto::stats_record(&self.session.stats(), Some(&sample), true);
+            writeln!(out, "{record}")?;
+            out.flush()?;
+        }
+
+        let deadline = Instant::now() + DRAIN_FLUSH;
+        loop {
+            let mut pending = false;
+            for slot in 0..self.conns.len() {
+                let Some(conn) = self.conns[slot].as_mut() else {
+                    continue;
+                };
+                if conn.has_pending_writes() && !conn.broken {
+                    // Retry regardless of the last WouldBlock: the drain
+                    // no longer polls for write edges.
+                    conn.can_write = true;
+                    flush_conn(conn, CONN_BASE + slot as u64, &self.poller, &self.metrics);
+                    if conn.has_pending_writes() && !conn.broken {
+                        pending = true;
+                    }
+                }
+            }
+            if !pending || Instant::now() >= deadline {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        for slot in 0..self.conns.len() {
+            self.close(slot);
+        }
+        if let Some(path) = &self.unix_path {
+            let _ = std::fs::remove_file(path);
+        }
+        self.session.finish()
+    }
+}

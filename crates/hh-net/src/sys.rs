@@ -1,0 +1,241 @@
+//! Minimal Linux syscall surface for the event loop.
+//!
+//! The container has no crates.io access, so instead of `libc`/`mio` this
+//! module declares the four symbols the server needs — `epoll_create1`,
+//! `epoll_ctl`, `epoll_wait`, `signal` — against the C library every Rust
+//! binary already links. This is the **only** module in the crate allowed
+//! to use `unsafe`; everything it exports is a safe, `io::Result`-shaped
+//! wrapper.
+//!
+//! Scope is deliberately tiny: sockets themselves come from `std::net` /
+//! `std::os::unix::net` (which already expose non-blocking mode and raw
+//! fds); only readiness notification and the drain signal hook need FFI.
+
+#![allow(unsafe_code)]
+
+use std::io;
+use std::os::fd::RawFd;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use std::os::raw::c_int;
+
+/// Readable readiness (`EPOLLIN`).
+pub const EPOLLIN: u32 = 0x001;
+/// Writable readiness (`EPOLLOUT`).
+pub const EPOLLOUT: u32 = 0x004;
+/// Error condition (`EPOLLERR`); always reported, never requested.
+pub const EPOLLERR: u32 = 0x008;
+/// Hang-up (`EPOLLHUP`); always reported, never requested.
+pub const EPOLLHUP: u32 = 0x010;
+/// Peer closed its write side (`EPOLLRDHUP`).
+pub const EPOLLRDHUP: u32 = 0x2000;
+/// Edge-triggered mode (`EPOLLET`).
+pub const EPOLLET: u32 = 1 << 31;
+
+const EPOLL_CTL_ADD: c_int = 1;
+const EPOLL_CTL_DEL: c_int = 2;
+const EPOLL_CTL_MOD: c_int = 3;
+const EPOLL_CLOEXEC: c_int = 0o2000000;
+
+const EINTR: i32 = 4;
+
+/// One readiness record, ABI-compatible with the kernel's
+/// `struct epoll_event` (packed on x86-64, where the struct straddles an
+/// 8-byte boundary; naturally aligned elsewhere).
+#[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+#[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EpollEvent {
+    /// Bitmask of `EPOLL*` readiness flags.
+    pub events: u32,
+    /// Caller-chosen token identifying the registered fd.
+    pub data: u64,
+}
+
+const SOL_SOCKET: c_int = 1;
+const SO_SNDBUF: c_int = 7;
+const SO_RCVBUF: c_int = 8;
+
+extern "C" {
+    fn epoll_create1(flags: c_int) -> c_int;
+    fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+    fn epoll_wait(epfd: c_int, events: *mut EpollEvent, maxevents: c_int, timeout: c_int) -> c_int;
+    fn close(fd: c_int) -> c_int;
+    fn signal(signum: c_int, handler: extern "C" fn(c_int)) -> usize;
+    fn setsockopt(
+        fd: c_int,
+        level: c_int,
+        optname: c_int,
+        optval: *const c_int,
+        optlen: u32,
+    ) -> c_int;
+}
+
+/// Creates a close-on-exec epoll instance and returns its fd.
+pub fn epoll_create() -> io::Result<RawFd> {
+    // SAFETY: no pointers involved; the kernel validates the flag.
+    let fd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+    if fd < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(fd)
+}
+
+fn ctl(epfd: RawFd, op: c_int, fd: RawFd, event: Option<&mut EpollEvent>) -> io::Result<()> {
+    let ptr = match event {
+        Some(e) => e as *mut EpollEvent,
+        None => std::ptr::null_mut(),
+    };
+    // SAFETY: `ptr` is either null (only for DEL, where the kernel ignores
+    // it) or a valid, live `EpollEvent` borrowed for the duration of the
+    // call; both fds are owned by the caller.
+    let rc = unsafe { epoll_ctl(epfd, op, fd, ptr) };
+    if rc < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(())
+}
+
+/// Registers `fd` with interest `events` under `token`.
+pub fn epoll_add(epfd: RawFd, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+    let mut ev = EpollEvent {
+        events,
+        data: token,
+    };
+    ctl(epfd, EPOLL_CTL_ADD, fd, Some(&mut ev))
+}
+
+/// Re-arms `fd` with a new interest mask, keeping its token.
+pub fn epoll_mod(epfd: RawFd, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+    let mut ev = EpollEvent {
+        events,
+        data: token,
+    };
+    ctl(epfd, EPOLL_CTL_MOD, fd, Some(&mut ev))
+}
+
+/// Removes `fd` from the epoll set.
+pub fn epoll_del(epfd: RawFd, fd: RawFd) -> io::Result<()> {
+    ctl(epfd, EPOLL_CTL_DEL, fd, None)
+}
+
+/// Waits up to `timeout_ms` for readiness (−1 blocks indefinitely) and
+/// returns how many records in `buf` were filled. A signal interruption
+/// (`EINTR`) reports as zero events rather than an error, so the caller's
+/// loop re-checks its shutdown flag and carries on.
+pub fn epoll_wait_events(
+    epfd: RawFd,
+    buf: &mut [EpollEvent],
+    timeout_ms: i32,
+) -> io::Result<usize> {
+    // SAFETY: `buf` is a live, exclusively borrowed slice; `maxevents`
+    // never exceeds its length, so the kernel writes only within bounds.
+    let n = unsafe { epoll_wait(epfd, buf.as_mut_ptr(), buf.len() as c_int, timeout_ms) };
+    if n < 0 {
+        let err = io::Error::last_os_error();
+        if err.raw_os_error() == Some(EINTR) {
+            return Ok(0);
+        }
+        return Err(err);
+    }
+    Ok(n as usize)
+}
+
+/// Requests `bytes` of kernel send and receive buffer for a socket. On a
+/// single-core host the defaults (Linux starts `tcp_wmem` at 16 KiB) make
+/// a saturating loopback sender block and context-switch constantly;
+/// deeper buffers let the kernel absorb whole bursts between scheduler
+/// slices. The kernel silently clamps to `net.core.{r,w}mem_max`, so this
+/// is best-effort by design; only a genuinely failed syscall reports.
+pub fn set_socket_buffers(fd: RawFd, bytes: usize) -> io::Result<()> {
+    let val = bytes.min(i32::MAX as usize) as c_int;
+    let len = std::mem::size_of::<c_int>() as u32;
+    for opt in [SO_SNDBUF, SO_RCVBUF] {
+        // SAFETY: `val` is a live c_int on the stack and `optlen` is its
+        // exact size; the kernel only reads `optlen` bytes from it.
+        let rc = unsafe { setsockopt(fd, SOL_SOCKET, opt, &val, len) };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+    }
+    Ok(())
+}
+
+/// Closes a raw fd (the epoll instance; sockets close through their owning
+/// std types).
+pub fn close_fd(fd: RawFd) {
+    // SAFETY: called exactly once per fd by `Poller::drop`, which owns it.
+    unsafe {
+        close(fd);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Drain signal
+// ---------------------------------------------------------------------------
+
+const SIGINT: c_int = 2;
+const SIGTERM: c_int = 15;
+
+static DRAIN: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_drain_signal(_sig: c_int) {
+    // Async-signal-safe: a single atomic store.
+    DRAIN.store(true, Ordering::Release);
+}
+
+/// Installs `SIGTERM`/`SIGINT` handlers that request a graceful drain
+/// (flush → final snapshot → exit) instead of killing the process
+/// mid-epoch. Call once, before [`crate::Server::run`]. Linux `signal(2)`
+/// gives BSD semantics here (no handler reset, but `epoll_wait` is still
+/// interrupted), which is exactly what the loop needs.
+pub fn install_drain_signal_handlers() {
+    // SAFETY: the handler is async-signal-safe (one atomic store) and has
+    // static lifetime; `signal` itself only swaps a function pointer.
+    unsafe {
+        signal(SIGTERM, on_drain_signal);
+        signal(SIGINT, on_drain_signal);
+    }
+}
+
+/// Whether a drain was requested by signal or [`request_drain`].
+pub fn drain_requested() -> bool {
+    DRAIN.load(Ordering::Acquire)
+}
+
+/// Requests a graceful drain programmatically (what the signal handler
+/// does; used by tests and embedders that manage their own signals).
+pub fn request_drain() {
+    DRAIN.store(true, Ordering::Release);
+}
+
+/// Clears a pending drain request (between consecutive [`crate::Server`]
+/// runs in one process, e.g. the test suite).
+pub fn reset_drain() {
+    DRAIN.store(false, Ordering::Release);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoll_lifecycle_and_wait_timeout() {
+        let ep = epoll_create().expect("epoll_create1");
+        let mut buf = [EpollEvent::default(); 4];
+        // Nothing registered: an immediate timeout returns zero events.
+        let n = epoll_wait_events(ep, &mut buf, 0).expect("epoll_wait");
+        assert_eq!(n, 0);
+        close_fd(ep);
+    }
+
+    #[test]
+    fn drain_flag_round_trips() {
+        reset_drain();
+        assert!(!drain_requested());
+        request_drain();
+        assert!(drain_requested());
+        reset_drain();
+        assert!(!drain_requested());
+    }
+}

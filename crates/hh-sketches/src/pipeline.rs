@@ -140,6 +140,13 @@ impl PipelineConfig {
     /// of available parallelism, hash-partitioned routing,
     /// order-preserving ingest, 8192-item batches, 4 queued batches per
     /// shard.
+    ///
+    /// # Invariants
+    ///
+    /// `shards`, `batch_size` and `queue_depth` must all be ≥ 1.
+    /// [`PipelineConfig::spawn`] reports a violation as a typed
+    /// [`Error::InvalidConfig`] — it never panics and never silently
+    /// clamps a degenerate value.
     pub fn new(engine: EngineConfig) -> Self {
         PipelineConfig {
             engine,
@@ -642,6 +649,22 @@ impl<I: EngineItem> Pipeline<I> {
         &self.metrics.registry
     }
 
+    /// Whether any shard's bounded channel is currently full — the next
+    /// [`Pipeline::send`] routed to it would block the producer.
+    ///
+    /// A live, advisory sample (workers drain concurrently, so saturation
+    /// can clear a microsecond later): event-driven producers like
+    /// `hh-net` poll it to *pause* pulling from upstream sources instead
+    /// of parking the whole event loop inside a blocking `send`, turning
+    /// channel backpressure into source backpressure.
+    pub fn saturated(&self) -> bool {
+        let cap = self.config.queue as i64;
+        self.metrics
+            .shards
+            .iter()
+            .any(|m| m.queue_depth.get() >= cap)
+    }
+
     /// Routes one arrival. Blocks when the destination shard's queue is
     /// full (backpressure). Fails with [`Error::Pipeline`] if a shard
     /// worker has died.
@@ -893,6 +916,23 @@ mod tests {
         assert!(ss_config(8).batch_size(0).spawn::<u64>().is_err());
         assert!(ss_config(8).queue_depth(0).spawn::<u64>().is_err());
         assert!(ss_config(0).shards(2).spawn::<u64>().is_err()); // engine config error
+    }
+
+    #[test]
+    fn saturated_is_false_at_quiescent_points() {
+        let mut p = ss_config(64)
+            .shards(2)
+            .batch_size(4)
+            .queue_depth(1)
+            .spawn::<u64>()
+            .unwrap();
+        assert!(!p.saturated(), "fresh pipeline has empty queues");
+        p.send_batch(&stream(1_000, 97)).unwrap();
+        // An epoch boundary drains every queue; the advisory sample must
+        // read empty again.
+        p.merged().unwrap();
+        assert!(!p.saturated(), "queues drained at the epoch boundary");
+        p.finish().unwrap();
     }
 
     #[test]

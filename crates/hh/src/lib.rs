@@ -17,6 +17,10 @@
 //! * [`obs`] — zero-dependency runtime telemetry (counters, gauges,
 //!   log-bucketed histograms, Prometheus/JSON exposition) behind
 //!   [`pipeline::Pipeline::stats`] and the CLI's `serve --stats-every`;
+//! * [`net`] — the network-facing ingest/query server over [`pipeline`]:
+//!   an epoll event loop multiplexing newline-delimited writers onto the
+//!   shard channels with real backpressure, in-band `?topk`/`?stats`/
+//!   `?snapshot` queries, and graceful drain/resume (`hh serve --listen`);
 //! * [`sketches`] — Count-Min and Count-Sketch baselines;
 //! * [`streamgen`] — Zipfian / adversarial / weighted workload generators
 //!   with exact ground truth;
@@ -67,6 +71,7 @@
 
 pub use hh_analysis as analysis;
 pub use hh_counters as counters;
+pub use hh_net as net;
 pub use hh_obs as obs;
 pub use hh_sketches as sketches;
 pub use hh_streamgen as streamgen;
@@ -82,6 +87,7 @@ pub mod prelude {
         Bias, Confidence, Error, FrequencyEstimator, Frequent, FrequentR, LossyCounting,
         SpaceSaving, SpaceSavingR, TailConstants, WeightedFrequencyEstimator,
     };
+    pub use hh_net::{NetOptions, ServeOptions, ServeSession, Server};
     pub use hh_sketches::engine::{
         AlgoKind, CapacitySpec, Engine, EngineConfig, Report, Snapshot, WeightedEngine,
     };

@@ -1,0 +1,97 @@
+//! Network serving: run the `hh::net` server on a loopback port, stream a
+//! synthetic Zipf trace to it from concurrent writer connections, and ask
+//! it questions over the same socket protocol `hh client` speaks
+//! (docs/PROTOCOL.md).
+//!
+//! This is the in-process twin of:
+//!
+//! ```text
+//! hh serve --listen 127.0.0.1:0 --addr-file addr.txt --json &
+//! hh gen --zipf 2000,100000,1.2 | hh client --connect $(cat addr.txt) \
+//!     --query 'topk 5' --query 'stats' --shutdown
+//! ```
+//!
+//! Run with: `cargo run -p hh --example serve_client`
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{Shutdown, TcpStream};
+use std::thread;
+
+use hh::prelude::*;
+use hh::streamgen::zipf::{stream_from_counts, StreamOrder};
+
+fn main() {
+    // A server over 2 shards with 256 counters per shard engine.
+    let serve = ServeOptions::new(EngineConfig::new(AlgoKind::SpaceSaving).counters(256))
+        .shards(Some(2))
+        .top_k(5);
+    let net = NetOptions::new().tcp("127.0.0.1:0");
+    let server: Server<u64> = Server::bind(serve, net).expect("bind loopback");
+    let addr = server.tcp_addr().expect("tcp address");
+    println!("server listening on {addr}");
+
+    let running = thread::spawn(move || {
+        let mut cadence_out = Vec::new();
+        server.run(&mut cadence_out).expect("server run")
+    });
+
+    // Two writers, each streaming half of a 100k-item Zipf trace. The
+    // paper's Theorem 11 merge makes the partition irrelevant: the
+    // answers below match a single engine over the whole trace.
+    let trace = stream_from_counts(
+        &hh::streamgen::exact_zipf_counts(2_000, 100_000, 1.2),
+        StreamOrder::Shuffled(7),
+    );
+    let mid = trace.len() / 2;
+    let halves = [trace[..mid].to_vec(), trace[mid..].to_vec()];
+    let writers: Vec<_> = halves
+        .into_iter()
+        .map(|half| {
+            thread::spawn(move || {
+                let mut conn = TcpStream::connect(addr).expect("connect writer");
+                let mut buf = String::new();
+                for item in half {
+                    buf.push_str(&item.to_string());
+                    buf.push('\n');
+                }
+                conn.write_all(buf.as_bytes()).expect("stream items");
+                conn.shutdown(Shutdown::Write).expect("half-close");
+                // EOF back means the server ingested everything we sent.
+                std::io::copy(&mut conn, &mut std::io::sink()).expect("await close");
+            })
+        })
+        .collect();
+    for w in writers {
+        w.join().expect("writer");
+    }
+
+    // A query client on its own connection: every answer is one NDJSON
+    // line computed at an epoch boundary (exact counters).
+    let mut conn = TcpStream::connect(addr).expect("connect query client");
+    let mut reader = BufReader::new(conn.try_clone().expect("clone"));
+    let mut ask = |q: &str| -> String {
+        writeln!(conn, "{q}").expect("send query");
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read response");
+        line.trim().to_string()
+    };
+
+    println!("?topk 5    -> {}", ask("?topk 5"));
+    println!("?stats     -> {}", ask("?stats"));
+    println!("?shutdown  -> {}", ask("?shutdown"));
+
+    // The drained engine is the merged summary over both connections.
+    let merged = running.join().expect("server thread");
+    println!(
+        "\ndrained: {} items merged server-side",
+        merged.stream_len()
+    );
+    let report = merged.report();
+    for entry in report.top_k(5) {
+        println!(
+            "  item {:>4}  count {:>6}  certified [{}..={}]",
+            entry.item, entry.estimate, entry.lower, entry.upper
+        );
+    }
+    assert_eq!(merged.stream_len(), 100_000);
+}

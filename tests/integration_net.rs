@@ -1,0 +1,301 @@
+//! Loopback end-to-end tests for `hh::net`: a real [`Server`] on an
+//! ephemeral TCP port (and a Unix socket), concurrent writers speaking the
+//! docs/PROTOCOL.md line protocol, in-band queries, and the full
+//! drain -> snapshot -> resume cycle.
+//!
+//! The load-bearing claim is Theorem 11's merge soundness end to end:
+//! items partitioned across connections and shards produce the same
+//! answers as one engine ingesting the union stream (exactly so while the
+//! summary has headroom).
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::sync::Mutex;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use hh::engine::{AlgoKind, Engine, EngineConfig};
+use hh::net::{sys, NetOptions, ServeOptions, Server};
+
+/// The drain flag is process-global (it models SIGTERM), so server
+/// lifecycles in this binary must not overlap.
+static SERVER_LOCK: Mutex<()> = Mutex::new(());
+
+fn config() -> EngineConfig {
+    // Plenty of headroom for the handful of distinct items below: every
+    // counter is exact, so cross-process comparisons can use equality.
+    EngineConfig::new(AlgoKind::SpaceSaving).counters(64)
+}
+
+fn spawn_server(
+    serve: ServeOptions,
+    net: NetOptions,
+) -> (SocketAddr, thread::JoinHandle<Engine<String>>) {
+    let server: Server<String> = Server::bind(serve, net).expect("bind");
+    let addr = server.tcp_addr().expect("tcp listener");
+    let handle = thread::spawn(move || {
+        let mut out = Vec::new();
+        server.run(&mut out).expect("server run")
+    });
+    (addr, handle)
+}
+
+/// Sends one query line and reads one NDJSON response line.
+fn query(writer: &mut TcpStream, reader: &mut BufReader<TcpStream>, q: &str) -> serde_json::Value {
+    writeln!(writer, "{q}").expect("write query");
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read response");
+    serde_json::from_str(line.trim()).unwrap_or_else(|e| panic!("bad NDJSON {line:?}: {e}"))
+}
+
+/// Polls `?stats` until the pipeline has routed `expect` items (the
+/// writers' batches are only visible once the event loop has read them).
+fn await_routed(writer: &mut TcpStream, reader: &mut BufReader<TcpStream>, expect: u64) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let v = query(writer, reader, "?stats");
+        assert_eq!(v["v"], 1, "{v:?}");
+        assert_eq!(v["stats"], true, "{v:?}");
+        if v["routed"].as_u64() == Some(expect) {
+            // The stats record doubles as the net-telemetry surface.
+            assert!(v["net"]["accepted"].as_u64().unwrap() >= 1, "{v:?}");
+            assert!(v["net"]["lines"].as_u64().unwrap() >= expect, "{v:?}");
+            return;
+        }
+        assert!(Instant::now() < deadline, "routed stuck at {v:?}");
+        thread::sleep(Duration::from_millis(20));
+    }
+}
+
+const WRITERS: usize = 4;
+const PER_WRITER: usize = 500;
+const DISTINCT: usize = 7;
+
+/// One writer's deterministic slice of the stream.
+fn writer_items() -> Vec<String> {
+    (0..PER_WRITER)
+        .map(|j| format!("w{}", j % DISTINCT))
+        .collect()
+}
+
+#[test]
+fn loopback_ingest_matches_single_engine_and_resumes() {
+    let _guard = SERVER_LOCK.lock().unwrap();
+    sys::reset_drain();
+
+    let dir = std::env::temp_dir().join(format!("hh-net-e2e-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let snap = dir.join("drained.json");
+    let snap_path = snap.to_str().unwrap().to_string();
+
+    let serve = ServeOptions::new(config())
+        .shards(Some(2))
+        .top_k(DISTINCT)
+        .snapshot_out(Some(snap_path.clone()));
+    let net = NetOptions::new().tcp("127.0.0.1:0").idle_timeout_ms(60_000);
+    let (addr, server) = spawn_server(serve, net);
+
+    // N concurrent writers, each streaming its slice and half-closing.
+    let writers: Vec<_> = (0..WRITERS)
+        .map(|_| {
+            thread::spawn(move || {
+                let mut conn = TcpStream::connect(addr).expect("connect writer");
+                for item in writer_items() {
+                    writeln!(conn, "{item}").expect("write item");
+                }
+                conn.shutdown(Shutdown::Write).expect("half-close");
+                // Wait for the server to finish and close our connection,
+                // so every batch is read before the assertions below.
+                let mut rest = Vec::new();
+                conn.read_to_end(&mut rest).expect("drain responses");
+            })
+        })
+        .collect();
+    for w in writers {
+        w.join().expect("writer thread");
+    }
+
+    let total = (WRITERS * PER_WRITER) as u64;
+    let mut qconn = TcpStream::connect(addr).expect("connect query client");
+    let mut qreader = BufReader::new(qconn.try_clone().unwrap());
+    await_routed(&mut qconn, &mut qreader, total);
+
+    // Liveness check plus the versioned envelope.
+    let pong = query(&mut qconn, &mut qreader, "?ping");
+    assert_eq!(pong["v"], 1);
+    assert_eq!(pong["pong"], true);
+
+    // The merged report over all connections/shards equals one engine
+    // ingesting the union stream (exact, thanks to counter headroom).
+    let mut oracle: Engine<String> = config().build().unwrap();
+    for _ in 0..WRITERS {
+        oracle.update_batch(&writer_items());
+    }
+    let top = query(&mut qconn, &mut qreader, &format!("?topk {DISTINCT}"));
+    assert_eq!(top["v"], 1);
+    assert_eq!(top["stream_len"].as_u64(), Some(total));
+    let rows = top["top"].as_array().expect("top array");
+    assert_eq!(rows.len(), DISTINCT);
+    for row in rows {
+        let item = row["item"].as_str().unwrap().to_string();
+        assert_eq!(
+            row["count"].as_u64().unwrap(),
+            oracle.estimate(&item),
+            "{row:?}"
+        );
+    }
+
+    // A ?snapshot response rehydrates to the same summary.
+    let snap_record = query(&mut qconn, &mut qreader, "?snapshot");
+    assert_eq!(snap_record["v"], 1);
+    let inline: Engine<String> =
+        Engine::from_json(&serde_json::to_string(&snap_record["snapshot"]).unwrap()).unwrap();
+    assert_eq!(inline.stream_len(), total);
+
+    // Graceful drain: acknowledged in-band, then the server flushes,
+    // writes --snapshot-out, and returns the merged engine.
+    let ack = query(&mut qconn, &mut qreader, "?shutdown");
+    assert_eq!(ack["shutdown"], true);
+    assert_eq!(ack["routed"].as_u64(), Some(total));
+    let drained = server.join().expect("server thread");
+    assert_eq!(drained.stream_len(), total);
+    for d in 0..DISTINCT {
+        let item = format!("w{d}");
+        assert_eq!(drained.estimate(&item), oracle.estimate(&item));
+    }
+
+    // Resume: a second server folds the snapshot into every answer and
+    // keeps counting from where the first left off.
+    sys::reset_drain();
+    let serve2 = ServeOptions::new(config())
+        .shards(Some(2))
+        .top_k(3)
+        .snapshot_in(Some(snap_path));
+    let net2 = NetOptions::new().tcp("127.0.0.1:0").idle_timeout_ms(60_000);
+    let (addr2, server2) = spawn_server(serve2, net2);
+
+    let mut conn = TcpStream::connect(addr2).expect("connect resume client");
+    let mut reader = BufReader::new(conn.try_clone().unwrap());
+    for _ in 0..100 {
+        writeln!(conn, "extra").unwrap();
+    }
+    // Same connection, so the ingest lines are processed before the query.
+    let top = query(&mut conn, &mut reader, "?topk 3");
+    assert_eq!(top["stream_len"].as_u64(), Some(total + 100));
+    let ack = query(&mut conn, &mut reader, "?shutdown");
+    assert_eq!(ack["shutdown"], true);
+    let resumed = server2.join().expect("resumed server thread");
+    assert_eq!(resumed.stream_len(), total + 100);
+    assert_eq!(resumed.estimate(&"extra".to_string()), 100);
+    assert_eq!(
+        resumed.estimate(&"w0".to_string()),
+        oracle.estimate(&"w0".to_string())
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn malformed_lines_are_rejected_without_killing_the_connection() {
+    let _guard = SERVER_LOCK.lock().unwrap();
+    sys::reset_drain();
+
+    let serve = ServeOptions::new(config()).shards(Some(1));
+    let net = NetOptions::new().tcp("127.0.0.1:0").idle_timeout_ms(60_000);
+    let (addr, server) = spawn_server(serve, net);
+
+    let mut conn = TcpStream::connect(addr).expect("connect");
+    let mut reader = BufReader::new(conn.try_clone().unwrap());
+
+    conn.write_all(b"good\n").unwrap();
+    // Three fields and a zero count: both rejected with error records.
+    conn.write_all(b"a\tb\tc\n").unwrap();
+    conn.write_all(b"zero\t0\n").unwrap();
+    conn.write_all(b"good\t2\n").unwrap();
+
+    let err1 = query(&mut conn, &mut reader, "?ping");
+    // The two error records were queued before the pong.
+    assert!(err1["error"].as_str().is_some(), "{err1:?}");
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    let err2: serde_json::Value = serde_json::from_str(line.trim()).unwrap();
+    assert!(err2["error"].as_str().is_some(), "{err2:?}");
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    let pong: serde_json::Value = serde_json::from_str(line.trim()).unwrap();
+    assert_eq!(pong["pong"], true);
+
+    // Valid lines on the same connection still counted.
+    let top = query(&mut conn, &mut reader, "?topk 1");
+    assert_eq!(top["top"][0]["item"], "good");
+    assert_eq!(top["top"][0]["count"], 3);
+
+    // Malformed traffic shows up in the stats record's net section.
+    let stats = query(&mut conn, &mut reader, "?stats");
+    assert_eq!(stats["net"]["malformed"].as_u64(), Some(2), "{stats:?}");
+
+    query(&mut conn, &mut reader, "?shutdown");
+    let engine = server.join().expect("server thread");
+    assert_eq!(engine.stream_len(), 3);
+}
+
+#[test]
+fn unix_socket_listener_speaks_the_same_protocol() {
+    let _guard = SERVER_LOCK.lock().unwrap();
+    sys::reset_drain();
+
+    let path = std::env::temp_dir().join(format!("hh-net-uds-{}.sock", std::process::id()));
+    let path_str = path.to_str().unwrap().to_string();
+
+    let serve = ServeOptions::new(config()).shards(Some(1));
+    let net = NetOptions::new()
+        .unix(path_str.clone())
+        .idle_timeout_ms(60_000);
+    let server: Server<String> = Server::bind(serve, net).expect("bind unix");
+    assert!(server.tcp_addr().is_none());
+    let handle = thread::spawn(move || {
+        let mut out = Vec::new();
+        server.run(&mut out).expect("server run")
+    });
+
+    let mut conn = std::os::unix::net::UnixStream::connect(&path).expect("connect unix");
+    let mut reader = BufReader::new(conn.try_clone().unwrap());
+    conn.write_all(b"u\nu\nv\n?topk 1\n").unwrap();
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    let top: serde_json::Value = serde_json::from_str(line.trim()).unwrap();
+    assert_eq!(top["top"][0]["item"], "u");
+    assert_eq!(top["top"][0]["count"], 2);
+
+    conn.write_all(b"?shutdown\n").unwrap();
+    let engine = handle.join().expect("server thread");
+    assert_eq!(engine.stream_len(), 3);
+    assert!(!path.exists(), "socket file cleaned up on drain");
+}
+
+#[test]
+fn idle_connections_are_reaped() {
+    let _guard = SERVER_LOCK.lock().unwrap();
+    sys::reset_drain();
+
+    let serve = ServeOptions::new(config()).shards(Some(1));
+    let net = NetOptions::new().tcp("127.0.0.1:0").idle_timeout_ms(100);
+    let (addr, server) = spawn_server(serve, net);
+
+    let mut idle = TcpStream::connect(addr).expect("connect idle");
+    idle.set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut buf = [0u8; 16];
+    // The sweep closes us without a byte ever flowing: read returns EOF.
+    let n = idle.read(&mut buf).expect("read after idle close");
+    assert_eq!(n, 0, "idle connection reaped with EOF");
+
+    // A fresh, active connection still works and sees the reap count.
+    let mut conn = TcpStream::connect(addr).expect("connect active");
+    let mut reader = BufReader::new(conn.try_clone().unwrap());
+    let stats = query(&mut conn, &mut reader, "?stats");
+    assert_eq!(stats["net"]["idle_timeouts"].as_u64(), Some(1), "{stats:?}");
+
+    query(&mut conn, &mut reader, "?shutdown");
+    server.join().expect("server thread");
+}
