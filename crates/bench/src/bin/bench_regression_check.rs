@@ -37,6 +37,8 @@
 //!   machine; the tolerance absorbs scheduler jitter, which hits the
 //!   multi-thread server lifecycle harder than the steady pipeline.
 
+#![deny(unsafe_code)]
+
 use std::io::{Read as _, Write as _};
 use std::time::Instant;
 
@@ -285,6 +287,7 @@ fn measure_server_ingest(stream: &[Item]) -> (f64, f64) {
         let net = NetOptions::new().tcp("127.0.0.1:0");
         let server: Server<Item> = Server::bind(serve, net).expect("bind loopback");
         let addr = server.tcp_addr().expect("tcp address");
+        // lint:allow(spawn-confinement) the paired server/pipeline gate must run a real Server::run loop concurrently with the timed client; there is no pool-shaped way to host a blocking event loop
         let handle = std::thread::spawn(move || {
             let mut out = Vec::new();
             server.run(&mut out).expect("server run")

@@ -1,4 +1,7 @@
 //! Experiment binary; pass `--quick` for a reduced workload.
+
+#![deny(unsafe_code)]
+
 fn main() {
     bench::exp::space_optimality::run(bench::Scale::from_args()).finish();
 }

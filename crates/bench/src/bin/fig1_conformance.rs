@@ -1,4 +1,7 @@
 //! Experiment binary; pass `--quick` for a reduced workload.
+
+#![deny(unsafe_code)]
+
 fn main() {
     bench::exp::fig1_conformance::run(bench::Scale::from_args()).finish();
 }

@@ -10,6 +10,8 @@
 //! The experiments measure the quantity each bound constrains and print
 //! observed-vs-bound tables; see DESIGN.md for the complete index.
 
+#![deny(unsafe_code)]
+
 pub mod exp;
 pub mod report;
 

@@ -27,6 +27,8 @@
 //! Add `--json` for machine-readable output. Items are arbitrary
 //! whitespace-free strings.
 
+#![deny(unsafe_code)]
+
 use std::fmt::Write as _;
 use std::io::{BufRead, BufReader, Read, Write as _};
 use std::process::ExitCode;

@@ -171,6 +171,7 @@ impl<I: Eq + Hash + Clone> Frequent<I> {
             let min_val = self
                 .summary
                 .min_count()
+                // lint:allow(panic-freedom) unreachable: this branch runs only when the summary holds m counters, so a minimum exists
                 .expect("table is full, hence non-empty")
                 - self.offset;
             let t = remaining.min(min_val);

@@ -309,6 +309,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)] // >=10k-op loop: too slow interpreted
     fn error_within_epsilon_n() {
         let stream: Vec<u64> = (0..10_000).map(|i| (i % 97) + 1).collect();
         let eps = 0.01;

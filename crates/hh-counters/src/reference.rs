@@ -165,6 +165,7 @@ impl<I: Ord + Clone + Eq + Hash> FrequencyEstimator<I> for ReferenceSpaceSaving<
                 .iter()
                 .min_by_key(|&(_, &(c, s))| (c, s))
                 .map(|(j, &(c, _))| (j.clone(), c))
+                // lint:allow(panic-freedom) unreachable: this branch runs only when the table holds m counters, so a minimum exists
                 .expect("table is full, hence non-empty");
             self.t.remove(&j);
             self.t.insert(item, (min_count + 1, seq));

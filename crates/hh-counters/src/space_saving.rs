@@ -211,6 +211,7 @@ impl<I: Eq + Hash + Clone> SpaceSaving<I> {
             self.summary.insert(item.clone(), count, 0);
             return;
         }
+        // lint:allow(panic-freedom) unreachable: this branch runs only when the summary is at capacity m >= 1, so eviction always finds a minimum
         let (_, min_count, _) = self.summary.evict_min().expect("full table is non-empty");
         self.summary
             .insert(item.clone(), min_count + count, min_count);
@@ -352,6 +353,7 @@ impl<I: Eq + Hash + Clone + Ord> HeapSpaceSaving<I> {
     /// (the lazy repair step).
     fn evict_min(&mut self) -> (I, u64, u64) {
         loop {
+            // lint:allow(panic-freedom) unreachable: the lazy heap holds at least one entry per live item and evict_min is called only on a full table
             let Reverse((count, _, item)) = self.heap.pop().expect("table non-empty");
             match self.counts.get(&item) {
                 Some(&(cur, err)) if cur == count => {
@@ -575,6 +577,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)] // >=10k-op loop: too slow interpreted
     fn lazy_heap_stays_at_one_entry_per_item() {
         let mut heap = HeapSpaceSaving::new(4);
         for i in 0..10_000u64 {

@@ -233,6 +233,7 @@ impl<I: Eq + Hash + Clone> StreamSummary<I> {
             self.elink[idx as usize] = DETACHED;
             idx
         } else {
+            // lint:allow(lossy-cast) in-range: entry slots are bounded by the summary capacity m, and the SoA link records are 32-bit by design — a summary would exhaust memory long before 2^32 entries
             let idx = self.items.len() as u32;
             self.items.push(Some(item));
             self.eerr.push(err);
@@ -242,6 +243,7 @@ impl<I: Eq + Hash + Clone> StreamSummary<I> {
     }
 
     fn free_entry(&mut self, e: u32) -> I {
+        // lint:allow(panic-freedom) unreachable: callers pass entries reached via live bucket links, and linked entries always hold their item (SoA invariant)
         let item = self.items[e as usize].take().expect("freeing a live entry");
         self.elink[e as usize] = DETACHED;
         self.free_entries.push(e);
@@ -254,6 +256,7 @@ impl<I: Eq + Hash + Clone> StreamSummary<I> {
             self.bmeta[idx as usize] = EMPTY_BUCKET;
             idx
         } else {
+            // lint:allow(lossy-cast) in-range: live buckets never exceed live entries, which are bounded by the u32-wide SoA design (see alloc_entry)
             let idx = self.bcount.len() as u32;
             self.bcount.push(count);
             self.bmeta.push(EMPTY_BUCKET);
@@ -509,6 +512,7 @@ impl<I: Eq + Hash + Clone> StreamSummary<I> {
             let mut e = self.bmeta[b as usize].back;
             while e != NIL {
                 out.push((
+                    // lint:allow(panic-freedom) unreachable: the walk follows live bucket links, and linked entries always hold their item (SoA invariant)
                     self.items[e as usize].clone().expect("live entry"),
                     count,
                     self.eerr[e as usize],
@@ -545,6 +549,7 @@ impl<I: Eq + Hash + Clone> StreamSummary<I> {
             let mut e = self.bmeta[b as usize].front;
             while e != NIL {
                 f(
+                    // lint:allow(panic-freedom) unreachable: the walk follows live bucket links, and linked entries always hold their item (SoA invariant)
                     self.items[e as usize].as_ref().expect("live entry"),
                     count,
                     self.eerr[e as usize],
@@ -585,6 +590,7 @@ impl<I: Eq + Hash + Clone> StreamSummary<I> {
                 assert_eq!(self.elink[e as usize].bucket, b, "entry bucket pointer");
                 let item = self.items[e as usize]
                     .as_ref()
+                    // lint:allow(panic-freedom) intentional: validate() is a corruption checker whose contract is to panic on broken invariants (test/debug support)
                     .expect("live entry has item");
                 assert_eq!(self.find(item), Some(e), "index points at entry");
                 n += 1;

@@ -650,6 +650,7 @@ impl<I: ServeItem> Server<I> {
                 Err(e) => (e.valid_up_to(), e.error_len()),
             };
             let text =
+                // lint:allow(panic-freedom) unreachable: valid_len comes from Utf8Error::valid_up_to on this very slice, so the prefix re-validates by construction
                 std::str::from_utf8(&data[start..start + valid_len]).expect("validated prefix");
             let tb = text.as_bytes();
             let mut consumed = 0usize;

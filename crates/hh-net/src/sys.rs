@@ -181,6 +181,7 @@ static DRAIN: AtomicBool = AtomicBool::new(false);
 
 extern "C" fn on_drain_signal(_sig: c_int) {
     // Async-signal-safe: a single atomic store.
+    // lint:allow(atomic-ordering) Release pairs with the Acquire load in drain_requested(): work the handler observed before the signal is visible to the event loop once it sees the flag
     DRAIN.store(true, Ordering::Release);
 }
 
@@ -200,18 +201,21 @@ pub fn install_drain_signal_handlers() {
 
 /// Whether a drain was requested by signal or [`request_drain`].
 pub fn drain_requested() -> bool {
+    // lint:allow(atomic-ordering) Acquire pairs with the Release stores above: the event loop must see everything that happened before the drain request before it starts flushing
     DRAIN.load(Ordering::Acquire)
 }
 
 /// Requests a graceful drain programmatically (what the signal handler
 /// does; used by tests and embedders that manage their own signals).
 pub fn request_drain() {
+    // lint:allow(atomic-ordering) Release pairs with the Acquire in drain_requested(), same protocol as the signal handler
     DRAIN.store(true, Ordering::Release);
 }
 
 /// Clears a pending drain request (between consecutive [`crate::Server`]
 /// runs in one process, e.g. the test suite).
 pub fn reset_drain() {
+    // lint:allow(atomic-ordering) Release keeps the clear ordered after any prior drain's teardown for the next run's Acquire load
     DRAIN.store(false, Ordering::Release);
 }
 

@@ -229,6 +229,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)] // >=10k-op loop: too slow interpreted
     fn quantiles_within_relative_error() {
         let h = Histogram::new();
         // 1..=10_000 uniformly: p50 ≈ 5000, p90 ≈ 9000, p99 ≈ 9900
@@ -271,6 +272,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)] // >=10k-op loop: too slow interpreted
     fn concurrent_recording_loses_nothing() {
         let h = Histogram::new();
         std::thread::scope(|scope| {

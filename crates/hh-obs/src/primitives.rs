@@ -122,6 +122,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)] // >=10k-op loop: too slow interpreted
     fn concurrent_increments_are_not_lost() {
         let c = Counter::new();
         let g = Gauge::new();

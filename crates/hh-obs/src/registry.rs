@@ -73,7 +73,7 @@ impl Registry {
         );
         self.entries
             .lock()
-            .expect("registry lock poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .push(Entry {
                 name: name.to_string(),
                 labels: labels
@@ -145,7 +145,10 @@ impl Registry {
 
     /// Number of registered time series.
     pub fn len(&self) -> usize {
-        self.entries.lock().expect("registry lock poisoned").len()
+        self.entries
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .len()
     }
 
     /// Whether nothing has been registered yet.
@@ -160,7 +163,10 @@ impl Registry {
     /// `_count` and a `_max` gauge). `# HELP` / `# TYPE` headers are
     /// emitted once per family, at its first occurrence.
     pub fn to_prometheus(&self) -> String {
-        let entries = self.entries.lock().expect("registry lock poisoned");
+        let entries = self
+            .entries
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         let mut out = String::new();
         let mut seen: Vec<&str> = Vec::new();
         for e in entries.iter() {
@@ -219,7 +225,10 @@ impl Registry {
     /// `"sum"`, `"max"`, `"p50"`, `"p90"`, `"p99"`. Hand-rolled (this
     /// crate has no dependencies) but valid JSON, including escaping.
     pub fn to_json(&self) -> String {
-        let entries = self.entries.lock().expect("registry lock poisoned");
+        let entries = self
+            .entries
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         let mut out = String::from("{\"metrics\":[");
         for (i, e) in entries.iter().enumerate() {
             if i > 0 {

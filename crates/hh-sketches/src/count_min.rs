@@ -206,6 +206,7 @@ impl<I: Eq + Hash + Clone> CountMin<I> {
                     .iter()
                     .map(|&idx| self.table[idx])
                     .min()
+                    // lint:allow(panic-freedom) unreachable: constructors reject depth 0, so every estimate scans at least one row
                     .expect("at least one row");
                 let target = est + count;
                 for &idx in &self.idx_scratch {
@@ -273,6 +274,7 @@ impl<I: Eq + Hash + Clone> FrequencyEstimator<I> for CountMin<I> {
         (0..self.rows.depth())
             .map(|r| self.table[self.cell_index(r, key)])
             .min()
+            // lint:allow(panic-freedom) unreachable: constructors reject depth 0, so every estimate scans at least one row
             .expect("at least one row")
     }
 

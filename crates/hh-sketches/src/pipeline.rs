@@ -857,6 +857,7 @@ impl<I: EngineItem> Pipeline<I> {
     pub fn finish(self) -> Result<Engine<I>, Error> {
         let engines = self.finish_shards()?;
         let mut engines = engines.into_iter();
+        // lint:allow(panic-freedom) unreachable: PipelineConfig::spawn rejects shards == 0, and finish_shards returns exactly one engine per shard
         let mut merged = engines.next().expect("spawn enforces at least one shard");
         for engine in engines {
             merged.merge(&engine)?;

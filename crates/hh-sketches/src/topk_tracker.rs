@@ -131,6 +131,7 @@ impl<I: Eq + Hash + Clone + Ord, S: FrequencyEstimator<I>> SketchHeavyHitters<I,
             .iter()
             .min_by(|a, b| a.1.cmp(b.1).then_with(|| b.0.cmp(a.0)))
             .map(|(i, &e)| (i.clone(), e))
+            // lint:allow(panic-freedom) unreachable: this branch runs only when the tracker is at capacity, and constructors reject cap == 0
             .expect("cap >= 1");
         if est > weakest_est {
             self.candidates.remove(&weakest);

@@ -125,6 +125,11 @@ impl WeightedStream {
         let mut items = stream_from_counts(&counts, StreamOrder::BlocksDescending);
         let mut rng = StdRng::seed_from_u64(seed);
         items.shuffle(&mut rng);
+        assert!(
+            mu.is_finite() && sigma.is_finite() && sigma >= 0.0,
+            "packet_trace requires finite mu and sigma >= 0"
+        );
+        // lint:allow(panic-freedom) unreachable: the assert above covers LogNormal::new's exact failure domain
         let sizes = LogNormal::new(mu, sigma).expect("valid lognormal params");
         let updates = items
             .into_iter()

@@ -153,11 +153,7 @@ impl<I: Eq + Hash + Clone + Ord> ExactWeightedCounter<I> {
     /// ascending item.
     pub fn sorted_weights(&self) -> Vec<(I, f64)> {
         let mut v: Vec<(I, f64)> = self.weights.iter().map(|(i, &w)| (i.clone(), w)).collect();
-        v.sort_unstable_by(|a, b| {
-            b.1.partial_cmp(&a.1)
-                .expect("weights are finite")
-                .then_with(|| a.0.cmp(&b.0))
-        });
+        v.sort_unstable_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         v
     }
 

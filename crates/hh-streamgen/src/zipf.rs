@@ -50,7 +50,7 @@ pub fn exact_zipf_counts(n: usize, total: u64, alpha: f64) -> Vec<u64> {
     order.sort_unstable_by(|&a, &b| {
         let ra = ideal[a] - ideal[a].floor();
         let rb = ideal[b] - ideal[b].floor();
-        rb.partial_cmp(&ra).expect("finite").then(a.cmp(&b))
+        rb.total_cmp(&ra).then(a.cmp(&b))
     });
     let mut idx = 0;
     while leftover > 0 {
@@ -143,9 +143,13 @@ impl ZipfSampler {
     /// Creates a sampler over `n` items with exponent `alpha > 0`.
     pub fn new(n: usize, alpha: f64, seed: u64) -> Self {
         assert!(n > 0, "need at least one item");
-        assert!(alpha > 0.0, "rand_distr::Zipf requires alpha > 0");
+        assert!(
+            alpha.is_finite() && alpha > 0.0,
+            "rand_distr::Zipf requires finite alpha > 0"
+        );
         ZipfSampler {
             rng: StdRng::seed_from_u64(seed),
+            // lint:allow(panic-freedom) unreachable: the asserts above cover Zipf::new's exact failure domain (n >= 1, finite alpha > 0)
             dist: Zipf::new(n as u64, alpha).expect("valid Zipf parameters"),
         }
     }

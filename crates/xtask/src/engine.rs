@@ -1,0 +1,152 @@
+//! Orchestration: file discovery, per-file lint runs, deterministic
+//! diagnostic ordering.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::lexer::{self, TokenKind};
+use crate::manifest;
+use crate::rules::{self, Diagnostic, FileCtx};
+use crate::scope;
+use crate::waivers;
+
+/// Result of linting a tree: diagnostics plus coverage counters for the
+/// summary line (a lint run that silently skipped everything must not
+/// read as "clean").
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// All findings, sorted by (path, line, col, rule).
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of `.rs` files actually analyzed.
+    pub files: usize,
+    /// Number of vendor manifests checked.
+    pub manifests: usize,
+    /// Number of honored (used) waivers across the tree.
+    pub waivers_honored: usize,
+}
+
+/// Lints one source file given its repo-relative path. Files outside
+/// every scope (the fixture corpus) yield no diagnostics.
+pub fn lint_source(rel_path: &str, src: &str) -> (Vec<Diagnostic>, usize) {
+    let Some(file_scope) = scope::classify(rel_path) else {
+        return (Vec::new(), 0);
+    };
+    let tokens = lexer::lex(src);
+    let code: Vec<usize> = tokens
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| t.kind != TokenKind::Comment)
+        .map(|(i, _)| i)
+        .collect();
+    let regions = rules::test_regions(&tokens, &code);
+    let waivers = waivers::collect(&tokens);
+    let basename = rel_path.rsplit('/').next().unwrap_or(rel_path);
+    let ctx = FileCtx {
+        path: rel_path,
+        basename,
+        scope: file_scope,
+        tokens: &tokens,
+        code: &code,
+        test_regions: &regions,
+        waivers: &waivers,
+    };
+    let mut out = Vec::new();
+    rules::check_file(&ctx, &mut out);
+    let honored = waivers.waivers.iter().filter(|w| w.used.get()).count();
+    (out, honored)
+}
+
+/// Walks the repo and lints every `.rs` file under `crates/`, `vendor/`,
+/// `tests/`, `examples/`, plus every `vendor/*/Cargo.toml`.
+pub fn lint_repo(root: &Path) -> std::io::Result<LintReport> {
+    let mut report = LintReport::default();
+    let vendor_crates = vendor_crate_names(root)?;
+
+    let mut rs_files = Vec::new();
+    for top in ["crates", "vendor", "tests", "examples"] {
+        collect_rs(&root.join(top), &mut rs_files)?;
+    }
+    rs_files.sort();
+
+    for abs in rs_files {
+        let rel = rel_path(root, &abs);
+        if scope::classify(&rel).is_none() {
+            continue;
+        }
+        let src = fs::read_to_string(&abs)?;
+        let (diags, honored) = lint_source(&rel, &src);
+        report.files += 1;
+        report.waivers_honored += honored;
+        report.diagnostics.extend(diags);
+    }
+
+    for name in &vendor_crates {
+        let manifest_path = root.join("vendor").join(name).join("Cargo.toml");
+        if manifest_path.is_file() {
+            let src = fs::read_to_string(&manifest_path)?;
+            let rel = rel_path(root, &manifest_path);
+            manifest::check_vendor_manifest(&rel, &src, &vendor_crates, &mut report.diagnostics);
+            report.manifests += 1;
+        }
+    }
+
+    report
+        .diagnostics
+        .sort_by(|a, b| (&a.path, a.line, a.col, a.rule).cmp(&(&b.path, b.line, b.col, b.rule)));
+    Ok(report)
+}
+
+/// Directory names under `vendor/` — the legal vendor dependency set.
+pub fn vendor_crate_names(root: &Path) -> std::io::Result<Vec<String>> {
+    let mut names = Vec::new();
+    let vendor = root.join("vendor");
+    if vendor.is_dir() {
+        for entry in fs::read_dir(vendor)? {
+            let entry = entry?;
+            if entry.file_type()?.is_dir() {
+                names.push(entry.file_name().to_string_lossy().into_owned());
+            }
+        }
+    }
+    names.sort();
+    Ok(names)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if entry.file_type()?.is_dir() {
+            if name == "target" || name == ".git" {
+                continue;
+            }
+            collect_rs(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn rel_path(root: &Path, abs: &Path) -> String {
+    abs.strip_prefix(root)
+        .unwrap_or(abs)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+/// Locates the workspace root from the compiled-in manifest dir
+/// (`crates/xtask` → two levels up).
+pub fn repo_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(Path::parent)
+        .map(Path::to_path_buf)
+        .unwrap_or(manifest)
+}

@@ -1,0 +1,505 @@
+//! A hand-rolled Rust lexer, just deep enough for static analysis.
+//!
+//! The whole point of this module is that the rules in [`crate::rules`]
+//! match against *token streams*, never raw text, so occurrences of
+//! `unsafe`, `unwrap`, `Ordering::SeqCst`, … inside string literals, char
+//! literals, doc comments or `/* */` blocks can never produce a false
+//! positive. The lexer therefore has to get exactly four hard things
+//! right, and can be sloppy about everything else:
+//!
+//! 1. **Strings**: plain (`"…"` with escapes), raw (`r"…"`,
+//!    `r##"…"##` with any number of hashes), byte (`b"…"`, `br#"…"#`),
+//!    and C (`c"…"`, `cr#"…"#`) variants.
+//! 2. **Char literals vs lifetimes**: `'a'` is a literal, `'a` in
+//!    `&'a str` is not, `'\''` and `'\u{1F600}'` are literals.
+//! 3. **Comments**: line (`//`, `///`, `//!`) and block (`/* … */`,
+//!    nested). Comments are *kept* as tokens — waivers live in them.
+//! 4. **Raw identifiers**: `r#match` is an identifier, not the start of
+//!    a raw string.
+//!
+//! Everything else (numbers, multi-char operators) is tokenized loosely:
+//! numbers become [`TokenKind::Literal`], operators become single-char
+//! [`TokenKind::Punct`] tokens except `::`, which rules need as one unit.
+
+/// What a token is, as far as the rules care.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (including raw identifiers, without `r#`).
+    Ident,
+    /// String/char/byte/numeric literal. Rules never look inside.
+    Literal,
+    /// A `//…` or `/*…*/` comment, text preserved (waiver carrier).
+    Comment,
+    /// `::` as a single token; every other operator char individually.
+    Punct,
+}
+
+/// One token with enough position info for a `file:line:col` diagnostic.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Kind of token.
+    pub kind: TokenKind,
+    /// The exact source text (for `Comment`, includes the `//`/`/*`).
+    pub text: String,
+    /// 1-based line of the first character.
+    pub line: u32,
+    /// 1-based column (in characters) of the first character.
+    pub col: u32,
+}
+
+impl Token {
+    fn new(kind: TokenKind, text: &str, line: u32, col: u32) -> Self {
+        Token {
+            kind,
+            text: text.to_string(),
+            line,
+            col,
+        }
+    }
+
+    /// True if this is an identifier with exactly this text.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == s
+    }
+
+    /// True if this is a punctuation token with exactly this text.
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == TokenKind::Punct && self.text == s
+    }
+}
+
+/// Tokenizes `src`. Never fails: unterminated constructs swallow the
+/// rest of the file as a single token, which is the safe direction for
+/// an analyzer (no rule can fire inside them).
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    chars: Vec<char>,
+    src: &'a str,
+    pos: usize,
+    line: u32,
+    col: u32,
+    out: Vec<Token>,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            chars: src.chars().collect(),
+            src,
+            pos: 0,
+            line: 1,
+            col: 1,
+            out: Vec::new(),
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    /// Consumes one char, tracking line/col.
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while let Some(c) = self.peek(0) {
+            let (line, col) = (self.line, self.col);
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(line, col),
+                '/' if self.peek(1) == Some('*') => self.block_comment(line, col),
+                '"' => self.string(line, col),
+                '\'' => self.char_or_lifetime(line, col),
+                'r' | 'b' | 'c' if self.raw_or_byte_prefix() => {
+                    self.prefixed_literal(line, col);
+                }
+                c if c.is_alphabetic() || c == '_' => self.ident(line, col),
+                c if c.is_ascii_digit() => self.number(line, col),
+                ':' if self.peek(1) == Some(':') => {
+                    self.bump();
+                    self.bump();
+                    self.out.push(Token::new(TokenKind::Punct, "::", line, col));
+                }
+                _ => {
+                    let c = match self.bump() {
+                        Some(c) => c,
+                        None => break,
+                    };
+                    self.out
+                        .push(Token::new(TokenKind::Punct, &c.to_string(), line, col));
+                }
+            }
+        }
+        self.out
+    }
+
+    /// Is the cursor at `r"`/`r#"`, `b"`/`b'`/`br`, or `c"`/`cr` — i.e. a
+    /// prefixed literal rather than a plain identifier starting with that
+    /// letter? Raw identifiers (`r#match`) return false.
+    fn raw_or_byte_prefix(&self) -> bool {
+        match (self.peek(0), self.peek(1)) {
+            (Some('r'), Some('"')) => true,
+            (Some('r'), Some('#')) => {
+                // r#"…"# raw string vs r#ident raw identifier: a raw
+                // string has only `#`s between `r` and the quote.
+                let mut i = 1;
+                while self.peek(i) == Some('#') {
+                    i += 1;
+                }
+                self.peek(i) == Some('"')
+            }
+            (Some('b'), Some('"')) | (Some('b'), Some('\'')) => true,
+            (Some('b'), Some('r')) => {
+                matches!(self.peek(2), Some('"') | Some('#'))
+            }
+            (Some('c'), Some('"')) => true,
+            (Some('c'), Some('r')) => {
+                matches!(self.peek(2), Some('"') | Some('#'))
+            }
+            _ => false,
+        }
+    }
+
+    fn line_comment(&mut self, line: u32, col: u32) {
+        let start = self.pos;
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            self.bump();
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        self.out
+            .push(Token::new(TokenKind::Comment, &text, line, col));
+    }
+
+    fn block_comment(&mut self, line: u32, col: u32) {
+        let start = self.pos;
+        self.bump(); // '/'
+        self.bump(); // '*'
+        let mut depth = 1u32;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    depth += 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some('*'), Some('/')) => {
+                    depth -= 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break, // unterminated: swallow to EOF
+            }
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        self.out
+            .push(Token::new(TokenKind::Comment, &text, line, col));
+    }
+
+    /// Plain string literal with escape handling.
+    fn string(&mut self, line: u32, col: u32) {
+        let start = self.pos;
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump(); // escaped char (covers \" and \\)
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        self.out
+            .push(Token::new(TokenKind::Literal, &text, line, col));
+    }
+
+    /// `'a'` / `'\n'` / `'\u{…}'` are char literals; `'a` (no closing
+    /// quote after one identifier-ish char run) is a lifetime.
+    fn char_or_lifetime(&mut self, line: u32, col: u32) {
+        // Lifetime iff: quote, then ident-start, then ident chars, and the
+        // char run is NOT followed by a closing quote.
+        let mut i = 1;
+        if matches!(self.peek(1), Some(c) if c.is_alphabetic() || c == '_') {
+            i = 2;
+            while matches!(self.peek(i), Some(c) if c.is_alphanumeric() || c == '_') {
+                i += 1;
+            }
+            if self.peek(i) != Some('\'') {
+                // Lifetime: emit the quote as punct, let the ident lex.
+                self.bump();
+                self.out.push(Token::new(TokenKind::Punct, "'", line, col));
+                return;
+            }
+        }
+        let _ = i;
+        // Char literal.
+        let start = self.pos;
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '\'' => break,
+                _ => {}
+            }
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        self.out
+            .push(Token::new(TokenKind::Literal, &text, line, col));
+    }
+
+    /// Raw strings (`r"…"`, `r##"…"##`), byte strings/chars, C strings.
+    fn prefixed_literal(&mut self, line: u32, col: u32) {
+        let start = self.pos;
+        // Consume prefix letters (r, b, c, br, cr).
+        while matches!(self.peek(0), Some('r') | Some('b') | Some('c')) {
+            // Stop once we hit the quote/hash part.
+            if matches!(self.peek(0), Some('"') | Some('#') | Some('\'')) {
+                break;
+            }
+            self.bump();
+        }
+        if self.peek(0) == Some('\'') {
+            // Byte char b'x'.
+            self.bump();
+            while let Some(c) = self.bump() {
+                match c {
+                    '\\' => {
+                        self.bump();
+                    }
+                    '\'' => break,
+                    _ => {}
+                }
+            }
+        } else {
+            // Count hashes (raw variants), then consume the guarded body.
+            let mut hashes = 0usize;
+            while self.peek(0) == Some('#') {
+                hashes += 1;
+                self.bump();
+            }
+            self.bump(); // opening quote
+            if hashes == 0 && !self.raw_prefix_at(start) {
+                // Plain b"…"/c"…" string: escapes apply.
+                while let Some(c) = self.bump() {
+                    match c {
+                        '\\' => {
+                            self.bump();
+                        }
+                        '"' => break,
+                        _ => {}
+                    }
+                }
+            } else {
+                // Raw string: ends at `"` followed by `hashes` hashes, no
+                // escape processing at all.
+                'outer: while let Some(c) = self.bump() {
+                    if c == '"' {
+                        for k in 0..hashes {
+                            if self.peek(k) != Some('#') {
+                                continue 'outer;
+                            }
+                        }
+                        for _ in 0..hashes {
+                            self.bump();
+                        }
+                        break;
+                    }
+                }
+            }
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        self.out
+            .push(Token::new(TokenKind::Literal, &text, line, col));
+    }
+
+    /// Was the literal that started at `start` a raw (`r`-containing)
+    /// variant? Needed to decide whether escapes apply when hashes == 0
+    /// (`r"a\"` is complete, `b"a\""` is not).
+    fn raw_prefix_at(&self, start: usize) -> bool {
+        let mut i = start;
+        while let Some(&c) = self.chars.get(i) {
+            match c {
+                'r' => return true,
+                'b' | 'c' => i += 1,
+                _ => return false,
+            }
+        }
+        false
+    }
+
+    fn ident(&mut self, line: u32, col: u32) {
+        let start = self.pos;
+        // Raw identifier prefix r# is consumed but excluded from text.
+        let mut text_start = start;
+        if self.peek(0) == Some('r') && self.peek(1) == Some('#') {
+            self.bump();
+            self.bump();
+            text_start = self.pos;
+        }
+        while matches!(self.peek(0), Some(c) if c.is_alphanumeric() || c == '_') {
+            self.bump();
+        }
+        let text: String = self.chars[text_start..self.pos].iter().collect();
+        self.out
+            .push(Token::new(TokenKind::Ident, &text, line, col));
+    }
+
+    fn number(&mut self, line: u32, col: u32) {
+        let start = self.pos;
+        // Loose: digits, '.', '_', type suffixes, exponents, hex letters.
+        while matches!(self.peek(0), Some(c) if c.is_alphanumeric() || c == '_' || c == '.') {
+            // Don't swallow `..` range operators or method calls on ints.
+            if self.peek(0) == Some('.') && !matches!(self.peek(1), Some(d) if d.is_ascii_digit()) {
+                break;
+            }
+            self.bump();
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        self.out
+            .push(Token::new(TokenKind::Literal, &text, line, col));
+        let _ = self.src;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn keywords_in_strings_are_not_idents() {
+        assert_eq!(
+            idents(r#"let s = "unsafe unwrap panic!";"#),
+            vec!["let", "s"]
+        );
+    }
+
+    #[test]
+    fn keywords_in_comments_are_not_idents() {
+        assert_eq!(
+            idents("// unsafe here\nlet x = 1; /* unwrap */"),
+            vec!["let", "x"]
+        );
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let src = r###"let s = r#"an "unsafe" block"#; let t = 2;"###;
+        assert_eq!(idents(src), vec!["let", "s", "let", "t"]);
+    }
+
+    #[test]
+    fn raw_string_no_escapes() {
+        // In a raw string a backslash before the quote does not escape it.
+        let src = "let s = r\"a\\\"; unsafe_token_here();";
+        assert_eq!(
+            idents(src),
+            vec!["let", "s", "unsafe_token_here"],
+            "raw string must end at the first quote"
+        );
+    }
+
+    #[test]
+    fn byte_and_c_strings() {
+        assert_eq!(
+            idents(r#"let b = b"unsafe"; let c = c"unwrap";"#),
+            vec!["let", "b", "let", "c"]
+        );
+        assert_eq!(idents(r##"let b = br#"unsafe"#;"##), vec!["let", "b"]);
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        // 'u' is a char literal; 'a in &'a str is a lifetime.
+        assert_eq!(
+            idents("let c: char = 'u'; fn f<'a>(x: &'a str) {}"),
+            vec!["let", "c", "char", "fn", "f", "a", "x", "a", "str"]
+        );
+        // Escaped quote char and unicode escapes.
+        assert_eq!(
+            idents(r"let q = '\''; let u = '\u{1F600}';"),
+            vec!["let", "q", "let", "u"]
+        );
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        assert_eq!(
+            idents("/* a /* unsafe */ still comment */ let y = 0;"),
+            vec!["let", "y"]
+        );
+    }
+
+    #[test]
+    fn raw_identifiers_are_idents_not_strings() {
+        let toks = kinds("let r#match = 1;");
+        assert_eq!(toks[1], (TokenKind::Ident, "match".to_string()));
+    }
+
+    #[test]
+    fn double_colon_is_one_token() {
+        let toks = kinds("std::thread::spawn");
+        let texts: Vec<&str> = toks.iter().map(|(_, t)| t.as_str()).collect();
+        assert_eq!(texts, vec!["std", "::", "thread", "::", "spawn"]);
+    }
+
+    #[test]
+    fn comments_carry_their_text() {
+        let toks = lex("// lint:allow(panic-freedom) justified\nx.unwrap();");
+        assert_eq!(toks[0].kind, TokenKind::Comment);
+        assert!(toks[0].text.contains("lint:allow(panic-freedom)"));
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2);
+    }
+
+    #[test]
+    fn line_and_col_tracking() {
+        let toks = lex("ab\n  cd");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_method_calls() {
+        assert_eq!(idents("1.unwrap_or(2); 1.5e3;"), vec!["unwrap_or"]);
+    }
+
+    #[test]
+    fn unterminated_string_swallows_rest() {
+        // Safe direction: nothing after an unterminated quote can match.
+        assert_eq!(idents("let s = \"oops unsafe"), vec!["let", "s"]);
+    }
+}

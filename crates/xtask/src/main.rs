@@ -1,0 +1,88 @@
+//! CLI for the static analysis engine: `cargo xtask lint`.
+
+#![deny(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use xtask::engine::{lint_repo, repo_root};
+use xtask::waivers::KNOWN_RULES;
+
+const USAGE: &str = "\
+usage: cargo xtask <command>
+
+commands:
+  lint [--root <dir>]   run every repo rule over the tree (alias: cargo lint)
+  lint --list-rules     print the rule catalog
+  help                  this text
+
+docs: docs/ANALYSIS.md (rule rationale, waiver grammar, TSan/Miri recipes)";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(&args[1..]),
+        Some("help") | Some("--help") | Some("-h") | None => {
+            println!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("unknown command `{other}`\n\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn lint(args: &[String]) -> ExitCode {
+    let mut root = repo_root();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--list-rules" => {
+                for rule in KNOWN_RULES {
+                    println!("{rule}");
+                }
+                println!("waiver-syntax");
+                println!("unused-waiver");
+                return ExitCode::SUCCESS;
+            }
+            "--root" => match it.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => {
+                    eprintln!("--root needs a directory argument");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("unknown lint option `{other}`\n\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let report = match lint_repo(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: failed to lint {}: {e}", root.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    for d in &report.diagnostics {
+        println!("{}\n", d.render());
+    }
+    if report.diagnostics.is_empty() {
+        println!(
+            "lint clean: {} files + {} vendor manifests checked, {} waivers honored",
+            report.files, report.manifests, report.waivers_honored
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "{} finding(s) across {} files ({} waivers honored) — see docs/ANALYSIS.md",
+            report.diagnostics.len(),
+            report.files,
+            report.waivers_honored
+        );
+        ExitCode::FAILURE
+    }
+}

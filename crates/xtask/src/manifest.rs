@@ -1,0 +1,176 @@
+//! The dependency half of the `vendor-drift` rule: vendored stand-ins
+//! must not grow dependencies. A vendored crate's `Cargo.toml` may only
+//! depend on *other vendored crates* (via `workspace = true` or a path
+//! inside `vendor/`); any registry/git/version dependency is drift.
+//!
+//! This is a purpose-built line scanner, not a TOML parser — the vendor
+//! manifests are flat and the scanner is strict about the few shapes it
+//! accepts, which is exactly the posture an analysis gate wants.
+
+use crate::rules::Diagnostic;
+
+/// Checks one `vendor/<name>/Cargo.toml`. `vendor_crates` is the set of
+/// directory names under `vendor/` (the only legal dependency targets).
+pub fn check_vendor_manifest(
+    path: &str,
+    src: &str,
+    vendor_crates: &[String],
+    out: &mut Vec<Diagnostic>,
+) {
+    let mut in_dep_section = false;
+    let mut dep_subsection: Option<String> = None;
+    for (idx, raw) in src.lines().enumerate() {
+        let line = raw.trim();
+        let lineno = (idx + 1) as u32;
+        if line.starts_with('[') {
+            let section = line.trim_matches(['[', ']']);
+            // `[dependencies]`, `[dev-dependencies]`,
+            // `[target.'….'.dependencies]` all end the same way.
+            in_dep_section = section.ends_with("dependencies");
+            // `[dependencies.foo]` table-per-dependency form.
+            dep_subsection = section
+                .strip_prefix("dependencies.")
+                .or_else(|| section.strip_prefix("dev-dependencies."))
+                .map(|s| s.to_string());
+            if let Some(name) = &dep_subsection {
+                check_dep_name(path, name, lineno, vendor_crates, out);
+            }
+            continue;
+        }
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(name) = &dep_subsection {
+            check_dep_value(path, name, line, lineno, vendor_crates, out);
+            continue;
+        }
+        if !in_dep_section {
+            continue;
+        }
+        let Some((name, value)) = line.split_once('=') else {
+            continue;
+        };
+        // `foo.workspace = true` sugar.
+        let name = name.trim().trim_end_matches(".workspace").trim();
+        check_dep_name(path, name, lineno, vendor_crates, out);
+        check_dep_value(path, name, value, lineno, vendor_crates, out);
+    }
+}
+
+fn check_dep_name(
+    path: &str,
+    name: &str,
+    line: u32,
+    vendor_crates: &[String],
+    out: &mut Vec<Diagnostic>,
+) {
+    if !vendor_crates.iter().any(|c| c == name) {
+        out.push(Diagnostic {
+            rule: "vendor-drift",
+            message: format!(
+                "vendored crate depends on `{name}`, which is not itself vendored — \
+                 vendor/ must stay self-contained"
+            ),
+            path: path.to_string(),
+            line,
+            col: 1,
+        });
+    }
+}
+
+fn check_dep_value(
+    path: &str,
+    name: &str,
+    value: &str,
+    line: u32,
+    vendor_crates: &[String],
+    out: &mut Vec<Diagnostic>,
+) {
+    let v = value.trim();
+    // Accepted shapes: `{ workspace = true }` / `workspace = true` /
+    // `true` (from `foo.workspace = true`) / `{ path = "../<vendored>" }`.
+    let ok = v == "true"
+        || v.contains("workspace")
+        || (v.contains("path") && {
+            // A path dependency must point at a sibling vendored crate.
+            v.split('"')
+                .nth(1)
+                .map(|p| {
+                    let target = p.trim_start_matches("../");
+                    vendor_crates.iter().any(|c| c == target)
+                })
+                .unwrap_or(false)
+        });
+    if !ok {
+        out.push(Diagnostic {
+            rule: "vendor-drift",
+            message: format!(
+                "dependency `{name}` = `{v}` is not a vendored path/workspace \
+                 dependency — registry, git and version requirements are drift"
+            ),
+            path: path.to_string(),
+            line,
+            col: 1,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vendor() -> Vec<String> {
+        ["rand", "serde", "serde_derive"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect()
+    }
+
+    fn check(src: &str) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        check_vendor_manifest("vendor/x/Cargo.toml", src, &vendor(), &mut out);
+        out
+    }
+
+    #[test]
+    fn workspace_deps_on_vendored_crates_pass() {
+        let src = "[package]\nname = \"x\"\n[dependencies]\nrand = { workspace = true }\n";
+        assert!(check(src).is_empty());
+    }
+
+    #[test]
+    fn version_deps_are_drift() {
+        let src = "[dependencies]\nlibc = \"0.2\"\n";
+        let d = check(src);
+        assert_eq!(d.len(), 2, "unknown name and version value");
+        assert!(d[0].message.contains("not itself vendored"));
+        assert!(d[1].message.contains("drift"));
+        assert_eq!(d[1].line, 2);
+    }
+
+    #[test]
+    fn git_deps_are_drift() {
+        let d = check("[dependencies]\nserde = { git = \"https://x\" }\n");
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("drift"));
+    }
+
+    #[test]
+    fn path_deps_must_stay_in_vendor() {
+        assert!(check("[dependencies]\nserde = { path = \"../serde\" }\n").is_empty());
+        let d = check("[dependencies]\nserde = { path = \"../../crates/hh\" }\n");
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn dep_subsection_form_is_scanned() {
+        let d = check("[dependencies.tokio]\nversion = \"1\"\n");
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn non_dep_sections_are_ignored() {
+        let src = "[package]\nversion = \"0.1.0\"\n[lib]\ndoctest = false\n";
+        assert!(check(src).is_empty());
+    }
+}

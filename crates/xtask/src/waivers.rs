@@ -1,0 +1,266 @@
+//! Waiver grammar: `// lint:allow(<rule>) <justification>`.
+//!
+//! A waiver suppresses exactly one rule at exactly one site, and must
+//! carry a non-empty justification — the justification *is* the audit
+//! trail the atomic-ordering and lossy-cast rules exist to produce.
+//!
+//! Placement:
+//! - **Trailing** (`code(); // lint:allow(rule) why`): applies to the
+//!   line the comment sits on.
+//! - **Standalone** (own line, possibly stacked with other standalone
+//!   waivers or plain comments): applies to the next line that holds a
+//!   non-comment token.
+//!
+//! Waivers are strict: an unknown rule name, a missing justification, or
+//! a waiver that matches no finding is itself reported (rules
+//! `waiver-syntax` / `unused-waiver`), so stale annotations can't
+//! accumulate silently.
+
+use crate::lexer::{Token, TokenKind};
+
+/// A parsed, well-formed waiver.
+#[derive(Debug, Clone)]
+pub struct Waiver {
+    /// The rule this waiver suppresses.
+    pub rule: String,
+    /// The mandatory justification text (trimmed, non-empty).
+    pub justification: String,
+    /// Line the waiver comment itself is on.
+    pub comment_line: u32,
+    /// The line of code this waiver applies to.
+    pub target_line: u32,
+    /// Set by the engine when a finding consumes this waiver.
+    pub used: std::cell::Cell<bool>,
+}
+
+/// A malformed waiver attempt (reported as a `waiver-syntax` finding).
+#[derive(Debug, Clone)]
+pub struct WaiverError {
+    /// Line of the offending comment.
+    pub line: u32,
+    /// Column of the offending comment.
+    pub col: u32,
+    /// Human-readable description of what is wrong.
+    pub message: String,
+}
+
+/// Result of scanning a token stream for waivers.
+#[derive(Debug, Default)]
+pub struct Waivers {
+    /// Well-formed waivers.
+    pub waivers: Vec<Waiver>,
+    /// Malformed `lint:allow` attempts.
+    pub errors: Vec<WaiverError>,
+}
+
+impl Waivers {
+    /// Looks up (and marks used) a waiver for `rule` covering `line`.
+    pub fn consume(&self, rule: &str, line: u32) -> Option<&Waiver> {
+        let w = self
+            .waivers
+            .iter()
+            .find(|w| w.rule == rule && w.target_line == line)?;
+        w.used.set(true);
+        Some(w)
+    }
+
+    /// Waivers that never matched a finding.
+    pub fn unused(&self) -> impl Iterator<Item = &Waiver> {
+        self.waivers.iter().filter(|w| !w.used.get())
+    }
+}
+
+/// The rule names a waiver may reference.
+pub const KNOWN_RULES: &[&str] = &[
+    "unsafe-confinement",
+    "panic-freedom",
+    "atomic-ordering",
+    "spawn-confinement",
+    "lossy-cast",
+    "vendor-drift",
+];
+
+/// Scans the token stream for `lint:allow` comments and resolves each
+/// one's target line.
+pub fn collect(tokens: &[Token]) -> Waivers {
+    let mut out = Waivers::default();
+    for (i, tok) in tokens.iter().enumerate() {
+        if tok.kind != TokenKind::Comment {
+            continue;
+        }
+        let body = comment_body(&tok.text);
+        let Some(rest) = body.trim_start().strip_prefix("lint:allow") else {
+            continue;
+        };
+        match parse_allow(rest) {
+            Ok((rule, justification)) => {
+                let target_line = target_line_for(tokens, i, tok);
+                out.waivers.push(Waiver {
+                    rule,
+                    justification,
+                    comment_line: tok.line,
+                    target_line,
+                    used: std::cell::Cell::new(false),
+                });
+            }
+            Err(message) => out.errors.push(WaiverError {
+                line: tok.line,
+                col: tok.col,
+                message,
+            }),
+        }
+    }
+    out
+}
+
+/// Strips comment sigils: `// x` / `/// x` / `/* x */` → ` x`.
+fn comment_body(text: &str) -> &str {
+    if let Some(t) = text.strip_prefix("//") {
+        t.trim_start_matches(['/', '!'])
+    } else {
+        text.trim_start_matches("/*")
+            .trim_end_matches("*/")
+            .trim_start_matches(['*', '!'])
+    }
+}
+
+/// Parses `(<rule>) <justification>` after the `lint:allow` prefix.
+fn parse_allow(rest: &str) -> Result<(String, String), String> {
+    let rest = rest.trim_start();
+    let Some(rest) = rest.strip_prefix('(') else {
+        return Err("expected `(` after `lint:allow`".to_string());
+    };
+    let Some(close) = rest.find(')') else {
+        return Err("unclosed `(` in `lint:allow(<rule>)`".to_string());
+    };
+    let rule = rest[..close].trim();
+    if !KNOWN_RULES.contains(&rule) {
+        return Err(format!(
+            "unknown rule `{rule}` (known: {})",
+            KNOWN_RULES.join(", ")
+        ));
+    }
+    let justification = rest[close + 1..].trim();
+    if justification.is_empty() {
+        return Err(format!("waiver for `{rule}` is missing its justification"));
+    }
+    Ok((rule.to_string(), justification.to_string()))
+}
+
+/// Trailing waiver → its own line; standalone waiver → the line of the
+/// next non-comment token.
+fn target_line_for(tokens: &[Token], idx: usize, tok: &Token) -> u32 {
+    let trailing = tokens[..idx]
+        .iter()
+        .rev()
+        .take_while(|t| t.line == tok.line)
+        .any(|t| t.kind != TokenKind::Comment);
+    if trailing {
+        return tok.line;
+    }
+    tokens[idx + 1..]
+        .iter()
+        .find(|t| t.kind != TokenKind::Comment)
+        .map(|t| t.line)
+        // A waiver at EOF targets its own line (and will read as unused).
+        .unwrap_or(tok.line)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn trailing_waiver_targets_its_own_line() {
+        let toks = lex("let x = a.unwrap(); // lint:allow(panic-freedom) len checked above\n");
+        let ws = collect(&toks);
+        assert_eq!(ws.errors.len(), 0);
+        assert_eq!(ws.waivers.len(), 1);
+        assert_eq!(ws.waivers[0].rule, "panic-freedom");
+        assert_eq!(ws.waivers[0].justification, "len checked above");
+        assert_eq!(ws.waivers[0].target_line, 1);
+    }
+
+    #[test]
+    fn standalone_waiver_targets_next_code_line() {
+        let src = "\
+// lint:allow(atomic-ordering) pairs with the Acquire load in drain()
+// an unrelated comment in between
+flag.store(true, Ordering::Release);\n";
+        let ws = collect(&lex(src));
+        assert_eq!(ws.waivers.len(), 1);
+        assert_eq!(ws.waivers[0].comment_line, 1);
+        assert_eq!(ws.waivers[0].target_line, 3);
+    }
+
+    #[test]
+    fn stacked_standalone_waivers_share_a_target() {
+        let src = "\
+// lint:allow(lossy-cast) slot count fits u32 by construction
+// lint:allow(atomic-ordering) release-store publishes the slot
+code_line();\n";
+        let ws = collect(&lex(src));
+        assert_eq!(ws.waivers.len(), 2);
+        assert!(ws.waivers.iter().all(|w| w.target_line == 3));
+    }
+
+    #[test]
+    fn missing_justification_is_an_error() {
+        let ws = collect(&lex("// lint:allow(panic-freedom)\nx.unwrap();\n"));
+        assert_eq!(ws.waivers.len(), 0);
+        assert_eq!(ws.errors.len(), 1);
+        assert!(ws.errors[0].message.contains("missing its justification"));
+    }
+
+    #[test]
+    fn whitespace_only_justification_is_an_error() {
+        let ws = collect(&lex("// lint:allow(panic-freedom)    \nx.unwrap();\n"));
+        assert_eq!(ws.errors.len(), 1);
+    }
+
+    #[test]
+    fn unknown_rule_is_an_error() {
+        let ws = collect(&lex("// lint:allow(no-such-rule) because\nx();\n"));
+        assert_eq!(ws.waivers.len(), 0);
+        assert!(ws.errors[0].message.contains("unknown rule `no-such-rule`"));
+    }
+
+    #[test]
+    fn malformed_parens_are_errors() {
+        let ws = collect(&lex("// lint:allow panic-freedom because\nx();\n"));
+        assert!(ws.errors[0].message.contains("expected `(`"));
+        let ws = collect(&lex("// lint:allow(panic-freedom because\nx();\n"));
+        assert!(ws.errors[0].message.contains("unclosed `(`"));
+    }
+
+    #[test]
+    fn waivers_inside_doc_and_block_comments_parse() {
+        let ws = collect(&lex(
+            "/* lint:allow(spawn-confinement) bench driver thread */\nspawny();\n",
+        ));
+        assert_eq!(ws.waivers.len(), 1);
+        assert_eq!(ws.waivers[0].target_line, 2);
+    }
+
+    #[test]
+    fn consume_marks_used_and_unused_reports_rest() {
+        let src = "\
+a(); // lint:allow(panic-freedom) reachable never
+b(); // lint:allow(lossy-cast) fits
+";
+        let ws = collect(&lex(src));
+        assert!(ws.consume("panic-freedom", 1).is_some());
+        assert!(ws.consume("panic-freedom", 2).is_none(), "wrong rule");
+        let unused: Vec<_> = ws.unused().collect();
+        assert_eq!(unused.len(), 1);
+        assert_eq!(unused[0].rule, "lossy-cast");
+    }
+
+    #[test]
+    fn ordinary_comments_mentioning_lint_are_ignored() {
+        let ws = collect(&lex("// this code passes lint:allow nothing here? no: x\n"));
+        // `lint:allow` not at comment start → not a waiver attempt.
+        assert_eq!(ws.waivers.len() + ws.errors.len(), 0);
+    }
+}

@@ -1,0 +1,11 @@
+//@ path: crates/hh-obs/src/bad.rs
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn undocumented(flag: &AtomicU64) -> u64 {
+    flag.store(1, Ordering::Release);
+    flag.load(Ordering::Acquire)
+}
+
+pub fn hammer(c: &AtomicU64) {
+    c.fetch_add(1, Ordering::SeqCst);
+}

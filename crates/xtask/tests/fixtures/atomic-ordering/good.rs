@@ -1,0 +1,11 @@
+//@ path: crates/hh-obs/src/good.rs
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn record(c: &AtomicU64) {
+    c.fetch_add(1, Ordering::Relaxed);
+}
+
+pub fn publish(flag: &AtomicU64) {
+    // lint:allow(atomic-ordering) Release pairs with the Acquire load in subscribe(): the counter update above must be visible before the flag flips
+    flag.store(1, Ordering::Release);
+}

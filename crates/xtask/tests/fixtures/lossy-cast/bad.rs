@@ -1,0 +1,9 @@
+//@ path: crates/hh-counters/src/fasthash.rs
+
+pub fn narrow(x: u64) -> u32 {
+    x as u32
+}
+
+pub fn narrower(x: usize) -> u16 {
+    x as u16
+}

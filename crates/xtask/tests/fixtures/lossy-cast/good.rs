@@ -1,0 +1,18 @@
+//@ path: crates/hh-counters/src/oaindex.rs
+
+pub fn widen(x: u32) -> u64 {
+    x as u64
+}
+
+pub fn tag(hash: u64) -> u32 {
+    // lint:allow(lossy-cast) lossless: after the shift only 32 bits remain
+    (hash >> 32) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn narrowing_in_tests_is_fine() {
+        assert_eq!(300u64 as u16, 300);
+    }
+}

@@ -1,0 +1,10 @@
+//@ path: crates/hh-counters/src/bad.rs
+
+pub fn reachable(xs: &[u64]) -> u64 {
+    let first = xs.first().unwrap();
+    let last = xs.last().expect("non-empty");
+    if *first > *last {
+        panic!("unsorted");
+    }
+    todo!()
+}

@@ -1,0 +1,24 @@
+//@ path: crates/hh-counters/src/good.rs
+
+pub fn total(xs: &[u64]) -> u64 {
+    // "a.unwrap()" in a string literal is not a finding.
+    let _doc = "call a.unwrap() at your peril";
+    xs.iter().copied().sum::<u64>()
+}
+
+pub fn head(xs: &[u64]) -> u64 {
+    if xs.is_empty() {
+        return 0;
+    }
+    // lint:allow(panic-freedom) unreachable: emptiness was checked two lines above
+    xs.first().copied().expect("non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        let v: Result<u8, ()> = Ok(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

@@ -1,0 +1,6 @@
+//@ path: crates/hh-sketches/src/engine.rs
+
+pub fn rogue() {
+    let h = std::thread::spawn(|| 1u64);
+    let _ = h.join();
+}

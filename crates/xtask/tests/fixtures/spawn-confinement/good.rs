@@ -1,0 +1,9 @@
+//@ path: crates/hh-counters/src/pool.rs
+
+pub fn run() {
+    std::thread::scope(|scope| {
+        scope.spawn(|| {});
+    });
+    let h = std::thread::spawn(|| 1u64);
+    let _ = h.join();
+}

@@ -1,0 +1,5 @@
+//@ path: crates/hh-counters/src/lib.rs
+
+pub fn sneaky(p: *const u8) -> u8 {
+    unsafe { *p }
+}

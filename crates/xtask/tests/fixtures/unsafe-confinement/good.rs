@@ -1,0 +1,12 @@
+//@ path: crates/hh-net/src/sys.rs
+//! The one module allowed to contain `unsafe` (epoll/libc FFI shim).
+#![allow(unsafe_code)]
+
+pub fn epoll_create() -> i32 {
+    // Strings and comments never trip the lexer: "unsafe" stays inert.
+    unsafe { raw_epoll_create1(0) }
+}
+
+extern "C" {
+    fn raw_epoll_create1(flags: i32) -> i32;
+}

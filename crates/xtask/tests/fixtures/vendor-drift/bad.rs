@@ -1,0 +1,8 @@
+//@ path: vendor/rand/src/lib.rs
+
+pub fn next(state: *mut u64) -> u64 {
+    unsafe {
+        *state = (*state).wrapping_add(1);
+        *state
+    }
+}

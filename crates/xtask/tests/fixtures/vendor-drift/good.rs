@@ -1,0 +1,8 @@
+//@ path: vendor/rand/src/lib.rs
+//! Minimal vendored stand-in.
+#![forbid(unsafe_code)]
+
+pub fn next(state: &mut u64) -> u64 {
+    *state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+    *state
+}

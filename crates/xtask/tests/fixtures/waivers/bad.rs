@@ -1,0 +1,16 @@
+//@ path: crates/hh-counters/src/bad_waivers.rs
+
+pub fn orphaned(x: u64) -> u64 {
+    // lint:allow(panic-freedom) nothing on the next line can panic
+    x + 1
+}
+
+pub fn malformed(xs: &[u64]) -> u64 {
+    // lint:allow(panic-freedom)
+    xs.iter().copied().sum()
+}
+
+pub fn unknown_rule(x: u64) -> u64 {
+    // lint:allow(no-such-rule) because reasons
+    x
+}

@@ -1,0 +1,130 @@
+//! Fixture corpus for the lint engine.
+//!
+//! Each rule directory under `tests/fixtures/` holds a `good.rs` that
+//! must lint clean and a `bad.rs` whose diagnostics must match
+//! `bad.expected` byte-for-byte. Every fixture's first line is a
+//! `//@ path: <pretend-repo-path>` directive: the engine lints the
+//! source *as if* it lived at that path, which is how one corpus
+//! exercises scope- and path-sensitive rules (the fixtures' real
+//! location is excluded from repo sweeps by `scope::classify`).
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use xtask::engine::{lint_source, repo_root};
+use xtask::manifest::check_vendor_manifest;
+
+fn fixtures_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("fixtures")
+}
+
+/// Reads a fixture and splits off its `//@ path:` directive.
+fn load(path: &Path) -> (String, String) {
+    let src = fs::read_to_string(path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+    let first = src.lines().next().unwrap_or("");
+    let pretend = first
+        .strip_prefix("//@ path:")
+        .unwrap_or_else(|| panic!("{}: first line must be `//@ path: …`", path.display()))
+        .trim()
+        .to_string();
+    // Keep the directive line in place (as a plain comment) so fixture
+    // line numbers match what a reader sees in the file.
+    (pretend, src)
+}
+
+fn render_all(diags: &[xtask::rules::Diagnostic]) -> String {
+    let mut sorted = diags.to_vec();
+    sorted.sort_by(|a, b| (&a.path, a.line, a.col, a.rule).cmp(&(&b.path, b.line, b.col, b.rule)));
+    let mut out = sorted
+        .iter()
+        .map(|d| d.render())
+        .collect::<Vec<_>>()
+        .join("\n\n");
+    out.push('\n');
+    out
+}
+
+const RULE_DIRS: &[&str] = &[
+    "unsafe-confinement",
+    "panic-freedom",
+    "atomic-ordering",
+    "spawn-confinement",
+    "lossy-cast",
+    "vendor-drift",
+    "waivers",
+];
+
+#[test]
+fn good_fixtures_lint_clean() {
+    for dir in RULE_DIRS {
+        let path = fixtures_dir().join(dir).join("good.rs");
+        let (pretend, src) = load(&path);
+        let (diags, _) = lint_source(&pretend, &src);
+        assert!(
+            diags.is_empty(),
+            "{dir}/good.rs (as {pretend}) should be clean, got:\n{}",
+            render_all(&diags)
+        );
+    }
+}
+
+#[test]
+fn bad_fixtures_match_expected_diagnostics() {
+    for dir in RULE_DIRS {
+        let dir_path = fixtures_dir().join(dir);
+        let (pretend, src) = load(&dir_path.join("bad.rs"));
+        let (diags, _) = lint_source(&pretend, &src);
+        assert!(!diags.is_empty(), "{dir}/bad.rs produced no diagnostics");
+        let expected_path = dir_path.join("bad.expected");
+        let expected = fs::read_to_string(&expected_path)
+            .unwrap_or_else(|e| panic!("read {}: {e}", expected_path.display()));
+        let actual = render_all(&diags);
+        assert_eq!(
+            actual, expected,
+            "{dir}/bad.rs diagnostics drifted from bad.expected"
+        );
+    }
+}
+
+#[test]
+fn good_fixtures_honor_their_waivers() {
+    // The waived `expect` in waivers/good.rs must register as a *used*
+    // waiver — clean output via an unused waiver would be a bug twice.
+    let (pretend, src) = load(&fixtures_dir().join("waivers").join("good.rs"));
+    let (diags, honored) = lint_source(&pretend, &src);
+    assert!(diags.is_empty());
+    assert_eq!(honored, 1);
+}
+
+#[test]
+fn bad_vendor_manifest_is_flagged() {
+    let path = fixtures_dir()
+        .join("vendor-drift")
+        .join("bad_manifest.toml");
+    let src = fs::read_to_string(&path).unwrap();
+    let vendored: Vec<String> = vec!["rand".into(), "serde".into()];
+    let mut diags = Vec::new();
+    check_vendor_manifest("vendor/rand/Cargo.toml", &src, &vendored, &mut diags);
+    let expected_path = fixtures_dir()
+        .join("vendor-drift")
+        .join("bad_manifest.expected");
+    let expected = fs::read_to_string(&expected_path)
+        .unwrap_or_else(|e| panic!("read {}: {e}", expected_path.display()));
+    assert_eq!(
+        render_all(&diags),
+        expected,
+        "bad_manifest.toml diagnostics drifted from bad_manifest.expected"
+    );
+}
+
+#[test]
+fn fixture_corpus_is_invisible_to_repo_sweeps() {
+    // The bad fixtures live inside the repo; a full-tree lint must not
+    // pick them up (classify() maps the fixture dir to no scope).
+    let rel = "crates/xtask/tests/fixtures/panic-freedom/bad.rs";
+    let src = fs::read_to_string(repo_root().join(rel)).unwrap();
+    let (diags, _) = lint_source(rel, &src);
+    assert!(diags.is_empty());
+}

@@ -8,6 +8,8 @@
 //! network access — and code generation emits plain source text that is
 //! re-parsed into a `TokenStream`.
 
+#![forbid(unsafe_code)]
+
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 struct StructShape {
