@@ -28,6 +28,12 @@
 //!   *paired same-process ratio* — both sides run back-to-back on the
 //!   same machine in the same run — so it stays tight even on shared CI
 //!   runners.
+//! * `BENCH_FAULT_OVERHEAD_TOLERANCE` — allowed fractional slowdown of
+//!   the per-item update loop with a disarmed `hh::fault::fault_point`
+//!   hook before every update versus the same loop without it (default
+//!   0.02). This binary is built without the `fault-injection` feature,
+//!   so the hooks are empty inline functions and the paired ratio
+//!   certifies the crash-safety layer stays free on release hot paths.
 //! * `BENCH_SERVER_INGEST_TOLERANCE` — allowed fractional shortfall of
 //!   the loopback `hh::net` server's ingest rate below half the
 //!   in-process pipeline rate (default 0.20, i.e. fail below a 40%
@@ -244,6 +250,87 @@ fn check_obs_overhead(dir: &str, stream: &[Item]) -> bool {
     !ok
 }
 
+/// The fault-injection-overhead sentinel: paired ratio of the raw
+/// per-item `SpaceSaving::update` loop to the same loop with an
+/// `hh::fault::fault_point` call before every update — one hook per
+/// item, a strictly more pessimistic placement than the real shard
+/// loop's one-hook-per-batch. Without the `fault-injection` feature
+/// (this binary is always built without it) the hooks are empty inline
+/// functions, so the ratio certifies that the crash-safety layer costs
+/// the release hot path nothing. Minima over alternating rounds, as in
+/// [`measure_obs_overhead`].
+fn measure_fault_overhead(stream: &[Item]) -> f64 {
+    const BUDGET: usize = 256;
+    const ROUNDS: usize = 15;
+
+    fn time_raw(stream: &[Item]) -> f64 {
+        let start = Instant::now();
+        let mut s = hh::counters::SpaceSaving::new(BUDGET);
+        for &x in stream {
+            s.update(x);
+        }
+        std::hint::black_box(s.stored_len());
+        start.elapsed().as_secs_f64()
+    }
+    fn time_hooked(stream: &[Item]) -> f64 {
+        let start = Instant::now();
+        let mut s = hh::counters::SpaceSaving::new(BUDGET);
+        for &x in stream {
+            hh::fault::fault_point(hh::fault::sites::SHARD_BATCH);
+            s.update(x);
+        }
+        std::hint::black_box(s.stored_len());
+        start.elapsed().as_secs_f64()
+    }
+
+    time_raw(stream);
+    time_hooked(stream);
+    let mut best_raw = f64::INFINITY;
+    let mut best_hooked = f64::INFINITY;
+    for round in 0..ROUNDS {
+        if round % 2 == 0 {
+            best_raw = best_raw.min(time_raw(stream));
+            best_hooked = best_hooked.min(time_hooked(stream));
+        } else {
+            best_hooked = best_hooked.min(time_hooked(stream));
+            best_raw = best_raw.min(time_raw(stream));
+        }
+    }
+    best_raw / best_hooked
+}
+
+/// Gate the disarmed fault-hook overhead: the paired ratio must not fall
+/// more than the tolerance below 1.0, and the `BENCH_fault_overhead.json`
+/// baseline must exist (a gate without its baseline is measuring
+/// nothing). Returns true on failure.
+fn check_fault_overhead(dir: &str, stream: &[Item]) -> bool {
+    let tolerance: f64 = std::env::var("BENCH_FAULT_OVERHEAD_TOLERANCE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.02);
+    let file = "BENCH_fault_overhead.json";
+    let baseline_ratio = match (
+        baseline(dir, file, "raw/SpaceSaving/update/256"),
+        baseline(dir, file, "hooked/SpaceSaving/update/256"),
+    ) {
+        (Ok(raw), Ok(hooked)) => hooked / raw,
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("FAIL fault_overhead ({file}): baseline unavailable: {e}");
+            return true;
+        }
+    };
+    let ratio = measure_fault_overhead(stream);
+    let ok = ratio >= 1.0 - tolerance;
+    println!(
+        "{:>4}  {file} hooked/raw: {:.1}% overhead (baseline {:.1}%, budget {:.0}%)",
+        if ok { "ok" } else { "FAIL" },
+        (1.0 - ratio) * 100.0,
+        (1.0 - baseline_ratio) * 100.0,
+        tolerance * 100.0
+    );
+    !ok
+}
+
 /// The server-ingest sentinel: paired ratio of loopback `hh::net` server
 /// ingest (the pipeline-bench workload arriving as the line protocol over
 /// TCP) to the same stream fed to the in-process 4-shard pipeline.
@@ -433,6 +520,9 @@ fn main() {
         }
     }
     if check_obs_overhead(&dir, &stream) {
+        failed = true;
+    }
+    if check_fault_overhead(&dir, &stream) {
         failed = true;
     }
     if check_server_ingest(&dir, &pipeline_stream) {

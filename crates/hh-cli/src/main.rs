@@ -43,6 +43,14 @@ use hh::pipeline::PipelineStats;
 use hh::Error;
 
 fn main() -> ExitCode {
+    // Chaos runs arm HH_FAULT_PLAN before anything else touches the
+    // pipeline. Errors loudly on a malformed spec — or when the plan is
+    // set but this binary was built without `--features fault-injection`,
+    // where silently ignoring it would make a chaos run vacuously green.
+    if let Err(e) = hh::fault::install_from_env() {
+        eprintln!("error: {e}");
+        return ExitCode::from(2);
+    }
     let args: Vec<String> = std::env::args().skip(1).collect();
     let opts = match parse_args(&args) {
         Ok(o) => o,
@@ -187,7 +195,7 @@ fn run_unweighted(opts: Options, reader: impl BufRead) -> Result<String, Error> 
     };
 
     if let Some(path) = &opts.snapshot_out {
-        std::fs::write(path, engine.to_json()?)?;
+        hh::net::checkpoint::atomic_write(path, engine.to_json()?.as_bytes())?;
     }
     Ok(out)
 }
@@ -230,6 +238,9 @@ fn run_serve(
             writeln!(out, "{}", stats_record(&stats, false, opts.json))?;
             out.flush()?;
         }
+        if due.checkpoint {
+            session.checkpoint()?;
+        }
     }
 
     if opts.stats_every.is_some() {
@@ -264,11 +275,14 @@ fn run_serve_net(opts: &Options, out: &mut impl std::io::Write) -> Result<String
 
 /// `hh client`: stream FILE/stdin to a `serve --listen` server, then send
 /// each `--query` (and `--shutdown`, if asked) and print every NDJSON
-/// response the server wrote back.
+/// response the server wrote back. Connects with a per-attempt timeout
+/// and capped exponential backoff (seeded jitter from `--seed`), and
+/// bounds reads so a wedged server cannot hang the client forever.
 fn run_client(opts: &Options, mut reader: impl BufRead) -> Result<String, Error> {
-    let addr = opts.connect.as_deref().expect("validated by parse_args");
-    let stream = std::net::TcpStream::connect(addr)
-        .map_err(|e| Error::parse(format!("cannot connect to {addr}: {e}")))?;
+    let stream = connect_with_retry(opts)?;
+    if opts.read_timeout_ms > 0 {
+        stream.set_read_timeout(Some(std::time::Duration::from_millis(opts.read_timeout_ms)))?;
+    }
     let mut writer = std::io::BufWriter::new(stream.try_clone()?);
 
     std::io::copy(&mut reader, &mut writer)?;
@@ -288,6 +302,57 @@ fn run_client(opts: &Options, mut reader: impl BufRead) -> Result<String, Error>
     let mut responses = String::new();
     BufReader::new(stream).read_to_string(&mut responses)?;
     Ok(responses.trim_end().to_string())
+}
+
+/// One connection attempt per address the name resolves to, retried
+/// under the `--retries` budget with `hh::fault::RetryPolicy`'s capped
+/// equal-jitter backoff (deterministic per `--seed`).
+fn connect_with_retry(opts: &Options) -> Result<std::net::TcpStream, Error> {
+    use std::net::{TcpStream, ToSocketAddrs};
+    let addr = opts.connect.as_deref().expect("validated by parse_args");
+    let timeout = std::time::Duration::from_millis(opts.connect_timeout_ms);
+    let attempt = || -> std::io::Result<TcpStream> {
+        let mut last = None;
+        for sa in addr.to_socket_addrs()? {
+            let conn = if opts.connect_timeout_ms > 0 {
+                TcpStream::connect_timeout(&sa, timeout)
+            } else {
+                TcpStream::connect(sa)
+            };
+            match conn {
+                Ok(s) => return Ok(s),
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(last.unwrap_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "address resolved to no endpoints",
+            )
+        }))
+    };
+    let policy = hh::fault::RetryPolicy::new(opts.retries, 50, 2_000, opts.seed);
+    let mut delays = policy.delays();
+    loop {
+        match attempt() {
+            Ok(stream) => return Ok(stream),
+            Err(e) => match delays.next() {
+                Some(delay) => {
+                    eprintln!(
+                        "connect to {addr} failed ({e}); retrying in {} ms",
+                        delay.as_millis()
+                    );
+                    std::thread::sleep(delay);
+                }
+                None => {
+                    return Err(Error::parse(format!(
+                        "cannot connect to {addr} after {} attempt(s): {e}",
+                        opts.retries.max(1)
+                    )))
+                }
+            },
+        }
+    }
 }
 
 /// Renders one pipeline telemetry record. JSON records come from
@@ -336,6 +401,8 @@ fn run_stats(opts: &Options, reader: impl BufRead) -> Result<String, Error> {
     let mut records = 0u64;
     let mut last: Option<serde_json::Value> = None;
     let mut last_routed = 0u64;
+    let mut last_restarts = 0u64;
+    let mut last_lost = 0u64;
     for (lineno, line) in reader.lines().enumerate() {
         let line = line?;
         if line.trim().is_empty() {
@@ -380,6 +447,18 @@ fn run_stats(opts: &Options, reader: impl BufRead) -> Result<String, Error> {
             )));
         }
         last_routed = routed;
+        // Supervision counters (PR 9, additive): monotone when present.
+        for (field, prev) in [("restarts", &mut last_restarts), ("lost", &mut last_lost)] {
+            if let Some(n) = v[field].as_u64() {
+                if n < *prev {
+                    return Err(Error::parse(format!(
+                        "line {}: {field} went backwards ({n} < {prev})",
+                        lineno + 1
+                    )));
+                }
+                *prev = n;
+            }
+        }
         records += 1;
         last = Some(v);
     }
@@ -515,7 +594,7 @@ fn run_weighted(opts: Options, reader: impl BufRead) -> Result<String, Error> {
     };
 
     if let Some(path) = &opts.snapshot_out {
-        std::fs::write(path, engine.to_json()?)?;
+        hh::net::checkpoint::atomic_write(path, engine.to_json()?.as_bytes())?;
     }
     Ok(out)
 }
@@ -554,7 +633,7 @@ fn run_merge(opts: &Options) -> Result<String, Error> {
     }
 
     if let Some(path) = &opts.snapshot_out {
-        std::fs::write(path, json)?;
+        hh::net::checkpoint::atomic_write(path, json.as_bytes())?;
     }
     Ok(out)
 }
@@ -1102,5 +1181,22 @@ mod tests {
             run_stats(&o, stream.as_bytes()).is_err(),
             "routed regressed"
         );
+
+        // the supervision counters must be monotone too (when present)
+        let o = opts(&["stats"]);
+        let with_restarts = |routed: u64, restarts: u64| {
+            format!(
+                "{{\"v\":1,\"stats\":true,\"epoch\":1,\"routed\":{routed},\"restarts\":{restarts},\
+                 \"lost\":0,\"imbalance\":1.0,\"shards\":[]}}"
+            )
+        };
+        let stream = format!("{}\n{}\n", with_restarts(1, 2), with_restarts(3, 1));
+        assert!(
+            run_stats(&o, stream.as_bytes()).is_err(),
+            "restarts regressed"
+        );
+        let o = opts(&["stats"]);
+        let stream = format!("{}\n{}\n", with_restarts(1, 1), with_restarts(3, 2));
+        assert!(run_stats(&o, stream.as_bytes()).is_ok(), "monotone is fine");
     }
 }

@@ -44,6 +44,17 @@ pub enum Error {
     InvalidQuery(String),
     /// A sharded-pipeline worker failed (panicked shard, closed channel).
     Pipeline(String),
+    /// A pipeline shard worker died. `recovered` reports whether
+    /// supervision rebuilt the shard from its last epoch snapshot before
+    /// this error was raised (`true`: the shard is live again but the
+    /// attempted operation still failed; `false`: the shard is gone —
+    /// supervision is off or the rebuild itself failed).
+    ShardDown {
+        /// Index of the dead shard.
+        shard: usize,
+        /// Whether supervision respawned the shard from a snapshot.
+        recovered: bool,
+    },
     /// Malformed textual input (CLI stream lines, numeric arguments).
     Parse(String),
     /// An I/O failure (file or stdin/stdout access).
@@ -87,6 +98,16 @@ impl fmt::Display for Error {
             Error::CorruptSnapshot(msg) => write!(f, "corrupt snapshot: {msg}"),
             Error::InvalidQuery(msg) => write!(f, "invalid query: {msg}"),
             Error::Pipeline(msg) => write!(f, "pipeline error: {msg}"),
+            Error::ShardDown { shard, recovered } => {
+                if *recovered {
+                    write!(
+                        f,
+                        "shard {shard} worker died (respawned from its last epoch snapshot)"
+                    )
+                } else {
+                    write!(f, "shard {shard} worker died and was not recovered")
+                }
+            }
             Error::Parse(msg) => write!(f, "parse error: {msg}"),
             Error::Io(e) => write!(f, "I/O error: {e}"),
             Error::Json(msg) => write!(f, "JSON error: {msg}"),
@@ -134,6 +155,14 @@ mod tests {
             Error::corrupt_snapshot("counter mass mismatch"),
             Error::InvalidQuery("phi must be in [0, 1)".into()),
             Error::pipeline("shard 3 disconnected"),
+            Error::ShardDown {
+                shard: 1,
+                recovered: true,
+            },
+            Error::ShardDown {
+                shard: 2,
+                recovered: false,
+            },
             Error::parse("bad weight"),
             Error::Io(std::io::Error::new(std::io::ErrorKind::NotFound, "gone")),
             Error::Json("missing field".into()),

@@ -1,0 +1,393 @@
+//! Durable, torn-write-safe checkpoints for the serving pipeline.
+//!
+//! A checkpoint is a self-verifying envelope around the per-shard
+//! [`Snapshot`]s of an epoch boundary plus the pipeline's unobserved
+//! mass (see `Engine::add_unobserved` — lost-shard accounting is *not*
+//! part of a snapshot, so it must travel alongside):
+//!
+//! ```text
+//! hhckpt v1 crc=<8 hex> len=<payload bytes> shards=<n> unobserved=<u>\n
+//! <payload: JSON array of shard snapshots>
+//! ```
+//!
+//! The CRC-32 (IEEE) covers exactly the `len` payload bytes, so a torn
+//! write — a crash mid-write, a truncated copy, a partially synced page
+//! — is detected at load as a typed [`Error::CorruptSnapshot`] instead
+//! of being deserialized into a silently wrong summary.
+//!
+//! Durability discipline, in order:
+//!
+//! 1. the full envelope is written to `<path>.tmp` and fsynced;
+//! 2. the current `<path>` (if any) is renamed to `<path>.prev`;
+//! 3. `<path>.tmp` is renamed to `<path>`;
+//! 4. the parent directory is fsynced.
+//!
+//! Renames are atomic on POSIX filesystems, so at every instant either
+//! generation is intact: a crash between steps leaves `<path>.prev`
+//! valid, and [`load_latest`] falls back to it when `<path>` is missing
+//! or fails its CRC. Two generations are kept; older ones are
+//! overwritten.
+
+use std::path::Path;
+
+use hh_counters::error::Error;
+use hh_sketches::engine::{Engine, EngineItem, Snapshot};
+use serde::{Deserialize, Serialize};
+
+/// First token of every checkpoint envelope (how [`is_envelope`] and the
+/// `--snapshot-in` auto-detection distinguish envelopes from the legacy
+/// plain-JSON snapshot files).
+pub const MAGIC: &str = "hhckpt";
+
+/// Envelope format version.
+pub const CHECKPOINT_VERSION: u64 = 1;
+
+/// One durable checkpoint: the epoch's per-shard snapshots plus the
+/// mass already charged as unobserved (lost shards, prior resumes).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint<I: EngineItem> {
+    /// Per-shard snapshots from one epoch boundary (a resumed-from
+    /// snapshot rides along as an extra entry — Theorem 11 makes the
+    /// merge partition-oblivious, so the distinction never matters).
+    pub shards: Vec<Snapshot<I>>,
+    /// Occurrences that are part of `stream_len` but observed by no
+    /// snapshot; a loader must widen the merged engine by this mass.
+    pub unobserved: u64,
+}
+
+/// CRC-32 (IEEE 802.3, reflected, `0xEDB88320`), bitwise — checkpoint
+/// payloads are small enough that a table buys nothing.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Whether `text` looks like a checkpoint envelope (vs a legacy plain
+/// snapshot JSON file).
+pub fn is_envelope(text: &str) -> bool {
+    text.starts_with(MAGIC)
+}
+
+/// Renders a checkpoint into its envelope text.
+pub fn encode<I>(ckpt: &Checkpoint<I>) -> Result<String, Error>
+where
+    I: EngineItem + Serialize,
+{
+    let payload = serde_json::to_string(&ckpt.shards)?;
+    Ok(format!(
+        "{MAGIC} v{CHECKPOINT_VERSION} crc={:08x} len={} shards={} unobserved={}\n{payload}",
+        crc32(payload.as_bytes()),
+        payload.len(),
+        ckpt.shards.len(),
+        ckpt.unobserved,
+    ))
+}
+
+/// One `key=value` token of the header line.
+fn header_field<'a>(token: Option<&'a str>, key: &str) -> Result<&'a str, Error> {
+    token
+        .and_then(|t| t.strip_prefix(key))
+        .and_then(|t| t.strip_prefix('='))
+        .ok_or_else(|| Error::corrupt_snapshot(format!("checkpoint header missing {key}=")))
+}
+
+/// Parses and verifies an envelope. Torn or tampered payloads (length
+/// mismatch, CRC mismatch) are a typed [`Error::CorruptSnapshot`].
+pub fn decode<I>(text: &str) -> Result<Checkpoint<I>, Error>
+where
+    I: EngineItem + Deserialize,
+{
+    let (header, payload) = text
+        .split_once('\n')
+        .ok_or_else(|| Error::corrupt_snapshot("checkpoint has no header line"))?;
+    let mut tokens = header.split(' ');
+    if tokens.next() != Some(MAGIC) {
+        return Err(Error::corrupt_snapshot(
+            "not a checkpoint envelope (bad magic)",
+        ));
+    }
+    match tokens.next() {
+        Some("v1") => {}
+        Some(v) => {
+            return Err(Error::corrupt_snapshot(format!(
+                "unsupported checkpoint version {v} (this build reads v{CHECKPOINT_VERSION})"
+            )));
+        }
+        None => return Err(Error::corrupt_snapshot("checkpoint header missing version")),
+    }
+    let crc: u32 = u32::from_str_radix(header_field(tokens.next(), "crc")?, 16)
+        .map_err(|_| Error::corrupt_snapshot("checkpoint crc is not hex"))?;
+    let len: usize = header_field(tokens.next(), "len")?
+        .parse()
+        .map_err(|_| Error::corrupt_snapshot("checkpoint len is not an integer"))?;
+    let shards: usize = header_field(tokens.next(), "shards")?
+        .parse()
+        .map_err(|_| Error::corrupt_snapshot("checkpoint shards is not an integer"))?;
+    let unobserved: u64 = header_field(tokens.next(), "unobserved")?
+        .parse()
+        .map_err(|_| Error::corrupt_snapshot("checkpoint unobserved is not an integer"))?;
+    if payload.len() != len {
+        return Err(Error::corrupt_snapshot(format!(
+            "checkpoint payload is {} bytes, header says {len} (torn write?)",
+            payload.len()
+        )));
+    }
+    let actual = crc32(payload.as_bytes());
+    if actual != crc {
+        return Err(Error::corrupt_snapshot(format!(
+            "checkpoint crc mismatch: header {crc:08x}, payload {actual:08x}"
+        )));
+    }
+    let snaps: Vec<Snapshot<I>> = serde_json::from_str(payload)?;
+    if snaps.len() != shards {
+        return Err(Error::corrupt_snapshot(format!(
+            "checkpoint holds {} snapshots, header says {shards}",
+            snaps.len()
+        )));
+    }
+    Ok(Checkpoint {
+        shards: snaps,
+        unobserved,
+    })
+}
+
+/// Writes `bytes` to `path` atomically: full contents to `<path>.tmp`,
+/// fsync, rename over `path`, fsync the parent directory. Readers never
+/// observe a half-written file.
+pub fn atomic_write(path: &str, bytes: &[u8]) -> Result<(), Error> {
+    use std::io::Write as _;
+    let tmp = format!("{path}.tmp");
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    sync_parent_dir(path)
+}
+
+/// Fsyncs the directory holding `path`, making a just-renamed entry
+/// durable (on Linux a directory opens read-only like any file).
+fn sync_parent_dir(path: &str) -> Result<(), Error> {
+    let parent = Path::new(path)
+        .parent()
+        .filter(|p| !p.as_os_str().is_empty());
+    let dir = parent.unwrap_or_else(|| Path::new("."));
+    std::fs::File::open(dir)?.sync_all()?;
+    Ok(())
+}
+
+/// Writes a checkpoint to `path` with the full durability discipline
+/// (tmp + fsync + generation rotation + rename + directory fsync). The
+/// previous generation survives at `<path>.prev`.
+pub fn write<I>(path: &str, ckpt: &Checkpoint<I>) -> Result<(), Error>
+where
+    I: EngineItem + Serialize,
+{
+    use std::io::Write as _;
+    let text = encode(ckpt)?;
+    let mut bytes = text.as_bytes();
+    // Injection site: a torn write persists only a prefix — the header's
+    // len/crc must catch it at load (free unless armed).
+    if let Some(n) = hh_fault::torn_write(hh_fault::sites::CHECKPOINT_WRITE, bytes.len()) {
+        bytes = &bytes[..n.min(bytes.len())];
+    }
+    let tmp = format!("{path}.tmp");
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    if std::fs::metadata(path).is_ok() {
+        std::fs::rename(path, format!("{path}.prev"))?;
+    }
+    std::fs::rename(&tmp, path)?;
+    sync_parent_dir(path)
+}
+
+/// Loads and verifies the checkpoint at `path` (no fallback).
+pub fn load<I>(path: &str) -> Result<Checkpoint<I>, Error>
+where
+    I: EngineItem + Deserialize,
+{
+    decode(&std::fs::read_to_string(path)?)
+}
+
+/// Loads `path`, falling back to the previous generation
+/// (`<path>.prev`) when the current file is missing, torn, or corrupt.
+/// Returns the checkpoint and whether the fallback was used; if both
+/// generations fail, the *current* generation's error is reported.
+pub fn load_latest<I>(path: &str) -> Result<(Checkpoint<I>, bool), Error>
+where
+    I: EngineItem + Deserialize,
+{
+    let current = load(path);
+    match current {
+        Ok(ckpt) => Ok((ckpt, false)),
+        Err(err) => match load(&format!("{path}.prev")) {
+            Ok(ckpt) => Ok((ckpt, true)),
+            Err(_) => Err(err),
+        },
+    }
+}
+
+/// Folds a checkpoint's snapshots into the single resume snapshot the
+/// serving session carries (Theorem 11 snapshot merge). `None` for an
+/// empty shard list.
+pub fn merge_to_snapshot<I: EngineItem>(
+    shards: Vec<Snapshot<I>>,
+) -> Result<Option<Snapshot<I>>, Error> {
+    let mut it = shards.into_iter();
+    let Some(first) = it.next() else {
+        return Ok(None);
+    };
+    let mut merged = Engine::from_snapshot(first)?;
+    for snap in it {
+        merged.merge_snapshot(&snap)?;
+    }
+    Ok(Some(merged.snapshot()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hh_sketches::engine::{AlgoKind, EngineConfig};
+
+    fn snap_of(items: &[u64]) -> Snapshot<u64> {
+        let mut e = EngineConfig::new(AlgoKind::SpaceSaving)
+            .counters(16)
+            .build::<u64>()
+            .unwrap();
+        e.update_batch(items);
+        e.snapshot()
+    }
+
+    fn tmp_path(name: &str) -> String {
+        std::env::temp_dir()
+            .join(format!("hh-ckpt-{}-{name}", std::process::id()))
+            .to_str()
+            .unwrap()
+            .to_string()
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The classic IEEE test vector, plus the empty string.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let ckpt = Checkpoint {
+            shards: vec![snap_of(&[1, 1, 2]), snap_of(&[3])],
+            unobserved: 7,
+        };
+        let text = encode(&ckpt).unwrap();
+        assert!(is_envelope(&text));
+        let back: Checkpoint<u64> = decode(&text).unwrap();
+        assert_eq!(back, ckpt);
+    }
+
+    #[test]
+    fn decode_rejects_torn_and_tampered_envelopes() {
+        let ckpt = Checkpoint {
+            shards: vec![snap_of(&[1, 2, 3])],
+            unobserved: 0,
+        };
+        let text = encode(&ckpt).unwrap();
+        // torn: payload truncated
+        let torn = &text[..text.len() - 10];
+        assert!(matches!(
+            decode::<u64>(torn),
+            Err(Error::CorruptSnapshot(_))
+        ));
+        // tampered: one payload byte flipped, length preserved — only the
+        // CRC can notice
+        let mut tampered = text.clone().into_bytes();
+        let last = tampered.len() - 1;
+        tampered[last] = b' ';
+        let tampered = String::from_utf8(tampered).unwrap();
+        assert!(matches!(
+            decode::<u64>(&tampered),
+            Err(Error::CorruptSnapshot(_))
+        ));
+        // wrong magic
+        assert!(matches!(
+            decode::<u64>("nope v1 crc=0 len=0 shards=0 unobserved=0\n"),
+            Err(Error::CorruptSnapshot(_))
+        ));
+        // future version
+        let future = text.replacen("hhckpt v1 ", "hhckpt v9 ", 1);
+        assert!(matches!(
+            decode::<u64>(&future),
+            Err(Error::CorruptSnapshot(_))
+        ));
+    }
+
+    #[test]
+    fn write_keeps_two_generations_and_load_latest_falls_back() {
+        let path = tmp_path("gen");
+        let first = Checkpoint {
+            shards: vec![snap_of(&[1, 1])],
+            unobserved: 0,
+        };
+        let second = Checkpoint {
+            shards: vec![snap_of(&[2, 2, 2])],
+            unobserved: 5,
+        };
+        write(&path, &first).unwrap();
+        write(&path, &second).unwrap();
+        // current is the second generation...
+        let (got, fell_back) = load_latest::<u64>(&path).unwrap();
+        assert!(!fell_back);
+        assert_eq!(got, second);
+        // ...and the first survives at .prev
+        assert_eq!(load::<u64>(&format!("{path}.prev")).unwrap(), first);
+
+        // Tear the current generation: load_latest skips to .prev.
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &text[..text.len() / 2]).unwrap();
+        let (got, fell_back) = load_latest::<u64>(&path).unwrap();
+        assert!(fell_back);
+        assert_eq!(got, first);
+
+        // Tear both: the current generation's typed error surfaces.
+        std::fs::write(format!("{path}.prev"), "garbage").unwrap();
+        assert!(matches!(
+            load_latest::<u64>(&path),
+            Err(Error::CorruptSnapshot(_))
+        ));
+        for suffix in ["", ".prev", ".tmp"] {
+            let _ = std::fs::remove_file(format!("{path}{suffix}"));
+        }
+    }
+
+    #[test]
+    fn merge_to_snapshot_folds_all_shards() {
+        let merged = merge_to_snapshot(vec![snap_of(&[1, 1]), snap_of(&[1, 2])])
+            .unwrap()
+            .unwrap();
+        let engine = Engine::from_snapshot(merged).unwrap();
+        assert_eq!(engine.stream_len(), 4);
+        assert_eq!(engine.estimate(&1), 3);
+        assert!(merge_to_snapshot::<u64>(Vec::new()).unwrap().is_none());
+    }
+
+    #[test]
+    fn atomic_write_replaces_contents() {
+        let path = tmp_path("aw");
+        atomic_write(&path, b"one").unwrap();
+        atomic_write(&path, b"two").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "two");
+        assert!(std::fs::metadata(format!("{path}.tmp")).is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -48,12 +48,14 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod checkpoint;
 pub mod options;
 pub mod poll;
 pub mod proto;
 pub mod server;
 pub mod sys;
 
+pub use checkpoint::Checkpoint;
 pub use options::{Due, NetOptions, ServeItem, ServeOptions, ServeSession};
 pub use proto::{Query, PROTOCOL_VERSION};
 pub use server::Server;

@@ -16,6 +16,8 @@ use hh_sketches::engine::{Engine, EngineConfig, EngineItem, Snapshot};
 use hh_sketches::pipeline::{Pipeline, PipelineConfig, PipelineStats, Routing, ShardIngest};
 use serde::{Deserialize, Serialize};
 
+use crate::checkpoint::{self, Checkpoint};
+
 /// Everything the stdin/trace serve path and the network serve path have
 /// in common. Build one from an [`EngineConfig`], tune it with the
 /// builder methods, then [`ServeSession::spawn`] it.
@@ -51,6 +53,7 @@ pub struct ServeOptions {
     queue_depth: usize,
     report_every: u64,
     stats_every: Option<u64>,
+    checkpoint_every: u64,
     snapshot_in: Option<String>,
     snapshot_out: Option<String>,
     k: usize,
@@ -72,6 +75,7 @@ impl ServeOptions {
             queue_depth: 4,
             report_every: 0,
             stats_every: None,
+            checkpoint_every: 0,
             snapshot_in: None,
             snapshot_out: None,
             k: 10,
@@ -122,8 +126,20 @@ impl ServeOptions {
         self
     }
 
+    /// Writes a durable checkpoint (tmp + fsync + atomic rename, CRC'd
+    /// envelope, two generations — see [`crate::checkpoint`]) to the
+    /// `snapshot_out` path every `n` ingested items (0: no periodic
+    /// checkpoints). Requires `snapshot_out`; when set, the final drain
+    /// snapshot uses the envelope format too.
+    pub fn checkpoint_every(mut self, n: u64) -> Self {
+        self.checkpoint_every = n;
+        self
+    }
+
     /// Resumes from a snapshot file written by `--snapshot-out` (merged
-    /// into every report through the Theorem 11 snapshot merge).
+    /// into every report through the Theorem 11 snapshot merge). Both
+    /// formats load: a checkpoint envelope (verified, falling back to
+    /// the previous generation if torn) or a legacy plain JSON snapshot.
     pub fn snapshot_in(mut self, path: Option<String>) -> Self {
         self.snapshot_in = path;
         self
@@ -154,6 +170,11 @@ impl ServeOptions {
     /// The stats cadence in items (`None`: no stats records).
     pub fn stats_cadence(&self) -> Option<u64> {
         self.stats_every
+    }
+
+    /// The checkpoint cadence in items (0: no periodic checkpoints).
+    pub fn checkpoint_cadence(&self) -> u64 {
+        self.checkpoint_every
     }
 
     /// The snapshot-out path, if any.
@@ -203,6 +224,11 @@ impl ServeOptions {
         if self.k == 0 {
             return Err(Error::invalid_config("report k must be at least 1"));
         }
+        if self.checkpoint_every > 0 && self.snapshot_out.is_none() {
+            return Err(Error::invalid_config(
+                "checkpoint-every needs a snapshot-out path to write to",
+            ));
+        }
         // Surfaces engine-config errors (0 counters, bad eps, …) here
         // instead of at first use.
         self.engine.build::<u64>()?;
@@ -217,12 +243,15 @@ pub struct Due {
     pub report: bool,
     /// A telemetry stats record is due.
     pub stats: bool,
+    /// A durable checkpoint write is due
+    /// (call [`ServeSession::checkpoint`]).
+    pub checkpoint: bool,
 }
 
 impl Due {
     /// True when anything is due.
     pub fn any(self) -> bool {
-        self.report || self.stats
+        self.report || self.stats || self.checkpoint
     }
 }
 
@@ -248,10 +277,18 @@ impl Due {
 pub struct ServeSession<I: EngineItem> {
     pipeline: Pipeline<I>,
     resume: Option<Snapshot<I>>,
+    /// Mass the resumed checkpoint had already charged as unobserved
+    /// (lost shards in the previous run); widens every merged view.
+    resume_unobserved: u64,
+    /// Whether the resume load fell back to the previous checkpoint
+    /// generation because the current one was torn or corrupt.
+    resumed_from_fallback: bool,
     report_every: u64,
     stats_every: u64,
+    checkpoint_every: u64,
     until_report: u64,
     until_stats: u64,
+    until_checkpoint: u64,
     snapshot_out: Option<String>,
     k: usize,
 }
@@ -260,20 +297,36 @@ impl<I: EngineItem> ServeSession<I> {
     /// Validates `opts`, loads the resume snapshot (if configured) and
     /// spawns the shard pipeline.
     ///
+    /// A `snapshot_in` file is auto-detected: checkpoint envelopes are
+    /// CRC-verified and fall back to the previous generation when the
+    /// current one is torn ([`checkpoint::load_latest`]); anything else
+    /// is read as a legacy plain JSON snapshot.
+    ///
     /// # Errors
     ///
-    /// Everything [`ServeOptions::validate`] rejects, plus I/O or
-    /// deserialization failures on the `snapshot_in` file.
+    /// Everything [`ServeOptions::validate`] rejects, plus I/O,
+    /// verification ([`Error::CorruptSnapshot`]) or deserialization
+    /// failures on the `snapshot_in` file.
     pub fn spawn(opts: &ServeOptions) -> Result<Self, Error>
     where
         I: Deserialize,
     {
         opts.validate()?;
+        let mut resume_unobserved = 0u64;
+        let mut resumed_from_fallback = false;
         let resume = match &opts.snapshot_in {
             Some(path) => {
                 let text = std::fs::read_to_string(path)?;
-                let snap: Snapshot<I> = serde_json::from_str(&text)?;
-                Some(snap)
+                let has_prev = std::fs::metadata(format!("{path}.prev")).is_ok();
+                if checkpoint::is_envelope(&text) || has_prev {
+                    let (ckpt, fell_back) = checkpoint::load_latest::<I>(path)?;
+                    resume_unobserved = ckpt.unobserved;
+                    resumed_from_fallback = fell_back;
+                    checkpoint::merge_to_snapshot(ckpt.shards)?
+                } else {
+                    let snap: Snapshot<I> = serde_json::from_str(&text)?;
+                    Some(snap)
+                }
             }
             None => None,
         };
@@ -281,13 +334,23 @@ impl<I: EngineItem> ServeSession<I> {
         Ok(ServeSession {
             pipeline,
             resume,
+            resume_unobserved,
+            resumed_from_fallback,
             report_every: opts.report_every,
             stats_every: opts.stats_every.unwrap_or(0),
+            checkpoint_every: opts.checkpoint_every,
             until_report: opts.report_every,
             until_stats: opts.stats_every.unwrap_or(0),
+            until_checkpoint: opts.checkpoint_every,
             snapshot_out: opts.snapshot_out.clone(),
             k: opts.k,
         })
+    }
+
+    /// Whether the resume load skipped a torn/corrupt current checkpoint
+    /// and used the previous generation instead.
+    pub fn resumed_from_fallback(&self) -> bool {
+        self.resumed_from_fallback
     }
 
     /// `k` for report records.
@@ -354,23 +417,58 @@ impl<I: EngineItem> ServeSession<I> {
                 self.until_stats -= n;
             }
         }
+        if self.checkpoint_every > 0 {
+            if n >= self.until_checkpoint {
+                due.checkpoint = true;
+                let over = (n - self.until_checkpoint) % self.checkpoint_every;
+                self.until_checkpoint = self.checkpoint_every - over;
+            } else {
+                self.until_checkpoint -= n;
+            }
+        }
         due
     }
 
     /// The live merged view at an epoch boundary, with the resume
-    /// snapshot folded in (so reports always cover the resumed stream
-    /// too). See [`Pipeline::merged`].
+    /// snapshot (and its unobserved mass) folded in, so reports always
+    /// cover the resumed stream too. See [`Pipeline::merged`].
     pub fn merged(&mut self) -> Result<Engine<I>, Error> {
         let mut merged = self.pipeline.merged()?;
         if let Some(resume) = &self.resume {
             merged.merge_snapshot(resume)?;
         }
+        merged.add_unobserved(self.resume_unobserved);
         Ok(merged)
     }
 
+    /// Writes a durable checkpoint of the current epoch boundary to the
+    /// `snapshot_out` path: every shard's snapshot plus the resume
+    /// snapshot, with the total unobserved mass in the envelope header
+    /// (see [`crate::checkpoint`] for the format and crash discipline).
+    /// A no-op without a `snapshot_out` path.
+    pub fn checkpoint(&mut self) -> Result<(), Error>
+    where
+        I: Serialize,
+    {
+        let Some(path) = self.snapshot_out.clone() else {
+            return Ok(());
+        };
+        let mut shards = self.pipeline.snapshots()?;
+        if let Some(resume) = &self.resume {
+            shards.push(resume.clone());
+        }
+        let unobserved = self
+            .pipeline
+            .lost_items()
+            .saturating_add(self.resume_unobserved);
+        checkpoint::write(&path, &Checkpoint { shards, unobserved })
+    }
+
     /// Drains the pipeline, folds in the resume snapshot, writes the
-    /// final snapshot to the configured `snapshot_out` path, and returns
-    /// the final merged engine.
+    /// final snapshot to the configured `snapshot_out` path (atomically;
+    /// in the checkpoint-envelope format when `checkpoint_every` is on,
+    /// as a legacy plain JSON snapshot otherwise), and returns the final
+    /// merged engine.
     pub fn finish(self) -> Result<Engine<I>, Error>
     where
         I: Serialize,
@@ -378,6 +476,8 @@ impl<I: EngineItem> ServeSession<I> {
         let ServeSession {
             pipeline,
             resume,
+            resume_unobserved,
+            checkpoint_every,
             snapshot_out,
             ..
         } = self;
@@ -385,8 +485,17 @@ impl<I: EngineItem> ServeSession<I> {
         if let Some(resume) = &resume {
             merged.merge_snapshot(resume)?;
         }
+        merged.add_unobserved(resume_unobserved);
         if let Some(path) = &snapshot_out {
-            std::fs::write(path, merged.to_json()?)?;
+            if checkpoint_every > 0 {
+                let ckpt = Checkpoint {
+                    shards: vec![merged.snapshot()],
+                    unobserved: merged.unobserved(),
+                };
+                checkpoint::write(path, &ckpt)?;
+            } else {
+                checkpoint::atomic_write(path, merged.to_json()?.as_bytes())?;
+            }
         }
         Ok(merged)
     }
@@ -585,7 +694,8 @@ mod tests {
             due,
             Due {
                 report: false,
-                stats: true
+                stats: true,
+                checkpoint: false
             }
         );
         // 2 more (total 5): report boundary; stats not yet (next at 6).
@@ -629,5 +739,70 @@ mod tests {
     fn spawn_surfaces_missing_snapshot_in() {
         let o = opts().snapshot_in(Some("/nonexistent/hh-net-nope.json".into()));
         assert!(matches!(ServeSession::<u64>::spawn(&o), Err(Error::Io(_))));
+    }
+
+    #[test]
+    fn checkpoint_every_requires_snapshot_out() {
+        assert!(matches!(
+            opts().checkpoint_every(100).validate(),
+            Err(Error::InvalidConfig(_))
+        ));
+        assert!(opts()
+            .checkpoint_every(100)
+            .snapshot_out(Some("x.ckpt".into()))
+            .validate()
+            .is_ok());
+    }
+
+    #[test]
+    fn checkpointed_session_resumes_through_the_envelope() {
+        let dir = std::env::temp_dir().join(format!("hh-net-ckpt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("state.ckpt").to_str().unwrap().to_string();
+
+        // Periodic checkpoints fire on the item cadence and persist the
+        // epoch's shards; the drain writes the envelope format too.
+        let first = opts()
+            .shards(Some(2))
+            .checkpoint_every(4)
+            .snapshot_out(Some(path.clone()));
+        let mut s: ServeSession<u64> = ServeSession::spawn(&first).unwrap();
+        let due = s.send_batch(&[1, 1, 2, 3]).unwrap();
+        assert!(due.checkpoint);
+        s.checkpoint().unwrap();
+        let mid = crate::checkpoint::load::<u64>(&path).unwrap();
+        assert_eq!(mid.unobserved, 0);
+        s.send_batch(&[4, 4]).unwrap();
+        let merged = s.finish().unwrap();
+        assert_eq!(merged.stream_len(), 6);
+        // final drain rotated the mid-stream checkpoint to .prev
+        assert!(std::fs::metadata(format!("{path}.prev")).is_ok());
+
+        // Resume from the envelope: the whole prior stream is covered.
+        let second = opts().shards(Some(2)).snapshot_in(Some(path.clone()));
+        let mut s: ServeSession<u64> = ServeSession::spawn(&second).unwrap();
+        assert!(!s.resumed_from_fallback());
+        s.send_batch(&[1]).unwrap();
+        let live = s.merged().unwrap();
+        assert_eq!(live.stream_len(), 7);
+        assert_eq!(live.estimate(&1), 3);
+
+        // Tear the current generation: resume falls back to .prev (the
+        // mid-stream checkpoint covering the first 4 items).
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &text[..text.len() / 2]).unwrap();
+        let third = opts().shards(Some(1)).snapshot_in(Some(path.clone()));
+        let mut s: ServeSession<u64> = ServeSession::spawn(&third).unwrap();
+        assert!(s.resumed_from_fallback());
+        assert_eq!(s.merged().unwrap().stream_len(), 4);
+
+        // Tear both generations: the typed corruption error surfaces.
+        std::fs::write(format!("{path}.prev"), "hhckpt vX garbage\n{}").unwrap();
+        let bad = opts().snapshot_in(Some(path));
+        assert!(matches!(
+            ServeSession::<u64>::spawn(&bad),
+            Err(Error::CorruptSnapshot(_))
+        ));
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -174,6 +174,9 @@ pub struct NetSample {
     pub open: i64,
     /// Connections refused because `max_conns` was reached.
     pub rejected: u64,
+    /// Connections shed by overload protection: accepted, told why with
+    /// an in-band error record, and closed.
+    pub shed: u64,
     /// Connections reaped by the idle sweep.
     pub idle_timeouts: u64,
     /// Ingest lines accepted.
@@ -191,11 +194,12 @@ pub struct NetSample {
 impl NetSample {
     fn json(&self) -> String {
         format!(
-            "{{\"accepted\":{},\"open\":{},\"rejected\":{},\"idle_timeouts\":{},\
+            "{{\"accepted\":{},\"open\":{},\"rejected\":{},\"shed\":{},\"idle_timeouts\":{},\
              \"lines\":{},\"queries\":{},\"malformed\":{},\"bytes_in\":{},\"bytes_out\":{}}}",
             self.accepted,
             self.open,
             self.rejected,
+            self.shed,
             self.idle_timeouts,
             self.lines,
             self.queries,
@@ -217,12 +221,13 @@ pub fn stats_record(stats: &PipelineStats, net: Option<&NetSample>, fin: bool) -
         let _ = write!(
             shards,
             "{{\"shard\":{},\"items\":{},\"batches\":{},\"routed\":{},\
-             \"queue_depth\":{},\"send_block_ns\":{}}}",
+             \"queue_depth\":{},\"restarts\":{},\"send_block_ns\":{}}}",
             s.shard,
             s.items_ingested,
             s.batches_ingested,
             s.routed_items,
             s.queue_depth,
+            s.restarts,
             hist_json(&s.send_block_ns)
         );
     }
@@ -233,9 +238,12 @@ pub fn stats_record(stats: &PipelineStats, net: Option<&NetSample>, fin: bool) -
     };
     format!(
         "{{\"v\":{PROTOCOL_VERSION},\"stats\":true,{fin}\"epoch\":{},\"routed\":{},\
-         \"imbalance\":{:.4},\"snapshot_ns\":{},\"merge_ns\":{},\"shards\":[{}]{net}}}",
+         \"restarts\":{},\"lost\":{},\"imbalance\":{:.4},\"snapshot_ns\":{},\"merge_ns\":{},\
+         \"shards\":[{}]{net}}}",
         stats.epochs,
         stats.routed,
+        stats.restarts,
+        stats.lost_items,
         stats.imbalance,
         hist_json(&stats.snapshot_ns),
         hist_json(&stats.merge_ns),
@@ -366,6 +374,8 @@ mod tests {
             routed: 10,
             epochs: 1,
             imbalance: 1.0,
+            restarts: 2,
+            lost_items: 5,
             snapshot_ns: HistogramSnapshot::default(),
             merge_ns: HistogramSnapshot::default(),
             shards: Vec::new(),
@@ -374,12 +384,15 @@ mod tests {
         let v: serde_json::Value = serde_json::from_str(&plain).unwrap();
         check_version(&v).unwrap();
         assert_eq!(v["stats"], true);
+        assert_eq!(v["restarts"], 2);
+        assert_eq!(v["lost"], 5);
         assert!(v["net"].as_f64().is_none() && v["net"].as_array().is_none());
 
         let net = NetSample {
             accepted: 3,
             open: 2,
             lines: 100,
+            shed: 1,
             ..NetSample::default()
         };
         let with_net = stats_record(&stats, Some(&net), true);
@@ -387,6 +400,7 @@ mod tests {
         assert_eq!(v["final"], true);
         assert_eq!(v["net"]["accepted"], 3);
         assert_eq!(v["net"]["lines"], 100);
+        assert_eq!(v["net"]["shed"], 1);
     }
 
     #[test]

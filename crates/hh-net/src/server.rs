@@ -60,6 +60,7 @@ struct NetMetrics {
     accepted: Counter,
     open: Gauge,
     rejected: Counter,
+    shed: Counter,
     idle_timeouts: Counter,
     lines: Counter,
     queries: Counter,
@@ -76,6 +77,10 @@ impl NetMetrics {
             rejected: registry.counter(
                 "hh_net_rejected_total",
                 "connections refused at the max_conns cap",
+            ),
+            shed: registry.counter(
+                "hh_net_shed_total",
+                "connections shed by overload protection (near-capacity while saturated)",
             ),
             idle_timeouts: registry.counter(
                 "hh_net_idle_timeouts_total",
@@ -97,6 +102,7 @@ impl NetMetrics {
             accepted: self.accepted.get(),
             open: self.open.get(),
             rejected: self.rejected.get(),
+            shed: self.shed.get(),
             idle_timeouts: self.idle_timeouts.get(),
             lines: self.lines.get(),
             queries: self.queries.get(),
@@ -195,7 +201,15 @@ impl Conn {
 /// actually stuck).
 fn flush_conn(conn: &mut Conn, token: u64, poller: &Poller, metrics: &NetMetrics) {
     while conn.has_pending_writes() && conn.can_write && !conn.broken {
-        match conn.stream.write(&conn.wbuf[conn.wpos..]) {
+        if hh_fault::eintr(hh_fault::sites::NET_WRITE) {
+            continue; // injected EINTR: retry, like the real arm below
+        }
+        let pending = &conn.wbuf[conn.wpos..];
+        // An injected torn write caps the window, exercising the same
+        // partial-write resume path a short kernel write takes.
+        let cap = hh_fault::torn_write(hh_fault::sites::NET_WRITE, pending.len())
+            .unwrap_or(pending.len());
+        match conn.stream.write(&pending[..cap]) {
             Ok(0) => conn.broken = true,
             Ok(n) => {
                 conn.wpos += n;
@@ -377,6 +391,9 @@ impl<I: ServeItem> Server<I> {
 
     fn accept_tcp(&mut self, now: Instant) {
         loop {
+            if hh_fault::eintr(hh_fault::sites::NET_ACCEPT) {
+                continue; // injected EINTR: retry, like the real arm below
+            }
             let Some(listener) = &self.tcp else { return };
             match listener.accept() {
                 Ok((stream, _)) => self.install(ConnStream::Tcp(stream), now),
@@ -391,6 +408,9 @@ impl<I: ServeItem> Server<I> {
 
     fn accept_unix(&mut self, now: Instant) {
         loop {
+            if hh_fault::eintr(hh_fault::sites::NET_ACCEPT) {
+                continue; // injected EINTR: retry, like the real arm below
+            }
             let Some(listener) = &self.unix else { return };
             match listener.accept() {
                 Ok((stream, _)) => self.install(ConnStream::Unix(stream), now),
@@ -408,6 +428,19 @@ impl<I: ServeItem> Server<I> {
             // Best-effort notice; the socket drops either way.
             let mut stream = stream;
             let record = proto::error_record("server at max_conns, try later", 0);
+            let _ = stream.write(record.as_bytes());
+            let _ = stream.write(b"\n");
+            return;
+        }
+        // Overload shedding: past the high-water mark, a saturated
+        // pipeline means the existing connections already can't be
+        // drained — admitting more only grows the paused set. Shed with
+        // an in-band reason so well-behaved clients back off and retry.
+        let high_water = (self.net.max_conns_cap().saturating_mul(3) / 4).max(1);
+        if open >= high_water && self.session.saturated() {
+            self.metrics.shed.inc();
+            let mut stream = stream;
+            let record = proto::error_record("server overloaded, back off and retry", 0);
             let _ = stream.write(record.as_bytes());
             let _ = stream.write(b"\n");
             return;
@@ -543,7 +576,14 @@ impl<I: ServeItem> Server<I> {
                 // the client's TCP window closes — backpressure.
                 return Ok(true);
             }
-            match conn.stream.read(&mut scratch) {
+            if hh_fault::eintr(hh_fault::sites::NET_READ) {
+                continue; // injected EINTR: retry, like the real arm below
+            }
+            // An injected short read caps the chunk *before* the syscall,
+            // so no bytes are lost — the line stitcher just sees smaller
+            // (possibly mid-line) chunks.
+            let cap = hh_fault::short_read(hh_fault::sites::NET_READ, scratch.len());
+            match conn.stream.read(&mut scratch[..cap]) {
                 Ok(0) => {
                     conn.eof = true;
                     conn.readable = false;
@@ -879,6 +919,9 @@ impl<I: ServeItem> Server<I> {
             let sample = self.net_sample();
             let record = proto::stats_record(&self.session.stats(), Some(&sample), false);
             writeln!(out, "{record}")?;
+        }
+        if due.checkpoint {
+            self.session.checkpoint()?;
         }
         if due.any() {
             out.flush()?;

@@ -528,6 +528,7 @@ impl EngineConfig {
             backend,
             kind: self.algo,
             ingest: IngestStats::default(),
+            unobserved: 0,
         })
     }
 
@@ -1098,6 +1099,10 @@ pub struct Engine<I: EngineItem> {
     backend: Box<dyn Backend<I> + Send>,
     kind: AlgoKind,
     ingest: IngestStats,
+    /// Occurrences known to exist in the true stream but never ingested
+    /// (e.g. a crashed pipeline shard's unsnapshotted in-queue mass, see
+    /// [`Engine::add_unobserved`]). Widens every upper bound and `F1`.
+    unobserved: u64,
 }
 
 impl<I: EngineItem> fmt::Debug for Engine<I> {
@@ -1107,6 +1112,7 @@ impl<I: EngineItem> fmt::Debug for Engine<I> {
             .field("capacity", &self.backend.capacity())
             .field("stored_len", &self.backend.stored_len())
             .field("stream_len", &self.backend.stream_len())
+            .field("unobserved", &self.unobserved)
             .finish()
     }
 }
@@ -1216,9 +1222,49 @@ impl<I: EngineItem> Engine<I> {
         self.backend.entries()
     }
 
-    /// Total stream length consumed so far (`F1`).
+    /// Total stream length accounted for so far (`F1`): occurrences the
+    /// backend consumed plus any [unobserved mass](Engine::add_unobserved).
     pub fn stream_len(&self) -> u64 {
-        self.backend.stream_len()
+        self.backend.stream_len().saturating_add(self.unobserved)
+    }
+
+    /// Charges `mass` occurrences that are known to exist in the true
+    /// stream but were never delivered to any backend — the loss-accounting
+    /// primitive behind supervised shard recovery: when a pipeline shard
+    /// dies, the items shipped to it since its last epoch snapshot are
+    /// gone, and a recovered merged view stays *sound* by assuming every
+    /// one of them could have been any single item.
+    ///
+    /// Concretely, `stream_len`, every [`upper_estimate`] and every
+    /// [`error_term`] grow by `mass` while point and lower estimates are
+    /// untouched, so certified `(lower, upper)` intervals still bracket
+    /// the true counts (the Theorem 11 `(3A, A+B)` certificate degrades
+    /// by at most the lost mass, never silently). The mass is engine-local
+    /// bookkeeping: it is **not** carried by [`Engine::snapshot`] —
+    /// callers persisting a lossy engine must persist it alongside (the
+    /// checkpoint envelope in `hh-net` does).
+    ///
+    /// [`upper_estimate`]: FrequencyEstimator::upper_estimate
+    /// [`error_term`]: FrequencyEstimator::error_term
+    ///
+    /// ```
+    /// use hh_sketches::engine::{AlgoKind, EngineConfig};
+    /// use hh_counters::FrequencyEstimator;
+    /// let mut e = EngineConfig::new(AlgoKind::SpaceSaving).counters(8).build::<u64>().unwrap();
+    /// e.update_batch(&[1, 1, 2]);
+    /// e.add_unobserved(5);
+    /// assert_eq!(e.stream_len(), 8);
+    /// assert_eq!(e.lower_estimate(&1), 2);
+    /// assert_eq!(e.upper_estimate(&1), 7); // 1 may hide in the lost mass
+    /// assert_eq!(e.unobserved(), 5);
+    /// ```
+    pub fn add_unobserved(&mut self, mass: u64) {
+        self.unobserved = self.unobserved.saturating_add(mass);
+    }
+
+    /// The unobserved mass charged so far (see [`Engine::add_unobserved`]).
+    pub fn unobserved(&self) -> u64 {
+        self.unobserved
     }
 
     /// The backend's bias direction.
@@ -1339,6 +1385,7 @@ impl<I: EngineItem> Engine<I> {
             backend,
             kind,
             ingest: IngestStats::default(),
+            unobserved: 0,
         })
     }
 
@@ -1374,7 +1421,11 @@ impl<I: EngineItem> Engine<I> {
     /// assert_eq!(a.estimate(&1), 3);
     /// ```
     pub fn merge(&mut self, other: &Engine<I>) -> Result<(), Error> {
-        self.backend.absorb(&other.snapshot())
+        self.backend.absorb(&other.snapshot())?;
+        // Snapshots do not carry unobserved mass; fold it in by hand so a
+        // merge of lossy engines stays sound.
+        self.unobserved = self.unobserved.saturating_add(other.unobserved);
+        Ok(())
     }
 
     /// Serializes the engine's snapshot to JSON.
@@ -1459,15 +1510,20 @@ impl<I: EngineItem> FrequencyEstimator<I> for Engine<I> {
     }
 
     fn stream_len(&self) -> u64 {
-        self.backend.stream_len()
+        Engine::stream_len(self)
     }
 
     fn bias(&self) -> Bias {
         self.backend.bias()
     }
 
+    // The three bound queries widen by the engine's unobserved mass (see
+    // `Engine::add_unobserved`): a lost occurrence could belong to any
+    // item, so only the upper side of every interval moves.
     fn error_term(&self, item: &I) -> Option<u64> {
-        self.backend.error_term(item)
+        self.backend
+            .error_term(item)
+            .map(|e| e.saturating_add(self.unobserved))
     }
 
     fn lower_estimate(&self, item: &I) -> u64 {
@@ -1475,7 +1531,9 @@ impl<I: EngineItem> FrequencyEstimator<I> for Engine<I> {
     }
 
     fn upper_estimate(&self, item: &I) -> u64 {
-        self.backend.upper_estimate(item)
+        self.backend
+            .upper_estimate(item)
+            .saturating_add(self.unobserved)
     }
 
     fn tail_constants(&self) -> Option<TailConstants> {

@@ -32,6 +32,20 @@
 //! `queue_depth` batches per shard, so a producer that outruns the
 //! workers blocks in [`Pipeline::send`] instead of queuing unboundedly.
 //!
+//! **Supervision.** Shard workers run under `catch_unwind`, and the
+//! coordinator notices a dead shard at its next interaction with it (a
+//! ship or an epoch marker — detection is lazy, there is no watchdog
+//! thread). With [`PipelineConfig::supervised`] on (the default) the
+//! shard is respawned from its last epoch-boundary [`Snapshot`] and the
+//! mass shipped since that snapshot is charged to the pipeline's *lost*
+//! account: merged views widen `stream_len`, upper estimates and error
+//! terms by the lost mass (see [`Engine::add_unobserved`]), so certified
+//! intervals and the `(3A, A+B)` guarantee stay sound — the true count
+//! of any item still lies inside its reported interval, because at most
+//! `lost` occurrences went unobserved. With supervision off, the first
+//! operation that trips over a dead shard reports the typed
+//! [`Error::ShardDown`] and the pipeline stays usable for draining.
+//!
 //! ```
 //! use hh_sketches::engine::{AlgoKind, EngineConfig};
 //! use hh_sketches::pipeline::PipelineConfig;
@@ -55,6 +69,7 @@
 //! [`parallel_summarize`]: hh_counters::parallel::parallel_summarize
 
 use std::hash::{BuildHasher, Hash};
+use std::panic::AssertUnwindSafe;
 use std::sync::mpsc::{Receiver, SyncSender};
 use std::thread::JoinHandle;
 use std::time::Instant;
@@ -133,13 +148,14 @@ pub struct PipelineConfig {
     ingest: ShardIngest,
     batch: usize,
     queue: usize,
+    supervised: bool,
 }
 
 impl PipelineConfig {
     /// Starts a pipeline config: engines per `engine`, one shard per unit
     /// of available parallelism, hash-partitioned routing,
     /// order-preserving ingest, 8192-item batches, 4 queued batches per
-    /// shard.
+    /// shard, supervision on.
     ///
     /// # Invariants
     ///
@@ -155,6 +171,7 @@ impl PipelineConfig {
             ingest: ShardIngest::default(),
             batch: 8192,
             queue: 4,
+            supervised: true,
         }
     }
 
@@ -190,6 +207,17 @@ impl PipelineConfig {
         self
     }
 
+    /// Turns shard supervision on or off (on by default). Supervised
+    /// pipelines respawn a panicked shard worker from its last
+    /// epoch-boundary snapshot and account the lost mass into every
+    /// merged view's certified intervals (see the [module docs](self));
+    /// unsupervised pipelines surface a dead shard as the typed
+    /// [`Error::ShardDown`] with `recovered: false`.
+    pub fn supervised(mut self, supervised: bool) -> Self {
+        self.supervised = supervised;
+        self
+    }
+
     /// The configured shard count.
     pub fn shard_count(&self) -> usize {
         self.shards
@@ -222,12 +250,13 @@ impl PipelineConfig {
             // Engines are built on the coordinator thread so config errors
             // surface here, before any thread exists.
             let engine = self.engine.build::<I>()?;
-            let (tx, rx) = std::sync::mpsc::sync_channel::<Msg<I>>(self.queue);
-            let ingest = self.ingest;
-            let shard_metrics = metrics.shards[shard].clone();
-            workers.push(std::thread::spawn(move || {
-                shard_worker(engine, rx, ingest, shard_metrics)
-            }));
+            let (tx, handle) = spawn_worker(
+                engine,
+                self.queue,
+                self.ingest,
+                metrics.shards[shard].clone(),
+            );
+            workers.push(handle);
             senders.push(tx);
         }
         let buffers = match self.routing {
@@ -241,6 +270,9 @@ impl PipelineConfig {
             senders,
             workers,
             buffers,
+            last_snapshots: (0..self.shards).map(|_| None).collect(),
+            shipped_since: vec![0; self.shards],
+            lost: 0,
             rr_cursor: 0,
             routed: 0,
             epoch: 0,
@@ -291,6 +323,8 @@ struct ShardMetrics {
     /// Nanoseconds the producer spent inside `send` per shipped batch —
     /// grows when the bounded channel is full (backpressure blocking).
     send_block_ns: Histogram,
+    /// Times this shard's worker was respawned after a panic.
+    restarts: Counter,
 }
 
 /// All pipeline telemetry, owned by the coordinator and exposed through
@@ -304,6 +338,9 @@ struct PipelineMetrics {
     /// Wall time of each snapshot-set merge (merged / merged_k_sparse).
     merge_ns: Histogram,
     epochs: Counter,
+    /// Occurrences charged to dead shards across all restarts (the mass
+    /// merged views widen their intervals by).
+    lost_items: Counter,
 }
 
 impl PipelineMetrics {
@@ -339,6 +376,11 @@ impl PipelineMetrics {
                         labels,
                         "producer time inside send per shipped batch",
                     ),
+                    restarts: registry.counter_with(
+                        "hh_pipeline_shard_restarts_total",
+                        labels,
+                        "times the shard worker was respawned after a panic",
+                    ),
                 }
             })
             .collect();
@@ -352,6 +394,10 @@ impl PipelineMetrics {
             "hh_pipeline_epochs_total",
             "completed epoch-boundary queries",
         );
+        let lost_items = registry.counter(
+            "hh_pipeline_lost_items_total",
+            "occurrences charged to dead shards (widens merged intervals)",
+        );
         hh_counters::pool::register_metrics(&registry);
         PipelineMetrics {
             registry,
@@ -359,6 +405,7 @@ impl PipelineMetrics {
             snapshot_ns,
             merge_ns,
             epochs,
+            lost_items,
         }
     }
 }
@@ -380,6 +427,8 @@ pub struct ShardStats {
     pub queue_depth: i64,
     /// Distribution of producer time inside `send` per shipped batch.
     pub send_block_ns: HistogramSnapshot,
+    /// Times this shard's worker was respawned after a panic.
+    pub restarts: u64,
 }
 
 /// A point-in-time read-out of a running [`Pipeline`]'s telemetry,
@@ -404,6 +453,12 @@ pub struct PipelineStats {
     pub snapshot_ns: HistogramSnapshot,
     /// Distribution of epoch snapshot-set merge wall time.
     pub merge_ns: HistogramSnapshot,
+    /// Shard-worker respawns across all shards (`Σ shards[i].restarts`).
+    pub restarts: u64,
+    /// Occurrences charged to dead shards so far — the mass every merged
+    /// view widens its `stream_len`, upper estimates and error terms by.
+    /// `0` on a pipeline that never lost a worker.
+    pub lost_items: u64,
     /// Per-shard telemetry, in shard order.
     pub shards: Vec<ShardStats>,
 }
@@ -430,6 +485,10 @@ enum Msg<I> {
     Checkpoint(SyncSender<Snapshot<I>>),
 }
 
+/// What a shard worker hands back through its join handle: the drained
+/// engine on a clean shutdown, or the panic message when the worker died.
+type ShardOutcome<I> = Result<Engine<I>, String>;
+
 fn shard_worker<I: EngineItem>(
     mut engine: Engine<I>,
     rx: Receiver<Msg<I>>,
@@ -440,6 +499,9 @@ fn shard_worker<I: EngineItem>(
     while let Ok(msg) = rx.recv() {
         match msg {
             Msg::Batch(batch) => {
+                // Injection site: a crash here models a worker dying with
+                // a dequeued-but-unapplied batch (free unless armed).
+                hh_fault::fault_point(hh_fault::sites::SHARD_BATCH);
                 metrics.queue_depth.sub(1);
                 match ingest {
                     ShardIngest::Preserve => engine.update_batch(&batch),
@@ -449,6 +511,9 @@ fn shard_worker<I: EngineItem>(
                 metrics.batches_ingested.inc();
             }
             Msg::Checkpoint(reply) => {
+                // Injection site: a crash between marker receipt and the
+                // reply exercises the coordinator's phase-2 recovery.
+                hh_fault::fault_point(hh_fault::sites::SHARD_CHECKPOINT);
                 // A dropped reply receiver means the coordinator gave up
                 // on this epoch; ingest continues regardless.
                 let _ = reply.send(engine.snapshot());
@@ -458,6 +523,40 @@ fn shard_worker<I: EngineItem>(
     // Channel disconnected: the coordinator is finishing (or dropped the
     // pipeline). Hand the engine back through the join handle.
     engine
+}
+
+/// Spawns one shard worker under `catch_unwind`, so a panic in a worker
+/// (a backend bug, or an injected fault) is reported through the join
+/// handle as an `Err(panic message)` instead of silently poisoning the
+/// pipeline. `AssertUnwindSafe` is sound here: on panic the engine and
+/// aggregator are dropped with the closure — supervision rebuilds state
+/// from the last epoch snapshot and never observes the torn values.
+fn spawn_worker<I: EngineItem>(
+    engine: Engine<I>,
+    queue: usize,
+    ingest: ShardIngest,
+    metrics: ShardMetrics,
+) -> (SyncSender<Msg<I>>, JoinHandle<ShardOutcome<I>>) {
+    let (tx, rx) = std::sync::mpsc::sync_channel::<Msg<I>>(queue);
+    let handle = std::thread::spawn(move || {
+        std::panic::catch_unwind(AssertUnwindSafe(|| {
+            shard_worker(engine, rx, ingest, metrics)
+        }))
+        .map_err(|payload| panic_message(payload.as_ref()))
+    });
+    (tx, handle)
+}
+
+/// Best-effort text of a caught panic payload (`&str` and `String`
+/// payloads cover `panic!`; anything else gets a fixed marker).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 /// Per-batch multiset aggregation scratch for [`ShardIngest::Aggregate`]:
@@ -536,10 +635,21 @@ impl<I: EngineItem> BatchAggregator<I> {
 pub struct Pipeline<I: EngineItem> {
     config: PipelineConfig,
     senders: Vec<SyncSender<Msg<I>>>,
-    workers: Vec<JoinHandle<Engine<I>>>,
+    workers: Vec<JoinHandle<ShardOutcome<I>>>,
     /// Pending per-shard batches (`HashPartition`) or the single staging
     /// batch (`RoundRobin`).
     buffers: Vec<Vec<I>>,
+    /// Supervision state: each shard's last epoch-boundary snapshot
+    /// (`None` until the first epoch) — the restore point a respawned
+    /// worker rebuilds from.
+    last_snapshots: Vec<Option<Snapshot<I>>>,
+    /// Items shipped to each shard since its snapshot in
+    /// `last_snapshots` was taken — the mass charged as lost if the
+    /// worker dies before the next epoch.
+    shipped_since: Vec<u64>,
+    /// Total occurrences charged to dead shards; folded into every
+    /// merged view via [`Engine::add_unobserved`].
+    lost: u64,
     rr_cursor: usize,
     routed: u64,
     epoch: u64,
@@ -574,6 +684,13 @@ impl<I: EngineItem> Pipeline<I> {
     /// Completed epoch-boundary queries so far.
     pub fn epoch(&self) -> u64 {
         self.epoch
+    }
+
+    /// Occurrences charged to dead shards so far — the mass every merged
+    /// view is widened by ([`Engine::add_unobserved`]). `0` unless a
+    /// supervised shard worker died and was respawned.
+    pub fn lost_items(&self) -> u64 {
+        self.lost
     }
 
     /// A live telemetry sample: per-shard ingest counters, queue depths,
@@ -611,6 +728,7 @@ impl<I: EngineItem> Pipeline<I> {
                 routed_items: m.routed_items.get(),
                 queue_depth: m.queue_depth.get(),
                 send_block_ns: m.send_block_ns.snapshot(),
+                restarts: m.restarts.get(),
             })
             .collect();
         let shipped: u64 = shards.iter().map(|s| s.routed_items).sum();
@@ -627,6 +745,8 @@ impl<I: EngineItem> Pipeline<I> {
             imbalance,
             snapshot_ns: self.metrics.snapshot_ns.snapshot(),
             merge_ns: self.metrics.merge_ns.snapshot(),
+            restarts: shards.iter().map(|s| s.restarts).sum(),
+            lost_items: self.lost,
             shards,
         }
     }
@@ -666,8 +786,9 @@ impl<I: EngineItem> Pipeline<I> {
     }
 
     /// Routes one arrival. Blocks when the destination shard's queue is
-    /// full (backpressure). Fails with [`Error::Pipeline`] if a shard
-    /// worker has died.
+    /// full (backpressure). A dead shard worker is respawned under
+    /// supervision (the default); otherwise — or if the respawn fails —
+    /// the call reports [`Error::ShardDown`].
     pub fn send(&mut self, item: I) -> Result<(), Error> {
         self.routed += 1;
         match self.config.routing {
@@ -759,53 +880,171 @@ impl<I: EngineItem> Pipeline<I> {
 
     /// The single shipping point: all telemetry is per *batch* here (a
     /// counter add, a gauge bump, one timed send), so the per-item send
-    /// paths above stay exactly as lean as before instrumentation.
+    /// paths above stay exactly as lean as before instrumentation. A
+    /// failed send means the shard worker died: under supervision the
+    /// shard is respawned from its last epoch snapshot and the batch —
+    /// recovered intact from the send error — is re-shipped to the
+    /// rebuilt worker, so *this* batch is never part of the lost mass.
     fn ship_to(&mut self, shard: usize, batch: Vec<I>) -> Result<(), Error> {
+        let len = batch.len() as u64;
         let metrics = &self.metrics.shards[shard];
-        metrics.routed_items.add(batch.len() as u64);
+        metrics.routed_items.add(len);
         metrics.queue_depth.add(1);
         let start = Instant::now();
         let sent = self.senders[shard].send(Msg::Batch(batch));
         metrics.send_block_ns.record_duration(start.elapsed());
-        if sent.is_err() {
-            // Never delivered: keep the in-flight gauge truthful on the
-            // (terminal) dead-shard path.
-            metrics.queue_depth.sub(1);
-            return Err(Error::pipeline(format!(
-                "shard {shard} is no longer receiving"
-            )));
+        match sent {
+            Ok(()) => {
+                self.shipped_since[shard] += len;
+                Ok(())
+            }
+            Err(undelivered) => {
+                // Never delivered: keep the in-flight gauge truthful.
+                metrics.queue_depth.sub(1);
+                let batch = match undelivered.0 {
+                    Msg::Batch(batch) => batch,
+                    // We just sent a Batch; nothing else can come back.
+                    Msg::Checkpoint(_) => Vec::new(),
+                };
+                self.respawn(shard)?;
+                self.metrics.shards[shard].queue_depth.add(1);
+                match self.senders[shard].send(Msg::Batch(batch)) {
+                    Ok(()) => {
+                        self.shipped_since[shard] += len;
+                        Ok(())
+                    }
+                    Err(_) => {
+                        // The respawned worker died instantly (e.g. a
+                        // persistent injected fault): give up loudly.
+                        self.metrics.shards[shard].queue_depth.sub(1);
+                        Err(Error::ShardDown {
+                            shard,
+                            recovered: true,
+                        })
+                    }
+                }
+            }
         }
+    }
+
+    /// Supervised recovery: reap the dead worker, charge everything
+    /// shipped since its last epoch snapshot to the lost account, and
+    /// respawn the shard from that snapshot (or from a fresh engine if
+    /// no epoch has completed yet).
+    fn respawn(&mut self, shard: usize) -> Result<(), Error> {
+        if !self.config.supervised {
+            return Err(Error::ShardDown {
+                shard,
+                recovered: false,
+            });
+        }
+        let engine = match self.last_snapshots[shard].clone() {
+            Some(snap) => Engine::from_snapshot(snap).map_err(|_| Error::ShardDown {
+                shard,
+                recovered: false,
+            })?,
+            None => self
+                .config
+                .engine
+                .build::<I>()
+                .map_err(|_| Error::ShardDown {
+                    shard,
+                    recovered: false,
+                })?,
+        };
+        let (tx, handle) = spawn_worker(
+            engine,
+            self.config.queue,
+            self.config.ingest,
+            self.metrics.shards[shard].clone(),
+        );
+        // Push-then-swap_remove replaces slot `shard` in place and hands
+        // back the dead worker's sender and handle.
+        self.senders.push(tx);
+        drop(self.senders.swap_remove(shard));
+        self.workers.push(handle);
+        let dead = self.workers.swap_remove(shard);
+        // The worker already exited (that is why we are here); reap its
+        // panic payload so the thread is not leaked.
+        let _ = dead.join();
+        // Batches queued at the crash died with the channel; everything
+        // shipped since the restore point is gone either way.
+        let lost = self.shipped_since[shard];
+        self.shipped_since[shard] = 0;
+        self.lost = self.lost.saturating_add(lost);
+        let metrics = &self.metrics.shards[shard];
+        metrics.queue_depth.set(0);
+        metrics.restarts.inc();
+        self.metrics.lost_items.add(lost);
         Ok(())
     }
 
     /// Collects one snapshot per shard at an epoch boundary: every item
     /// routed before this call is reflected, no item sent after is. The
     /// pipeline keeps ingesting afterwards; the epoch counter increments.
+    ///
+    /// Under supervision a shard found dead here is respawned and its
+    /// restored engine answers the epoch (sound: the lost mass is in the
+    /// pipeline's lost account, which merged views widen by). On success
+    /// the collected snapshots become the shards' new restore points.
     pub fn snapshots(&mut self) -> Result<Vec<Snapshot<I>>, Error> {
         let start = Instant::now();
         self.flush()?;
         // Phase 1: post a checkpoint marker to every shard...
         let mut replies = Vec::with_capacity(self.senders.len());
-        for (shard, tx) in self.senders.iter().enumerate() {
-            let (reply_tx, reply_rx) = std::sync::mpsc::sync_channel(1);
-            tx.send(Msg::Checkpoint(reply_tx))
-                .map_err(|_| Error::pipeline(format!("shard {shard} is no longer receiving")))?;
-            replies.push(reply_rx);
+        for shard in 0..self.senders.len() {
+            replies.push(self.post_checkpoint(shard)?);
         }
         // ...then collect, so shards drain their queues concurrently
         // instead of one at a time.
         let mut snaps = Vec::with_capacity(replies.len());
         for (shard, rx) in replies.into_iter().enumerate() {
-            snaps.push(rx.recv().map_err(|_| {
-                Error::pipeline(format!(
-                    "shard {shard} died before answering the checkpoint"
-                ))
-            })?);
+            match rx.recv() {
+                Ok(snap) => snaps.push(snap),
+                Err(_) => {
+                    // The shard died between the marker and its reply.
+                    // Respawn it and ask the rebuilt worker: its state
+                    // *is* the last restore point, exactly what this
+                    // epoch can still soundly report for the shard.
+                    self.respawn(shard)?;
+                    let retry = self.post_checkpoint(shard)?;
+                    snaps.push(retry.recv().map_err(|_| Error::ShardDown {
+                        shard,
+                        recovered: true,
+                    })?);
+                }
+            }
+        }
+        // The epoch is the new restore point for every shard.
+        if self.config.supervised {
+            for (shard, snap) in snaps.iter().enumerate() {
+                self.last_snapshots[shard] = Some(snap.clone());
+                self.shipped_since[shard] = 0;
+            }
         }
         self.epoch += 1;
         self.metrics.snapshot_ns.record_duration(start.elapsed());
         self.metrics.epochs.inc();
         Ok(snaps)
+    }
+
+    /// Posts one epoch marker to `shard`, respawning it first if the
+    /// send finds it dead (one attempt — a worker that dies again
+    /// immediately surfaces as [`Error::ShardDown`]).
+    fn post_checkpoint(&mut self, shard: usize) -> Result<Receiver<Snapshot<I>>, Error> {
+        let (reply_tx, reply_rx) = std::sync::mpsc::sync_channel(1);
+        if self.senders[shard].send(Msg::Checkpoint(reply_tx)).is_ok() {
+            return Ok(reply_rx);
+        }
+        self.respawn(shard)?;
+        let (reply_tx, reply_rx) = std::sync::mpsc::sync_channel(1);
+        self.senders[shard]
+            .send(Msg::Checkpoint(reply_tx))
+            .map_err(|_| Error::ShardDown {
+                shard,
+                recovered: true,
+            })?;
+        Ok(reply_rx)
     }
 
     /// The live merged view: per-shard snapshots collected at an epoch
@@ -815,12 +1054,19 @@ impl<I: EngineItem> Pipeline<I> {
     /// sound for the combined stream and its [`Engine::report`] is the
     /// pipeline's live query surface. Carries the Theorem 11 `(3A, A+B)`
     /// k-tail guarantee when shards carry `(A, B)`.
+    ///
+    /// If shards were lost and respawned, the result is widened by the
+    /// lost mass ([`Engine::add_unobserved`]): `stream_len` still counts
+    /// every routed item and certified intervals still contain the true
+    /// counts.
     pub fn merged(&mut self) -> Result<Engine<I>, Error> {
         let snaps = self.snapshots()?;
         let start = Instant::now();
         let merged = merge_snapshots(snaps);
         self.metrics.merge_ns.record_duration(start.elapsed());
-        merged
+        let mut merged = merged?;
+        merged.add_unobserved(self.lost);
+        Ok(merged)
     }
 
     /// The Theorem 11 *k-sparse* merge of an epoch-boundary view: each
@@ -838,8 +1084,9 @@ impl<I: EngineItem> Pipeline<I> {
             shards.push(Engine::from_snapshot(snap)?);
         }
         let target = self.config.engine.build::<I>()?;
-        let merged = merge_k_sparse(&shards, k, move || target);
+        let mut merged = merge_k_sparse(&shards, k, move || target);
         self.metrics.merge_ns.record_duration(start.elapsed());
+        merged.add_unobserved(self.lost);
         Ok(merged)
     }
 
@@ -853,34 +1100,82 @@ impl<I: EngineItem> Pipeline<I> {
     }
 
     /// Drains every buffer, stops the workers, and returns the final
-    /// merged engine (same merge as [`Pipeline::merged`]).
-    pub fn finish(self) -> Result<Engine<I>, Error> {
-        let engines = self.finish_shards()?;
+    /// merged engine (same merge as [`Pipeline::merged`], including the
+    /// lost-mass widening if shards were ever respawned).
+    pub fn finish(mut self) -> Result<Engine<I>, Error> {
+        let (engines, lost) = self.drain_shards()?;
         let mut engines = engines.into_iter();
-        // lint:allow(panic-freedom) unreachable: PipelineConfig::spawn rejects shards == 0, and finish_shards returns exactly one engine per shard
+        // lint:allow(panic-freedom) unreachable: PipelineConfig::spawn rejects shards == 0, and drain_shards returns exactly one engine per shard
         let mut merged = engines.next().expect("spawn enforces at least one shard");
         for engine in engines {
             merged.merge(&engine)?;
         }
+        merged.add_unobserved(lost);
         Ok(merged)
     }
 
     /// Drains every buffer, stops the workers, and returns the per-shard
-    /// engines in shard order.
+    /// engines in shard order. A shard found dead at the drain is
+    /// replaced by its last restore point under supervision (the caller
+    /// can read the charged loss off [`Pipeline::stats`] beforehand —
+    /// after this the pipeline is consumed).
     pub fn finish_shards(mut self) -> Result<Vec<Engine<I>>, Error> {
+        self.drain_shards().map(|(engines, _)| engines)
+    }
+
+    /// The common drain: disconnect every channel, join every worker,
+    /// and turn panicked workers into restored engines (supervised) or a
+    /// typed [`Error::ShardDown`] (unsupervised). Returns the engines
+    /// plus the pipeline's total lost mass.
+    fn drain_shards(&mut self) -> Result<(Vec<Engine<I>>, u64), Error> {
         self.flush()?;
         // Dropping the senders disconnects the channels; workers drain
         // what is queued and return their engines.
         self.senders.clear();
         let mut engines = Vec::with_capacity(self.workers.len());
         for (shard, handle) in self.workers.drain(..).enumerate() {
-            engines.push(
-                handle
-                    .join()
-                    .map_err(|_| Error::pipeline(format!("shard {shard} worker panicked")))?,
-            );
+            let outcome = handle
+                .join()
+                .unwrap_or_else(|payload| Err(panic_message(payload.as_ref())));
+            match outcome {
+                Ok(engine) => engines.push(engine),
+                Err(_panic) => {
+                    if !self.config.supervised {
+                        return Err(Error::ShardDown {
+                            shard,
+                            recovered: false,
+                        });
+                    }
+                    // The worker died somewhere before the drain: fall
+                    // back to its restore point and charge the rest.
+                    let engine = match self.last_snapshots[shard].take() {
+                        Some(snap) => {
+                            Engine::from_snapshot(snap).map_err(|_| Error::ShardDown {
+                                shard,
+                                recovered: false,
+                            })?
+                        }
+                        None => self
+                            .config
+                            .engine
+                            .build::<I>()
+                            .map_err(|_| Error::ShardDown {
+                                shard,
+                                recovered: false,
+                            })?,
+                    };
+                    let lost = self.shipped_since[shard];
+                    self.shipped_since[shard] = 0;
+                    self.lost = self.lost.saturating_add(lost);
+                    let metrics = &self.metrics.shards[shard];
+                    metrics.queue_depth.set(0);
+                    metrics.restarts.inc();
+                    self.metrics.lost_items.add(lost);
+                    engines.push(engine);
+                }
+            }
         }
-        Ok(engines)
+        Ok((engines, self.lost))
     }
 }
 
@@ -1196,6 +1491,8 @@ mod tests {
             "hh_pipeline_send_block_ns",
             "hh_pipeline_snapshot_ns",
             "hh_pipeline_epochs_total",
+            "hh_pipeline_shard_restarts_total",
+            "hh_pipeline_lost_items_total",
             "hh_pool_tasks_total",
         ] {
             assert!(text.contains(family), "missing {family} in:\n{text}");
@@ -1210,5 +1507,40 @@ mod tests {
         let mut p = ss_config(8).shards(2).batch_size(4).spawn::<u64>().unwrap();
         p.send_batch(&[1, 2, 3]).unwrap();
         drop(p); // workers exit on disconnect; nothing to join
+    }
+
+    #[test]
+    fn healthy_pipelines_report_no_restarts_or_loss() {
+        // Supervision is on by default and must be invisible while no
+        // shard dies: zero restarts, zero lost mass, exact stream_len.
+        let mut p = ss_config(32)
+            .shards(2)
+            .batch_size(64)
+            .spawn::<u64>()
+            .unwrap();
+        p.send_batch(&stream(3_000, 71)).unwrap();
+        p.merged().unwrap();
+        let stats = p.stats();
+        assert_eq!(stats.restarts, 0);
+        assert_eq!(stats.lost_items, 0);
+        assert_eq!(p.lost_items(), 0);
+        for shard in &stats.shards {
+            assert_eq!(shard.restarts, 0);
+        }
+        let merged = p.finish().unwrap();
+        assert_eq!(merged.stream_len(), 3_000);
+        assert_eq!(merged.unobserved(), 0);
+    }
+
+    #[test]
+    fn supervised_builder_knob_round_trips() {
+        let on = ss_config(8);
+        assert!(on.supervised);
+        let off = ss_config(8).supervised(false);
+        assert!(!off.supervised);
+        // an unsupervised pipeline still runs fine while healthy
+        let mut p = off.shards(2).spawn::<u64>().unwrap();
+        p.send_batch(&[1, 2, 3, 4]).unwrap();
+        assert_eq!(p.finish().unwrap().stream_len(), 4);
     }
 }

@@ -21,6 +21,9 @@
 //!   an epoll event loop multiplexing newline-delimited writers onto the
 //!   shard channels with real backpressure, in-band `?topk`/`?stats`/
 //!   `?snapshot` queries, and graceful drain/resume (`hh serve --listen`);
+//! * [`fault`] — seeded fault-injection hooks (panics, stalls, torn
+//!   writes at named sites) compiled out of release builds, plus the
+//!   capped-backoff [`fault::RetryPolicy`] the CLI client retries with;
 //! * [`sketches`] — Count-Min and Count-Sketch baselines;
 //! * [`streamgen`] — Zipfian / adversarial / weighted workload generators
 //!   with exact ground truth;
@@ -71,6 +74,7 @@
 
 pub use hh_analysis as analysis;
 pub use hh_counters as counters;
+pub use hh_fault as fault;
 pub use hh_net as net;
 pub use hh_obs as obs;
 pub use hh_sketches as sketches;

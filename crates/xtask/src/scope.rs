@@ -30,6 +30,7 @@ pub enum Scope {
 /// The library crates panic-freedom polices.
 pub const LIBRARY_CRATES: &[&str] = &[
     "hh",
+    "hh-fault",
     "hh-obs",
     "hh-counters",
     "hh-sketches",
@@ -109,6 +110,8 @@ mod tests {
             classify("crates/hh-counters/src/pool.rs"),
             Some(Scope::Library)
         );
+        assert_eq!(classify("crates/hh-fault/src/lib.rs"), Some(Scope::Library));
+        assert!(LIBRARY_CRATES.contains(&"hh-fault"));
         assert_eq!(classify("crates/hh-cli/src/main.rs"), Some(Scope::Binary));
         assert_eq!(
             classify("crates/bench/src/bin/run_all.rs"),

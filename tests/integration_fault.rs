@@ -1,0 +1,276 @@
+//! Chaos tests: seeded fault injection against the supervised pipeline,
+//! the durable checkpoint cycle, and the client retry policy.
+//!
+//! Fault plans are process-global (`hh::fault::install`), so every test
+//! that arms one — or runs pipeline code that could observe one —
+//! serializes through [`Chaos`]. This file is the *only* test binary
+//! that installs plans; unit tests elsewhere stay fault-free so an
+//! armed plan can never leak into an unrelated concurrent test.
+//!
+//! The soundness claim under test is the PR 9 loss-accounting rule: when
+//! a shard worker dies mid-epoch, the pipeline rebuilds it from its last
+//! epoch-boundary snapshot and charges every item shipped since then as
+//! *unobserved* mass, widening `stream_len` and every upper bound by
+//! exactly that mass. Lower bounds come from observed occurrences only,
+//! so for every reported item the certified interval must still bracket
+//! the true count — the merged `(3A, A + B)` certificate (Theorem 11)
+//! survives the crash.
+
+use std::sync::{Mutex, MutexGuard};
+use std::time::Duration;
+
+use proptest::prelude::*;
+
+use hh::fault::{sites, FaultPlan, RetryPolicy};
+use hh::net::{checkpoint, Checkpoint, ServeOptions, ServeSession};
+use hh::pipeline::PipelineConfig;
+use hh::prelude::*;
+use hh::streamgen::zipf::{stream_from_counts, StreamOrder};
+
+static PLAN: Mutex<()> = Mutex::new(());
+
+/// The boxed signature `std::panic::take_hook` returns.
+type PanicHook = Box<dyn Fn(&std::panic::PanicHookInfo<'_>) + Sync + Send + 'static>;
+
+/// Serializes chaos tests, arms a plan, and silences the default panic
+/// hook (injected worker panics are expected, not noise). Disarms and
+/// restores the hook on drop.
+struct Chaos {
+    _guard: MutexGuard<'static, ()>,
+    prev_hook: Option<PanicHook>,
+}
+
+impl Chaos {
+    fn arm(plan: FaultPlan) -> Self {
+        let guard = PLAN.lock().unwrap_or_else(|e| e.into_inner());
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        hh::fault::install(plan);
+        Chaos {
+            _guard: guard,
+            prev_hook: Some(prev),
+        }
+    }
+}
+
+impl Drop for Chaos {
+    fn drop(&mut self) {
+        hh::fault::clear();
+        if let Some(hook) = self.prev_hook.take() {
+            std::panic::set_hook(hook);
+        }
+    }
+}
+
+const M: usize = 64;
+const K: usize = 6;
+
+/// A skewed stream over 200 distinct items (more than `M`, so summaries
+/// genuinely truncate), deterministically shuffled per seed.
+fn skewed_stream(seed: u64) -> Vec<u64> {
+    let counts: Vec<u64> = (1..=200u64).map(|i| seed % 5 + 2400 / i).collect();
+    stream_from_counts(&counts, StreamOrder::Shuffled(seed))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Kill one shard worker mid-epoch at a seeded batch; the pipeline
+    /// must keep ingesting, respawn the shard from its last snapshot,
+    /// record the restart and the lost mass, and keep every certified
+    /// interval of the final merged report bracketing the single-engine
+    /// oracle's true count.
+    #[test]
+    fn killed_shard_keeps_certificates_sound(seed in 0u64..500, kill_batch in 1u64..40) {
+        let stream = skewed_stream(seed);
+        let _chaos = Chaos::arm(FaultPlan::new(seed).panic_on(sites::SHARD_BATCH, kill_batch));
+
+        let mut pipeline: Pipeline<u64> =
+            PipelineConfig::new(EngineConfig::new(AlgoKind::SpaceSaving).counters(M))
+                .shards(3)
+                .batch_size(64)
+                .queue_depth(2)
+                .spawn()
+                .expect("valid pipeline config");
+        // Epoch boundaries every chunk: each merged() stores fresh
+        // restore points, so the kill lands mid-epoch by construction.
+        for chunk in stream.chunks(1500) {
+            pipeline.send_batch(chunk).expect("supervised ingest survives the kill");
+            pipeline.merged().expect("epoch query survives the kill");
+        }
+
+        let stats = pipeline.stats();
+        prop_assert_eq!(stats.restarts, 1, "exactly one injected kill");
+        prop_assert!(stats.lost_items <= stream.len() as u64);
+        prop_assert_eq!(stats.lost_items, pipeline.lost_items());
+
+        let merged = pipeline.finish().expect("drain succeeds after recovery");
+        prop_assert_eq!(merged.unobserved(), stats.lost_items);
+        // Lost mass still counts toward the summarized stream length.
+        prop_assert_eq!(merged.stream_len(), stream.len() as u64);
+
+        // The oracle certificate: every reported interval brackets truth.
+        let oracle = ExactCounter::from_stream(&stream);
+        let report = merged.report();
+        for entry in report.top_k(K) {
+            let truth = oracle.count(&entry.item);
+            prop_assert!(
+                entry.lower <= truth && truth <= entry.upper,
+                "item {}: certified [{}, {}] misses true count {} (lost {})",
+                entry.item, entry.lower, entry.upper, truth, stats.lost_items
+            );
+        }
+    }
+
+    /// Torn checkpoint writes at seeded truncation points never produce
+    /// a loadable-but-wrong checkpoint: load either rejects the file
+    /// (typed corruption error) or falls back to the intact previous
+    /// generation.
+    #[test]
+    fn torn_checkpoint_never_loads_wrong(seed in 0u64..200) {
+        let _chaos = Chaos::arm(
+            FaultPlan::new(seed).torn_write_on(sites::CHECKPOINT_WRITE, 2),
+        );
+        let dir = std::env::temp_dir().join(format!(
+            "hh-fault-torn-{}-{seed}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("state.ckpt").to_str().unwrap().to_string();
+
+        let mut engine = EngineConfig::new(AlgoKind::SpaceSaving)
+            .counters(16)
+            .build::<u64>()
+            .unwrap();
+        engine.update_batch(&[1, 1, 2, seed]);
+        let good = Checkpoint { shards: vec![engine.snapshot()], unobserved: 0 };
+        engine.update_batch(&[3, 3, 3]);
+        let newer = Checkpoint { shards: vec![engine.snapshot()], unobserved: 1 };
+
+        checkpoint::write(&path, &good).unwrap();   // generation 1: clean
+        checkpoint::write(&path, &newer).unwrap();  // generation 2: torn (hit #2)
+
+        let (loaded, fell_back) = checkpoint::load_latest::<u64>(&path)
+            .expect("previous generation still loads");
+        prop_assert!(fell_back, "torn current generation must not verify");
+        prop_assert_eq!(loaded, good);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// Without supervision, a dead shard is a typed, attributable error —
+/// not a hang and not a silent undercount.
+#[test]
+fn unsupervised_shard_death_is_a_typed_error() {
+    let _chaos = Chaos::arm(FaultPlan::new(7).panic_on(sites::SHARD_BATCH, 1));
+    let mut pipeline: Pipeline<u64> =
+        PipelineConfig::new(EngineConfig::new(AlgoKind::SpaceSaving).counters(16))
+            .shards(1)
+            .batch_size(4)
+            .queue_depth(1)
+            .supervised(false)
+            .spawn()
+            .expect("valid pipeline config");
+    // The first batch kills the worker; a later ship or the drain must
+    // surface ShardDown{recovered: false}.
+    let mut saw = None;
+    for i in 0..200u64 {
+        if let Err(e) = pipeline.send(i) {
+            saw = Some(e);
+            break;
+        }
+    }
+    let err = match saw {
+        Some(e) => e,
+        None => pipeline
+            .finish()
+            .expect_err("dead shard cannot drain cleanly"),
+    };
+    match err {
+        hh::Error::ShardDown {
+            shard: 0,
+            recovered: false,
+        } => {}
+        other => panic!("expected ShardDown{{recovered: false}}, got {other:?}"),
+    }
+}
+
+/// The full durable-checkpoint cycle under injected torn writes: a serve
+/// session checkpoints cleanly, a later checkpoint tears, and the next
+/// session resumes from the previous generation — reporting the
+/// fallback — instead of failing or silently undercounting.
+#[test]
+fn serve_session_resumes_from_previous_generation_after_torn_checkpoint() {
+    let dir = std::env::temp_dir().join(format!("hh-fault-resume-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("serve.ckpt").to_str().unwrap().to_string();
+    let config = EngineConfig::new(AlgoKind::SpaceSaving).counters(16);
+
+    {
+        // Second checkpoint write tears (hit #2 of the write site).
+        let _chaos = Chaos::arm(FaultPlan::new(3).torn_write_on(sites::CHECKPOINT_WRITE, 2));
+        let serve = ServeOptions::new(config.clone())
+            .shards(Some(2))
+            .checkpoint_every(4)
+            .snapshot_out(Some(path.clone()));
+        let mut session: ServeSession<u64> = ServeSession::spawn(&serve).unwrap();
+        session.send_batch(&[1, 1, 2, 3]).unwrap();
+        session.checkpoint().unwrap(); // generation 1: clean, covers 4 items
+        session.send_batch(&[4, 4, 4, 4]).unwrap();
+        session.checkpoint().unwrap(); // generation 2: torn on disk
+                                       // Crash: no finish(), the torn file stays current.
+    }
+
+    let resume = ServeOptions::new(config)
+        .shards(Some(1))
+        .snapshot_in(Some(path.clone()));
+    let mut session: ServeSession<u64> = ServeSession::spawn(&resume).unwrap();
+    assert!(
+        session.resumed_from_fallback(),
+        "resume must detect the torn current generation"
+    );
+    let merged = session.merged().unwrap();
+    assert_eq!(merged.stream_len(), 4, "previous generation covers 4 items");
+    assert_eq!(merged.estimate(&1), 2);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The client's capped equal-jitter backoff rides out a listener that
+/// comes up late (flapping restart), and its delay schedule is a pure
+/// function of the seed.
+#[test]
+fn retry_policy_rides_out_a_flapping_listener() {
+    use std::net::{TcpListener, TcpStream};
+
+    let _guard = PLAN.lock().unwrap_or_else(|e| e.into_inner());
+    let policy = RetryPolicy::new(6, 20, 200, 42);
+    let a: Vec<Duration> = policy.delays().collect();
+    let b: Vec<Duration> = policy.delays().collect();
+    assert_eq!(a, b, "seeded jitter is deterministic");
+    assert_eq!(a.len(), 5, "attempts - 1 sleeps");
+    assert!(a.iter().all(|d| *d <= Duration::from_millis(200)));
+
+    // Reserve a port, drop the listener, and bring it back only after a
+    // delay longer than the first backoff sleeps.
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    drop(listener);
+    let rebind = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(60));
+        let listener = TcpListener::bind(addr).expect("rebind the reserved port");
+        let _ = listener.accept();
+    });
+
+    let mut delays = policy.delays();
+    let connected = loop {
+        match TcpStream::connect_timeout(&addr, Duration::from_millis(500)) {
+            Ok(_) => break true,
+            Err(_) => match delays.next() {
+                Some(delay) => std::thread::sleep(delay),
+                None => break false,
+            },
+        }
+    };
+    assert!(connected, "backoff budget must outlast the flap");
+    rebind.join().unwrap();
+}
