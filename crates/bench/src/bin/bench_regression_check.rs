@@ -453,6 +453,82 @@ fn check_server_ingest(dir: &str, stream: &[Item]) -> bool {
     !ok
 }
 
+/// Baselines that are not re-measured here (their benches take minutes,
+/// or they record paired ratios already gated above) but still must stay
+/// structurally sound: present, parseable, and carrying the schema the
+/// analysis notebooks and `xtask lint`'s drift rule expect. Each entry
+/// is `(file, expected "group" field)`. A baseline missing from both
+/// this table and the sentinel gates is an `artifact-drift` lint error.
+const AUDITED_BASELINES: [(&str, &str); 9] = [
+    ("BENCH_engine_overhead.json", "engine_overhead"),
+    ("BENCH_frequent_backend.json", "frequent_backend"),
+    ("BENCH_merge_summaries.json", "merge_summaries"),
+    ("BENCH_point_queries.json", "point_queries"),
+    ("BENCH_spacesaving_backend.json", "spacesaving_backend"),
+    (
+        "BENCH_stream_summary_evict_insert.json",
+        "stream_summary_evict_insert",
+    ),
+    (
+        "BENCH_stream_summary_increment.json",
+        "stream_summary_increment",
+    ),
+    (
+        "BENCH_stream_summary_snapshot.json",
+        "stream_summary_snapshot",
+    ),
+    (
+        "BENCH_updates_per_sec_chunked.json",
+        "updates_per_sec_chunked",
+    ),
+];
+
+/// Validates every audited baseline's schema: readable JSON whose
+/// `group` matches, with a non-empty `benchmarks` array where every
+/// entry has a non-empty `id`, a positive `median_ns_per_iter`, and a
+/// positive `items_per_sec` when present. Returns true on failure.
+fn check_audited_baselines(dir: &str) -> bool {
+    let mut failed = false;
+    for (file, group) in AUDITED_BASELINES {
+        if let Err(e) = audit_baseline(dir, file, group) {
+            eprintln!("FAIL {file}: {e}");
+            failed = true;
+        } else {
+            println!("  ok  {file} schema audit ({group})");
+        }
+    }
+    failed
+}
+
+fn audit_baseline(dir: &str, file: &str, group: &str) -> Result<(), String> {
+    let path = format!("{dir}/{file}");
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let value: serde_json::Value =
+        serde_json::from_str(&text).map_err(|e| format!("bad json in {path}: {e}"))?;
+    if value["group"].as_str() != Some(group) {
+        return Err(format!("{path}: group != {group:?}"));
+    }
+    let benchmarks = value["benchmarks"]
+        .as_array()
+        .filter(|b| !b.is_empty())
+        .ok_or_else(|| format!("{path}: missing or empty benchmarks array"))?;
+    for b in benchmarks {
+        let id = b["id"]
+            .as_str()
+            .filter(|s| !s.is_empty())
+            .ok_or_else(|| format!("{path}: benchmark entry without an id"))?;
+        if !b["median_ns_per_iter"].as_f64().is_some_and(|v| v > 0.0) {
+            return Err(format!("{path}: {id} has no positive median_ns_per_iter"));
+        }
+        if !matches!(b["items_per_sec"], serde_json::Value::Null)
+            && !b["items_per_sec"].as_f64().is_some_and(|v| v > 0.0)
+        {
+            return Err(format!("{path}: {id} has a non-positive items_per_sec"));
+        }
+    }
+    Ok(())
+}
+
 /// Reads the baseline items/sec for `id` out of a BENCH json file.
 fn baseline(dir: &str, file: &str, id: &str) -> Result<f64, String> {
     let path = format!("{dir}/{file}");
@@ -518,6 +594,9 @@ fn main() {
         if ratio < 1.0 - tolerance {
             failed = true;
         }
+    }
+    if check_audited_baselines(&dir) {
+        failed = true;
     }
     if check_obs_overhead(&dir, &stream) {
         failed = true;

@@ -177,7 +177,7 @@ impl<I: Eq + Hash + Clone> Frequent<I> {
             let t = remaining.min(min_val);
             self.offset += t;
             remaining -= t;
-            self.summary.pop_le(self.offset);
+            self.summary.drop_le(self.offset);
             if remaining == 0 {
                 return;
             }

@@ -117,6 +117,7 @@ impl RawIndex {
     /// Looks up a key by its hash. `eq(value)` must report whether the
     /// arena entry `value` holds the queried key; it is invoked only on
     /// tag matches.
+    // lint:hot-path
     #[inline]
     pub fn get(&self, hash: u64, mut eq: impl FnMut(u32) -> bool) -> Option<u32> {
         let tag = tag_of(hash);
@@ -137,6 +138,7 @@ impl RawIndex {
     ///
     /// The caller must guarantee the key is absent; duplicate inserts leave
     /// the index holding both copies and later removals will misbehave.
+    // lint:hot-path
     #[inline]
     pub fn insert(&mut self, hash: u64, value: u32) {
         if (self.len + 1) * 8 > self.slots.len() * 3 {
@@ -197,6 +199,9 @@ impl RawIndex {
 
     /// Doubles the table, re-seating stored tags (items are never touched:
     /// a tag keeps every hash bit any power-of-two position mask can use).
+    /// `#[cold]` keeps the doubling (and its allocation) out of
+    /// [`Self::insert`]'s inline fast path; the cost is amortized O(1).
+    #[cold]
     fn grow(&mut self) {
         // jump straight to the 512-slot floor from a token-sized table,
         // then double

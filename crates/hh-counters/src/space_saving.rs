@@ -199,6 +199,7 @@ impl<I: Eq + Hash + Clone> SpaceSaving<I> {
     /// One SPACESAVING step for `count` occurrences of `item`, cloning the
     /// item only when it actually enters the table. Shared by
     /// [`FrequencyEstimator::update_by`] and the batched ingest path.
+    // lint:hot-path
     fn apply(&mut self, item: &I, count: u64) {
         if count == 0 {
             return;
@@ -249,6 +250,7 @@ impl<I: Eq + Hash + Clone> FrequencyEstimator<I> for SpaceSaving<I> {
     /// `r`, and stored items are never cloned. Equivalent to per-element
     /// [`FrequencyEstimator::update`] (SPACESAVING's bulk update commutes
     /// with splitting, which the property tests verify).
+    // lint:hot-path
     fn update_batch(&mut self, items: &[I]) {
         crate::traits::for_each_run(items, |item, run| self.apply(item, run));
     }

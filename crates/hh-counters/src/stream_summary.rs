@@ -396,6 +396,7 @@ impl<I: Eq + Hash + Clone> StreamSummary<I> {
     /// Increases `item`'s raw count by `by` (returns `false` when the item
     /// is not stored). O(1) for `by == 1`; for larger `by` the cost is the
     /// number of distinct counts skipped over.
+    // lint:hot-path
     pub fn increment(&mut self, item: &I, by: u64) -> bool {
         let Some(e) = self.find(item) else {
             return false;
@@ -474,6 +475,19 @@ impl<I: Eq + Hash + Clone> StreamSummary<I> {
     /// the offset interpretation; amortized O(1) per removed entry.
     pub fn pop_le(&mut self, threshold: u64) -> Vec<I> {
         let mut out = Vec::new();
+        self.drain_le(threshold, |item| out.push(item));
+        out
+    }
+
+    /// [`Self::pop_le`] without collecting: the removed items are dropped
+    /// in place. FREQUENT's decrement rounds run this on the ingest hot
+    /// path and never look at the dead items, so the collecting variant's
+    /// fresh `Vec` per round would be pure overhead there.
+    pub fn drop_le(&mut self, threshold: u64) {
+        self.drain_le(threshold, |_| {});
+    }
+
+    fn drain_le(&mut self, threshold: u64, mut sink: impl FnMut(I)) {
         while self.head != NIL && self.bcount[self.head as usize] <= threshold {
             let b = self.head;
             let count = self.bcount[b as usize];
@@ -483,14 +497,13 @@ impl<I: Eq + Hash + Clone> StreamSummary<I> {
                 self.detach(e);
                 let item = self.free_entry(e);
                 self.index.remove(self.hash_of(&item), |v| v == e);
-                out.push(item);
+                sink(item);
                 self.len -= 1;
                 self.counter_sum -= count;
                 e = next;
             }
             self.unlink_bucket(b);
         }
-        out
     }
 
     /// Snapshot of all entries in ascending count order (FIFO order within a
@@ -590,7 +603,7 @@ impl<I: Eq + Hash + Clone> StreamSummary<I> {
                 assert_eq!(self.elink[e as usize].bucket, b, "entry bucket pointer");
                 let item = self.items[e as usize]
                     .as_ref()
-                    // lint:allow(panic-freedom) intentional: validate() is a corruption checker whose contract is to panic on broken invariants (test/debug support)
+                    // lint:allow(panic-freedom) precondition: validate() is a corruption checker whose contract is to panic on broken invariants (test/debug support)
                     .expect("live entry has item");
                 assert_eq!(self.find(item), Some(e), "index points at entry");
                 n += 1;

@@ -396,7 +396,7 @@ pub fn install_from_env() -> Result<bool, String> {
 pub fn fault_point(site: &str) {
     match armed::fire(site, FaultKind::is_exec) {
         Some(FaultKind::Panic) => {
-            // lint:allow(panic-freedom) injection site: panicking here is this hook's contract
+            // lint:allow(panic-freedom) precondition: callers arm this injection site on purpose — panicking here is the hook's contract
             panic!("hh-fault: injected panic at {site}")
         }
         Some(FaultKind::Stall { ms }) => std::thread::sleep(Duration::from_millis(ms)),

@@ -90,6 +90,7 @@ impl Poller {
     /// Deregisters `fd`. Errors are ignored: the fd may already be gone
     /// (closed by the peer racing the server's own close).
     pub fn remove(&self, fd: RawFd) {
+        // lint:allow(error-swallow) deregistering a possibly-already-closed fd; EBADF/ENOENT here is the expected race
         let _ = sys::epoll_del(self.epfd, fd);
     }
 

@@ -225,12 +225,45 @@ fn flush_conn(conn: &mut Conn, token: u64, poller: &Poller, metrics: &NetMetrics
         conn.wpos = 0;
         if conn.want_write {
             conn.want_write = false;
-            let _ = poller.modify(conn.stream.fd(), token, Interest::READ);
+            // A failed re-arm would strand the fd with stale interest;
+            // mark the connection broken so the sweep reclaims it.
+            if poller
+                .modify(conn.stream.fd(), token, Interest::READ)
+                .is_err()
+            {
+                conn.broken = true;
+            }
         }
     } else if !conn.want_write {
         conn.want_write = true;
-        let _ = poller.modify(conn.stream.fd(), token, Interest::READ_WRITE);
+        // Without write interest the pending bytes would never drain.
+        if poller
+            .modify(conn.stream.fd(), token, Interest::READ_WRITE)
+            .is_err()
+        {
+            conn.broken = true;
+        }
     }
+}
+
+/// Writes a newline-terminated reject/shed notice to a connection the
+/// server is about to drop. Partial writes resume and `EINTR` retries;
+/// any hard error just ends the notice early — the socket is closing
+/// either way, but the bytes that did go out are returned so
+/// `bytes_out` accounting stays truthful.
+fn write_reject_notice(stream: &mut ConnStream, record: &str) -> u64 {
+    let mut buf = record.as_bytes().to_vec();
+    buf.push(b'\n');
+    let mut written = 0usize;
+    while written < buf.len() {
+        match stream.write(&buf[written..]) {
+            Ok(0) => break,
+            Ok(n) => written += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => break,
+        }
+    }
+    written as u64
 }
 
 /// Runtime-specialized integer item: when `I` is `u64`, converts the
@@ -299,6 +332,7 @@ impl<I: ServeItem> Server<I> {
         let mut unix_path = None;
         if let Some(path) = net.unix_path_spec() {
             // A dead socket file from a previous run would fail the bind.
+            // lint:allow(error-swallow) the file may simply not exist; a real problem resurfaces as a bind error on the next line
             let _ = std::fs::remove_file(path);
             let listener = UnixListener::bind(path)?;
             listener.set_nonblocking(true)?;
@@ -428,8 +462,8 @@ impl<I: ServeItem> Server<I> {
             // Best-effort notice; the socket drops either way.
             let mut stream = stream;
             let record = proto::error_record("server at max_conns, try later", 0);
-            let _ = stream.write(record.as_bytes());
-            let _ = stream.write(b"\n");
+            let sent = write_reject_notice(&mut stream, &record);
+            self.metrics.bytes_out.add(sent);
             return;
         }
         // Overload shedding: past the high-water mark, a saturated
@@ -441,8 +475,8 @@ impl<I: ServeItem> Server<I> {
             self.metrics.shed.inc();
             let mut stream = stream;
             let record = proto::error_record("server overloaded, back off and retry", 0);
-            let _ = stream.write(record.as_bytes());
-            let _ = stream.write(b"\n");
+            let sent = write_reject_notice(&mut stream, &record);
+            self.metrics.bytes_out.add(sent);
             return;
         }
         let nonblocking = match &stream {
@@ -455,6 +489,7 @@ impl<I: ServeItem> Server<I> {
         // Deep kernel buffers keep a bursty ingest sender running instead
         // of blocking on a 16 KiB default window; best-effort (the kernel
         // clamps to rmem_max/wmem_max, and Unix sockets may refuse).
+        // lint:allow(error-swallow) buffer sizing is a throughput hint; refusal leaves the kernel default, which is correct
         let _ = sys::set_socket_buffers(stream.fd(), SOCK_BUF);
         let slot = self.free.pop().unwrap_or_else(|| {
             self.conns.push(None);
@@ -624,6 +659,7 @@ impl<I: ServeItem> Server<I> {
     /// line-length cap. The bulk of the chunk is processed in place —
     /// only the stitched first line and the unconsumed tail ever touch
     /// the carry buffer, so a steady ingest stream costs no extra copy.
+    // lint:hot-path
     fn ingest_bytes(
         &mut self,
         conn: &mut Conn,
@@ -676,6 +712,7 @@ impl<I: ServeItem> Server<I> {
     /// vectorized pass rather than validating line by line; invalid
     /// sequences reject only their own line, and an incomplete trailing
     /// sequence is left for the next read.
+    // lint:hot-path
     fn ingest_slice(
         &mut self,
         conn: &mut Conn,
@@ -839,6 +876,7 @@ impl<I: ServeItem> Server<I> {
 
     /// Rejects a malformed line: error record to the sender, registry
     /// counter, connection survives.
+    // lint:cold-path error handling for malformed lines; well-formed ingest never reaches it
     fn reject(&mut self, conn: &mut Conn, token: u64, reason: &str) {
         self.metrics.malformed.inc();
         let record = proto::error_record(reason, conn.lines);
@@ -847,6 +885,7 @@ impl<I: ServeItem> Server<I> {
 
     /// Answers one in-band query. Staged items ship first so the
     /// response covers everything the client already sent.
+    // lint:cold-path queries are rare control traffic against a line-rate ingest stream
     fn answer(
         &mut self,
         conn: &mut Conn,
@@ -907,6 +946,7 @@ impl<I: ServeItem> Server<I> {
 
     /// Streams cadence-due report/stats records to the server's own
     /// output, exactly like stdin serve mode.
+    // lint:cold-path epoch-boundary records; the cost is amortized over the whole epoch's items
     fn emit_due(&mut self, due: Due, out: &mut impl io::Write) -> Result<(), Error> {
         if due.report {
             let merged = self.session.merged()?;
@@ -978,6 +1018,7 @@ impl<I: ServeItem> Server<I> {
             self.close(slot);
         }
         if let Some(path) = &self.unix_path {
+            // lint:allow(error-swallow) shutdown cleanup of our own socket file; nothing to do if it is already gone
             let _ = std::fs::remove_file(path);
         }
         self.session.finish()

@@ -187,6 +187,7 @@ impl<I: Eq + Hash + Clone> CountMin<I> {
     /// [`FrequencyEstimator::update_by`] and the batched fast path). All
     /// row hashes are evaluated up front into a reused index buffer, then
     /// the cells are touched in one sweep.
+    // lint:hot-path
     fn add_key(&mut self, key: u64, count: u64) {
         self.stream_len += count;
         self.idx_scratch.clear();
@@ -254,6 +255,7 @@ impl<I: Eq + Hash + Clone> FrequencyEstimator<I> for CountMin<I> {
     /// only adjacent runs are collapsed (a run of `r` equal arrivals raises
     /// each cell to `min + r` exactly as one `+r` update does), which keeps
     /// the path exactly equivalent to the per-element loop.
+    // lint:hot-path
     fn update_batch(&mut self, items: &[I]) {
         match self.rule {
             UpdateRule::Classic => {

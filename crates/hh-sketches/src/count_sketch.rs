@@ -136,6 +136,7 @@ impl<I: Eq + Hash + Clone> CountSketch<I> {
 
     /// One update of `count` occurrences for a pre-hashed key: one folded
     /// polynomial evaluation per row yields both the bucket and the sign.
+    // lint:hot-path
     fn add_key(&mut self, key: u64, count: u64) {
         self.stream_len += count;
         for r in 0..self.rows.depth() {
@@ -187,6 +188,7 @@ impl<I: Eq + Hash + Clone> FrequencyEstimator<I> for CountSketch<I> {
     /// a reused scratch buffer, sort by key, merge, then one weighted
     /// `d`-row sweep per *distinct* key. Exactly equivalent to the
     /// per-element loop.
+    // lint:hot-path
     fn update_batch(&mut self, items: &[I]) {
         let mut agg = std::mem::take(&mut self.agg_scratch);
         agg.clear();

@@ -516,6 +516,7 @@ fn shard_worker<I: EngineItem>(
                 hh_fault::fault_point(hh_fault::sites::SHARD_CHECKPOINT);
                 // A dropped reply receiver means the coordinator gave up
                 // on this epoch; ingest continues regardless.
+                // lint:allow(error-swallow) send fails only when the coordinator dropped the receiver, and the shard must keep ingesting
                 let _ = reply.send(engine.snapshot());
             }
         }
@@ -966,6 +967,7 @@ impl<I: EngineItem> Pipeline<I> {
         let dead = self.workers.swap_remove(shard);
         // The worker already exited (that is why we are here); reap its
         // panic payload so the thread is not leaked.
+        // lint:allow(error-swallow) the Err payload is the panic we are recovering from; supervision already recorded the restart
         let _ = dead.join();
         // Batches queued at the crash died with the channel; everything
         // shipped since the restore point is gone either way.

@@ -1,0 +1,284 @@
+//! Workspace call graph over [`crate::parser`] output.
+//!
+//! Name resolution is deliberately conservative and repo-shaped — it
+//! resolves the call forms this workspace actually uses and treats
+//! everything else as opaque (an opaque call contributes no edge, so
+//! interprocedural rules under-approximate only through std/vendored
+//! code, which the intraprocedural rules cover separately). Policy,
+//! also documented in docs/ANALYSIS.md:
+//!
+//! - **Method calls** `recv.name(…)`: candidates are every impl/trait
+//!   method named `name` in the same file or the same crate. The
+//!   receiver's type is unknown, so *all* candidates get an edge —
+//!   over-approximation is the safe direction for reachability rules.
+//!   Cross-crate method calls resolve only when spelled with a
+//!   qualified path.
+//! - **Qualified calls** `Path::name(…)`: if the last path segment
+//!   names an `impl` target type anywhere in the workspace, those
+//!   methods are the candidates; `Self::name` uses the calling
+//!   function's own impl type; otherwise the segment is tried as a
+//!   module (file stem or `crate`/`self`/`super`) and then as a crate
+//!   name (`hh_fault::eintr` → crate `hh-fault`).
+//! - **Plain calls** `name(…)`: same-file functions, then the file's
+//!   `use` map, then free functions in the same crate.
+//! - **Macros** never produce edges (the banned-macro checks in
+//!   `rules_graph` look at the call site itself).
+
+use std::collections::HashMap;
+
+use crate::engine::FileAnalysis;
+use crate::parser::CallSite;
+
+/// A function: (file index into the analysis set, fn index within it).
+pub type FnId = (usize, usize);
+
+/// The resolved workspace call graph.
+#[derive(Debug, Default)]
+pub struct Graph {
+    /// `edges[file][fn]` → resolved callee ids, deduplicated.
+    pub edges: Vec<Vec<Vec<FnId>>>,
+}
+
+impl Graph {
+    /// Outgoing edges of one function.
+    pub fn callees(&self, id: FnId) -> &[FnId] {
+        &self.edges[id.0][id.1]
+    }
+}
+
+/// Per-file facts the resolver indexes once.
+struct FileFacts {
+    crate_name: Option<String>,
+    module_name: String,
+    in_graph: bool,
+}
+
+/// Builds the graph over every library-scope, non-test function.
+pub fn build(fas: &[FileAnalysis]) -> Graph {
+    let facts: Vec<FileFacts> = fas
+        .iter()
+        .map(|fa| FileFacts {
+            crate_name: crate::scope::crate_name(&fa.path).map(str::to_string),
+            module_name: module_name(&fa.path),
+            in_graph: fa.scope == crate::scope::Scope::Library,
+        })
+        .collect();
+
+    // name → every candidate function carrying it.
+    let mut by_name: HashMap<&str, Vec<FnId>> = HashMap::new();
+    for (fi, fa) in fas.iter().enumerate() {
+        if !facts[fi].in_graph {
+            continue;
+        }
+        for (ni, f) in fa.parsed.fns.iter().enumerate() {
+            if f.in_test {
+                continue;
+            }
+            by_name.entry(&f.name).or_default().push((fi, ni));
+        }
+    }
+
+    let mut edges: Vec<Vec<Vec<FnId>>> = fas
+        .iter()
+        .map(|fa| vec![Vec::new(); fa.parsed.fns.len()])
+        .collect();
+
+    for (fi, fa) in fas.iter().enumerate() {
+        if !facts[fi].in_graph {
+            continue;
+        }
+        for (ni, f) in fa.parsed.fns.iter().enumerate() {
+            if f.in_test {
+                continue;
+            }
+            let mut out: Vec<FnId> = Vec::new();
+            for call in &f.calls {
+                resolve(call, (fi, ni), fas, &facts, &by_name, &mut out);
+            }
+            out.sort_unstable();
+            out.dedup();
+            edges[fi][ni] = out;
+        }
+    }
+    Graph { edges }
+}
+
+fn resolve(
+    call: &CallSite,
+    caller: FnId,
+    fas: &[FileAnalysis],
+    facts: &[FileFacts],
+    by_name: &HashMap<&str, Vec<FnId>>,
+    out: &mut Vec<FnId>,
+) {
+    if call.is_macro {
+        return;
+    }
+    let Some(cands) = by_name.get(call.callee.as_str()) else {
+        return;
+    };
+    let (caller_file, caller_fn) = caller;
+    let same_file = |id: &FnId| id.0 == caller_file;
+    let same_crate = |id: &FnId| {
+        facts[id.0].crate_name.is_some() && facts[id.0].crate_name == facts[caller_file].crate_name
+    };
+    let fn_of = |id: &FnId| &fas[id.0].parsed.fns[id.1];
+
+    if call.is_method {
+        // Same-file ∪ same-crate methods (impl or trait-default).
+        out.extend(
+            cands
+                .iter()
+                .filter(|id| fn_of(id).impl_type.is_some())
+                .filter(|id| same_file(id) || same_crate(id)),
+        );
+        return;
+    }
+
+    if let Some(last) = call.qualifier.last() {
+        if last == "Self" || last == "self" {
+            if last == "Self" {
+                let own = fas[caller_file].parsed.fns[caller_fn].impl_type.clone();
+                out.extend(
+                    cands
+                        .iter()
+                        .filter(|id| same_file(id) && fn_of(id).impl_type == own),
+                );
+            } else {
+                // `self::name` — the current module's free functions.
+                out.extend(
+                    cands
+                        .iter()
+                        .filter(|id| same_file(id) && fn_of(id).impl_type.is_none()),
+                );
+            }
+            return;
+        }
+        if last == "crate" || last == "super" {
+            out.extend(cands.iter().filter(|id| same_crate(id)));
+            return;
+        }
+        // A type name: methods of any impl block targeting it.
+        let typed: Vec<&FnId> = cands
+            .iter()
+            .filter(|id| fn_of(id).impl_type.as_deref() == Some(last.as_str()))
+            .collect();
+        if !typed.is_empty() {
+            out.extend(typed);
+            return;
+        }
+        // A module: files whose stem matches the segment.
+        let by_module: Vec<&FnId> = cands
+            .iter()
+            .filter(|id| facts[id.0].module_name == *last && fn_of(id).impl_type.is_none())
+            .collect();
+        if !by_module.is_empty() {
+            out.extend(by_module);
+            return;
+        }
+        // A crate: `hh_fault::…` → crate `hh-fault`.
+        let as_crate = last.replace('_', "-");
+        out.extend(cands.iter().filter(|id| {
+            facts[id.0].crate_name.as_deref() == Some(as_crate.as_str())
+                && fn_of(id).impl_type.is_none()
+        }));
+        return;
+    }
+
+    // Plain call: same-file fns first.
+    let local: Vec<&FnId> = cands.iter().filter(|id| same_file(id)).collect();
+    if !local.is_empty() {
+        out.extend(local);
+        return;
+    }
+    // Then the use map: `use crate::traits::for_each_run;` imports make
+    // the bare name resolve as if it were written qualified.
+    if let Some((_, path)) = fas[caller_file]
+        .parsed
+        .uses
+        .iter()
+        .find(|(name, _)| *name == call.callee)
+    {
+        if path.len() >= 2 {
+            let via = CallSite {
+                callee: call.callee.clone(),
+                qualifier: path[..path.len() - 1].to_vec(),
+                is_method: false,
+                is_macro: false,
+                line: call.line,
+                col: call.col,
+            };
+            resolve(&via, caller, fas, facts, by_name, out);
+            return;
+        }
+    }
+    // Finally free functions elsewhere in the same crate.
+    out.extend(
+        cands
+            .iter()
+            .filter(|id| same_crate(id) && fn_of(id).impl_type.is_none()),
+    );
+}
+
+/// The module a file contributes (`oaindex.rs` → `oaindex`,
+/// `foo/mod.rs` → `foo`, `src/lib.rs` → the crate itself).
+fn module_name(path: &str) -> String {
+    let base = path.rsplit('/').next().unwrap_or(path);
+    let stem = base.strip_suffix(".rs").unwrap_or(base);
+    if stem == "mod" {
+        let mut it = path.rsplit('/');
+        it.next();
+        it.next().unwrap_or(stem).to_string()
+    } else {
+        stem.to_string()
+    }
+}
+
+/// Multi-source BFS over non-excluded edges. Returns, for every
+/// reachable function, the source it was first reached from and its
+/// predecessor on that shortest path (`None` for the sources
+/// themselves). `skip` prunes traversal *into* a function (its own
+/// body is still scanned by the caller when it is a source).
+pub fn reach<'a>(
+    graph: &Graph,
+    sources: impl Iterator<Item = FnId>,
+    skip: impl Fn(FnId) -> bool + 'a,
+) -> HashMap<FnId, (FnId, Option<FnId>)> {
+    let mut seen: HashMap<FnId, (FnId, Option<FnId>)> = HashMap::new();
+    let mut queue: std::collections::VecDeque<FnId> = std::collections::VecDeque::new();
+    for s in sources {
+        if seen.contains_key(&s) {
+            continue;
+        }
+        seen.insert(s, (s, None));
+        queue.push_back(s);
+    }
+    while let Some(cur) = queue.pop_front() {
+        let (origin, _) = seen[&cur];
+        for &next in graph.callees(cur) {
+            if seen.contains_key(&next) || skip(next) {
+                continue;
+            }
+            seen.insert(next, (origin, Some(cur)));
+            queue.push_back(next);
+        }
+    }
+    seen
+}
+
+/// Renders the shortest call chain `origin → … → target` using the
+/// predecessor map from [`reach`].
+pub fn chain(
+    fas: &[FileAnalysis],
+    reached: &HashMap<FnId, (FnId, Option<FnId>)>,
+    target: FnId,
+) -> String {
+    let mut names: Vec<String> = Vec::new();
+    let mut cur = Some(target);
+    while let Some(id) = cur {
+        names.push(fas[id.0].parsed.fns[id.1].display());
+        cur = reached.get(&id).and_then(|&(_, prev)| prev);
+    }
+    names.reverse();
+    names.join(" → ")
+}

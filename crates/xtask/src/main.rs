@@ -5,7 +5,7 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use xtask::engine::{lint_repo, repo_root};
+use xtask::engine::{lint_repo, repo_root, LintReport};
 use xtask::waivers::KNOWN_RULES;
 
 const USAGE: &str = "\
@@ -13,6 +13,8 @@ usage: cargo xtask <command>
 
 commands:
   lint [--root <dir>]   run every repo rule over the tree (alias: cargo lint)
+  lint --json           machine-readable report on stdout (for CI summaries)
+  lint --drift-only     run only the cross-artifact drift checks
   lint --list-rules     print the rule catalog
   help                  this text
 
@@ -35,6 +37,8 @@ fn main() -> ExitCode {
 
 fn lint(args: &[String]) -> ExitCode {
     let mut root = repo_root();
+    let mut json = false;
+    let mut drift_only = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -42,10 +46,14 @@ fn lint(args: &[String]) -> ExitCode {
                 for rule in KNOWN_RULES {
                     println!("{rule}");
                 }
+                // Not waivable / meta, so not in KNOWN_RULES.
+                println!("artifact-drift");
                 println!("waiver-syntax");
                 println!("unused-waiver");
                 return ExitCode::SUCCESS;
             }
+            "--json" => json = true,
+            "--drift-only" => drift_only = true,
             "--root" => match it.next() {
                 Some(dir) => root = PathBuf::from(dir),
                 None => {
@@ -60,21 +68,40 @@ fn lint(args: &[String]) -> ExitCode {
         }
     }
 
-    let report = match lint_repo(&root) {
+    let mut report = match lint_repo(&root) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("error: failed to lint {}: {e}", root.display());
             return ExitCode::FAILURE;
         }
     };
+    if drift_only {
+        report.diagnostics.retain(|d| d.rule == "artifact-drift");
+    }
+    if json {
+        println!("{}", render_json(&report, drift_only));
+        return if report.diagnostics.is_empty() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
     for d in &report.diagnostics {
         println!("{}\n", d.render());
     }
     if report.diagnostics.is_empty() {
-        println!(
-            "lint clean: {} files + {} vendor manifests checked, {} waivers honored",
-            report.files, report.manifests, report.waivers_honored
-        );
+        if drift_only {
+            println!(
+                "drift clean: {} artifacts cross-checked against {} files",
+                report.artifacts, report.files
+            );
+        } else {
+            println!(
+                "lint clean: {} files + {} vendor manifests + {} artifacts checked, \
+                 {} waivers honored",
+                report.files, report.manifests, report.artifacts, report.waivers_honored
+            );
+        }
         ExitCode::SUCCESS
     } else {
         println!(
@@ -85,4 +112,51 @@ fn lint(args: &[String]) -> ExitCode {
         );
         ExitCode::FAILURE
     }
+}
+
+/// Renders the report as a single JSON object. Hand-rolled (xtask is
+/// zero-dep by policy); every string passes through [`json_escape`].
+fn render_json(report: &LintReport, drift_only: bool) -> String {
+    let mut out = String::from("{\"findings\":[");
+    for (i, d) in report.diagnostics.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"rule\":\"{}\",\"path\":\"{}\",\"line\":{},\"col\":{},\"message\":\"{}\"}}",
+            json_escape(d.rule),
+            json_escape(&d.path),
+            d.line,
+            d.col,
+            json_escape(&d.message)
+        ));
+    }
+    out.push_str(&format!(
+        "],\"files\":{},\"manifests\":{},\"artifacts\":{},\"waivers_honored\":{},\
+         \"drift_only\":{},\"clean\":{}}}",
+        report.files,
+        report.manifests,
+        report.artifacts,
+        report.waivers_honored,
+        drift_only,
+        report.diagnostics.is_empty()
+    ));
+    out
+}
+
+/// Escapes a string for a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }

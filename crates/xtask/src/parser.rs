@@ -1,0 +1,927 @@
+//! An item-level parser on top of [`crate::lexer`] — just deep enough
+//! to build a call graph.
+//!
+//! The parser walks the non-comment token stream once and recovers the
+//! structure the interprocedural rules need: `fn` items (name, the
+//! `impl` type they belong to, visibility, attributes), brace-matched
+//! bodies, per-function call sites, and the file's `use` map. It is
+//! *not* a Rust parser: generics are skipped by angle-depth counting,
+//! nested `fn` items inside bodies are not discovered (a documented
+//! limit — none of the shipped crates use them outside tests), and
+//! anything it cannot classify is simply walked over. Erring toward
+//! "no item recovered" is safe: an unrecovered function contributes no
+//! call-graph edges, and the intraprocedural rules still see every
+//! token.
+//!
+//! Two comment annotations attach to `fn` items here (grammar in
+//! docs/ANALYSIS.md):
+//!
+//! - `// lint:hot-path` — marks the function a hot-path root for the
+//!   `hot-path-alloc` rule; it and everything it transitively calls
+//!   must not allocate.
+//! - `// lint:cold-path <why>` — stops hot-path propagation into this
+//!   function (equivalent to `#[cold]`, for functions where the
+//!   attribute would be wrong — e.g. genuinely warm but off the
+//!   per-item path).
+//!
+//! Both must sit on their own line directly above the function's
+//! header (attributes included); an annotation that attaches to
+//! nothing is reported through [`ParsedFile::annotation_errors`].
+
+use crate::lexer::{Token, TokenKind};
+
+/// One call site extracted from a function body.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// The called name (`increment`, `for_each_run`); for macros the
+    /// trailing `!` is included (`format!`).
+    pub callee: String,
+    /// For qualified calls `a::b::name(...)`, the `a::b` path segments.
+    pub qualifier: Vec<String>,
+    /// Preceded by `.` — a method call on some receiver.
+    pub is_method: bool,
+    /// `name!(...)` macro invocation.
+    pub is_macro: bool,
+    /// 1-based line of the callee token.
+    pub line: u32,
+    /// 1-based column of the callee token.
+    pub col: u32,
+}
+
+/// One `fn` item with a body.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// The function name.
+    pub name: String,
+    /// Enclosing `impl` target type (or trait name for default
+    /// methods); `None` for free functions.
+    pub impl_type: Option<String>,
+    /// Declared `pub` (bare — `pub(crate)` does not count).
+    pub is_pub: bool,
+    /// Inside an `impl Trait for Type` block — callable through the
+    /// trait's public surface even without `pub`.
+    pub in_trait_impl: bool,
+    /// Carries `#[cold]`.
+    pub is_cold: bool,
+    /// Annotated `// lint:hot-path`.
+    pub hot_path: bool,
+    /// Annotated `// lint:cold-path`.
+    pub cold_path: bool,
+    /// Lies inside a `#[test]`/`#[cfg(test)]` region.
+    pub in_test: bool,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// 1-based column of the `fn` keyword.
+    pub col: u32,
+    /// Code-token index range of the body: `(open_brace, close_brace)`.
+    pub body: (usize, usize),
+    /// Call sites extracted from the body.
+    pub calls: Vec<CallSite>,
+}
+
+impl FnItem {
+    /// Display name for diagnostics: `Type::name` or `name`.
+    pub fn display(&self) -> String {
+        match &self.impl_type {
+            Some(t) => format!("{t}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// A misplaced `lint:hot-path`/`lint:cold-path` annotation.
+#[derive(Debug, Clone)]
+pub struct AnnotationError {
+    /// 1-based line of the offending comment.
+    pub line: u32,
+    /// 1-based column of the offending comment.
+    pub col: u32,
+    /// What is wrong.
+    pub message: String,
+}
+
+/// Everything the parser recovers from one file.
+#[derive(Debug, Default)]
+pub struct ParsedFile {
+    /// All `fn` items with bodies, in source order.
+    pub fns: Vec<FnItem>,
+    /// `use` map: local name → full path segments
+    /// (`for_each_run` → `["crate", "traits", "for_each_run"]`).
+    pub uses: Vec<(String, Vec<String>)>,
+    /// Annotations that failed to attach to a `fn` item.
+    pub annotation_errors: Vec<AnnotationError>,
+}
+
+/// Control-flow keywords that look like calls (`if (…)`, `match (…)`).
+const NON_CALL_KEYWORDS: &[&str] = &[
+    "if", "while", "match", "return", "for", "loop", "break", "continue", "else", "in", "move",
+    "yield", "await", "let", "fn",
+];
+
+/// Parses one file's token stream.
+pub fn parse(tokens: &[Token], code: &[usize], test_regions: &[(u32, u32)]) -> ParsedFile {
+    Parser {
+        tokens,
+        code,
+        test_regions,
+        out: ParsedFile::default(),
+    }
+    .run()
+}
+
+struct Parser<'a> {
+    tokens: &'a [Token],
+    code: &'a [usize],
+    test_regions: &'a [(u32, u32)],
+    out: ParsedFile,
+}
+
+/// A pending hot/cold annotation: the code-token index it must attach
+/// to (first non-comment token after the comment), plus position.
+struct Annotation {
+    kind: AnnKind,
+    attach_at: usize,
+    line: u32,
+    col: u32,
+}
+
+#[derive(PartialEq, Clone, Copy)]
+enum AnnKind {
+    Hot,
+    Cold,
+}
+
+impl Parser<'_> {
+    fn tok(&self, i: usize) -> &Token {
+        &self.tokens[self.code[i]]
+    }
+
+    fn in_test(&self, line: u32) -> bool {
+        self.test_regions
+            .iter()
+            .any(|&(a, b)| a <= line && line <= b)
+    }
+
+    fn run(mut self) -> ParsedFile {
+        let mut annotations = self.collect_annotations();
+        // (impl type, is trait impl, code index of the closing brace)
+        let mut impl_stack: Vec<(Option<String>, bool, usize)> = Vec::new();
+        // First code index of the attribute run preceding the next item.
+        let mut attr_start: Option<usize> = None;
+        let mut pending_cold = false;
+        let mut i = 0;
+        while i < self.code.len() {
+            while matches!(impl_stack.last(), Some(&(_, _, close)) if close <= i) {
+                impl_stack.pop();
+            }
+            let t = self.tok(i);
+            // Outer attribute: remember where the run starts, note #[cold].
+            if t.is_punct("#") && i + 1 < self.code.len() && self.tok(i + 1).is_punct("[") {
+                if attr_start.is_none() {
+                    attr_start = Some(i);
+                }
+                let close = self.match_bracket(i + 1);
+                if (i + 2..close).any(|j| self.tok(j).is_ident("cold")) {
+                    pending_cold = true;
+                }
+                i = close + 1;
+                continue;
+            }
+            if t.is_ident("use") {
+                i = self.parse_use(i);
+                (attr_start, pending_cold) = (None, false);
+                continue;
+            }
+            if t.is_ident("impl") {
+                if let Some((ty, trait_impl, open)) = self.parse_impl_header(i) {
+                    let close = self.match_brace(open);
+                    impl_stack.push((Some(ty), trait_impl, close));
+                    i = open + 1;
+                } else {
+                    i += 1;
+                }
+                (attr_start, pending_cold) = (None, false);
+                continue;
+            }
+            if t.is_ident("trait") && i + 1 < self.code.len() {
+                // Default methods inside get the trait name as their
+                // `impl_type`.
+                let name = self.tok(i + 1).text.clone();
+                if let Some(open) = self.find_body_open(i + 2) {
+                    let close = self.match_brace(open);
+                    impl_stack.push((Some(name), false, close));
+                    i = open + 1;
+                } else {
+                    i += 1;
+                }
+                (attr_start, pending_cold) = (None, false);
+                continue;
+            }
+            if t.is_ident("fn") && i + 1 < self.code.len() {
+                let (line, col) = (t.line, t.col);
+                let name = self.tok(i + 1).text.clone();
+                let header_start = attr_start.unwrap_or_else(|| self.header_start(i));
+                let (hot, cold_ann) =
+                    take_annotations(&mut annotations, header_start, i, &mut self.out);
+                match self.find_body_open(i + 2) {
+                    Some(open) => {
+                        let close = self.match_brace(open);
+                        let calls = self.extract_calls(open + 1, close);
+                        let (impl_type, in_trait_impl) = match impl_stack.last() {
+                            Some((ty, ti, _)) => (ty.clone(), *ti),
+                            None => (None, false),
+                        };
+                        self.out.fns.push(FnItem {
+                            name,
+                            impl_type,
+                            is_pub: self.is_pub_header(header_start, i),
+                            in_trait_impl,
+                            is_cold: pending_cold,
+                            hot_path: hot,
+                            cold_path: cold_ann,
+                            in_test: self.in_test(line),
+                            line,
+                            col,
+                            body: (open, close),
+                            calls,
+                        });
+                        i = close + 1;
+                    }
+                    // Bodyless declaration (trait method signature):
+                    // nothing to analyze.
+                    None => i += 1,
+                }
+                (attr_start, pending_cold) = (None, false);
+                continue;
+            }
+            // Modifiers between attributes and `fn` keep the attr run
+            // alive; anything else resets it.
+            if !is_header_filler(t) {
+                (attr_start, pending_cold) = (None, false);
+            }
+            i += 1;
+        }
+        for ann in annotations {
+            self.out.annotation_errors.push(AnnotationError {
+                line: ann.line,
+                col: ann.col,
+                message: annotation_misplaced_message(ann.kind),
+            });
+        }
+        self.out
+    }
+
+    /// Scans comment tokens for `lint:hot-path`/`lint:cold-path` and
+    /// records where each must attach (the next non-comment token).
+    fn collect_annotations(&mut self) -> Vec<Annotation> {
+        let mut anns = Vec::new();
+        for (raw_idx, tok) in self.tokens.iter().enumerate() {
+            if tok.kind != TokenKind::Comment {
+                continue;
+            }
+            let body = tok
+                .text
+                .trim_start_matches('/')
+                .trim_start_matches('!')
+                .trim_start();
+            let kind = if body.starts_with("lint:hot-path") {
+                AnnKind::Hot
+            } else if body.starts_with("lint:cold-path") {
+                AnnKind::Cold
+            } else {
+                continue;
+            };
+            // Trailing annotations are rejected: the grammar is
+            // standalone-above-the-item only, so attachment is never
+            // ambiguous.
+            let trailing = self.tokens[..raw_idx]
+                .iter()
+                .rev()
+                .take_while(|t| t.line == tok.line)
+                .any(|t| t.kind != TokenKind::Comment);
+            let attach_at = self.code.partition_point(|&c| c < raw_idx);
+            if trailing || attach_at >= self.code.len() {
+                self.out.annotation_errors.push(AnnotationError {
+                    line: tok.line,
+                    col: tok.col,
+                    message: annotation_misplaced_message(kind),
+                });
+                continue;
+            }
+            anns.push(Annotation {
+                kind,
+                attach_at,
+                line: tok.line,
+                col: tok.col,
+            });
+        }
+        anns
+    }
+
+    /// Code index after the matching `]` counterpart of the `[` at `open`.
+    fn match_bracket(&self, open: usize) -> usize {
+        let mut depth = 0i32;
+        let mut j = open;
+        while j < self.code.len() {
+            if self.tok(j).is_punct("[") {
+                depth += 1;
+            } else if self.tok(j).is_punct("]") {
+                depth -= 1;
+                if depth == 0 {
+                    return j;
+                }
+            }
+            j += 1;
+        }
+        self.code.len() - 1
+    }
+
+    /// Code index of the `}` matching the `{` at `open` (EOF-clamped).
+    fn match_brace(&self, open: usize) -> usize {
+        let mut depth = 0i32;
+        let mut j = open;
+        while j < self.code.len() {
+            if self.tok(j).is_punct("{") {
+                depth += 1;
+            } else if self.tok(j).is_punct("}") {
+                depth -= 1;
+                if depth == 0 {
+                    return j;
+                }
+            }
+            j += 1;
+        }
+        self.code.len() - 1
+    }
+
+    /// From a position inside a `fn` signature, finds the body `{`
+    /// (skipping parameter lists, return types and `where` clauses);
+    /// `None` when a top-level `;` ends a bodyless declaration first.
+    fn find_body_open(&self, from: usize) -> Option<usize> {
+        let mut depth = 0i32;
+        let mut j = from;
+        while j < self.code.len() {
+            let t = self.tok(j);
+            if t.is_punct("(") || t.is_punct("[") {
+                depth += 1;
+            } else if t.is_punct(")") || t.is_punct("]") {
+                depth -= 1;
+            } else if depth == 0 {
+                if t.is_punct("{") {
+                    return Some(j);
+                }
+                if t.is_punct(";") {
+                    return None;
+                }
+            }
+            j += 1;
+        }
+        None
+    }
+
+    /// Walks back from the `fn` keyword over visibility/qualifier
+    /// tokens to the start of the header.
+    fn header_start(&self, fn_idx: usize) -> usize {
+        let mut h = fn_idx;
+        while h > 0 {
+            let t = self.tok(h - 1);
+            if is_header_filler(t) || t.is_punct(")") {
+                // `pub(crate)` / `pub(in …)`: absorb the paren group.
+                if t.is_punct(")") {
+                    let mut j = h - 1;
+                    let mut depth = 0i32;
+                    while j > 0 {
+                        if self.tok(j).is_punct(")") {
+                            depth += 1;
+                        } else if self.tok(j).is_punct("(") {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        j -= 1;
+                    }
+                    if j == 0 || !self.tok(j - 1).is_ident("pub") {
+                        break;
+                    }
+                    h = j;
+                    continue;
+                }
+                h -= 1;
+                continue;
+            }
+            break;
+        }
+        h
+    }
+
+    /// Bare `pub` anywhere in the header run before the `fn` keyword.
+    fn is_pub_header(&self, header_start: usize, fn_idx: usize) -> bool {
+        (header_start..fn_idx).any(|j| {
+            self.tok(j).is_ident("pub") && !(j + 1 < fn_idx && self.tok(j + 1).is_punct("("))
+        })
+    }
+
+    /// `use a::b::{c, d as e};` → mappings c → a::b::c, e → a::b::d.
+    /// Glob imports and nested groups are skipped (documented limit).
+    fn parse_use(&mut self, use_idx: usize) -> usize {
+        let mut j = use_idx + 1;
+        let mut prefix: Vec<String> = Vec::new();
+        while j < self.code.len() {
+            let t = self.tok(j);
+            if t.is_punct(";") {
+                // Simple path `use a::b::c;` — map the final segment.
+                if let Some(last) = prefix.last().cloned() {
+                    if last != "*" {
+                        self.out.uses.push((last, prefix.clone()));
+                    }
+                }
+                return j + 1;
+            }
+            if t.is_punct("{") {
+                let close = self.match_brace(j);
+                self.record_use_group(&prefix, j + 1, close);
+                return close + 1;
+            }
+            if t.kind == TokenKind::Ident {
+                // `use a::b as c;`
+                if t.is_ident("as") && j + 1 < self.code.len() {
+                    if !prefix.is_empty() {
+                        let alias = self.tok(j + 1).text.clone();
+                        self.out.uses.push((alias, prefix.clone()));
+                        prefix.clear();
+                    }
+                    j += 2;
+                    continue;
+                }
+                prefix.push(t.text.clone());
+            } else if t.is_punct("*") {
+                prefix.push("*".to_string());
+            }
+            j += 1;
+        }
+        j
+    }
+
+    /// One level of `use a::{b, c as d, e::f}` (nested groups skipped).
+    fn record_use_group(&mut self, prefix: &[String], from: usize, to: usize) {
+        let mut seg: Vec<String> = Vec::new();
+        let mut j = from;
+        while j <= to && j < self.code.len() {
+            let t = self.tok(j);
+            if t.is_punct(",") || j == to {
+                if let Some(last) = seg.last() {
+                    if last != "*" && last != "self" {
+                        let mut path = prefix.to_vec();
+                        path.extend(seg.iter().cloned());
+                        self.out.uses.push((last.clone(), path));
+                    } else if last == "self" {
+                        // `use a::b::{self}` imports `b` itself.
+                        if let Some(name) = prefix.last() {
+                            self.out.uses.push((name.clone(), prefix.to_vec()));
+                        }
+                    }
+                }
+                seg.clear();
+            } else if t.is_ident("as") && j < to {
+                // `c as d`: bind the alias to the path so far.
+                if !seg.is_empty() {
+                    let alias = self.tok(j + 1).text.clone();
+                    let mut path = prefix.to_vec();
+                    path.extend(seg.iter().cloned());
+                    self.out.uses.push((alias, path));
+                }
+                seg.clear();
+                // Skip the alias token; the `,`/`}` handling above
+                // must not double-record it.
+                j += 2;
+                // Swallow up to the next separator.
+                while j < to && !self.tok(j).is_punct(",") {
+                    j += 1;
+                }
+                continue;
+            } else if t.is_punct("{") {
+                // Nested group: skip it wholesale (documented limit).
+                j = self.match_brace(j);
+                seg.clear();
+            } else if t.kind == TokenKind::Ident {
+                seg.push(t.text.clone());
+            } else if t.is_punct("*") {
+                seg.push("*".to_string());
+            }
+            j += 1;
+        }
+    }
+
+    /// `impl<…> Type {` / `impl<…> Trait for Type {` → the target type
+    /// name, whether it is a trait impl, and the body `{` index.
+    fn parse_impl_header(&self, impl_idx: usize) -> Option<(String, bool, usize)> {
+        let mut j = impl_idx + 1;
+        // Skip the generic parameter list.
+        if j < self.code.len() && self.tok(j).is_punct("<") {
+            j = self.skip_angles(j);
+        }
+        let mut segs: Vec<String> = Vec::new();
+        let mut trait_impl = false;
+        while j < self.code.len() {
+            let t = self.tok(j);
+            if t.is_punct("{") {
+                let ty = segs.last().cloned()?;
+                return Some((ty, trait_impl, j));
+            }
+            if t.is_ident("for") {
+                // What came before was the trait; the type follows.
+                segs.clear();
+                trait_impl = true;
+            } else if t.is_ident("where") {
+                // Bounds until the brace; the type is already read.
+                let ty = segs.last().cloned()?;
+                let open = (j..self.code.len()).find(|&k| self.tok(k).is_punct("{"))?;
+                return Some((ty, trait_impl, open));
+            } else if t.is_punct("<") {
+                j = self.skip_angles(j);
+                continue;
+            } else if t.kind == TokenKind::Ident {
+                segs.push(t.text.clone());
+            }
+            j += 1;
+        }
+        None
+    }
+
+    /// Index just past the `>` matching the `<` at `open`. Loose: `>>`
+    /// closes two levels (it lexes as two `>` tokens here).
+    fn skip_angles(&self, open: usize) -> usize {
+        let mut depth = 0i32;
+        let mut j = open;
+        while j < self.code.len() {
+            let t = self.tok(j);
+            if t.is_punct("<") {
+                depth += 1;
+            } else if t.is_punct(">") {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            } else if t.is_punct("{") || t.is_punct(";") {
+                // Never scan past an item boundary on malformed input.
+                return j;
+            }
+            j += 1;
+        }
+        j
+    }
+
+    /// Extracts call sites from the body code-token range `[from, to)`.
+    fn extract_calls(&self, from: usize, to: usize) -> Vec<CallSite> {
+        let mut calls = Vec::new();
+        for j in from..to {
+            let t = self.tok(j);
+            if t.kind != TokenKind::Ident || j + 1 >= to {
+                continue;
+            }
+            let next = self.tok(j + 1);
+            // Macro invocation: name ! ( | [ | {
+            if next.is_punct("!")
+                && j + 2 < to
+                && (self.tok(j + 2).is_punct("(")
+                    || self.tok(j + 2).is_punct("[")
+                    || self.tok(j + 2).is_punct("{"))
+            {
+                calls.push(CallSite {
+                    callee: format!("{}!", t.text),
+                    qualifier: Vec::new(),
+                    is_method: false,
+                    is_macro: true,
+                    line: t.line,
+                    col: t.col,
+                });
+                continue;
+            }
+            // Call: name ( — or turbofish name::<T>(.
+            let mut k = j + 1;
+            if next.is_punct("::") && j + 2 < to && self.tok(j + 2).is_punct("<") {
+                k = self.skip_angles(j + 2);
+            }
+            if k >= to || !self.tok(k).is_punct("(") {
+                continue;
+            }
+            let prev = if j > 0 { Some(self.tok(j - 1)) } else { None };
+            if let Some(p) = prev {
+                if p.is_punct(".") {
+                    calls.push(CallSite {
+                        callee: t.text.clone(),
+                        qualifier: Vec::new(),
+                        is_method: true,
+                        is_macro: false,
+                        line: t.line,
+                        col: t.col,
+                    });
+                    continue;
+                }
+                if p.is_punct("::") {
+                    calls.push(CallSite {
+                        callee: t.text.clone(),
+                        qualifier: self.path_before(j - 1),
+                        is_method: false,
+                        is_macro: false,
+                        line: t.line,
+                        col: t.col,
+                    });
+                    continue;
+                }
+            }
+            if NON_CALL_KEYWORDS.contains(&t.text.as_str()) {
+                continue;
+            }
+            calls.push(CallSite {
+                callee: t.text.clone(),
+                qualifier: Vec::new(),
+                is_method: false,
+                is_macro: false,
+                line: t.line,
+                col: t.col,
+            });
+        }
+        calls
+    }
+
+    /// Collects the path segments ending at the `::` at `sep_idx`
+    /// (`a::b::` → `["a", "b"]`), skipping back over turbofish.
+    fn path_before(&self, sep_idx: usize) -> Vec<String> {
+        let mut segs: Vec<String> = Vec::new();
+        let mut j = sep_idx;
+        while j >= 1 && self.tok(j).is_punct("::") {
+            let mut p = j - 1;
+            if self.tok(p).is_punct(">") {
+                // `Vec::<u8>::new` — skip the generic args backward.
+                let mut depth = 0i32;
+                loop {
+                    if self.tok(p).is_punct(">") {
+                        depth += 1;
+                    } else if self.tok(p).is_punct("<") {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    if p == 0 {
+                        break;
+                    }
+                    p -= 1;
+                }
+                if p == 0 {
+                    break;
+                }
+                p -= 1;
+                // A `::` may precede the turbofish; the ident is before it.
+                if self.tok(p).is_punct("::") {
+                    if p == 0 {
+                        break;
+                    }
+                    p -= 1;
+                }
+            }
+            if self.tok(p).kind != TokenKind::Ident {
+                break;
+            }
+            segs.push(self.tok(p).text.clone());
+            if p == 0 {
+                break;
+            }
+            j = p - 1;
+            if !self.tok(j).is_punct("::") {
+                break;
+            }
+        }
+        segs.reverse();
+        segs
+    }
+}
+
+/// Tokens that may legally sit between an attribute run and `fn`.
+fn is_header_filler(t: &Token) -> bool {
+    t.is_ident("pub")
+        || t.is_ident("const")
+        || t.is_ident("async")
+        || t.is_ident("unsafe")
+        || t.is_ident("extern")
+        || t.is_ident("default")
+        || t.is_ident("crate")
+        || t.is_ident("super")
+        || t.is_ident("in")
+        || t.is_punct("(")
+        || (t.kind == TokenKind::Literal && t.text.starts_with('"'))
+}
+
+fn annotation_misplaced_message(kind: AnnKind) -> String {
+    let name = match kind {
+        AnnKind::Hot => "lint:hot-path",
+        AnnKind::Cold => "lint:cold-path",
+    };
+    format!(
+        "`// {name}` must sit on its own line directly above a `fn` item \
+         (see docs/ANALYSIS.md)"
+    )
+}
+
+/// Consumes annotations attaching inside `[header_start, fn_idx]`.
+fn take_annotations(
+    annotations: &mut Vec<Annotation>,
+    header_start: usize,
+    fn_idx: usize,
+    out: &mut ParsedFile,
+) -> (bool, bool) {
+    let mut hot = false;
+    let mut cold = false;
+    annotations.retain(|ann| {
+        if ann.attach_at >= header_start && ann.attach_at <= fn_idx {
+            match ann.kind {
+                AnnKind::Hot => hot = true,
+                AnnKind::Cold => cold = true,
+            }
+            false
+        } else {
+            true
+        }
+    });
+    if hot && cold {
+        out.annotation_errors.push(AnnotationError {
+            line: 0,
+            col: 0,
+            message: "a `fn` cannot be both `lint:hot-path` and `lint:cold-path`".to_string(),
+        });
+    }
+    (hot, cold)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::{lex, TokenKind};
+
+    fn parse_src(src: &str) -> ParsedFile {
+        let tokens = lex(src);
+        let code: Vec<usize> = tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.kind != TokenKind::Comment)
+            .map(|(i, _)| i)
+            .collect();
+        let regions = crate::rules::test_regions(&tokens, &code);
+        parse(&tokens, &code, &regions)
+    }
+
+    #[test]
+    fn free_and_impl_fns_are_recovered() {
+        let p = parse_src(
+            "pub fn free() { helper(); }\n\
+             impl Foo { fn method(&self) -> u32 { self.free() } }\n\
+             impl Bar for Foo { fn t(&self) {} }\n",
+        );
+        let names: Vec<String> = p.fns.iter().map(|f| f.display()).collect();
+        assert_eq!(names, vec!["free", "Foo::method", "Foo::t"]);
+        assert!(p.fns[0].is_pub);
+        assert!(!p.fns[1].is_pub);
+        assert!(p.fns[2].in_trait_impl);
+    }
+
+    #[test]
+    fn generic_impl_headers_resolve_their_type() {
+        let p = parse_src(
+            "impl<I: Eq + Hash + Clone> FrequencyEstimator<I> for SpaceSaving<I> {\n\
+             fn update_by(&mut self, item: I) { self.apply(&item) }\n}\n",
+        );
+        assert_eq!(p.fns[0].display(), "SpaceSaving::update_by");
+        assert!(p.fns[0].in_trait_impl);
+        assert_eq!(p.fns[0].calls.len(), 1);
+        assert!(p.fns[0].calls[0].is_method);
+        assert_eq!(p.fns[0].calls[0].callee, "apply");
+    }
+
+    #[test]
+    fn call_kinds_are_classified() {
+        let p = parse_src(
+            "fn f() {\n\
+               plain();\n\
+               module::qualified(1);\n\
+               a::b::deep();\n\
+               recv.method(x);\n\
+               format!(\"{x}\");\n\
+               Vec::<u8>::new();\n\
+               if (x) { return (y); }\n\
+             }\n",
+        );
+        let calls = &p.fns[0].calls;
+        let summary: Vec<(String, bool, bool)> = calls
+            .iter()
+            .map(|c| (c.callee.clone(), c.is_method, c.is_macro))
+            .collect();
+        assert_eq!(
+            summary,
+            vec![
+                ("plain".into(), false, false),
+                ("qualified".into(), false, false),
+                ("deep".into(), false, false),
+                ("method".into(), true, false),
+                ("format!".into(), false, true),
+                ("new".into(), false, false),
+            ]
+        );
+        assert_eq!(calls[1].qualifier, vec!["module"]);
+        assert_eq!(calls[2].qualifier, vec!["a", "b"]);
+        assert_eq!(calls[5].qualifier, vec!["Vec"]);
+    }
+
+    #[test]
+    fn use_map_handles_groups_and_aliases() {
+        let p = parse_src(
+            "use crate::traits::{for_each_run, for_each_aggregated};\n\
+             use std::collections::HashMap as Map;\n\
+             use crate::engine::Engine;\n\
+             fn f() {}\n",
+        );
+        let find = |n: &str| p.uses.iter().find(|(k, _)| k == n).map(|(_, v)| v.clone());
+        assert_eq!(
+            find("for_each_run"),
+            Some(vec!["crate".into(), "traits".into(), "for_each_run".into()])
+        );
+        assert_eq!(
+            find("Map"),
+            Some(vec!["std".into(), "collections".into(), "HashMap".into()])
+        );
+        assert_eq!(
+            find("Engine"),
+            Some(vec!["crate".into(), "engine".into(), "Engine".into()])
+        );
+    }
+
+    #[test]
+    fn annotations_attach_through_attributes() {
+        let p = parse_src(
+            "// lint:hot-path\n\
+             #[inline]\n\
+             pub fn hot(&self) {}\n\
+             // lint:cold-path rehash is amortized\n\
+             fn cold_fn() {}\n\
+             #[cold]\n\
+             fn attr_cold() {}\n",
+        );
+        assert!(p.fns[0].hot_path);
+        assert!(p.fns[1].cold_path);
+        assert!(p.fns[2].is_cold);
+        assert!(p.annotation_errors.is_empty());
+    }
+
+    #[test]
+    fn misplaced_annotations_are_reported() {
+        let p = parse_src("fn f() {} // lint:hot-path\nstatic X: u32 = 0;\n");
+        assert_eq!(p.annotation_errors.len(), 1);
+        assert!(p.annotation_errors[0].message.contains("own line"));
+    }
+
+    #[test]
+    fn annotation_above_non_fn_is_reported() {
+        let p = parse_src("// lint:hot-path\nstatic X: u32 = 0;\nfn f() {}\n");
+        assert_eq!(p.annotation_errors.len(), 1);
+        assert!(!p.fns[0].hot_path, "annotation must not skip to a later fn");
+    }
+
+    #[test]
+    fn bodyless_trait_methods_are_skipped_but_defaults_parse() {
+        let p = parse_src(
+            "trait Est {\n\
+               fn update_by(&mut self, x: u64);\n\
+               fn update(&mut self, x: u64) { self.update_by(x) }\n\
+             }\n",
+        );
+        assert_eq!(p.fns.len(), 1);
+        assert_eq!(p.fns[0].display(), "Est::update");
+    }
+
+    #[test]
+    fn test_region_fns_are_marked() {
+        let p = parse_src(
+            "fn live() {}\n\
+             #[cfg(test)]\n\
+             mod tests {\n\
+               fn helper() {}\n\
+             }\n",
+        );
+        assert!(!p.fns[0].in_test);
+        assert!(p.fns[1].in_test);
+    }
+
+    #[test]
+    fn where_clauses_and_return_types_do_not_confuse_bodies() {
+        let p = parse_src(
+            "fn f<T>(x: T) -> Option<u32>\n\
+             where T: Clone {\n\
+               inner()\n\
+             }\n",
+        );
+        assert_eq!(p.fns.len(), 1);
+        assert_eq!(p.fns[0].calls.len(), 1);
+        assert_eq!(p.fns[0].calls[0].callee, "inner");
+    }
+}

@@ -1,17 +1,20 @@
-//! The rule framework and the six repo-specific rules.
+//! The rule framework and the intraprocedural rules (the
+//! interprocedural ones live in [`crate::rules_graph`], the
+//! cross-artifact ones in [`crate::drift`]).
 //!
-//! Every rule matches against the token stream from [`crate::lexer`]
-//! (never raw text) and reports [`Diagnostic`]s. Rules come in two
-//! temperaments:
+//! Every rule here matches against the token stream from
+//! [`crate::lexer`] (never raw text) and reports [`Diagnostic`]s.
+//! Rules come in two temperaments:
 //!
 //! - **Hard invariants** (`unsafe-confinement`, `vendor-drift`, and the
 //!   `SeqCst` arm of `atomic-ordering`): not waivable. Moving `unsafe`
 //!   out of `hh-net/src/sys.rs` is an engine change, i.e. a reviewed
 //!   decision, not a comment.
-//! - **Audits** (`panic-freedom`, the non-`SeqCst` arm of
-//!   `atomic-ordering`, `spawn-confinement`, `lossy-cast`): waivable per
-//!   site with `// lint:allow(<rule>) <justification>` — the point is
-//!   that every exception carries its rationale in the source.
+//! - **Audits** (`panic-freedom`, `error-swallow`, the non-`SeqCst`
+//!   arm of `atomic-ordering`, `spawn-confinement`, `lossy-cast`):
+//!   waivable per site with `// lint:allow(<rule>) <justification>` —
+//!   the point is that every exception carries its rationale in the
+//!   source.
 //!
 //! Two meta-rules keep the waiver system honest: `waiver-syntax`
 //! (malformed `lint:allow` comments) and `unused-waiver` (waivers that
@@ -192,15 +195,19 @@ pub fn test_regions(tokens: &[Token], code: &[usize]) -> Vec<(u32, u32)> {
     regions
 }
 
-/// Runs every applicable rule over one file.
+/// Runs every applicable intraprocedural rule over one file. The
+/// `unused-waiver` meta-rule is *not* run here — the engine defers it
+/// until the interprocedural rules (which also consume waivers) have
+/// run; see [`unused_waiver_diags`].
 pub fn check_file(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
     rule_unsafe_confinement(ctx, out);
     rule_panic_freedom(ctx, out);
+    rule_error_swallow(ctx, out);
     rule_atomic_ordering(ctx, out);
     rule_spawn_confinement(ctx, out);
     rule_lossy_cast(ctx, out);
     rule_vendor_drift_source(ctx, out);
-    waiver_meta_rules(ctx, out);
+    waiver_syntax(ctx, out);
 }
 
 /// `unsafe` is confined to `hh-net/src/sys.rs`; every shipped crate root
@@ -315,6 +322,84 @@ fn rule_panic_freedom(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
                 format!(
                     "{what} — return `hh::Error` instead, or waive a provably-unreachable site"
                 ),
+            );
+        }
+    }
+}
+
+/// A discarded `Result` in library non-test code hides a failure the
+/// caller was owed: `let _ = fallible();` and a terminal `.ok();` both
+/// need a waiver saying why ignoring the error is sound. Two shapes are
+/// exempt by design: `let _ = <no call>;` (a value discard, nothing
+/// fallible) and `let _ = write!(buf, …)` / `writeln!` (the repo's
+/// fmt-to-`String` idiom, infallible by construction).
+fn rule_error_swallow(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+    if ctx.scope != Scope::Library {
+        return;
+    }
+    for i in 0..ctx.code.len() {
+        let t = ctx.tok(i);
+        if ctx.in_test(t.line) {
+            continue;
+        }
+        if t.is_ident("let")
+            && i + 2 < ctx.code.len()
+            && ctx.tok(i + 1).is_ident("_")
+            && ctx.tok(i + 2).is_punct("=")
+        {
+            // `let _ = write!(…)` / `writeln!(…)` is the fmt idiom.
+            if i + 4 < ctx.code.len()
+                && (ctx.tok(i + 3).is_ident("write") || ctx.tok(i + 3).is_ident("writeln"))
+                && ctx.tok(i + 4).is_punct("!")
+            {
+                continue;
+            }
+            // Scan the discarded expression to its terminal `;`; only a
+            // call (some `(`) can produce a `Result` worth flagging.
+            let mut depth = 0i32;
+            let mut has_call = false;
+            for j in i + 3..ctx.code.len() {
+                let u = ctx.tok(j);
+                if u.is_punct("(") || u.is_punct("[") || u.is_punct("{") {
+                    depth += 1;
+                    if u.is_punct("(") {
+                        has_call = true;
+                    }
+                } else if u.is_punct(")") || u.is_punct("]") || u.is_punct("}") {
+                    depth -= 1;
+                } else if u.is_punct(";") && depth == 0 {
+                    break;
+                }
+            }
+            if !has_call || ctx.waived("error-swallow", t.line) {
+                continue;
+            }
+            ctx.emit(
+                out,
+                "error-swallow",
+                t,
+                "`let _ =` discards a fallible call's `Result` — handle or propagate \
+                 the error, or waive with the reason ignoring it is sound"
+                    .to_string(),
+            );
+        } else if t.is_ident("ok")
+            && i > 0
+            && ctx.tok(i - 1).is_punct(".")
+            && i + 3 < ctx.code.len()
+            && ctx.tok(i + 1).is_punct("(")
+            && ctx.tok(i + 2).is_punct(")")
+            && ctx.tok(i + 3).is_punct(";")
+        {
+            if ctx.waived("error-swallow", t.line) {
+                continue;
+            }
+            ctx.emit(
+                out,
+                "error-swallow",
+                t,
+                "terminal `.ok();` swallows this `Result` — handle or propagate the \
+                 error, or waive with the reason ignoring it is sound"
+                    .to_string(),
             );
         }
     }
@@ -456,8 +541,8 @@ fn rule_vendor_drift_source(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
     }
 }
 
-/// Reports malformed waivers and waivers that suppressed nothing.
-fn waiver_meta_rules(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+/// Reports malformed `lint:allow` comments.
+fn waiver_syntax(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
     for e in &ctx.waivers.errors {
         out.push(Diagnostic {
             rule: "waiver-syntax",
@@ -467,7 +552,14 @@ fn waiver_meta_rules(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
             col: e.col,
         });
     }
-    for w in ctx.waivers.unused() {
+}
+
+/// The deferred half of the waiver meta-rules: waivers that suppressed
+/// nothing. The engine calls this once per file *after* the
+/// interprocedural rules have run, so waivers consumed at chain level
+/// (`panic-reachability`, `hot-path-alloc`) are not spuriously flagged.
+pub fn unused_waiver_diags(path: &str, waivers: &Waivers, out: &mut Vec<Diagnostic>) {
+    for w in waivers.unused() {
         out.push(Diagnostic {
             rule: "unused-waiver",
             message: format!(
@@ -475,7 +567,7 @@ fn waiver_meta_rules(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
                  remove it or move it to the offending line",
                 w.rule, w.target_line
             ),
-            path: ctx.path.to_string(),
+            path: path.to_string(),
             line: w.comment_line,
             col: 1,
         });

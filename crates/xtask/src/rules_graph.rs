@@ -1,0 +1,219 @@
+//! The interprocedural rules: `panic-reachability` and
+//! `hot-path-alloc`. Both run over the workspace call graph built by
+//! [`crate::callgraph`] after every file has been analyzed, so their
+//! waiver consumption happens at the chain level — the engine defers
+//! the `unused-waiver` meta-rule until these have run.
+
+use crate::callgraph::{self, FnId, Graph};
+use crate::engine::FileAnalysis;
+use crate::rules::Diagnostic;
+use crate::scope::Scope;
+
+/// Waiver-justification prefixes that state a panic site's contract.
+/// A panic-freedom waiver opening with one of these ("this cannot
+/// happen because…" / "the caller must guarantee…") is a *local*
+/// contract and stops interprocedural propagation; a plain
+/// justification leaves the panic reachable from every caller.
+pub const CONTRACT_MARKERS: &[&str] = &["unreachable:", "precondition:"];
+
+/// Type names whose constructors allocate.
+const ALLOC_TYPES: &[&str] = &["Vec", "String", "Box", "HashMap", "BTreeMap", "VecDeque"];
+
+/// Allocating constructors/conversions on [`ALLOC_TYPES`].
+const ALLOC_CTORS: &[&str] = &["new", "with_capacity", "from"];
+
+/// Allocating method calls (receiver-typed, so matched by name alone).
+const ALLOC_METHODS: &[&str] = &["to_string", "to_owned", "to_vec", "collect"];
+
+/// Allocating macros.
+const ALLOC_MACROS: &[&str] = &["format!", "vec!"];
+
+/// A panic site inside one function body.
+struct PanicSite {
+    line: u32,
+    col: u32,
+    what: String,
+}
+
+/// Finds every panic-freedom-relevant site in a function body,
+/// mirroring the intraprocedural `panic-freedom` token patterns.
+fn panic_sites(fa: &FileAnalysis, body: (usize, usize)) -> Vec<PanicSite> {
+    let tok = |i: usize| &fa.tokens[fa.code[i]];
+    let mut out = Vec::new();
+    for i in body.0 + 1..body.1 {
+        let t = tok(i);
+        if (t.is_ident("unwrap") || t.is_ident("expect"))
+            && i > 0
+            && tok(i - 1).is_punct(".")
+            && i + 1 < fa.code.len()
+            && tok(i + 1).is_punct("(")
+        {
+            out.push(PanicSite {
+                line: t.line,
+                col: t.col,
+                what: format!(".{}()", t.text),
+            });
+        } else if (t.is_ident("panic") || t.is_ident("todo") || t.is_ident("unimplemented"))
+            && i + 1 < fa.code.len()
+            && tok(i + 1).is_punct("!")
+        {
+            out.push(PanicSite {
+                line: t.line,
+                col: t.col,
+                what: format!("{}!", t.text),
+            });
+        }
+    }
+    out
+}
+
+/// `panic-reachability`: a panic site waived *without* a stated
+/// contract (see [`CONTRACT_MARKERS`]) is still a panic as far as
+/// callers are concerned. If such a site is reachable from a public
+/// library entry point (a `pub fn` or a trait-impl method), it is
+/// flagged with the shortest offending call chain. Unwaived sites are
+/// owned by the intraprocedural `panic-freedom` rule and not repeated
+/// here.
+pub fn panic_reachability(fas: &[FileAnalysis], graph: &Graph, out: &mut Vec<Diagnostic>) {
+    let roots = fas.iter().enumerate().flat_map(|(fi, fa)| {
+        fa.parsed
+            .fns
+            .iter()
+            .enumerate()
+            .filter(move |(_, f)| {
+                fa.scope == Scope::Library && !f.in_test && (f.is_pub || f.in_trait_impl)
+            })
+            .map(move |(ni, _)| (fi, ni))
+    });
+    let reached = callgraph::reach(graph, roots, |_| false);
+
+    // Deterministic order: walk files/functions in analysis order.
+    for (fi, fa) in fas.iter().enumerate() {
+        if fa.scope != Scope::Library {
+            continue;
+        }
+        for (ni, f) in fa.parsed.fns.iter().enumerate() {
+            if f.in_test {
+                continue;
+            }
+            let Some(&(origin, _)) = reached.get(&(fi, ni)) else {
+                continue;
+            };
+            for site in panic_sites(fa, f.body) {
+                // Only *waived-without-contract* sites propagate.
+                let Some(w) = fa.waivers.lookup("panic-freedom", site.line) else {
+                    continue;
+                };
+                if CONTRACT_MARKERS
+                    .iter()
+                    .any(|m| w.justification.starts_with(m))
+                {
+                    continue;
+                }
+                if fa
+                    .waivers
+                    .consume("panic-reachability", site.line)
+                    .is_some()
+                {
+                    continue;
+                }
+                let entry = &fas[origin.0].parsed.fns[origin.1];
+                let via = callgraph::chain(fas, &reached, (fi, ni));
+                out.push(Diagnostic {
+                    rule: "panic-reachability",
+                    message: format!(
+                        "{} is waived without a stated contract, and `{}` is reachable \
+                         from public entry point `{}` (chain: {via}) — start the waiver \
+                         justification with `unreachable:`/`precondition:`, or waive \
+                         this site with lint:allow(panic-reachability)",
+                        site.what,
+                        f.display(),
+                        entry.display(),
+                    ),
+                    path: fa.path.clone(),
+                    line: site.line,
+                    col: site.col,
+                });
+            }
+        }
+    }
+}
+
+/// `hot-path-alloc`: functions annotated `// lint:hot-path`, and
+/// everything they transitively call (propagation stops at `#[cold]`
+/// or `// lint:cold-path` functions), must not allocate: no
+/// `Vec::new`/`with_capacity`, `format!`/`vec!`, `.to_string()`/
+/// `.to_owned()`/`.to_vec()`/`.collect()`, `Box::new`, `String::from`.
+/// Reusing caller-owned scratch (`clear` + `push` on a retained
+/// buffer) is the sanctioned pattern and is not flagged.
+pub fn hot_path_alloc(fas: &[FileAnalysis], graph: &Graph, out: &mut Vec<Diagnostic>) {
+    let is_cold = |id: FnId| {
+        let f = &fas[id.0].parsed.fns[id.1];
+        f.is_cold || f.cold_path
+    };
+    let roots: Vec<FnId> = fas
+        .iter()
+        .enumerate()
+        .flat_map(|(fi, fa)| {
+            fa.parsed
+                .fns
+                .iter()
+                .enumerate()
+                .filter(|(_, f)| f.hot_path && !f.in_test)
+                .map(move |(ni, _)| (fi, ni))
+        })
+        .collect();
+    let reached = callgraph::reach(graph, roots.into_iter(), is_cold);
+
+    for (fi, fa) in fas.iter().enumerate() {
+        for (ni, f) in fa.parsed.fns.iter().enumerate() {
+            let Some(&(origin, _)) = reached.get(&(fi, ni)) else {
+                continue;
+            };
+            let how = if origin == (fi, ni) {
+                format!("`{}` is annotated `lint:hot-path`", f.display())
+            } else {
+                format!(
+                    "reached from `lint:hot-path` root via the chain {}",
+                    callgraph::chain(fas, &reached, (fi, ni))
+                )
+            };
+            for call in &f.calls {
+                let label = if call.is_macro && ALLOC_MACROS.contains(&call.callee.as_str()) {
+                    Some(call.callee.clone())
+                } else if call.is_method && ALLOC_METHODS.contains(&call.callee.as_str()) {
+                    Some(format!(".{}()", call.callee))
+                } else if !call.is_method
+                    && ALLOC_CTORS.contains(&call.callee.as_str())
+                    && call
+                        .qualifier
+                        .last()
+                        .is_some_and(|q| ALLOC_TYPES.contains(&q.as_str()))
+                {
+                    Some(format!(
+                        "{}::{}",
+                        call.qualifier.last().map(String::as_str).unwrap_or(""),
+                        call.callee
+                    ))
+                } else {
+                    None
+                };
+                let Some(what) = label else { continue };
+                if fa.waivers.consume("hot-path-alloc", call.line).is_some() {
+                    continue;
+                }
+                out.push(Diagnostic {
+                    rule: "hot-path-alloc",
+                    message: format!(
+                        "`{what}` allocates on a hot path — {how}; hoist it into setup, \
+                         move the function behind `#[cold]`/`lint:cold-path`, or waive \
+                         with the reason the cost is amortized"
+                    ),
+                    path: fa.path.clone(),
+                    line: call.line,
+                    col: call.col,
+                });
+            }
+        }
+    }
+}

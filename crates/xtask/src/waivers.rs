@@ -55,13 +55,30 @@ pub struct Waivers {
 
 impl Waivers {
     /// Looks up (and marks used) a waiver for `rule` covering `line`.
+    /// Prefers a not-yet-used match so stacked same-rule waivers each
+    /// suppress one finding instead of one waiver absorbing them all.
     pub fn consume(&self, rule: &str, line: u32) -> Option<&Waiver> {
-        let w = self
-            .waivers
-            .iter()
-            .find(|w| w.rule == rule && w.target_line == line)?;
+        let matches = || {
+            self.waivers
+                .iter()
+                .filter(move |w| w.rule == rule && w.target_line == line)
+        };
+        let w = matches()
+            .find(|w| !w.used.get())
+            .or_else(|| matches().next())?;
         w.used.set(true);
         Some(w)
+    }
+
+    /// Looks up a waiver for `rule` covering `line` *without* marking it
+    /// used. Interprocedural rules use this to read another rule's
+    /// waiver (e.g. `panic-reachability` inspecting a `panic-freedom`
+    /// justification for a contract marker) — whether that waiver is
+    /// "used" is the owning rule's call, not theirs.
+    pub fn lookup(&self, rule: &str, line: u32) -> Option<&Waiver> {
+        self.waivers
+            .iter()
+            .find(|w| w.rule == rule && w.target_line == line)
     }
 
     /// Waivers that never matched a finding.
@@ -74,6 +91,9 @@ impl Waivers {
 pub const KNOWN_RULES: &[&str] = &[
     "unsafe-confinement",
     "panic-freedom",
+    "panic-reachability",
+    "hot-path-alloc",
+    "error-swallow",
     "atomic-ordering",
     "spawn-confinement",
     "lossy-cast",

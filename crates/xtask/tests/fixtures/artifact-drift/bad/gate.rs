@@ -1,0 +1,11 @@
+//@ path: crates/bench/src/bin/bench_regression_check.rs
+//! Fixture: a gate referencing a baseline that does not exist, while
+//! the baseline that *does* exist (BENCH_orphan.json, see the sibling
+//! artifact) has no gate at all.
+
+#![deny(unsafe_code)]
+
+fn main() {
+    let baseline = "BENCH_ghost.json";
+    println!("checking {baseline}");
+}

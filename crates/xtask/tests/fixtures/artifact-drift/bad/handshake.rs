@@ -1,0 +1,7 @@
+//@ path: crates/hh-net/src/handshake.rs
+//! Fixture: a record-shaped literal escaping the proto module.
+
+/// Renders a hello record where it must not be rendered.
+pub fn hello() -> String {
+    "{\"v\":2,\"hello\":true}".to_string()
+}

@@ -1,0 +1,17 @@
+//@ path: crates/hh-net/src/proto.rs
+//! Fixture: a drifted emitter — one record hardcodes its version,
+//! another emits a field the doc has never heard of, and the doc still
+//! documents a field nothing emits.
+
+/// Protocol version stamped into every record.
+pub const PROTOCOL_VERSION: u64 = 2;
+
+/// Renders a pong record with a hardcoded version literal.
+pub fn pong_record() -> String {
+    "{\"v\":2,\"pong\":true}".to_string()
+}
+
+/// Renders a total record the doc does not know about.
+pub fn total_record(total: u64) -> String {
+    format!("{{\"v\":{PROTOCOL_VERSION},\"total\":{total}}}")
+}

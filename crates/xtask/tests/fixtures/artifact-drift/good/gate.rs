@@ -1,0 +1,9 @@
+//@ path: crates/bench/src/bin/bench_regression_check.rs
+//! Fixture: the regression gate referencing its one baseline.
+
+#![deny(unsafe_code)]
+
+fn main() {
+    let baseline = "BENCH_demo.json";
+    println!("checking {baseline}");
+}

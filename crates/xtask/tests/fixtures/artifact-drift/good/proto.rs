@@ -1,0 +1,16 @@
+//@ path: crates/hh-net/src/proto.rs
+//! Fixture: the sanctioned record emitter, consistent with its doc —
+//! every field documented, every version literal interpolated.
+
+/// Protocol version stamped into every record.
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// Renders a pong record.
+pub fn pong_record() -> String {
+    format!("{{\"v\":{PROTOCOL_VERSION},\"pong\":true}}")
+}
+
+/// Renders a count record.
+pub fn count_record(count: u64) -> String {
+    format!("{{\"v\":{PROTOCOL_VERSION},\"count\":{count}}}")
+}

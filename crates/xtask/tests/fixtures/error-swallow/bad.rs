@@ -1,0 +1,13 @@
+//@ path: crates/hh-counters/src/swallow_bad.rs
+//! Fixture: both swallow shapes — `let _ =` over a fallible call and a
+//! terminal `.ok();`.
+
+use std::sync::mpsc::Sender;
+
+pub fn broadcast(tx: &Sender<u64>, v: u64) {
+    let _ = tx.send(v);
+}
+
+pub fn touch(path: &str) {
+    std::fs::remove_file(path).ok();
+}

@@ -1,0 +1,23 @@
+//@ path: crates/hh-counters/src/swallow_good.rs
+//! Fixture: the three sanctioned shapes — the fmt-to-`String` idiom,
+//! a waived discard with a stated reason, and a plain value discard
+//! (nothing fallible).
+
+use std::fmt::Write as _;
+
+pub fn render(values: &[u64]) -> String {
+    let mut out = String::new();
+    for v in values {
+        let _ = write!(out, "{v},");
+    }
+    out
+}
+
+pub fn cleanup(path: &str) {
+    // lint:allow(error-swallow) the file may already be gone; nothing to recover
+    let _ = std::fs::remove_file(path);
+}
+
+pub fn discard_value(pair: (u64, u64)) {
+    let _ = pair;
+}

@@ -1,0 +1,25 @@
+//@ path: crates/hh-counters/src/hot_bad.rs
+//! Fixture: allocation on a hot path, both directly in the annotated
+//! root (`Vec::new`) and transitively in an un-marked callee
+//! (`.to_string()` reached via the call chain).
+
+pub struct Acc {
+    total: u64,
+}
+
+impl Acc {
+    // lint:hot-path
+    pub fn update(&mut self, items: &[u64]) {
+        let mut staged = Vec::new();
+        for &x in items {
+            staged.push(x);
+            self.total += x;
+        }
+        self.render();
+    }
+
+    fn render(&self) {
+        let label = self.total.to_string();
+        drop(label);
+    }
+}

@@ -1,0 +1,27 @@
+//@ path: crates/hh-counters/src/hot_good.rs
+//! Fixture: a hot-path root that only reuses caller-owned scratch
+//! (`clear` + `push`), with its allocating tail explicitly marked
+//! `lint:cold-path` so propagation stops there.
+
+pub struct Acc {
+    scratch: Vec<u64>,
+    total: u64,
+}
+
+impl Acc {
+    // lint:hot-path
+    pub fn update(&mut self, items: &[u64]) {
+        self.scratch.clear();
+        for &x in items {
+            self.scratch.push(x);
+            self.total += x;
+        }
+        self.report();
+    }
+
+    // lint:cold-path one summary line per epoch; the cost is amortized
+    fn report(&self) {
+        let line = format!("total={}", self.total);
+        drop(line);
+    }
+}

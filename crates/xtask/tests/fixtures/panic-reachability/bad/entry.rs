@@ -1,0 +1,8 @@
+//@ path: crates/hh-counters/src/reach_entry.rs
+//! Fixture: the public entry point; the panic it can reach lives in a
+//! sibling module (reach_inner.rs), so the finding needs the call
+//! graph to cross files.
+
+pub fn entry(v: &[u64]) -> u64 {
+    crate::reach_inner::first_or_panic(v)
+}

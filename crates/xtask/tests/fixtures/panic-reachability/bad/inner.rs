@@ -1,0 +1,10 @@
+//@ path: crates/hh-counters/src/reach_inner.rs
+//! Fixture: a waived panic with no stated contract. The waiver
+//! silences the intraprocedural `panic-freedom` rule, but without an
+//! `unreachable:`/`precondition:` prefix the site still propagates to
+//! every public caller.
+
+pub(crate) fn first_or_panic(v: &[u64]) -> u64 {
+    // lint:allow(panic-freedom) the caller probably checked emptiness
+    *v.first().expect("nonempty")
+}

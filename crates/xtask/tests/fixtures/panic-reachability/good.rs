@@ -1,0 +1,16 @@
+//@ path: crates/hh-counters/src/reach_good.rs
+//! Fixture: a waived panic site whose justification states a contract
+//! (`precondition:`), so reachability from the public entry point is
+//! fine — the contract is discharged by the caller's early return.
+
+fn inner(v: &[u64]) -> u64 {
+    // lint:allow(panic-freedom) precondition: entry() returns early on empty input
+    *v.first().expect("nonempty")
+}
+
+pub fn entry(v: &[u64]) -> u64 {
+    if v.is_empty() {
+        return 0;
+    }
+    inner(v)
+}

@@ -2,5 +2,5 @@
 
 pub fn rogue() {
     let h = std::thread::spawn(|| 1u64);
-    let _ = h.join();
+    let _res = h.join();
 }

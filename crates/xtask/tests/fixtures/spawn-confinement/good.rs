@@ -5,5 +5,5 @@ pub fn run() {
         scope.spawn(|| {});
     });
     let h = std::thread::spawn(|| 1u64);
-    let _ = h.join();
+    let _res = h.join();
 }

@@ -1,17 +1,26 @@
 //! Fixture corpus for the lint engine.
 //!
-//! Each rule directory under `tests/fixtures/` holds a `good.rs` that
-//! must lint clean and a `bad.rs` whose diagnostics must match
-//! `bad.expected` byte-for-byte. Every fixture's first line is a
-//! `//@ path: <pretend-repo-path>` directive: the engine lints the
-//! source *as if* it lived at that path, which is how one corpus
-//! exercises scope- and path-sensitive rules (the fixtures' real
-//! location is excluded from repo sweeps by `scope::classify`).
+//! Each rule directory under `tests/fixtures/` holds a *good* case that
+//! must lint clean and a *bad* case whose diagnostics must match
+//! `bad.expected` byte-for-byte. A case is either a single file
+//! (`good.rs` / `bad.rs`) or a directory (`good/` / `bad/`) for the
+//! interprocedural and cross-artifact rules: every `.rs` member is
+//! linted as one unit and artifact members (`PROTOCOL.md`, `ci.yml`,
+//! `BENCH_*.json`) are loaded under their canonical repo paths.
+//!
+//! Every fixture source's first line is a `//@ path: <pretend-repo-path>`
+//! directive: the engine lints the source *as if* it lived at that
+//! path, which is how one corpus exercises scope- and path-sensitive
+//! rules (the fixtures' real location is excluded from repo sweeps by
+//! `scope::classify`).
+//!
+//! Regenerate the `.expected` files after an intentional message
+//! change with `BLESS=1 cargo test -p xtask --test fixtures_test`.
 
 use std::fs;
 use std::path::{Path, PathBuf};
 
-use xtask::engine::{lint_source, repo_root};
+use xtask::engine::{lint_files, lint_source, repo_root, Artifacts};
 use xtask::manifest::check_vendor_manifest;
 
 fn fixtures_dir() -> PathBuf {
@@ -34,6 +43,45 @@ fn load(path: &Path) -> (String, String) {
     (pretend, src)
 }
 
+/// Loads one case: `<which>.rs` as a single source, or the `<which>/`
+/// directory as a multi-file unit with artifacts.
+fn load_case(dir: &Path, which: &str) -> (Vec<(String, String)>, Artifacts) {
+    let single = dir.join(format!("{which}.rs"));
+    if single.is_file() {
+        let (pretend, src) = load(&single);
+        return (vec![(pretend, src)], Artifacts::none());
+    }
+    let sub = dir.join(which);
+    let mut entries: Vec<PathBuf> = fs::read_dir(&sub)
+        .unwrap_or_else(|e| panic!("read {}: {e}", sub.display()))
+        .map(|e| e.expect("dir entry").path())
+        .collect();
+    entries.sort();
+    let mut files = Vec::new();
+    let mut artifacts = Artifacts::none();
+    for p in entries {
+        let name = p
+            .file_name()
+            .expect("file name")
+            .to_string_lossy()
+            .into_owned();
+        let read =
+            || fs::read_to_string(&p).unwrap_or_else(|e| panic!("read {}: {e}", p.display()));
+        if name.ends_with(".rs") {
+            let (pretend, src) = load(&p);
+            files.push((pretend, src));
+        } else if name == "PROTOCOL.md" {
+            artifacts.protocol_md = Some(("docs/PROTOCOL.md".to_string(), read()));
+        } else if name == "ci.yml" {
+            artifacts.ci_yml = Some((".github/workflows/ci.yml".to_string(), read()));
+        } else if name.starts_with("BENCH_") && name.ends_with(".json") {
+            artifacts.bench_baselines.push(name);
+        }
+    }
+    artifacts.bench_baselines.sort();
+    (files, artifacts)
+}
+
 fn render_all(diags: &[xtask::rules::Diagnostic]) -> String {
     let mut sorted = diags.to_vec();
     sorted.sort_by(|a, b| (&a.path, a.line, a.col, a.rule).cmp(&(&b.path, b.line, b.col, b.rule)));
@@ -49,23 +97,43 @@ fn render_all(diags: &[xtask::rules::Diagnostic]) -> String {
 const RULE_DIRS: &[&str] = &[
     "unsafe-confinement",
     "panic-freedom",
+    "panic-reachability",
+    "hot-path-alloc",
+    "error-swallow",
     "atomic-ordering",
     "spawn-confinement",
     "lossy-cast",
     "vendor-drift",
+    "artifact-drift",
     "waivers",
+];
+
+/// Every rule the engine can emit must fire on at least one bad
+/// fixture — the coverage floor that keeps the corpus honest.
+const ALL_RULES: &[&str] = &[
+    "unsafe-confinement",
+    "panic-freedom",
+    "panic-reachability",
+    "hot-path-alloc",
+    "error-swallow",
+    "atomic-ordering",
+    "spawn-confinement",
+    "lossy-cast",
+    "vendor-drift",
+    "artifact-drift",
+    "waiver-syntax",
+    "unused-waiver",
 ];
 
 #[test]
 fn good_fixtures_lint_clean() {
     for dir in RULE_DIRS {
-        let path = fixtures_dir().join(dir).join("good.rs");
-        let (pretend, src) = load(&path);
-        let (diags, _) = lint_source(&pretend, &src);
+        let (files, artifacts) = load_case(&fixtures_dir().join(dir), "good");
+        let report = lint_files(&files, &artifacts);
         assert!(
-            diags.is_empty(),
-            "{dir}/good.rs (as {pretend}) should be clean, got:\n{}",
-            render_all(&diags)
+            report.diagnostics.is_empty(),
+            "{dir}/good should be clean, got:\n{}",
+            render_all(&report.diagnostics)
         );
     }
 }
@@ -74,16 +142,40 @@ fn good_fixtures_lint_clean() {
 fn bad_fixtures_match_expected_diagnostics() {
     for dir in RULE_DIRS {
         let dir_path = fixtures_dir().join(dir);
-        let (pretend, src) = load(&dir_path.join("bad.rs"));
-        let (diags, _) = lint_source(&pretend, &src);
-        assert!(!diags.is_empty(), "{dir}/bad.rs produced no diagnostics");
+        let (files, artifacts) = load_case(&dir_path, "bad");
+        let report = lint_files(&files, &artifacts);
+        assert!(
+            !report.diagnostics.is_empty(),
+            "{dir}/bad produced no diagnostics"
+        );
+        let actual = render_all(&report.diagnostics);
         let expected_path = dir_path.join("bad.expected");
+        if std::env::var_os("BLESS").is_some() {
+            fs::write(&expected_path, &actual)
+                .unwrap_or_else(|e| panic!("bless {}: {e}", expected_path.display()));
+        }
         let expected = fs::read_to_string(&expected_path)
             .unwrap_or_else(|e| panic!("read {}: {e}", expected_path.display()));
-        let actual = render_all(&diags);
         assert_eq!(
             actual, expected,
-            "{dir}/bad.rs diagnostics drifted from bad.expected"
+            "{dir}/bad diagnostics drifted from bad.expected"
+        );
+    }
+}
+
+#[test]
+fn every_rule_fires_on_at_least_one_bad_fixture() {
+    let mut fired = std::collections::BTreeSet::new();
+    for dir in RULE_DIRS {
+        let (files, artifacts) = load_case(&fixtures_dir().join(dir), "bad");
+        for d in lint_files(&files, &artifacts).diagnostics {
+            fired.insert(d.rule);
+        }
+    }
+    for rule in ALL_RULES {
+        assert!(
+            fired.contains(rule),
+            "no bad fixture exercises `{rule}` — the corpus lost coverage"
         );
     }
 }
@@ -127,4 +219,52 @@ fn fixture_corpus_is_invisible_to_repo_sweeps() {
     let src = fs::read_to_string(repo_root().join(rel)).unwrap();
     let (diags, _) = lint_source(rel, &src);
     assert!(diags.is_empty());
+}
+
+#[test]
+fn drift_fixture_catches_single_field_rename_and_missing_gate() {
+    // The acceptance property of the drift rule, asserted directly:
+    // starting from the *clean* fixture set, renaming one documented
+    // field or dropping the one gate reference must surface findings.
+    let dir = fixtures_dir().join("artifact-drift");
+    let (files, artifacts) = load_case(&dir, "good");
+    assert!(lint_files(&files, &artifacts).diagnostics.is_empty());
+
+    // Rename a documented field out from under the emitter.
+    let mut renamed = artifacts_clone(&artifacts);
+    if let Some((_, doc)) = &mut renamed.protocol_md {
+        *doc = doc.replace("\"count\":", "\"n\":");
+    }
+    let report = lint_files(&files, &renamed);
+    assert!(
+        report
+            .diagnostics
+            .iter()
+            .any(|d| d.rule == "artifact-drift"),
+        "field rename in PROTOCOL.md went unnoticed"
+    );
+
+    // Drop the gate's baseline reference.
+    let gated: Vec<(String, String)> = files
+        .iter()
+        .map(|(p, s)| (p.clone(), s.replace("BENCH_demo.json", "ungated")))
+        .collect();
+    let report = lint_files(&gated, &artifacts);
+    assert!(
+        report
+            .diagnostics
+            .iter()
+            .any(|d| d.rule == "artifact-drift"),
+        "deleted bench gate went unnoticed"
+    );
+}
+
+/// `Artifacts` is deliberately plain data; clone it by hand here so the
+/// library does not need to expose `Clone` for one test.
+fn artifacts_clone(a: &Artifacts) -> Artifacts {
+    let mut out = Artifacts::none();
+    out.protocol_md = a.protocol_md.clone();
+    out.ci_yml = a.ci_yml.clone();
+    out.bench_baselines = a.bench_baselines.clone();
+    out
 }
